@@ -1,0 +1,100 @@
+// Ablation A3 (Sections 2.3 and 6): moments accountant vs classic
+// composition theorems.
+//
+// For the paper's training regime (subsampled Gaussian mechanism with
+// q ∈ {0.06, 0.10}, σ ∈ {1.5, 2.5}, δ = 2·10⁻⁴) this prints how many
+// training steps each accounting method admits before a given ε budget is
+// exceeded. The moments accountant (RDP) admits orders of magnitude more
+// steps than naive composition and far more than advanced composition —
+// the enabling observation of [Abadi et al. 2016] that PLP builds on.
+//
+// Usage: ablation_accounting [--seed=N] (pure math; scale-independent)
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "privacy/gaussian_mechanism.h"
+#include "privacy/rdp_accountant.h"
+
+namespace plp::bench {
+namespace {
+
+constexpr double kDelta = 2e-4;
+constexpr int64_t kMaxSteps = 200000;
+
+int64_t StepsUnderRdp(double q, double sigma, double eps_budget,
+                      privacy::RdpConversion conversion) {
+  privacy::RdpAccountant accountant;
+  const std::vector<double> step = accountant.StepRdp(q, sigma);
+  int64_t steps = 0;
+  while (steps < kMaxSteps) {
+    accountant.AddPrecomputedSteps(step, 1);
+    if (accountant.GetEpsilon(kDelta, conversion).value() > eps_budget) {
+      break;
+    }
+    ++steps;
+  }
+  return steps;
+}
+
+int64_t StepsUnderNaive(double per_step_eps, double eps_budget) {
+  return static_cast<int64_t>(eps_budget / per_step_eps);
+}
+
+int64_t StepsUnderAdvanced(double per_step_eps, double eps_budget) {
+  int64_t steps = 0;
+  while (steps < kMaxSteps &&
+         privacy::AdvancedCompositionEpsilon(per_step_eps, steps + 1,
+                                             kDelta) <= eps_budget) {
+    ++steps;
+  }
+  return steps;
+}
+
+void Run(int argc, char** argv) {
+  auto flags = plp::FlagParser::Parse(argc, argv);
+  PLP_CHECK_OK(flags.status());
+  std::printf(
+      "== Ablation A3: steps admitted per accounting method "
+      "(delta=%.0e) ==\n\n",
+      kDelta);
+
+  TablePrinter table({"q", "sigma", "eps_budget", "naive", "advanced",
+                      "rdp_classic", "rdp_improved"});
+  for (double q : {0.06, 0.10}) {
+    for (double sigma : {1.5, 2.5}) {
+      // Per-release ε of the subsampled Gaussian for the composition
+      // baselines: classic bound amplified by sampling.
+      const double eps0 = privacy::AmplifyBySampling(
+          privacy::GaussianEpsilon(sigma, kDelta).value(), q);
+      for (double eps : {1.0, 2.0, 4.0}) {
+        table.NewRow()
+            .AddCell(q, 2)
+            .AddCell(sigma, 1)
+            .AddCell(eps, 1)
+            .AddCell(StepsUnderNaive(eps0, eps))
+            .AddCell(StepsUnderAdvanced(eps0, eps))
+            .AddCell(StepsUnderRdp(q, sigma, eps,
+                                   privacy::RdpConversion::kClassic))
+            .AddCell(StepsUnderRdp(q, sigma, eps,
+                                   privacy::RdpConversion::kImproved));
+      }
+    }
+  }
+  table.PrintAligned(std::cout);
+  std::printf(
+      "\nClaim: the moments accountant admits far more training steps than "
+      "either composition theorem at every budget, which is what makes "
+      "iterative private learning feasible at all.\n");
+}
+
+}  // namespace
+}  // namespace plp::bench
+
+int main(int argc, char** argv) {
+  plp::bench::Run(argc, argv);
+  return 0;
+}

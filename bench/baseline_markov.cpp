@@ -1,0 +1,117 @@
+// Baseline comparison: order-1 Markov chains vs the skip-gram model,
+// non-private and under user-level DP.
+//
+// Section 6 positions Markov-chain recommenders (and their DP variant,
+// Zhang et al. [63]) as the classical alternative to neural embeddings and
+// notes that "due to the sparsity in check-in behavior and the
+// general-purpose privacy mechanisms, their method can only extend to
+// coarse spatial decompositions". This bench quantifies that: the DP
+// Markov model must perturb an L×L count matrix, so the per-cell signal
+// drowns, while PLP's grouped, clipped skip-gram updates survive.
+//
+// Usage: baseline_markov [--scale=small] [--seed=N] [--eps=2]
+
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/markov.h"
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "core/nonprivate_trainer.h"
+
+namespace plp::bench {
+namespace {
+
+double MarkovHr10(const baselines::MarkovModel& model,
+                  const std::vector<eval::EvalExample>& examples) {
+  int64_t hits = 0;
+  for (const eval::EvalExample& ex : examples) {
+    for (int32_t candidate : model.TopK(ex.history, 10)) {
+      if (candidate == ex.label) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(examples.size());
+}
+
+void Run(int argc, char** argv) {
+  auto flags = FlagParser::Parse(argc, argv);
+  PLP_CHECK_OK(flags.status());
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PLP_CHECK(options.scale == "small");  // Markov materializes L×L
+  const Workload workload = BuildWorkload(options);
+  PrintBanner("Baseline: Markov chain vs skip-gram", options, workload);
+  const double eps = flags->GetDouble("eps", 2.0);
+
+  TablePrinter table({"model", "privacy", "HR@10"});
+  table.NewRow()
+      .AddCell("random embedding")
+      .AddCell("-")
+      .AddCell(RandomFloorHr10(workload, 50, options.seed));
+  {
+    Rng rng(options.seed + 1);
+    auto markov = baselines::MarkovModel::Train(workload.corpus,
+                                                baselines::MarkovConfig{},
+                                                rng);
+    PLP_CHECK_OK(markov.status());
+    table.NewRow()
+        .AddCell("markov order-1")
+        .AddCell("none")
+        .AddCell(MarkovHr10(*markov, workload.validation));
+  }
+  {
+    baselines::MarkovConfig config;
+    config.epsilon = eps;
+    Rng rng(options.seed + 1);
+    auto markov =
+        baselines::MarkovModel::Train(workload.corpus, config, rng);
+    PLP_CHECK_OK(markov.status());
+    char label[64];
+    std::snprintf(label, sizeof(label), "user-level eps=%.1f", eps);
+    table.NewRow()
+        .AddCell("markov order-1")
+        .AddCell(std::string(label))
+        .AddCell(MarkovHr10(*markov, workload.validation));
+  }
+  {
+    core::NonPrivateConfig config;
+    config.epochs = 8;
+    Rng rng(options.seed + 1);
+    auto result =
+        core::NonPrivateTrainer(config).Train(workload.corpus, rng);
+    PLP_CHECK_OK(result.status());
+    table.NewRow()
+        .AddCell("skip-gram")
+        .AddCell("none")
+        .AddCell(EvalHr(result->model, workload.validation, 10));
+  }
+  {
+    core::PlpConfig config = DefaultPlpConfig(options);
+    config.epsilon_budget = eps;
+    const RunOutcome outcome =
+        RunPrivate(config, workload, options.seed + 1);
+    char label[64];
+    std::snprintf(label, sizeof(label), "user-level (eps=%.1f, delta)",
+                  eps);
+    table.NewRow()
+        .AddCell("PLP skip-gram")
+        .AddCell(std::string(label))
+        .AddCell(outcome.hit_rate_at_10);
+  }
+  table.PrintAligned(std::cout);
+  std::printf(
+      "\nClaim (Section 6): general-purpose DP on Markov counts cannot "
+      "cope with check-in sparsity, while the DP skip-gram retains "
+      "usable accuracy at the same user-level budget.\n");
+}
+
+}  // namespace
+}  // namespace plp::bench
+
+int main(int argc, char** argv) {
+  plp::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/synthetic_generator.h"
+
+namespace plp::bench {
+
+BenchOptions ParseBenchOptions(int argc, char** argv) {
+  auto flags = FlagParser::Parse(argc, argv);
+  PLP_CHECK_OK(flags.status());
+  BenchOptions options;
+  options.scale = flags->GetString("scale", "small");
+  PLP_CHECK(options.scale == "small" || options.scale == "paper");
+  options.full = flags->GetBool("full", false);
+  options.seed = static_cast<uint64_t>(flags->GetInt("seed", 42));
+  return options;
+}
+
+Workload BuildWorkload(const BenchOptions& options) {
+  Rng rng(options.seed);
+  data::SyntheticConfig config;
+  if (options.scale == "paper") {
+    config = data::PaperSyntheticConfig();
+  } else {
+    // Many light users: the regime where user-level DP noise and data
+    // grouping actually interact (see DESIGN.md).
+    config = data::SmallSyntheticConfig();
+    config.num_users = 2400;
+    config.num_locations = 600;
+    config.log_checkins_mean = 3.2;
+    config.log_checkins_stddev = 0.6;
+  }
+  auto generated = data::GenerateSyntheticCheckIns(config, rng);
+  PLP_CHECK_OK(generated.status());
+  data::CheckInDataset filtered = generated->Filter(10, 2);
+
+  // Remove 100 validation then 100 test users (Section 5.1).
+  auto validation_split = filtered.SplitHoldout(100, rng);
+  PLP_CHECK_OK(validation_split.status());
+  auto test_split = validation_split->first.SplitHoldout(100, rng);
+  PLP_CHECK_OK(test_split.status());
+
+  Workload workload;
+  workload.train = std::move(test_split->first);
+  auto corpus = data::BuildCorpus(workload.train);
+  PLP_CHECK_OK(corpus.status());
+  workload.corpus = std::move(corpus).value();
+  workload.validation =
+      eval::BuildLeaveOneOutExamples(validation_split->second);
+  workload.test = eval::BuildLeaveOneOutExamples(test_split->second);
+  PLP_CHECK(!workload.validation.empty());
+  PLP_CHECK(!workload.test.empty());
+  return workload;
+}
+
+core::PlpConfig DefaultPlpConfig(const BenchOptions& options) {
+  core::PlpConfig config;  // paper defaults
+  if (options.scale == "small") {
+    // Calibrated for the down-scaled city: a smaller server-Adam rate,
+    // inside the paper's tested range [0.02, 0.07].
+    config.adam.learning_rate = 0.03;
+  }
+  return config;
+}
+
+RunOutcome RunPrivate(const core::PlpConfig& config,
+                      const Workload& workload, uint64_t seed) {
+  Rng rng(seed);
+  auto result = core::PlpTrainer(config).Train(workload.corpus, rng);
+  PLP_CHECK_OK(result.status());
+  RunOutcome outcome;
+  outcome.hit_rate_at_10 = EvalHr(result->model, workload.validation, 10);
+  outcome.steps = result->steps_executed;
+  outcome.epsilon_spent = result->epsilon_spent;
+  outcome.wall_seconds = result->wall_seconds;
+  return outcome;
+}
+
+double RandomFloorHr10(const Workload& workload, int32_t embedding_dim,
+                       uint64_t seed) {
+  Rng rng(seed);
+  sgns::SgnsConfig config;
+  config.embedding_dim = embedding_dim;
+  auto model =
+      sgns::SgnsModel::Create(workload.corpus.num_locations, config, rng);
+  PLP_CHECK_OK(model.status());
+  return EvalHr(*model, workload.validation, 10);
+}
+
+double EvalHr(const sgns::SgnsModel& model,
+              const std::vector<eval::EvalExample>& examples, int32_t k) {
+  auto hr = eval::EvaluateHitRate(model, examples, {k});
+  PLP_CHECK_OK(hr.status());
+  return hr->at(k);
+}
+
+void PrintBanner(const std::string& figure, const BenchOptions& options,
+                 const Workload& workload) {
+  std::printf("== %s  (scale=%s%s, seed=%llu) ==\n", figure.c_str(),
+              options.scale.c_str(), options.full ? ", full grid" : "",
+              static_cast<unsigned long long>(options.seed));
+  std::printf(
+      "workload: %d train users, %d locations, %lld check-ins; "
+      "%zu validation / %zu test trajectories\n\n",
+      workload.train.num_users(), workload.train.num_locations(),
+      static_cast<long long>(workload.train.num_checkins()),
+      workload.validation.size(), workload.test.size());
+}
+
+}  // namespace plp::bench

@@ -1,0 +1,78 @@
+#ifndef PLP_BENCH_BENCH_COMMON_H_
+#define PLP_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/plp_trainer.h"
+#include "data/corpus.h"
+#include "data/dataset.h"
+#include "eval/hit_rate.h"
+
+namespace plp::bench {
+
+/// Shared options of every figure bench.
+///
+/// --scale=small (default) runs a down-scaled synthetic city (~2.3k users,
+/// 600 POIs) whose sweeps finish in minutes on one core; --scale=paper
+/// clones the paper's dataset dimensions (4602 users, 5069 POIs, ~740k
+/// check-ins) and hours-long budgets. --full widens the parameter grids to
+/// the paper's complete figure grids; --seed controls all randomness.
+struct BenchOptions {
+  std::string scale = "small";
+  bool full = false;
+  uint64_t seed = 42;
+};
+
+/// Parses the shared flags; aborts on an unknown scale.
+BenchOptions ParseBenchOptions(int argc, char** argv);
+
+/// The evaluation workload every figure uses: a filtered training set plus
+/// user-disjoint validation and test users (100 each, as in Section 5.1),
+/// with leave-one-out examples prepared.
+struct Workload {
+  data::CheckInDataset train;
+  data::TrainingCorpus corpus;
+  std::vector<eval::EvalExample> validation;
+  std::vector<eval::EvalExample> test;
+};
+
+/// Builds the workload for the chosen scale (deterministic per seed).
+Workload BuildWorkload(const BenchOptions& options);
+
+/// The PLP configuration used as the sweep baseline. Matches the paper's
+/// defaults (q=0.06, σ=2.5, C=0.5, λ=4, δ=2e-4, dim=50, win=2, neg=16,
+/// b=32); at small scale the server Adam learning rate is 0.03 — inside
+/// the paper's tested range [0.02, 0.07] — which compensates for the
+/// smaller expected bucket count of the down-scaled city.
+core::PlpConfig DefaultPlpConfig(const BenchOptions& options);
+
+/// Trains with `config` and returns {HR@10 on the validation users, the
+/// train result}. Deterministic per (config, seed).
+struct RunOutcome {
+  double hit_rate_at_10 = 0.0;
+  int64_t steps = 0;
+  double epsilon_spent = 0.0;
+  double wall_seconds = 0.0;
+};
+RunOutcome RunPrivate(const core::PlpConfig& config,
+                      const Workload& workload, uint64_t seed);
+
+/// HR@10 of an untrained (random-embedding) model — the floor every DP
+/// curve should be compared against.
+double RandomFloorHr10(const Workload& workload, int32_t embedding_dim,
+                       uint64_t seed);
+
+/// HR@k of a trained model on a prepared example set.
+double EvalHr(const sgns::SgnsModel& model,
+              const std::vector<eval::EvalExample>& examples, int32_t k);
+
+/// Prints the standard bench banner (figure id, scale, workload shape).
+void PrintBanner(const std::string& figure, const BenchOptions& options,
+                 const Workload& workload);
+
+}  // namespace plp::bench
+
+#endif  // PLP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,80 @@
+// Figure 10: effect of the grouping factor λ.
+//
+// Reproduces the paper's Figure 10: HR@10 vs λ ∈ {1..6} under a grid of
+// (q, σ) settings at ε = 2, C = 0.5. Expected shape: a pronounced accuracy
+// rise as λ grows from 1, leveling off around λ = 5 (and decreasing again
+// for much larger λ as per-bucket noise dominates — visible with --full,
+// which extends the sweep to λ = 10).
+//
+// Usage: fig10_grouping [--scale=small|paper] [--full] [--seed=N]
+//                       [--eps=2]
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+
+namespace plp::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  auto flags = FlagParser::Parse(argc, argv);
+  PLP_CHECK_OK(flags.status());
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  const Workload workload = BuildWorkload(options);
+  PrintBanner("Figure 10: effect of grouping factor lambda", options,
+              workload);
+  const double eps = flags->GetDouble("eps", 2.0);
+
+  struct Setting {
+    double q;
+    double sigma;
+  };
+  const std::vector<Setting> settings =
+      options.full
+          ? std::vector<Setting>{{0.06, 2}, {0.06, 3}, {0.10, 2}, {0.10, 3}}
+          : std::vector<Setting>{{0.06, 2}, {0.06, 3}};
+  std::vector<int64_t> lambdas = {1, 2, 3, 4, 5, 6};
+  if (options.full) {
+    lambdas.push_back(8);
+    lambdas.push_back(10);
+  }
+
+  std::printf("eps=%.1f C=0.5, random floor HR@10=%.4f\n\n", eps,
+              RandomFloorHr10(workload, 50, options.seed));
+  TablePrinter table({"q", "sigma", "lambda", "steps", "HR@10"});
+  for (const Setting& s : settings) {
+    for (int64_t lambda : lambdas) {
+      core::PlpConfig config = DefaultPlpConfig(options);
+      config.sampling_probability = s.q;
+      config.noise_scale = s.sigma;
+      config.epsilon_budget = eps;
+      config.grouping_factor = static_cast<int32_t>(lambda);
+      const RunOutcome outcome =
+          RunPrivate(config, workload, options.seed + 1);
+      table.NewRow()
+          .AddCell(s.q, 2)
+          .AddCell(s.sigma, 1)
+          .AddCell(lambda)
+          .AddCell(outcome.steps)
+          .AddCell(outcome.hit_rate_at_10);
+      std::printf(".");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n\n");
+  table.PrintAligned(std::cout);
+  std::printf(
+      "\nPaper shape: pronounced HR@10 increase from lambda=1, plateau "
+      "around lambda=5; per-bucket noise eventually wins for large "
+      "lambda.\n");
+}
+
+}  // namespace
+}  // namespace plp::bench
+
+int main(int argc, char** argv) {
+  plp::bench::Run(argc, argv);
+  return 0;
+}

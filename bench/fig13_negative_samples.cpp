@@ -1,0 +1,71 @@
+// Figure 13: effect of the number of negative samples.
+//
+// Reproduces the paper's Figure 13: HR@10 vs neg ∈ {4..64} under (q, C)
+// settings. The paper observes a 'U'-shaped (inverted-U in accuracy)
+// dependency peaking at neg = 16: too few negatives slow training (few
+// weights update per step), too many inflate the gradient norm so clipping
+// destroys the update.
+//
+// Usage: fig13_negative_samples [--scale=small|paper] [--full] [--seed=N]
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+
+namespace plp::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  const Workload workload = BuildWorkload(options);
+  PrintBanner("Figure 13: effect of negative samples", options, workload);
+
+  struct Setting {
+    double q;
+    double clip;
+  };
+  const std::vector<Setting> settings =
+      options.full
+          ? std::vector<Setting>{{0.06, 0.5}, {0.06, 0.3}, {0.10, 0.5},
+                                 {0.10, 0.3}}
+          : std::vector<Setting>{{0.06, 0.5}, {0.06, 0.3}};
+  const std::vector<int64_t> negatives = {4, 8, 16, 32, 64};
+
+  std::printf("eps=2 sigma=2.5 lambda=4, random floor HR@10=%.4f\n\n",
+              RandomFloorHr10(workload, 50, options.seed));
+  TablePrinter table({"q", "C", "neg", "steps", "HR@10"});
+  for (const Setting& s : settings) {
+    for (int64_t neg : negatives) {
+      core::PlpConfig config = DefaultPlpConfig(options);
+      config.sampling_probability = s.q;
+      config.clip_norm = s.clip;
+      config.sgns.negatives = static_cast<int32_t>(neg);
+      const RunOutcome outcome =
+          RunPrivate(config, workload, options.seed + 1);
+      table.NewRow()
+          .AddCell(s.q, 2)
+          .AddCell(s.clip, 1)
+          .AddCell(neg)
+          .AddCell(outcome.steps)
+          .AddCell(outcome.hit_rate_at_10);
+      std::printf(".");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n\n");
+  table.PrintAligned(std::cout);
+  std::printf(
+      "\nPaper shape: inverted-'U' accuracy with a maximum near neg=16 — "
+      "too few negatives update too little per step, too many inflate the "
+      "gradient norm and clipping obliterates the signal.\n");
+}
+
+}  // namespace
+}  // namespace plp::bench
+
+int main(int argc, char** argv) {
+  plp::bench::Run(argc, argv);
+  return 0;
+}

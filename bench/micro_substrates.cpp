@@ -1,0 +1,141 @@
+// Micro-benchmarks of the hot substrates (google-benchmark): RNG draws,
+// RowMap vs std::unordered_map, skip-gram batch gradients, the local
+// overlay vs dense model copy, subsampled-Gaussian RDP evaluation, and the
+// synthetic generator.
+
+#include <unordered_map>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "data/synthetic_generator.h"
+#include "privacy/rdp_accountant.h"
+#include "sgns/local_model.h"
+#include "sgns/loss.h"
+#include "sgns/model.h"
+#include "sgns/pairs.h"
+#include "sgns/row_map.h"
+
+namespace plp {
+namespace {
+
+void BM_RngGaussian(benchmark::State& state) {
+  Rng rng(1);
+  double sink = 0.0;
+  for (auto _ : state) sink += rng.Gaussian();
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngGaussian);
+
+void BM_RngUniformInt(benchmark::State& state) {
+  Rng rng(1);
+  uint64_t sink = 0;
+  for (auto _ : state) sink += rng.UniformInt(uint64_t{5069});
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngUniformInt);
+
+void BM_RowMapAccumulate(benchmark::State& state) {
+  const int64_t keys = state.range(0);
+  Rng rng(2);
+  sgns::RowMap map(50);
+  for (auto _ : state) {
+    const int32_t key =
+        static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(keys)));
+    map.FindOrInsertZero(key)[0] += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RowMapAccumulate)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_UnorderedMapAccumulate(benchmark::State& state) {
+  const int64_t keys = state.range(0);
+  Rng rng(2);
+  std::unordered_map<int32_t, std::vector<double>> map;
+  for (auto _ : state) {
+    const int32_t key =
+        static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(keys)));
+    auto [it, inserted] = map.try_emplace(key);
+    if (inserted) it->second.assign(50, 0.0);
+    it->second[0] += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnorderedMapAccumulate)->Arg(64)->Arg(1024)->Arg(8192);
+
+sgns::SgnsModel BenchModel(int32_t locations) {
+  Rng rng(3);
+  sgns::SgnsConfig config;
+  auto model = sgns::SgnsModel::Create(locations, config, rng);
+  return std::move(model).value();
+}
+
+void BM_SgnsBatchGradient(benchmark::State& state) {
+  const int32_t locations = 5069;
+  const sgns::SgnsModel model = BenchModel(locations);
+  sgns::SgnsConfig config;
+  Rng rng(4);
+  std::vector<sgns::Pair> batch;
+  for (int i = 0; i < 32; ++i) {
+    batch.push_back(sgns::Pair{
+        static_cast<int32_t>(rng.UniformInt(uint64_t{5069})),
+        static_cast<int32_t>(rng.UniformInt(uint64_t{5069}))});
+  }
+  for (auto _ : state) {
+    sgns::SparseDelta gradient(config.embedding_dim);
+    benchmark::DoNotOptimize(sgns::AccumulateBatchGradient(
+        model, batch, config, locations, rng, gradient));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_SgnsBatchGradient);
+
+void BM_LocalOverlayTouch(benchmark::State& state) {
+  const sgns::SgnsModel model = BenchModel(5069);
+  Rng rng(5);
+  for (auto _ : state) {
+    sgns::LocalModel local(model);
+    for (int i = 0; i < 256; ++i) {
+      local.MutableInRow(
+          static_cast<int32_t>(rng.UniformInt(uint64_t{5069})))[0] += 0.1;
+    }
+    benchmark::DoNotOptimize(local.ExtractDelta());
+  }
+}
+BENCHMARK(BM_LocalOverlayTouch);
+
+void BM_DenseModelCopy(benchmark::State& state) {
+  const sgns::SgnsModel model = BenchModel(5069);
+  for (auto _ : state) {
+    sgns::SgnsModel copy = model;  // the per-bucket cost of line 16
+    benchmark::DoNotOptimize(copy.bias(0));
+  }
+}
+BENCHMARK(BM_DenseModelCopy);
+
+void BM_SubsampledGaussianRdpStep(benchmark::State& state) {
+  privacy::RdpAccountant accountant;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accountant.StepRdp(0.06, 2.5));
+  }
+}
+BENCHMARK(BM_SubsampledGaussianRdpStep);
+
+void BM_SyntheticGenerator(benchmark::State& state) {
+  data::SyntheticConfig config = data::SmallSyntheticConfig();
+  config.num_users = 200;
+  config.num_locations = 200;
+  for (auto _ : state) {
+    Rng rng(6);
+    auto dataset = data::GenerateSyntheticCheckIns(config, rng);
+    benchmark::DoNotOptimize(dataset->num_checkins());
+  }
+}
+BENCHMARK(BM_SyntheticGenerator);
+
+}  // namespace
+}  // namespace plp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Quickstart: generate a synthetic city, train a (non-private) skip-gram
+// next-location model, evaluate HR@k on held-out users and print a sample
+// recommendation.
+//
+// Run:  ./quickstart [--users=500] [--locations=400] [--epochs=25]
+//                    [--seed=42]
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "core/nonprivate_trainer.h"
+#include "data/corpus.h"
+#include "data/statistics.h"
+#include "data/synthetic_generator.h"
+#include "eval/hit_rate.h"
+#include "eval/recommender.h"
+
+int main(int argc, char** argv) {
+  auto flags_or = plp::FlagParser::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::cerr << flags_or.status() << "\n";
+    return 1;
+  }
+  const plp::FlagParser& flags = flags_or.value();
+  plp::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+
+  // 1. Data: a synthetic Foursquare-like city (see DESIGN.md).
+  plp::data::SyntheticConfig data_config = plp::data::SmallSyntheticConfig();
+  data_config.num_users =
+      static_cast<int32_t>(flags.GetInt("users", data_config.num_users));
+  data_config.num_locations = static_cast<int32_t>(
+      flags.GetInt("locations", data_config.num_locations));
+  auto dataset_or = plp::data::GenerateSyntheticCheckIns(data_config, rng);
+  if (!dataset_or.ok()) {
+    std::cerr << dataset_or.status() << "\n";
+    return 1;
+  }
+  // The paper filters users with < 10 check-ins and POIs visited by < 2
+  // users (Section 5.1).
+  plp::data::CheckInDataset dataset = dataset_or->Filter(10, 2);
+  std::printf("%s\n", plp::data::ComputeStats(dataset).ToString().c_str());
+
+  // 2. Hold out users for evaluation (user-disjoint, like the paper).
+  const int32_t holdout = static_cast<int32_t>(
+      flags.GetInt("holdout", dataset.num_users() / 10));
+  auto split_or = dataset.SplitHoldout(holdout, rng);
+  if (!split_or.ok()) {
+    std::cerr << split_or.status() << "\n";
+    return 1;
+  }
+  auto [train_set, test_set] = std::move(split_or).value();
+
+  auto corpus_or = plp::data::BuildCorpus(train_set);
+  if (!corpus_or.ok()) {
+    std::cerr << corpus_or.status() << "\n";
+    return 1;
+  }
+
+  // 3. Train the skip-gram model (paper defaults: dim 50, win 2, neg 16).
+  plp::core::NonPrivateConfig train_config;
+  train_config.epochs = flags.GetInt("epochs", 25);
+  plp::core::NonPrivateTrainer trainer(train_config);
+  auto result_or = trainer.Train(
+      *corpus_or, rng,
+      [](const plp::core::EpochMetrics& m, const plp::sgns::SgnsModel&) {
+        if (m.epoch % 5 == 0) {
+          std::printf("  epoch %3lld  loss %.4f\n",
+                      static_cast<long long>(m.epoch), m.mean_loss);
+        }
+        return true;
+      });
+  if (!result_or.ok()) {
+    std::cerr << result_or.status() << "\n";
+    return 1;
+  }
+  const plp::core::NonPrivateResult& result = result_or.value();
+  std::printf("trained %zu epochs in %.1fs\n", result.history.size(),
+              result.wall_seconds);
+
+  // 4. Leave-one-out evaluation on the held-out users.
+  const std::vector<plp::eval::EvalExample> examples =
+      plp::eval::BuildLeaveOneOutExamples(test_set);
+  auto hr_or = plp::eval::EvaluateHitRate(result.model, examples, {5, 10, 20});
+  if (!hr_or.ok()) {
+    std::cerr << hr_or.status() << "\n";
+    return 1;
+  }
+  std::printf("leave-one-out over %lld trajectories: HR@5 %.3f  HR@10 %.3f  "
+              "HR@20 %.3f\n",
+              static_cast<long long>(hr_or->num_examples), hr_or->at(5),
+              hr_or->at(10), hr_or->at(20));
+
+  // 5. A sample recommendation from the first test trajectory.
+  if (!examples.empty()) {
+    plp::eval::Recommender recommender(result.model);
+    const auto& ex = examples.front();
+    const std::vector<int32_t> top = recommender.TopK(ex.history, 5);
+    std::printf("recent visits:");
+    for (int32_t l : ex.history) std::printf(" %d", l);
+    std::printf("\n-> recommended next:");
+    for (int32_t l : top) std::printf(" %d", l);
+    std::printf("   (actual next: %d)\n", ex.label);
+  }
+  return 0;
+}

@@ -1,0 +1,136 @@
+#include "baselines/markov.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace plp::baselines {
+namespace {
+
+constexpr int32_t kMaxLocations = 4096;
+
+/// Laplace(scale) sample via inverse CDF.
+double SampleLaplace(Rng& rng, double scale) {
+  const double u = rng.Uniform() - 0.5;
+  return -scale * std::copysign(std::log1p(-2.0 * std::fabs(u)), u);
+}
+
+}  // namespace
+
+Result<MarkovModel> MarkovModel::Train(const data::TrainingCorpus& corpus,
+                                       const MarkovConfig& config,
+                                       Rng& rng) {
+  if (corpus.num_locations <= 0 || corpus.num_users() == 0) {
+    return InvalidArgumentError("empty corpus");
+  }
+  if (corpus.num_locations > kMaxLocations) {
+    return InvalidArgumentError(
+        "Markov baseline materializes an LxL matrix; vocabulary too large");
+  }
+  if (config.epsilon < 0.0) {
+    return InvalidArgumentError("epsilon must be >= 0");
+  }
+  if (config.max_transitions_per_user < 1) {
+    return InvalidArgumentError("max_transitions_per_user must be >= 1");
+  }
+  if (config.popularity_smoothing < 0.0) {
+    return InvalidArgumentError("popularity_smoothing must be >= 0");
+  }
+
+  MarkovModel model;
+  model.num_locations_ = corpus.num_locations;
+  model.smoothing_ = config.popularity_smoothing;
+  const size_t locations = static_cast<size_t>(corpus.num_locations);
+  model.transition_.assign(locations * locations, 0.0);
+  model.popularity_.assign(locations, 0.0);
+
+  for (const auto& sentences : corpus.user_sentences) {
+    // User-level contribution bound: count increments stop once the cap is
+    // hit, so a user changes the aggregate by at most the cap (in L1).
+    int64_t budget = config.epsilon > 0.0
+                         ? config.max_transitions_per_user
+                         : std::numeric_limits<int64_t>::max();
+    for (const auto& sentence : sentences) {
+      for (size_t i = 0; i + 1 < sentence.size() && budget > 0; ++i) {
+        const size_t a = static_cast<size_t>(sentence[i]);
+        const size_t b = static_cast<size_t>(sentence[i + 1]);
+        PLP_CHECK_LT(a, locations);
+        PLP_CHECK_LT(b, locations);
+        model.transition_[a * locations + b] += 1.0;
+        model.popularity_[b] += 1.0;
+        --budget;
+      }
+    }
+  }
+
+  if (config.epsilon > 0.0) {
+    // Half the budget protects the transition matrix, half the popularity
+    // vector (sequential composition); each user changes either aggregate
+    // by at most the cap in L1.
+    const double scale =
+        static_cast<double>(config.max_transitions_per_user) /
+        (config.epsilon / 2.0);
+    for (double& c : model.transition_) c += SampleLaplace(rng, scale);
+    for (double& c : model.popularity_) c += SampleLaplace(rng, scale);
+    // Counts are non-negative by definition; clamping is post-processing.
+    for (double& c : model.transition_) c = std::max(c, 0.0);
+    for (double& c : model.popularity_) c = std::max(c, 0.0);
+  }
+  return model;
+}
+
+std::vector<double> MarkovModel::Scores(int32_t current) const {
+  PLP_CHECK(current >= 0 && current < num_locations_);
+  const size_t locations = static_cast<size_t>(num_locations_);
+  double popularity_total = 0.0;
+  for (double p : popularity_) popularity_total += p;
+  if (popularity_total <= 0.0) popularity_total = 1.0;
+
+  std::vector<double> scores(locations);
+  const double* row = transition_.data() +
+                      static_cast<size_t>(current) * locations;
+  double row_total = 0.0;
+  for (size_t b = 0; b < locations; ++b) row_total += row[b];
+  if (row_total <= 0.0) row_total = 1.0;
+  for (size_t b = 0; b < locations; ++b) {
+    scores[b] = row[b] / row_total +
+                smoothing_ * popularity_[b] / popularity_total;
+  }
+  return scores;
+}
+
+std::vector<int32_t> MarkovModel::TopK(std::span<const int32_t> history,
+                                       int32_t k) const {
+  PLP_CHECK_GT(k, 0);
+  std::vector<double> scores;
+  if (history.empty()) {
+    double total = 0.0;
+    for (double p : popularity_) total += p;
+    if (total <= 0.0) total = 1.0;
+    scores.resize(popularity_.size());
+    for (size_t b = 0; b < popularity_.size(); ++b) {
+      scores[b] = popularity_[b] / total;
+    }
+  } else {
+    scores = Scores(history.back());
+  }
+  std::vector<int32_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int32_t>(i);
+  }
+  const size_t take =
+      std::min(static_cast<size_t>(k), order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<int64_t>(take),
+                    order.end(), [&](int32_t a, int32_t b) {
+                      const double sa = scores[static_cast<size_t>(a)];
+                      const double sb = scores[static_cast<size_t>(b)];
+                      if (sa != sb) return sa > sb;
+                      return a < b;
+                    });
+  order.resize(take);
+  return order;
+}
+
+}  // namespace plp::baselines

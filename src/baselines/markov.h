@@ -1,0 +1,71 @@
+#ifndef PLP_BASELINES_MARKOV_H_
+#define PLP_BASELINES_MARKOV_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/corpus.h"
+
+namespace plp::baselines {
+
+/// Configuration of the order-1 Markov-chain next-location baseline
+/// (Section 6: "MC-based methods utilize a per-user transition matrix ...
+/// Private location recommendation over Markov Chains is studied in [63]",
+/// where aggregate transition counts are released under DP).
+struct MarkovConfig {
+  /// 0 = non-private counts. Otherwise each aggregated transition count is
+  /// perturbed with Laplace noise calibrated to user-level sensitivity:
+  /// every user's contribution is capped at `max_transitions_per_user`
+  /// count increments, so the count vector's L1 sensitivity is that cap
+  /// and Laplace(cap / ε) noise per cell yields user-level ε-DP.
+  double epsilon = 0.0;
+
+  /// Per-user contribution bound (the cap above). Must be >= 1.
+  int64_t max_transitions_per_user = 64;
+
+  /// Additive smoothing blended in from global visit popularity so cold
+  /// rows still rank sensibly.
+  double popularity_smoothing = 0.1;
+};
+
+/// Order-1 Markov next-location model over aggregate transition counts,
+/// with an optional user-level DP variant. This is the classical
+/// (pre-neural) baseline the paper's related work contrasts against; the
+/// benches use it to show where embedding models win.
+///
+/// Memory is O(L²); construction rejects vocabularies above 4096 locations
+/// (the DP variant must materialize noise on *every* cell, including the
+/// zero cells, so the matrix cannot stay sparse).
+class MarkovModel {
+ public:
+  /// Trains on the corpus under `config`. Noise (if any) is drawn from
+  /// `rng`, so runs are reproducible.
+  static Result<MarkovModel> Train(const data::TrainingCorpus& corpus,
+                                   const MarkovConfig& config, Rng& rng);
+
+  int32_t num_locations() const { return num_locations_; }
+
+  /// Scores every location as the successor of `current` (the user's most
+  /// recent check-in). Requires a valid location id.
+  std::vector<double> Scores(int32_t current) const;
+
+  /// Top-k next locations given a trajectory (only the last visit matters
+  /// for an order-1 chain; an empty history falls back to popularity).
+  std::vector<int32_t> TopK(std::span<const int32_t> history,
+                            int32_t k) const;
+
+ private:
+  MarkovModel() = default;
+
+  int32_t num_locations_ = 0;
+  std::vector<double> transition_;  ///< row-major L × L (possibly noisy)
+  std::vector<double> popularity_;  ///< global visit counts (noisy if DP)
+  double smoothing_ = 0.0;
+};
+
+}  // namespace plp::baselines
+
+#endif  // PLP_BASELINES_MARKOV_H_

@@ -1,0 +1,37 @@
+#ifndef PLP_COMMON_CHECK_H_
+#define PLP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant-checking macros. A failed check means a programming error inside
+/// the library (not bad user input — bad input surfaces as plp::Status). The
+/// process is aborted with a diagnostic; checks are active in all build modes.
+
+#define PLP_CHECK(cond)                                                \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "PLP_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                   \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (false)
+
+#define PLP_CHECK_OK(status_expr)                                          \
+  do {                                                                     \
+    const auto& plp_check_status_ = (status_expr);                         \
+    if (!plp_check_status_.ok()) {                                         \
+      std::fprintf(stderr, "PLP_CHECK_OK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, plp_check_status_.ToString().c_str());        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define PLP_CHECK_GE(a, b) PLP_CHECK((a) >= (b))
+#define PLP_CHECK_GT(a, b) PLP_CHECK((a) > (b))
+#define PLP_CHECK_LE(a, b) PLP_CHECK((a) <= (b))
+#define PLP_CHECK_LT(a, b) PLP_CHECK((a) < (b))
+#define PLP_CHECK_EQ(a, b) PLP_CHECK((a) == (b))
+#define PLP_CHECK_NE(a, b) PLP_CHECK((a) != (b))
+
+#endif  // PLP_COMMON_CHECK_H_

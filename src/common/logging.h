@@ -1,0 +1,46 @@
+#ifndef PLP_COMMON_LOGGING_H_
+#define PLP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace plp {
+
+/// Severity levels for library logging.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kInfo). Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace plp
+
+#define PLP_LOG(level)                                        \
+  ::plp::internal_logging::LogMessage(::plp::LogLevel::level, \
+                                      __FILE__, __LINE__)
+
+#endif  // PLP_COMMON_LOGGING_H_

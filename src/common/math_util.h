@@ -1,0 +1,44 @@
+#ifndef PLP_COMMON_MATH_UTIL_H_
+#define PLP_COMMON_MATH_UTIL_H_
+
+#include <span>
+#include <vector>
+
+namespace plp {
+
+/// Numerically stable log(exp(a) + exp(b)). Handles -inf inputs.
+double LogAdd(double a, double b);
+
+/// Numerically stable log(sum_i exp(x_i)). Returns -inf for empty input.
+double LogSumExp(std::span<const double> xs);
+
+/// log of the binomial coefficient C(n, k) via lgamma. Requires 0 <= k <= n.
+double LogBinomial(int n, int k);
+
+/// Standard normal CDF.
+double NormalCdf(double x);
+
+/// Regularized incomplete beta function I_x(a, b) via the continued-fraction
+/// expansion (Lentz's method). Requires a > 0, b > 0, x in [0, 1]. Used for
+/// Student-t tail probabilities in the paired t-test.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Two-sided p-value of a Student-t statistic with `df` degrees of freedom.
+double StudentTTwoSidedPValue(double t, double df);
+
+/// Euclidean (l2) norm of a vector.
+double L2Norm(std::span<const double> xs);
+
+/// Dot product. Requires equal sizes.
+double Dot(std::span<const double> a, std::span<const double> b);
+
+/// Scales every element so the vector has unit l2 norm; zero vectors are
+/// left unchanged.
+void NormalizeL2(std::span<double> xs);
+
+/// Clamps x into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+}  // namespace plp
+
+#endif  // PLP_COMMON_MATH_UTIL_H_

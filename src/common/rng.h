@@ -1,0 +1,120 @@
+#ifndef PLP_COMMON_RNG_H_
+#define PLP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace plp {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256++) with the
+/// sampling primitives the library needs. One Rng instance is not thread
+/// safe; create one per thread (Fork() derives an independent stream).
+///
+/// All experiment code takes an explicit Rng so that every run — including
+/// the DP noise draws — is reproducible from a single seed.
+class Rng {
+ public:
+  /// Seeds the state from `seed` via splitmix64; any seed (including 0) is
+  /// valid and produces a full-period stream.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Returns a new generator seeded from this one, with a decorrelated
+  /// stream. Useful for giving worker threads or buckets their own streams.
+  Rng Fork();
+
+  /// Next raw 64 uniform bits.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi). Requires lo < hi.
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection).
+  uint64_t UniformInt(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box–Muller (cached spare).
+  double Gaussian();
+
+  /// Normal with the given mean and standard deviation (stddev >= 0).
+  double Gaussian(double mean, double stddev);
+
+  /// Adds iid N(0, stddev^2) noise to every element of `values`.
+  void AddGaussianNoise(std::span<double> values, double stddev);
+
+  /// Poisson-distributed integer with the given mean (mean >= 0).
+  /// Knuth's method for small means, PTRS rejection for large ones.
+  int64_t Poisson(double mean);
+
+  /// Exponential with the given rate (rate > 0).
+  double Exponential(double rate);
+
+  /// Fisher–Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) uniformly (Floyd's algorithm).
+  /// Requires k <= n. Result order is unspecified.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+};
+
+/// Zipf distribution over {0, 1, ..., n-1} with exponent s:
+/// P(k) ∝ (k+1)^{-s}. Sampling is O(log n) via inverse-CDF binary search.
+/// Used to model POI popularity skew in the synthetic check-in generator.
+class ZipfDistribution {
+ public:
+  /// Requires n > 0 and s >= 0 (s == 0 degenerates to uniform).
+  ZipfDistribution(size_t n, double s);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank k.
+  double Pmf(size_t k) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(X <= k); cdf_.back() == 1.
+};
+
+/// Discrete distribution over arbitrary non-negative weights, sampled in
+/// O(1) via Walker's alias method. Construction is O(n).
+class AliasSampler {
+ public:
+  /// Requires at least one weight and a positive total weight.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draws one index in [0, weights.size()).
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_COMMON_RNG_H_

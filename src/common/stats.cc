@@ -1,0 +1,61 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace plp {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Result<PairedTTestResult> PairedTTest(std::span<const double> a,
+                                      std::span<const double> b) {
+  if (a.size() != b.size()) {
+    return InvalidArgumentError("paired t-test requires equal sample sizes");
+  }
+  if (a.size() < 2) {
+    return InvalidArgumentError("paired t-test requires at least two pairs");
+  }
+  RunningStats diffs;
+  for (size_t i = 0; i < a.size(); ++i) diffs.Add(a[i] - b[i]);
+
+  PairedTTestResult result;
+  result.mean_difference = diffs.mean();
+  result.degrees_of_freedom = static_cast<double>(diffs.count() - 1);
+  const double se =
+      diffs.stddev() / std::sqrt(static_cast<double>(diffs.count()));
+  if (se == 0.0) {
+    result.t_statistic =
+        result.mean_difference == 0.0
+            ? 0.0
+            : std::copysign(std::numeric_limits<double>::infinity(),
+                            result.mean_difference);
+    result.p_value = result.mean_difference == 0.0 ? 1.0 : 0.0;
+    return result;
+  }
+  result.t_statistic = result.mean_difference / se;
+  result.p_value =
+      StudentTTwoSidedPValue(result.t_statistic, result.degrees_of_freedom);
+  return result;
+}
+
+}  // namespace plp

@@ -1,0 +1,52 @@
+#ifndef PLP_COMMON_STATS_H_
+#define PLP_COMMON_STATS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.h"
+
+namespace plp {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Result of a paired two-sided Student t-test.
+struct PairedTTestResult {
+  double mean_difference = 0.0;  ///< mean(a_i - b_i)
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 1.0;  ///< two-sided
+};
+
+/// Paired t-test between matched samples `a` and `b` (e.g. per-seed accuracy
+/// of two training methods). The paper reports PLP > DP-SGD with p < 0.01
+/// under this test. Fails if sizes differ or fewer than two pairs are given;
+/// a zero-variance difference yields p = 0 (unless the mean difference is
+/// also zero, which yields p = 1).
+Result<PairedTTestResult> PairedTTest(std::span<const double> a,
+                                      std::span<const double> b);
+
+}  // namespace plp
+
+#endif  // PLP_COMMON_STATS_H_

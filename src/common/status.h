@@ -1,0 +1,133 @@
+#ifndef PLP_COMMON_STATUS_H_
+#define PLP_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace plp {
+
+/// Canonical error codes, modeled after absl::StatusCode. Keep the list
+/// short: only codes the library actually produces.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight error-or-success value used by all fallible PLP APIs.
+///
+/// The library does not throw exceptions; functions that can fail return a
+/// Status (or Result<T>, below) and callers are expected to check it. An OK
+/// status carries no message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and a human-readable `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory for the OK status.
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "CODE: message".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Convenience constructors mirroring absl's.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+
+/// A value-or-error discriminated union (StatusOr-lite).
+///
+/// A Result holds either a value of type T or a non-OK Status. Accessing the
+/// value of a failed Result aborts the process (see PLP_CHECK in check.h for
+/// the failure idiom).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return some_t;`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status: `return SomeError(...);`.
+  /// `status` must be non-OK.
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the held status: OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(payload_);
+  }
+
+  /// Value accessors. Precondition: ok().
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace plp
+
+/// Propagates a non-OK status from an expression that yields plp::Status.
+#define PLP_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::plp::Status plp_status_tmp_ = (expr);       \
+    if (!plp_status_tmp_.ok()) return plp_status_tmp_; \
+  } while (false)
+
+#define PLP_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define PLP_STATUS_MACROS_CONCAT_(x, y) PLP_STATUS_MACROS_CONCAT_INNER_(x, y)
+
+/// Assigns the value of a plp::Result<T> expression to `lhs`, or propagates
+/// the error. Usage: PLP_ASSIGN_OR_RETURN(auto v, MakeV());
+#define PLP_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  auto PLP_STATUS_MACROS_CONCAT_(plp_result_, __LINE__) = (rexpr);        \
+  if (!PLP_STATUS_MACROS_CONCAT_(plp_result_, __LINE__).ok())             \
+    return PLP_STATUS_MACROS_CONCAT_(plp_result_, __LINE__).status();     \
+  lhs = std::move(PLP_STATUS_MACROS_CONCAT_(plp_result_, __LINE__)).value()
+
+#endif  // PLP_COMMON_STATUS_H_

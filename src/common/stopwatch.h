@@ -1,0 +1,30 @@
+#ifndef PLP_COMMON_STOPWATCH_H_
+#define PLP_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace plp {
+
+/// Monotonic wall-clock stopwatch used by the runtime experiments (Fig 9).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_COMMON_STOPWATCH_H_

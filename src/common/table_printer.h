@@ -1,0 +1,40 @@
+#ifndef PLP_COMMON_TABLE_PRINTER_H_
+#define PLP_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace plp {
+
+/// Accumulates rows and renders them either as an aligned console table or
+/// as CSV. All figure benches print their series through this class so the
+/// output is both human-readable and machine-parsable.
+class TablePrinter {
+ public:
+  /// Constructs a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent Add* calls fill it left to right.
+  TablePrinter& NewRow();
+  TablePrinter& AddCell(std::string value);
+  TablePrinter& AddCell(double value, int precision = 4);
+  TablePrinter& AddCell(int64_t value);
+
+  /// Renders with padded columns.
+  void PrintAligned(std::ostream& os) const;
+
+  /// Renders as CSV, headers first.
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_COMMON_TABLE_PRINTER_H_

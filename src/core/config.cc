@@ -1,0 +1,63 @@
+#include "core/config.h"
+
+namespace plp::core {
+
+Status PlpConfig::Validate() const {
+  if (sgns.embedding_dim <= 0) {
+    return InvalidArgumentError("embedding_dim must be > 0");
+  }
+  if (sgns.window <= 0) return InvalidArgumentError("window must be > 0");
+  if (sgns.negatives <= 0) {
+    return InvalidArgumentError("negatives must be > 0");
+  }
+  if (sampling_probability <= 0.0 || sampling_probability > 1.0) {
+    return InvalidArgumentError("sampling_probability must be in (0, 1]");
+  }
+  if (grouping_factor < 1) {
+    return InvalidArgumentError("grouping_factor must be >= 1");
+  }
+  if (split_factor < 1) {
+    return InvalidArgumentError("split_factor must be >= 1");
+  }
+  if (noise_scale < 0.0) {
+    return InvalidArgumentError("noise_scale must be >= 0");
+  }
+  if (clip_norm <= 0.0) return InvalidArgumentError("clip_norm must be > 0");
+  if (epsilon_budget <= 0.0) {
+    return InvalidArgumentError("epsilon_budget must be > 0");
+  }
+  if (delta <= 0.0 || delta >= 1.0) {
+    return InvalidArgumentError("delta must be in (0, 1)");
+  }
+  if (batch_size <= 0) return InvalidArgumentError("batch_size must be > 0");
+  if (local_learning_rate <= 0.0) {
+    return InvalidArgumentError("local_learning_rate must be > 0");
+  }
+  if (local_epochs < 1) {
+    return InvalidArgumentError("local_epochs must be >= 1");
+  }
+  if (server_optimizer != "dp_adam" && server_optimizer != "fixed_step") {
+    return InvalidArgumentError("unknown server_optimizer: " +
+                                server_optimizer);
+  }
+  if (max_steps <= 0) return InvalidArgumentError("max_steps must be > 0");
+  if (num_threads < 1) {
+    return InvalidArgumentError("num_threads must be >= 1");
+  }
+  if (noise_scale_final < 0.0) {
+    return InvalidArgumentError("noise_scale_final must be >= 0");
+  }
+  if (noise_scale_final > 0.0) {
+    if (noise_scale_final > noise_scale) {
+      return InvalidArgumentError(
+          "noise_scale_final must not exceed noise_scale");
+    }
+    if (noise_decay_steps <= 0) {
+      return InvalidArgumentError(
+          "noise_decay_steps must be > 0 when a schedule is set");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace plp::core

@@ -1,0 +1,134 @@
+#include "core/nonprivate_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "sgns/loss.h"
+#include "sgns/pairs.h"
+#include "sgns/sparse_delta.h"
+
+namespace plp::core {
+
+Status NonPrivateConfig::Validate() const {
+  if (sgns.embedding_dim <= 0) {
+    return InvalidArgumentError("embedding_dim must be > 0");
+  }
+  if (sgns.window <= 0) return InvalidArgumentError("window must be > 0");
+  if (sgns.negatives <= 0) {
+    return InvalidArgumentError("negatives must be > 0");
+  }
+  if (batch_size <= 0) return InvalidArgumentError("batch_size must be > 0");
+  if (epochs <= 0) return InvalidArgumentError("epochs must be > 0");
+  if (subsample_threshold < 0.0 || subsample_threshold >= 1.0) {
+    return InvalidArgumentError("subsample_threshold must be in [0, 1)");
+  }
+  return Status::Ok();
+}
+
+Result<NonPrivateResult> NonPrivateTrainer::Train(
+    const data::TrainingCorpus& corpus, Rng& rng,
+    const EpochCallback& callback) const {
+  PLP_RETURN_IF_ERROR(config_.Validate());
+  if (corpus.num_users() == 0 || corpus.num_locations <= 0) {
+    return InvalidArgumentError("empty training corpus");
+  }
+
+  Stopwatch stopwatch;
+  PLP_ASSIGN_OR_RETURN(sgns::SgnsModel model,
+                       sgns::SgnsModel::Create(corpus.num_locations,
+                                               config_.sgns, rng));
+  optim::SparseAdam adam(model, config_.adam);
+
+  // Per-token keep probabilities for word2vec-style subsampling of
+  // frequent locations (non-private only; see the config comment).
+  std::vector<double> keep_probability;
+  if (config_.subsample_threshold > 0.0) {
+    std::vector<int64_t> counts(
+        static_cast<size_t>(corpus.num_locations), 0);
+    int64_t total = 0;
+    for (const auto& sentences : corpus.user_sentences) {
+      for (const auto& s : sentences) {
+        for (int32_t token : s) {
+          ++counts[static_cast<size_t>(token)];
+          ++total;
+        }
+      }
+    }
+    keep_probability.resize(counts.size(), 1.0);
+    for (size_t l = 0; l < counts.size(); ++l) {
+      if (counts[l] == 0) continue;
+      const double f = static_cast<double>(counts[l]) /
+                       static_cast<double>(total);
+      const double ratio = config_.subsample_threshold / f;
+      keep_probability[l] = std::min(1.0, std::sqrt(ratio) + ratio);
+    }
+  }
+  auto build_pairs = [&](Rng& pair_rng) {
+    std::vector<sgns::Pair> pairs;
+    std::vector<int32_t> filtered;
+    for (const auto& sentences : corpus.user_sentences) {
+      for (const auto& s : sentences) {
+        const std::vector<int32_t>* sentence = &s;
+        if (!keep_probability.empty()) {
+          filtered.clear();
+          for (int32_t token : s) {
+            if (pair_rng.Bernoulli(
+                    keep_probability[static_cast<size_t>(token)])) {
+              filtered.push_back(token);
+            }
+          }
+          sentence = &filtered;
+        }
+        std::vector<sgns::Pair> p =
+            sgns::GeneratePairs(*sentence, config_.sgns.window);
+        pairs.insert(pairs.end(), p.begin(), p.end());
+      }
+    }
+    return pairs;
+  };
+
+  // Without subsampling the pair set is static; each epoch reshuffles it.
+  std::vector<sgns::Pair> all_pairs = build_pairs(rng);
+  if (all_pairs.empty() && keep_probability.empty()) {
+    return InvalidArgumentError(
+        "corpus produced no training pairs (sentences shorter than 2?)");
+  }
+
+  NonPrivateResult result;
+  result.model = std::move(model);
+  for (int64_t epoch = 1; epoch <= config_.epochs; ++epoch) {
+    if (!keep_probability.empty() && epoch > 1) {
+      all_pairs = build_pairs(rng);  // fresh subsample each epoch
+    }
+    rng.Shuffle(all_pairs);
+    double loss_sum = 0.0;
+    int64_t pairs = 0;
+    for (size_t start = 0; start < all_pairs.size();
+         start += static_cast<size_t>(config_.batch_size)) {
+      const size_t end = std::min(
+          all_pairs.size(), start + static_cast<size_t>(config_.batch_size));
+      const std::span<const sgns::Pair> batch(all_pairs.data() + start,
+                                              end - start);
+      sgns::SparseDelta gradient(config_.sgns.embedding_dim);
+      const sgns::BatchStats stats = sgns::AccumulateBatchGradient(
+          result.model, batch, config_.sgns, corpus.num_locations, rng,
+          gradient);
+      adam.ApplyGradient(gradient, 1.0 / static_cast<double>(batch.size()),
+                         result.model);
+      loss_sum += stats.loss_sum;
+      pairs += stats.num_pairs;
+    }
+    EpochMetrics metrics;
+    metrics.epoch = epoch;
+    metrics.mean_loss =
+        pairs == 0 ? 0.0 : loss_sum / static_cast<double>(pairs);
+    result.history.push_back(metrics);
+    if (callback && !callback(metrics, result.model)) break;
+  }
+  result.wall_seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace plp::core

@@ -1,0 +1,74 @@
+#ifndef PLP_CORE_NONPRIVATE_TRAINER_H_
+#define PLP_CORE_NONPRIVATE_TRAINER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/corpus.h"
+#include "optim/optimizers.h"
+#include "sgns/model.h"
+
+namespace plp::core {
+
+/// Configuration for the non-private skip-gram baseline (Sections 3.2 and
+/// 5.2: plain Adam over the sampled-softmax loss, no clipping, no noise).
+struct NonPrivateConfig {
+  sgns::SgnsConfig sgns;
+  optim::AdamConfig adam;
+  int32_t batch_size = 32;
+  int64_t epochs = 200;
+
+  /// word2vec frequent-token subsampling: a token with corpus frequency f
+  /// is kept with probability min(1, √(t/f) + t/f) each epoch (t = this
+  /// threshold; 0 disables). Available only to the non-private trainer —
+  /// estimating the location frequency distribution from user data would
+  /// itself leak privacy, which is why PLP's sampled softmax sticks to
+  /// uniform candidates (Section 3.2).
+  double subsample_threshold = 0.0;
+
+  Status Validate() const;
+};
+
+/// Per-epoch diagnostics.
+struct EpochMetrics {
+  int64_t epoch = 0;       ///< 1-based
+  double mean_loss = 0.0;  ///< mean per-pair training loss this epoch
+};
+
+/// Output of non-private training.
+struct NonPrivateResult {
+  sgns::SgnsModel model;
+  std::vector<EpochMetrics> history;
+  double wall_seconds = 0.0;
+};
+
+/// Observer invoked after each epoch; return false to stop early.
+using EpochCallback =
+    std::function<bool(const EpochMetrics&, const sgns::SgnsModel&)>;
+
+/// Standard (non-private) skip-gram training: all users' sentences are
+/// pooled, windows yield (target, context) pairs, shuffled batches feed a
+/// sparse Adam. This is baseline (i) of Section 5.2 and the model whose
+/// hyper-parameters Figure 5 tunes.
+class NonPrivateTrainer {
+ public:
+  explicit NonPrivateTrainer(const NonPrivateConfig& config)
+      : config_(config) {}
+
+  const NonPrivateConfig& config() const { return config_; }
+
+  Result<NonPrivateResult> Train(const data::TrainingCorpus& corpus,
+                                 Rng& rng,
+                                 const EpochCallback& callback = nullptr)
+      const;
+
+ private:
+  NonPrivateConfig config_;
+};
+
+}  // namespace plp::core
+
+#endif  // PLP_CORE_NONPRIVATE_TRAINER_H_

@@ -1,0 +1,30 @@
+#ifndef PLP_DATA_CHECKIN_H_
+#define PLP_DATA_CHECKIN_H_
+
+#include <cstdint>
+
+namespace plp::data {
+
+/// One check-in event: the triplet <user, location, time> from Section 3.1,
+/// plus the POI coordinates (used only by the generator and for inspection —
+/// the learning pipeline never consumes raw coordinates).
+struct CheckIn {
+  int32_t user = 0;       ///< dense user id in [0, N)
+  int32_t location = 0;   ///< dense location (POI) id in [0, L)
+  int64_t timestamp = 0;  ///< seconds since an arbitrary epoch
+  double latitude = 0.0;
+  double longitude = 0.0;
+};
+
+/// Geographic bounding box (used by the synthetic generator; defaults match
+/// the paper's Tokyo study region).
+struct BoundingBox {
+  double south = 35.554;
+  double north = 35.759;
+  double west = 139.496;
+  double east = 139.905;
+};
+
+}  // namespace plp::data
+
+#endif  // PLP_DATA_CHECKIN_H_

@@ -1,0 +1,37 @@
+#include "data/corpus.h"
+
+namespace plp::data {
+
+int64_t TrainingCorpus::num_tokens() const {
+  int64_t total = 0;
+  for (const auto& sentences : user_sentences) {
+    for (const auto& s : sentences) total += static_cast<int64_t>(s.size());
+  }
+  return total;
+}
+
+Result<TrainingCorpus> BuildCorpus(const CheckInDataset& dataset,
+                                   const CorpusOptions& options) {
+  if (dataset.num_users() == 0) {
+    return InvalidArgumentError("cannot build a corpus from an empty dataset");
+  }
+  TrainingCorpus corpus;
+  corpus.num_locations = dataset.num_locations();
+  corpus.user_sentences.resize(dataset.num_users());
+  for (int32_t u = 0; u < dataset.num_users(); ++u) {
+    if (options.mode == SentenceMode::kFullHistory) {
+      std::vector<int32_t> sentence;
+      sentence.reserve(dataset.UserCheckIns(u).size());
+      for (const CheckIn& c : dataset.UserCheckIns(u)) {
+        sentence.push_back(c.location);
+      }
+      corpus.user_sentences[u].push_back(std::move(sentence));
+    } else {
+      corpus.user_sentences[u] = dataset.Sessionize(
+          u, options.max_session_seconds, options.max_gap_seconds);
+    }
+  }
+  return corpus;
+}
+
+}  // namespace plp::data

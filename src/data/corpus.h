@@ -1,0 +1,52 @@
+#ifndef PLP_DATA_CORPUS_H_
+#define PLP_DATA_CORPUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace plp::data {
+
+/// How a user's check-in history is turned into skip-gram "sentences".
+enum class SentenceMode {
+  /// The user's entire time-ordered history is one sentence (Section 3.2:
+  /// "a user's check-in history [corresponds] to a sentence"). Default.
+  kFullHistory,
+  /// One sentence per six-hour session; context windows never straddle
+  /// session boundaries. Available for ablation.
+  kPerSession,
+};
+
+/// Tokenized training input: one or more location-id sequences per user.
+///
+/// The corpus preserves the user partitioning that user-level DP requires —
+/// Algorithm 1 samples and groups *users*, then reads their sequences.
+struct TrainingCorpus {
+  /// sequences[u] = the sentences contributed by user u.
+  std::vector<std::vector<std::vector<int32_t>>> user_sentences;
+  int32_t num_locations = 0;
+
+  int32_t num_users() const {
+    return static_cast<int32_t>(user_sentences.size());
+  }
+
+  /// Total number of location tokens across all users.
+  int64_t num_tokens() const;
+};
+
+/// Options for corpus construction.
+struct CorpusOptions {
+  SentenceMode mode = SentenceMode::kFullHistory;
+  int64_t max_session_seconds = 6 * 3600;  ///< used by kPerSession
+  int64_t max_gap_seconds = 6 * 3600;      ///< used by kPerSession
+};
+
+/// Builds the training corpus from a dataset. Fails on an empty dataset.
+Result<TrainingCorpus> BuildCorpus(const CheckInDataset& dataset,
+                                   const CorpusOptions& options = {});
+
+}  // namespace plp::data
+
+#endif  // PLP_DATA_CORPUS_H_

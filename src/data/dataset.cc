@@ -1,0 +1,221 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace plp::data {
+
+Result<CheckInDataset> CheckInDataset::FromRecords(
+    std::vector<CheckIn> records) {
+  // Dense ids are assigned by ascending original id, so densification is
+  // order-independent and idempotent (a save/load round trip of an
+  // already-dense dataset preserves every id).
+  std::set<int32_t> user_id_set, location_id_set;
+  for (const CheckIn& c : records) {
+    if (c.user < 0 || c.location < 0) {
+      return InvalidArgumentError("check-in with negative user/location id");
+    }
+    user_id_set.insert(c.user);
+    location_id_set.insert(c.location);
+  }
+  std::unordered_map<int32_t, int32_t> user_ids, location_ids;
+  for (int32_t id : user_id_set) {
+    user_ids.emplace(id, static_cast<int32_t>(user_ids.size()));
+  }
+  for (int32_t id : location_id_set) {
+    location_ids.emplace(id, static_cast<int32_t>(location_ids.size()));
+  }
+
+  CheckInDataset ds;
+  ds.users_.resize(user_ids.size());
+  for (const CheckIn& c : records) {
+    CheckIn dense = c;
+    dense.user = user_ids.at(c.user);
+    dense.location = location_ids.at(c.location);
+    ds.users_[dense.user].push_back(dense);
+  }
+  ds.num_locations_ = static_cast<int32_t>(location_ids.size());
+  ds.num_checkins_ = static_cast<int64_t>(records.size());
+  for (auto& u : ds.users_) {
+    std::stable_sort(u.begin(), u.end(),
+                     [](const CheckIn& a, const CheckIn& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+  }
+  return ds;
+}
+
+double CheckInDataset::Density() const {
+  if (num_users() == 0 || num_locations() == 0) return 0.0;
+  // Count distinct (user, location) cells.
+  int64_t cells = 0;
+  for (const auto& u : users_) {
+    std::unordered_set<int32_t> locs;
+    for (const CheckIn& c : u) locs.insert(c.location);
+    cells += static_cast<int64_t>(locs.size());
+  }
+  return static_cast<double>(cells) /
+         (static_cast<double>(num_users()) *
+          static_cast<double>(num_locations()));
+}
+
+const std::vector<CheckIn>& CheckInDataset::UserCheckIns(int32_t user) const {
+  PLP_CHECK(user >= 0 && user < num_users());
+  return users_[user];
+}
+
+CheckInDataset CheckInDataset::Filter(int64_t min_checkins_per_user,
+                                      int64_t min_users_per_location) const {
+  // Pass 1: drop light users.
+  std::vector<const std::vector<CheckIn>*> kept_users;
+  for (const auto& u : users_) {
+    if (static_cast<int64_t>(u.size()) >= min_checkins_per_user) {
+      kept_users.push_back(&u);
+    }
+  }
+  // Pass 2: locations visited by too few of the kept users.
+  std::unordered_map<int32_t, std::unordered_set<int32_t>> visitors;
+  for (size_t ui = 0; ui < kept_users.size(); ++ui) {
+    for (const CheckIn& c : *kept_users[ui]) {
+      visitors[c.location].insert(static_cast<int32_t>(ui));
+    }
+  }
+  std::unordered_set<int32_t> kept_locations;
+  for (const auto& [loc, vs] : visitors) {
+    if (static_cast<int64_t>(vs.size()) >= min_users_per_location) {
+      kept_locations.insert(loc);
+    }
+  }
+  // Rebuild with original (sparse-tolerant) ids; FromRecords re-densifies.
+  std::vector<CheckIn> records;
+  int32_t new_user = 0;
+  for (const auto* u : kept_users) {
+    bool any = false;
+    for (const CheckIn& c : *u) {
+      if (!kept_locations.count(c.location)) continue;
+      CheckIn r = c;
+      r.user = new_user;
+      records.push_back(r);
+      any = true;
+    }
+    if (any) ++new_user;
+  }
+  auto result = FromRecords(std::move(records));
+  PLP_CHECK_OK(result.status());
+  return std::move(result).value();
+}
+
+Result<std::pair<CheckInDataset, CheckInDataset>> CheckInDataset::SplitHoldout(
+    int32_t holdout_users, Rng& rng) const {
+  if (holdout_users <= 0 || holdout_users >= num_users()) {
+    return InvalidArgumentError(
+        "holdout_users must be in (0, num_users)");
+  }
+  std::vector<size_t> picks = rng.SampleWithoutReplacement(
+      static_cast<size_t>(num_users()), static_cast<size_t>(holdout_users));
+  std::unordered_set<size_t> holdout(picks.begin(), picks.end());
+
+  CheckInDataset train, test;
+  train.num_locations_ = test.num_locations_ = num_locations_;
+  for (size_t ui = 0; ui < users_.size(); ++ui) {
+    CheckInDataset& target = holdout.count(ui) ? test : train;
+    const int32_t new_id = static_cast<int32_t>(target.users_.size());
+    target.users_.push_back(users_[ui]);
+    for (CheckIn& c : target.users_.back()) c.user = new_id;
+    target.num_checkins_ += static_cast<int64_t>(users_[ui].size());
+  }
+  return std::make_pair(std::move(train), std::move(test));
+}
+
+std::vector<std::vector<int32_t>> CheckInDataset::Sessionize(
+    int32_t user, int64_t max_session_seconds,
+    int64_t max_gap_seconds) const {
+  PLP_CHECK_GT(max_session_seconds, 0);
+  PLP_CHECK_GT(max_gap_seconds, 0);
+  const auto& checkins = UserCheckIns(user);
+  std::vector<std::vector<int32_t>> sessions;
+  int64_t session_start = 0;
+  int64_t previous = 0;
+  for (const CheckIn& c : checkins) {
+    const bool start_new =
+        sessions.empty() || c.timestamp - session_start > max_session_seconds ||
+        c.timestamp - previous > max_gap_seconds;
+    if (start_new) {
+      sessions.emplace_back();
+      session_start = c.timestamp;
+    }
+    sessions.back().push_back(c.location);
+    previous = c.timestamp;
+  }
+  return sessions;
+}
+
+std::vector<int64_t> CheckInDataset::UserRecordCounts() const {
+  std::vector<int64_t> counts;
+  counts.reserve(users_.size());
+  for (const auto& u : users_) counts.push_back(static_cast<int64_t>(u.size()));
+  return counts;
+}
+
+Status CheckInDataset::SaveCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return InternalError("cannot open for writing: " + path);
+  out.precision(17);  // lossless double round trip
+  out << "user,location,timestamp,latitude,longitude\n";
+  for (const auto& u : users_) {
+    for (const CheckIn& c : u) {
+      out << c.user << "," << c.location << "," << c.timestamp << ","
+          << c.latitude << "," << c.longitude << "\n";
+    }
+  }
+  if (!out) return InternalError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<CheckInDataset> CheckInDataset::LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open: " + path);
+  std::string line;
+  if (!std::getline(in, line)) return InvalidArgumentError("empty file");
+  std::vector<CheckIn> records;
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    CheckIn c;
+    char* cursor = line.data();
+    char* end = nullptr;
+    auto parse_long = [&](int64_t& out_value) -> bool {
+      out_value = std::strtoll(cursor, &end, 10);
+      if (end == cursor) return false;
+      cursor = (*end == ',') ? end + 1 : end;
+      return true;
+    };
+    auto parse_double = [&](double& out_value) -> bool {
+      out_value = std::strtod(cursor, &end);
+      if (end == cursor) return false;
+      cursor = (*end == ',') ? end + 1 : end;
+      return true;
+    };
+    int64_t user = 0, location = 0;
+    if (!parse_long(user) || !parse_long(location) ||
+        !parse_long(c.timestamp) || !parse_double(c.latitude) ||
+        !parse_double(c.longitude)) {
+      return InvalidArgumentError("malformed CSV at line " +
+                                  std::to_string(line_number));
+    }
+    c.user = static_cast<int32_t>(user);
+    c.location = static_cast<int32_t>(location);
+    records.push_back(c);
+  }
+  return FromRecords(std::move(records));
+}
+
+}  // namespace plp::data

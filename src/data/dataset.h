@@ -1,0 +1,77 @@
+#ifndef PLP_DATA_DATASET_H_
+#define PLP_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/checkin.h"
+
+namespace plp::data {
+
+/// A user-partitioned check-in dataset with a dense location vocabulary.
+///
+/// Invariants: user ids are dense in [0, num_users()), location ids are dense
+/// in [0, num_locations()), each user's check-ins are sorted by timestamp,
+/// and every user has at least one check-in.
+class CheckInDataset {
+ public:
+  CheckInDataset() = default;
+
+  /// Builds a dataset from raw records. User and location ids may be sparse;
+  /// they are re-mapped to dense ids (mapping is by order of first
+  /// appearance). Fails on negative ids.
+  static Result<CheckInDataset> FromRecords(std::vector<CheckIn> records);
+
+  int32_t num_users() const { return static_cast<int32_t>(users_.size()); }
+  int32_t num_locations() const { return num_locations_; }
+  int64_t num_checkins() const { return num_checkins_; }
+
+  /// Fraction of the user x location matrix that is non-zero; location data
+  /// is typically ~0.1% dense (Section 1).
+  double Density() const;
+
+  /// Time-sorted check-ins of one user. Requires 0 <= user < num_users().
+  const std::vector<CheckIn>& UserCheckIns(int32_t user) const;
+
+  /// Removes users with fewer than `min_checkins` check-ins, then locations
+  /// visited by fewer than `min_users` distinct users (the paper filters at
+  /// 10 and 2 respectively), then drops users left with no check-ins.
+  /// Ids are re-densified. Returns the filtered dataset.
+  CheckInDataset Filter(int64_t min_checkins_per_user,
+                        int64_t min_users_per_location) const;
+
+  /// Randomly removes `holdout_users` users and returns {training set,
+  /// holdout set}; the two are user-disjoint but share the location
+  /// vocabulary (location ids are NOT remapped so embeddings transfer).
+  /// Fails if holdout_users >= num_users().
+  Result<std::pair<CheckInDataset, CheckInDataset>> SplitHoldout(
+      int32_t holdout_users, Rng& rng) const;
+
+  /// Splits one user's history into trajectories no longer than
+  /// `max_session_seconds` total duration (six hours in Section 5.1),
+  /// additionally cutting at gaps larger than `max_gap_seconds`.
+  /// Returns sequences of location ids.
+  std::vector<std::vector<int32_t>> Sessionize(int32_t user,
+                                               int64_t max_session_seconds,
+                                               int64_t max_gap_seconds) const;
+
+  /// Per-user check-in counts.
+  std::vector<int64_t> UserRecordCounts() const;
+
+  /// CSV round trip: "user,location,timestamp,latitude,longitude" with a
+  /// header line.
+  Status SaveCsv(const std::string& path) const;
+  static Result<CheckInDataset> LoadCsv(const std::string& path);
+
+ private:
+  std::vector<std::vector<CheckIn>> users_;
+  int32_t num_locations_ = 0;
+  int64_t num_checkins_ = 0;
+};
+
+}  // namespace plp::data
+
+#endif  // PLP_DATA_DATASET_H_

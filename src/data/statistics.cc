@@ -1,0 +1,71 @@
+#include "data/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace plp::data {
+
+DatasetStats ComputeStats(const CheckInDataset& dataset) {
+  DatasetStats stats;
+  stats.num_users = dataset.num_users();
+  stats.num_locations = dataset.num_locations();
+  stats.num_checkins = dataset.num_checkins();
+  stats.density = dataset.Density();
+  if (stats.num_users == 0) return stats;
+
+  std::vector<int64_t> per_user = dataset.UserRecordCounts();
+  std::sort(per_user.begin(), per_user.end());
+  stats.user_checkins_mean = static_cast<double>(stats.num_checkins) /
+                             static_cast<double>(stats.num_users);
+  stats.user_checkins_median = per_user[per_user.size() / 2];
+  stats.user_checkins_p90 = per_user[(per_user.size() * 9) / 10];
+  stats.user_checkins_max = per_user.back();
+
+  if (stats.num_locations > 0 && stats.num_checkins > 0) {
+    std::vector<int64_t> visits(static_cast<size_t>(stats.num_locations),
+                                0);
+    for (int32_t u = 0; u < stats.num_users; ++u) {
+      for (const CheckIn& c : dataset.UserCheckIns(u)) {
+        ++visits[static_cast<size_t>(c.location)];
+      }
+    }
+    std::sort(visits.begin(), visits.end());
+    // Gini = (2·Σ i·x_i / (n·Σ x_i)) − (n + 1)/n with 1-based ranks over
+    // ascending values.
+    const double n = static_cast<double>(visits.size());
+    double weighted = 0.0, total = 0.0;
+    for (size_t i = 0; i < visits.size(); ++i) {
+      weighted += static_cast<double>(i + 1) *
+                  static_cast<double>(visits[i]);
+      total += static_cast<double>(visits[i]);
+    }
+    stats.location_gini = (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+    const size_t top = std::max<size_t>(1, visits.size() / 100);
+    double top_visits = 0.0;
+    for (size_t i = visits.size() - top; i < visits.size(); ++i) {
+      top_visits += static_cast<double>(visits[i]);
+    }
+    stats.top1pct_share = top_visits / total;
+  }
+  return stats;
+}
+
+std::string DatasetStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%d users, %d locations, %lld check-ins (density %.4f%%)\n"
+      "per-user check-ins: mean %.1f, median %lld, p90 %lld, max %lld\n"
+      "POI popularity: Gini %.3f, top-1%% POIs hold %.1f%% of visits",
+      num_users, num_locations, static_cast<long long>(num_checkins),
+      100.0 * density, user_checkins_mean,
+      static_cast<long long>(user_checkins_median),
+      static_cast<long long>(user_checkins_p90),
+      static_cast<long long>(user_checkins_max), location_gini,
+      100.0 * top1pct_share);
+  return buf;
+}
+
+}  // namespace plp::data

@@ -1,0 +1,39 @@
+#ifndef PLP_DATA_STATISTICS_H_
+#define PLP_DATA_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace plp::data {
+
+/// Summary statistics of a check-in dataset — the quantities the paper
+/// uses to characterize location data ("inherently skewed and sparse",
+/// density ~0.1%, Zipf check-in frequencies, long-tailed user activity).
+struct DatasetStats {
+  int32_t num_users = 0;
+  int32_t num_locations = 0;
+  int64_t num_checkins = 0;
+  double density = 0.0;  ///< non-zero share of the user × POI matrix
+
+  // Per-user check-in counts.
+  double user_checkins_mean = 0.0;
+  int64_t user_checkins_median = 0;
+  int64_t user_checkins_p90 = 0;
+  int64_t user_checkins_max = 0;
+
+  // Location popularity skew.
+  double location_gini = 0.0;    ///< Gini of per-POI visit counts, [0, 1)
+  double top1pct_share = 0.0;    ///< visit share of the top 1% POIs
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Computes summary statistics. O(total check-ins).
+DatasetStats ComputeStats(const CheckInDataset& dataset);
+
+}  // namespace plp::data
+
+#endif  // PLP_DATA_STATISTICS_H_

@@ -1,0 +1,254 @@
+#include "data/synthetic_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace plp::data {
+namespace {
+
+Status ValidateConfig(const SyntheticConfig& c) {
+  if (c.num_users <= 0) return InvalidArgumentError("num_users must be > 0");
+  if (c.num_locations <= 0) {
+    return InvalidArgumentError("num_locations must be > 0");
+  }
+  if (c.num_clusters <= 0 || c.num_clusters > c.num_locations) {
+    return InvalidArgumentError("num_clusters must be in [1, num_locations]");
+  }
+  if (c.zipf_exponent < 0) {
+    return InvalidArgumentError("zipf_exponent must be >= 0");
+  }
+  if (c.return_probability < 0 || c.return_probability > 1) {
+    return InvalidArgumentError("return_probability must be in [0, 1]");
+  }
+  if (c.home_cluster_affinity < 0 || c.home_cluster_affinity > 1) {
+    return InvalidArgumentError("home_cluster_affinity must be in [0, 1]");
+  }
+  if (c.min_checkins_per_user < 1 ||
+      c.max_checkins_per_user < c.min_checkins_per_user) {
+    return InvalidArgumentError("invalid per-user check-in bounds");
+  }
+  if (c.session_length_min < 1 ||
+      c.session_length_max < c.session_length_min) {
+    return InvalidArgumentError("invalid session length bounds");
+  }
+  if (c.mean_hours_between_sessions <= 0 ||
+      c.mean_minutes_between_checkins <= 0) {
+    return InvalidArgumentError("inter-event means must be > 0");
+  }
+  if (c.bbox.north <= c.bbox.south || c.bbox.east <= c.bbox.west) {
+    return InvalidArgumentError("degenerate bounding box");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<CheckInDataset> GenerateSyntheticCheckIns(
+    const SyntheticConfig& config, Rng& rng,
+    SyntheticGroundTruth* ground_truth) {
+  PLP_RETURN_IF_ERROR(ValidateConfig(config));
+
+  const int32_t num_clusters = config.num_clusters;
+  const int32_t num_locations = config.num_locations;
+
+  // District centers scattered in the bounding box; district popularity
+  // itself is skewed (downtown effect).
+  std::vector<double> center_lat(num_clusters), center_lon(num_clusters);
+  for (int32_t k = 0; k < num_clusters; ++k) {
+    center_lat[k] = rng.Uniform(config.bbox.south, config.bbox.north);
+    center_lon[k] = rng.Uniform(config.bbox.west, config.bbox.east);
+  }
+  std::vector<double> cluster_weight(num_clusters);
+  for (int32_t k = 0; k < num_clusters; ++k) {
+    cluster_weight[k] = std::pow(static_cast<double>(k + 1), -0.8);
+  }
+  AliasSampler cluster_sampler(cluster_weight);
+
+  // POIs: assign to a district, scatter geographically, give Zipf weight.
+  ZipfDistribution popularity(static_cast<size_t>(num_locations),
+                              config.zipf_exponent);
+  std::vector<int32_t> location_cluster(num_locations);
+  std::vector<double> location_lat(num_locations), location_lon(num_locations);
+  std::vector<double> location_weight(num_locations);
+  std::vector<std::vector<int32_t>> cluster_locations(num_clusters);
+  for (int32_t l = 0; l < num_locations; ++l) {
+    const int32_t k = static_cast<int32_t>(cluster_sampler.Sample(rng));
+    location_cluster[l] = k;
+    location_lat[l] = Clamp(
+        rng.Gaussian(center_lat[k], config.cluster_stddev_deg),
+        config.bbox.south, config.bbox.north);
+    location_lon[l] = Clamp(
+        rng.Gaussian(center_lon[k], config.cluster_stddev_deg),
+        config.bbox.west, config.bbox.east);
+    location_weight[l] = popularity.Pmf(static_cast<size_t>(l));
+    cluster_locations[k].push_back(l);
+  }
+  // A cluster can end up empty (alias sampling); steal a POI from the
+  // currently largest cluster so per-cluster samplers are well-formed.
+  // num_clusters <= num_locations guarantees a donor with >= 2 POIs exists
+  // while any cluster is empty.
+  for (int32_t k = 0; k < num_clusters; ++k) {
+    if (!cluster_locations[k].empty()) continue;
+    int32_t donor = 0;
+    for (int32_t j = 1; j < num_clusters; ++j) {
+      if (cluster_locations[j].size() > cluster_locations[donor].size()) {
+        donor = j;
+      }
+    }
+    PLP_CHECK_GE(cluster_locations[donor].size(), 2u);
+    const int32_t l = cluster_locations[donor].back();
+    cluster_locations[donor].pop_back();
+    location_cluster[l] = k;
+    cluster_locations[k].push_back(l);
+  }
+
+  // Per-cluster popularity samplers.
+  std::vector<AliasSampler> cluster_popularity;
+  cluster_popularity.reserve(num_clusters);
+  for (int32_t k = 0; k < num_clusters; ++k) {
+    std::vector<double> w;
+    w.reserve(cluster_locations[k].size());
+    for (int32_t l : cluster_locations[k]) w.push_back(location_weight[l]);
+    cluster_popularity.emplace_back(w);
+  }
+  AliasSampler global_popularity(location_weight);
+
+  if (ground_truth != nullptr) {
+    ground_truth->location_cluster = location_cluster;
+    ground_truth->location_popularity = location_weight;
+    ground_truth->user_home_cluster.assign(config.num_users, 0);
+  }
+
+  // Users.
+  std::vector<CheckIn> records;
+  for (int32_t u = 0; u < config.num_users; ++u) {
+    const int32_t home = static_cast<int32_t>(cluster_sampler.Sample(rng));
+    if (ground_truth != nullptr) ground_truth->user_home_cluster[u] = home;
+
+    const double raw = std::exp(
+        rng.Gaussian(config.log_checkins_mean, config.log_checkins_stddev));
+    const int32_t target_checkins = static_cast<int32_t>(Clamp(
+        std::round(raw), config.min_checkins_per_user,
+        config.max_checkins_per_user));
+
+    // Exploration/preferential-return mobility.
+    std::vector<int32_t> visited;        // personal history (with repeats)
+    std::vector<double> visit_count;     // per distinct visited location
+    std::vector<int32_t> distinct;       // distinct visited locations
+    auto explore = [&]() -> int32_t {
+      const bool stay_home = rng.Bernoulli(config.home_cluster_affinity);
+      if (stay_home) {
+        const auto& locs = cluster_locations[home];
+        return locs[cluster_popularity[home].Sample(rng)];
+      }
+      return static_cast<int32_t>(global_popularity.Sample(rng));
+    };
+    auto next_location = [&]() -> int32_t {
+      if (!distinct.empty() && rng.Bernoulli(config.return_probability)) {
+        AliasSampler personal(visit_count);
+        return distinct[personal.Sample(rng)];
+      }
+      return explore();
+    };
+    auto record_visit = [&](int32_t l) {
+      for (size_t i = 0; i < distinct.size(); ++i) {
+        if (distinct[i] == l) {
+          visit_count[i] += 1.0;
+          return;
+        }
+      }
+      distinct.push_back(l);
+      visit_count.push_back(1.0);
+    };
+
+    int64_t now = config.start_timestamp +
+                  static_cast<int64_t>(rng.Exponential(
+                      1.0 / (config.mean_hours_between_sessions * 3600.0)));
+    int32_t produced = 0;
+    std::vector<int32_t> session_locs;
+    while (produced < target_checkins) {
+      const int32_t session_len = static_cast<int32_t>(std::min<int64_t>(
+          rng.UniformInt(config.session_length_min, config.session_length_max),
+          target_checkins - produced));
+      session_locs.clear();
+      for (int32_t s = 0; s < session_len; ++s) {
+        int32_t l = next_location();
+        if (config.unique_within_session) {
+          // Resample on a within-session repeat (bounded retries; fall back
+          // to a fresh exploration draw, repeat or not, if the user's
+          // personal pool is exhausted).
+          for (int attempt = 0;
+               attempt < 16 && std::find(session_locs.begin(),
+                                         session_locs.end(),
+                                         l) != session_locs.end();
+               ++attempt) {
+            l = attempt < 8 ? next_location() : explore();
+          }
+        }
+        session_locs.push_back(l);
+        record_visit(l);
+        CheckIn c;
+        c.user = u;
+        c.location = l;
+        c.timestamp = now;
+        c.latitude = location_lat[l];
+        c.longitude = location_lon[l];
+        records.push_back(c);
+        ++produced;
+        now += static_cast<int64_t>(rng.Exponential(
+            1.0 / (config.mean_minutes_between_checkins * 60.0)));
+      }
+      now += static_cast<int64_t>(rng.Exponential(
+          1.0 / (config.mean_hours_between_sessions * 3600.0)));
+    }
+  }
+
+  if (ground_truth != nullptr) {
+    // FromRecords densifies location ids by ascending original id, and
+    // POIs that were never visited get no dense id at all. Compact the
+    // ground-truth arrays the same way so they align with the dataset.
+    std::vector<char> visited(static_cast<size_t>(num_locations), 0);
+    for (const CheckIn& c : records) {
+      visited[static_cast<size_t>(c.location)] = 1;
+    }
+    SyntheticGroundTruth compact;
+    compact.user_home_cluster = ground_truth->user_home_cluster;
+    for (int32_t l = 0; l < num_locations; ++l) {
+      if (!visited[static_cast<size_t>(l)]) continue;
+      compact.location_cluster.push_back(
+          ground_truth->location_cluster[static_cast<size_t>(l)]);
+      compact.location_popularity.push_back(
+          ground_truth->location_popularity[static_cast<size_t>(l)]);
+    }
+    *ground_truth = std::move(compact);
+  }
+  return CheckInDataset::FromRecords(std::move(records));
+}
+
+SyntheticConfig SmallSyntheticConfig() {
+  SyntheticConfig c;
+  c.num_users = 500;
+  c.num_locations = 400;
+  c.num_clusters = 8;
+  c.log_checkins_mean = 4.2;  // exp(4.2) ~ 67
+  c.log_checkins_stddev = 0.8;
+  c.max_checkins_per_user = 600;
+  return c;
+}
+
+SyntheticConfig PaperSyntheticConfig() {
+  SyntheticConfig c;
+  c.num_users = 4602;
+  c.num_locations = 5069;
+  c.num_clusters = 16;
+  // Tuned so the expected total is ~740k check-ins (the paper's corpus
+  // size): 4602 * exp(4.6 + 0.9^2/2) ~ 4602 * 149 ~ 686k plus clamping.
+  c.log_checkins_mean = 4.6;
+  c.log_checkins_stddev = 0.9;
+  return c;
+}
+
+}  // namespace plp::data

@@ -1,0 +1,81 @@
+#ifndef PLP_DATA_SYNTHETIC_GENERATOR_H_
+#define PLP_DATA_SYNTHETIC_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/checkin.h"
+#include "data/dataset.h"
+
+namespace plp::data {
+
+/// Configuration of the synthetic Foursquare-like check-in generator.
+///
+/// The generator substitutes for the proprietary Foursquare Tokyo dataset
+/// (see DESIGN.md). It reproduces the statistical properties the paper's
+/// method depends on: POI popularity follows Zipf's law, per-user activity
+/// is heavy-tailed, check-ins cluster spatially into districts, and users
+/// follow an exploration / preferential-return mobility process, which
+/// yields the co-visitation structure a skip-gram can learn.
+struct SyntheticConfig {
+  int32_t num_users = 4602;
+  int32_t num_locations = 5069;
+  int32_t num_clusters = 16;      ///< spatial "districts" in the city
+  double zipf_exponent = 1.0;     ///< POI popularity skew
+  double cluster_stddev_deg = 0.008;  ///< POI scatter around district centers
+
+  /// Per-user activity: number of check-ins ~ round(exp(N(mu, sigma)))
+  /// clamped to [min_checkins_per_user, max_checkins_per_user].
+  double log_checkins_mean = 4.6;   ///< exp(4.6) ~ 100
+  double log_checkins_stddev = 0.9;
+  int32_t min_checkins_per_user = 10;
+  int32_t max_checkins_per_user = 2000;
+
+  /// Mobility model.
+  double return_probability = 0.75;  ///< preferential return vs explore
+  double home_cluster_affinity = 0.85;  ///< P(explore stays in home district)
+
+  /// Forbid visiting the same POI twice within one session (realistic for
+  /// sub-six-hour trajectories; returns still dominate *across* sessions).
+  /// Without this, next-location prediction degenerates to "repeat the
+  /// session" and even a random embedding scores highly.
+  bool unique_within_session = true;
+  int32_t session_length_min = 2;
+  int32_t session_length_max = 6;
+  double mean_hours_between_sessions = 36.0;
+  double mean_minutes_between_checkins = 45.0;
+
+  int64_t start_timestamp = 0;  ///< epoch of the first possible check-in
+  BoundingBox bbox;             ///< defaults to the paper's Tokyo region
+};
+
+/// Optional ground-truth side information, useful for tests and for
+/// qualitative inspection of learned embeddings (locations in the same
+/// cluster should embed nearby).
+struct SyntheticGroundTruth {
+  std::vector<int32_t> location_cluster;  ///< cluster id per location
+  std::vector<int32_t> user_home_cluster; ///< home cluster per user
+  std::vector<double> location_popularity;  ///< global Zipf weight
+};
+
+/// Generates a dataset from `config`. Deterministic given `rng`'s seed.
+/// Fails on inconsistent configuration (e.g. non-positive counts).
+/// `ground_truth` may be null.
+Result<CheckInDataset> GenerateSyntheticCheckIns(
+    const SyntheticConfig& config, Rng& rng,
+    SyntheticGroundTruth* ground_truth = nullptr);
+
+/// A down-scaled configuration (hundreds of users, hundreds of POIs) whose
+/// training runs finish in seconds; used by tests and the default bench
+/// scale.
+SyntheticConfig SmallSyntheticConfig();
+
+/// Full-size clone of the paper's dataset dimensions (4602 users after
+/// filtering, 5069 POIs, ~740k check-ins).
+SyntheticConfig PaperSyntheticConfig();
+
+}  // namespace plp::data
+
+#endif  // PLP_DATA_SYNTHETIC_GENERATOR_H_

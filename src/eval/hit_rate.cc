@@ -1,0 +1,78 @@
+#include "eval/hit_rate.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "eval/recommender.h"
+
+namespace plp::eval {
+
+std::vector<EvalExample> BuildLeaveOneOutExamples(
+    const data::CheckInDataset& holdout, int64_t max_session_seconds,
+    int64_t max_gap_seconds) {
+  std::vector<EvalExample> examples;
+  for (int32_t u = 0; u < holdout.num_users(); ++u) {
+    for (std::vector<int32_t>& session :
+         holdout.Sessionize(u, max_session_seconds, max_gap_seconds)) {
+      if (session.size() < 2) continue;
+      EvalExample ex;
+      ex.label = session.back();
+      session.pop_back();
+      ex.history = std::move(session);
+      examples.push_back(std::move(ex));
+    }
+  }
+  return examples;
+}
+
+double HitRateResult::at(int32_t k) const {
+  const auto it = hit_rate.find(k);
+  PLP_CHECK(it != hit_rate.end());
+  return it->second;
+}
+
+Result<HitRateResult> EvaluateHitRate(const sgns::SgnsModel& model,
+                                      const std::vector<EvalExample>& examples,
+                                      const std::vector<int32_t>& ks) {
+  if (examples.empty()) {
+    return InvalidArgumentError("no evaluation examples");
+  }
+  if (ks.empty()) return InvalidArgumentError("no k values requested");
+  for (int32_t k : ks) {
+    if (k <= 0) return InvalidArgumentError("k must be > 0");
+  }
+  const int32_t max_k = *std::max_element(ks.begin(), ks.end());
+
+  Recommender recommender(model);
+  std::map<int32_t, int64_t> hits;
+  for (int32_t k : ks) hits[k] = 0;
+
+  for (const EvalExample& ex : examples) {
+    if (ex.label < 0 || ex.label >= recommender.num_locations()) {
+      return InvalidArgumentError("example label outside the vocabulary");
+    }
+    const std::vector<int32_t> top =
+        recommender.TopK(ex.history, max_k);
+    // Rank of the label within the top list (max_k if absent).
+    int32_t rank = max_k;
+    for (size_t i = 0; i < top.size(); ++i) {
+      if (top[i] == ex.label) {
+        rank = static_cast<int32_t>(i);
+        break;
+      }
+    }
+    for (int32_t k : ks) {
+      if (rank < k) ++hits[k];
+    }
+  }
+
+  HitRateResult result;
+  result.num_examples = static_cast<int64_t>(examples.size());
+  for (int32_t k : ks) {
+    result.hit_rate[k] = static_cast<double>(hits[k]) /
+                         static_cast<double>(result.num_examples);
+  }
+  return result;
+}
+
+}  // namespace plp::eval

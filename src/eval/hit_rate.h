@@ -1,0 +1,46 @@
+#ifndef PLP_EVAL_HIT_RATE_H_
+#define PLP_EVAL_HIT_RATE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "sgns/model.h"
+
+namespace plp::eval {
+
+/// One leave-one-out test case: predict `label` from `history`.
+struct EvalExample {
+  std::vector<int32_t> history;  ///< the first t−1 visits of a trajectory
+  int32_t label = 0;             ///< the t-th visit
+};
+
+/// Builds the leave-one-out evaluation set of Section 5.1: holdout users'
+/// check-ins are cut into trajectories of at most six hours
+/// (`max_session_seconds`), and every trajectory with >= 2 visits yields
+/// one example (first t−1 visits → t-th visit).
+std::vector<EvalExample> BuildLeaveOneOutExamples(
+    const data::CheckInDataset& holdout,
+    int64_t max_session_seconds = 6 * 3600,
+    int64_t max_gap_seconds = 6 * 3600);
+
+/// HR@k for each requested k plus the example count.
+struct HitRateResult {
+  std::map<int32_t, double> hit_rate;  ///< k → HR@k
+  int64_t num_examples = 0;
+
+  double at(int32_t k) const;  ///< aborts if k was not evaluated
+};
+
+/// Evaluates HR@k ("whether the test location is in the top-k locations of
+/// the recommendation list"; the outcome per example is binary). `ks` must
+/// be non-empty and positive. Fails if `examples` is empty.
+Result<HitRateResult> EvaluateHitRate(const sgns::SgnsModel& model,
+                                      const std::vector<EvalExample>& examples,
+                                      const std::vector<int32_t>& ks);
+
+}  // namespace plp::eval
+
+#endif  // PLP_EVAL_HIT_RATE_H_

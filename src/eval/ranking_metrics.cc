@@ -1,0 +1,51 @@
+#include "eval/ranking_metrics.h"
+
+#include <cmath>
+
+#include "eval/recommender.h"
+
+namespace plp::eval {
+
+Result<RankingMetrics> EvaluateRankingMetrics(
+    const sgns::SgnsModel& model, const std::vector<EvalExample>& examples,
+    int32_t k, int32_t rank_cap) {
+  if (examples.empty()) return InvalidArgumentError("no examples");
+  if (k <= 0) return InvalidArgumentError("k must be > 0");
+  if (rank_cap < k) {
+    return InvalidArgumentError("rank_cap must be >= k");
+  }
+  Recommender recommender(model);
+
+  RankingMetrics metrics;
+  metrics.k = k;
+  metrics.rank_cap = rank_cap;
+  metrics.num_examples = static_cast<int64_t>(examples.size());
+  double rr_sum = 0.0;
+  double ndcg_sum = 0.0;
+  for (const EvalExample& ex : examples) {
+    if (ex.label < 0 || ex.label >= recommender.num_locations()) {
+      return InvalidArgumentError("example label outside the vocabulary");
+    }
+    const std::vector<int32_t> top = recommender.TopK(ex.history, rank_cap);
+    int32_t rank = rank_cap;  // sentinel: not found within the cap
+    for (size_t i = 0; i < top.size(); ++i) {
+      if (top[i] == ex.label) {
+        rank = static_cast<int32_t>(i);
+        break;
+      }
+    }
+    if (rank < rank_cap) {
+      rr_sum += 1.0 / static_cast<double>(rank + 1);
+      if (rank < k) {
+        // Single relevant item: DCG = 1/log2(rank+2), ideal DCG = 1.
+        ndcg_sum += 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+      }
+    }
+  }
+  metrics.mean_reciprocal_rank =
+      rr_sum / static_cast<double>(metrics.num_examples);
+  metrics.ndcg_at_k = ndcg_sum / static_cast<double>(metrics.num_examples);
+  return metrics;
+}
+
+}  // namespace plp::eval

@@ -1,0 +1,38 @@
+#ifndef PLP_EVAL_RANKING_METRICS_H_
+#define PLP_EVAL_RANKING_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/hit_rate.h"
+#include "sgns/model.h"
+
+namespace plp::eval {
+
+/// Ranking metrics beyond HR@k for the same leave-one-out protocol. The
+/// paper reports HR@k only; MRR and NDCG@k are the customary companions in
+/// the recommender literature it cites ([10, 26, 35, 58]) and are useful
+/// when comparing variants whose HR@k ties.
+struct RankingMetrics {
+  int64_t num_examples = 0;
+  /// Mean reciprocal rank of the true next location, with ranks capped at
+  /// `rank_cap` (reciprocal contribution 0 beyond the cap).
+  double mean_reciprocal_rank = 0.0;
+  /// Normalized discounted cumulative gain at k: with one relevant item
+  /// per example this is 1/log2(rank + 2) averaged (0 when outside top-k).
+  double ndcg_at_k = 0.0;
+  int32_t k = 0;
+  int32_t rank_cap = 0;
+};
+
+/// Evaluates MRR (capped at `rank_cap`) and NDCG@k over leave-one-out
+/// examples. Fails on empty input or non-positive k / rank_cap; labels
+/// must be inside the model's vocabulary.
+Result<RankingMetrics> EvaluateRankingMetrics(
+    const sgns::SgnsModel& model, const std::vector<EvalExample>& examples,
+    int32_t k = 10, int32_t rank_cap = 100);
+
+}  // namespace plp::eval
+
+#endif  // PLP_EVAL_RANKING_METRICS_H_

@@ -1,0 +1,68 @@
+#include "eval/recommender.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace plp::eval {
+
+Recommender::Recommender(const sgns::SgnsModel& model)
+    : num_locations_(model.num_locations()),
+      dim_(model.dim()),
+      embeddings_(model.NormalizedEmbeddings()) {}
+
+std::vector<double> Recommender::Scores(
+    std::span<const int32_t> recent) const {
+  PLP_CHECK(!recent.empty());
+  // F(ζ): average the stacked (unit) embedding vectors, then normalize so
+  // the dot product below is cosine similarity.
+  std::vector<double> profile(static_cast<size_t>(dim_), 0.0);
+  for (int32_t l : recent) {
+    PLP_CHECK(l >= 0 && l < num_locations_);
+    const double* row = embeddings_.data() + static_cast<size_t>(l) * dim_;
+    for (int32_t d = 0; d < dim_; ++d) profile[d] += row[d];
+  }
+  NormalizeL2(profile);
+
+  std::vector<double> scores(static_cast<size_t>(num_locations_));
+  for (int32_t l = 0; l < num_locations_; ++l) {
+    const double* row = embeddings_.data() + static_cast<size_t>(l) * dim_;
+    double s = 0.0;
+    for (int32_t d = 0; d < dim_; ++d) s += row[d] * profile[d];
+    scores[static_cast<size_t>(l)] = s;
+  }
+  return scores;
+}
+
+std::vector<int32_t> Recommender::TopK(std::span<const int32_t> recent,
+                                       int32_t k,
+                                       std::span<const int32_t> exclude)
+    const {
+  PLP_CHECK_GT(k, 0);
+  const std::vector<double> scores = Scores(recent);
+  std::vector<char> excluded(static_cast<size_t>(num_locations_), 0);
+  for (int32_t l : exclude) {
+    PLP_CHECK(l >= 0 && l < num_locations_);
+    excluded[static_cast<size_t>(l)] = 1;
+  }
+  std::vector<int32_t> candidates;
+  candidates.reserve(static_cast<size_t>(num_locations_));
+  for (int32_t l = 0; l < num_locations_; ++l) {
+    if (!excluded[static_cast<size_t>(l)]) candidates.push_back(l);
+  }
+  const size_t take = std::min<size_t>(static_cast<size_t>(k),
+                                       candidates.size());
+  std::partial_sort(candidates.begin(),
+                    candidates.begin() + static_cast<int64_t>(take),
+                    candidates.end(), [&](int32_t a, int32_t b) {
+                      const double sa = scores[static_cast<size_t>(a)];
+                      const double sb = scores[static_cast<size_t>(b)];
+                      if (sa != sb) return sa > sb;
+                      return a < b;  // deterministic tie-break
+                    });
+  candidates.resize(take);
+  return candidates;
+}
+
+}  // namespace plp::eval

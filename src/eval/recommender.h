@@ -1,0 +1,43 @@
+#ifndef PLP_EVAL_RECOMMENDER_H_
+#define PLP_EVAL_RECOMMENDER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sgns/model.h"
+
+namespace plp::eval {
+
+/// Next-location recommender built from a trained model's unit-normalized
+/// embedding matrix (Section 3.3 "Model Utilization"): the user's recent
+/// check-ins ζ are embedded, averaged into F(ζ), and every location is
+/// scored by cosine similarity (dot product on unit vectors).
+class Recommender {
+ public:
+  /// Snapshots the model's normalized embeddings; the model may be
+  /// discarded afterwards ("only the embedding matrix is deployed").
+  explicit Recommender(const sgns::SgnsModel& model);
+
+  int32_t num_locations() const { return num_locations_; }
+  int32_t dim() const { return dim_; }
+
+  /// Cosine scores of every location against F(recent). Locations in
+  /// `recent` must be valid ids; invalid ids abort.
+  std::vector<double> Scores(std::span<const int32_t> recent) const;
+
+  /// Top-k locations by score, highest first. Locations listed in
+  /// `exclude` are skipped (e.g. to avoid recommending the current POI).
+  /// k is capped at the number of eligible locations.
+  std::vector<int32_t> TopK(std::span<const int32_t> recent, int32_t k,
+                            std::span<const int32_t> exclude = {}) const;
+
+ private:
+  int32_t num_locations_ = 0;
+  int32_t dim_ = 0;
+  std::vector<double> embeddings_;  // row-major L × dim, rows unit-norm
+};
+
+}  // namespace plp::eval
+
+#endif  // PLP_EVAL_RECOMMENDER_H_

@@ -1,0 +1,123 @@
+#include "optim/optimizers.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+
+namespace plp::optim {
+
+void FixedStepServerOptimizer::ApplyUpdate(const sgns::DenseUpdate& update,
+                                           sgns::SgnsModel& model) {
+  for (int ti = 0; ti < sgns::kNumTensors; ++ti) {
+    const auto t = static_cast<sgns::Tensor>(ti);
+    std::span<double> dst = model.MutableTensorData(t);
+    std::span<const double> src = update.TensorData(t);
+    PLP_CHECK_EQ(dst.size(), src.size());
+    for (size_t i = 0; i < dst.size(); ++i) dst[i] += scale_ * src[i];
+  }
+}
+
+DpAdamServerOptimizer::DpAdamServerOptimizer(const AdamConfig& config)
+    : config_(config) {
+  PLP_CHECK_GT(config_.learning_rate, 0.0);
+  PLP_CHECK(config_.beta1 >= 0.0 && config_.beta1 < 1.0);
+  PLP_CHECK(config_.beta2 >= 0.0 && config_.beta2 < 1.0);
+  PLP_CHECK_GT(config_.epsilon, 0.0);
+}
+
+void DpAdamServerOptimizer::ApplyUpdate(const sgns::DenseUpdate& update,
+                                        sgns::SgnsModel& model) {
+  ++step_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(step_));
+  for (int ti = 0; ti < sgns::kNumTensors; ++ti) {
+    const auto t = static_cast<sgns::Tensor>(ti);
+    std::span<const double> src = update.TensorData(t);
+    std::span<double> dst = model.MutableTensorData(t);
+    PLP_CHECK_EQ(dst.size(), src.size());
+    if (m_[ti].size() != src.size()) {
+      m_[ti].assign(src.size(), 0.0);
+      v_[ti].assign(src.size(), 0.0);
+    }
+    for (size_t i = 0; i < src.size(); ++i) {
+      // ĝ is an ascent direction; Adam consumes the (noisy) gradient −ĝ.
+      const double g = -src[i];
+      m_[ti][i] = config_.beta1 * m_[ti][i] + (1.0 - config_.beta1) * g;
+      v_[ti][i] = config_.beta2 * v_[ti][i] + (1.0 - config_.beta2) * g * g;
+      const double m_hat = m_[ti][i] / bc1;
+      const double v_hat = v_[ti][i] / bc2;
+      dst[i] -= config_.learning_rate * m_hat /
+                (std::sqrt(v_hat) + config_.epsilon);
+    }
+  }
+}
+
+std::unique_ptr<ServerOptimizer> MakeServerOptimizer(const std::string& name,
+                                                     const AdamConfig& adam) {
+  if (name == "fixed_step") {
+    return std::make_unique<FixedStepServerOptimizer>();
+  }
+  if (name == "dp_adam") {
+    return std::make_unique<DpAdamServerOptimizer>(adam);
+  }
+  PLP_CHECK(false);
+  return nullptr;
+}
+
+SparseAdam::SparseAdam(const sgns::SgnsModel& model, const AdamConfig& config)
+    : config_(config), dim_(model.dim()) {
+  PLP_CHECK_GT(config_.learning_rate, 0.0);
+  for (int ti = 0; ti < sgns::kNumTensors; ++ti) {
+    const auto t = static_cast<sgns::Tensor>(ti);
+    m_[ti].assign(model.TensorData(t).size(), 0.0);
+    v_[ti].assign(model.TensorData(t).size(), 0.0);
+  }
+}
+
+void SparseAdam::UpdateEntry(sgns::Tensor tensor, size_t flat_index,
+                             double grad, double bias_corrected_lr,
+                             sgns::SgnsModel& model) {
+  const int ti = static_cast<int>(tensor);
+  double& m = m_[ti][flat_index];
+  double& v = v_[ti][flat_index];
+  m = config_.beta1 * m + (1.0 - config_.beta1) * grad;
+  v = config_.beta2 * v + (1.0 - config_.beta2) * grad * grad;
+  model.MutableTensorData(tensor)[flat_index] -=
+      bias_corrected_lr * m / (std::sqrt(v) + config_.epsilon);
+}
+
+void SparseAdam::ApplyGradient(const sgns::SparseDelta& gradient,
+                               double grad_scale, sgns::SgnsModel& model) {
+  PLP_CHECK_EQ(gradient.dim(), dim_);
+  ++step_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(step_));
+  // Fold the bias corrections into the learning rate (standard Adam
+  // reformulation): lr_t = lr · √(bc2) / bc1, with moments left unscaled.
+  const double lr_t = config_.learning_rate * std::sqrt(bc2) / bc1;
+
+  gradient.ForEachRow(
+      sgns::Tensor::kWIn, [&](int32_t row, std::span<const double> vec) {
+        const size_t base = static_cast<size_t>(row) * dim_;
+        for (int32_t d = 0; d < dim_; ++d) {
+          UpdateEntry(sgns::Tensor::kWIn, base + d, grad_scale * vec[d],
+                      lr_t, model);
+        }
+      });
+  gradient.ForEachRow(
+      sgns::Tensor::kWOut, [&](int32_t row, std::span<const double> vec) {
+        const size_t base = static_cast<size_t>(row) * dim_;
+        for (int32_t d = 0; d < dim_; ++d) {
+          UpdateEntry(sgns::Tensor::kWOut, base + d, grad_scale * vec[d],
+                      lr_t, model);
+        }
+      });
+  gradient.ForEachRow(
+      sgns::Tensor::kBias, [&](int32_t row, std::span<const double> v) {
+        UpdateEntry(sgns::Tensor::kBias, static_cast<size_t>(row),
+                    grad_scale * v[0], lr_t, model);
+      });
+}
+
+}  // namespace plp::optim

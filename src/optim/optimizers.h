@@ -1,0 +1,106 @@
+#ifndef PLP_OPTIM_OPTIMIZERS_H_
+#define PLP_OPTIM_OPTIMIZERS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sgns/model.h"
+#include "sgns/sparse_delta.h"
+
+namespace plp::optim {
+
+/// Adam hyper-parameters. The paper (Section 5.1) notes Adam needs little
+/// tuning and uses a learning rate of 0.06.
+struct AdamConfig {
+  double learning_rate = 0.06;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+/// Applies the averaged (noisy) model delta ĝ_t produced by the Gaussian
+/// sum query to the global model — the "Model Update" of Algorithm 1
+/// line 10. Implementations own any optimizer state (e.g. Adam moments).
+class ServerOptimizer {
+ public:
+  virtual ~ServerOptimizer() = default;
+
+  /// Mutates `model` given the ascent-direction update ĝ_t.
+  virtual void ApplyUpdate(const sgns::DenseUpdate& update,
+                           sgns::SgnsModel& model) = 0;
+
+  /// Human-readable name for logs and experiment tables.
+  virtual const char* name() const = 0;
+};
+
+/// Literal Algorithm 1: θ_{t+1} = θ_t + ĝ_t.
+class FixedStepServerOptimizer final : public ServerOptimizer {
+ public:
+  /// `scale` rescales the update (1.0 = literal line 10).
+  explicit FixedStepServerOptimizer(double scale = 1.0) : scale_(scale) {}
+
+  void ApplyUpdate(const sgns::DenseUpdate& update,
+                   sgns::SgnsModel& model) override;
+  const char* name() const override { return "fixed_step"; }
+
+ private:
+  double scale_;
+};
+
+/// Differentially-private Adam (Gylberth et al., cited in Section 5.1):
+/// the server treats −ĝ_t as the gradient estimate and maintains
+/// exponential moving averages of the *noisy* gradient and its square.
+/// Because ĝ_t is already DP, post-processing through Adam preserves the
+/// guarantee.
+class DpAdamServerOptimizer final : public ServerOptimizer {
+ public:
+  explicit DpAdamServerOptimizer(const AdamConfig& config = {});
+
+  void ApplyUpdate(const sgns::DenseUpdate& update,
+                   sgns::SgnsModel& model) override;
+  const char* name() const override { return "dp_adam"; }
+
+ private:
+  AdamConfig config_;
+  int64_t step_ = 0;
+  // Lazily sized to the model on first use; flat per-tensor state.
+  std::vector<double> m_[sgns::kNumTensors];
+  std::vector<double> v_[sgns::kNumTensors];
+};
+
+/// Factory by name ("fixed_step" or "dp_adam"); aborts on unknown names.
+std::unique_ptr<ServerOptimizer> MakeServerOptimizer(
+    const std::string& name, const AdamConfig& adam = {});
+
+/// Lazy sparse Adam for the non-private trainer: dense first/second-moment
+/// state, but only the rows present in each sparse gradient are advanced
+/// (the standard "lazy Adam" used for embedding models).
+class SparseAdam {
+ public:
+  /// Shapes the moment buffers like `model`.
+  SparseAdam(const sgns::SgnsModel& model, const AdamConfig& config = {});
+
+  /// model ← model − lr · m̂/(√v̂ + ε) over the touched entries of
+  /// `gradient`, where the gradient fed to the moments is
+  /// grad_scale · gradient (e.g. grad_scale = 1/batch_size).
+  void ApplyGradient(const sgns::SparseDelta& gradient, double grad_scale,
+                     sgns::SgnsModel& model);
+
+  int64_t step() const { return step_; }
+
+ private:
+  void UpdateEntry(sgns::Tensor tensor, size_t flat_index, double grad,
+                   double bias_corrected_lr, sgns::SgnsModel& model);
+
+  AdamConfig config_;
+  int32_t dim_;
+  int64_t step_ = 0;
+  std::vector<double> m_[sgns::kNumTensors];
+  std::vector<double> v_[sgns::kNumTensors];
+};
+
+}  // namespace plp::optim
+
+#endif  // PLP_OPTIM_OPTIMIZERS_H_

@@ -1,0 +1,88 @@
+#include "privacy/gaussian_mechanism.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace plp::privacy {
+
+Result<double> GaussianSigma(double epsilon, double delta,
+                             double sensitivity) {
+  if (epsilon <= 0.0 || epsilon > 1.0) {
+    return InvalidArgumentError("classic Gaussian bound needs eps in (0, 1]");
+  }
+  if (delta <= 0.0 || delta >= 1.0) {
+    return InvalidArgumentError("delta must be in (0, 1)");
+  }
+  if (sensitivity <= 0.0) {
+    return InvalidArgumentError("sensitivity must be > 0");
+  }
+  return std::sqrt(2.0 * std::log(1.25 / delta)) * sensitivity / epsilon;
+}
+
+Result<double> GaussianEpsilon(double noise_multiplier, double delta) {
+  if (noise_multiplier <= 0.0) {
+    return InvalidArgumentError("noise multiplier must be > 0");
+  }
+  if (delta <= 0.0 || delta >= 1.0) {
+    return InvalidArgumentError("delta must be in (0, 1)");
+  }
+  return std::sqrt(2.0 * std::log(1.25 / delta)) / noise_multiplier;
+}
+
+double AmplifyBySampling(double epsilon, double q) {
+  if (q >= 1.0) return epsilon;
+  if (q <= 0.0) return 0.0;
+  return std::log1p(q * (std::exp(epsilon) - 1.0));
+}
+
+Result<double> GaussianDeltaForSigma(double epsilon,
+                                     double noise_multiplier) {
+  if (epsilon <= 0.0) return InvalidArgumentError("epsilon must be > 0");
+  if (noise_multiplier <= 0.0) {
+    return InvalidArgumentError("noise multiplier must be > 0");
+  }
+  const double s = noise_multiplier;
+  // δ = Φ(1/(2σ) − εσ) − e^ε·Φ(−1/(2σ) − εσ), sensitivity normalized to 1.
+  const double a = 1.0 / (2.0 * s) - epsilon * s;
+  const double b = -1.0 / (2.0 * s) - epsilon * s;
+  // e^ε·Φ(b) can overflow/underflow for extreme ε; evaluate in log space.
+  const double phi_a = NormalCdf(a);
+  const double phi_b = NormalCdf(b);
+  double delta;
+  if (phi_b > 0.0) {
+    const double log_term = epsilon + std::log(phi_b);
+    delta = phi_a - (log_term < 700.0 ? std::exp(log_term)
+                                      : std::numeric_limits<double>::infinity());
+  } else {
+    delta = phi_a;
+  }
+  return std::max(0.0, std::min(1.0, delta));
+}
+
+Result<double> AnalyticGaussianSigma(double epsilon, double delta) {
+  if (epsilon <= 0.0) return InvalidArgumentError("epsilon must be > 0");
+  if (delta <= 0.0 || delta >= 1.0) {
+    return InvalidArgumentError("delta must be in (0, 1)");
+  }
+  // δ(σ) is strictly decreasing in σ; bisect until the bracket is tight.
+  double lo = 1e-6, hi = 1.0;
+  while (GaussianDeltaForSigma(epsilon, hi).value() > delta) {
+    hi *= 2.0;
+    if (hi > 1e9) return InternalError("calibration bracket exhausted");
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (GaussianDeltaForSigma(epsilon, mid).value() > delta) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * hi) break;
+  }
+  return hi;  // the smallest σ in the bracket that satisfies δ(σ) <= δ
+}
+
+}  // namespace plp::privacy

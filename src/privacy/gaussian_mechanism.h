@@ -1,0 +1,48 @@
+#ifndef PLP_PRIVACY_GAUSSIAN_MECHANISM_H_
+#define PLP_PRIVACY_GAUSSIAN_MECHANISM_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace plp::privacy {
+
+/// Classic analytic calibration of the Gaussian mechanism (Theorem 2.1 /
+/// [Dwork & Roth]): returns the smallest σ · sensitivity such that adding
+/// N(0, σ²·S²) noise to a query with l2 sensitivity S satisfies
+/// (ε, δ)-DP, i.e. σ = √(2 ln(1.25/δ)) / ε. Valid for ε ∈ (0, 1].
+/// Fails outside that range or for non-positive δ/sensitivity.
+Result<double> GaussianSigma(double epsilon, double delta,
+                             double sensitivity);
+
+/// Inverse of GaussianSigma: the per-release ε guaranteed by a Gaussian
+/// mechanism with the given noise multiplier (σ as a multiple of the
+/// sensitivity) at failure probability δ. Used by the composition baseline
+/// benches. Fails for non-positive inputs. Note: the returned ε may exceed
+/// 1, where the classic bound is not tight; baselines are only used for
+/// qualitative comparison.
+Result<double> GaussianEpsilon(double noise_multiplier, double delta);
+
+/// Privacy amplification by subsampling (approximate, for the composition
+/// baselines): a mechanism that is ε-DP on the sample is
+/// log(1 + q·(e^ε − 1))-DP on the population when each record is included
+/// independently with probability q.
+double AmplifyBySampling(double epsilon, double q);
+
+/// Analytic Gaussian mechanism calibration (Balle & Wang, ICML 2018):
+/// the *exact* smallest σ (as a multiple of the sensitivity) such that
+/// N(0, σ²·S²) noise gives (ε, δ)-DP, valid for every ε > 0 — unlike the
+/// classic √(2 ln(1.25/δ))/ε bound, which only holds for ε ≤ 1 and is
+/// never tighter. Solved by bisection on the exact Gaussian trade-off
+///   δ(σ) = Φ(1/(2σ) − εσ) − e^ε · Φ(−1/(2σ) − εσ).
+/// Fails for non-positive ε or δ outside (0, 1).
+Result<double> AnalyticGaussianSigma(double epsilon, double delta);
+
+/// The exact δ achieved by a Gaussian mechanism with the given noise
+/// multiplier at privacy parameter ε (the trade-off function above).
+/// Useful for verifying calibrations. Requires positive inputs.
+Result<double> GaussianDeltaForSigma(double epsilon,
+                                     double noise_multiplier);
+
+}  // namespace plp::privacy
+
+#endif  // PLP_PRIVACY_GAUSSIAN_MECHANISM_H_

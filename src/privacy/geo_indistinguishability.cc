@@ -1,0 +1,96 @@
+#include "privacy/geo_indistinguishability.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace plp::privacy {
+namespace {
+
+constexpr double kEarthMetersPerDegreeLat = 111320.0;
+
+}  // namespace
+
+double LambertWMinusOne(double x) {
+  PLP_CHECK(x >= -1.0 / M_E && x < 0.0);
+  if (x == -1.0 / M_E) return -1.0;
+  // Initial guess: asymptotic expansion w ≈ L1 − L2 + L2/L1 with
+  // L1 = log(−x), L2 = log(−L1) (valid for the −1 branch as x → 0⁻), or
+  // a series around the branch point for x near −1/e.
+  double w;
+  if (x > -0.27) {
+    const double l1 = std::log(-x);
+    const double l2 = std::log(-l1);
+    w = l1 - l2 + l2 / l1;
+  } else {
+    const double p = -std::sqrt(2.0 * (1.0 + M_E * x));
+    w = -1.0 + p - p * p / 3.0 + 11.0 * p * p * p / 72.0;
+  }
+  // Halley iterations on f(w) = w e^w − x.
+  for (int iter = 0; iter < 64; ++iter) {
+    const double ew = std::exp(w);
+    const double f = w * ew - x;
+    const double denom = ew * (w + 1.0) - (w + 2.0) * f / (2.0 * w + 2.0);
+    const double step = f / denom;
+    w -= step;
+    if (std::fabs(step) < 1e-14 * (1.0 + std::fabs(w))) break;
+  }
+  return w;
+}
+
+double PlanarLaplaceRadius(double epsilon_per_meter, double u) {
+  PLP_CHECK_GT(epsilon_per_meter, 0.0);
+  PLP_CHECK(u > 0.0 && u < 1.0);
+  // Inverse of the radial CDF C(r) = 1 − (1 + εr)e^{−εr}:
+  // r = −(1/ε)(W₋₁((u − 1)/e) + 1).
+  const double arg = (u - 1.0) / M_E;
+  return -(LambertWMinusOne(arg) + 1.0) / epsilon_per_meter;
+}
+
+Result<GeoPoint> PlanarLaplacePerturb(const GeoPoint& point,
+                                      double epsilon_per_meter, Rng& rng) {
+  if (epsilon_per_meter <= 0.0) {
+    return InvalidArgumentError("epsilon_per_meter must be > 0");
+  }
+  double u = rng.Uniform();
+  while (u <= 0.0) u = rng.Uniform();
+  const double radius = PlanarLaplaceRadius(epsilon_per_meter, u);
+  const double theta = rng.Uniform(0.0, 2.0 * M_PI);
+  const double meters_per_degree_lon =
+      kEarthMetersPerDegreeLat *
+      std::cos(point.latitude * M_PI / 180.0);
+  GeoPoint out = point;
+  out.latitude += radius * std::sin(theta) / kEarthMetersPerDegreeLat;
+  out.longitude += radius * std::cos(theta) /
+                   std::max(meters_per_degree_lon, 1.0);
+  return out;
+}
+
+double ApproxDistanceMeters(const GeoPoint& a, const GeoPoint& b) {
+  const double mean_lat = (a.latitude + b.latitude) / 2.0 * M_PI / 180.0;
+  const double dy = (a.latitude - b.latitude) * kEarthMetersPerDegreeLat;
+  const double dx = (a.longitude - b.longitude) *
+                    kEarthMetersPerDegreeLat * std::cos(mean_lat);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+int32_t NearestLocation(const GeoPoint& point,
+                        std::span<const double> latitudes,
+                        std::span<const double> longitudes) {
+  PLP_CHECK(!latitudes.empty());
+  PLP_CHECK_EQ(latitudes.size(), longitudes.size());
+  int32_t best = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < latitudes.size(); ++i) {
+    const double d = ApproxDistanceMeters(
+        point, GeoPoint{latitudes[i], longitudes[i]});
+    if (d < best_distance) {
+      best_distance = d;
+      best = static_cast<int32_t>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace plp::privacy

@@ -1,0 +1,56 @@
+#ifndef PLP_PRIVACY_GEO_INDISTINGUISHABILITY_H_
+#define PLP_PRIVACY_GEO_INDISTINGUISHABILITY_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace plp::privacy {
+
+/// A geographic point in degrees.
+struct GeoPoint {
+  double latitude = 0.0;
+  double longitude = 0.0;
+};
+
+/// Geo-indistinguishability (Andrés et al., CCS 2013 — reference [3] of
+/// the paper): a location-obfuscation mechanism with
+/// P(z | x) ∝ ε² / (2π) · e^{−ε·d(x, z)}, which the paper's Section 3.3
+/// suggests for protecting a user's *query* trajectory ζ when the model is
+/// hosted by an untrusted service provider.
+///
+/// Sampling is the standard polar decomposition: the angle is uniform and
+/// the radius follows the Gamma(2, 1/ε) CDF, inverted via the secondary
+/// branch of the Lambert W function.
+
+/// Lambert W, branch −1: the solution w <= −1 of w·e^w = x for
+/// x ∈ [−1/e, 0). Aborts outside that domain. Accurate to ~1e-12 (Halley
+/// iterations).
+double LambertWMinusOne(double x);
+
+/// Draws the planar-Laplace radius (in meters) for privacy parameter
+/// `epsilon_per_meter` (> 0) at uniform u ∈ (0, 1):
+///   r = −(1/ε) · (W₋₁((u − 1)/e) + 1).
+double PlanarLaplaceRadius(double epsilon_per_meter, double u);
+
+/// Perturbs `point` with planar Laplace noise at `epsilon_per_meter`.
+/// The radius is converted from meters to degrees with a local
+/// equirectangular approximation (exact enough at city scale).
+Result<GeoPoint> PlanarLaplacePerturb(const GeoPoint& point,
+                                      double epsilon_per_meter, Rng& rng);
+
+/// Great-circle-free city-scale distance in meters (equirectangular).
+double ApproxDistanceMeters(const GeoPoint& a, const GeoPoint& b);
+
+/// Index of the POI closest to `point` among the given coordinates
+/// (used to snap an obfuscated report back onto the POI vocabulary).
+/// Requires non-empty, equally sized spans.
+int32_t NearestLocation(const GeoPoint& point,
+                        std::span<const double> latitudes,
+                        std::span<const double> longitudes);
+
+}  // namespace plp::privacy
+
+#endif  // PLP_PRIVACY_GEO_INDISTINGUISHABILITY_H_

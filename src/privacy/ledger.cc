@@ -1,0 +1,43 @@
+#include "privacy/ledger.h"
+
+#include "common/check.h"
+
+namespace plp::privacy {
+
+PrivacyLedger::PrivacyLedger(double delta) : delta_(delta) {
+  PLP_CHECK(delta > 0.0 && delta < 1.0);
+}
+
+Status PrivacyLedger::TrackStep(double sampling_probability,
+                                double noise_multiplier) {
+  if (sampling_probability < 0.0 || sampling_probability > 1.0) {
+    return InvalidArgumentError("sampling probability must be in [0, 1]");
+  }
+  if (noise_multiplier < 0.0) {
+    return InvalidArgumentError("noise multiplier must be >= 0");
+  }
+  if (sampling_probability != cached_q_ ||
+      noise_multiplier != cached_sigma_) {
+    cached_q_ = sampling_probability;
+    cached_sigma_ = noise_multiplier;
+    cached_step_rdp_ = accountant_.StepRdp(sampling_probability,
+                                           noise_multiplier);
+  }
+  accountant_.AddPrecomputedSteps(cached_step_rdp_, 1);
+  if (!entries_.empty() &&
+      entries_.back().sampling_probability == sampling_probability &&
+      entries_.back().noise_multiplier == noise_multiplier) {
+    ++entries_.back().steps;
+  } else {
+    entries_.push_back({sampling_probability, noise_multiplier, 1});
+  }
+  return Status::Ok();
+}
+
+double PrivacyLedger::CumulativeEpsilon(RdpConversion conversion) const {
+  auto eps = accountant_.GetEpsilon(delta_, conversion);
+  PLP_CHECK_OK(eps.status());
+  return eps.value();
+}
+
+}  // namespace plp::privacy

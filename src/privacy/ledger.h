@@ -1,0 +1,55 @@
+#ifndef PLP_PRIVACY_LEDGER_H_
+#define PLP_PRIVACY_LEDGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "privacy/rdp_accountant.h"
+
+namespace plp::privacy {
+
+/// One coalesced run of identical private steps.
+struct LedgerEntry {
+  double sampling_probability = 0.0;  ///< q
+  double noise_multiplier = 0.0;      ///< σ (relative to sensitivity C)
+  int64_t steps = 0;
+};
+
+/// The privacy ledger of Algorithm 1 (lines 3, 11–12): records the (q, σ)
+/// of every training step and answers cumulative_budget_spent() via the
+/// moments accountant. "This tracker has the added benefit of allowing
+/// privacy accounting at any step of the training process."
+class PrivacyLedger {
+ public:
+  /// `delta` is fixed at construction (the paper fixes δ = 2·10⁻⁴ < 1/N).
+  /// Aborts on δ outside (0, 1).
+  explicit PrivacyLedger(double delta);
+
+  /// Records one executed training step (A.track_budget). Fails on invalid
+  /// q or σ.
+  Status TrackStep(double sampling_probability, double noise_multiplier);
+
+  /// ε spent so far at the ledger's δ (A.cumulative_budget_spent()).
+  double CumulativeEpsilon(
+      RdpConversion conversion = RdpConversion::kClassic) const;
+
+  double delta() const { return delta_; }
+  int64_t total_steps() const { return accountant_.total_steps(); }
+  const std::vector<LedgerEntry>& entries() const { return entries_; }
+  const RdpAccountant& accountant() const { return accountant_; }
+
+ private:
+  double delta_;
+  std::vector<LedgerEntry> entries_;
+  RdpAccountant accountant_;
+  // Per-step RDP cache for the last (q, σ) seen, so per-step tracking is
+  // O(orders) adds rather than O(orders · α) exp/lgamma evaluations.
+  double cached_q_ = -1.0;
+  double cached_sigma_ = -1.0;
+  std::vector<double> cached_step_rdp_;
+};
+
+}  // namespace plp::privacy
+
+#endif  // PLP_PRIVACY_LEDGER_H_

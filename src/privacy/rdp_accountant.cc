@@ -1,0 +1,146 @@
+#include "privacy/rdp_accountant.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace plp::privacy {
+
+double SubsampledGaussianRdp(double q, double sigma, int64_t alpha) {
+  PLP_CHECK(q >= 0.0 && q <= 1.0);
+  PLP_CHECK_GE(sigma, 0.0);
+  PLP_CHECK_GE(alpha, 2);
+  if (q == 0.0) return 0.0;
+  if (sigma == 0.0) return std::numeric_limits<double>::infinity();
+  const double a = static_cast<double>(alpha);
+  if (q == 1.0) return a / (2.0 * sigma * sigma);
+
+  const double log_q = std::log(q);
+  const double log_1mq = std::log1p(-q);
+  double log_sum = -std::numeric_limits<double>::infinity();
+  for (int64_t k = 0; k <= alpha; ++k) {
+    const double kd = static_cast<double>(k);
+    const double term = LogBinomial(static_cast<int>(alpha),
+                                    static_cast<int>(k)) +
+                        (a - kd) * log_1mq + kd * log_q +
+                        kd * (kd - 1.0) / (2.0 * sigma * sigma);
+    log_sum = LogAdd(log_sum, term);
+  }
+  // log_sum >= 0 mathematically (the k=0 and k=1 terms already sum to a
+  // value whose log is >= log((1-q)^a + a q (1-q)^{a-1} ...)); numerical
+  // error can push it slightly negative, clamp.
+  return std::max(0.0, log_sum) / (a - 1.0);
+}
+
+std::vector<int64_t> DefaultRdpOrders() {
+  std::vector<int64_t> orders;
+  for (int64_t a = 2; a <= 64; ++a) orders.push_back(a);
+  for (int64_t a = 72; a <= 256; a += 8) orders.push_back(a);
+  for (int64_t a = 288; a <= 512; a += 32) orders.push_back(a);
+  return orders;
+}
+
+RdpAccountant::RdpAccountant() : RdpAccountant(DefaultRdpOrders()) {}
+
+RdpAccountant::RdpAccountant(std::vector<int64_t> orders)
+    : orders_(std::move(orders)) {
+  PLP_CHECK(!orders_.empty());
+  for (int64_t a : orders_) PLP_CHECK_GE(a, 2);
+  rdp_.assign(orders_.size(), 0.0);
+}
+
+Status RdpAccountant::AddSteps(double q, double sigma, int64_t steps) {
+  if (q < 0.0 || q > 1.0) {
+    return InvalidArgumentError("sampling probability must be in [0, 1]");
+  }
+  if (sigma < 0.0) {
+    return InvalidArgumentError("noise multiplier must be >= 0");
+  }
+  if (steps < 0) return InvalidArgumentError("steps must be >= 0");
+  if (steps == 0) return Status::Ok();
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    rdp_[i] += static_cast<double>(steps) *
+               SubsampledGaussianRdp(q, sigma, orders_[i]);
+  }
+  total_steps_ += steps;
+  return Status::Ok();
+}
+
+std::vector<double> RdpAccountant::StepRdp(double q, double sigma) const {
+  std::vector<double> step(orders_.size());
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    step[i] = SubsampledGaussianRdp(q, sigma, orders_[i]);
+  }
+  return step;
+}
+
+void RdpAccountant::AddPrecomputedSteps(const std::vector<double>& step_rdp,
+                                        int64_t steps) {
+  PLP_CHECK_EQ(step_rdp.size(), rdp_.size());
+  PLP_CHECK_GE(steps, 0);
+  for (size_t i = 0; i < rdp_.size(); ++i) {
+    rdp_[i] += static_cast<double>(steps) * step_rdp[i];
+  }
+  total_steps_ += steps;
+}
+
+Result<double> RdpAccountant::GetEpsilon(double delta,
+                                         RdpConversion conversion) const {
+  if (delta <= 0.0 || delta >= 1.0) {
+    return InvalidArgumentError("delta must be in (0, 1)");
+  }
+  // An empty composition is perfectly private.
+  bool any_cost = false;
+  for (double r : rdp_) any_cost |= r > 0.0;
+  if (!any_cost) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    const double a = static_cast<double>(orders_[i]);
+    double eps;
+    if (conversion == RdpConversion::kClassic) {
+      eps = rdp_[i] + std::log(1.0 / delta) / (a - 1.0);
+    } else {
+      eps = rdp_[i] + std::log((a - 1.0) / a) -
+            (std::log(delta) + std::log(a)) / (a - 1.0);
+    }
+    if (eps < best) best = eps;
+  }
+  return std::max(0.0, best);
+}
+
+Result<int64_t> RdpAccountant::GetOptimalOrder(double delta) const {
+  if (delta <= 0.0 || delta >= 1.0) {
+    return InvalidArgumentError("delta must be in (0, 1)");
+  }
+  double best = std::numeric_limits<double>::infinity();
+  int64_t best_order = orders_.front();
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    const double a = static_cast<double>(orders_[i]);
+    const double eps = rdp_[i] + std::log(1.0 / delta) / (a - 1.0);
+    if (eps < best) {
+      best = eps;
+      best_order = orders_[i];
+    }
+  }
+  return best_order;
+}
+
+double NaiveCompositionEpsilon(double eps0, int64_t steps) {
+  PLP_CHECK_GE(eps0, 0.0);
+  PLP_CHECK_GE(steps, 0);
+  return eps0 * static_cast<double>(steps);
+}
+
+double AdvancedCompositionEpsilon(double eps0, int64_t steps,
+                                  double delta_slack) {
+  PLP_CHECK_GE(eps0, 0.0);
+  PLP_CHECK_GE(steps, 0);
+  PLP_CHECK(delta_slack > 0.0 && delta_slack < 1.0);
+  const double k = static_cast<double>(steps);
+  return eps0 * std::sqrt(2.0 * k * std::log(1.0 / delta_slack)) +
+         k * eps0 * (std::exp(eps0) - 1.0);
+}
+
+}  // namespace plp::privacy

@@ -1,0 +1,96 @@
+#ifndef PLP_PRIVACY_RDP_ACCOUNTANT_H_
+#define PLP_PRIVACY_RDP_ACCOUNTANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace plp::privacy {
+
+/// Rényi-DP cost of ONE step of the Poisson-subsampled Gaussian mechanism
+/// at integer order `alpha` >= 2 (Mironov et al., "Rényi Differential
+/// Privacy of the Sampled Gaussian Mechanism"):
+///
+///   RDP(α) = 1/(α−1) · log Σ_{k=0}^{α} C(α,k)·(1−q)^{α−k}·q^k·
+///                                 exp(k(k−1)/(2σ²))
+///
+/// evaluated in log space. q is the sampling probability, sigma the noise
+/// multiplier (noise stddev divided by the query's l2 sensitivity).
+/// Edge cases: q == 0 → 0; q == 1 → α/(2σ²); σ == 0 → +infinity.
+double SubsampledGaussianRdp(double q, double sigma, int64_t alpha);
+
+/// The default grid of Rényi orders tracked by the accountant
+/// (2, 3, ..., 64 plus coarser large orders up to 512).
+std::vector<int64_t> DefaultRdpOrders();
+
+/// How an accumulated RDP curve is converted to an (ε, δ) guarantee.
+enum class RdpConversion {
+  /// Classic: ε = min_α [ RDP(α) + log(1/δ)/(α−1) ].
+  kClassic,
+  /// Tighter conversion (Canonne–Kairouz–Steinke style):
+  /// ε = min_α [ RDP(α) + log((α−1)/α) − (log δ + log α)/(α−1) ].
+  kImproved,
+};
+
+/// The moments accountant of [Abadi et al. 2016] in its RDP formulation:
+/// tracks the Rényi divergence budget accumulated over composed subsampled
+/// Gaussian steps and converts it to (ε, δ) on demand. This is the
+/// `cumulative_budget_spent()` oracle of Algorithm 1.
+class RdpAccountant {
+ public:
+  /// Uses DefaultRdpOrders().
+  RdpAccountant();
+
+  /// Custom order grid. All orders must be integers >= 2.
+  explicit RdpAccountant(std::vector<int64_t> orders);
+
+  /// Accumulates `steps` steps of a subsampled Gaussian mechanism with
+  /// sampling probability `q` in [0, 1] and noise multiplier `sigma` >= 0.
+  /// Fails on out-of-range parameters.
+  Status AddSteps(double q, double sigma, int64_t steps);
+
+  /// Per-order RDP of a single step with these parameters, evaluated on this
+  /// accountant's order grid. Callers that execute many steps with identical
+  /// (q, σ) can compute this once and feed it to AddPrecomputedSteps.
+  std::vector<double> StepRdp(double q, double sigma) const;
+
+  /// Accumulates `steps` steps whose per-order RDP was precomputed with
+  /// StepRdp. `step_rdp.size()` must equal orders().size().
+  void AddPrecomputedSteps(const std::vector<double>& step_rdp,
+                           int64_t steps);
+
+  /// Smallest ε such that the composition so far is (ε, δ)-DP.
+  /// Requires δ in (0, 1). Returns +infinity if no finite order bounds it
+  /// (e.g. σ == 0 was recorded).
+  Result<double> GetEpsilon(double delta,
+                            RdpConversion conversion =
+                                RdpConversion::kClassic) const;
+
+  /// The order achieving the minimum in GetEpsilon (diagnostics).
+  Result<int64_t> GetOptimalOrder(double delta) const;
+
+  const std::vector<int64_t>& orders() const { return orders_; }
+  const std::vector<double>& accumulated_rdp() const { return rdp_; }
+  int64_t total_steps() const { return total_steps_; }
+
+ private:
+  std::vector<int64_t> orders_;
+  std::vector<double> rdp_;  ///< accumulated RDP at each order
+  int64_t total_steps_ = 0;
+};
+
+/// Baselines for the accounting ablation (A3 in DESIGN.md).
+///
+/// Total ε after composing `steps` releases of an (eps0, delta0)-DP
+/// mechanism naively: ε = steps · eps0 (δ composes as steps · delta0).
+double NaiveCompositionEpsilon(double eps0, int64_t steps);
+
+/// Advanced ("strong") composition [Dwork–Rothblum–Vadhan]: total ε at
+/// additional slack δ': ε = eps0·√(2·steps·ln(1/δ')) + steps·eps0·(e^ε0 − 1).
+double AdvancedCompositionEpsilon(double eps0, int64_t steps,
+                                  double delta_slack);
+
+}  // namespace plp::privacy
+
+#endif  // PLP_PRIVACY_RDP_ACCOUNTANT_H_

@@ -1,0 +1,23 @@
+#include "sgns/local_model.h"
+
+namespace plp::sgns {
+
+SparseDelta LocalModel::ExtractDelta() const {
+  SparseDelta delta(dim());
+  in_rows_.ForEach([&](int32_t row, std::span<const double> vec) {
+    std::span<double> d = delta.Row(Tensor::kWIn, row);
+    const std::span<const double> base_row = base_->InRow(row);
+    for (int32_t i = 0; i < dim(); ++i) d[i] = vec[i] - base_row[i];
+  });
+  out_rows_.ForEach([&](int32_t row, std::span<const double> vec) {
+    std::span<double> d = delta.Row(Tensor::kWOut, row);
+    const std::span<const double> base_row = base_->OutRow(row);
+    for (int32_t i = 0; i < dim(); ++i) d[i] = vec[i] - base_row[i];
+  });
+  bias_.ForEach([&](int32_t row, std::span<const double> v) {
+    delta.AddBias(row, v[0] - base_->bias(row));
+  });
+  return delta;
+}
+
+}  // namespace plp::sgns

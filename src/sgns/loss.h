@@ -1,0 +1,184 @@
+#ifndef PLP_SGNS_LOSS_H_
+#define PLP_SGNS_LOSS_H_
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "sgns/model.h"
+#include "sgns/pairs.h"
+#include "sgns/sparse_delta.h"
+
+namespace plp::sgns {
+
+/// Loss and example counts for a processed batch.
+struct BatchStats {
+  double loss_sum = 0.0;
+  int64_t num_pairs = 0;
+
+  double mean_loss() const {
+    return num_pairs == 0 ? 0.0 : loss_sum / static_cast<double>(num_pairs);
+  }
+};
+
+/// Computes the batch-average gradient of the sampled loss at the model's
+/// current parameters (accumulated into `gradient`), returning the batch
+/// loss. Only the rows of the target embedding and the neg+1 candidate
+/// output rows/biases are touched per pair — the sparsity Section 3.2
+/// relies on. Negative candidates are drawn *uniformly* over
+/// [0, num_locations) (frequency-based sampling would leak; Section 3.2),
+/// excluding the true context.
+///
+/// `Model` must expose InRow/OutRow/bias like SgnsModel or LocalModel.
+template <typename Model>
+BatchStats AccumulateBatchGradient(const Model& model,
+                                   std::span<const Pair> batch,
+                                   const SgnsConfig& config,
+                                   int32_t num_locations, Rng& rng,
+                                   SparseDelta& gradient);
+
+/// Applies one SGD step over a batch (Algorithm 1 line 19):
+///   Φ ← Φ − η · (1/|b|) Σ ∇J(Φ).
+/// Returns the batch loss.
+template <typename Model>
+BatchStats ApplySgdBatch(Model& model, std::span<const Pair> batch,
+                         const SgnsConfig& config, int32_t num_locations,
+                         double learning_rate, Rng& rng);
+
+// Implementation details only below here.
+
+namespace internal_loss {
+
+inline double Sigmoid(double x) {
+  // Clamp so exp() never overflows; gradients saturate anyway.
+  x = Clamp(x, -30.0, 30.0);
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+/// Draws a uniform candidate different from `exclude` (bounded retries;
+/// with L >= 2 a collision streak of 16 is practically impossible).
+inline int32_t DrawNegative(Rng& rng, int32_t num_locations, int32_t exclude) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const int32_t c = static_cast<int32_t>(
+        rng.UniformInt(static_cast<uint64_t>(num_locations)));
+    if (c != exclude) return c;
+  }
+  return exclude == 0 ? (num_locations > 1 ? 1 : 0) : 0;
+}
+
+}  // namespace internal_loss
+
+template <typename Model>
+BatchStats AccumulateBatchGradient(const Model& model,
+                                   std::span<const Pair> batch,
+                                   const SgnsConfig& config,
+                                   int32_t num_locations, Rng& rng,
+                                   SparseDelta& gradient) {
+  PLP_CHECK_GT(num_locations, 0);
+  PLP_CHECK_GT(config.negatives, 0);
+  const int32_t dim = config.embedding_dim;
+  PLP_CHECK_EQ(dim, gradient.dim());
+
+  BatchStats stats;
+  const int32_t num_candidates = config.negatives + 1;
+  std::vector<int32_t> candidates(static_cast<size_t>(num_candidates));
+  std::vector<double> logits(static_cast<size_t>(num_candidates));
+  std::vector<double> dlogits(static_cast<size_t>(num_candidates));
+  std::vector<double> grad_h(static_cast<size_t>(dim));
+
+  for (const Pair& pair : batch) {
+    PLP_CHECK(pair.target >= 0 && pair.target < num_locations);
+    PLP_CHECK(pair.context >= 0 && pair.context < num_locations);
+    const std::span<const double> h = model.InRow(pair.target);
+
+    candidates[0] = pair.context;  // positive class first
+    for (int32_t i = 1; i < num_candidates; ++i) {
+      candidates[i] =
+          internal_loss::DrawNegative(rng, num_locations, pair.context);
+    }
+    for (int32_t i = 0; i < num_candidates; ++i) {
+      logits[i] = Dot(model.OutRow(candidates[i]), h) +
+                  model.bias(candidates[i]);
+    }
+
+    if (config.loss == LossKind::kSampledSoftmax) {
+      // Softmax over the candidate set; loss = −log p(positive).
+      const double lse = LogSumExp(logits);
+      stats.loss_sum += lse - logits[0];
+      for (int32_t i = 0; i < num_candidates; ++i) {
+        dlogits[i] = std::exp(logits[i] - lse) - (i == 0 ? 1.0 : 0.0);
+      }
+    } else {
+      // Classic SGNS: −log σ(u₀) − Σ log σ(−uᵢ).
+      for (int32_t i = 0; i < num_candidates; ++i) {
+        const double s = internal_loss::Sigmoid(logits[i]);
+        if (i == 0) {
+          stats.loss_sum += -std::log(std::max(s, 1e-12));
+          dlogits[i] = s - 1.0;
+        } else {
+          stats.loss_sum += -std::log(std::max(1.0 - s, 1e-12));
+          dlogits[i] = s;
+        }
+      }
+    }
+
+    // Back-propagate: dL/dW'[c] = g_c · h, dL/db[c] = g_c,
+    // dL/dh = Σ g_c · W'[c].
+    std::fill(grad_h.begin(), grad_h.end(), 0.0);
+    for (int32_t i = 0; i < num_candidates; ++i) {
+      const double g = dlogits[i];
+      const std::span<const double> out_row = model.OutRow(candidates[i]);
+      const std::span<double> grad_out =
+          gradient.Row(Tensor::kWOut, candidates[i]);
+      for (int32_t d = 0; d < dim; ++d) {
+        grad_out[d] += g * h[d];
+        grad_h[d] += g * out_row[d];
+      }
+      gradient.AddBias(candidates[i], g);
+    }
+    const std::span<double> grad_in = gradient.Row(Tensor::kWIn, pair.target);
+    for (int32_t d = 0; d < dim; ++d) grad_in[d] += grad_h[d];
+
+    ++stats.num_pairs;
+  }
+  return stats;
+}
+
+template <typename Model>
+BatchStats ApplySgdBatch(Model& model, std::span<const Pair> batch,
+                         const SgnsConfig& config, int32_t num_locations,
+                         double learning_rate, Rng& rng) {
+  if (batch.empty()) return BatchStats{};
+  SparseDelta gradient(config.embedding_dim);
+  const BatchStats stats = AccumulateBatchGradient(
+      model, batch, config, num_locations, rng, gradient);
+  const double scale =
+      -learning_rate / static_cast<double>(batch.size());
+  // Apply: overlay rows for LocalModel, direct rows for SgnsModel.
+  gradient.ForEachRow(Tensor::kWIn,
+                      [&](int32_t row, std::span<const double> vec) {
+                        std::span<double> dst = model.MutableInRow(row);
+                        for (int32_t d = 0; d < config.embedding_dim; ++d) {
+                          dst[d] += scale * vec[d];
+                        }
+                      });
+  gradient.ForEachRow(Tensor::kWOut,
+                      [&](int32_t row, std::span<const double> vec) {
+                        std::span<double> dst = model.MutableOutRow(row);
+                        for (int32_t d = 0; d < config.embedding_dim; ++d) {
+                          dst[d] += scale * vec[d];
+                        }
+                      });
+  gradient.ForEachRow(Tensor::kBias,
+                      [&](int32_t row, std::span<const double> v) {
+                        model.mutable_bias(row) += scale * v[0];
+                      });
+  return stats;
+}
+
+}  // namespace plp::sgns
+
+#endif  // PLP_SGNS_LOSS_H_

@@ -1,0 +1,108 @@
+#include "sgns/model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace plp::sgns {
+
+Result<SgnsModel> SgnsModel::Create(int32_t num_locations,
+                                    const SgnsConfig& config, Rng& rng) {
+  if (num_locations <= 0) {
+    return InvalidArgumentError("num_locations must be > 0");
+  }
+  if (config.embedding_dim <= 0) {
+    return InvalidArgumentError("embedding_dim must be > 0");
+  }
+  SgnsModel model;
+  model.num_locations_ = num_locations;
+  model.dim_ = config.embedding_dim;
+  const size_t matrix_size =
+      static_cast<size_t>(num_locations) * static_cast<size_t>(model.dim_);
+  model.w_in_.resize(matrix_size);
+  model.w_out_.assign(matrix_size, 0.0);
+  model.bias_.assign(static_cast<size_t>(num_locations), 0.0);
+  const double scale = config.init_scale > 0.0
+                           ? config.init_scale
+                           : 0.5 / static_cast<double>(model.dim_);
+  for (double& w : model.w_in_) w = rng.Uniform(-scale, scale);
+  return model;
+}
+
+int64_t SgnsModel::num_parameters() const {
+  return 2LL * num_locations_ * dim_ + num_locations_;
+}
+
+std::span<const double> SgnsModel::InRow(int32_t location) const {
+  PLP_CHECK(location >= 0 && location < num_locations_);
+  return {w_in_.data() + static_cast<size_t>(location) * dim_,
+          static_cast<size_t>(dim_)};
+}
+
+std::span<double> SgnsModel::MutableInRow(int32_t location) {
+  PLP_CHECK(location >= 0 && location < num_locations_);
+  return {w_in_.data() + static_cast<size_t>(location) * dim_,
+          static_cast<size_t>(dim_)};
+}
+
+std::span<const double> SgnsModel::OutRow(int32_t location) const {
+  PLP_CHECK(location >= 0 && location < num_locations_);
+  return {w_out_.data() + static_cast<size_t>(location) * dim_,
+          static_cast<size_t>(dim_)};
+}
+
+std::span<double> SgnsModel::MutableOutRow(int32_t location) {
+  PLP_CHECK(location >= 0 && location < num_locations_);
+  return {w_out_.data() + static_cast<size_t>(location) * dim_,
+          static_cast<size_t>(dim_)};
+}
+
+double SgnsModel::bias(int32_t location) const {
+  PLP_CHECK(location >= 0 && location < num_locations_);
+  return bias_[static_cast<size_t>(location)];
+}
+
+double& SgnsModel::mutable_bias(int32_t location) {
+  PLP_CHECK(location >= 0 && location < num_locations_);
+  return bias_[static_cast<size_t>(location)];
+}
+
+std::span<const double> SgnsModel::TensorData(Tensor t) const {
+  switch (t) {
+    case Tensor::kWIn:
+      return w_in_;
+    case Tensor::kWOut:
+      return w_out_;
+    case Tensor::kBias:
+      return bias_;
+  }
+  PLP_CHECK(false);
+  return {};
+}
+
+std::span<double> SgnsModel::MutableTensorData(Tensor t) {
+  switch (t) {
+    case Tensor::kWIn:
+      return w_in_;
+    case Tensor::kWOut:
+      return w_out_;
+    case Tensor::kBias:
+      return bias_;
+  }
+  PLP_CHECK(false);
+  return {};
+}
+
+double SgnsModel::TensorNorm(Tensor t) const { return L2Norm(TensorData(t)); }
+
+std::vector<double> SgnsModel::NormalizedEmbeddings() const {
+  std::vector<double> out = w_in_;
+  for (int32_t l = 0; l < num_locations_; ++l) {
+    NormalizeL2({out.data() + static_cast<size_t>(l) * dim_,
+                 static_cast<size_t>(dim_)});
+  }
+  return out;
+}
+
+}  // namespace plp::sgns

@@ -1,0 +1,86 @@
+#ifndef PLP_SGNS_MODEL_H_
+#define PLP_SGNS_MODEL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace plp::sgns {
+
+/// The three trainable tensors of Figure 2: θ = {W, W', B'}.
+enum class Tensor { kWIn = 0, kWOut = 1, kBias = 2 };
+inline constexpr int kNumTensors = 3;
+
+/// Loss used for the sampled output layer (Section 3.2).
+enum class LossKind {
+  /// Softmax over {true context} ∪ {neg uniform candidates}; the paper's
+  /// choice ("a sampled softmax function with a uniform sampling
+  /// distribution").
+  kSampledSoftmax,
+  /// Classic skip-gram negative-sampling logistic loss (Mikolov et al.),
+  /// kept for the ablation bench.
+  kSgnsLogistic,
+};
+
+/// Skip-gram hyper-parameters (paper defaults from Section 5.1).
+struct SgnsConfig {
+  int32_t embedding_dim = 50;  ///< dim
+  int32_t window = 2;          ///< win: symmetric context window
+  int32_t negatives = 16;      ///< neg: candidates drawn per positive pair
+  LossKind loss = LossKind::kSampledSoftmax;
+  double init_scale = 0.0;  ///< 0 → use 0.5/dim (word2vec convention)
+};
+
+/// The skip-gram location model: an embedding matrix W (L × dim), a context
+/// matrix W' (L × dim) and a bias vector B' (L). Rows are stored
+/// contiguously; all parameter access is by row so gradient updates stay
+/// sparse.
+class SgnsModel {
+ public:
+  /// An empty (0-location) model; usable only as a move-assignment target.
+  SgnsModel() = default;
+
+  /// Creates a model with W initialized uniformly in ±init_scale and
+  /// W', B' at zero (word2vec convention). Fails on non-positive sizes.
+  static Result<SgnsModel> Create(int32_t num_locations,
+                                  const SgnsConfig& config, Rng& rng);
+
+  int32_t num_locations() const { return num_locations_; }
+  int32_t dim() const { return dim_; }
+
+  /// Total scalar parameter count: 2·L·dim + L.
+  int64_t num_parameters() const;
+
+  std::span<const double> InRow(int32_t location) const;
+  std::span<double> MutableInRow(int32_t location);
+  std::span<const double> OutRow(int32_t location) const;
+  std::span<double> MutableOutRow(int32_t location);
+  double bias(int32_t location) const;
+  double& mutable_bias(int32_t location);
+
+  /// Whole-tensor views (used by the server optimizer and the noise step).
+  std::span<const double> TensorData(Tensor t) const;
+  std::span<double> MutableTensorData(Tensor t);
+
+  /// l2 norm of one tensor.
+  double TensorNorm(Tensor t) const;
+
+  /// Returns a copy of W with every row scaled to unit l2 norm (Section 3.2:
+  /// "the embedded vectors are normalized to unit length"). Row-major,
+  /// L × dim.
+  std::vector<double> NormalizedEmbeddings() const;
+
+ private:
+  int32_t num_locations_ = 0;
+  int32_t dim_ = 0;
+  std::vector<double> w_in_;
+  std::vector<double> w_out_;
+  std::vector<double> bias_;
+};
+
+}  // namespace plp::sgns
+
+#endif  // PLP_SGNS_MODEL_H_

@@ -1,0 +1,125 @@
+#include "sgns/model_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace plp::sgns {
+namespace {
+
+constexpr char kMagicFull[4] = {'P', 'L', 'P', 'M'};
+constexpr char kMagicEmbeddings[4] = {'P', 'L', 'P', 'E'};
+constexpr int32_t kFormatVersion = 1;
+
+Status WriteHeader(std::ofstream& out, const char magic[4],
+                   int32_t num_locations, int32_t dim) {
+  out.write(magic, 4);
+  auto write_i32 = [&out](int32_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  write_i32(kFormatVersion);
+  write_i32(num_locations);
+  write_i32(dim);
+  if (!out) return InternalError("header write failed");
+  return Status::Ok();
+}
+
+Status ReadHeader(std::ifstream& in, const char magic[4],
+                  int32_t* num_locations, int32_t* dim) {
+  char file_magic[4];
+  in.read(file_magic, 4);
+  if (!in || std::memcmp(file_magic, magic, 4) != 0) {
+    return InvalidArgumentError("not a PLP model file (bad magic)");
+  }
+  auto read_i32 = [&in](int32_t* v) {
+    in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  };
+  int32_t version = 0;
+  read_i32(&version);
+  if (!in || version != kFormatVersion) {
+    return InvalidArgumentError("unsupported model format version");
+  }
+  read_i32(num_locations);
+  read_i32(dim);
+  if (!in || *num_locations <= 0 || *dim <= 0) {
+    return InvalidArgumentError("corrupt model header");
+  }
+  return Status::Ok();
+}
+
+Status WriteDoubles(std::ofstream& out, std::span<const double> values) {
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(double)));
+  if (!out) return InternalError("tensor write failed");
+  return Status::Ok();
+}
+
+Status ReadDoubles(std::ifstream& in, std::span<double> values) {
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(double)));
+  if (!in) return InvalidArgumentError("truncated model file");
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveModel(const SgnsModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return InternalError("cannot open for writing: " + path);
+  PLP_RETURN_IF_ERROR(
+      WriteHeader(out, kMagicFull, model.num_locations(), model.dim()));
+  for (int ti = 0; ti < kNumTensors; ++ti) {
+    PLP_RETURN_IF_ERROR(
+        WriteDoubles(out, model.TensorData(static_cast<Tensor>(ti))));
+  }
+  return Status::Ok();
+}
+
+Result<SgnsModel> LoadModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open: " + path);
+  int32_t num_locations = 0, dim = 0;
+  PLP_RETURN_IF_ERROR(ReadHeader(in, kMagicFull, &num_locations, &dim));
+
+  Rng unused_rng(0);
+  SgnsConfig config;
+  config.embedding_dim = dim;
+  PLP_ASSIGN_OR_RETURN(SgnsModel model,
+                       SgnsModel::Create(num_locations, config, unused_rng));
+  for (int ti = 0; ti < kNumTensors; ++ti) {
+    PLP_RETURN_IF_ERROR(
+        ReadDoubles(in, model.MutableTensorData(static_cast<Tensor>(ti))));
+  }
+  // Reject trailing garbage.
+  char extra;
+  in.read(&extra, 1);
+  if (!in.eof()) return InvalidArgumentError("trailing bytes in model file");
+  return model;
+}
+
+Status SaveEmbeddings(const SgnsModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return InternalError("cannot open for writing: " + path);
+  PLP_RETURN_IF_ERROR(WriteHeader(out, kMagicEmbeddings,
+                                  model.num_locations(), model.dim()));
+  const std::vector<double> normalized = model.NormalizedEmbeddings();
+  return WriteDoubles(out, normalized);
+}
+
+Result<DeployedEmbeddings> LoadEmbeddings(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open: " + path);
+  DeployedEmbeddings deployed;
+  PLP_RETURN_IF_ERROR(ReadHeader(in, kMagicEmbeddings,
+                                 &deployed.num_locations, &deployed.dim));
+  deployed.embeddings.resize(static_cast<size_t>(deployed.num_locations) *
+                             static_cast<size_t>(deployed.dim));
+  PLP_RETURN_IF_ERROR(ReadDoubles(in, deployed.embeddings));
+  char extra;
+  in.read(&extra, 1);
+  if (!in.eof()) return InvalidArgumentError("trailing bytes in model file");
+  return deployed;
+}
+
+}  // namespace plp::sgns

@@ -1,0 +1,41 @@
+#ifndef PLP_SGNS_MODEL_IO_H_
+#define PLP_SGNS_MODEL_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sgns/model.h"
+
+namespace plp::sgns {
+
+/// Binary model serialization (Section 3.3: a trained model is shipped to
+/// user devices; "to reduce communication costs, only the embedding matrix
+/// is deployed").
+///
+/// Format: magic "PLPM", format version, L, dim, then tensors as raw
+/// little-endian doubles. Full models carry {W, W', B'}; deployment models
+/// carry the unit-normalized W only.
+
+/// Writes the full model (all three tensors).
+Status SaveModel(const SgnsModel& model, const std::string& path);
+
+/// Reads a model written by SaveModel.
+Result<SgnsModel> LoadModel(const std::string& path);
+
+/// Writes only the unit-normalized embedding matrix — the deployment
+/// artifact a mobile device downloads.
+Status SaveEmbeddings(const SgnsModel& model, const std::string& path);
+
+/// Deployment-side view of SaveEmbeddings output: the normalized
+/// embedding matrix, ready to feed eval::Recommender-style scoring.
+struct DeployedEmbeddings {
+  int32_t num_locations = 0;
+  int32_t dim = 0;
+  std::vector<double> embeddings;  ///< row-major L × dim, unit rows
+};
+Result<DeployedEmbeddings> LoadEmbeddings(const std::string& path);
+
+}  // namespace plp::sgns
+
+#endif  // PLP_SGNS_MODEL_IO_H_

@@ -1,0 +1,40 @@
+#include "sgns/pairs.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace plp::sgns {
+
+std::vector<Pair> GeneratePairs(const std::vector<int32_t>& sentence,
+                                int32_t window) {
+  PLP_CHECK_GT(window, 0);
+  std::vector<Pair> pairs;
+  const int64_t n = static_cast<int64_t>(sentence.size());
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t lo = std::max<int64_t>(0, i - window);
+    const int64_t hi = std::min<int64_t>(n - 1, i + window);
+    for (int64_t j = lo; j <= hi; ++j) {
+      if (j == i) continue;
+      pairs.push_back(Pair{sentence[i], sentence[j]});
+    }
+  }
+  return pairs;
+}
+
+std::vector<std::vector<Pair>> MakeBatches(std::vector<Pair> pairs,
+                                           int32_t batch_size, Rng& rng) {
+  PLP_CHECK_GT(batch_size, 0);
+  rng.Shuffle(pairs);
+  std::vector<std::vector<Pair>> batches;
+  for (size_t start = 0; start < pairs.size();
+       start += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(pairs.size(), start + static_cast<size_t>(batch_size));
+    batches.emplace_back(pairs.begin() + static_cast<int64_t>(start),
+                         pairs.begin() + static_cast<int64_t>(end));
+  }
+  return batches;
+}
+
+}  // namespace plp::sgns

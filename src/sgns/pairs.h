@@ -1,0 +1,35 @@
+#ifndef PLP_SGNS_PAIRS_H_
+#define PLP_SGNS_PAIRS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace plp::sgns {
+
+/// A (target, context) training example.
+struct Pair {
+  int32_t target = 0;
+  int32_t context = 0;
+};
+
+inline bool operator==(const Pair& a, const Pair& b) {
+  return a.target == b.target && a.context == b.context;
+}
+
+/// Emits every (target, context) pair from one sentence with a symmetric
+/// window of `window` tokens on each side (Section 3.2: "a symmetric window
+/// of win context locations to the left and win to the right").
+std::vector<Pair> GeneratePairs(const std::vector<int32_t>& sentence,
+                                int32_t window);
+
+/// Splits `pairs` into shuffled batches of `batch_size` (the paper's
+/// generateBatches(); the final batch may be short). Requires
+/// batch_size > 0.
+std::vector<std::vector<Pair>> MakeBatches(std::vector<Pair> pairs,
+                                           int32_t batch_size, Rng& rng);
+
+}  // namespace plp::sgns
+
+#endif  // PLP_SGNS_PAIRS_H_

@@ -1,0 +1,142 @@
+#ifndef PLP_SGNS_ROW_MAP_H_
+#define PLP_SGNS_ROW_MAP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace plp::sgns {
+
+/// Open-addressing hash map from int32 row id to a fixed-width row of
+/// doubles, stored contiguously in insertion order.
+///
+/// This is the hot data structure of local training: every candidate row
+/// access in the sampled-softmax inner loop goes through one of these. It
+/// beats std::unordered_map by avoiding per-node allocation and pointer
+/// chasing — rows live in one arena, and the table is a flat probe array.
+/// Erasure is intentionally unsupported (training only ever inserts).
+class RowMap {
+ public:
+  /// `dim` >= 1 doubles per row (use dim = 1 for scalar maps like B').
+  explicit RowMap(int32_t dim) : dim_(static_cast<size_t>(dim)) {
+    PLP_CHECK_GE(dim, 1);
+    Rehash(16);
+  }
+
+  size_t size() const { return entry_keys_.size(); }
+  bool empty() const { return entry_keys_.empty(); }
+  int32_t dim() const { return static_cast<int32_t>(dim_); }
+
+  /// Returns the row for `key`, inserting a zero-filled row if absent.
+  /// `inserted` (optional) reports whether the row is new. Spans are
+  /// invalidated by the next insertion.
+  std::span<double> FindOrInsertZero(int32_t key, bool* inserted = nullptr) {
+    size_t slot = Probe(key);
+    if (slots_[slot].key == kEmpty) {
+      if ((entry_keys_.size() + 1) * 4 > slots_.size() * 3) {
+        Rehash(slots_.size() * 2);
+        slot = Probe(key);
+      }
+      slots_[slot].key = key;
+      slots_[slot].index = static_cast<uint32_t>(entry_keys_.size());
+      entry_keys_.push_back(key);
+      arena_.resize(arena_.size() + dim_, 0.0);
+      if (inserted != nullptr) *inserted = true;
+      return RowAt(entry_keys_.size() - 1);
+    }
+    if (inserted != nullptr) *inserted = false;
+    return RowAt(slots_[slot].index);
+  }
+
+  /// Returns the row for `key`, or an empty span if absent.
+  std::span<const double> Find(int32_t key) const {
+    const size_t slot = Probe(key);
+    if (slots_[slot].key == kEmpty) return {};
+    return RowAt(slots_[slot].index);
+  }
+
+  std::span<double> FindMutable(int32_t key) {
+    const size_t slot = Probe(key);
+    if (slots_[slot].key == kEmpty) return {};
+    return RowAt(slots_[slot].index);
+  }
+
+  /// Calls fn(key, std::span<const double>) for every row in insertion
+  /// order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < entry_keys_.size(); ++i) {
+      fn(entry_keys_[i], RowAt(i));
+    }
+  }
+
+  /// Calls fn(key, std::span<double>) for every row in insertion order.
+  template <typename Fn>
+  void ForEachMutable(Fn&& fn) {
+    for (size_t i = 0; i < entry_keys_.size(); ++i) {
+      fn(entry_keys_[i], RowAt(i));
+    }
+  }
+
+  /// Removes all rows but keeps capacity (cheap reuse across batches).
+  void Clear() {
+    for (Slot& s : slots_) s.key = kEmpty;
+    entry_keys_.clear();
+    arena_.clear();
+  }
+
+ private:
+  static constexpr int32_t kEmpty = -1;
+
+  struct Slot {
+    int32_t key = kEmpty;
+    uint32_t index = 0;
+  };
+
+  static size_t Hash(int32_t key) {
+    // Finalizer of splitmix32: good avalanche for sequential ids.
+    uint32_t x = static_cast<uint32_t>(key);
+    x = (x ^ (x >> 16)) * 0x7FEB352DU;
+    x = (x ^ (x >> 15)) * 0x846CA68BU;
+    return x ^ (x >> 16);
+  }
+
+  size_t Probe(int32_t key) const {
+    PLP_CHECK_GE(key, 0);
+    size_t slot = Hash(key) & mask_;
+    while (slots_[slot].key != kEmpty && slots_[slot].key != key) {
+      slot = (slot + 1) & mask_;
+    }
+    return slot;
+  }
+
+  std::span<double> RowAt(size_t index) {
+    return {arena_.data() + index * dim_, dim_};
+  }
+  std::span<const double> RowAt(size_t index) const {
+    return {arena_.data() + index * dim_, dim_};
+  }
+
+  void Rehash(size_t new_capacity) {
+    slots_.assign(new_capacity, Slot{});
+    mask_ = new_capacity - 1;
+    for (size_t i = 0; i < entry_keys_.size(); ++i) {
+      size_t slot = Hash(entry_keys_[i]) & mask_;
+      while (slots_[slot].key != kEmpty) slot = (slot + 1) & mask_;
+      slots_[slot].key = entry_keys_[i];
+      slots_[slot].index = static_cast<uint32_t>(i);
+    }
+  }
+
+  size_t dim_;
+  size_t mask_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<int32_t> entry_keys_;
+  std::vector<double> arena_;
+};
+
+}  // namespace plp::sgns
+
+#endif  // PLP_SGNS_ROW_MAP_H_

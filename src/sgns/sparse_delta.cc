@@ -1,0 +1,232 @@
+#include "sgns/sparse_delta.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace plp::sgns {
+
+DenseUpdate::DenseUpdate(const SgnsModel& model)
+    : num_locations_(model.num_locations()),
+      dim_(model.dim()),
+      w_in_(static_cast<size_t>(num_locations_) * dim_, 0.0),
+      w_out_(static_cast<size_t>(num_locations_) * dim_, 0.0),
+      bias_(static_cast<size_t>(num_locations_), 0.0) {}
+
+std::span<double> DenseUpdate::TensorData(Tensor t) {
+  switch (t) {
+    case Tensor::kWIn:
+      return w_in_;
+    case Tensor::kWOut:
+      return w_out_;
+    case Tensor::kBias:
+      return bias_;
+  }
+  PLP_CHECK(false);
+  return {};
+}
+
+std::span<const double> DenseUpdate::TensorData(Tensor t) const {
+  switch (t) {
+    case Tensor::kWIn:
+      return w_in_;
+    case Tensor::kWOut:
+      return w_out_;
+    case Tensor::kBias:
+      return bias_;
+  }
+  PLP_CHECK(false);
+  return {};
+}
+
+void DenseUpdate::AddGaussianNoise(Rng& rng, double stddev) {
+  rng.AddGaussianNoise(w_in_, stddev);
+  rng.AddGaussianNoise(w_out_, stddev);
+  rng.AddGaussianNoise(bias_, stddev);
+}
+
+void DenseUpdate::AddGaussianNoiseToTensor(Tensor t, Rng& rng,
+                                           double stddev) {
+  rng.AddGaussianNoise(TensorData(t), stddev);
+}
+
+void DenseUpdate::Zero() {
+  std::fill(w_in_.begin(), w_in_.end(), 0.0);
+  std::fill(w_out_.begin(), w_out_.end(), 0.0);
+  std::fill(bias_.begin(), bias_.end(), 0.0);
+}
+
+void DenseUpdate::Scale(double factor) {
+  for (double& v : w_in_) v *= factor;
+  for (double& v : w_out_) v *= factor;
+  for (double& v : bias_) v *= factor;
+}
+
+double DenseUpdate::Norm() const {
+  double s = 0.0;
+  for (double v : w_in_) s += v * v;
+  for (double v : w_out_) s += v * v;
+  for (double v : bias_) s += v * v;
+  return std::sqrt(s);
+}
+
+void DenseUpdate::ApplyTo(SgnsModel& model) const {
+  PLP_CHECK_EQ(model.num_locations(), num_locations_);
+  PLP_CHECK_EQ(model.dim(), dim_);
+  for (int ti = 0; ti < kNumTensors; ++ti) {
+    const Tensor t = static_cast<Tensor>(ti);
+    std::span<double> dst = model.MutableTensorData(t);
+    std::span<const double> src = TensorData(t);
+    for (size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+  }
+}
+
+SparseDelta::SparseDelta(int32_t dim)
+    : dim_(dim), in_rows_(dim), out_rows_(dim), bias_(1) {
+  PLP_CHECK_GT(dim, 0);
+}
+
+RowMap& SparseDelta::StoreFor(Tensor t) {
+  switch (t) {
+    case Tensor::kWIn:
+      return in_rows_;
+    case Tensor::kWOut:
+      return out_rows_;
+    case Tensor::kBias:
+      return bias_;
+  }
+  PLP_CHECK(false);
+  return in_rows_;
+}
+
+const RowMap& SparseDelta::StoreFor(Tensor t) const {
+  return const_cast<SparseDelta*>(this)->StoreFor(t);
+}
+
+std::span<double> SparseDelta::Row(Tensor tensor, int32_t row) {
+  PLP_CHECK(tensor == Tensor::kWIn || tensor == Tensor::kWOut);
+  return StoreFor(tensor).FindOrInsertZero(row);
+}
+
+void SparseDelta::AddBias(int32_t row, double value) {
+  bias_.FindOrInsertZero(row)[0] += value;
+}
+
+double SparseDelta::TensorNorm(Tensor t) const {
+  double s = 0.0;
+  StoreFor(t).ForEach([&](int32_t, std::span<const double> row) {
+    for (double v : row) s += v * v;
+  });
+  return std::sqrt(s);
+}
+
+double SparseDelta::TotalNorm() const {
+  double s = 0.0;
+  for (int ti = 0; ti < kNumTensors; ++ti) {
+    const double n = TensorNorm(static_cast<Tensor>(ti));
+    s += n * n;
+  }
+  return std::sqrt(s);
+}
+
+void SparseDelta::ScaleTensor(Tensor t, double factor) {
+  StoreFor(t).ForEachMutable([&](int32_t, std::span<double> row) {
+    for (double& v : row) v *= factor;
+  });
+}
+
+void SparseDelta::Scale(double factor) {
+  for (int ti = 0; ti < kNumTensors; ++ti) {
+    ScaleTensor(static_cast<Tensor>(ti), factor);
+  }
+}
+
+void SparseDelta::ClipPerTensor(double per_tensor_max) {
+  PLP_CHECK_GT(per_tensor_max, 0.0);
+  for (int ti = 0; ti < kNumTensors; ++ti) {
+    const Tensor t = static_cast<Tensor>(ti);
+    const double norm = TensorNorm(t);
+    if (norm > per_tensor_max) ScaleTensor(t, per_tensor_max / norm);
+  }
+}
+
+void SparseDelta::ClipTotal(double max_norm) {
+  PLP_CHECK_GT(max_norm, 0.0);
+  const double norm = TotalNorm();
+  if (norm > max_norm) Scale(max_norm / norm);
+}
+
+void SparseDelta::AccumulateInto(DenseUpdate& sum, double scale) const {
+  PLP_CHECK_EQ(sum.dim(), dim_);
+  for (const Tensor t : {Tensor::kWIn, Tensor::kWOut}) {
+    std::span<double> dst = sum.TensorData(t);
+    StoreFor(t).ForEach([&](int32_t row, std::span<const double> vec) {
+      double* out = dst.data() + static_cast<size_t>(row) * dim_;
+      for (int32_t d = 0; d < dim_; ++d) out[d] += scale * vec[d];
+    });
+  }
+  std::span<double> dst = sum.TensorData(Tensor::kBias);
+  bias_.ForEach([&](int32_t row, std::span<const double> v) {
+    dst[static_cast<size_t>(row)] += scale * v[0];
+  });
+}
+
+void SparseDelta::ApplyTo(SgnsModel& model, double scale) const {
+  PLP_CHECK_EQ(model.dim(), dim_);
+  in_rows_.ForEach([&](int32_t row, std::span<const double> vec) {
+    std::span<double> dst = model.MutableInRow(row);
+    for (int32_t d = 0; d < dim_; ++d) dst[d] += scale * vec[d];
+  });
+  out_rows_.ForEach([&](int32_t row, std::span<const double> vec) {
+    std::span<double> dst = model.MutableOutRow(row);
+    for (int32_t d = 0; d < dim_; ++d) dst[d] += scale * vec[d];
+  });
+  bias_.ForEach([&](int32_t row, std::span<const double> v) {
+    model.mutable_bias(row) += scale * v[0];
+  });
+}
+
+SparseDelta DiffModels(const SgnsModel& phi, const SgnsModel& theta) {
+  PLP_CHECK_EQ(phi.num_locations(), theta.num_locations());
+  PLP_CHECK_EQ(phi.dim(), theta.dim());
+  const int32_t dim = phi.dim();
+  SparseDelta delta(dim);
+  for (int32_t l = 0; l < phi.num_locations(); ++l) {
+    const std::span<const double> a = phi.InRow(l);
+    const std::span<const double> b = theta.InRow(l);
+    for (int32_t d = 0; d < dim; ++d) {
+      if (a[d] != b[d]) {
+        std::span<double> row = delta.Row(Tensor::kWIn, l);
+        for (int32_t e = 0; e < dim; ++e) row[e] = a[e] - b[e];
+        break;
+      }
+    }
+    const std::span<const double> ao = phi.OutRow(l);
+    const std::span<const double> bo = theta.OutRow(l);
+    for (int32_t d = 0; d < dim; ++d) {
+      if (ao[d] != bo[d]) {
+        std::span<double> row = delta.Row(Tensor::kWOut, l);
+        for (int32_t e = 0; e < dim; ++e) row[e] = ao[e] - bo[e];
+        break;
+      }
+    }
+    if (phi.bias(l) != theta.bias(l)) {
+      delta.AddBias(l, phi.bias(l) - theta.bias(l));
+    }
+  }
+  return delta;
+}
+
+size_t SparseDelta::NumTouchedEntries() const {
+  return in_rows_.size() + out_rows_.size() + bias_.size();
+}
+
+void SparseDelta::Clear() {
+  in_rows_.Clear();
+  out_rows_.Clear();
+  bias_.Clear();
+}
+
+}  // namespace plp::sgns

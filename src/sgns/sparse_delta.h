@@ -1,0 +1,134 @@
+#ifndef PLP_SGNS_SPARSE_DELTA_H_
+#define PLP_SGNS_SPARSE_DELTA_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "sgns/model.h"
+#include "sgns/row_map.h"
+
+namespace plp::sgns {
+
+/// A dense parameter-shaped buffer: the Gaussian sum query of Algorithm 1
+/// accumulates clipped bucket deltas here, receives iid noise on *every*
+/// coordinate (line 9 — noise is dense even though deltas are sparse), and
+/// is then averaged and handed to the server optimizer.
+class DenseUpdate {
+ public:
+  /// A zero update with the same shape as `model`.
+  explicit DenseUpdate(const SgnsModel& model);
+
+  int32_t num_locations() const { return num_locations_; }
+  int32_t dim() const { return dim_; }
+
+  std::span<double> TensorData(Tensor t);
+  std::span<const double> TensorData(Tensor t) const;
+
+  /// Adds iid N(0, stddev²) noise to every coordinate of every tensor.
+  void AddGaussianNoise(Rng& rng, double stddev);
+
+  /// Adds iid N(0, stddev²) noise to one tensor only (per-tensor noise
+  /// calibration ablation).
+  void AddGaussianNoiseToTensor(Tensor t, Rng& rng, double stddev);
+
+  /// Resets every coordinate to zero (buffer reuse across steps).
+  void Zero();
+
+  /// Multiplies every coordinate by `factor` (e.g. 1/|H|).
+  void Scale(double factor);
+
+  /// Overall l2 norm across all tensors.
+  double Norm() const;
+
+  /// Adds this update into the model: θ ← θ + u (Algorithm 1 line 10).
+  void ApplyTo(SgnsModel& model) const;
+
+ private:
+  int32_t num_locations_ = 0;
+  int32_t dim_ = 0;
+  std::vector<double> w_in_;
+  std::vector<double> w_out_;
+  std::vector<double> bias_;
+};
+
+/// The sparse difference phi − theta over rows where the two models differ.
+/// Models must have identical shapes. O(L·dim) — used by the dense
+/// local-copy mode (paper-faithful cost model for the runtime experiment).
+class SparseDelta;
+SparseDelta DiffModels(const SgnsModel& phi, const SgnsModel& theta);
+
+/// A sparse parameter delta: only the embedding/context rows and bias
+/// entries actually touched by a bucket's local training are materialized.
+/// This is what makes per-bucket clipping cheap — norms and scaling are
+/// O(touched rows · dim), not O(L · dim).
+class SparseDelta {
+ public:
+  /// Requires dim > 0.
+  explicit SparseDelta(int32_t dim);
+
+  int32_t dim() const { return dim_; }
+
+  /// Mutable row accumulator (zero-initialized on first access). `tensor`
+  /// must be kWIn or kWOut. The span is invalidated by the next Row call.
+  std::span<double> Row(Tensor tensor, int32_t row);
+
+  /// Adds `value` to the bias accumulator for `row`.
+  void AddBias(int32_t row, double value);
+
+  /// Calls fn(row, std::span<const double>) for each touched row of kWIn
+  /// or kWOut; for kBias the span has length 1.
+  template <typename Fn>
+  void ForEachRow(Tensor tensor, Fn&& fn) const {
+    StoreFor(tensor).ForEach(fn);
+  }
+
+  /// l2 norm of one tensor's touched entries (untouched entries are zero,
+  /// so this is the exact tensor norm).
+  double TensorNorm(Tensor t) const;
+
+  /// Overall l2 norm across the three tensors.
+  double TotalNorm() const;
+
+  /// Multiplies one tensor by `factor`.
+  void ScaleTensor(Tensor t, double factor);
+
+  /// Multiplies everything by `factor`.
+  void Scale(double factor);
+
+  /// Per-layer clipping of Section 4.1: each tensor is independently scaled
+  /// down (if needed) so its norm is at most `per_tensor_max` = C/√|θ|.
+  /// Equivalent to line 21 applied per tensor.
+  void ClipPerTensor(double per_tensor_max);
+
+  /// Clips the *overall* delta norm to `max_norm` (literal line 21).
+  void ClipTotal(double max_norm);
+
+  /// sum += scale · delta (the Σ of the Gaussian sum query).
+  void AccumulateInto(DenseUpdate& sum, double scale) const;
+
+  /// model += scale · delta (used by the non-private trainer).
+  void ApplyTo(SgnsModel& model, double scale) const;
+
+  /// Number of materialized rows across W and W' plus bias entries.
+  size_t NumTouchedEntries() const;
+
+  bool empty() const { return NumTouchedEntries() == 0; }
+
+  /// Removes all entries but keeps capacity (reuse across batches).
+  void Clear();
+
+ private:
+  RowMap& StoreFor(Tensor t);
+  const RowMap& StoreFor(Tensor t) const;
+
+  int32_t dim_ = 0;
+  RowMap in_rows_;
+  RowMap out_rows_;
+  RowMap bias_;  // dim 1
+};
+
+}  // namespace plp::sgns
+
+#endif  // PLP_SGNS_SPARSE_DELTA_H_

@@ -1,0 +1,40 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace plp {
+namespace {
+
+class LoggingTest : public testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, DefaultLevelIsInfo) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, MacroCompilesForAllLevels) {
+  // Smoke test: the macros must build and not crash at any level setting.
+  SetLogLevel(LogLevel::kError);  // suppress output during the test run
+  PLP_LOG(kDebug) << "debug " << 1;
+  PLP_LOG(kInfo) << "info " << 2.5;
+  PLP_LOG(kWarning) << "warning " << "text";
+  PLP_LOG(kError) << "error";  // emitted (level == threshold)
+}
+
+TEST_F(LoggingTest, StreamedTypesAreFormatted) {
+  SetLogLevel(LogLevel::kError);
+  const std::string value = "payload";
+  PLP_LOG(kInfo) << value << " " << 42 << " " << 1.5 << " " << true;
+}
+
+}  // namespace
+}  // namespace plp

@@ -1,0 +1,145 @@
+#include "common/math_util.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace plp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(LogAddTest, MatchesDirectComputation) {
+  EXPECT_NEAR(LogAdd(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+}
+
+TEST(LogAddTest, HandlesNegativeInfinity) {
+  EXPECT_EQ(LogAdd(-kInf, 1.5), 1.5);
+  EXPECT_EQ(LogAdd(1.5, -kInf), 1.5);
+  EXPECT_EQ(LogAdd(-kInf, -kInf), -kInf);
+}
+
+TEST(LogAddTest, LargeMagnitudesAreStable) {
+  // exp(1000) overflows, but log-add must not.
+  EXPECT_NEAR(LogAdd(1000.0, 1000.0), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_NEAR(LogAdd(-1000.0, -1000.0), -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LogSumExpTest, EmptyIsNegativeInfinity) {
+  EXPECT_EQ(LogSumExp({}), -kInf);
+}
+
+TEST(LogSumExpTest, SingleElement) {
+  const std::vector<double> xs = {2.5};
+  EXPECT_EQ(LogSumExp(xs), 2.5);
+}
+
+TEST(LogSumExpTest, MatchesPairwiseLogAdd) {
+  const std::vector<double> xs = {0.1, -3.0, 2.0, 5.5};
+  double expected = -kInf;
+  for (double x : xs) expected = LogAdd(expected, x);
+  EXPECT_NEAR(LogSumExp(xs), expected, 1e-12);
+}
+
+TEST(LogBinomialTest, MatchesExactValues) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(LogBinomial(10, 0), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomial(10, 10), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomial(52, 5), std::log(2598960.0), 1e-9);
+}
+
+TEST(LogBinomialTest, Symmetry) {
+  for (int k = 0; k <= 20; ++k) {
+    EXPECT_NEAR(LogBinomial(20, k), LogBinomial(20, 20 - k), 1e-10);
+  }
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-6);
+  EXPECT_NEAR(NormalCdf(3.0), 0.998650, 1e-5);
+}
+
+TEST(NormalCdfTest, Monotone) {
+  double prev = 0.0;
+  for (double x = -5.0; x <= 5.0; x += 0.25) {
+    const double c = NormalCdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(IncompleteBetaTest, Boundaries) {
+  EXPECT_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, UniformCase) {
+  // I_x(1, 1) = x.
+  for (double x = 0.1; x < 1.0; x += 0.2) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, SymmetryIdentity) {
+  // I_x(a, b) = 1 − I_{1−x}(b, a).
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 4.0, 0.3),
+              1.0 - RegularizedIncompleteBeta(4.0, 2.5, 0.7), 1e-10);
+}
+
+TEST(IncompleteBetaTest, KnownValue) {
+  // I_{0.5}(2, 2) = 0.5 by symmetry.
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 2.0, 0.5), 0.5, 1e-10);
+}
+
+TEST(StudentTTest, TwoSidedPValues) {
+  // t = 0 → p = 1.
+  EXPECT_NEAR(StudentTTwoSidedPValue(0.0, 10.0), 1.0, 1e-12);
+  // Classic table value: t = 2.228, df = 10 → p ≈ 0.05.
+  EXPECT_NEAR(StudentTTwoSidedPValue(2.228, 10.0), 0.05, 1e-3);
+  // t = 12.706, df = 1 → p ≈ 0.05.
+  EXPECT_NEAR(StudentTTwoSidedPValue(12.706, 1.0), 0.05, 1e-3);
+}
+
+TEST(StudentTTest, SymmetricInT) {
+  EXPECT_NEAR(StudentTTwoSidedPValue(1.7, 8.0),
+              StudentTTwoSidedPValue(-1.7, 8.0), 1e-12);
+}
+
+TEST(L2NormTest, Basics) {
+  const std::vector<double> v = {3.0, 4.0};
+  EXPECT_NEAR(L2Norm(v), 5.0, 1e-12);
+  EXPECT_EQ(L2Norm({}), 0.0);
+}
+
+TEST(DotTest, Basics) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {4.0, -5.0, 6.0};
+  EXPECT_NEAR(Dot(a, b), 12.0, 1e-12);
+}
+
+TEST(NormalizeL2Test, ProducesUnitVector) {
+  std::vector<double> v = {3.0, 4.0};
+  NormalizeL2(v);
+  EXPECT_NEAR(v[0], 0.6, 1e-12);
+  EXPECT_NEAR(v[1], 0.8, 1e-12);
+  EXPECT_NEAR(L2Norm(v), 1.0, 1e-12);
+}
+
+TEST(NormalizeL2Test, ZeroVectorUnchanged) {
+  std::vector<double> v = {0.0, 0.0, 0.0};
+  NormalizeL2(v);
+  for (double x : v) EXPECT_EQ(x, 0.0);
+}
+
+TEST(ClampTest, Basics) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+}  // namespace
+}  // namespace plp

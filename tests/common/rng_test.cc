@@ -1,0 +1,311 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace plp {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() != b.NextU64()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.NextU64());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(7);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextU64() == child.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanAndVariance) {
+  Rng rng(5);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.Uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(RngTest, UniformIntBoundsAndCoverage) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(uint64_t{10});
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit in 1000 draws
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(13);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.UniformInt(int64_t{-2}, int64_t{2});
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntSingletonRange) {
+  Rng rng(13);
+  EXPECT_EQ(rng.UniformInt(int64_t{4}, int64_t{4}), 4);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliDegenerate) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianScaled) {
+  Rng rng(23);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian(5.0, 2.0);
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(sum_sq / n - mean * mean, 4.0, 0.1);
+}
+
+TEST(RngTest, GaussianZeroStddevIsDeterministic) {
+  Rng rng(23);
+  EXPECT_EQ(rng.Gaussian(1.5, 0.0), 1.5);
+}
+
+TEST(RngTest, AddGaussianNoiseStatistics) {
+  Rng rng(29);
+  std::vector<double> values(50000, 1.0);
+  rng.AddGaussianNoise(values, 0.5);
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += (v - 1.0) * (v - 1.0);
+  }
+  EXPECT_NEAR(sum / values.size(), 1.0, 0.02);
+  EXPECT_NEAR(sum_sq / values.size(), 0.25, 0.01);
+}
+
+TEST(RngTest, AddGaussianNoiseZeroStddevIsNoop) {
+  Rng rng(29);
+  std::vector<double> values = {1.0, 2.0, 3.0};
+  rng.AddGaussianNoise(values, 0.0);
+  EXPECT_EQ(values, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+class PoissonMeanTest : public testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, MeanMatches) {
+  const double mean = GetParam();
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.Poisson(mean));
+  }
+  EXPECT_NEAR(sum / n, mean, std::max(0.05, mean * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndLargeMeans, PoissonMeanTest,
+                         testing::Values(0.1, 1.0, 5.0, 29.0, 50.0, 200.0));
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(31);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(37);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::vector<int> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(RngTest, ShuffleActuallyShuffles) {
+  Rng rng(41);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, v);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(43);
+  const std::vector<size_t> sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 30u);
+  for (size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(43);
+  const std::vector<size_t> sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 10u);
+}
+
+TEST(RngTest, SampleWithoutReplacementUnbiased) {
+  Rng rng(47);
+  std::vector<int> counts(10, 0);
+  for (int rep = 0; rep < 20000; ++rep) {
+    for (size_t s : rng.SampleWithoutReplacement(10, 3)) ++counts[s];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 20000.0, 0.3, 0.02);
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(100, 1.0);
+  double total = 0.0;
+  for (size_t k = 0; k < 100; ++k) total += zipf.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, PmfIsDecreasing) {
+  ZipfDistribution zipf(50, 1.2);
+  for (size_t k = 1; k < 50; ++k) EXPECT_LT(zipf.Pmf(k), zipf.Pmf(k - 1));
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  for (size_t k = 0; k < 10; ++k) EXPECT_NEAR(zipf.Pmf(k), 0.1, 1e-12);
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchPmf) {
+  ZipfDistribution zipf(20, 1.0);
+  Rng rng(53);
+  std::vector<int> counts(20, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (size_t k = 0; k < 20; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.Pmf(k), 0.01);
+  }
+}
+
+TEST(ZipfTest, SingleElement) {
+  ZipfDistribution zipf(1, 2.0);
+  Rng rng(53);
+  EXPECT_EQ(zipf.Sample(rng), 0u);
+  EXPECT_NEAR(zipf.Pmf(0), 1.0, 1e-12);
+}
+
+TEST(AliasSamplerTest, FrequenciesMatchWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasSampler sampler(weights);
+  Rng rng(59);
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(rng)];
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, weights[i] / 10.0, 0.01);
+  }
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  AliasSampler sampler({0.0, 1.0, 0.0, 1.0});
+  Rng rng(61);
+  for (int i = 0; i < 10000; ++i) {
+    const size_t s = sampler.Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasSamplerTest, SingleWeight) {
+  AliasSampler sampler({5.0});
+  Rng rng(61);
+  EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace plp

@@ -1,0 +1,105 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace plp {
+namespace {
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats s;
+  for (double x : xs) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  // Sample variance with n-1 denominator: sum((x-5)^2) = 32, 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.Add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25 * 1000 / 999, 1e-3);
+}
+
+TEST(PairedTTestTest, RequiresEqualSizes) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0};
+  EXPECT_FALSE(PairedTTest(a, b).ok());
+}
+
+TEST(PairedTTestTest, RequiresTwoPairs) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {2.0};
+  EXPECT_FALSE(PairedTTest(a, b).ok());
+}
+
+TEST(PairedTTestTest, IdenticalSamplesGivePOne) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  auto r = PairedTTest(a, a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->mean_difference, 0.0);
+  EXPECT_EQ(r->p_value, 1.0);
+}
+
+TEST(PairedTTestTest, ConstantShiftGivesPZero) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {2.0, 3.0, 4.0};
+  auto r = PairedTTest(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->mean_difference, -1.0);
+  EXPECT_EQ(r->p_value, 0.0);  // zero variance of differences
+}
+
+TEST(PairedTTestTest, KnownCase) {
+  // Differences: {1, 2, 3, 4, 5}: mean 3, sd sqrt(2.5), se sqrt(0.5),
+  // t = 3/sqrt(0.5) ≈ 4.2426, df = 4 → p ≈ 0.0132.
+  const std::vector<double> a = {2.0, 4.0, 6.0, 8.0, 10.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0, 4.0, 5.0};
+  auto r = PairedTTest(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->mean_difference, 3.0, 1e-12);
+  EXPECT_NEAR(r->t_statistic, 4.2426, 1e-3);
+  EXPECT_EQ(r->degrees_of_freedom, 4.0);
+  EXPECT_NEAR(r->p_value, 0.0132, 2e-3);
+}
+
+TEST(PairedTTestTest, SignificanceDetectsRealGap) {
+  // Simulates the paper's claim: method A consistently beats method B
+  // across seeds → p < 0.01.
+  std::vector<double> a, b;
+  for (int i = 0; i < 12; ++i) {
+    a.push_back(0.20 + 0.005 * (i % 3));
+    b.push_back(0.10 + 0.005 * ((i + 1) % 3));
+  }
+  auto r = PairedTTest(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->p_value, 0.01);
+  EXPECT_GT(r->mean_difference, 0.0);
+}
+
+}  // namespace
+}  // namespace plp

@@ -1,0 +1,121 @@
+#include "common/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace plp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::Ok().ok()); }
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad q");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad q");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad q");
+}
+
+TEST(StatusTest, AllErrorFactories) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("a"), InvalidArgumentError("a"));
+  EXPECT_FALSE(InvalidArgumentError("a") == InvalidArgumentError("b"));
+  EXPECT_FALSE(InvalidArgumentError("a") == NotFoundError("a"));
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << NotFoundError("missing");
+  EXPECT_EQ(os.str(), "NOT_FOUND: missing");
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "UNIMPLEMENTED");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = InvalidArgumentError("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+namespace macro_helpers {
+
+Status FailIf(bool fail) {
+  if (fail) return InternalError("inner");
+  return Status::Ok();
+}
+
+Status Chained(bool fail) {
+  PLP_RETURN_IF_ERROR(FailIf(fail));
+  return Status::Ok();
+}
+
+Result<int> MakeInt(bool fail) {
+  if (fail) return NotFoundError("no int");
+  return 7;
+}
+
+Result<int> Doubled(bool fail) {
+  PLP_ASSIGN_OR_RETURN(const int v, MakeInt(fail));
+  return v * 2;
+}
+
+}  // namespace macro_helpers
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(macro_helpers::Chained(false).ok());
+  EXPECT_EQ(macro_helpers::Chained(true).code(), StatusCode::kInternal);
+}
+
+TEST(StatusMacrosTest, AssignOrReturn) {
+  Result<int> ok = macro_helpers::Doubled(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 14);
+  Result<int> err = macro_helpers::Doubled(true);
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace plp

@@ -1,0 +1,70 @@
+#include "common/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace plp {
+namespace {
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"a", "b", "c"});
+  t.NewRow().AddCell("x").AddCell(int64_t{2}).AddCell(3.14159, 2);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nx,2,3.14\n");
+}
+
+TEST(TablePrinterTest, MultipleRows) {
+  TablePrinter t({"k", "v"});
+  t.NewRow().AddCell(int64_t{1}).AddCell(0.5, 1);
+  t.NewRow().AddCell(int64_t{2}).AddCell(1.5, 1);
+  EXPECT_EQ(t.num_rows(), 2u);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "k,v\n1,0.5\n2,1.5\n");
+}
+
+TEST(TablePrinterTest, AlignedOutputContainsAllCells) {
+  TablePrinter t({"metric", "value"});
+  t.NewRow().AddCell("HR@10").AddCell(0.295, 3);
+  std::ostringstream os;
+  t.PrintAligned(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("metric"), std::string::npos);
+  EXPECT_NE(out.find("HR@10"), std::string::npos);
+  EXPECT_NE(out.find("0.295"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, AlignedPadsColumns) {
+  TablePrinter t({"a", "long_header"});
+  t.NewRow().AddCell("wide_cell_value").AddCell("x");
+  std::ostringstream os;
+  t.PrintAligned(os);
+  std::istringstream is(os.str());
+  std::string header, rule, row;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, row);
+  // The second column starts at the same offset in header and data rows.
+  EXPECT_EQ(header.find("long_header"), row.find("x"));
+}
+
+TEST(TablePrinterTest, DoublePrecision) {
+  TablePrinter t({"v"});
+  t.NewRow().AddCell(1.23456789, 6);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "v\n1.234568\n");
+}
+
+TEST(TablePrinterTest, RowsAccessor) {
+  TablePrinter t({"a"});
+  t.NewRow().AddCell("v1");
+  ASSERT_EQ(t.rows().size(), 1u);
+  EXPECT_EQ(t.rows()[0][0], "v1");
+}
+
+}  // namespace
+}  // namespace plp

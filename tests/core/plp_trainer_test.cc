@@ -1,0 +1,362 @@
+#include "core/plp_trainer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "core/nonprivate_trainer.h"
+#include "data/corpus.h"
+#include "data/synthetic_generator.h"
+
+namespace plp::core {
+namespace {
+
+data::TrainingCorpus TinyCorpus(int32_t num_users = 60,
+                                int32_t tokens_per_user = 20,
+                                int32_t num_locations = 30) {
+  data::TrainingCorpus corpus;
+  corpus.num_locations = num_locations;
+  Rng rng(7);
+  for (int32_t u = 0; u < num_users; ++u) {
+    std::vector<int32_t> sentence;
+    // Each user walks inside a small neighborhood of the location space so
+    // there is learnable co-visitation structure.
+    const int32_t base = static_cast<int32_t>(
+        rng.UniformInt(static_cast<uint64_t>(num_locations)));
+    for (int32_t i = 0; i < tokens_per_user; ++i) {
+      sentence.push_back(
+          (base + static_cast<int32_t>(rng.UniformInt(uint64_t{5}))) %
+          num_locations);
+    }
+    corpus.user_sentences.push_back({std::move(sentence)});
+  }
+  return corpus;
+}
+
+PlpConfig FastConfig() {
+  PlpConfig config;
+  config.sgns.embedding_dim = 8;
+  config.sgns.negatives = 4;
+  config.sampling_probability = 0.2;
+  config.grouping_factor = 3;
+  config.noise_scale = 2.0;
+  config.epsilon_budget = 4.0;
+  config.max_steps = 10;
+  return config;
+}
+
+TEST(PlpTrainerTest, RunsAndRespectsMaxSteps) {
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng rng(1);
+  const PlpTrainer trainer(FastConfig());
+  auto result = trainer.Train(corpus, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->steps_executed, 10);
+  EXPECT_EQ(result->stop_reason, StopReason::kMaxSteps);
+  EXPECT_EQ(result->history.size(), 10u);
+  EXPECT_GT(result->epsilon_spent, 0.0);
+  EXPECT_LE(result->epsilon_spent, 4.0);
+  EXPECT_GT(result->wall_seconds, 0.0);
+}
+
+TEST(PlpTrainerTest, StopsWhenBudgetExhausted) {
+  PlpConfig config = FastConfig();
+  config.epsilon_budget = 2.0;
+  config.max_steps = 100000;
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng rng(2);
+  auto result = PlpTrainer(config).Train(corpus, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stop_reason, StopReason::kBudgetExhausted);
+  EXPECT_LE(result->epsilon_spent, 2.0);
+  EXPECT_GT(result->steps_executed, 0);
+  EXPECT_LT(result->steps_executed, 100000);
+}
+
+TEST(PlpTrainerTest, ZeroNoiseScaleStopsImmediately) {
+  // σ = 0 has infinite per-step privacy cost: no step fits in any budget.
+  PlpConfig config = FastConfig();
+  config.noise_scale = 0.0;
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng rng(3);
+  auto result = PlpTrainer(config).Train(corpus, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->steps_executed, 0);
+  EXPECT_EQ(result->stop_reason, StopReason::kBudgetExhausted);
+}
+
+TEST(PlpTrainerTest, CallbackCanStopTraining) {
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng rng(4);
+  int calls = 0;
+  auto result = PlpTrainer(FastConfig())
+                    .Train(corpus, rng,
+                           [&calls](const StepMetrics& m,
+                                    const sgns::SgnsModel&) {
+                             ++calls;
+                             return m.step < 3;
+                           });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->steps_executed, 3);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(result->stop_reason, StopReason::kCallback);
+}
+
+TEST(PlpTrainerTest, DeterministicGivenSeed) {
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng rng_a(5), rng_b(5);
+  auto a = PlpTrainer(FastConfig()).Train(corpus, rng_a);
+  auto b = PlpTrainer(FastConfig()).Train(corpus, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const auto wa = a->model.TensorData(sgns::Tensor::kWIn);
+  const auto wb = b->model.TensorData(sgns::Tensor::kWIn);
+  for (size_t i = 0; i < wa.size(); ++i) EXPECT_EQ(wa[i], wb[i]);
+}
+
+TEST(PlpTrainerTest, EpsilonHistoryIsMonotone) {
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng rng(6);
+  auto result = PlpTrainer(FastConfig()).Train(corpus, rng);
+  ASSERT_TRUE(result.ok());
+  double prev = 0.0;
+  for (const StepMetrics& m : result->history) {
+    EXPECT_GT(m.epsilon_spent, prev);
+    prev = m.epsilon_spent;
+  }
+}
+
+TEST(PlpTrainerTest, SignalNormBoundedByBucketCountTimesClip) {
+  // Σ of per-bucket deltas clipped to C has norm ≤ |H|·C.
+  PlpConfig config = FastConfig();
+  config.clip_norm = 0.4;
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng rng(7);
+  auto result = PlpTrainer(config).Train(corpus, rng);
+  ASSERT_TRUE(result.ok());
+  for (const StepMetrics& m : result->history) {
+    EXPECT_LE(m.signal_norm,
+              static_cast<double>(m.num_buckets) * config.clip_norm + 1e-9);
+  }
+}
+
+TEST(PlpTrainerTest, BucketCountMatchesLambda) {
+  PlpConfig config = FastConfig();
+  config.grouping_factor = 4;
+  const data::TrainingCorpus corpus = TinyCorpus(100);
+  Rng rng(8);
+  auto result = PlpTrainer(config).Train(corpus, rng);
+  ASSERT_TRUE(result.ok());
+  for (const StepMetrics& m : result->history) {
+    const int64_t expected =
+        (m.sampled_users + config.grouping_factor - 1) /
+        config.grouping_factor;
+    EXPECT_EQ(m.num_buckets, expected);
+  }
+}
+
+TEST(PlpTrainerTest, DenseLocalCopyMatchesSparseOverlay) {
+  // The dense-copy cost model must be bit-identical in output.
+  PlpConfig config = FastConfig();
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng rng_a(9), rng_b(9);
+  auto sparse = PlpTrainer(config).Train(corpus, rng_a);
+  config.dense_local_copy = true;
+  auto dense = PlpTrainer(config).Train(corpus, rng_b);
+  ASSERT_TRUE(sparse.ok());
+  ASSERT_TRUE(dense.ok());
+  const auto wa = sparse->model.TensorData(sgns::Tensor::kWIn);
+  const auto wb = dense->model.TensorData(sgns::Tensor::kWIn);
+  // Row iteration order differs between the two paths, so norm summation
+  // order (and hence clip factors) can differ in the last ulp.
+  for (size_t i = 0; i < wa.size(); ++i) EXPECT_NEAR(wa[i], wb[i], 1e-9);
+}
+
+TEST(PlpTrainerTest, SplitFactorScalesNoise) {
+  // ω = 2 must quadruple noise *variance* (σ·ω·C): with no data at all the
+  // applied update is pure noise, so compare expected norms statistically.
+  PlpConfig config = FastConfig();
+  config.server_optimizer = "fixed_step";
+  config.max_steps = 3;
+  const data::TrainingCorpus corpus = TinyCorpus();
+
+  auto mean_noisy_norm = [&](int32_t omega, uint64_t seed) {
+    PlpConfig c = config;
+    c.split_factor = omega;
+    Rng rng(seed);
+    auto result = PlpTrainer(c).Train(corpus, rng);
+    EXPECT_TRUE(result.ok());
+    double total = 0.0;
+    for (const StepMetrics& m : result->history) {
+      total += m.noisy_update_norm;
+    }
+    return total / static_cast<double>(result->history.size());
+  };
+  // The noise norm dominates the signal; ω = 2 should roughly double it.
+  const double norm1 = mean_noisy_norm(1, 42);
+  const double norm2 = mean_noisy_norm(2, 42);
+  EXPECT_GT(norm2, 1.5 * norm1);
+}
+
+TEST(PlpTrainerTest, RejectsInvalidConfig) {
+  PlpConfig config = FastConfig();
+  config.clip_norm = 0.0;
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng rng(10);
+  EXPECT_FALSE(PlpTrainer(config).Train(corpus, rng).ok());
+}
+
+TEST(PlpTrainerTest, RejectsEmptyCorpus) {
+  data::TrainingCorpus corpus;
+  corpus.num_locations = 10;
+  Rng rng(11);
+  EXPECT_FALSE(PlpTrainer(FastConfig()).Train(corpus, rng).ok());
+}
+
+TEST(PlpTrainerTest, FixedVsRealizedDenominator) {
+  // Both must run; the realized-denominator mode is the ablation.
+  PlpConfig config = FastConfig();
+  config.fixed_denominator = false;
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng rng(12);
+  auto result = PlpTrainer(config).Train(corpus, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->steps_executed, 10);
+}
+
+TEST(PlpTrainerTest, PerTensorNoiseModeBurnsBudgetFaster) {
+  // Per-tensor noise σ·C/√3 has effective multiplier σ/√3, so the same σ
+  // buys fewer steps under the same budget.
+  PlpConfig config = FastConfig();
+  config.max_steps = 100000;
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng rng_a(13), rng_b(13);
+  auto dense = PlpTrainer(config).Train(corpus, rng_a);
+  config.per_tensor_noise = true;
+  auto per_tensor = PlpTrainer(config).Train(corpus, rng_b);
+  ASSERT_TRUE(dense.ok());
+  ASSERT_TRUE(per_tensor.ok());
+  EXPECT_GT(per_tensor->steps_executed, 0);
+  EXPECT_LT(per_tensor->steps_executed, dense->steps_executed);
+  EXPECT_LE(per_tensor->epsilon_spent, config.epsilon_budget);
+}
+
+TEST(PlpTrainerTest, SingleGradientModeProducesSmallerDeltas) {
+  // The DP-SGD baseline takes one η-scaled gradient instead of local
+  // multi-batch SGD, so its pre-noise signal is weaker.
+  PlpConfig config = FastConfig();
+  config.noise_scale = 1.0;  // signal_norm is measured pre-noise
+  config.epsilon_budget = 1e9;
+  config.max_steps = 3;
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng rng_a(21), rng_b(21);
+  auto multi = PlpTrainer(config).Train(corpus, rng_a);
+  config.local_update = LocalUpdateMode::kSingleGradient;
+  auto single = PlpTrainer(config).Train(corpus, rng_b);
+  ASSERT_TRUE(multi.ok());
+  ASSERT_TRUE(single.ok());
+  double multi_signal = 0.0, single_signal = 0.0;
+  for (const StepMetrics& m : multi->history) multi_signal += m.signal_norm;
+  for (const StepMetrics& m : single->history) {
+    single_signal += m.signal_norm;
+  }
+  EXPECT_GT(single_signal, 0.0);
+  EXPECT_GT(multi_signal, single_signal);
+}
+
+TEST(PlpTrainerTest, LocalEpochsStrengthenSignal) {
+  PlpConfig config = FastConfig();
+  config.noise_scale = 1.0;  // signal_norm is measured pre-noise
+  config.epsilon_budget = 1e9;
+  config.max_steps = 3;
+  config.clip_norm = 1e6;  // observe raw (unclipped) delta magnitudes
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng rng_a(22), rng_b(22);
+  auto one = PlpTrainer(config).Train(corpus, rng_a);
+  config.local_epochs = 4;
+  auto four = PlpTrainer(config).Train(corpus, rng_b);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(four.ok());
+  double signal_one = 0.0, signal_four = 0.0;
+  for (const StepMetrics& m : one->history) signal_one += m.signal_norm;
+  for (const StepMetrics& m : four->history) signal_four += m.signal_norm;
+  EXPECT_GT(signal_four, signal_one);
+}
+
+TEST(DpSgdTrainerTest, ForcesLambdaOne) {
+  PlpConfig config = FastConfig();
+  config.grouping_factor = 6;
+  config.split_factor = 1;
+  const DpSgdTrainer baseline(config);
+  EXPECT_EQ(baseline.config().grouping_factor, 1);
+  EXPECT_EQ(baseline.config().local_update,
+            LocalUpdateMode::kSingleGradient);
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng rng(14);
+  auto result = baseline.Train(corpus, rng);
+  ASSERT_TRUE(result.ok());
+  for (const StepMetrics& m : result->history) {
+    EXPECT_EQ(m.num_buckets, m.sampled_users);
+  }
+}
+
+TEST(NonPrivateTrainerTest, LossDecreasesOverEpochs) {
+  NonPrivateConfig config;
+  config.sgns.embedding_dim = 8;
+  config.sgns.negatives = 4;
+  config.epochs = 8;
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng rng(15);
+  auto result = NonPrivateTrainer(config).Train(corpus, rng);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->history.size(), 8u);
+  EXPECT_LT(result->history.back().mean_loss,
+            result->history.front().mean_loss);
+}
+
+TEST(NonPrivateTrainerTest, EpochCallbackStops) {
+  NonPrivateConfig config;
+  config.sgns.embedding_dim = 8;
+  config.epochs = 50;
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng rng(16);
+  auto result = NonPrivateTrainer(config).Train(
+      corpus, rng,
+      [](const EpochMetrics& m, const sgns::SgnsModel&) {
+        return m.epoch < 2;
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->history.size(), 2u);
+}
+
+TEST(NonPrivateTrainerTest, Deterministic) {
+  NonPrivateConfig config;
+  config.sgns.embedding_dim = 8;
+  config.epochs = 2;
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng a(17), b(17);
+  auto ra = NonPrivateTrainer(config).Train(corpus, a);
+  auto rb = NonPrivateTrainer(config).Train(corpus, b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->history.back().mean_loss, rb->history.back().mean_loss);
+}
+
+TEST(NonPrivateTrainerTest, RejectsCorpusWithoutPairs) {
+  data::TrainingCorpus corpus;
+  corpus.num_locations = 5;
+  corpus.user_sentences.push_back({{1}});  // single-token sentence
+  NonPrivateConfig config;
+  Rng rng(18);
+  EXPECT_FALSE(NonPrivateTrainer(config).Train(corpus, rng).ok());
+}
+
+TEST(NonPrivateTrainerTest, ValidatesConfig) {
+  NonPrivateConfig config;
+  config.epochs = 0;
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng rng(19);
+  EXPECT_FALSE(NonPrivateTrainer(config).Train(corpus, rng).ok());
+}
+
+}  // namespace
+}  // namespace plp::core

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/nonprivate_trainer.h"
+#include "data/corpus.h"
+
+namespace plp::core {
+namespace {
+
+/// Corpus where token 0 is extremely frequent and the rest are rare.
+data::TrainingCorpus SkewedCorpus() {
+  data::TrainingCorpus corpus;
+  corpus.num_locations = 10;
+  Rng rng(3);
+  for (int32_t u = 0; u < 30; ++u) {
+    std::vector<int32_t> sentence;
+    for (int i = 0; i < 40; ++i) {
+      // ~70% token 0, rest uniform over 1..9.
+      sentence.push_back(
+          rng.Bernoulli(0.7)
+              ? 0
+              : static_cast<int32_t>(rng.UniformInt(int64_t{1}, int64_t{9})));
+    }
+    corpus.user_sentences.push_back({std::move(sentence)});
+  }
+  return corpus;
+}
+
+TEST(SubsamplingTest, ValidatesThreshold) {
+  NonPrivateConfig config;
+  config.subsample_threshold = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+  config.subsample_threshold = 1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.subsample_threshold = 1e-3;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(SubsamplingTest, DisabledIsBitIdenticalToBaseline) {
+  const data::TrainingCorpus corpus = SkewedCorpus();
+  NonPrivateConfig config;
+  config.sgns.embedding_dim = 6;
+  config.sgns.negatives = 4;
+  config.epochs = 2;
+  Rng rng_a(5), rng_b(5);
+  auto a = NonPrivateTrainer(config).Train(corpus, rng_a);
+  config.subsample_threshold = 0.0;  // explicit off
+  auto b = NonPrivateTrainer(config).Train(corpus, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->history.back().mean_loss, b->history.back().mean_loss);
+}
+
+TEST(SubsamplingTest, TrainsAndStillLearns) {
+  const data::TrainingCorpus corpus = SkewedCorpus();
+  NonPrivateConfig config;
+  config.sgns.embedding_dim = 6;
+  config.sgns.negatives = 4;
+  config.epochs = 6;
+  config.subsample_threshold = 0.05;
+  Rng rng(7);
+  auto result = NonPrivateTrainer(config).Train(corpus, rng);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->history.size(), 6u);
+  EXPECT_LT(result->history.back().mean_loss,
+            result->history.front().mean_loss);
+}
+
+TEST(SubsamplingTest, AggressiveThresholdShrinksEpochs) {
+  // Indirect observation: with a tiny threshold almost every occurrence of
+  // the dominant token is dropped, so epochs process fewer pairs and run
+  // faster. We can't read pair counts directly, but training must still
+  // succeed even when some epochs produce very few pairs.
+  const data::TrainingCorpus corpus = SkewedCorpus();
+  NonPrivateConfig config;
+  config.sgns.embedding_dim = 4;
+  config.sgns.negatives = 2;
+  config.epochs = 3;
+  config.subsample_threshold = 1e-4;
+  Rng rng(9);
+  auto result = NonPrivateTrainer(config).Train(corpus, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->history.size(), 3u);
+}
+
+}  // namespace
+}  // namespace plp::core

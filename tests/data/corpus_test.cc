@@ -1,0 +1,70 @@
+#include "data/corpus.h"
+
+#include <gtest/gtest.h>
+
+namespace plp::data {
+namespace {
+
+CheckIn Make(int32_t user, int32_t location, int64_t t) {
+  CheckIn c;
+  c.user = user;
+  c.location = location;
+  c.timestamp = t;
+  return c;
+}
+
+CheckInDataset TwoUserDataset() {
+  // User 0: locations 0,1,2 in one burst, then 3 hours later location 0.
+  // User 1: one check-in.
+  auto ds = CheckInDataset::FromRecords({
+      Make(0, 10, 0), Make(0, 11, 600), Make(0, 12, 1200),
+      Make(0, 10, 8 * 3600),
+      Make(1, 11, 50),
+  });
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(CorpusTest, FullHistoryIsOneSentencePerUser) {
+  auto corpus = BuildCorpus(TwoUserDataset());
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->num_users(), 2);
+  EXPECT_EQ(corpus->num_locations, 3);
+  ASSERT_EQ(corpus->user_sentences[0].size(), 1u);
+  EXPECT_EQ(corpus->user_sentences[0][0],
+            (std::vector<int32_t>{0, 1, 2, 0}));
+  ASSERT_EQ(corpus->user_sentences[1].size(), 1u);
+  EXPECT_EQ(corpus->user_sentences[1][0], (std::vector<int32_t>{1}));
+}
+
+TEST(CorpusTest, PerSessionSplitsAtGaps) {
+  CorpusOptions options;
+  options.mode = SentenceMode::kPerSession;
+  options.max_session_seconds = 6 * 3600;
+  options.max_gap_seconds = 6 * 3600;
+  auto corpus = BuildCorpus(TwoUserDataset(), options);
+  ASSERT_TRUE(corpus.ok());
+  ASSERT_EQ(corpus->user_sentences[0].size(), 2u);
+  EXPECT_EQ(corpus->user_sentences[0][0], (std::vector<int32_t>{0, 1, 2}));
+  EXPECT_EQ(corpus->user_sentences[0][1], (std::vector<int32_t>{0}));
+}
+
+TEST(CorpusTest, TokenCountMatchesCheckIns) {
+  const CheckInDataset ds = TwoUserDataset();
+  auto full = BuildCorpus(ds);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->num_tokens(), ds.num_checkins());
+  CorpusOptions options;
+  options.mode = SentenceMode::kPerSession;
+  auto sessions = BuildCorpus(ds, options);
+  ASSERT_TRUE(sessions.ok());
+  EXPECT_EQ(sessions->num_tokens(), ds.num_checkins());
+}
+
+TEST(CorpusTest, EmptyDatasetRejected) {
+  CheckInDataset empty;
+  EXPECT_FALSE(BuildCorpus(empty).ok());
+}
+
+}  // namespace
+}  // namespace plp::data

@@ -1,0 +1,241 @@
+#include "data/dataset.h"
+
+#include <cstdio>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace plp::data {
+namespace {
+
+CheckIn Make(int32_t user, int32_t location, int64_t t) {
+  CheckIn c;
+  c.user = user;
+  c.location = location;
+  c.timestamp = t;
+  return c;
+}
+
+TEST(DatasetTest, FromRecordsDensifiesIds) {
+  // Sparse ids 100, 200 for users and 7, 9 for locations.
+  auto ds = CheckInDataset::FromRecords({
+      Make(100, 7, 10),
+      Make(200, 9, 20),
+      Make(100, 9, 30),
+  });
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_users(), 2);
+  EXPECT_EQ(ds->num_locations(), 2);
+  EXPECT_EQ(ds->num_checkins(), 3);
+  EXPECT_EQ(ds->UserCheckIns(0).size(), 2u);  // user 100 → 0
+  EXPECT_EQ(ds->UserCheckIns(1).size(), 1u);
+}
+
+TEST(DatasetTest, RejectsNegativeIds) {
+  EXPECT_FALSE(CheckInDataset::FromRecords({Make(-1, 0, 0)}).ok());
+  EXPECT_FALSE(CheckInDataset::FromRecords({Make(0, -1, 0)}).ok());
+}
+
+TEST(DatasetTest, CheckInsSortedByTime) {
+  auto ds = CheckInDataset::FromRecords({
+      Make(0, 0, 30),
+      Make(0, 1, 10),
+      Make(0, 2, 20),
+  });
+  ASSERT_TRUE(ds.ok());
+  const auto& u = ds->UserCheckIns(0);
+  EXPECT_EQ(u[0].timestamp, 10);
+  EXPECT_EQ(u[1].timestamp, 20);
+  EXPECT_EQ(u[2].timestamp, 30);
+}
+
+TEST(DatasetTest, EmptyDataset) {
+  auto ds = CheckInDataset::FromRecords({});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_users(), 0);
+  EXPECT_EQ(ds->Density(), 0.0);
+}
+
+TEST(DatasetTest, DensityCountsDistinctCells) {
+  // 2 users x 2 locations; user 0 visits both (twice each), user 1 one.
+  auto ds = CheckInDataset::FromRecords({
+      Make(0, 0, 1), Make(0, 0, 2), Make(0, 1, 3), Make(0, 1, 4),
+      Make(1, 0, 5),
+  });
+  ASSERT_TRUE(ds.ok());
+  EXPECT_NEAR(ds->Density(), 3.0 / 4.0, 1e-12);
+}
+
+TEST(DatasetTest, FilterDropsLightUsers) {
+  auto ds = CheckInDataset::FromRecords({
+      Make(0, 0, 1), Make(0, 1, 2), Make(0, 0, 3),
+      Make(1, 0, 1),  // only one check-in
+      Make(2, 0, 1), Make(2, 1, 2), Make(2, 0, 3),
+  });
+  ASSERT_TRUE(ds.ok());
+  const CheckInDataset filtered = ds->Filter(/*min_checkins_per_user=*/2,
+                                             /*min_users_per_location=*/1);
+  EXPECT_EQ(filtered.num_users(), 2);
+  EXPECT_EQ(filtered.num_checkins(), 6);
+}
+
+TEST(DatasetTest, FilterDropsRareLocations) {
+  // Location 1 visited only by user 0.
+  auto ds = CheckInDataset::FromRecords({
+      Make(0, 0, 1), Make(0, 1, 2),
+      Make(1, 0, 1), Make(1, 2, 2),
+      Make(2, 0, 1), Make(2, 2, 2),
+  });
+  ASSERT_TRUE(ds.ok());
+  const CheckInDataset filtered = ds->Filter(1, 2);
+  EXPECT_EQ(filtered.num_locations(), 2);  // loc 1 gone
+  EXPECT_EQ(filtered.num_checkins(), 5);
+}
+
+TEST(DatasetTest, FilterDropsUsersLeftEmpty) {
+  // User 1 only visits the rare location.
+  auto ds = CheckInDataset::FromRecords({
+      Make(0, 0, 1), Make(0, 0, 2),
+      Make(1, 1, 1),
+      Make(2, 0, 1),
+  });
+  ASSERT_TRUE(ds.ok());
+  const CheckInDataset filtered = ds->Filter(1, 2);
+  EXPECT_EQ(filtered.num_users(), 2);
+  EXPECT_EQ(filtered.num_locations(), 1);
+}
+
+TEST(DatasetTest, FilterMatchesPaperSettingShape) {
+  // min 10 check-ins per user, min 2 users per location: all survive here.
+  std::vector<CheckIn> records;
+  for (int u = 0; u < 3; ++u) {
+    for (int i = 0; i < 12; ++i) records.push_back(Make(u, i % 4, i));
+  }
+  auto ds = CheckInDataset::FromRecords(records);
+  ASSERT_TRUE(ds.ok());
+  const CheckInDataset filtered = ds->Filter(10, 2);
+  EXPECT_EQ(filtered.num_users(), 3);
+  EXPECT_EQ(filtered.num_locations(), 4);
+}
+
+TEST(DatasetTest, SplitHoldoutIsDisjointAndComplete) {
+  std::vector<CheckIn> records;
+  for (int u = 0; u < 20; ++u) {
+    records.push_back(Make(u, u % 5, u));
+    records.push_back(Make(u, (u + 1) % 5, u + 100));
+  }
+  auto ds = CheckInDataset::FromRecords(records);
+  ASSERT_TRUE(ds.ok());
+  Rng rng(3);
+  auto split = ds->SplitHoldout(6, rng);
+  ASSERT_TRUE(split.ok());
+  const auto& [train, test] = *split;
+  EXPECT_EQ(train.num_users(), 14);
+  EXPECT_EQ(test.num_users(), 6);
+  EXPECT_EQ(train.num_checkins() + test.num_checkins(), ds->num_checkins());
+  // Shared location vocabulary (ids not remapped).
+  EXPECT_EQ(train.num_locations(), ds->num_locations());
+  EXPECT_EQ(test.num_locations(), ds->num_locations());
+}
+
+TEST(DatasetTest, SplitHoldoutValidation) {
+  auto ds = CheckInDataset::FromRecords({Make(0, 0, 1), Make(1, 0, 1)});
+  ASSERT_TRUE(ds.ok());
+  Rng rng(3);
+  EXPECT_FALSE(ds->SplitHoldout(0, rng).ok());
+  EXPECT_FALSE(ds->SplitHoldout(2, rng).ok());
+  EXPECT_TRUE(ds->SplitHoldout(1, rng).ok());
+}
+
+TEST(DatasetTest, SessionizeSplitsOnDuration) {
+  // Six-hour cap: check-ins at 0h, 2h, 4h, 7h → {0,2,4} then {7}.
+  auto ds = CheckInDataset::FromRecords({
+      Make(0, 10, 0 * 3600), Make(0, 11, 2 * 3600),
+      Make(0, 12, 4 * 3600), Make(0, 13, 7 * 3600),
+  });
+  ASSERT_TRUE(ds.ok());
+  const auto sessions = ds->Sessionize(0, 6 * 3600, 24 * 3600);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].size(), 3u);
+  EXPECT_EQ(sessions[1].size(), 1u);
+}
+
+TEST(DatasetTest, SessionizeSplitsOnGap) {
+  // A 5-hour gap with a 2-hour gap threshold cuts the session even though
+  // the total duration is under six hours.
+  auto ds = CheckInDataset::FromRecords({
+      Make(0, 1, 0), Make(0, 2, 3600), Make(0, 3, 3600 * 5),
+  });
+  ASSERT_TRUE(ds.ok());
+  const auto sessions = ds->Sessionize(0, 6 * 3600, 2 * 3600);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0], (std::vector<int32_t>{0, 1}));
+  EXPECT_EQ(sessions[1], (std::vector<int32_t>{2}));
+}
+
+TEST(DatasetTest, SessionizePreservesAllTokens) {
+  std::vector<CheckIn> records;
+  for (int i = 0; i < 50; ++i) records.push_back(Make(0, i % 7, i * 4000));
+  auto ds = CheckInDataset::FromRecords(records);
+  ASSERT_TRUE(ds.ok());
+  size_t total = 0;
+  for (const auto& s : ds->Sessionize(0, 6 * 3600, 6 * 3600)) {
+    total += s.size();
+  }
+  EXPECT_EQ(total, 50u);
+}
+
+TEST(DatasetTest, UserRecordCounts) {
+  auto ds = CheckInDataset::FromRecords({
+      Make(0, 0, 1), Make(0, 0, 2), Make(1, 0, 1),
+  });
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->UserRecordCounts(), (std::vector<int64_t>{2, 1}));
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  std::vector<CheckIn> records;
+  for (int i = 0; i < 10; ++i) {
+    CheckIn c = Make(i % 3, i % 4, i * 100);
+    c.latitude = 35.6 + 0.01 * i;
+    c.longitude = 139.5 + 0.01 * i;
+    records.push_back(c);
+  }
+  auto ds = CheckInDataset::FromRecords(records);
+  ASSERT_TRUE(ds.ok());
+  const std::string path = testing::TempDir() + "/plp_roundtrip.csv";
+  ASSERT_TRUE(ds->SaveCsv(path).ok());
+  auto loaded = CheckInDataset::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_users(), ds->num_users());
+  EXPECT_EQ(loaded->num_locations(), ds->num_locations());
+  EXPECT_EQ(loaded->num_checkins(), ds->num_checkins());
+  for (int32_t u = 0; u < ds->num_users(); ++u) {
+    const auto& a = ds->UserCheckIns(u);
+    const auto& b = loaded->UserCheckIns(u);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].location, b[i].location);
+      EXPECT_EQ(a[i].timestamp, b[i].timestamp);
+      EXPECT_NEAR(a[i].latitude, b[i].latitude, 1e-9);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadCsvMissingFile) {
+  EXPECT_FALSE(CheckInDataset::LoadCsv("/nonexistent/file.csv").ok());
+}
+
+TEST(DatasetTest, LoadCsvMalformedLine) {
+  const std::string path = testing::TempDir() + "/plp_bad.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("user,location,timestamp,latitude,longitude\n", f);
+  fputs("not,a,valid,row,here\n", f);
+  fclose(f);
+  EXPECT_FALSE(CheckInDataset::LoadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace plp::data

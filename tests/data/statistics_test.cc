@@ -1,0 +1,78 @@
+#include "data/statistics.h"
+
+#include <gtest/gtest.h>
+#include "common/rng.h"
+#include "data/synthetic_generator.h"
+
+namespace plp::data {
+namespace {
+
+CheckIn Make(int32_t user, int32_t location, int64_t t) {
+  CheckIn c;
+  c.user = user;
+  c.location = location;
+  c.timestamp = t;
+  return c;
+}
+
+TEST(StatisticsTest, EmptyDataset) {
+  const DatasetStats stats = ComputeStats(CheckInDataset());
+  EXPECT_EQ(stats.num_users, 0);
+  EXPECT_EQ(stats.num_checkins, 0);
+}
+
+TEST(StatisticsTest, HandComputedCase) {
+  // User 0: 3 check-ins, user 1: 1 check-in; locations 0 (3x), 1 (1x).
+  auto ds = CheckInDataset::FromRecords({
+      Make(0, 0, 1), Make(0, 0, 2), Make(0, 1, 3), Make(1, 0, 4),
+  });
+  ASSERT_TRUE(ds.ok());
+  const DatasetStats stats = ComputeStats(*ds);
+  EXPECT_EQ(stats.num_users, 2);
+  EXPECT_EQ(stats.num_locations, 2);
+  EXPECT_EQ(stats.num_checkins, 4);
+  EXPECT_EQ(stats.user_checkins_mean, 2.0);
+  EXPECT_EQ(stats.user_checkins_median, 3);  // sorted {1, 3}, index 1
+  EXPECT_EQ(stats.user_checkins_max, 3);
+  // Visit counts {1, 3}: Gini = 2(1·1 + 2·3)/(2·4) − 3/2 = 14/8 − 1.5.
+  EXPECT_NEAR(stats.location_gini, 0.25, 1e-12);
+  // Top 1% of 2 POIs = 1 POI (the 3-visit one): share 0.75.
+  EXPECT_NEAR(stats.top1pct_share, 0.75, 1e-12);
+}
+
+TEST(StatisticsTest, UniformVisitsGiveZeroGini) {
+  std::vector<CheckIn> records;
+  for (int l = 0; l < 10; ++l) records.push_back(Make(0, l, l));
+  auto ds = CheckInDataset::FromRecords(records);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_NEAR(ComputeStats(*ds).location_gini, 0.0, 1e-12);
+}
+
+TEST(StatisticsTest, SyntheticCityIsSkewedAndSparse) {
+  // The generator must produce the skew/sparsity properties the paper's
+  // method is designed around.
+  Rng rng(21);
+  SyntheticConfig config = SmallSyntheticConfig();
+  config.num_users = 400;
+  config.num_locations = 300;
+  auto ds = GenerateSyntheticCheckIns(config, rng);
+  ASSERT_TRUE(ds.ok());
+  const DatasetStats stats = ComputeStats(*ds);
+  EXPECT_GT(stats.location_gini, 0.3);        // Zipf skew
+  EXPECT_LT(stats.density, 0.25);             // sparse user × POI matrix
+  EXPECT_GT(stats.user_checkins_max,          // long-tailed activity
+            4 * stats.user_checkins_median);
+  EXPECT_GT(stats.top1pct_share, 0.02);
+}
+
+TEST(StatisticsTest, ToStringMentionsKeyNumbers) {
+  auto ds = CheckInDataset::FromRecords({Make(0, 0, 1), Make(0, 1, 2)});
+  ASSERT_TRUE(ds.ok());
+  const std::string s = ComputeStats(*ds).ToString();
+  EXPECT_NE(s.find("1 users"), std::string::npos);
+  EXPECT_NE(s.find("2 locations"), std::string::npos);
+  EXPECT_NE(s.find("2 check-ins"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace plp::data

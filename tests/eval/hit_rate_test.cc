@@ -1,0 +1,109 @@
+#include "eval/hit_rate.h"
+
+#include <gtest/gtest.h>
+#include "common/rng.h"
+
+namespace plp::eval {
+namespace {
+
+data::CheckIn Make(int32_t user, int32_t location, int64_t t) {
+  data::CheckIn c;
+  c.user = user;
+  c.location = location;
+  c.timestamp = t;
+  return c;
+}
+
+/// 3 locations on a 2-dim circle so rankings are unambiguous.
+sgns::SgnsModel DirectionalModel() {
+  Rng rng(1);
+  sgns::SgnsConfig config;
+  config.embedding_dim = 2;
+  auto model = sgns::SgnsModel::Create(3, config, rng);
+  EXPECT_TRUE(model.ok());
+  const double rows[3][2] = {{1, 0}, {0.8, 0.6}, {-1, 0}};
+  for (int32_t l = 0; l < 3; ++l) {
+    std::span<double> row = model->MutableInRow(l);
+    row[0] = rows[l][0];
+    row[1] = rows[l][1];
+  }
+  return std::move(model).value();
+}
+
+TEST(BuildExamplesTest, OneExamplePerMultiVisitSession) {
+  // User 0: one 3-visit session and (after a long gap) one 1-visit
+  // session; user 1: a 2-visit session.
+  auto ds = data::CheckInDataset::FromRecords({
+      Make(0, 0, 0), Make(0, 1, 600), Make(0, 2, 1200),
+      Make(0, 0, 100 * 3600),
+      Make(1, 2, 0), Make(1, 0, 900),
+  });
+  ASSERT_TRUE(ds.ok());
+  const std::vector<EvalExample> examples = BuildLeaveOneOutExamples(*ds);
+  ASSERT_EQ(examples.size(), 2u);
+  EXPECT_EQ(examples[0].history, (std::vector<int32_t>{0, 1}));
+  EXPECT_EQ(examples[0].label, 2);
+  EXPECT_EQ(examples[1].history, (std::vector<int32_t>{2}));
+  EXPECT_EQ(examples[1].label, 0);
+}
+
+TEST(BuildExamplesTest, SessionBoundaryRespected) {
+  // Visits at 0h and 7h are different six-hour trajectories → no example.
+  auto ds = data::CheckInDataset::FromRecords({
+      Make(0, 0, 0), Make(0, 1, 7 * 3600),
+  });
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(BuildLeaveOneOutExamples(*ds).empty());
+}
+
+TEST(EvaluateHitRateTest, PerfectAndImperfectPredictions) {
+  const sgns::SgnsModel model = DirectionalModel();
+  // History {0}: ranking is 0, 1, 2. Excluding nothing, label 1 has rank
+  // 1 (second) → hit at k >= 2; label 2 has rank 2 → hit only at k >= 3.
+  std::vector<EvalExample> examples;
+  examples.push_back({{0}, 1});
+  examples.push_back({{0}, 2});
+  auto hr = EvaluateHitRate(model, examples, {1, 2, 3});
+  ASSERT_TRUE(hr.ok());
+  EXPECT_EQ(hr->num_examples, 2);
+  EXPECT_NEAR(hr->at(1), 0.0, 1e-12);  // rank 0 is location 0 itself
+  EXPECT_NEAR(hr->at(2), 0.5, 1e-12);
+  EXPECT_NEAR(hr->at(3), 1.0, 1e-12);
+}
+
+TEST(EvaluateHitRateTest, HitRateMonotoneInK) {
+  const sgns::SgnsModel model = DirectionalModel();
+  std::vector<EvalExample> examples;
+  examples.push_back({{0}, 1});
+  examples.push_back({{1}, 0});
+  examples.push_back({{2}, 1});
+  auto hr = EvaluateHitRate(model, examples, {1, 2, 3});
+  ASSERT_TRUE(hr.ok());
+  EXPECT_LE(hr->at(1), hr->at(2));
+  EXPECT_LE(hr->at(2), hr->at(3));
+  EXPECT_EQ(hr->at(3), 1.0);  // k = L always hits
+}
+
+TEST(EvaluateHitRateTest, Validation) {
+  const sgns::SgnsModel model = DirectionalModel();
+  std::vector<EvalExample> examples;
+  examples.push_back({{0}, 1});
+  EXPECT_FALSE(EvaluateHitRate(model, {}, {5}).ok());
+  EXPECT_FALSE(EvaluateHitRate(model, examples, {}).ok());
+  EXPECT_FALSE(EvaluateHitRate(model, examples, {0}).ok());
+  std::vector<EvalExample> bad_label;
+  bad_label.push_back({{0}, 99});
+  EXPECT_FALSE(EvaluateHitRate(model, bad_label, {1}).ok());
+}
+
+TEST(EvaluateHitRateTest, AtAbortsOnMissingK) {
+  const sgns::SgnsModel model = DirectionalModel();
+  std::vector<EvalExample> examples;
+  examples.push_back({{0}, 1});
+  auto hr = EvaluateHitRate(model, examples, {2});
+  ASSERT_TRUE(hr.ok());
+  EXPECT_DEATH(hr->at(5), "");
+}
+
+}  // namespace
+}  // namespace plp::eval

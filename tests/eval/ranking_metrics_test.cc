@@ -1,0 +1,93 @@
+#include "eval/ranking_metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "common/rng.h"
+
+namespace plp::eval {
+namespace {
+
+/// 4 locations on known directions: from location 0 the ranking is
+/// 0, 1, 2, 3 (see recommender_test.cc).
+sgns::SgnsModel HandModel() {
+  Rng rng(1);
+  sgns::SgnsConfig config;
+  config.embedding_dim = 2;
+  auto model = sgns::SgnsModel::Create(4, config, rng);
+  EXPECT_TRUE(model.ok());
+  const double rows[4][2] = {{1, 0}, {0.9, 0.1}, {0, 1}, {-1, 0}};
+  for (int32_t l = 0; l < 4; ++l) {
+    std::span<double> row = model->MutableInRow(l);
+    row[0] = rows[l][0];
+    row[1] = rows[l][1];
+  }
+  return std::move(model).value();
+}
+
+TEST(RankingMetricsTest, ExactValuesOnHandModel) {
+  const sgns::SgnsModel model = HandModel();
+  // Ranks of the labels (history {0} → ranking 0,1,2,3):
+  //   label 1 → rank 1, label 3 → rank 3.
+  std::vector<EvalExample> examples;
+  examples.push_back({{0}, 1});
+  examples.push_back({{0}, 3});
+  auto metrics = EvaluateRankingMetrics(model, examples, /*k=*/2,
+                                        /*rank_cap=*/4);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->num_examples, 2);
+  // MRR = (1/2 + 1/4) / 2.
+  EXPECT_NEAR(metrics->mean_reciprocal_rank, 0.375, 1e-12);
+  // NDCG@2: label 1 contributes 1/log2(3), label 3 is outside top-2.
+  EXPECT_NEAR(metrics->ndcg_at_k, (1.0 / std::log2(3.0)) / 2.0, 1e-12);
+}
+
+TEST(RankingMetricsTest, PerfectPredictionGivesOnes) {
+  const sgns::SgnsModel model = HandModel();
+  std::vector<EvalExample> examples;
+  examples.push_back({{1}, 1});  // label is its own nearest neighbor
+  auto metrics = EvaluateRankingMetrics(model, examples, 1, 4);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NEAR(metrics->mean_reciprocal_rank, 1.0, 1e-12);
+  EXPECT_NEAR(metrics->ndcg_at_k, 1.0, 1e-12);
+}
+
+TEST(RankingMetricsTest, RankCapZeroesTail) {
+  const sgns::SgnsModel model = HandModel();
+  std::vector<EvalExample> examples;
+  examples.push_back({{0}, 3});  // rank 3, outside cap 2
+  auto metrics = EvaluateRankingMetrics(model, examples, 2, 2);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->mean_reciprocal_rank, 0.0);
+  EXPECT_EQ(metrics->ndcg_at_k, 0.0);
+}
+
+TEST(RankingMetricsTest, NdcgBoundedByHitRateOrdering) {
+  // NDCG@k <= HR@k <= MRR-implied bounds: specifically each example's
+  // NDCG contribution is <= its HR@k contribution.
+  const sgns::SgnsModel model = HandModel();
+  std::vector<EvalExample> examples;
+  examples.push_back({{0}, 1});
+  examples.push_back({{0}, 2});
+  examples.push_back({{2}, 3});
+  auto metrics = EvaluateRankingMetrics(model, examples, 3, 4);
+  auto hr = EvaluateHitRate(model, examples, {3});
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_TRUE(hr.ok());
+  EXPECT_LE(metrics->ndcg_at_k, hr->at(3) + 1e-12);
+}
+
+TEST(RankingMetricsTest, Validation) {
+  const sgns::SgnsModel model = HandModel();
+  std::vector<EvalExample> examples;
+  examples.push_back({{0}, 1});
+  EXPECT_FALSE(EvaluateRankingMetrics(model, {}, 2, 4).ok());
+  EXPECT_FALSE(EvaluateRankingMetrics(model, examples, 0, 4).ok());
+  EXPECT_FALSE(EvaluateRankingMetrics(model, examples, 4, 2).ok());
+  std::vector<EvalExample> bad;
+  bad.push_back({{0}, 42});
+  EXPECT_FALSE(EvaluateRankingMetrics(model, bad, 2, 4).ok());
+}
+
+}  // namespace
+}  // namespace plp::eval

@@ -1,0 +1,183 @@
+#include "optim/optimizers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "common/rng.h"
+#include "sgns/sparse_delta.h"
+
+namespace plp::optim {
+namespace {
+
+using sgns::DenseUpdate;
+using sgns::SgnsConfig;
+using sgns::SgnsModel;
+using sgns::SparseDelta;
+using sgns::Tensor;
+
+SgnsModel MakeModel(int32_t locations = 4, int32_t dim = 3,
+                    uint64_t seed = 1) {
+  Rng rng(seed);
+  SgnsConfig config;
+  config.embedding_dim = dim;
+  auto model = SgnsModel::Create(locations, config, rng);
+  EXPECT_TRUE(model.ok());
+  return std::move(model).value();
+}
+
+TEST(FixedStepTest, AppliesUpdateExactly) {
+  SgnsModel model = MakeModel();
+  const SgnsModel before = model;
+  DenseUpdate update(model);
+  update.TensorData(Tensor::kWIn)[0] = 0.5;
+  update.TensorData(Tensor::kBias)[2] = -1.0;
+
+  FixedStepServerOptimizer opt;
+  opt.ApplyUpdate(update, model);
+  EXPECT_DOUBLE_EQ(model.TensorData(Tensor::kWIn)[0],
+                   before.TensorData(Tensor::kWIn)[0] + 0.5);
+  EXPECT_DOUBLE_EQ(model.bias(2), before.bias(2) - 1.0);
+  // Untouched coordinates unchanged.
+  EXPECT_DOUBLE_EQ(model.TensorData(Tensor::kWIn)[1],
+                   before.TensorData(Tensor::kWIn)[1]);
+}
+
+TEST(FixedStepTest, ScaleFactor) {
+  SgnsModel model = MakeModel();
+  const double before = model.TensorData(Tensor::kWIn)[0];
+  DenseUpdate update(model);
+  update.TensorData(Tensor::kWIn)[0] = 1.0;
+  FixedStepServerOptimizer opt(0.25);
+  opt.ApplyUpdate(update, model);
+  EXPECT_DOUBLE_EQ(model.TensorData(Tensor::kWIn)[0], before + 0.25);
+}
+
+TEST(DpAdamTest, FirstStepMatchesManualAdam) {
+  SgnsModel model = MakeModel();
+  const double before = model.TensorData(Tensor::kWIn)[0];
+  DenseUpdate update(model);
+  update.TensorData(Tensor::kWIn)[0] = 0.8;  // ascent direction
+
+  AdamConfig config;
+  config.learning_rate = 0.1;
+  DpAdamServerOptimizer opt(config);
+  opt.ApplyUpdate(update, model);
+
+  // Manual Adam with g = −0.8 at t = 1: m̂ = g, v̂ = g², so the step is
+  // −lr·g/(|g| + ε) ≈ +lr.
+  const double g = -0.8;
+  const double expected =
+      before - config.learning_rate * g / (std::fabs(g) + config.epsilon);
+  EXPECT_NEAR(model.TensorData(Tensor::kWIn)[0], expected, 1e-12);
+}
+
+TEST(DpAdamTest, MovesInUpdateDirection) {
+  SgnsModel model = MakeModel();
+  const SgnsModel before = model;
+  DenseUpdate update(model);
+  update.TensorData(Tensor::kWOut)[5] = 0.3;
+  update.TensorData(Tensor::kWOut)[6] = -0.3;
+  DpAdamServerOptimizer opt;
+  opt.ApplyUpdate(update, model);
+  EXPECT_GT(model.TensorData(Tensor::kWOut)[5],
+            before.TensorData(Tensor::kWOut)[5]);
+  EXPECT_LT(model.TensorData(Tensor::kWOut)[6],
+            before.TensorData(Tensor::kWOut)[6]);
+}
+
+TEST(DpAdamTest, MomentumPersistsAcrossSteps) {
+  // After several identical updates, a zero update still moves the model
+  // (first-moment momentum).
+  SgnsModel model = MakeModel();
+  DenseUpdate update(model);
+  update.TensorData(Tensor::kWIn)[0] = 1.0;
+  DpAdamServerOptimizer opt;
+  for (int i = 0; i < 5; ++i) opt.ApplyUpdate(update, model);
+  const double before = model.TensorData(Tensor::kWIn)[0];
+  DenseUpdate zero(model);
+  opt.ApplyUpdate(zero, model);
+  EXPECT_NE(model.TensorData(Tensor::kWIn)[0], before);
+}
+
+TEST(MakeServerOptimizerTest, Factory) {
+  EXPECT_STREQ(MakeServerOptimizer("fixed_step")->name(), "fixed_step");
+  EXPECT_STREQ(MakeServerOptimizer("dp_adam")->name(), "dp_adam");
+}
+
+TEST(SparseAdamTest, FirstStepMatchesManualAdam) {
+  SgnsModel model = MakeModel();
+  const double before = model.TensorData(Tensor::kWIn)[0];
+  SparseDelta gradient(3);
+  gradient.Row(Tensor::kWIn, 0)[0] = 2.0;
+
+  AdamConfig config;
+  config.learning_rate = 0.05;
+  SparseAdam adam(model, config);
+  adam.ApplyGradient(gradient, 0.5, model);  // effective gradient 1.0
+
+  // t = 1: m = (1−β1)·g, v = (1−β2)·g²; lr_t = lr·√(1−β2)/(1−β1);
+  // step = −lr_t·m/(√v + ε) = −lr·g/(|g| + ...) ≈ −lr for g = 1.
+  const double g = 1.0;
+  const double m = (1 - config.beta1) * g;
+  const double v = (1 - config.beta2) * g * g;
+  const double lr_t = config.learning_rate * std::sqrt(1 - config.beta2) /
+                      (1 - config.beta1);
+  const double expected = before - lr_t * m / (std::sqrt(v) + config.epsilon);
+  EXPECT_NEAR(model.TensorData(Tensor::kWIn)[0], expected, 1e-12);
+  EXPECT_EQ(adam.step(), 1);
+}
+
+TEST(SparseAdamTest, OnlyTouchedEntriesMove) {
+  SgnsModel model = MakeModel();
+  const SgnsModel before = model;
+  SparseDelta gradient(3);
+  gradient.Row(Tensor::kWIn, 1)[2] = 1.0;
+  gradient.AddBias(3, -1.0);
+
+  SparseAdam adam(model);
+  adam.ApplyGradient(gradient, 1.0, model);
+
+  int moved = 0;
+  for (int ti = 0; ti < sgns::kNumTensors; ++ti) {
+    const auto t = static_cast<Tensor>(ti);
+    const auto a = model.TensorData(t);
+    const auto b = before.TensorData(t);
+    for (size_t i = 0; i < a.size(); ++i) moved += a[i] != b[i];
+  }
+  EXPECT_EQ(moved, 2);
+  EXPECT_LT(model.InRow(1)[2], before.InRow(1)[2]);  // descent
+  EXPECT_GT(model.bias(3), before.bias(3));          // negative gradient
+}
+
+TEST(SparseAdamTest, ReducesQuadraticObjective) {
+  // Minimize f(w) = ½·w² on a single coordinate: gradient = w.
+  SgnsModel model = MakeModel(2, 3);
+  model.MutableInRow(0)[0] = 1.0;
+  AdamConfig config;
+  config.learning_rate = 0.05;
+  SparseAdam adam(model, config);
+  for (int i = 0; i < 200; ++i) {
+    SparseDelta gradient(3);
+    gradient.Row(Tensor::kWIn, 0)[0] = model.InRow(0)[0];
+    adam.ApplyGradient(gradient, 1.0, model);
+  }
+  EXPECT_LT(std::fabs(model.InRow(0)[0]), 0.05);
+}
+
+TEST(SparseAdamTest, GradScaleActsLikeBatchAverage) {
+  SgnsModel a = MakeModel(2, 3, 5);
+  SgnsModel b = a;
+  SparseDelta g1(3);
+  g1.Row(Tensor::kWIn, 0)[0] = 4.0;
+  SparseDelta g2(3);
+  g2.Row(Tensor::kWIn, 0)[0] = 1.0;
+
+  SparseAdam adam_a(a);
+  adam_a.ApplyGradient(g1, 0.25, a);
+  SparseAdam adam_b(b);
+  adam_b.ApplyGradient(g2, 1.0, b);
+  EXPECT_NEAR(a.InRow(0)[0], b.InRow(0)[0], 1e-12);
+}
+
+}  // namespace
+}  // namespace plp::optim

@@ -1,0 +1,121 @@
+#include "privacy/gaussian_mechanism.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace plp::privacy {
+namespace {
+
+TEST(GaussianSigmaTest, MatchesClosedForm) {
+  auto sigma = GaussianSigma(1.0, 1e-5, 1.0);
+  ASSERT_TRUE(sigma.ok());
+  EXPECT_NEAR(*sigma, std::sqrt(2.0 * std::log(1.25e5)), 1e-12);
+}
+
+TEST(GaussianSigmaTest, ScalesWithSensitivity) {
+  auto a = GaussianSigma(0.5, 1e-4, 1.0);
+  auto b = GaussianSigma(0.5, 1e-4, 2.0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(*b, 2.0 * *a, 1e-12);
+}
+
+TEST(GaussianSigmaTest, MoreBudgetMeansLessNoise) {
+  auto tight = GaussianSigma(0.1, 1e-4, 1.0);
+  auto loose = GaussianSigma(1.0, 1e-4, 1.0);
+  ASSERT_TRUE(tight.ok());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_GT(*tight, *loose);
+}
+
+TEST(GaussianSigmaTest, Validation) {
+  EXPECT_FALSE(GaussianSigma(0.0, 1e-4, 1.0).ok());
+  EXPECT_FALSE(GaussianSigma(1.5, 1e-4, 1.0).ok());  // classic bound range
+  EXPECT_FALSE(GaussianSigma(0.5, 0.0, 1.0).ok());
+  EXPECT_FALSE(GaussianSigma(0.5, 1.0, 1.0).ok());
+  EXPECT_FALSE(GaussianSigma(0.5, 1e-4, 0.0).ok());
+}
+
+TEST(GaussianEpsilonTest, InvertsSigma) {
+  const double eps = 0.8;
+  auto sigma = GaussianSigma(eps, 1e-4, 1.0);
+  ASSERT_TRUE(sigma.ok());
+  auto recovered = GaussianEpsilon(*sigma, 1e-4);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_NEAR(*recovered, eps, 1e-12);
+}
+
+TEST(GaussianEpsilonTest, Validation) {
+  EXPECT_FALSE(GaussianEpsilon(0.0, 1e-4).ok());
+  EXPECT_FALSE(GaussianEpsilon(1.0, 0.0).ok());
+  EXPECT_FALSE(GaussianEpsilon(1.0, 1.0).ok());
+}
+
+TEST(AmplifyBySamplingTest, Identity) {
+  EXPECT_EQ(AmplifyBySampling(2.0, 1.0), 2.0);
+  EXPECT_EQ(AmplifyBySampling(2.0, 0.0), 0.0);
+}
+
+TEST(AmplifyBySamplingTest, ReducesEpsilon) {
+  const double amplified = AmplifyBySampling(1.0, 0.1);
+  EXPECT_LT(amplified, 1.0);
+  EXPECT_GT(amplified, 0.0);
+  EXPECT_NEAR(amplified, std::log1p(0.1 * (std::exp(1.0) - 1.0)), 1e-12);
+}
+
+TEST(AmplifyBySamplingTest, SmallQLinearRegime) {
+  // For small ε and q, amplified ε ≈ q·ε·(e^ε−1)/ε ≈ q·ε.
+  const double amplified = AmplifyBySampling(0.01, 0.05);
+  EXPECT_NEAR(amplified, 0.05 * 0.01, 1e-4);
+}
+
+TEST(GaussianDeltaTest, DecreasesInSigma) {
+  double prev = 1.0;
+  for (double sigma : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double delta = GaussianDeltaForSigma(1.0, sigma).value();
+    EXPECT_LT(delta, prev);
+    prev = delta;
+  }
+}
+
+TEST(GaussianDeltaTest, Validation) {
+  EXPECT_FALSE(GaussianDeltaForSigma(0.0, 1.0).ok());
+  EXPECT_FALSE(GaussianDeltaForSigma(1.0, 0.0).ok());
+}
+
+TEST(AnalyticGaussianTest, CalibrationIsConsistent) {
+  // δ(σ*(ε, δ)) == δ, across a grid including ε > 1 (where the classic
+  // bound does not even apply).
+  for (double eps : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    for (double delta : {1e-6, 1e-4, 1e-2}) {
+      const double sigma = AnalyticGaussianSigma(eps, delta).value();
+      EXPECT_NEAR(GaussianDeltaForSigma(eps, sigma).value(), delta,
+                  delta * 1e-3)
+          << "eps=" << eps << " delta=" << delta;
+    }
+  }
+}
+
+TEST(AnalyticGaussianTest, NeverLooserThanClassicBound) {
+  for (double eps : {0.2, 0.5, 1.0}) {
+    const double analytic = AnalyticGaussianSigma(eps, 1e-5).value();
+    const double classic = GaussianSigma(eps, 1e-5, 1.0).value();
+    EXPECT_LE(analytic, classic);
+  }
+}
+
+TEST(AnalyticGaussianTest, WorksBeyondEpsilonOne) {
+  const double sigma = AnalyticGaussianSigma(4.0, 1e-5).value();
+  EXPECT_GT(sigma, 0.0);
+  EXPECT_LT(sigma, 2.0);  // large ε needs little noise
+}
+
+TEST(AnalyticGaussianTest, Validation) {
+  EXPECT_FALSE(AnalyticGaussianSigma(0.0, 1e-5).ok());
+  EXPECT_FALSE(AnalyticGaussianSigma(1.0, 0.0).ok());
+  EXPECT_FALSE(AnalyticGaussianSigma(1.0, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace plp::privacy

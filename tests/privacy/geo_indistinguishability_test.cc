@@ -1,0 +1,99 @@
+#include "privacy/geo_indistinguishability.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace plp::privacy {
+namespace {
+
+TEST(LambertWTest, BranchPointAndKnownValues) {
+  EXPECT_NEAR(LambertWMinusOne(-1.0 / M_E), -1.0, 1e-9);
+  // W₋₁(−0.1) ≈ −3.577152063957297.
+  EXPECT_NEAR(LambertWMinusOne(-0.1), -3.577152063957297, 1e-9);
+  // W₋₁(−0.2) ≈ −2.542641357773526.
+  EXPECT_NEAR(LambertWMinusOne(-0.2), -2.542641357773526, 1e-9);
+}
+
+TEST(LambertWTest, SatisfiesDefiningEquation) {
+  for (double x : {-0.3, -0.25, -0.1, -0.05, -0.01, -1e-4}) {
+    const double w = LambertWMinusOne(x);
+    EXPECT_NEAR(w * std::exp(w), x, 1e-10 + 1e-8 * std::fabs(x));
+    EXPECT_LE(w, -1.0);
+  }
+}
+
+TEST(PlanarLaplaceRadiusTest, InvertsTheRadialCdf) {
+  // C(r) = 1 − (1 + εr)·e^{−εr}; radius at quantile u must satisfy
+  // C(r(u)) = u.
+  const double eps = 0.01;  // per meter
+  for (double u : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const double r = PlanarLaplaceRadius(eps, u);
+    const double cdf = 1.0 - (1.0 + eps * r) * std::exp(-eps * r);
+    EXPECT_NEAR(cdf, u, 1e-9);
+    EXPECT_GT(r, 0.0);
+  }
+}
+
+TEST(PlanarLaplaceRadiusTest, MonotoneInQuantileAndEpsilon) {
+  EXPECT_LT(PlanarLaplaceRadius(0.01, 0.3), PlanarLaplaceRadius(0.01, 0.7));
+  // Stronger privacy (smaller ε) → larger radius at the same quantile.
+  EXPECT_GT(PlanarLaplaceRadius(0.001, 0.5), PlanarLaplaceRadius(0.01, 0.5));
+}
+
+TEST(PlanarLaplacePerturbTest, MeanDisplacementMatchesTheory) {
+  // E[r] for the planar Laplace is 2/ε.
+  const double eps = 0.005;
+  const GeoPoint origin{35.65, 139.70};
+  Rng rng(3);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto z = PlanarLaplacePerturb(origin, eps, rng);
+    ASSERT_TRUE(z.ok());
+    total += ApproxDistanceMeters(origin, *z);
+  }
+  EXPECT_NEAR(total / n, 2.0 / eps, 0.03 * 2.0 / eps);
+}
+
+TEST(PlanarLaplacePerturbTest, RejectsBadEpsilon) {
+  Rng rng(3);
+  EXPECT_FALSE(PlanarLaplacePerturb(GeoPoint{}, 0.0, rng).ok());
+  EXPECT_FALSE(PlanarLaplacePerturb(GeoPoint{}, -1.0, rng).ok());
+}
+
+TEST(ApproxDistanceTest, KnownDistances) {
+  // One degree of latitude ≈ 111.32 km.
+  EXPECT_NEAR(ApproxDistanceMeters(GeoPoint{35.0, 139.0},
+                                   GeoPoint{36.0, 139.0}),
+              111320.0, 10.0);
+  EXPECT_EQ(ApproxDistanceMeters(GeoPoint{35.0, 139.0},
+                                 GeoPoint{35.0, 139.0}),
+            0.0);
+}
+
+TEST(NearestLocationTest, PicksClosestPoi) {
+  const std::vector<double> lats = {35.60, 35.70, 35.65};
+  const std::vector<double> lons = {139.60, 139.80, 139.70};
+  EXPECT_EQ(NearestLocation(GeoPoint{35.61, 139.61}, lats, lons), 0);
+  EXPECT_EQ(NearestLocation(GeoPoint{35.69, 139.79}, lats, lons), 1);
+  EXPECT_EQ(NearestLocation(GeoPoint{35.65, 139.70}, lats, lons), 2);
+}
+
+TEST(NearestLocationTest, SnapRecoversTruePoiAtHighEpsilon) {
+  // With weak obfuscation (large ε) the snapped POI is almost always the
+  // original one when POIs are hundreds of meters apart.
+  const std::vector<double> lats = {35.60, 35.70, 35.65};
+  const std::vector<double> lons = {139.60, 139.80, 139.70};
+  Rng rng(5);
+  int correct = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto z = PlanarLaplacePerturb(GeoPoint{35.70, 139.80}, /*eps=*/0.1, rng);
+    ASSERT_TRUE(z.ok());
+    correct += NearestLocation(*z, lats, lons) == 1;
+  }
+  EXPECT_GT(correct, 195);
+}
+
+}  // namespace
+}  // namespace plp::privacy

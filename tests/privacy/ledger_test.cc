@@ -1,0 +1,87 @@
+#include "privacy/ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace plp::privacy {
+namespace {
+
+TEST(LedgerTest, StartsEmpty) {
+  PrivacyLedger ledger(2e-4);
+  EXPECT_EQ(ledger.total_steps(), 0);
+  EXPECT_EQ(ledger.CumulativeEpsilon(), 0.0);
+  EXPECT_EQ(ledger.delta(), 2e-4);
+}
+
+TEST(LedgerTest, TrackStepValidation) {
+  PrivacyLedger ledger(2e-4);
+  EXPECT_FALSE(ledger.TrackStep(-0.1, 1.0).ok());
+  EXPECT_FALSE(ledger.TrackStep(1.1, 1.0).ok());
+  EXPECT_FALSE(ledger.TrackStep(0.5, -1.0).ok());
+  EXPECT_TRUE(ledger.TrackStep(0.5, 1.0).ok());
+}
+
+TEST(LedgerTest, CoalescesIdenticalSteps) {
+  PrivacyLedger ledger(2e-4);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ledger.TrackStep(0.06, 2.5).ok());
+  }
+  ASSERT_TRUE(ledger.TrackStep(0.10, 2.5).ok());
+  ASSERT_EQ(ledger.entries().size(), 2u);
+  EXPECT_EQ(ledger.entries()[0].steps, 10);
+  EXPECT_EQ(ledger.entries()[0].sampling_probability, 0.06);
+  EXPECT_EQ(ledger.entries()[1].steps, 1);
+  EXPECT_EQ(ledger.total_steps(), 11);
+}
+
+TEST(LedgerTest, MatchesFreshAccountant) {
+  PrivacyLedger ledger(2e-4);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(ledger.TrackStep(0.06, 1.5).ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(ledger.TrackStep(0.10, 2.0).ok());
+  }
+  RdpAccountant reference;
+  ASSERT_TRUE(reference.AddSteps(0.06, 1.5, 50).ok());
+  ASSERT_TRUE(reference.AddSteps(0.10, 2.0, 20).ok());
+  EXPECT_NEAR(ledger.CumulativeEpsilon(),
+              reference.GetEpsilon(2e-4).value(), 1e-9);
+}
+
+TEST(LedgerTest, EpsilonIsMonotoneInSteps) {
+  PrivacyLedger ledger(2e-4);
+  double prev = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(ledger.TrackStep(0.06, 2.0).ok());
+    const double eps = ledger.CumulativeEpsilon();
+    EXPECT_GT(eps, prev);
+    prev = eps;
+  }
+}
+
+TEST(LedgerTest, CacheSurvivesParameterSwitches) {
+  // Alternate parameters to exercise the (q, σ) cache invalidation path.
+  PrivacyLedger ledger(2e-4);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ledger.TrackStep(0.06, 1.5).ok());
+    ASSERT_TRUE(ledger.TrackStep(0.10, 2.5).ok());
+  }
+  RdpAccountant reference;
+  ASSERT_TRUE(reference.AddSteps(0.06, 1.5, 5).ok());
+  ASSERT_TRUE(reference.AddSteps(0.10, 2.5, 5).ok());
+  EXPECT_NEAR(ledger.CumulativeEpsilon(),
+              reference.GetEpsilon(2e-4).value(), 1e-9);
+  EXPECT_EQ(ledger.entries().size(), 10u);
+}
+
+TEST(LedgerTest, ImprovedConversionAvailable) {
+  PrivacyLedger ledger(2e-4);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(ledger.TrackStep(0.06, 1.5).ok());
+  }
+  EXPECT_LE(ledger.CumulativeEpsilon(RdpConversion::kImproved),
+            ledger.CumulativeEpsilon(RdpConversion::kClassic));
+}
+
+}  // namespace
+}  // namespace plp::privacy

@@ -1,0 +1,225 @@
+#include "privacy/rdp_accountant.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+#include "common/math_util.h"
+#include "privacy/gaussian_mechanism.h"
+
+namespace plp::privacy {
+namespace {
+
+TEST(SubsampledGaussianRdpTest, ZeroSamplingIsFree) {
+  EXPECT_EQ(SubsampledGaussianRdp(0.0, 1.0, 2), 0.0);
+  EXPECT_EQ(SubsampledGaussianRdp(0.0, 1.0, 64), 0.0);
+}
+
+TEST(SubsampledGaussianRdpTest, FullSamplingIsPlainGaussian) {
+  // q = 1: RDP(α) = α / (2σ²) exactly.
+  for (int64_t alpha : {2, 8, 32}) {
+    for (double sigma : {0.5, 1.0, 2.5}) {
+      EXPECT_NEAR(SubsampledGaussianRdp(1.0, sigma, alpha),
+                  static_cast<double>(alpha) / (2.0 * sigma * sigma), 1e-12);
+    }
+  }
+}
+
+TEST(SubsampledGaussianRdpTest, ZeroNoiseIsInfinite) {
+  EXPECT_TRUE(std::isinf(SubsampledGaussianRdp(0.5, 0.0, 2)));
+}
+
+TEST(SubsampledGaussianRdpTest, HandComputedAlphaTwo) {
+  // α = 2: A = Σ_k C(2,k)(1−q)^{2−k} q^k exp(k(k−1)/(2σ²))
+  //          = (1−q)² + 2q(1−q) + q²·e^{1/σ²}; RDP = log(A).
+  const double q = 0.1, sigma = 1.5;
+  const double expected = std::log((1 - q) * (1 - q) + 2 * q * (1 - q) +
+                                   q * q * std::exp(1.0 / (sigma * sigma)));
+  EXPECT_NEAR(SubsampledGaussianRdp(q, sigma, 2), expected, 1e-12);
+}
+
+TEST(SubsampledGaussianRdpTest, MonotoneInSamplingProbability) {
+  double prev = 0.0;
+  for (double q : {0.01, 0.05, 0.1, 0.3, 0.7, 1.0}) {
+    const double rdp = SubsampledGaussianRdp(q, 1.5, 8);
+    EXPECT_GT(rdp, prev);
+    prev = rdp;
+  }
+}
+
+TEST(SubsampledGaussianRdpTest, MonotoneDecreasingInNoise) {
+  double prev = std::numeric_limits<double>::infinity();
+  for (double sigma : {0.5, 1.0, 1.5, 2.5, 4.0}) {
+    const double rdp = SubsampledGaussianRdp(0.1, sigma, 8);
+    EXPECT_LT(rdp, prev);
+    prev = rdp;
+  }
+}
+
+TEST(SubsampledGaussianRdpTest, AmplificationBeatsFullBatch) {
+  // Subsampling with q < 1 must cost strictly less than the plain
+  // Gaussian mechanism at the same σ.
+  for (int64_t alpha : {2, 4, 16, 64}) {
+    EXPECT_LT(SubsampledGaussianRdp(0.06, 2.0, alpha),
+              SubsampledGaussianRdp(1.0, 2.0, alpha));
+  }
+}
+
+TEST(SubsampledGaussianRdpTest, QuadraticInQForSmallQ) {
+  // Known asymptotic: RDP ≈ q²·α(α−1)... ~ O(q²) for small q; check the
+  // ratio between q and q/2 is about 4.
+  const double a = SubsampledGaussianRdp(0.02, 2.0, 4);
+  const double b = SubsampledGaussianRdp(0.01, 2.0, 4);
+  EXPECT_NEAR(a / b, 4.0, 0.25);
+}
+
+TEST(DefaultRdpOrdersTest, CoversSmallAndLargeOrders) {
+  const std::vector<int64_t> orders = DefaultRdpOrders();
+  EXPECT_GE(orders.size(), 60u);
+  EXPECT_EQ(orders.front(), 2);
+  EXPECT_EQ(orders.back(), 512);
+  for (size_t i = 1; i < orders.size(); ++i) {
+    EXPECT_GT(orders[i], orders[i - 1]);
+  }
+}
+
+TEST(RdpAccountantTest, StartsAtZero) {
+  RdpAccountant acc;
+  auto eps = acc.GetEpsilon(1e-5);
+  ASSERT_TRUE(eps.ok());
+  EXPECT_EQ(*eps, 0.0);
+  EXPECT_EQ(acc.total_steps(), 0);
+}
+
+TEST(RdpAccountantTest, ValidatesInputs) {
+  RdpAccountant acc;
+  EXPECT_FALSE(acc.AddSteps(-0.1, 1.0, 1).ok());
+  EXPECT_FALSE(acc.AddSteps(1.1, 1.0, 1).ok());
+  EXPECT_FALSE(acc.AddSteps(0.5, -1.0, 1).ok());
+  EXPECT_FALSE(acc.AddSteps(0.5, 1.0, -1).ok());
+  EXPECT_TRUE(acc.AddSteps(0.5, 1.0, 0).ok());
+  EXPECT_FALSE(acc.GetEpsilon(0.0).ok());
+  EXPECT_FALSE(acc.GetEpsilon(1.0).ok());
+}
+
+TEST(RdpAccountantTest, CompositionIsLinearInSteps) {
+  RdpAccountant one, many;
+  ASSERT_TRUE(one.AddSteps(0.06, 2.0, 1).ok());
+  ASSERT_TRUE(many.AddSteps(0.06, 2.0, 100).ok());
+  for (size_t i = 0; i < one.orders().size(); ++i) {
+    EXPECT_NEAR(many.accumulated_rdp()[i], 100.0 * one.accumulated_rdp()[i],
+                1e-9);
+  }
+  EXPECT_EQ(many.total_steps(), 100);
+}
+
+TEST(RdpAccountantTest, EpsilonGrowsWithSteps) {
+  RdpAccountant acc;
+  double prev = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(acc.AddSteps(0.06, 1.5, 50).ok());
+    auto eps = acc.GetEpsilon(2e-4);
+    ASSERT_TRUE(eps.ok());
+    EXPECT_GT(*eps, prev);
+    prev = *eps;
+  }
+}
+
+TEST(RdpAccountantTest, EpsilonShrinksWithLargerDelta) {
+  RdpAccountant acc;
+  ASSERT_TRUE(acc.AddSteps(0.06, 1.5, 200).ok());
+  auto tight = acc.GetEpsilon(1e-6);
+  auto loose = acc.GetEpsilon(1e-3);
+  ASSERT_TRUE(tight.ok());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_GT(*tight, *loose);
+}
+
+TEST(RdpAccountantTest, ImprovedConversionIsAtLeastAsTight) {
+  RdpAccountant acc;
+  ASSERT_TRUE(acc.AddSteps(0.06, 1.5, 100).ok());
+  auto classic = acc.GetEpsilon(2e-4, RdpConversion::kClassic);
+  auto improved = acc.GetEpsilon(2e-4, RdpConversion::kImproved);
+  ASSERT_TRUE(classic.ok());
+  ASSERT_TRUE(improved.ok());
+  EXPECT_LE(*improved, *classic);
+}
+
+TEST(RdpAccountantTest, SubsamplingAmplifiesPrivacy) {
+  // Same σ and steps: smaller q must give smaller ε.
+  RdpAccountant low_q, high_q;
+  ASSERT_TRUE(low_q.AddSteps(0.04, 2.0, 100).ok());
+  ASSERT_TRUE(high_q.AddSteps(0.12, 2.0, 100).ok());
+  EXPECT_LT(low_q.GetEpsilon(2e-4).value(),
+            high_q.GetEpsilon(2e-4).value());
+}
+
+TEST(RdpAccountantTest, MoreNoiseGivesSmallerEpsilon) {
+  RdpAccountant low_noise, high_noise;
+  ASSERT_TRUE(low_noise.AddSteps(0.06, 1.0, 100).ok());
+  ASSERT_TRUE(high_noise.AddSteps(0.06, 3.0, 100).ok());
+  EXPECT_GT(low_noise.GetEpsilon(2e-4).value(),
+            high_noise.GetEpsilon(2e-4).value());
+}
+
+TEST(RdpAccountantTest, PrecomputedStepsMatchDirect) {
+  RdpAccountant direct, precomputed;
+  ASSERT_TRUE(direct.AddSteps(0.08, 1.7, 37).ok());
+  const std::vector<double> step = precomputed.StepRdp(0.08, 1.7);
+  precomputed.AddPrecomputedSteps(step, 37);
+  for (size_t i = 0; i < direct.orders().size(); ++i) {
+    EXPECT_NEAR(direct.accumulated_rdp()[i],
+                precomputed.accumulated_rdp()[i], 1e-12);
+  }
+}
+
+TEST(RdpAccountantTest, OptimalOrderIsReasonable) {
+  RdpAccountant acc;
+  ASSERT_TRUE(acc.AddSteps(0.06, 1.5, 100).ok());
+  auto order = acc.GetOptimalOrder(2e-4);
+  ASSERT_TRUE(order.ok());
+  EXPECT_GE(*order, 2);
+  EXPECT_LE(*order, 512);
+}
+
+TEST(RdpAccountantTest, CustomOrderGrid) {
+  RdpAccountant acc({2, 4, 8});
+  ASSERT_TRUE(acc.AddSteps(0.5, 1.0, 10).ok());
+  EXPECT_EQ(acc.orders().size(), 3u);
+  EXPECT_TRUE(acc.GetEpsilon(1e-4).ok());
+}
+
+TEST(RdpAccountantTest, MomentsAccountantBeatsComposition) {
+  // The headline claim of [Abadi et al.]: the moments accountant gives a
+  // far smaller ε than naive or advanced composition for many steps of a
+  // subsampled Gaussian mechanism.
+  const double q = 0.06, sigma = 2.5, delta = 2e-4;
+  const int64_t steps = 300;
+
+  RdpAccountant acc;
+  ASSERT_TRUE(acc.AddSteps(q, sigma, steps).ok());
+  const double rdp_eps = acc.GetEpsilon(delta).value();
+
+  const double eps0 =
+      AmplifyBySampling(GaussianEpsilon(sigma, delta).value(), q);
+  const double naive = NaiveCompositionEpsilon(eps0, steps);
+  const double advanced = AdvancedCompositionEpsilon(eps0, steps, delta);
+
+  EXPECT_LT(rdp_eps, advanced);
+  EXPECT_LT(advanced, naive);
+}
+
+TEST(CompositionTest, NaiveIsLinear) {
+  EXPECT_EQ(NaiveCompositionEpsilon(0.1, 10), 1.0);
+  EXPECT_EQ(NaiveCompositionEpsilon(0.1, 0), 0.0);
+}
+
+TEST(CompositionTest, AdvancedSublinearForManySteps) {
+  const double eps0 = 0.01;
+  const double naive = NaiveCompositionEpsilon(eps0, 10000);
+  const double advanced = AdvancedCompositionEpsilon(eps0, 10000, 1e-5);
+  EXPECT_LT(advanced, naive);
+}
+
+}  // namespace
+}  // namespace plp::privacy

@@ -1,0 +1,120 @@
+#include "sgns/model_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace plp::sgns {
+namespace {
+
+SgnsModel MakeModel(uint64_t seed) {
+  Rng rng(seed);
+  SgnsConfig config;
+  config.embedding_dim = 7;
+  auto model = SgnsModel::Create(13, config, rng);
+  EXPECT_TRUE(model.ok());
+  // Populate all tensors.
+  for (double& v : model->MutableTensorData(Tensor::kWOut)) {
+    v = rng.Uniform(-1, 1);
+  }
+  for (double& v : model->MutableTensorData(Tensor::kBias)) {
+    v = rng.Uniform(-1, 1);
+  }
+  return std::move(model).value();
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(ModelIoTest, FullModelRoundTrip) {
+  const SgnsModel model = MakeModel(3);
+  const std::string path = TempPath("model_roundtrip.plpm");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_locations(), 13);
+  EXPECT_EQ(loaded->dim(), 7);
+  for (int ti = 0; ti < kNumTensors; ++ti) {
+    const auto t = static_cast<Tensor>(ti);
+    const auto a = model.TensorData(t);
+    const auto b = loaded->TensorData(t);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, EmbeddingsRoundTrip) {
+  const SgnsModel model = MakeModel(5);
+  const std::string path = TempPath("embeddings.plpe");
+  ASSERT_TRUE(SaveEmbeddings(model, path).ok());
+  auto deployed = LoadEmbeddings(path);
+  ASSERT_TRUE(deployed.ok());
+  EXPECT_EQ(deployed->num_locations, 13);
+  EXPECT_EQ(deployed->dim, 7);
+  const std::vector<double> expected = model.NormalizedEmbeddings();
+  ASSERT_EQ(deployed->embeddings.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(deployed->embeddings[i], expected[i]);
+  }
+  // Rows are unit length (the deployment contract).
+  for (int32_t l = 0; l < 13; ++l) {
+    EXPECT_NEAR(L2Norm({deployed->embeddings.data() + l * 7, 7}), 1.0,
+                1e-12);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, MissingFile) {
+  EXPECT_FALSE(LoadModel("/nonexistent/x.plpm").ok());
+  EXPECT_FALSE(LoadEmbeddings("/nonexistent/x.plpe").ok());
+}
+
+TEST(ModelIoTest, RejectsWrongMagic) {
+  const std::string path = TempPath("bad_magic.plpm");
+  std::ofstream(path, std::ios::binary) << "NOPE1234567890";
+  EXPECT_FALSE(LoadModel(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsKindMismatch) {
+  // An embeddings file is not a full model and vice versa.
+  const SgnsModel model = MakeModel(7);
+  const std::string path = TempPath("kind_mismatch.bin");
+  ASSERT_TRUE(SaveEmbeddings(model, path).ok());
+  EXPECT_FALSE(LoadModel(path).ok());
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  EXPECT_FALSE(LoadEmbeddings(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsTruncatedFile) {
+  const SgnsModel model = MakeModel(9);
+  const std::string path = TempPath("truncated.plpm");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  // Truncate the tensor payload.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary)
+      << bytes.substr(0, bytes.size() / 2);
+  EXPECT_FALSE(LoadModel(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsTrailingBytes) {
+  const SgnsModel model = MakeModel(11);
+  const std::string path = TempPath("trailing.plpm");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  std::ofstream(path, std::ios::binary | std::ios::app) << "extra";
+  EXPECT_FALSE(LoadModel(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace plp::sgns

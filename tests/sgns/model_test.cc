@@ -1,0 +1,111 @@
+#include "sgns/model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "common/math_util.h"
+
+namespace plp::sgns {
+namespace {
+
+SgnsConfig SmallConfig() {
+  SgnsConfig c;
+  c.embedding_dim = 8;
+  return c;
+}
+
+TEST(SgnsModelTest, CreateValidation) {
+  Rng rng(1);
+  EXPECT_FALSE(SgnsModel::Create(0, SmallConfig(), rng).ok());
+  SgnsConfig bad = SmallConfig();
+  bad.embedding_dim = 0;
+  EXPECT_FALSE(SgnsModel::Create(10, bad, rng).ok());
+  EXPECT_TRUE(SgnsModel::Create(10, SmallConfig(), rng).ok());
+}
+
+TEST(SgnsModelTest, ShapesAndParameterCount) {
+  Rng rng(2);
+  auto model = SgnsModel::Create(10, SmallConfig(), rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->num_locations(), 10);
+  EXPECT_EQ(model->dim(), 8);
+  EXPECT_EQ(model->num_parameters(), 2 * 10 * 8 + 10);
+  EXPECT_EQ(model->TensorData(Tensor::kWIn).size(), 80u);
+  EXPECT_EQ(model->TensorData(Tensor::kWOut).size(), 80u);
+  EXPECT_EQ(model->TensorData(Tensor::kBias).size(), 10u);
+  EXPECT_EQ(model->InRow(3).size(), 8u);
+  EXPECT_EQ(model->OutRow(3).size(), 8u);
+}
+
+TEST(SgnsModelTest, WordToVecStyleInit) {
+  // W uniform in ±0.5/dim, W' and B' zero.
+  Rng rng(3);
+  auto model = SgnsModel::Create(100, SmallConfig(), rng);
+  ASSERT_TRUE(model.ok());
+  const double bound = 0.5 / 8.0;
+  bool any_nonzero = false;
+  for (double w : model->TensorData(Tensor::kWIn)) {
+    EXPECT_LE(std::fabs(w), bound);
+    any_nonzero |= w != 0.0;
+  }
+  EXPECT_TRUE(any_nonzero);
+  for (double w : model->TensorData(Tensor::kWOut)) EXPECT_EQ(w, 0.0);
+  for (double b : model->TensorData(Tensor::kBias)) EXPECT_EQ(b, 0.0);
+}
+
+TEST(SgnsModelTest, CustomInitScale) {
+  Rng rng(4);
+  SgnsConfig config = SmallConfig();
+  config.init_scale = 2.0;
+  auto model = SgnsModel::Create(50, config, rng);
+  ASSERT_TRUE(model.ok());
+  double max_abs = 0.0;
+  for (double w : model->TensorData(Tensor::kWIn)) {
+    max_abs = std::max(max_abs, std::fabs(w));
+  }
+  EXPECT_GT(max_abs, 0.5);  // far beyond the default bound
+  EXPECT_LE(max_abs, 2.0);
+}
+
+TEST(SgnsModelTest, RowMutationIsVisible) {
+  Rng rng(5);
+  auto model = SgnsModel::Create(4, SmallConfig(), rng);
+  ASSERT_TRUE(model.ok());
+  model->MutableInRow(2)[0] = 42.0;
+  EXPECT_EQ(model->InRow(2)[0], 42.0);
+  model->mutable_bias(1) = -3.0;
+  EXPECT_EQ(model->bias(1), -3.0);
+}
+
+TEST(SgnsModelTest, TensorNormMatchesManual) {
+  Rng rng(6);
+  auto model = SgnsModel::Create(3, SmallConfig(), rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->TensorNorm(Tensor::kWIn),
+              L2Norm(model->TensorData(Tensor::kWIn)), 1e-12);
+  EXPECT_EQ(model->TensorNorm(Tensor::kWOut), 0.0);
+}
+
+TEST(SgnsModelTest, NormalizedEmbeddingsAreUnitRows) {
+  Rng rng(7);
+  auto model = SgnsModel::Create(20, SmallConfig(), rng);
+  ASSERT_TRUE(model.ok());
+  const std::vector<double> normalized = model->NormalizedEmbeddings();
+  for (int32_t l = 0; l < 20; ++l) {
+    const double norm =
+        L2Norm({normalized.data() + static_cast<size_t>(l) * 8, 8});
+    EXPECT_NEAR(norm, 1.0, 1e-12);
+  }
+}
+
+TEST(SgnsModelTest, CopyIsDeep) {
+  Rng rng(8);
+  auto model = SgnsModel::Create(4, SmallConfig(), rng);
+  ASSERT_TRUE(model.ok());
+  SgnsModel copy = *model;
+  copy.MutableInRow(0)[0] = 99.0;
+  EXPECT_NE(model->InRow(0)[0], 99.0);
+}
+
+}  // namespace
+}  // namespace plp::sgns

@@ -1,0 +1,109 @@
+#include "sgns/pairs.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace plp::sgns {
+namespace {
+
+TEST(GeneratePairsTest, EmptyAndSingleton) {
+  EXPECT_TRUE(GeneratePairs({}, 2).empty());
+  EXPECT_TRUE(GeneratePairs({5}, 2).empty());
+}
+
+TEST(GeneratePairsTest, PairSentence) {
+  const std::vector<Pair> pairs = GeneratePairs({3, 7}, 2);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (Pair{3, 7}));
+  EXPECT_EQ(pairs[1], (Pair{7, 3}));
+}
+
+TEST(GeneratePairsTest, WindowOneExactPairs) {
+  // Sentence a b c with win=1: (a,b) (b,a) (b,c) (c,b).
+  const std::vector<Pair> pairs = GeneratePairs({0, 1, 2}, 1);
+  ASSERT_EQ(pairs.size(), 4u);
+  EXPECT_EQ(pairs[0], (Pair{0, 1}));
+  EXPECT_EQ(pairs[1], (Pair{1, 0}));
+  EXPECT_EQ(pairs[2], (Pair{1, 2}));
+  EXPECT_EQ(pairs[3], (Pair{2, 1}));
+}
+
+TEST(GeneratePairsTest, WindowTwoCountFormula) {
+  // For n >> win, each position contributes 2·win pairs minus boundary
+  // truncation: total = Σ_i |window(i)|.
+  const std::vector<int32_t> sentence = {0, 1, 2, 3, 4, 5};
+  const std::vector<Pair> pairs = GeneratePairs(sentence, 2);
+  // positions: 0→2, 1→3, 2→4, 3→4, 4→3, 5→2 = 18.
+  EXPECT_EQ(pairs.size(), 18u);
+}
+
+TEST(GeneratePairsTest, SymmetricWindow) {
+  // Every pair (a→b) has its mirror (b→a) for symmetric windows.
+  const std::vector<Pair> pairs = GeneratePairs({4, 9, 1, 7, 3}, 2);
+  std::map<std::pair<int32_t, int32_t>, int> count;
+  for (const Pair& p : pairs) ++count[{p.target, p.context}];
+  for (const auto& [key, c] : count) {
+    const auto mirror = count.find({key.second, key.first});
+    ASSERT_NE(mirror, count.end());
+    EXPECT_EQ(mirror->second, c);
+  }
+}
+
+TEST(GeneratePairsTest, NoSelfPairsForDistinctTokens) {
+  const std::vector<Pair> pairs = GeneratePairs({0, 1, 2, 3}, 3);
+  for (const Pair& p : pairs) EXPECT_NE(p.target, p.context);
+}
+
+TEST(GeneratePairsTest, RepeatedTokensMayPairWithThemselves) {
+  // Repeated location ids are legitimate targets/contexts of each other.
+  const std::vector<Pair> pairs = GeneratePairs({5, 5}, 1);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (Pair{5, 5}));
+}
+
+TEST(MakeBatchesTest, PartitionsAllPairs) {
+  std::vector<Pair> pairs;
+  for (int i = 0; i < 103; ++i) pairs.push_back(Pair{i, i + 1});
+  Rng rng(5);
+  const auto batches = MakeBatches(pairs, 10, rng);
+  ASSERT_EQ(batches.size(), 11u);
+  for (size_t i = 0; i + 1 < batches.size(); ++i) {
+    EXPECT_EQ(batches[i].size(), 10u);
+  }
+  EXPECT_EQ(batches.back().size(), 3u);
+  // Multiset of pairs preserved.
+  std::vector<int32_t> targets;
+  for (const auto& b : batches) {
+    for (const Pair& p : b) targets.push_back(p.target);
+  }
+  std::sort(targets.begin(), targets.end());
+  for (int i = 0; i < 103; ++i) EXPECT_EQ(targets[i], i);
+}
+
+TEST(MakeBatchesTest, Shuffles) {
+  std::vector<Pair> pairs;
+  for (int i = 0; i < 100; ++i) pairs.push_back(Pair{i, 0});
+  Rng rng(7);
+  const auto batches = MakeBatches(pairs, 100, rng);
+  ASSERT_EQ(batches.size(), 1u);
+  bool any_moved = false;
+  for (int i = 0; i < 100; ++i) any_moved |= batches[0][i].target != i;
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(MakeBatchesTest, EmptyInput) {
+  Rng rng(7);
+  EXPECT_TRUE(MakeBatches({}, 8, rng).empty());
+}
+
+TEST(MakeBatchesTest, BatchLargerThanInput) {
+  Rng rng(7);
+  const auto batches = MakeBatches({Pair{1, 2}}, 32, rng);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 1u);
+}
+
+}  // namespace
+}  // namespace plp::sgns

@@ -1,0 +1,60 @@
+// plp_recommend — next-location recommendations from a saved model.
+//
+//   plp_recommend --model=model.plpm --history=12,7,33 [--k=10]
+//
+// `--history` is the user's recent check-in location ids (most recent
+// last); the output is the top-k recommended next locations with scores.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/flags.h"
+#include "eval/recommender.h"
+#include "sgns/model_io.h"
+
+int main(int argc, char** argv) {
+  auto flags_or = plp::FlagParser::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::cerr << "error: " << flags_or.status() << "\n";
+    return 1;
+  }
+  const plp::FlagParser& flags = flags_or.value();
+  const std::string model_path = flags.GetString("model", "");
+  if (model_path.empty() || !flags.Has("history")) {
+    std::cerr << "usage: plp_recommend --model=model.plpm "
+                 "--history=12,7,33 [--k=10]\n";
+    return 2;
+  }
+
+  auto model_or = plp::sgns::LoadModel(model_path);
+  if (!model_or.ok()) {
+    std::cerr << "error: " << model_or.status() << "\n";
+    return 1;
+  }
+  const plp::eval::Recommender recommender(*model_or);
+
+  std::vector<int32_t> history;
+  for (int64_t id : flags.GetIntList("history", {})) {
+    if (id < 0 || id >= recommender.num_locations()) {
+      std::cerr << "error: location id " << id
+                << " outside the model vocabulary [0, "
+                << recommender.num_locations() << ")\n";
+      return 1;
+    }
+    history.push_back(static_cast<int32_t>(id));
+  }
+  if (history.empty()) {
+    std::cerr << "error: empty history\n";
+    return 1;
+  }
+
+  const int32_t k = static_cast<int32_t>(flags.GetInt("k", 10));
+  const std::vector<double> scores = recommender.Scores(history);
+  std::printf("# rank  location  cosine_score\n");
+  int rank = 1;
+  for (int32_t l : recommender.TopK(history, k)) {
+    std::printf("%5d  %8d  %.6f\n", rank++, l,
+                scores[static_cast<size_t>(l)]);
+  }
+  return 0;
+}

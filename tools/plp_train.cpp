@@ -1,0 +1,109 @@
+// plp_train — train a next-location model from a check-in CSV and save it.
+//
+// Input CSV columns: user,location,timestamp,latitude,longitude (header
+// row required; ids may be sparse — they are densified by ascending id).
+//
+//   plp_train --input=checkins.csv --output=model.plpm \
+//             [--embeddings_output=embeddings.plpe] \
+//             [--private=true] [--eps=2] [--delta=2e-4] [--sigma=2.5] \
+//             [--q=0.06] [--lambda=4] [--clip=0.5] [--epochs=100] \
+//             [--min_user_checkins=10] [--min_location_users=2] [--seed=1]
+//
+// With --private=true (default) this runs Algorithm 1 under user-level
+// (ε, δ)-DP; with --private=false it runs plain Adam for --epochs passes.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "core/nonprivate_trainer.h"
+#include "core/plp_trainer.h"
+#include "data/corpus.h"
+#include "data/statistics.h"
+#include "sgns/model_io.h"
+
+namespace {
+
+int Fail(const plp::Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_or = plp::FlagParser::Parse(argc, argv);
+  if (!flags_or.ok()) return Fail(flags_or.status());
+  const plp::FlagParser& flags = flags_or.value();
+  const std::string input = flags.GetString("input", "");
+  const std::string output = flags.GetString("output", "");
+  if (input.empty() || output.empty()) {
+    std::cerr << "usage: plp_train --input=checkins.csv --output=model.plpm"
+                 " [--private=true --eps=2 | --private=false --epochs=100]\n";
+    return 2;
+  }
+
+  auto dataset_or = plp::data::CheckInDataset::LoadCsv(input);
+  if (!dataset_or.ok()) return Fail(dataset_or.status());
+  const plp::data::CheckInDataset dataset = dataset_or->Filter(
+      flags.GetInt("min_user_checkins", 10),
+      flags.GetInt("min_location_users", 2));
+  std::printf("loaded %s\n%s\n\n", input.c_str(),
+              plp::data::ComputeStats(dataset).ToString().c_str());
+  auto corpus_or = plp::data::BuildCorpus(dataset);
+  if (!corpus_or.ok()) return Fail(corpus_or.status());
+
+  plp::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  plp::sgns::SgnsModel model;
+  if (flags.GetBool("private", true)) {
+    plp::core::PlpConfig config;
+    config.epsilon_budget = flags.GetDouble("eps", 2.0);
+    config.delta = flags.GetDouble("delta", 2e-4);
+    config.noise_scale = flags.GetDouble("sigma", 2.5);
+    config.sampling_probability = flags.GetDouble("q", 0.06);
+    config.grouping_factor = static_cast<int32_t>(flags.GetInt("lambda", 4));
+    config.clip_norm = flags.GetDouble("clip", 0.5);
+    config.sgns.embedding_dim =
+        static_cast<int32_t>(flags.GetInt("dim", 50));
+    config.num_threads = static_cast<int32_t>(flags.GetInt("threads", 1));
+    auto result = plp::core::PlpTrainer(config).Train(
+        *corpus_or, rng,
+        [](const plp::core::StepMetrics& m, const plp::sgns::SgnsModel&) {
+          if (m.step % 50 == 0) {
+            std::printf("  step %5lld  eps %.3f  local loss %.3f\n",
+                        static_cast<long long>(m.step), m.epsilon_spent,
+                        m.mean_local_loss);
+          }
+          return true;
+        });
+    if (!result.ok()) return Fail(result.status());
+    std::printf("trained %lld private steps; spent eps=%.3f at "
+                "delta=%.0e (user-level)\n",
+                static_cast<long long>(result->steps_executed),
+                result->epsilon_spent, config.delta);
+    model = std::move(result->model);
+  } else {
+    plp::core::NonPrivateConfig config;
+    config.epochs = flags.GetInt("epochs", 100);
+    config.sgns.embedding_dim =
+        static_cast<int32_t>(flags.GetInt("dim", 50));
+    auto result = plp::core::NonPrivateTrainer(config).Train(*corpus_or,
+                                                             rng);
+    if (!result.ok()) return Fail(result.status());
+    std::printf("trained %zu non-private epochs (final loss %.4f)\n",
+                result->history.size(), result->history.back().mean_loss);
+    model = std::move(result->model);
+  }
+
+  if (auto s = plp::sgns::SaveModel(model, output); !s.ok()) return Fail(s);
+  std::printf("model -> %s\n", output.c_str());
+  const std::string embeddings = flags.GetString("embeddings_output", "");
+  if (!embeddings.empty()) {
+    if (auto s = plp::sgns::SaveEmbeddings(model, embeddings); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("deployment embeddings -> %s\n", embeddings.c_str());
+  }
+  return 0;
+}
