@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_accounting.dir/ablation_accounting.cpp.o"
+  "CMakeFiles/ablation_accounting.dir/ablation_accounting.cpp.o.d"
+  "ablation_accounting"
+  "ablation_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_grouping_kind.dir/ablation_grouping_kind.cpp.o"
+  "CMakeFiles/ablation_grouping_kind.dir/ablation_grouping_kind.cpp.o.d"
+  "ablation_grouping_kind"
+  "ablation_grouping_kind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_grouping_kind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

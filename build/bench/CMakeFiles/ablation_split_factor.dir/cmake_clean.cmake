@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_split_factor.dir/ablation_split_factor.cpp.o"
+  "CMakeFiles/ablation_split_factor.dir/ablation_split_factor.cpp.o.d"
+  "ablation_split_factor"
+  "ablation_split_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_split_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_markov.dir/baseline_markov.cpp.o"
+  "CMakeFiles/baseline_markov.dir/baseline_markov.cpp.o.d"
+  "baseline_markov"
+  "baseline_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

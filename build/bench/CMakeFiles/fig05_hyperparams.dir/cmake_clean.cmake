@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_hyperparams.dir/fig05_hyperparams.cpp.o"
+  "CMakeFiles/fig05_hyperparams.dir/fig05_hyperparams.cpp.o.d"
+  "fig05_hyperparams"
+  "fig05_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_nonprivate.dir/fig06_nonprivate.cpp.o"
+  "CMakeFiles/fig06_nonprivate.dir/fig06_nonprivate.cpp.o.d"
+  "fig06_nonprivate"
+  "fig06_nonprivate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_nonprivate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_privacy_budget.dir/fig07_privacy_budget.cpp.o"
+  "CMakeFiles/fig07_privacy_budget.dir/fig07_privacy_budget.cpp.o.d"
+  "fig07_privacy_budget"
+  "fig07_privacy_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_privacy_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_sampling_ratio.dir/fig08_sampling_ratio.cpp.o"
+  "CMakeFiles/fig08_sampling_ratio.dir/fig08_sampling_ratio.cpp.o.d"
+  "fig08_sampling_ratio"
+  "fig08_sampling_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_sampling_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_noise_scale.cpp" "bench/CMakeFiles/fig11_noise_scale.dir/fig11_noise_scale.cpp.o" "gcc" "bench/CMakeFiles/fig11_noise_scale.dir/fig11_noise_scale.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/plp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/plp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/plp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/plp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/plp_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/plp_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgns/CMakeFiles/plp_sgns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

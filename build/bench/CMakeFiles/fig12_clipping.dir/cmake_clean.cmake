@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_clipping.dir/fig12_clipping.cpp.o"
+  "CMakeFiles/fig12_clipping.dir/fig12_clipping.cpp.o.d"
+  "fig12_clipping"
+  "fig12_clipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_clipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

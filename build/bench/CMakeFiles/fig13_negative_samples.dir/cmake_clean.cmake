@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_negative_samples.dir/fig13_negative_samples.cpp.o"
+  "CMakeFiles/fig13_negative_samples.dir/fig13_negative_samples.cpp.o.d"
+  "fig13_negative_samples"
+  "fig13_negative_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_negative_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

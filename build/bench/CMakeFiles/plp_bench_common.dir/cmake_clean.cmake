@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plp_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/plp_bench_common.dir/bench_common.cc.o.d"
+  "libplp_bench_common.a"
+  "libplp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libplp_bench_common.a"
+)

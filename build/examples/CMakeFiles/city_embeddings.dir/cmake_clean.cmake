@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_embeddings.dir/city_embeddings.cpp.o"
+  "CMakeFiles/city_embeddings.dir/city_embeddings.cpp.o.d"
+  "city_embeddings"
+  "city_embeddings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

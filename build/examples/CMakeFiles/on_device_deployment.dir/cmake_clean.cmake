@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/on_device_deployment.dir/on_device_deployment.cpp.o"
+  "CMakeFiles/on_device_deployment.dir/on_device_deployment.cpp.o.d"
+  "on_device_deployment"
+  "on_device_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/on_device_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

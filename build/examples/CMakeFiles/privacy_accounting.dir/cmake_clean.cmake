@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_accounting.dir/privacy_accounting.cpp.o"
+  "CMakeFiles/privacy_accounting.dir/privacy_accounting.cpp.o.d"
+  "privacy_accounting"
+  "privacy_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_training.dir/private_training.cpp.o"
+  "CMakeFiles/private_training.dir/private_training.cpp.o.d"
+  "private_training"
+  "private_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

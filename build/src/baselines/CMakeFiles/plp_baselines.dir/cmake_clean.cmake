@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plp_baselines.dir/markov.cc.o"
+  "CMakeFiles/plp_baselines.dir/markov.cc.o.d"
+  "libplp_baselines.a"
+  "libplp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plp_common.dir/flags.cc.o"
+  "CMakeFiles/plp_common.dir/flags.cc.o.d"
+  "CMakeFiles/plp_common.dir/logging.cc.o"
+  "CMakeFiles/plp_common.dir/logging.cc.o.d"
+  "CMakeFiles/plp_common.dir/math_util.cc.o"
+  "CMakeFiles/plp_common.dir/math_util.cc.o.d"
+  "CMakeFiles/plp_common.dir/rng.cc.o"
+  "CMakeFiles/plp_common.dir/rng.cc.o.d"
+  "CMakeFiles/plp_common.dir/stats.cc.o"
+  "CMakeFiles/plp_common.dir/stats.cc.o.d"
+  "CMakeFiles/plp_common.dir/status.cc.o"
+  "CMakeFiles/plp_common.dir/status.cc.o.d"
+  "CMakeFiles/plp_common.dir/table_printer.cc.o"
+  "CMakeFiles/plp_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/plp_common.dir/thread_pool.cc.o"
+  "CMakeFiles/plp_common.dir/thread_pool.cc.o.d"
+  "libplp_common.a"
+  "libplp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plp_core.dir/config.cc.o"
+  "CMakeFiles/plp_core.dir/config.cc.o.d"
+  "CMakeFiles/plp_core.dir/grouping.cc.o"
+  "CMakeFiles/plp_core.dir/grouping.cc.o.d"
+  "CMakeFiles/plp_core.dir/nonprivate_trainer.cc.o"
+  "CMakeFiles/plp_core.dir/nonprivate_trainer.cc.o.d"
+  "CMakeFiles/plp_core.dir/plp_trainer.cc.o"
+  "CMakeFiles/plp_core.dir/plp_trainer.cc.o.d"
+  "libplp_core.a"
+  "libplp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plp_data.dir/corpus.cc.o"
+  "CMakeFiles/plp_data.dir/corpus.cc.o.d"
+  "CMakeFiles/plp_data.dir/dataset.cc.o"
+  "CMakeFiles/plp_data.dir/dataset.cc.o.d"
+  "CMakeFiles/plp_data.dir/statistics.cc.o"
+  "CMakeFiles/plp_data.dir/statistics.cc.o.d"
+  "CMakeFiles/plp_data.dir/synthetic_generator.cc.o"
+  "CMakeFiles/plp_data.dir/synthetic_generator.cc.o.d"
+  "libplp_data.a"
+  "libplp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

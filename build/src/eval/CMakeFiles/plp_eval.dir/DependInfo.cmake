@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/hit_rate.cc" "src/eval/CMakeFiles/plp_eval.dir/hit_rate.cc.o" "gcc" "src/eval/CMakeFiles/plp_eval.dir/hit_rate.cc.o.d"
+  "/root/repo/src/eval/ranking_metrics.cc" "src/eval/CMakeFiles/plp_eval.dir/ranking_metrics.cc.o" "gcc" "src/eval/CMakeFiles/plp_eval.dir/ranking_metrics.cc.o.d"
+  "/root/repo/src/eval/recommender.cc" "src/eval/CMakeFiles/plp_eval.dir/recommender.cc.o" "gcc" "src/eval/CMakeFiles/plp_eval.dir/recommender.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/plp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/plp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgns/CMakeFiles/plp_sgns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plp_eval.dir/hit_rate.cc.o"
+  "CMakeFiles/plp_eval.dir/hit_rate.cc.o.d"
+  "CMakeFiles/plp_eval.dir/ranking_metrics.cc.o"
+  "CMakeFiles/plp_eval.dir/ranking_metrics.cc.o.d"
+  "CMakeFiles/plp_eval.dir/recommender.cc.o"
+  "CMakeFiles/plp_eval.dir/recommender.cc.o.d"
+  "libplp_eval.a"
+  "libplp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

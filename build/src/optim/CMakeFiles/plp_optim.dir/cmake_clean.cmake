@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plp_optim.dir/optimizers.cc.o"
+  "CMakeFiles/plp_optim.dir/optimizers.cc.o.d"
+  "libplp_optim.a"
+  "libplp_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plp_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

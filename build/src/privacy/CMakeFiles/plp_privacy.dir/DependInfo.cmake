@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privacy/gaussian_mechanism.cc" "src/privacy/CMakeFiles/plp_privacy.dir/gaussian_mechanism.cc.o" "gcc" "src/privacy/CMakeFiles/plp_privacy.dir/gaussian_mechanism.cc.o.d"
+  "/root/repo/src/privacy/geo_indistinguishability.cc" "src/privacy/CMakeFiles/plp_privacy.dir/geo_indistinguishability.cc.o" "gcc" "src/privacy/CMakeFiles/plp_privacy.dir/geo_indistinguishability.cc.o.d"
+  "/root/repo/src/privacy/ledger.cc" "src/privacy/CMakeFiles/plp_privacy.dir/ledger.cc.o" "gcc" "src/privacy/CMakeFiles/plp_privacy.dir/ledger.cc.o.d"
+  "/root/repo/src/privacy/rdp_accountant.cc" "src/privacy/CMakeFiles/plp_privacy.dir/rdp_accountant.cc.o" "gcc" "src/privacy/CMakeFiles/plp_privacy.dir/rdp_accountant.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/plp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plp_privacy.dir/gaussian_mechanism.cc.o"
+  "CMakeFiles/plp_privacy.dir/gaussian_mechanism.cc.o.d"
+  "CMakeFiles/plp_privacy.dir/geo_indistinguishability.cc.o"
+  "CMakeFiles/plp_privacy.dir/geo_indistinguishability.cc.o.d"
+  "CMakeFiles/plp_privacy.dir/ledger.cc.o"
+  "CMakeFiles/plp_privacy.dir/ledger.cc.o.d"
+  "CMakeFiles/plp_privacy.dir/rdp_accountant.cc.o"
+  "CMakeFiles/plp_privacy.dir/rdp_accountant.cc.o.d"
+  "libplp_privacy.a"
+  "libplp_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plp_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgns/local_model.cc" "src/sgns/CMakeFiles/plp_sgns.dir/local_model.cc.o" "gcc" "src/sgns/CMakeFiles/plp_sgns.dir/local_model.cc.o.d"
+  "/root/repo/src/sgns/model.cc" "src/sgns/CMakeFiles/plp_sgns.dir/model.cc.o" "gcc" "src/sgns/CMakeFiles/plp_sgns.dir/model.cc.o.d"
+  "/root/repo/src/sgns/model_io.cc" "src/sgns/CMakeFiles/plp_sgns.dir/model_io.cc.o" "gcc" "src/sgns/CMakeFiles/plp_sgns.dir/model_io.cc.o.d"
+  "/root/repo/src/sgns/pairs.cc" "src/sgns/CMakeFiles/plp_sgns.dir/pairs.cc.o" "gcc" "src/sgns/CMakeFiles/plp_sgns.dir/pairs.cc.o.d"
+  "/root/repo/src/sgns/sparse_delta.cc" "src/sgns/CMakeFiles/plp_sgns.dir/sparse_delta.cc.o" "gcc" "src/sgns/CMakeFiles/plp_sgns.dir/sparse_delta.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/plp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plp_sgns.dir/local_model.cc.o"
+  "CMakeFiles/plp_sgns.dir/local_model.cc.o.d"
+  "CMakeFiles/plp_sgns.dir/model.cc.o"
+  "CMakeFiles/plp_sgns.dir/model.cc.o.d"
+  "CMakeFiles/plp_sgns.dir/model_io.cc.o"
+  "CMakeFiles/plp_sgns.dir/model_io.cc.o.d"
+  "CMakeFiles/plp_sgns.dir/pairs.cc.o"
+  "CMakeFiles/plp_sgns.dir/pairs.cc.o.d"
+  "CMakeFiles/plp_sgns.dir/sparse_delta.cc.o"
+  "CMakeFiles/plp_sgns.dir/sparse_delta.cc.o.d"
+  "libplp_sgns.a"
+  "libplp_sgns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plp_sgns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

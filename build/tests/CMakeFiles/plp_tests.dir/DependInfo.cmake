@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/markov_test.cc" "tests/CMakeFiles/plp_tests.dir/baselines/markov_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/baselines/markov_test.cc.o.d"
+  "/root/repo/tests/common/flags_test.cc" "tests/CMakeFiles/plp_tests.dir/common/flags_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/common/flags_test.cc.o.d"
+  "/root/repo/tests/common/logging_test.cc" "tests/CMakeFiles/plp_tests.dir/common/logging_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/common/logging_test.cc.o.d"
+  "/root/repo/tests/common/math_util_test.cc" "tests/CMakeFiles/plp_tests.dir/common/math_util_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/common/math_util_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/plp_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/plp_tests.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/common/stats_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/plp_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/table_printer_test.cc" "tests/CMakeFiles/plp_tests.dir/common/table_printer_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/common/table_printer_test.cc.o.d"
+  "/root/repo/tests/common/thread_pool_test.cc" "tests/CMakeFiles/plp_tests.dir/common/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/common/thread_pool_test.cc.o.d"
+  "/root/repo/tests/core/config_test.cc" "tests/CMakeFiles/plp_tests.dir/core/config_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/core/config_test.cc.o.d"
+  "/root/repo/tests/core/grouping_test.cc" "tests/CMakeFiles/plp_tests.dir/core/grouping_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/core/grouping_test.cc.o.d"
+  "/root/repo/tests/core/noise_schedule_test.cc" "tests/CMakeFiles/plp_tests.dir/core/noise_schedule_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/core/noise_schedule_test.cc.o.d"
+  "/root/repo/tests/core/parallel_trainer_test.cc" "tests/CMakeFiles/plp_tests.dir/core/parallel_trainer_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/core/parallel_trainer_test.cc.o.d"
+  "/root/repo/tests/core/plp_trainer_test.cc" "tests/CMakeFiles/plp_tests.dir/core/plp_trainer_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/core/plp_trainer_test.cc.o.d"
+  "/root/repo/tests/core/privacy_invariants_test.cc" "tests/CMakeFiles/plp_tests.dir/core/privacy_invariants_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/core/privacy_invariants_test.cc.o.d"
+  "/root/repo/tests/core/subsampling_test.cc" "tests/CMakeFiles/plp_tests.dir/core/subsampling_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/core/subsampling_test.cc.o.d"
+  "/root/repo/tests/data/corpus_test.cc" "tests/CMakeFiles/plp_tests.dir/data/corpus_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/data/corpus_test.cc.o.d"
+  "/root/repo/tests/data/dataset_test.cc" "tests/CMakeFiles/plp_tests.dir/data/dataset_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/data/dataset_test.cc.o.d"
+  "/root/repo/tests/data/statistics_test.cc" "tests/CMakeFiles/plp_tests.dir/data/statistics_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/data/statistics_test.cc.o.d"
+  "/root/repo/tests/data/synthetic_generator_test.cc" "tests/CMakeFiles/plp_tests.dir/data/synthetic_generator_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/data/synthetic_generator_test.cc.o.d"
+  "/root/repo/tests/eval/hit_rate_test.cc" "tests/CMakeFiles/plp_tests.dir/eval/hit_rate_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/eval/hit_rate_test.cc.o.d"
+  "/root/repo/tests/eval/ranking_metrics_test.cc" "tests/CMakeFiles/plp_tests.dir/eval/ranking_metrics_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/eval/ranking_metrics_test.cc.o.d"
+  "/root/repo/tests/eval/recommender_test.cc" "tests/CMakeFiles/plp_tests.dir/eval/recommender_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/eval/recommender_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/plp_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/optim/optimizers_test.cc" "tests/CMakeFiles/plp_tests.dir/optim/optimizers_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/optim/optimizers_test.cc.o.d"
+  "/root/repo/tests/privacy/gaussian_mechanism_test.cc" "tests/CMakeFiles/plp_tests.dir/privacy/gaussian_mechanism_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/privacy/gaussian_mechanism_test.cc.o.d"
+  "/root/repo/tests/privacy/geo_indistinguishability_test.cc" "tests/CMakeFiles/plp_tests.dir/privacy/geo_indistinguishability_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/privacy/geo_indistinguishability_test.cc.o.d"
+  "/root/repo/tests/privacy/ledger_test.cc" "tests/CMakeFiles/plp_tests.dir/privacy/ledger_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/privacy/ledger_test.cc.o.d"
+  "/root/repo/tests/privacy/rdp_accountant_test.cc" "tests/CMakeFiles/plp_tests.dir/privacy/rdp_accountant_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/privacy/rdp_accountant_test.cc.o.d"
+  "/root/repo/tests/sgns/local_model_test.cc" "tests/CMakeFiles/plp_tests.dir/sgns/local_model_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/sgns/local_model_test.cc.o.d"
+  "/root/repo/tests/sgns/loss_test.cc" "tests/CMakeFiles/plp_tests.dir/sgns/loss_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/sgns/loss_test.cc.o.d"
+  "/root/repo/tests/sgns/model_io_test.cc" "tests/CMakeFiles/plp_tests.dir/sgns/model_io_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/sgns/model_io_test.cc.o.d"
+  "/root/repo/tests/sgns/model_test.cc" "tests/CMakeFiles/plp_tests.dir/sgns/model_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/sgns/model_test.cc.o.d"
+  "/root/repo/tests/sgns/pairs_test.cc" "tests/CMakeFiles/plp_tests.dir/sgns/pairs_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/sgns/pairs_test.cc.o.d"
+  "/root/repo/tests/sgns/row_map_test.cc" "tests/CMakeFiles/plp_tests.dir/sgns/row_map_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/sgns/row_map_test.cc.o.d"
+  "/root/repo/tests/sgns/sparse_delta_test.cc" "tests/CMakeFiles/plp_tests.dir/sgns/sparse_delta_test.cc.o" "gcc" "tests/CMakeFiles/plp_tests.dir/sgns/sparse_delta_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/plp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/plp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/plp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgns/CMakeFiles/plp_sgns.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/plp_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/plp_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/plp_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plp_recommend.dir/plp_recommend.cpp.o"
+  "CMakeFiles/plp_recommend.dir/plp_recommend.cpp.o.d"
+  "plp_recommend"
+  "plp_recommend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plp_recommend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plp_train.dir/plp_train.cpp.o"
+  "CMakeFiles/plp_train.dir/plp_train.cpp.o.d"
+  "plp_train"
+  "plp_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plp_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
