@@ -1,10 +1,11 @@
 #include "bench/bench_common.h"
 
 #include <cstdio>
+#include <utility>
 
 #include "common/check.h"
 #include "common/rng.h"
-#include "data/synthetic_generator.h"
+#include "data/fixtures.h"
 
 namespace plp::bench {
 
@@ -20,22 +21,13 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
 }
 
 Workload BuildWorkload(const BenchOptions& options) {
-  Rng rng(options.seed);
-  data::SyntheticConfig config;
-  if (options.scale == "paper") {
-    config = data::PaperSyntheticConfig();
-  } else {
-    // Many light users: the regime where user-level DP noise and data
-    // grouping actually interact (see DESIGN.md).
-    config = data::SmallSyntheticConfig();
-    config.num_users = 2400;
-    config.num_locations = 600;
-    config.log_checkins_mean = 3.2;
-    config.log_checkins_stddev = 0.6;
-  }
-  auto generated = data::GenerateSyntheticCheckIns(config, rng);
+  // The corpus fixture is shared with the test suite (data/fixtures.h) so
+  // every consumer of a given (seed, scale) sees the same dataset. The
+  // holdout split below keeps drawing from a generator seeded identically.
+  auto generated = data::MakeFixtureDataset(options.seed, options.scale);
   PLP_CHECK_OK(generated.status());
-  data::CheckInDataset filtered = generated->Filter(10, 2);
+  data::CheckInDataset filtered = std::move(generated).value();
+  Rng rng(options.seed);
 
   // Remove 100 validation then 100 test users (Section 5.1).
   auto validation_split = filtered.SplitHoldout(100, rng);

@@ -23,6 +23,20 @@ double NormalCdf(double x);
 /// Student-t tail probabilities in the paired t-test.
 double RegularizedIncompleteBeta(double a, double b, double x);
 
+/// Regularized lower incomplete gamma function P(a, x) = γ(a, x)/Γ(a),
+/// series expansion for x < a + 1, continued fraction otherwise. Requires
+/// a > 0, x >= 0. P(k/2, x/2) is the chi-square CDF with k degrees of
+/// freedom at x.
+double RegularizedLowerIncompleteGamma(double a, double x);
+
+/// Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+double RegularizedUpperIncompleteGamma(double a, double x);
+
+/// Complementary CDF of the Kolmogorov distribution,
+/// Q(t) = 2 Σ_{k>=1} (−1)^{k−1} exp(−2 k² t²): the asymptotic null law of
+/// √n·D_n for the one-sample Kolmogorov–Smirnov statistic. Requires t >= 0.
+double KolmogorovComplementaryCdf(double t);
+
 /// Two-sided p-value of a Student-t statistic with `df` degrees of freedom.
 double StudentTTwoSidedPValue(double t, double df);
 

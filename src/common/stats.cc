@@ -1,7 +1,9 @@
 #include "common/stats.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/math_util.h"
 
@@ -55,6 +57,84 @@ Result<PairedTTestResult> PairedTTest(std::span<const double> a,
   result.t_statistic = result.mean_difference / se;
   result.p_value =
       StudentTTwoSidedPValue(result.t_statistic, result.degrees_of_freedom);
+  return result;
+}
+
+Result<KsTestResult> KolmogorovSmirnovTest(
+    std::span<const double> sample,
+    const std::function<double(double)>& cdf) {
+  if (sample.empty()) {
+    return InvalidArgumentError("KS test requires a non-empty sample");
+  }
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    if (f < 0.0 || f > 1.0) {
+      return InvalidArgumentError("null CDF returned a value outside [0, 1]");
+    }
+    // Empirical CDF steps from i/n to (i+1)/n at the i-th order statistic;
+    // the supremum is attained at one of the two sides of a step.
+    d = std::max(d, std::max(f - static_cast<double>(i) / n,
+                             static_cast<double>(i + 1) / n - f));
+  }
+
+  KsTestResult result;
+  result.statistic = d;
+  result.n = static_cast<int64_t>(sorted.size());
+  const double sqrt_n = std::sqrt(n);
+  result.p_value =
+      KolmogorovComplementaryCdf((sqrt_n + 0.12 + 0.11 / sqrt_n) * d);
+  return result;
+}
+
+Result<ChiSquareResult> ChiSquareGoodnessOfFit(
+    std::span<const double> observed, std::span<const double> expected,
+    int degrees_of_freedom_reduction) {
+  if (observed.size() != expected.size()) {
+    return InvalidArgumentError(
+        "chi-square test requires matching cell counts");
+  }
+  if (observed.size() < 2) {
+    return InvalidArgumentError("chi-square test requires at least two cells");
+  }
+  ChiSquareResult result;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    if (expected[i] <= 0.0) {
+      return InvalidArgumentError("expected cell counts must be positive");
+    }
+    const double diff = observed[i] - expected[i];
+    result.statistic += diff * diff / expected[i];
+  }
+  result.degrees_of_freedom = static_cast<double>(
+      static_cast<int64_t>(observed.size()) - 1 - degrees_of_freedom_reduction);
+  if (result.degrees_of_freedom <= 0.0) {
+    return InvalidArgumentError("chi-square test has no degrees of freedom");
+  }
+  result.p_value = RegularizedUpperIncompleteGamma(
+      result.degrees_of_freedom / 2.0, result.statistic / 2.0);
+  return result;
+}
+
+Result<ZTestResult> ZTestMean(std::span<const double> sample,
+                              double hypothesized_mean, double known_stddev) {
+  if (sample.empty()) {
+    return InvalidArgumentError("z-test requires a non-empty sample");
+  }
+  if (known_stddev <= 0.0) {
+    return InvalidArgumentError("z-test requires a positive known stddev");
+  }
+  RunningStats stats;
+  for (double x : sample) stats.Add(x);
+  ZTestResult result;
+  result.sample_mean = stats.mean();
+  result.z_statistic = (stats.mean() - hypothesized_mean) *
+                       std::sqrt(static_cast<double>(stats.count())) /
+                       known_stddev;
+  result.p_value = 2.0 * NormalCdf(-std::fabs(result.z_statistic));
   return result;
 }
 

@@ -2,6 +2,7 @@
 #define PLP_COMMON_STATS_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 
 #include "common/status.h"
@@ -46,6 +47,52 @@ struct PairedTTestResult {
 /// also zero, which yields p = 1).
 Result<PairedTTestResult> PairedTTest(std::span<const double> a,
                                       std::span<const double> b);
+
+/// Result of a one-sample Kolmogorov–Smirnov goodness-of-fit test.
+struct KsTestResult {
+  double statistic = 0.0;  ///< D_n = sup_x |F_n(x) − F(x)|
+  double p_value = 1.0;    ///< asymptotic, via the Kolmogorov distribution
+  int64_t n = 0;
+};
+
+/// One-sample KS test of `sample` against the continuous null CDF `cdf`.
+/// The p-value uses the Stephens small-sample correction
+/// t = (√n + 0.12 + 0.11/√n)·D, accurate to a few percent for n >= 20.
+/// Fails on an empty sample. The sample is copied and sorted internally.
+Result<KsTestResult> KolmogorovSmirnovTest(
+    std::span<const double> sample,
+    const std::function<double(double)>& cdf);
+
+/// Result of a chi-square goodness-of-fit test.
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 1.0;  ///< upper tail
+};
+
+/// Pearson chi-square test of observed cell counts against expected counts.
+/// `degrees_of_freedom_reduction` is subtracted from cells−1 (use it when
+/// expected counts were fitted from the data). Fails on size mismatch,
+/// fewer than two cells, a non-positive expected count, or df <= 0.
+/// Cells with expected count < 5 make the asymptotic p-value unreliable;
+/// the caller is responsible for binning.
+Result<ChiSquareResult> ChiSquareGoodnessOfFit(
+    std::span<const double> observed, std::span<const double> expected,
+    int degrees_of_freedom_reduction = 0);
+
+/// Result of a two-sided z-test on an empirical mean.
+struct ZTestResult {
+  double sample_mean = 0.0;
+  double z_statistic = 0.0;
+  double p_value = 1.0;  ///< two-sided
+};
+
+/// Two-sided z-test that `sample` has mean `hypothesized_mean`, with the
+/// population standard deviation `known_stddev` known a priori (e.g. the
+/// calibrated stddev of an injected Gaussian). Fails on an empty sample or
+/// a non-positive stddev.
+Result<ZTestResult> ZTestMean(std::span<const double> sample,
+                              double hypothesized_mean, double known_stddev);
 
 }  // namespace plp
 

@@ -1,0 +1,100 @@
+#include "core/bucket_update.h"
+
+#include <cmath>
+
+#include "sgns/local_model.h"
+#include "sgns/loss.h"
+
+namespace plp::core {
+namespace {
+
+/// Local SGD over the bucket's batches starting from θ_t (lines 15–22).
+template <typename Model>
+sgns::BatchStats TrainLocally(Model& phi, const Bucket& bucket,
+                              const PlpConfig& config, int32_t num_locations,
+                              Rng& rng) {
+  std::vector<sgns::Pair> pairs = BucketPairs(bucket, config);
+  if (config.local_update == LocalUpdateMode::kSingleGradient) {
+    // DP-SGD baseline: Φ = θ_t − η · ∇J(θ_t) over all of the bucket's
+    // pairs at once — a single clipped gradient, no local optimization.
+    return sgns::ApplySgdBatch(phi, pairs, config.sgns, num_locations,
+                               config.local_learning_rate, rng);
+  }
+  sgns::BatchStats total;
+  for (int32_t epoch = 0; epoch < config.local_epochs; ++epoch) {
+    const std::vector<std::vector<sgns::Pair>> batches =
+        sgns::MakeBatches(pairs, config.batch_size, rng);
+    for (const auto& batch : batches) {
+      const sgns::BatchStats stats =
+          sgns::ApplySgdBatch(phi, batch, config.sgns, num_locations,
+                              config.local_learning_rate, rng);
+      total.loss_sum += stats.loss_sum;
+      total.num_pairs += stats.num_pairs;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<sgns::Pair> BucketPairs(const Bucket& bucket,
+                                    const PlpConfig& config) {
+  if (config.cross_user_windows) {
+    std::vector<int32_t> flat;
+    flat.reserve(static_cast<size_t>(bucket.num_tokens()));
+    for (const auto& s : bucket.sentences) {
+      flat.insert(flat.end(), s.begin(), s.end());
+    }
+    return sgns::GeneratePairs(flat, config.sgns.window);
+  }
+  std::vector<sgns::Pair> pairs;
+  for (const auto& s : bucket.sentences) {
+    std::vector<sgns::Pair> p = sgns::GeneratePairs(s, config.sgns.window);
+    pairs.insert(pairs.end(), p.begin(), p.end());
+  }
+  return pairs;
+}
+
+sgns::SparseDelta ComputeBucketUpdate(const sgns::SgnsModel& theta,
+                                      const Bucket& bucket,
+                                      const PlpConfig& config,
+                                      int32_t num_locations, Rng& rng,
+                                      double* loss_out) {
+  sgns::BatchStats stats;
+  sgns::SparseDelta delta(config.sgns.embedding_dim);
+  if (config.dense_local_copy) {
+    // Paper-faithful cost model: full Φ ← θ_t copy and dense diff.
+    sgns::SgnsModel phi = theta;
+    stats = TrainLocally(phi, bucket, config, num_locations, rng);
+    delta = sgns::DiffModels(phi, theta);
+  } else {
+    sgns::LocalModel phi(theta);
+    stats = TrainLocally(phi, bucket, config, num_locations, rng);
+    delta = phi.ExtractDelta();
+  }
+  if (loss_out != nullptr) {
+    *loss_out = stats.mean_loss();
+  }
+  // Per-layer clipping (Section 4.1): each of the |θ| = 3 tensors is
+  // clipped to C/√3 so the overall delta norm is at most C.
+  delta.ClipPerTensor(config.clip_norm /
+                      std::sqrt(static_cast<double>(sgns::kNumTensors)));
+  return delta;
+}
+
+uint64_t BucketSeed(uint64_t step_seed, const Bucket& bucket) {
+  // FNV-1a over the bucket's content identity. Collisions between distinct
+  // buckets of one step are harmless (their data still differs), and the
+  // Rng constructor's splitmix64 scrambling decorrelates nearby seeds.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001B3ULL;
+  };
+  for (int32_t u : bucket.users) mix(static_cast<uint64_t>(u) + 1);
+  mix(static_cast<uint64_t>(bucket.sentences.size()));
+  mix(static_cast<uint64_t>(bucket.num_tokens()));
+  return step_seed ^ h;
+}
+
+}  // namespace plp::core

@@ -1,0 +1,58 @@
+#ifndef PLP_CORE_BUCKET_UPDATE_H_
+#define PLP_CORE_BUCKET_UPDATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "core/grouping.h"
+#include "sgns/model.h"
+#include "sgns/pairs.h"
+#include "sgns/sparse_delta.h"
+
+namespace plp::core {
+
+/// Pairs for one bucket. Paper-literal mode concatenates the bucket's
+/// sentences into a single array before applying the window (Section 4.1:
+/// "Grouped data in each bucket is organized as a single array ... a
+/// symmetric moving window is applied to create training examples, after
+/// the array is read by the generateBatches() function").
+std::vector<sgns::Pair> BucketPairs(const Bucket& bucket,
+                                    const PlpConfig& config);
+
+/// ModelUpdateFromBucket (Algorithm 1 lines 15–22): local SGD over the
+/// bucket's batches starting from θ_t, then the clipped model delta
+/// (per-tensor C/√3, so the overall norm is at most C). Deterministic
+/// given `rng`'s state. `loss_out` may be null.
+///
+/// This is the unit the DP sensitivity argument is about: the trainer sums
+/// one such delta per bucket, and tests exercise it directly to verify
+/// that the pre-noise sum moves by at most ω·C between neighboring
+/// datasets.
+sgns::SparseDelta ComputeBucketUpdate(const sgns::SgnsModel& theta,
+                                      const Bucket& bucket,
+                                      const PlpConfig& config,
+                                      int32_t num_locations, Rng& rng,
+                                      double* loss_out = nullptr);
+
+/// The RNG seed for one bucket's local training, derived from the step
+/// seed and the bucket's *content* (user ids and data shape), never its
+/// position in the bucket list. Content keying gives two properties the
+/// privacy and determinism arguments both need:
+///
+/// * Schedule independence: the seed is the same no matter which thread
+///   processes the bucket or how many workers exist, so training is
+///   bitwise-identical across num_threads (the sequential path uses the
+///   same derivation).
+/// * Neighbor coupling: on neighboring datasets (one user removed), every
+///   bucket that does not contain that user keeps its exact seed and hence
+///   its exact delta, so the pre-noise sum moves only through the removed
+///   user's ≤ ω buckets — the coupling the ω·C sensitivity bound requires.
+///   Index-keyed seeds would re-randomize every bucket after the removed
+///   one and break that argument.
+uint64_t BucketSeed(uint64_t step_seed, const Bucket& bucket);
+
+}  // namespace plp::core
+
+#endif  // PLP_CORE_BUCKET_UPDATE_H_

@@ -60,4 +60,13 @@ Status PlpConfig::Validate() const {
   return Status::Ok();
 }
 
+double NoiseScaleAt(const PlpConfig& config, int64_t step) {
+  if (config.noise_scale_final <= 0.0) return config.noise_scale;
+  if (step >= config.noise_decay_steps) return config.noise_scale_final;
+  const double progress = static_cast<double>(step - 1) /
+                          static_cast<double>(config.noise_decay_steps);
+  return config.noise_scale +
+         (config.noise_scale_final - config.noise_scale) * progress;
+}
+
 }  // namespace plp::core

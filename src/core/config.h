@@ -109,15 +109,22 @@ struct PlpConfig {
   int64_t max_steps = 1'000'000;  ///< hard cap independent of the budget
 
   /// Worker threads for bucket updates (buckets are independent, lines
-  /// 7–8). 1 = the sequential reference path. With > 1, each bucket gets
-  /// an Rng derived from a per-step seed, so results are deterministic
-  /// for a given seed *and* independent of the thread count (but differ
-  /// from the sequential path's stream).
+  /// 7–8). Every bucket trains on an Rng derived from the step seed and
+  /// the bucket's content (BucketSeed), so for a given seed the trained
+  /// model is bitwise-identical for *any* thread count, including the
+  /// sequential num_threads = 1 path.
   int32_t num_threads = 1;
 
   /// Validates ranges; returns the first violation.
   Status Validate() const;
 };
+
+/// σ_t of the (optional) decaying noise schedule at the 1-based `step`;
+/// constant noise_scale when the schedule is disabled. Endpoints: step 1
+/// yields noise_scale exactly, every step >= noise_decay_steps yields
+/// noise_scale_final exactly. The trainer and the ledger both use this, so
+/// accounting stays exact; tests pin the endpoints.
+double NoiseScaleAt(const PlpConfig& config, int64_t step);
 
 }  // namespace plp::core
 

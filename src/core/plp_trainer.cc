@@ -7,94 +7,11 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "core/bucket_update.h"
 #include "optim/optimizers.h"
-#include "sgns/local_model.h"
-#include "sgns/loss.h"
-#include "sgns/pairs.h"
 #include "sgns/sparse_delta.h"
 
 namespace plp::core {
-namespace {
-
-/// Pairs for one bucket. Paper-literal mode concatenates the bucket's
-/// sentences into a single array before applying the window (Section 4.1:
-/// "Grouped data in each bucket is organized as a single array ... a
-/// symmetric moving window is applied to create training examples, after
-/// the array is read by the generateBatches() function").
-std::vector<sgns::Pair> BucketPairs(const Bucket& bucket,
-                                    const PlpConfig& config) {
-  if (config.cross_user_windows) {
-    std::vector<int32_t> flat;
-    flat.reserve(static_cast<size_t>(bucket.num_tokens()));
-    for (const auto& s : bucket.sentences) {
-      flat.insert(flat.end(), s.begin(), s.end());
-    }
-    return sgns::GeneratePairs(flat, config.sgns.window);
-  }
-  std::vector<sgns::Pair> pairs;
-  for (const auto& s : bucket.sentences) {
-    std::vector<sgns::Pair> p = sgns::GeneratePairs(s, config.sgns.window);
-    pairs.insert(pairs.end(), p.begin(), p.end());
-  }
-  return pairs;
-}
-
-/// ModelUpdateFromBucket (Algorithm 1 lines 15–22): local SGD over the
-/// bucket's batches starting from θ_t, then the clipped model delta.
-template <typename Model>
-sgns::BatchStats TrainLocally(Model& phi, const Bucket& bucket,
-                              const PlpConfig& config, int32_t num_locations,
-                              Rng& rng) {
-  std::vector<sgns::Pair> pairs = BucketPairs(bucket, config);
-  if (config.local_update == LocalUpdateMode::kSingleGradient) {
-    // DP-SGD baseline: Φ = θ_t − η · ∇J(θ_t) over all of the bucket's
-    // pairs at once — a single clipped gradient, no local optimization.
-    return sgns::ApplySgdBatch(phi, pairs, config.sgns, num_locations,
-                               config.local_learning_rate, rng);
-  }
-  sgns::BatchStats total;
-  for (int32_t epoch = 0; epoch < config.local_epochs; ++epoch) {
-    const std::vector<std::vector<sgns::Pair>> batches =
-        sgns::MakeBatches(pairs, config.batch_size, rng);
-    for (const auto& batch : batches) {
-      const sgns::BatchStats stats =
-          sgns::ApplySgdBatch(phi, batch, config.sgns, num_locations,
-                              config.local_learning_rate, rng);
-      total.loss_sum += stats.loss_sum;
-      total.num_pairs += stats.num_pairs;
-    }
-  }
-  return total;
-}
-
-sgns::SparseDelta ModelUpdateFromBucket(const sgns::SgnsModel& theta,
-                                        const Bucket& bucket,
-                                        const PlpConfig& config,
-                                        int32_t num_locations, Rng& rng,
-                                        double* loss_out) {
-  sgns::BatchStats stats;
-  sgns::SparseDelta delta(config.sgns.embedding_dim);
-  if (config.dense_local_copy) {
-    // Paper-faithful cost model: full Φ ← θ_t copy and dense diff.
-    sgns::SgnsModel phi = theta;
-    stats = TrainLocally(phi, bucket, config, num_locations, rng);
-    delta = sgns::DiffModels(phi, theta);
-  } else {
-    sgns::LocalModel phi(theta);
-    stats = TrainLocally(phi, bucket, config, num_locations, rng);
-    delta = phi.ExtractDelta();
-  }
-  if (loss_out != nullptr) {
-    *loss_out = stats.mean_loss();
-  }
-  // Per-layer clipping (Section 4.1): each of the |θ| = 3 tensors is
-  // clipped to C/√3 so the overall delta norm is at most C.
-  delta.ClipPerTensor(config.clip_norm /
-                      std::sqrt(static_cast<double>(sgns::kNumTensors)));
-  return delta;
-}
-
-}  // namespace
 
 Result<TrainResult> PlpTrainer::Train(const data::TrainingCorpus& corpus,
                                       Rng& rng,
@@ -127,18 +44,8 @@ Result<TrainResult> PlpTrainer::Train(const data::TrainingCorpus& corpus,
   TrainResult result;
   result.model = std::move(model);
 
-  // σ_t for the (optional) decaying noise schedule; constant by default.
-  const auto noise_scale_at = [this](int64_t step) {
-    if (config_.noise_scale_final <= 0.0) return config_.noise_scale;
-    if (step >= config_.noise_decay_steps) return config_.noise_scale_final;
-    const double progress = static_cast<double>(step - 1) /
-                            static_cast<double>(config_.noise_decay_steps);
-    return config_.noise_scale +
-           (config_.noise_scale_final - config_.noise_scale) * progress;
-  };
-
   for (int64_t step = 1; step <= config_.max_steps; ++step) {
-    const double sigma_t = noise_scale_at(step);
+    const double sigma_t = NoiseScaleAt(config_, step);
     // The ledger tracks the *effective* noise multiplier: noise stddev
     // divided by the query's joint l2 sensitivity ω·C. With per-tensor
     // noise σ·ω·C/√3 on each tensor, the joint multiplier is σ/√3
@@ -173,18 +80,21 @@ Result<TrainResult> PlpTrainer::Train(const data::TrainingCorpus& corpus,
     PLP_CHECK_LE(RealizedSplitFactor(buckets), config_.split_factor);
 
     // Lines 7–8: one clipped model delta per bucket, summed. Buckets are
-    // independent; with num_threads > 1 they are fanned out with per-bucket
-    // seeds so the result does not depend on scheduling.
+    // independent; every bucket's local training runs on an Rng derived
+    // from the step seed and the bucket's content (BucketSeed), so the
+    // result is bitwise-identical for any num_threads — the sequential
+    // path is the same computation without the fan-out. The step seed is
+    // drawn even when no bucket exists so the noise stream below stays
+    // aligned across runs that sample differently.
     update.Zero();
     double loss_sum = 0.0;
+    const uint64_t step_seed = rng.NextU64();
     if (pool != nullptr && buckets.size() > 1) {
-      const uint64_t step_seed = rng.NextU64();
       std::vector<std::unique_ptr<sgns::SparseDelta>> deltas(buckets.size());
       std::vector<double> losses(buckets.size(), 0.0);
       pool->ParallelFor(buckets.size(), [&](size_t i) {
-        Rng bucket_rng(step_seed ^
-                       (0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(i + 1)));
-        deltas[i] = std::make_unique<sgns::SparseDelta>(ModelUpdateFromBucket(
+        Rng bucket_rng(BucketSeed(step_seed, buckets[i]));
+        deltas[i] = std::make_unique<sgns::SparseDelta>(ComputeBucketUpdate(
             result.model, buckets[i], config_, corpus.num_locations,
             bucket_rng, &losses[i]));
       });
@@ -195,8 +105,9 @@ Result<TrainResult> PlpTrainer::Train(const data::TrainingCorpus& corpus,
     } else {
       for (const Bucket& bucket : buckets) {
         double bucket_loss = 0.0;
-        const sgns::SparseDelta delta = ModelUpdateFromBucket(
-            result.model, bucket, config_, corpus.num_locations, rng,
+        Rng bucket_rng(BucketSeed(step_seed, bucket));
+        const sgns::SparseDelta delta = ComputeBucketUpdate(
+            result.model, bucket, config_, corpus.num_locations, bucket_rng,
             &bucket_loss);
         delta.AccumulateInto(update, 1.0);
         loss_sum += bucket_loss;

@@ -1,0 +1,91 @@
+#include "data/fixtures.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/synthetic_generator.h"
+
+namespace plp::data {
+
+TrainingCorpus MakeFixtureCorpus(uint64_t seed,
+                                 const FixtureCorpusOptions& options) {
+  PLP_CHECK_GT(options.num_users, 0);
+  PLP_CHECK_GT(options.num_locations, 0);
+  PLP_CHECK_GT(options.min_tokens_per_user, 0);
+  PLP_CHECK_LE(options.min_tokens_per_user, options.max_tokens_per_user);
+  TrainingCorpus corpus;
+  corpus.num_locations = options.num_locations;
+  Rng rng(seed);
+  for (int32_t u = 0; u < options.num_users; ++u) {
+    const int32_t len =
+        options.min_tokens_per_user == options.max_tokens_per_user
+            ? options.min_tokens_per_user
+            : static_cast<int32_t>(rng.UniformInt(
+                  int64_t{options.min_tokens_per_user},
+                  int64_t{options.max_tokens_per_user}));
+    int32_t base = 0;
+    if (options.neighborhood > 0) {
+      base = static_cast<int32_t>(
+          rng.UniformInt(static_cast<uint64_t>(options.num_locations)));
+    }
+    std::vector<int32_t> sentence;
+    sentence.reserve(static_cast<size_t>(len));
+    for (int32_t i = 0; i < len; ++i) {
+      if (options.neighborhood > 0) {
+        sentence.push_back(
+            (base + static_cast<int32_t>(rng.UniformInt(
+                        static_cast<uint64_t>(options.neighborhood)))) %
+            options.num_locations);
+      } else {
+        sentence.push_back(static_cast<int32_t>(
+            rng.UniformInt(static_cast<uint64_t>(options.num_locations))));
+      }
+    }
+    corpus.user_sentences.push_back({std::move(sentence)});
+  }
+  return corpus;
+}
+
+TrainingCorpus MakeGiantUserCorpus(uint64_t seed, int32_t num_users,
+                                   int32_t num_locations,
+                                   int32_t giant_tokens) {
+  FixtureCorpusOptions options;
+  options.num_users = num_users;
+  options.num_locations = num_locations;
+  TrainingCorpus corpus = MakeFixtureCorpus(seed, options);
+  Rng rng(seed ^ 0xD1B54A32D192ED03ULL);
+  std::vector<int32_t> giant;
+  giant.reserve(static_cast<size_t>(giant_tokens));
+  for (int32_t i = 0; i < giant_tokens; ++i) {
+    giant.push_back(static_cast<int32_t>(
+        rng.UniformInt(static_cast<uint64_t>(num_locations))));
+  }
+  corpus.user_sentences.push_back({std::move(giant)});
+  return corpus;
+}
+
+Result<CheckInDataset> MakeFixtureDataset(uint64_t seed,
+                                          const std::string& scale) {
+  SyntheticConfig config;
+  if (scale == "paper") {
+    config = PaperSyntheticConfig();
+  } else if (scale == "small") {
+    // Many light users: the regime where user-level DP noise and data
+    // grouping actually interact (see DESIGN.md).
+    config = SmallSyntheticConfig();
+    config.num_users = 2400;
+    config.num_locations = 600;
+    config.log_checkins_mean = 3.2;
+    config.log_checkins_stddev = 0.6;
+  } else {
+    return InvalidArgumentError("unknown fixture scale: " + scale);
+  }
+  Rng rng(seed);
+  PLP_ASSIGN_OR_RETURN(CheckInDataset dataset,
+                       GenerateSyntheticCheckIns(config, rng));
+  return dataset.Filter(10, 2);
+}
+
+}  // namespace plp::data

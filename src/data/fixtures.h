@@ -1,0 +1,59 @@
+#ifndef PLP_DATA_FIXTURES_H_
+#define PLP_DATA_FIXTURES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "data/corpus.h"
+#include "data/dataset.h"
+
+namespace plp::data {
+
+/// Shape of a deterministic fixture corpus (see MakeFixtureCorpus).
+///
+/// Tests and benches previously each hand-rolled their own small corpora
+/// with ad-hoc seeds; these builders are the single source of fixture
+/// randomness. Same seed + options → bitwise-identical corpus, forever:
+/// determinism regression tests pin model bytes against corpora built
+/// here, so the generation procedure must never change for existing
+/// option combinations.
+struct FixtureCorpusOptions {
+  int32_t num_users = 60;
+  int32_t num_locations = 30;
+  /// Per-user sentence length, drawn uniformly in [min, max] (inclusive).
+  /// Equal values give every user exactly that many tokens.
+  int32_t min_tokens_per_user = 5;
+  int32_t max_tokens_per_user = 30;
+  /// 0: tokens are uniform over all locations (no learnable structure —
+  /// right for invariant tests, where signal content is irrelevant).
+  /// > 0: each user walks inside a random neighborhood of this many
+  /// consecutive locations, which gives the co-visitation structure a
+  /// skip-gram can learn (right for training-dynamics tests).
+  int32_t neighborhood = 0;
+};
+
+/// One single-sentence user per entry, generated deterministically from
+/// `seed`. Every user contributes exactly one sentence, matching the
+/// user-level-DP unit the trainer samples and groups.
+TrainingCorpus MakeFixtureCorpus(uint64_t seed,
+                                 const FixtureCorpusOptions& options = {});
+
+/// A corpus of `num_users` light users plus one "giant" user holding
+/// `giant_tokens` tokens — the adversarial shape for user-level DP
+/// clipping (the giant user's delta must still be clipped to C). The
+/// giant user has index num_users (last).
+TrainingCorpus MakeGiantUserCorpus(uint64_t seed, int32_t num_users,
+                                   int32_t num_locations,
+                                   int32_t giant_tokens);
+
+/// The filtered synthetic check-in dataset every figure bench evaluates
+/// on, deduped here so benches and integration tests share one seed
+/// policy. `scale` is "small" (down-scaled city, minutes per sweep) or
+/// "paper" (the paper's dataset dimensions). Fails on an unknown scale.
+Result<CheckInDataset> MakeFixtureDataset(uint64_t seed,
+                                          const std::string& scale);
+
+}  // namespace plp::data
+
+#endif  // PLP_DATA_FIXTURES_H_

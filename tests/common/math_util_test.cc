@@ -109,6 +109,52 @@ TEST(StudentTTest, SymmetricInT) {
               StudentTTwoSidedPValue(-1.7, 8.0), 1e-12);
 }
 
+TEST(IncompleteGammaTest, KnownValues) {
+  // P(1, x) = 1 - exp(-x) (chi-square with 2 df at 2x).
+  EXPECT_NEAR(RegularizedLowerIncompleteGamma(1.0, 1.0),
+              1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(RegularizedLowerIncompleteGamma(1.0, 3.0),
+              1.0 - std::exp(-3.0), 1e-12);
+  // P(1/2, x) = erf(√x).
+  EXPECT_NEAR(RegularizedLowerIncompleteGamma(0.5, 2.0),
+              std::erf(std::sqrt(2.0)), 1e-12);
+  EXPECT_EQ(RegularizedLowerIncompleteGamma(3.0, 0.0), 0.0);
+}
+
+TEST(IncompleteGammaTest, UpperAndLowerSumToOne) {
+  for (double a : {0.5, 1.0, 2.5, 10.0, 50.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0, 100.0}) {
+      EXPECT_NEAR(RegularizedLowerIncompleteGamma(a, x) +
+                      RegularizedUpperIncompleteGamma(a, x),
+                  1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(IncompleteGammaTest, ChiSquareMedianOfTwoDf) {
+  // Chi-square with 2 df has median 2·ln 2: P(1, ln 2) = 1/2.
+  EXPECT_NEAR(RegularizedLowerIncompleteGamma(1.0, std::log(2.0)), 0.5,
+              1e-12);
+}
+
+TEST(KolmogorovTest, KnownQuantiles) {
+  // Classic KS critical values: Q(1.36) ≈ 0.05, Q(1.63) ≈ 0.01.
+  EXPECT_NEAR(KolmogorovComplementaryCdf(1.36), 0.05, 2e-3);
+  EXPECT_NEAR(KolmogorovComplementaryCdf(1.63), 0.01, 1e-3);
+  EXPECT_EQ(KolmogorovComplementaryCdf(0.0), 1.0);
+  EXPECT_LT(KolmogorovComplementaryCdf(3.0), 1e-6);
+}
+
+TEST(KolmogorovTest, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double t = 0.2; t < 2.5; t += 0.1) {
+    const double q = KolmogorovComplementaryCdf(t);
+    EXPECT_LE(q, prev + 1e-15);
+    prev = q;
+  }
+}
+
 TEST(L2NormTest, Basics) {
   const std::vector<double> v = {3.0, 4.0};
   EXPECT_NEAR(L2Norm(v), 5.0, 1e-12);

@@ -101,5 +101,97 @@ TEST(PairedTTestTest, SignificanceDetectsRealGap) {
   EXPECT_GT(r->mean_difference, 0.0);
 }
 
+double UniformCdf(double x) {
+  if (x < 0.0) return 0.0;
+  if (x > 1.0) return 1.0;
+  return x;
+}
+
+TEST(KolmogorovSmirnovTest, RejectsEmptySample) {
+  EXPECT_FALSE(KolmogorovSmirnovTest({}, UniformCdf).ok());
+}
+
+TEST(KolmogorovSmirnovTest, PerfectGridHasSmallStatistic) {
+  // Midpoints (i+0.5)/n are the best possible fit: D = 1/(2n).
+  std::vector<double> sample;
+  for (int i = 0; i < 100; ++i) sample.push_back((i + 0.5) / 100.0);
+  auto r = KolmogorovSmirnovTest(sample, UniformCdf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->statistic, 0.005, 1e-12);
+  EXPECT_GT(r->p_value, 0.99);
+}
+
+TEST(KolmogorovSmirnovTest, DetectsWrongDistribution) {
+  // Squaring uniform samples concentrates mass near 0: strong rejection.
+  std::vector<double> sample;
+  for (int i = 0; i < 200; ++i) {
+    const double u = (i + 0.5) / 200.0;
+    sample.push_back(u * u);
+  }
+  auto r = KolmogorovSmirnovTest(sample, UniformCdf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->p_value, 1e-6);
+}
+
+TEST(KolmogorovSmirnovTest, RejectsBrokenCdf) {
+  const std::vector<double> sample = {0.5};
+  EXPECT_FALSE(
+      KolmogorovSmirnovTest(sample, [](double) { return 2.0; }).ok());
+}
+
+TEST(ChiSquareTest, ValidatesInput) {
+  const std::vector<double> obs = {1.0, 2.0};
+  const std::vector<double> exp_ok = {1.5, 1.5};
+  const std::vector<double> exp_short = {3.0};
+  const std::vector<double> exp_zero = {3.0, 0.0};
+  EXPECT_FALSE(ChiSquareGoodnessOfFit(obs, exp_short).ok());
+  EXPECT_FALSE(ChiSquareGoodnessOfFit(obs, exp_zero).ok());
+  EXPECT_FALSE(ChiSquareGoodnessOfFit(obs, exp_ok, 1).ok());  // df = 0
+  EXPECT_TRUE(ChiSquareGoodnessOfFit(obs, exp_ok).ok());
+}
+
+TEST(ChiSquareTest, ExactFitGivesPOne) {
+  const std::vector<double> counts = {10.0, 20.0, 30.0};
+  auto r = ChiSquareGoodnessOfFit(counts, counts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->statistic, 0.0);
+  EXPECT_EQ(r->degrees_of_freedom, 2.0);
+  EXPECT_NEAR(r->p_value, 1.0, 1e-12);
+}
+
+TEST(ChiSquareTest, KnownCase) {
+  // Classic fair-die example: observed {5,8,9,8,10,20} over 60 rolls,
+  // expected 10 each → X² = 13.4, df 5, p ≈ 0.0199.
+  const std::vector<double> obs = {5.0, 8.0, 9.0, 8.0, 10.0, 20.0};
+  const std::vector<double> expected(6, 10.0);
+  auto r = ChiSquareGoodnessOfFit(obs, expected);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->statistic, 13.4, 1e-12);
+  EXPECT_NEAR(r->p_value, 0.0199, 5e-4);
+}
+
+TEST(ZTestMeanTest, ValidatesInput) {
+  const std::vector<double> sample = {1.0, 2.0};
+  EXPECT_FALSE(ZTestMean({}, 0.0, 1.0).ok());
+  EXPECT_FALSE(ZTestMean(sample, 0.0, 0.0).ok());
+}
+
+TEST(ZTestMeanTest, KnownCase) {
+  // Mean 1, hypothesized 0, stddev 2, n = 16 → z = 2, p ≈ 0.0455.
+  std::vector<double> sample(16, 1.0);
+  auto r = ZTestMean(sample, 0.0, 2.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->z_statistic, 2.0, 1e-12);
+  EXPECT_NEAR(r->p_value, 0.0455, 5e-4);
+}
+
+TEST(ZTestMeanTest, MatchingMeanGivesLargeP) {
+  const std::vector<double> sample = {-0.5, 0.5, -0.25, 0.25};
+  auto r = ZTestMean(sample, 0.0, 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->z_statistic, 0.0);
+  EXPECT_NEAR(r->p_value, 1.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace plp

@@ -2,22 +2,15 @@
 
 #include "core/plp_trainer.h"
 #include "data/corpus.h"
+#include "support/fixtures.h"
 
 namespace plp::core {
 namespace {
 
 data::TrainingCorpus ScheduleCorpus() {
-  data::TrainingCorpus corpus;
-  corpus.num_locations = 20;
-  Rng rng(3);
-  for (int32_t u = 0; u < 40; ++u) {
-    std::vector<int32_t> sentence;
-    for (int i = 0; i < 15; ++i) {
-      sentence.push_back(static_cast<int32_t>(rng.UniformInt(uint64_t{20})));
-    }
-    corpus.user_sentences.push_back({std::move(sentence)});
-  }
-  return corpus;
+  return test::UniformCorpus(/*seed=*/3, /*num_users=*/40,
+                             /*num_locations=*/20, /*min_tokens=*/15,
+                             /*max_tokens=*/15);
 }
 
 PlpConfig ScheduleConfig() {
@@ -48,6 +41,28 @@ TEST(NoiseScheduleTest, ValidationRules) {
   config.noise_scale_final = 0.0;  // schedule disabled: decay steps moot
   config.noise_decay_steps = 0;
   EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(NoiseScheduleTest, NoiseScaleAtEndpoints) {
+  // The schedule's contract (core/config.h): step 1 yields noise_scale
+  // exactly, every step ≥ noise_decay_steps yields noise_scale_final
+  // exactly, and a disabled schedule is constant. Exact comparisons —
+  // the ledger depends on these being the precise σ_t values tracked.
+  PlpConfig config = ScheduleConfig();  // σ 3 → 1 over 4 steps
+  EXPECT_EQ(NoiseScaleAt(config, 1), 3.0);
+  EXPECT_EQ(NoiseScaleAt(config, 4), 1.0);
+  EXPECT_EQ(NoiseScaleAt(config, 5), 1.0);
+  EXPECT_EQ(NoiseScaleAt(config, 1000000), 1.0);
+  // Interior: linear in (step − 1)/decay_steps, hence strictly decreasing.
+  EXPECT_GT(NoiseScaleAt(config, 2), NoiseScaleAt(config, 3));
+  EXPECT_LT(NoiseScaleAt(config, 2), 3.0);
+  EXPECT_GT(NoiseScaleAt(config, 3), 1.0);
+
+  PlpConfig disabled = ScheduleConfig();
+  disabled.noise_scale_final = 0.0;
+  disabled.noise_decay_steps = 0;
+  EXPECT_EQ(NoiseScaleAt(disabled, 1), 3.0);
+  EXPECT_EQ(NoiseScaleAt(disabled, 12345), 3.0);
 }
 
 TEST(NoiseScheduleTest, LedgerSeesDecayingSigma) {

@@ -5,44 +5,18 @@
 #include <gtest/gtest.h>
 #include "core/nonprivate_trainer.h"
 #include "data/corpus.h"
-#include "data/synthetic_generator.h"
+#include "support/fixtures.h"
 
 namespace plp::core {
 namespace {
 
-data::TrainingCorpus TinyCorpus(int32_t num_users = 60,
-                                int32_t tokens_per_user = 20,
-                                int32_t num_locations = 30) {
-  data::TrainingCorpus corpus;
-  corpus.num_locations = num_locations;
-  Rng rng(7);
-  for (int32_t u = 0; u < num_users; ++u) {
-    std::vector<int32_t> sentence;
-    // Each user walks inside a small neighborhood of the location space so
-    // there is learnable co-visitation structure.
-    const int32_t base = static_cast<int32_t>(
-        rng.UniformInt(static_cast<uint64_t>(num_locations)));
-    for (int32_t i = 0; i < tokens_per_user; ++i) {
-      sentence.push_back(
-          (base + static_cast<int32_t>(rng.UniformInt(uint64_t{5}))) %
-          num_locations);
-    }
-    corpus.user_sentences.push_back({std::move(sentence)});
-  }
-  return corpus;
+// Thin aliases over the shared fixture library (tests/support/fixtures.h)
+// so the suite reads as before while corpus generation lives in one place.
+data::TrainingCorpus TinyCorpus(int32_t num_users = 60) {
+  return test::ClusteredCorpus(/*seed=*/7, num_users);
 }
 
-PlpConfig FastConfig() {
-  PlpConfig config;
-  config.sgns.embedding_dim = 8;
-  config.sgns.negatives = 4;
-  config.sampling_probability = 0.2;
-  config.grouping_factor = 3;
-  config.noise_scale = 2.0;
-  config.epsilon_budget = 4.0;
-  config.max_steps = 10;
-  return config;
-}
+PlpConfig FastConfig() { return test::FastTrainerConfig(); }
 
 TEST(PlpTrainerTest, RunsAndRespectsMaxSteps) {
   const data::TrainingCorpus corpus = TinyCorpus();
@@ -280,6 +254,64 @@ TEST(PlpTrainerTest, LocalEpochsStrengthenSignal) {
   for (const StepMetrics& m : one->history) signal_one += m.signal_norm;
   for (const StepMetrics& m : four->history) signal_four += m.signal_norm;
   EXPECT_GT(signal_four, signal_one);
+}
+
+void ExpectModelsBitwiseEqual(const sgns::SgnsModel& a,
+                              const sgns::SgnsModel& b) {
+  for (int t = 0; t < sgns::kNumTensors; ++t) {
+    const auto xa = a.TensorData(static_cast<sgns::Tensor>(t));
+    const auto xb = b.TensorData(static_cast<sgns::Tensor>(t));
+    ASSERT_EQ(xa.size(), xb.size());
+    for (size_t i = 0; i < xa.size(); ++i) EXPECT_EQ(xa[i], xb[i]);
+  }
+}
+
+TEST(PlpTrainerTest, BudgetExhaustedReturnsPreviousTheta) {
+  // Algorithm 1 lines 11–13: when step t's budget check overruns, the
+  // trainer returns θ_{t−1} — the model WITHOUT the over-budget step.
+  // Verified bitwise: a budget-limited run that executed k steps must
+  // equal an unlimited run truncated at max_steps = k with the same seed.
+  PlpConfig limited = FastConfig();
+  limited.epsilon_budget = 2.0;
+  limited.max_steps = 100000;
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng rng_a(31);
+  auto budget_run = PlpTrainer(limited).Train(corpus, rng_a);
+  ASSERT_TRUE(budget_run.ok());
+  ASSERT_EQ(budget_run->stop_reason, StopReason::kBudgetExhausted);
+  const int64_t k = budget_run->steps_executed;
+  ASSERT_GT(k, 0);
+
+  PlpConfig truncated = limited;
+  truncated.epsilon_budget = 1e9;
+  truncated.max_steps = k;
+  Rng rng_b(31);
+  auto reference = PlpTrainer(truncated).Train(corpus, rng_b);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(reference->stop_reason, StopReason::kMaxSteps);
+  ExpectModelsBitwiseEqual(budget_run->model, reference->model);
+}
+
+TEST(PlpTrainerTest, CallbackStopReturnsModelAtStopStep) {
+  // A callback stop after step 3 returns the post-step-3 model exactly —
+  // same bytes as a plain max_steps = 3 run with the same seed.
+  const data::TrainingCorpus corpus = TinyCorpus();
+  Rng rng_a(32);
+  auto stopped = PlpTrainer(FastConfig())
+                     .Train(corpus, rng_a,
+                            [](const StepMetrics& m, const sgns::SgnsModel&) {
+                              return m.step < 3;
+                            });
+  ASSERT_TRUE(stopped.ok());
+  ASSERT_EQ(stopped->stop_reason, StopReason::kCallback);
+  ASSERT_EQ(stopped->steps_executed, 3);
+
+  PlpConfig truncated = FastConfig();
+  truncated.max_steps = 3;
+  Rng rng_b(32);
+  auto reference = PlpTrainer(truncated).Train(corpus, rng_b);
+  ASSERT_TRUE(reference.ok());
+  ExpectModelsBitwiseEqual(stopped->model, reference->model);
 }
 
 TEST(DpSgdTrainerTest, ForcesLambdaOne) {

@@ -6,38 +6,17 @@
 
 #include "core/plp_trainer.h"
 #include "data/corpus.h"
+#include "support/fixtures.h"
 
 namespace plp::core {
 namespace {
 
 data::TrainingCorpus MakeCorpus(uint64_t seed, int32_t num_users,
                                 int32_t num_locations) {
-  data::TrainingCorpus corpus;
-  corpus.num_locations = num_locations;
-  Rng rng(seed);
-  for (int32_t u = 0; u < num_users; ++u) {
-    std::vector<int32_t> sentence;
-    const int32_t len =
-        static_cast<int32_t>(rng.UniformInt(int64_t{5}, int64_t{30}));
-    for (int32_t i = 0; i < len; ++i) {
-      sentence.push_back(static_cast<int32_t>(
-          rng.UniformInt(static_cast<uint64_t>(num_locations))));
-    }
-    corpus.user_sentences.push_back({std::move(sentence)});
-  }
-  return corpus;
+  return test::UniformCorpus(seed, num_users, num_locations);
 }
 
-PlpConfig InvariantConfig() {
-  PlpConfig config;
-  config.sgns.embedding_dim = 6;
-  config.sgns.negatives = 4;
-  config.sampling_probability = 0.25;
-  config.noise_scale = 2.0;
-  config.epsilon_budget = 5.0;
-  config.max_steps = 6;
-  return config;
-}
+PlpConfig InvariantConfig() { return test::InvariantTrainerConfig(); }
 
 TEST(PrivacyInvariantsTest, BudgetConsumptionIsDataIndependent) {
   // The ε trajectory depends only on (q, σ, δ, steps) — never on the data

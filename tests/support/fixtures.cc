@@ -1,0 +1,51 @@
+#include "support/fixtures.h"
+
+namespace plp::test {
+
+data::TrainingCorpus UniformCorpus(uint64_t seed, int32_t num_users,
+                                   int32_t num_locations, int32_t min_tokens,
+                                   int32_t max_tokens) {
+  data::FixtureCorpusOptions options;
+  options.num_users = num_users;
+  options.num_locations = num_locations;
+  options.min_tokens_per_user = min_tokens;
+  options.max_tokens_per_user = max_tokens;
+  return data::MakeFixtureCorpus(seed, options);
+}
+
+data::TrainingCorpus ClusteredCorpus(uint64_t seed, int32_t num_users,
+                                     int32_t tokens_per_user,
+                                     int32_t num_locations) {
+  data::FixtureCorpusOptions options;
+  options.num_users = num_users;
+  options.num_locations = num_locations;
+  options.min_tokens_per_user = tokens_per_user;
+  options.max_tokens_per_user = tokens_per_user;
+  options.neighborhood = 5;
+  return data::MakeFixtureCorpus(seed, options);
+}
+
+core::PlpConfig FastTrainerConfig() {
+  core::PlpConfig config;
+  config.sgns.embedding_dim = 8;
+  config.sgns.negatives = 4;
+  config.sampling_probability = 0.2;
+  config.grouping_factor = 3;
+  config.noise_scale = 2.0;
+  config.epsilon_budget = 4.0;
+  config.max_steps = 10;
+  return config;
+}
+
+core::PlpConfig InvariantTrainerConfig() {
+  core::PlpConfig config;
+  config.sgns.embedding_dim = 6;
+  config.sgns.negatives = 4;
+  config.sampling_probability = 0.25;
+  config.noise_scale = 2.0;
+  config.epsilon_budget = 5.0;
+  config.max_steps = 6;
+  return config;
+}
+
+}  // namespace plp::test

@@ -1,0 +1,60 @@
+#include "support/statistical.h"
+
+#include "common/math_util.h"
+#include "common/stats.h"
+
+namespace plp::test {
+
+testing::AssertionResult IsGaussianSample(std::span<const double> sample,
+                                          double mean, double stddev,
+                                          double alpha) {
+  auto result = KolmogorovSmirnovTest(sample, [mean, stddev](double x) {
+    return NormalCdf((x - mean) / stddev);
+  });
+  if (!result.ok()) {
+    return testing::AssertionFailure() << result.status().ToString();
+  }
+  if (result->p_value < alpha) {
+    return testing::AssertionFailure()
+           << "KS test rejects N(" << mean << ", " << stddev << "²): D = "
+           << result->statistic << ", p = " << result->p_value << " < alpha "
+           << alpha << " (n = " << result->n << ")";
+  }
+  return testing::AssertionSuccess()
+         << "KS p = " << result->p_value << " (D = " << result->statistic
+         << ")";
+}
+
+testing::AssertionResult HasMean(std::span<const double> sample,
+                                 double expected_mean, double known_stddev,
+                                 double alpha) {
+  auto result = ZTestMean(sample, expected_mean, known_stddev);
+  if (!result.ok()) {
+    return testing::AssertionFailure() << result.status().ToString();
+  }
+  if (result->p_value < alpha) {
+    return testing::AssertionFailure()
+           << "z-test rejects mean " << expected_mean << ": sample mean "
+           << result->sample_mean << ", z = " << result->z_statistic
+           << ", p = " << result->p_value << " < alpha " << alpha;
+  }
+  return testing::AssertionSuccess() << "z p = " << result->p_value;
+}
+
+testing::AssertionResult MatchesExpectedCounts(
+    std::span<const double> observed, std::span<const double> expected,
+    double alpha) {
+  auto result = ChiSquareGoodnessOfFit(observed, expected);
+  if (!result.ok()) {
+    return testing::AssertionFailure() << result.status().ToString();
+  }
+  if (result->p_value < alpha) {
+    return testing::AssertionFailure()
+           << "chi-square rejects expected counts: X² = " << result->statistic
+           << " (df " << result->degrees_of_freedom << "), p = "
+           << result->p_value << " < alpha " << alpha;
+  }
+  return testing::AssertionSuccess() << "chi-square p = " << result->p_value;
+}
+
+}  // namespace plp::test

@@ -1,0 +1,40 @@
+#ifndef PLP_TESTS_SUPPORT_STATISTICAL_H_
+#define PLP_TESTS_SUPPORT_STATISTICAL_H_
+
+#include <span>
+
+#include <gtest/gtest.h>
+
+namespace plp::test {
+
+/// Statistical assertion helpers over src/common/stats.h, returning gtest
+/// AssertionResults so failures carry the statistic and p-value.
+///
+/// `alpha` is the per-assertion false-positive rate UNDER FIXED SEEDS it
+/// would be the flake rate; with this repo's fixed-seed policy a passing
+/// assertion passes forever, and alpha instead bounds how unlucky the one
+/// frozen draw can be. Suites use alpha = 1e-3 per assertion (documented
+/// in README "Testing & verification").
+
+/// Kolmogorov–Smirnov assertion that `sample` was drawn from
+/// N(mean, stddev²). Rejects when the KS p-value falls below `alpha`.
+testing::AssertionResult IsGaussianSample(std::span<const double> sample,
+                                          double mean, double stddev,
+                                          double alpha = 1e-3);
+
+/// Two-sided z-test assertion that `sample` has the given mean, treating
+/// `known_stddev` as the true per-observation standard deviation.
+testing::AssertionResult HasMean(std::span<const double> sample,
+                                 double expected_mean, double known_stddev,
+                                 double alpha = 1e-3);
+
+/// Chi-square assertion that observed cell counts match expectations.
+/// Expected counts must be positive; cells with expectation < 5 should be
+/// merged by the caller first.
+testing::AssertionResult MatchesExpectedCounts(
+    std::span<const double> observed, std::span<const double> expected,
+    double alpha = 1e-3);
+
+}  // namespace plp::test
+
+#endif  // PLP_TESTS_SUPPORT_STATISTICAL_H_
