@@ -1,0 +1,256 @@
+// serving_throughput — load generator for the plp::serve engine.
+//
+//   serving_throughput [--locations=600] [--dim=50] [--users=5000]
+//                      [--requests=200000] [--k=10] [--batch=64]
+//                      [--threads=4] [--swaps=20] [--seed=42]
+//                      [--json=BENCH_serving.json]
+//
+// Three phases over a synthetic fixture model:
+//   1. single  — one thread, synchronous Recommend in a tight loop (QPS
+//                and latency quantiles of the bare scoring path);
+//   2. batched — the same request stream pushed through RecommendBatch
+//                micro-batches across the worker pool;
+//   3. swap    — phase 1 traffic while a publisher hot-swaps alternating
+//                snapshots; reports the worst Publish stall and the p99
+//                under swap pressure.
+//
+// Results print as a table and are written as JSON (--json) so CI can
+// archive BENCH_serving.json and trend the numbers across commits.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "serve/serving_engine.h"
+#include "sgns/model.h"
+
+namespace {
+
+using plp::serve::Request;
+using plp::serve::Response;
+
+struct PhaseResult {
+  double qps = 0.0;
+  uint64_t p50_us = 0;
+  uint64_t p95_us = 0;
+  uint64_t p99_us = 0;
+};
+
+plp::sgns::SgnsModel MakeFixtureModel(int32_t locations, int32_t dim,
+                                      uint64_t seed) {
+  plp::Rng rng(seed);
+  plp::sgns::SgnsConfig config;
+  config.embedding_dim = dim;
+  config.init_scale = 1.0;  // well-spread rows, no training needed
+  auto model = plp::sgns::SgnsModel::Create(locations, config, rng);
+  PLP_CHECK_OK(model.status());
+  return std::move(model).value();
+}
+
+Request RandomRequest(plp::Rng& rng, int64_t users, int32_t locations,
+                      int32_t k) {
+  Request request;
+  request.user_id =
+      static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(users)));
+  request.new_checkin = static_cast<int32_t>(
+      rng.UniformInt(static_cast<uint64_t>(locations)));
+  request.k = k;
+  return request;
+}
+
+/// Latency quantiles of the *delta* this phase added to the histogram are
+/// not separable, so each phase uses a fresh engine-level histogram by
+/// reading quantiles right after its run (phases run on separate engines).
+PhaseResult QuantilesOf(const plp::serve::Metrics& metrics, double qps) {
+  PhaseResult result;
+  result.qps = qps;
+  result.p50_us = metrics.latency.QuantileUpperBoundMicros(0.50);
+  result.p95_us = metrics.latency.QuantileUpperBoundMicros(0.95);
+  result.p99_us = metrics.latency.QuantileUpperBoundMicros(0.99);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_or = plp::FlagParser::Parse(argc, argv);
+  PLP_CHECK_OK(flags_or.status());
+  const plp::FlagParser& flags = flags_or.value();
+
+  const int32_t locations =
+      static_cast<int32_t>(flags.GetInt("locations", 600));
+  const int32_t dim = static_cast<int32_t>(flags.GetInt("dim", 50));
+  const int64_t users = flags.GetInt("users", 5000);
+  const int64_t requests = flags.GetInt("requests", 200000);
+  const int32_t k = static_cast<int32_t>(flags.GetInt("k", 10));
+  const int32_t batch = static_cast<int32_t>(flags.GetInt("batch", 64));
+  const int32_t threads = static_cast<int32_t>(flags.GetInt("threads", 4));
+  const int64_t swaps = flags.GetInt("swaps", 20);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const std::string json_path =
+      flags.GetString("json", "BENCH_serving.json");
+
+  std::printf("serving_throughput: L=%d dim=%d users=%lld requests=%lld "
+              "k=%d batch=%d threads=%d\n",
+              locations, dim, static_cast<long long>(users),
+              static_cast<long long>(requests), k, batch, threads);
+
+  const plp::sgns::SgnsModel model_a = MakeFixtureModel(locations, dim, seed);
+  const plp::sgns::SgnsModel model_b =
+      MakeFixtureModel(locations, dim, seed + 1);
+
+  plp::serve::ServingConfig config;
+  config.num_threads = threads;
+  config.max_batch = batch;
+  config.sessions.capacity = static_cast<size_t>(users) + 16;
+
+  // Phase 1: single-thread synchronous loop.
+  PhaseResult single;
+  {
+    plp::serve::ServingEngine engine(config);
+    PLP_CHECK_OK(engine.PublishModel(model_a, 1));
+    plp::Rng rng(seed);
+    // Warm the session store so steady-state requests hit real histories.
+    for (int64_t u = 0; u < users; ++u) {
+      engine.Recommend(RandomRequest(rng, users, locations, k));
+    }
+    plp::Stopwatch watch;
+    for (int64_t i = 0; i < requests; ++i) {
+      const Response r =
+          engine.Recommend(RandomRequest(rng, users, locations, k));
+      PLP_CHECK(r.status.ok());
+    }
+    const double elapsed = watch.ElapsedSeconds();
+    single = QuantilesOf(engine.metrics(),
+                         static_cast<double>(requests) / elapsed);
+    std::printf("single : %.0f qps  p50<=%llu us  p99<=%llu us\n",
+                single.qps, static_cast<unsigned long long>(single.p50_us),
+                static_cast<unsigned long long>(single.p99_us));
+  }
+
+  // Phase 2: micro-batched execution across the pool.
+  PhaseResult batched;
+  {
+    plp::serve::ServingEngine engine(config);
+    PLP_CHECK_OK(engine.PublishModel(model_a, 1));
+    plp::Rng rng(seed + 17);
+    const int64_t chunk = static_cast<int64_t>(batch) * threads * 4;
+    plp::Stopwatch watch;
+    int64_t sent = 0;
+    while (sent < requests) {
+      const int64_t n = std::min<int64_t>(chunk, requests - sent);
+      std::vector<Request> wave;
+      wave.reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        wave.push_back(RandomRequest(rng, users, locations, k));
+      }
+      for (const Response& r : engine.RecommendBatch(std::move(wave))) {
+        PLP_CHECK(r.status.ok());
+      }
+      sent += n;
+    }
+    const double elapsed = watch.ElapsedSeconds();
+    batched = QuantilesOf(engine.metrics(),
+                          static_cast<double>(requests) / elapsed);
+    std::printf("batched: %.0f qps  p50<=%llu us  p99<=%llu us\n",
+                batched.qps,
+                static_cast<unsigned long long>(batched.p50_us),
+                static_cast<unsigned long long>(batched.p99_us));
+  }
+
+  // Phase 3: hot-swap pressure — publisher thread alternates snapshots
+  // while the request loop runs; the stall is the worst Publish latency,
+  // and the request p99 shows reader-side impact.
+  PhaseResult swap_phase;
+  double swap_stall_us_max = 0.0;
+  {
+    plp::serve::ServingEngine engine(config);
+    PLP_CHECK_OK(engine.PublishModel(model_a, 1));
+    const int64_t swap_requests = std::max<int64_t>(requests / 4, 1);
+    std::atomic<bool> stop{false};
+    std::thread publisher([&] {
+      uint64_t version = 2;
+      for (int64_t s = 0; s < swaps && !stop.load(); ++s) {
+        const plp::sgns::SgnsModel& next =
+            (s % 2 == 0) ? model_b : model_a;
+        plp::Stopwatch swap_watch;
+        PLP_CHECK_OK(engine.PublishModel(next, version++));
+        swap_stall_us_max =
+            std::max(swap_stall_us_max, swap_watch.ElapsedMillis() * 1e3);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    plp::Rng rng(seed + 29);
+    plp::Stopwatch watch;
+    for (int64_t i = 0; i < swap_requests; ++i) {
+      const Response r =
+          engine.Recommend(RandomRequest(rng, users, locations, k));
+      PLP_CHECK(r.status.ok());
+    }
+    const double elapsed = watch.ElapsedSeconds();
+    stop.store(true);
+    publisher.join();
+    swap_phase = QuantilesOf(engine.metrics(),
+                             static_cast<double>(swap_requests) / elapsed);
+    std::printf("swap   : %.0f qps  p99<=%llu us  worst publish %.0f us "
+                "(%llu swaps)\n",
+                swap_phase.qps,
+                static_cast<unsigned long long>(swap_phase.p99_us),
+                swap_stall_us_max,
+                static_cast<unsigned long long>(
+                    engine.metrics().model_swaps.load()));
+  }
+
+  plp::TablePrinter table({"phase", "qps", "p50_us_le", "p95_us_le",
+                           "p99_us_le"});
+  auto add = [&table](const std::string& name, const PhaseResult& r) {
+    table.NewRow();
+    table.AddCell(name);
+    table.AddCell(r.qps, 0);
+    table.AddCell(static_cast<int64_t>(r.p50_us));
+    table.AddCell(static_cast<int64_t>(r.p95_us));
+    table.AddCell(static_cast<int64_t>(r.p99_us));
+  };
+  add("single", single);
+  add("batched", batched);
+  add("swap", swap_phase);
+  table.PrintAligned(std::cout);
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"bench\": \"serving_throughput\",\n"
+       << "  \"locations\": " << locations << ",\n"
+       << "  \"dim\": " << dim << ",\n"
+       << "  \"users\": " << users << ",\n"
+       << "  \"requests\": " << requests << ",\n"
+       << "  \"k\": " << k << ",\n"
+       << "  \"batch\": " << batch << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"qps_single_thread\": " << single.qps << ",\n"
+       << "  \"p50_us_single\": " << single.p50_us << ",\n"
+       << "  \"p95_us_single\": " << single.p95_us << ",\n"
+       << "  \"p99_us_single\": " << single.p99_us << ",\n"
+       << "  \"qps_batched\": " << batched.qps << ",\n"
+       << "  \"p99_us_batched\": " << batched.p99_us << ",\n"
+       << "  \"qps_under_swaps\": " << swap_phase.qps << ",\n"
+       << "  \"p99_us_under_swaps\": " << swap_phase.p99_us << ",\n"
+       << "  \"swap_stall_us_max\": " << swap_stall_us_max << "\n"
+       << "}\n";
+  if (!json) {
+    std::cerr << "error: cannot write " << json_path << "\n";
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

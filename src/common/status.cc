@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -56,6 +58,9 @@ Status InternalError(std::string message) {
 }
 Status UnimplementedError(std::string message) {
   return Status(StatusCode::kUnimplemented, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 
 }  // namespace plp

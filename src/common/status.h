@@ -19,6 +19,7 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kUnimplemented,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -72,6 +73,7 @@ Status FailedPreconditionError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 /// A value-or-error discriminated union (StatusOr-lite).
 ///

@@ -12,6 +12,18 @@ Recommender::Recommender(const sgns::SgnsModel& model)
       dim_(model.dim()),
       embeddings_(model.NormalizedEmbeddings()) {}
 
+Recommender::Recommender(int32_t num_locations, int32_t dim,
+                         std::vector<double> unit_embeddings)
+    : num_locations_(num_locations),
+      dim_(dim),
+      embeddings_(std::move(unit_embeddings)) {
+  PLP_CHECK_GT(num_locations_, 0);
+  PLP_CHECK_GT(dim_, 0);
+  PLP_CHECK_EQ(embeddings_.size(),
+               static_cast<size_t>(num_locations_) *
+                   static_cast<size_t>(dim_));
+}
+
 std::vector<double> Recommender::Scores(
     std::span<const int32_t> recent) const {
   PLP_CHECK(!recent.empty());

@@ -19,6 +19,12 @@ class Recommender {
   /// discarded afterwards ("only the embedding matrix is deployed").
   explicit Recommender(const sgns::SgnsModel& model);
 
+  /// Builds directly from a deployment artifact: a row-major L × dim
+  /// matrix of unit-norm rows (sgns::LoadEmbeddings output). Aborts on a
+  /// shape mismatch; rows are trusted to be unit length.
+  Recommender(int32_t num_locations, int32_t dim,
+              std::vector<double> unit_embeddings);
+
   int32_t num_locations() const { return num_locations_; }
   int32_t dim() const { return dim_; }
 

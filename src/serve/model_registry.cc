@@ -1,0 +1,18 @@
+#include "serve/model_registry.h"
+
+#include "common/check.h"
+
+namespace plp::serve {
+
+ModelRegistry::ModelRegistry(std::shared_ptr<const ModelSnapshot> initial) {
+  if (initial != nullptr) Publish(std::move(initial));
+}
+
+uint64_t ModelRegistry::Publish(
+    std::shared_ptr<const ModelSnapshot> snapshot) {
+  PLP_CHECK(snapshot != nullptr);
+  current_.store(std::move(snapshot), std::memory_order_release);
+  return generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace plp::serve

@@ -1,0 +1,58 @@
+#ifndef PLP_SERVE_MODEL_REGISTRY_H_
+#define PLP_SERVE_MODEL_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "serve/model_snapshot.h"
+
+namespace plp::serve {
+
+/// Atomic hot-swap point between training and serving.
+///
+/// The live snapshot lives in a `std::atomic<std::shared_ptr<const
+/// ModelSnapshot>>`: readers `Current()` (an acquire load + refcount bump,
+/// no mutex), score against their pinned copy, and drop it; `Publish`
+/// release-stores the replacement. The drained old snapshot is freed by
+/// whichever reader releases the last reference — swaps never block the
+/// request path and never invalidate an in-flight score.
+///
+/// This is the load-new / swap / drain-old lifecycle: a freshly trained
+/// model is built into a snapshot off to the side (the expensive part),
+/// published in O(1), and the old matrix drains as requests complete.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  explicit ModelRegistry(std::shared_ptr<const ModelSnapshot> initial);
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// The live snapshot, or nullptr before the first Publish. The returned
+  /// pointer stays valid for as long as the caller holds it, regardless of
+  /// concurrent swaps.
+  std::shared_ptr<const ModelSnapshot> Current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Swaps in `snapshot` (must be non-null) and returns the registry
+  /// generation (1 for the first publish). Readers observe either the old
+  /// or the new snapshot, never a mix.
+  uint64_t Publish(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// Number of successful Publish calls.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
+  bool has_model() const { return Current() != nullptr; }
+
+ private:
+  std::atomic<std::shared_ptr<const ModelSnapshot>> current_{nullptr};
+  std::atomic<uint64_t> generation_{0};
+};
+
+}  // namespace plp::serve
+
+#endif  // PLP_SERVE_MODEL_REGISTRY_H_

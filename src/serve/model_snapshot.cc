@@ -1,0 +1,195 @@
+#include "serve/model_snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+namespace plp::serve {
+namespace {
+
+uint64_t Fnv1a64(const void* data, size_t len, uint64_t hash) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint64_t ChecksumOf(int32_t num_locations, int32_t dim,
+                    std::span<const float> embeddings) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  hash = Fnv1a64(&num_locations, sizeof(num_locations), hash);
+  hash = Fnv1a64(&dim, sizeof(dim), hash);
+  hash = Fnv1a64(embeddings.data(), embeddings.size() * sizeof(float), hash);
+  return hash;
+}
+
+/// Scales each row to unit l2 norm in float32. Zero rows stay zero (they
+/// score 0 against every profile, matching the training-side convention).
+void NormalizeRows(std::vector<float>& m, int32_t num_rows, int32_t dim) {
+  for (int32_t r = 0; r < num_rows; ++r) {
+    float* row = m.data() + static_cast<size_t>(r) * dim;
+    float sq = 0.0f;
+    for (int32_t d = 0; d < dim; ++d) sq += row[d] * row[d];
+    if (sq <= 0.0f) continue;
+    const float inv = 1.0f / std::sqrt(sq);
+    for (int32_t d = 0; d < dim; ++d) row[d] *= inv;
+  }
+}
+
+/// Dot product with four independent accumulators. A naive `s += a*b`
+/// loop serializes on FP-add latency (~4-5 cycles per element, ~65 µs to
+/// score a 600x50 matrix); splitting the reduction keeps the FMA ports
+/// busy and is the difference between ~13k and >100k QPS single-thread.
+/// The explicit reassociation makes the result deterministic regardless
+/// of optimization level.
+float Dot(const float* a, const float* b, int32_t n) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  int32_t d = 0;
+  for (; d + 4 <= n; d += 4) {
+    s0 += a[d] * b[d];
+    s1 += a[d + 1] * b[d + 1];
+    s2 += a[d + 2] * b[d + 2];
+    s3 += a[d + 3] * b[d + 3];
+  }
+  float tail = 0.0f;
+  for (; d < n; ++d) tail += a[d] * b[d];
+  return ((s0 + s1) + (s2 + s3)) + tail;
+}
+
+}  // namespace
+
+ModelSnapshot::ModelSnapshot(int32_t num_locations, int32_t dim,
+                             uint64_t version, std::vector<float> embeddings)
+    : num_locations_(num_locations),
+      dim_(dim),
+      version_(version),
+      checksum_(ChecksumOf(num_locations, dim, embeddings)),
+      embeddings_(std::move(embeddings)) {}
+
+Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::FromModel(
+    const sgns::SgnsModel& model, uint64_t version) {
+  if (model.num_locations() <= 0 || model.dim() <= 0) {
+    return InvalidArgumentError("cannot snapshot an empty model");
+  }
+  const std::vector<double> normalized = model.NormalizedEmbeddings();
+  std::vector<float> embeddings(normalized.begin(), normalized.end());
+  NormalizeRows(embeddings, model.num_locations(), model.dim());
+  return std::shared_ptr<const ModelSnapshot>(new ModelSnapshot(
+      model.num_locations(), model.dim(), version, std::move(embeddings)));
+}
+
+Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::FromDeployed(
+    const sgns::DeployedEmbeddings& deployed, uint64_t version) {
+  if (deployed.num_locations <= 0 || deployed.dim <= 0) {
+    return InvalidArgumentError("cannot snapshot empty embeddings");
+  }
+  const size_t expected = static_cast<size_t>(deployed.num_locations) *
+                          static_cast<size_t>(deployed.dim);
+  if (deployed.embeddings.size() != expected) {
+    return InvalidArgumentError("embedding matrix shape mismatch");
+  }
+  std::vector<float> embeddings(deployed.embeddings.begin(),
+                                deployed.embeddings.end());
+  NormalizeRows(embeddings, deployed.num_locations, deployed.dim);
+  return std::shared_ptr<const ModelSnapshot>(
+      new ModelSnapshot(deployed.num_locations, deployed.dim, version,
+                        std::move(embeddings)));
+}
+
+Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::FromFile(
+    const std::string& path, uint64_t version) {
+  auto model_or = sgns::LoadModel(path);
+  if (model_or.ok()) return FromModel(*model_or, version);
+  // A missing file will fail the same way again; only fall back when the
+  // file exists but is not a full model (embeddings-only deployment).
+  if (model_or.status().code() == StatusCode::kNotFound) {
+    return model_or.status();
+  }
+  auto deployed_or = sgns::LoadEmbeddings(path);
+  if (!deployed_or.ok()) {
+    return InvalidArgumentError(
+        path + " is neither a full model (" + model_or.status().message() +
+        ") nor a deployment artifact (" + deployed_or.status().message() +
+        ")");
+  }
+  return FromDeployed(*deployed_or, version);
+}
+
+std::vector<float> ModelSnapshot::Profile(
+    std::span<const int32_t> recent) const {
+  std::vector<float> profile(static_cast<size_t>(dim_), 0.0f);
+  for (int32_t l : recent) {
+    const float* row = embeddings_.data() + static_cast<size_t>(l) * dim_;
+    for (int32_t d = 0; d < dim_; ++d) profile[d] += row[d];
+  }
+  float sq = 0.0f;
+  for (float v : profile) sq += v * v;
+  if (sq > 0.0f) {
+    const float inv = 1.0f / std::sqrt(sq);
+    for (float& v : profile) v *= inv;
+  }
+  return profile;
+}
+
+Status ModelSnapshot::ValidateHistory(std::span<const int32_t> recent) const {
+  if (recent.empty()) return InvalidArgumentError("empty history");
+  for (int32_t l : recent) {
+    if (l < 0 || l >= num_locations_) {
+      return InvalidArgumentError("location id " + std::to_string(l) +
+                                  " outside the model vocabulary [0, " +
+                                  std::to_string(num_locations_) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<ScoredLocation> TopKScores(const ModelSnapshot& snapshot,
+                                       std::span<const float> profile,
+                                       int32_t k,
+                                       std::span<const int32_t> exclude) {
+  const int32_t num_locations = snapshot.num_locations();
+  const int32_t dim = snapshot.dim();
+  if (k <= 0 || profile.size() != static_cast<size_t>(dim)) return {};
+
+  auto is_excluded = [&exclude](int32_t l) {
+    return std::find(exclude.begin(), exclude.end(), l) != exclude.end();
+  };
+  // Min-heap on (score asc, id desc): heap[0] is the worst kept candidate,
+  // so each better-scoring row replaces it in O(log k).
+  auto worse = [](const ScoredLocation& a, const ScoredLocation& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.location > b.location;
+  };
+  std::vector<ScoredLocation> heap;
+  heap.reserve(static_cast<size_t>(k));
+
+  const float* matrix = snapshot.embeddings().data();
+  for (int32_t l = 0; l < num_locations; ++l) {
+    const float* row = matrix + static_cast<size_t>(l) * dim;
+    const ScoredLocation candidate{l, Dot(row, profile.data(), dim)};
+    if (static_cast<int32_t>(heap.size()) < k) {
+      if (is_excluded(l)) continue;
+      heap.push_back(candidate);
+      std::push_heap(heap.begin(), heap.end(), [&](const auto& a,
+                                                   const auto& b) {
+        return worse(b, a);  // max-heap of "worseness" == min-heap of score
+      });
+    } else if (worse(heap.front(), candidate) && !is_excluded(l)) {
+      std::pop_heap(heap.begin(), heap.end(),
+                    [&](const auto& a, const auto& b) { return worse(b, a); });
+      heap.back() = candidate;
+      std::push_heap(heap.begin(), heap.end(),
+                     [&](const auto& a, const auto& b) { return worse(b, a); });
+    }
+  }
+  std::sort(heap.begin(), heap.end(),
+            [&](const ScoredLocation& a, const ScoredLocation& b) {
+              return worse(b, a);  // best first
+            });
+  return heap;
+}
+
+}  // namespace plp::serve

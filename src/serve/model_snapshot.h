@@ -1,0 +1,100 @@
+#ifndef PLP_SERVE_MODEL_SNAPSHOT_H_
+#define PLP_SERVE_MODEL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sgns/model.h"
+#include "sgns/model_io.h"
+
+namespace plp::serve {
+
+/// Immutable serving artifact: the unit-normalized embedding matrix in
+/// row-major float32 — half the footprint of the training-side double
+/// matrix, which matters when two snapshots coexist during a hot swap.
+///
+/// This mirrors the paper's deployment story (Section 3.3: "only the
+/// embedding matrix is deployed"): training emits a private artifact, and
+/// the serving layer never sees raw check-in data, only this matrix.
+///
+/// Snapshots are built once, checksummed, and shared read-only behind
+/// `std::shared_ptr<const ModelSnapshot>`; readers pin the snapshot they
+/// scored against for the duration of a request, so a concurrent swap in
+/// ModelRegistry can never free a matrix mid-score.
+class ModelSnapshot {
+ public:
+  /// Builds from a trained model (normalizes W, casts to float32).
+  /// `version` is an operator-chosen id surfaced in responses and metrics.
+  static Result<std::shared_ptr<const ModelSnapshot>> FromModel(
+      const sgns::SgnsModel& model, uint64_t version);
+
+  /// Builds from a deployment artifact (LoadEmbeddings output). Rows are
+  /// re-normalized in float32 to restore unit length after the cast.
+  static Result<std::shared_ptr<const ModelSnapshot>> FromDeployed(
+      const sgns::DeployedEmbeddings& deployed, uint64_t version);
+
+  /// Builds from a saved file of either kind: tries the full-model format
+  /// first, then falls back to the embeddings-only deployment format.
+  static Result<std::shared_ptr<const ModelSnapshot>> FromFile(
+      const std::string& path, uint64_t version);
+
+  int32_t num_locations() const { return num_locations_; }
+  int32_t dim() const { return dim_; }
+  uint64_t version() const { return version_; }
+
+  /// FNV-1a 64 over the header and the float payload; stable across
+  /// rebuilds from identical inputs, so operators can verify that the
+  /// published snapshot matches the artifact they trained.
+  uint64_t checksum() const { return checksum_; }
+
+  /// Resident size of the embedding payload.
+  size_t memory_bytes() const { return embeddings_.size() * sizeof(float); }
+
+  std::span<const float> Row(int32_t location) const {
+    return {embeddings_.data() + static_cast<size_t>(location) * dim_,
+            static_cast<size_t>(dim_)};
+  }
+  std::span<const float> embeddings() const { return embeddings_; }
+
+  /// F(ζ) in float32: average of the history rows, unit-normalized.
+  /// History ids must be valid (use ValidateHistory on untrusted input).
+  std::vector<float> Profile(std::span<const int32_t> recent) const;
+
+  /// Checks every id against the vocabulary; the serving path surfaces
+  /// this as a per-request error rather than aborting the process.
+  Status ValidateHistory(std::span<const int32_t> recent) const;
+
+ private:
+  ModelSnapshot(int32_t num_locations, int32_t dim, uint64_t version,
+                std::vector<float> embeddings);
+
+  int32_t num_locations_ = 0;
+  int32_t dim_ = 0;
+  uint64_t version_ = 0;
+  uint64_t checksum_ = 0;
+  std::vector<float> embeddings_;  // row-major L × dim, rows unit-norm
+};
+
+/// One scored candidate of a TopK answer.
+struct ScoredLocation {
+  int32_t location = 0;
+  float score = 0.0f;  ///< cosine similarity against the profile
+};
+
+/// Heap-based top-k by cosine score over the snapshot's matrix: one pass,
+/// O(L·dim + L·log k), no full sort and no per-request O(L) mask. Ids in
+/// `exclude` (typically the user's current POI — a handful of entries,
+/// checked linearly) are skipped. Ties break toward the smaller id, the
+/// same deterministic order eval::Recommender uses. Returned highest first.
+std::vector<ScoredLocation> TopKScores(const ModelSnapshot& snapshot,
+                                       std::span<const float> profile,
+                                       int32_t k,
+                                       std::span<const int32_t> exclude = {});
+
+}  // namespace plp::serve
+
+#endif  // PLP_SERVE_MODEL_SNAPSHOT_H_

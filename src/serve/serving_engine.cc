@@ -1,0 +1,191 @@
+#include "serve/serving_engine.h"
+
+#include <algorithm>
+#include <latch>
+#include <utility>
+
+namespace plp::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t MicrosBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+      .count();
+}
+
+Clock::time_point ResolveArrival(const Request& request,
+                                 Clock::time_point now) {
+  return request.arrival == Clock::time_point{} ? now : request.arrival;
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(const ServingConfig& config)
+    : config_(config),
+      sessions_(config.sessions),
+      pool_(static_cast<size_t>(std::max(config.num_threads, 1))) {
+  config_.num_threads = std::max(config.num_threads, 1);
+  config_.max_batch = std::max(config.max_batch, 1);
+}
+
+Status ServingEngine::PublishModel(const sgns::SgnsModel& model,
+                                   uint64_t version) {
+  PLP_ASSIGN_OR_RETURN(auto snapshot,
+                       ModelSnapshot::FromModel(model, version));
+  registry_.Publish(std::move(snapshot));
+  metrics_.model_swaps.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status ServingEngine::PublishFile(const std::string& path,
+                                  uint64_t version) {
+  PLP_ASSIGN_OR_RETURN(auto snapshot,
+                       ModelSnapshot::FromFile(path, version));
+  registry_.Publish(std::move(snapshot));
+  metrics_.model_swaps.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Response ServingEngine::Execute(
+    const Request& request,
+    const std::shared_ptr<const ModelSnapshot>& snapshot,
+    Clock::time_point now) {
+  Response response;
+  if (snapshot == nullptr) {
+    response.status = FailedPreconditionError("no model published");
+    return response;
+  }
+  response.model_version = snapshot->version();
+  const Clock::time_point arrival = ResolveArrival(request, now);
+  if (request.timeout_micros > 0 &&
+      MicrosBetween(arrival, now) > request.timeout_micros) {
+    response.status = DeadlineExceededError("request deadline elapsed");
+    return response;
+  }
+  if (request.k <= 0) {
+    response.status = InvalidArgumentError("k must be positive");
+    return response;
+  }
+
+  // Resolve ζ: explicit history > append-and-read > stored session.
+  std::vector<int32_t> history;
+  if (!request.history.empty()) {
+    history = request.history;
+  } else if (request.new_checkin >= 0) {
+    // Validate before appending so a bad id never poisons the session.
+    const int32_t checkin[] = {request.new_checkin};
+    if (Status s = snapshot->ValidateHistory(checkin); !s.ok()) {
+      response.status = std::move(s);
+      return response;
+    }
+    history = sessions_.Append(request.user_id, request.new_checkin);
+  } else {
+    auto stored = sessions_.Get(request.user_id);
+    if (!stored.has_value()) {
+      response.status = NotFoundError(
+          "no session for user " + std::to_string(request.user_id));
+      return response;
+    }
+    history = std::move(*stored);
+  }
+  // Sessions can legitimately hold ids a newly swapped (smaller) model
+  // doesn't know; that fails the one request, not the process.
+  if (Status s = snapshot->ValidateHistory(history); !s.ok()) {
+    response.status = std::move(s);
+    return response;
+  }
+  for (int32_t l : request.exclude) {
+    if (l < 0 || l >= snapshot->num_locations()) {
+      response.status = InvalidArgumentError(
+          "exclude id " + std::to_string(l) + " outside the vocabulary");
+      return response;
+    }
+  }
+
+  const std::vector<float> profile = snapshot->Profile(history);
+  response.topk =
+      TopKScores(*snapshot, profile, request.k, request.exclude);
+  response.status = Status::Ok();
+  return response;
+}
+
+Response ServingEngine::Finish(Response response,
+                               Clock::time_point start) {
+  response.latency_micros =
+      std::max<int64_t>(0, MicrosBetween(start, Clock::now()));
+  metrics_.latency.Record(static_cast<uint64_t>(response.latency_micros));
+  switch (response.status.code()) {
+    case StatusCode::kOk:
+      metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kNotFound:
+      metrics_.requests_not_found.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kDeadlineExceeded:
+      metrics_.requests_deadline_exceeded.fetch_add(
+          1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kFailedPrecondition:
+      metrics_.requests_no_model.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      metrics_.requests_invalid_argument.fetch_add(
+          1, std::memory_order_relaxed);
+      break;
+  }
+  return response;
+}
+
+Response ServingEngine::Recommend(const Request& request) {
+  const Clock::time_point now = Clock::now();
+  const std::shared_ptr<const ModelSnapshot> snapshot = registry_.Current();
+  return Finish(Execute(request, snapshot, now),
+                ResolveArrival(request, now));
+}
+
+std::vector<Response> ServingEngine::RecommendBatch(
+    std::vector<Request> requests) {
+  const size_t n = requests.size();
+  std::vector<Response> responses(n);
+  if (n == 0) return responses;
+  const size_t batch = static_cast<size_t>(config_.max_batch);
+  const size_t num_batches = (n + batch - 1) / batch;
+  std::latch done(static_cast<ptrdiff_t>(num_batches));
+
+  for (size_t begin = 0; begin < n; begin += batch) {
+    const size_t end = std::min(n, begin + batch);
+    pool_.Schedule([this, &requests, &responses, &done, begin, end] {
+      // One snapshot load and one clock read cover the whole micro-batch.
+      const Clock::time_point now = Clock::now();
+      const std::shared_ptr<const ModelSnapshot> snapshot =
+          registry_.Current();
+      for (size_t i = begin; i < end; ++i) {
+        responses[i] = Finish(Execute(requests[i], snapshot, now),
+                              ResolveArrival(requests[i], now));
+      }
+      metrics_.batches.fetch_add(1, std::memory_order_relaxed);
+      metrics_.batched_requests.fetch_add(end - begin,
+                                          std::memory_order_relaxed);
+      done.count_down();
+    });
+  }
+  done.wait();
+  return responses;
+}
+
+std::future<Response> ServingEngine::SubmitAsync(Request request) {
+  const Clock::time_point submitted = Clock::now();
+  if (request.arrival == Clock::time_point{}) request.arrival = submitted;
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> future = promise->get_future();
+  pool_.Schedule([this, request = std::move(request), promise]() mutable {
+    const Clock::time_point now = Clock::now();
+    const std::shared_ptr<const ModelSnapshot> snapshot = registry_.Current();
+    promise->set_value(Finish(Execute(request, snapshot, now),
+                              request.arrival));
+  });
+  return future;
+}
+
+}  // namespace plp::serve

@@ -1,0 +1,110 @@
+#ifndef PLP_SERVE_SERVING_ENGINE_H_
+#define PLP_SERVE_SERVING_ENGINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+#include "serve/model_snapshot.h"
+#include "serve/session_store.h"
+
+namespace plp::serve {
+
+/// One next-location request. The common wire shape is `(user_id,
+/// new_checkin)` — the engine appends the check-in to the user's session
+/// and scores the stored history. Stateless callers may instead pass an
+/// explicit `history` (which bypasses the session store entirely).
+struct Request {
+  int64_t user_id = 0;
+  int32_t new_checkin = -1;       ///< < 0: don't append, read the session
+  std::vector<int32_t> history;   ///< non-empty: overrides the session
+  int32_t k = 10;                 ///< how many locations to return
+  std::vector<int32_t> exclude;   ///< ids never recommended (current POI…)
+  /// Deadline budget from arrival; 0 disables deadline handling. Requests
+  /// still queued when the budget lapses are failed without scoring, so an
+  /// overloaded engine sheds load instead of serving stale answers.
+  int64_t timeout_micros = 0;
+  /// When the request entered the system. Default (epoch) means "stamp on
+  /// submission"; tests pin it to exercise the deadline path.
+  std::chrono::steady_clock::time_point arrival{};
+};
+
+/// The engine's answer. `status` is per-request: bad ids or an unknown
+/// session fail that request only, never the process.
+struct Response {
+  Status status;
+  std::vector<ScoredLocation> topk;  ///< best first; empty on error
+  uint64_t model_version = 0;        ///< snapshot that scored the request
+  int64_t latency_micros = 0;        ///< submission → completion
+};
+
+struct ServingConfig {
+  int32_t num_threads = 4;      ///< worker pool size (min 1)
+  int32_t max_batch = 32;       ///< micro-batch size cap (min 1)
+  SessionStore::Options sessions;
+};
+
+/// Thread-pool-backed request execution over the registry's live snapshot.
+///
+/// Concurrency model: every request pins the current snapshot for exactly
+/// the duration of its scoring, so `registry().Publish` hot-swaps take
+/// effect at request granularity. Batched submission chops the request
+/// list into micro-batches of `max_batch`, fans them across the pool, and
+/// loads the snapshot/clock once per batch instead of once per request —
+/// the amortization that makes many concurrent small TopK calls cheap.
+class ServingEngine {
+ public:
+  explicit ServingEngine(const ServingConfig& config);
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Builds a snapshot from `model` and publishes it. `version` tags the
+  /// snapshot in responses/metrics.
+  Status PublishModel(const sgns::SgnsModel& model, uint64_t version);
+
+  /// Loads a model file of either format (full or embeddings-only) and
+  /// publishes it.
+  Status PublishFile(const std::string& path, uint64_t version);
+
+  /// Synchronous execution of one request on the caller's thread.
+  Response Recommend(const Request& request);
+
+  /// Executes `requests` as micro-batches across the worker pool; blocks
+  /// until all are done. Response i answers request i.
+  std::vector<Response> RecommendBatch(std::vector<Request> requests);
+
+  /// Enqueues one request onto the pool and returns its future response.
+  std::future<Response> SubmitAsync(Request request);
+
+  ModelRegistry& registry() { return registry_; }
+  SessionStore& sessions() { return sessions_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+ private:
+  /// Scores one request against `snapshot` (shared by a whole batch).
+  Response Execute(const Request& request,
+                   const std::shared_ptr<const ModelSnapshot>& snapshot,
+                   std::chrono::steady_clock::time_point now);
+  /// Stamps latency and rolls the outcome into the metrics counters.
+  Response Finish(Response response,
+                  std::chrono::steady_clock::time_point start);
+
+  ServingConfig config_;
+  ModelRegistry registry_;
+  SessionStore sessions_;
+  Metrics metrics_;
+  ThreadPool pool_;
+};
+
+}  // namespace plp::serve
+
+#endif  // PLP_SERVE_SERVING_ENGINE_H_

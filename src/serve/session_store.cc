@@ -1,0 +1,84 @@
+#include "serve/session_store.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+
+#include "common/check.h"
+
+namespace plp::serve {
+
+SessionStore::SessionStore(const Options& options)
+    : history_length_(options.history_length) {
+  PLP_CHECK_GT(options.capacity, 0u);
+  PLP_CHECK_GT(options.history_length, 0);
+  PLP_CHECK_GT(options.num_shards, 0u);
+  const size_t shards = std::bit_ceil(
+      std::min(options.num_shards, options.capacity));
+  shards_ = std::vector<Shard>(shards);
+  // Round per-shard capacity up so the aggregate bound is ≥ the requested
+  // capacity even when it doesn't divide evenly.
+  per_shard_capacity_ = (options.capacity + shards - 1) / shards;
+}
+
+SessionStore::Shard& SessionStore::ShardFor(int64_t user_id) {
+  // Mix the bits so sequential user ids spread across shards.
+  const uint64_t h =
+      std::hash<int64_t>{}(user_id) * 0x9e3779b97f4a7c15ULL;
+  return shards_[(h >> 32) & (shards_.size() - 1)];
+}
+
+std::vector<int32_t> SessionStore::Append(int64_t user_id,
+                                          int32_t location) {
+  Shard& shard = ShardFor(user_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(user_id);
+  if (it != shard.index.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    if (shard.lru.size() >= per_shard_capacity_) {
+      shard.index.erase(shard.lru.back().user_id);
+      shard.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.lru.push_front(Session{user_id, {}});
+    shard.lru.front().history.reserve(
+        static_cast<size_t>(history_length_));
+    shard.index[user_id] = shard.lru.begin();
+  }
+  Session& session = shard.lru.front();
+  if (static_cast<int32_t>(session.history.size()) >= history_length_) {
+    session.history.erase(session.history.begin());
+  }
+  session.history.push_back(location);
+  return session.history;
+}
+
+std::optional<std::vector<int32_t>> SessionStore::Get(int64_t user_id) {
+  Shard& shard = ShardFor(user_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(user_id);
+  if (it == shard.index.end()) return std::nullopt;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->history;
+}
+
+void SessionStore::Erase(int64_t user_id) {
+  Shard& shard = ShardFor(user_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(user_id);
+  if (it == shard.index.end()) return;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+}
+
+size_t SessionStore::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace plp::serve

@@ -1,0 +1,84 @@
+#ifndef PLP_SERVE_SESSION_STORE_H_
+#define PLP_SERVE_SESSION_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace plp::serve {
+
+/// Sharded, mutex-striped LRU of per-user recent check-in histories.
+///
+/// With the store holding ζ server-side, a request carries only
+/// `(user_id, new_checkin)` instead of the full history — the shape a
+/// mobile client actually sends. Users hash onto `num_shards` independent
+/// shards (each its own mutex + LRU list), so concurrent appends from
+/// different users rarely contend on the same lock.
+///
+/// Capacity is a hard bound on resident users: when a shard is full, the
+/// least-recently-touched user in that shard is evicted. Histories are
+/// trimmed to the newest `history_length` check-ins (the paper scores
+/// F(ζ) over a short recent window, so old entries carry no signal).
+class SessionStore {
+ public:
+  struct Options {
+    size_t capacity = 100000;     ///< max resident users across all shards
+    int32_t history_length = 16;  ///< newest check-ins kept per user
+    size_t num_shards = 16;       ///< rounded up to a power of two
+  };
+
+  explicit SessionStore(const Options& options);
+
+  SessionStore(const SessionStore&) = delete;
+  SessionStore& operator=(const SessionStore&) = delete;
+
+  /// Appends one check-in to the user's history (creating the session if
+  /// new, evicting an LRU user if the shard is full) and returns a copy of
+  /// the updated history, oldest first.
+  std::vector<int32_t> Append(int64_t user_id, int32_t location);
+
+  /// The user's history (touches LRU recency), or nullopt if unknown.
+  std::optional<std::vector<int32_t>> Get(int64_t user_id);
+
+  /// Drops the user's session if present.
+  void Erase(int64_t user_id);
+
+  /// Resident users across all shards.
+  size_t size() const;
+
+  /// Total LRU evictions since construction.
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t capacity() const { return shards_.size() * per_shard_capacity_; }
+  int32_t history_length() const { return history_length_; }
+
+ private:
+  struct Session {
+    int64_t user_id = 0;
+    std::vector<int32_t> history;  // oldest first, ≤ history_length entries
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    // Most-recently-used at the front; evict from the back.
+    std::list<Session> lru;
+    std::unordered_map<int64_t, std::list<Session>::iterator> index;
+  };
+
+  Shard& ShardFor(int64_t user_id);
+
+  int32_t history_length_;
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace plp::serve
+
+#endif  // PLP_SERVE_SESSION_STORE_H_

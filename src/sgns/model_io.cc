@@ -25,6 +25,39 @@ Status WriteHeader(std::ofstream& out, const char magic[4],
   return Status::Ok();
 }
 
+constexpr int64_t kHeaderBytes = 4 + 3 * static_cast<int64_t>(sizeof(int32_t));
+
+/// Size of the already-open stream in bytes; leaves the read position at 0.
+Result<int64_t> StreamSize(std::ifstream& in) {
+  in.seekg(0, std::ios::end);
+  const std::streampos end = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (!in || end < 0) return InternalError("cannot stat model file");
+  return static_cast<int64_t>(end);
+}
+
+/// Validates that the payload after the header holds exactly
+/// `expected_doubles` little-endian doubles. Works on byte counts divided
+/// down (never multiplied up), so a hostile header can't overflow the
+/// check and trigger a huge allocation: L and dim are bounded by the real
+/// file length before any resize happens.
+Status ValidatePayload(int64_t file_bytes, int64_t expected_doubles) {
+  const int64_t payload_bytes = file_bytes - kHeaderBytes;
+  if (payload_bytes < 0) return InvalidArgumentError("truncated model file");
+  if (payload_bytes % static_cast<int64_t>(sizeof(double)) != 0) {
+    return InvalidArgumentError("model payload is not a whole tensor");
+  }
+  const int64_t payload_doubles =
+      payload_bytes / static_cast<int64_t>(sizeof(double));
+  if (payload_doubles < expected_doubles) {
+    return InvalidArgumentError("truncated model file");
+  }
+  if (payload_doubles > expected_doubles) {
+    return InvalidArgumentError("trailing bytes in model file");
+  }
+  return Status::Ok();
+}
+
 Status ReadHeader(std::ifstream& in, const char magic[4],
                   int32_t* num_locations, int32_t* dim) {
   char file_magic[4];
@@ -79,8 +112,15 @@ Status SaveModel(const SgnsModel& model, const std::string& path) {
 Result<SgnsModel> LoadModel(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return NotFoundError("cannot open: " + path);
+  PLP_ASSIGN_OR_RETURN(const int64_t file_bytes, StreamSize(in));
   int32_t num_locations = 0, dim = 0;
   PLP_RETURN_IF_ERROR(ReadHeader(in, kMagicFull, &num_locations, &dim));
+  // {W, W', B'}: 2·L·dim + L doubles. L and dim are each < 2^31, so the
+  // int64 arithmetic below cannot overflow; the payload must match the
+  // file length exactly before anything is allocated.
+  const int64_t ld =
+      static_cast<int64_t>(num_locations) * static_cast<int64_t>(dim);
+  PLP_RETURN_IF_ERROR(ValidatePayload(file_bytes, 2 * ld + num_locations));
 
   Rng unused_rng(0);
   SgnsConfig config;
@@ -91,10 +131,6 @@ Result<SgnsModel> LoadModel(const std::string& path) {
     PLP_RETURN_IF_ERROR(
         ReadDoubles(in, model.MutableTensorData(static_cast<Tensor>(ti))));
   }
-  // Reject trailing garbage.
-  char extra;
-  in.read(&extra, 1);
-  if (!in.eof()) return InvalidArgumentError("trailing bytes in model file");
   return model;
 }
 
@@ -110,15 +146,15 @@ Status SaveEmbeddings(const SgnsModel& model, const std::string& path) {
 Result<DeployedEmbeddings> LoadEmbeddings(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return NotFoundError("cannot open: " + path);
+  PLP_ASSIGN_OR_RETURN(const int64_t file_bytes, StreamSize(in));
   DeployedEmbeddings deployed;
   PLP_RETURN_IF_ERROR(ReadHeader(in, kMagicEmbeddings,
                                  &deployed.num_locations, &deployed.dim));
-  deployed.embeddings.resize(static_cast<size_t>(deployed.num_locations) *
-                             static_cast<size_t>(deployed.dim));
+  const int64_t ld = static_cast<int64_t>(deployed.num_locations) *
+                     static_cast<int64_t>(deployed.dim);
+  PLP_RETURN_IF_ERROR(ValidatePayload(file_bytes, ld));
+  deployed.embeddings.resize(static_cast<size_t>(ld));
   PLP_RETURN_IF_ERROR(ReadDoubles(in, deployed.embeddings));
-  char extra;
-  in.read(&extra, 1);
-  if (!in.eof()) return InvalidArgumentError("trailing bytes in model file");
   return deployed;
 }
 

@@ -87,6 +87,23 @@ TEST(RecommenderTest, EmbeddingScaleInvariance) {
   EXPECT_EQ(top, (std::vector<int32_t>{0, 1, 2, 3}));
 }
 
+TEST(RecommenderTest, BuildsFromDeployedEmbeddings) {
+  // The embeddings-only constructor (deployment artifact path) must score
+  // identically to the model-built recommender.
+  const sgns::SgnsModel model = HandModel();
+  const Recommender from_model(model);
+  const Recommender from_matrix(model.num_locations(), model.dim(),
+                                model.NormalizedEmbeddings());
+  EXPECT_EQ(from_matrix.num_locations(), from_model.num_locations());
+  EXPECT_EQ(from_matrix.dim(), from_model.dim());
+  const std::vector<int32_t> recent = {0, 2};
+  const std::vector<double> a = from_model.Scores(recent);
+  const std::vector<double> b = from_matrix.Scores(recent);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  EXPECT_EQ(from_matrix.TopK(recent, 4), from_model.TopK(recent, 4));
+}
+
 TEST(RecommenderTest, DeterministicTieBreakByIndex) {
   // Duplicate embeddings → equal scores → ascending-index order.
   Rng rng(2);

@@ -1,0 +1,83 @@
+#include "serve/metrics.h"
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace plp::serve {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.MeanMicros(), 0.0);
+  EXPECT_EQ(histogram.QuantileUpperBoundMicros(0.99), 0u);
+}
+
+TEST(LatencyHistogramTest, BucketsArePowersOfTwo) {
+  LatencyHistogram histogram;
+  histogram.Record(0);    // bucket 0: [0, 2)
+  histogram.Record(1);    // bucket 0
+  histogram.Record(2);    // bucket 1: [2, 4)
+  histogram.Record(3);    // bucket 1
+  histogram.Record(130);  // bucket 7: [128, 256)
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_EQ(histogram.BucketCount(0), 2u);
+  EXPECT_EQ(histogram.BucketCount(1), 2u);
+  EXPECT_EQ(histogram.BucketCount(7), 1u);
+}
+
+TEST(LatencyHistogramTest, QuantilesUseBucketUpperBounds) {
+  LatencyHistogram histogram;
+  // 90 samples at 10 µs (bucket [8, 16), upper bound 16) and 10 samples
+  // at 1000 µs (bucket [512, 1024), upper bound 1024).
+  for (int i = 0; i < 90; ++i) histogram.Record(10);
+  for (int i = 0; i < 10; ++i) histogram.Record(1000);
+  EXPECT_EQ(histogram.QuantileUpperBoundMicros(0.50), 16u);
+  EXPECT_EQ(histogram.QuantileUpperBoundMicros(0.90), 16u);
+  EXPECT_EQ(histogram.QuantileUpperBoundMicros(0.95), 1024u);
+  EXPECT_EQ(histogram.QuantileUpperBoundMicros(0.99), 1024u);
+  EXPECT_NEAR(histogram.MeanMicros(), (90.0 * 10 + 10.0 * 1000) / 100.0,
+              1e-9);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllLand) {
+  LatencyHistogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record(static_cast<uint64_t>(i % 64));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(histogram.count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, TotalsAndTable) {
+  Metrics metrics;
+  metrics.requests_ok.fetch_add(5);
+  metrics.requests_not_found.fetch_add(2);
+  metrics.requests_deadline_exceeded.fetch_add(1);
+  metrics.model_swaps.fetch_add(3);
+  metrics.latency.Record(100);
+  EXPECT_EQ(metrics.TotalRequests(), 8u);
+
+  std::ostringstream out;
+  metrics.PrintTable(out);
+  const std::string dump = out.str();
+  EXPECT_NE(dump.find("requests_total"), std::string::npos);
+  EXPECT_NE(dump.find("requests_ok"), std::string::npos);
+  EXPECT_NE(dump.find("model_swaps"), std::string::npos);
+  EXPECT_NE(dump.find("latency_p99_us_le"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace plp::serve

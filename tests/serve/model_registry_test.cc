@@ -1,0 +1,115 @@
+#include "serve/model_registry.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/rng.h"
+#include "sgns/model.h"
+
+namespace plp::serve {
+namespace {
+
+std::shared_ptr<const ModelSnapshot> MakeSnapshot(uint64_t version,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  sgns::SgnsConfig config;
+  config.embedding_dim = 8;
+  config.init_scale = 1.0;
+  auto model = sgns::SgnsModel::Create(24, config, rng);
+  EXPECT_TRUE(model.ok());
+  auto snapshot = ModelSnapshot::FromModel(*model, version);
+  EXPECT_TRUE(snapshot.ok());
+  return *snapshot;
+}
+
+TEST(ModelRegistryTest, StartsEmptyAndPublishes) {
+  ModelRegistry registry;
+  EXPECT_FALSE(registry.has_model());
+  EXPECT_EQ(registry.Current(), nullptr);
+  EXPECT_EQ(registry.generation(), 0u);
+
+  auto snapshot = MakeSnapshot(1, 3);
+  EXPECT_EQ(registry.Publish(snapshot), 1u);
+  EXPECT_TRUE(registry.has_model());
+  EXPECT_EQ(registry.Current(), snapshot);
+  EXPECT_EQ(registry.generation(), 1u);
+
+  EXPECT_EQ(registry.Publish(MakeSnapshot(2, 4)), 2u);
+  EXPECT_EQ(registry.Current()->version(), 2u);
+}
+
+TEST(ModelRegistryTest, ConstructorSeedsInitialSnapshot) {
+  ModelRegistry registry(MakeSnapshot(9, 5));
+  ASSERT_TRUE(registry.has_model());
+  EXPECT_EQ(registry.Current()->version(), 9u);
+  EXPECT_EQ(registry.generation(), 1u);
+}
+
+TEST(ModelRegistryTest, OldSnapshotDrainsAfterSwap) {
+  ModelRegistry registry;
+  auto old_snapshot = MakeSnapshot(1, 6);
+  std::weak_ptr<const ModelSnapshot> old_watch = old_snapshot;
+  registry.Publish(std::move(old_snapshot));
+
+  // A reader pins the old snapshot across the swap…
+  std::shared_ptr<const ModelSnapshot> pinned = registry.Current();
+  registry.Publish(MakeSnapshot(2, 7));
+  EXPECT_EQ(registry.Current()->version(), 2u);
+  // …so it survives until the reader drops it.
+  EXPECT_FALSE(old_watch.expired());
+  pinned.reset();
+  EXPECT_TRUE(old_watch.expired());
+}
+
+// The hot-swap contract under contention: 8 reader threads hammering
+// Current() while a writer publishes a stream of snapshots. Readers must
+// always observe a complete snapshot (valid shape, internally consistent
+// checksum invariants are covered elsewhere; here we assert no nulls, no
+// torn versions, and monotonic forward progress). Run under the tsan
+// preset this is the subsystem's data-race proof.
+TEST(ModelRegistryTest, HotSwapUnderConcurrentReaders) {
+  constexpr int kReaders = 8;
+  constexpr uint64_t kSwaps = 50;
+
+  ModelRegistry registry(MakeSnapshot(1, 100));
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&registry, &stop, &reads] {
+      uint64_t last_version = 0;
+      // do-while: every reader samples at least once even if the writer
+      // finishes all its publishes before this thread is first scheduled.
+      do {
+        const std::shared_ptr<const ModelSnapshot> snapshot =
+            registry.Current();
+        ASSERT_NE(snapshot, nullptr);
+        // Versions are published in increasing order, and a pinned
+        // snapshot is immutable: shape reads must be coherent.
+        EXPECT_GE(snapshot->version(), last_version);
+        last_version = snapshot->version();
+        EXPECT_EQ(snapshot->num_locations(), 24);
+        EXPECT_EQ(snapshot->dim(), 8);
+        EXPECT_EQ(snapshot->embeddings().size(), 24u * 8u);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      } while (!stop.load(std::memory_order_acquire));
+    });
+  }
+
+  for (uint64_t v = 2; v <= kSwaps; ++v) {
+    registry.Publish(MakeSnapshot(v, 100 + v));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(registry.generation(), kSwaps);
+  EXPECT_EQ(registry.Current()->version(), kSwaps);
+  EXPECT_GT(reads.load(), 0u);
+}
+
+}  // namespace
+}  // namespace plp::serve

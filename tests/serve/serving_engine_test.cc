@@ -1,0 +1,238 @@
+#include "serve/serving_engine.h"
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/rng.h"
+#include "eval/recommender.h"
+#include "sgns/model.h"
+
+namespace plp::serve {
+namespace {
+
+sgns::SgnsModel MakeModel(uint64_t seed, int32_t locations = 50,
+                          int32_t dim = 10) {
+  Rng rng(seed);
+  sgns::SgnsConfig config;
+  config.embedding_dim = dim;
+  config.init_scale = 1.0;
+  auto model = sgns::SgnsModel::Create(locations, config, rng);
+  EXPECT_TRUE(model.ok());
+  return std::move(model).value();
+}
+
+ServingConfig SmallConfig() {
+  ServingConfig config;
+  config.num_threads = 2;
+  config.max_batch = 4;
+  config.sessions.capacity = 64;
+  config.sessions.history_length = 8;
+  return config;
+}
+
+TEST(ServingEngineTest, FailsClosedWithoutModel) {
+  ServingEngine engine(SmallConfig());
+  Request request;
+  request.user_id = 1;
+  request.new_checkin = 3;
+  const Response response = engine.Recommend(request);
+  EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(response.topk.empty());
+  EXPECT_EQ(engine.metrics().requests_no_model.load(), 1u);
+}
+
+TEST(ServingEngineTest, SessionFlowMatchesRecommender) {
+  const sgns::SgnsModel model = MakeModel(3);
+  const eval::Recommender recommender(model);
+  ServingEngine engine(SmallConfig());
+  ASSERT_TRUE(engine.PublishModel(model, 5).ok());
+
+  // Three check-ins accumulate into the session; the third response must
+  // score the full history exactly like the batch-eval recommender.
+  Request request;
+  request.user_id = 77;
+  request.k = 8;
+  request.new_checkin = 10;
+  engine.Recommend(request);
+  request.new_checkin = 20;
+  engine.Recommend(request);
+  request.new_checkin = 30;
+  const Response response = engine.Recommend(request);
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.model_version, 5u);
+  ASSERT_EQ(response.topk.size(), 8u);
+
+  const std::vector<int32_t> history = {10, 20, 30};
+  const std::vector<double> scores = recommender.Scores(history);
+  const std::vector<int32_t> expected = recommender.TopK(history, 8);
+  for (size_t i = 0; i < response.topk.size(); ++i) {
+    EXPECT_NEAR(response.topk[i].score,
+                scores[static_cast<size_t>(expected[i])], 1e-4);
+  }
+  EXPECT_EQ(engine.metrics().requests_ok.load(), 3u);
+  EXPECT_EQ(engine.sessions().size(), 1u);
+}
+
+TEST(ServingEngineTest, ExplicitHistoryBypassesSessions) {
+  ServingEngine engine(SmallConfig());
+  ASSERT_TRUE(engine.PublishModel(MakeModel(5), 1).ok());
+  Request request;
+  request.history = {1, 2, 3};
+  request.k = 5;
+  const Response response = engine.Recommend(request);
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.topk.size(), 5u);
+  EXPECT_EQ(engine.sessions().size(), 0u);
+}
+
+TEST(ServingEngineTest, PerRequestErrorsDontPoisonState) {
+  ServingEngine engine(SmallConfig());
+  ASSERT_TRUE(engine.PublishModel(MakeModel(7, 20, 6), 1).ok());
+
+  // Unknown session.
+  Request read_only;
+  read_only.user_id = 404;
+  EXPECT_EQ(engine.Recommend(read_only).status.code(),
+            StatusCode::kNotFound);
+
+  // Out-of-vocabulary check-in is rejected before touching the session.
+  Request bad_checkin;
+  bad_checkin.user_id = 1;
+  bad_checkin.new_checkin = 999;
+  EXPECT_EQ(engine.Recommend(bad_checkin).status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.sessions().size(), 0u);
+
+  // Bad explicit history and bad k.
+  Request bad_history;
+  bad_history.history = {0, -4};
+  EXPECT_EQ(engine.Recommend(bad_history).status.code(),
+            StatusCode::kInvalidArgument);
+  Request bad_k;
+  bad_k.history = {1};
+  bad_k.k = 0;
+  EXPECT_EQ(engine.Recommend(bad_k).status.code(),
+            StatusCode::kInvalidArgument);
+  Request bad_exclude;
+  bad_exclude.history = {1};
+  bad_exclude.exclude = {50};
+  EXPECT_EQ(engine.Recommend(bad_exclude).status.code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(engine.metrics().requests_invalid_argument.load(), 4u);
+  EXPECT_EQ(engine.metrics().requests_not_found.load(), 1u);
+
+  // The engine still serves.
+  Request good;
+  good.history = {1, 2};
+  EXPECT_TRUE(engine.Recommend(good).status.ok());
+}
+
+TEST(ServingEngineTest, DeadlineShedsStaleRequests) {
+  ServingEngine engine(SmallConfig());
+  ASSERT_TRUE(engine.PublishModel(MakeModel(9), 1).ok());
+  Request request;
+  request.history = {1, 2};
+  request.timeout_micros = 50;
+  // Arrived 10 ms ago — far past its 50 µs budget.
+  request.arrival = std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(10);
+  const Response response = engine.Recommend(request);
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(response.topk.empty());
+  EXPECT_EQ(engine.metrics().requests_deadline_exceeded.load(), 1u);
+
+  // A fresh request with the same budget succeeds.
+  request.arrival = {};
+  EXPECT_TRUE(engine.Recommend(request).status.ok());
+}
+
+TEST(ServingEngineTest, BatchMatchesIndividualExecution) {
+  const sgns::SgnsModel model = MakeModel(11);
+  ServingEngine engine(SmallConfig());
+  ASSERT_TRUE(engine.PublishModel(model, 2).ok());
+
+  std::vector<Request> batch;
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) {
+    Request request;
+    request.history = {static_cast<int32_t>(rng.UniformInt(50u)),
+                       static_cast<int32_t>(rng.UniformInt(50u))};
+    request.k = 6;
+    batch.push_back(request);
+  }
+  // One request in the middle is broken; only it may fail.
+  batch[4].history = {-3};
+
+  const std::vector<Response> responses = engine.RecommendBatch(batch);
+  ASSERT_EQ(responses.size(), batch.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (i == 4) {
+      EXPECT_EQ(responses[i].status.code(), StatusCode::kInvalidArgument);
+      continue;
+    }
+    ASSERT_TRUE(responses[i].status.ok()) << "request " << i;
+    const Response solo = engine.Recommend(batch[i]);
+    ASSERT_EQ(responses[i].topk.size(), solo.topk.size());
+    for (size_t j = 0; j < solo.topk.size(); ++j) {
+      EXPECT_EQ(responses[i].topk[j].location, solo.topk[j].location);
+      EXPECT_EQ(responses[i].topk[j].score, solo.topk[j].score);
+    }
+  }
+  // 10 requests at max_batch=4 → 3 micro-batches.
+  EXPECT_EQ(engine.metrics().batches.load(), 3u);
+  EXPECT_EQ(engine.metrics().batched_requests.load(), 10u);
+}
+
+TEST(ServingEngineTest, SubmitAsyncDeliversFuture) {
+  ServingEngine engine(SmallConfig());
+  ASSERT_TRUE(engine.PublishModel(MakeModel(15), 1).ok());
+  Request request;
+  request.history = {3, 4, 5};
+  request.k = 4;
+  std::future<Response> future = engine.SubmitAsync(request);
+  const Response response = future.get();
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.topk.size(), 4u);
+}
+
+TEST(ServingEngineTest, HotSwapChangesServingModelMidSession) {
+  const sgns::SgnsModel model_a = MakeModel(17, 50, 10);
+  const sgns::SgnsModel model_b = MakeModel(18, 50, 10);
+  ServingEngine engine(SmallConfig());
+  ASSERT_TRUE(engine.PublishModel(model_a, 1).ok());
+
+  Request request;
+  request.user_id = 9;
+  request.new_checkin = 12;
+  EXPECT_EQ(engine.Recommend(request).model_version, 1u);
+
+  ASSERT_TRUE(engine.PublishModel(model_b, 2).ok());
+  request.new_checkin = 13;
+  const Response after = engine.Recommend(request);
+  EXPECT_EQ(after.model_version, 2u);
+  // The session survived the swap: both check-ins are in ζ.
+  const eval::Recommender recommender(model_b);
+  const std::vector<int32_t> history = {12, 13};
+  const std::vector<double> scores = recommender.Scores(history);
+  const std::vector<int32_t> expected = recommender.TopK(history, 10);
+  ASSERT_EQ(after.topk.size(), 10u);
+  for (size_t i = 0; i < after.topk.size(); ++i) {
+    EXPECT_NEAR(after.topk[i].score,
+                scores[static_cast<size_t>(expected[i])], 1e-4);
+  }
+  EXPECT_EQ(engine.metrics().model_swaps.load(), 2u);
+
+  // A swap to a smaller vocabulary turns stale sessions into per-request
+  // errors, not crashes.
+  ASSERT_TRUE(engine.PublishModel(MakeModel(19, 10, 10), 3).ok());
+  Request stale;
+  stale.user_id = 9;
+  EXPECT_EQ(engine.Recommend(stale).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace plp::serve

@@ -1,0 +1,108 @@
+#include "serve/session_store.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace plp::serve {
+namespace {
+
+SessionStore::Options SmallOptions(size_t capacity, int32_t history_length,
+                                   size_t num_shards = 1) {
+  SessionStore::Options options;
+  options.capacity = capacity;
+  options.history_length = history_length;
+  options.num_shards = num_shards;
+  return options;
+}
+
+TEST(SessionStoreTest, AppendBuildsHistoryOldestFirst) {
+  SessionStore store(SmallOptions(10, 8));
+  EXPECT_EQ(store.Append(42, 1), (std::vector<int32_t>{1}));
+  EXPECT_EQ(store.Append(42, 2), (std::vector<int32_t>{1, 2}));
+  EXPECT_EQ(store.Append(42, 3), (std::vector<int32_t>{1, 2, 3}));
+  EXPECT_EQ(store.size(), 1u);
+  auto history = store.Get(42);
+  ASSERT_TRUE(history.has_value());
+  EXPECT_EQ(*history, (std::vector<int32_t>{1, 2, 3}));
+  EXPECT_FALSE(store.Get(7).has_value());
+}
+
+TEST(SessionStoreTest, HistoryTrimsToNewestEntries) {
+  SessionStore store(SmallOptions(4, 3));
+  for (int32_t l = 0; l < 10; ++l) store.Append(1, l);
+  auto history = store.Get(1);
+  ASSERT_TRUE(history.has_value());
+  // Only the newest 3 check-ins survive.
+  EXPECT_EQ(*history, (std::vector<int32_t>{7, 8, 9}));
+}
+
+TEST(SessionStoreTest, EvictsLeastRecentlyUsedAtCapacity) {
+  // One shard so the LRU order is global and deterministic.
+  SessionStore store(SmallOptions(3, 4, 1));
+  store.Append(1, 10);
+  store.Append(2, 20);
+  store.Append(3, 30);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.evictions(), 0u);
+
+  // Touch user 1 so user 2 is now the coldest…
+  EXPECT_TRUE(store.Get(1).has_value());
+  // …and a fourth user evicts user 2, not user 1.
+  store.Append(4, 40);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.evictions(), 1u);
+  EXPECT_TRUE(store.Get(1).has_value());
+  EXPECT_FALSE(store.Get(2).has_value());
+  EXPECT_TRUE(store.Get(3).has_value());
+  EXPECT_TRUE(store.Get(4).has_value());
+
+  // An evicted user restarts with a fresh history.
+  EXPECT_EQ(store.Append(2, 99), (std::vector<int32_t>{99}));
+}
+
+TEST(SessionStoreTest, CapacityBoundHoldsAcrossShards) {
+  SessionStore store(SmallOptions(64, 4, 8));
+  EXPECT_EQ(store.num_shards(), 8u);
+  for (int64_t user = 0; user < 1000; ++user) {
+    store.Append(user, static_cast<int32_t>(user % 7));
+  }
+  // Hard bound: per-shard capacity × shards, regardless of hash skew.
+  EXPECT_LE(store.size(), store.capacity());
+  EXPECT_GE(store.capacity(), 64u);
+  EXPECT_GT(store.evictions(), 0u);
+}
+
+TEST(SessionStoreTest, EraseDropsSession) {
+  SessionStore store(SmallOptions(8, 4));
+  store.Append(5, 1);
+  EXPECT_EQ(store.size(), 1u);
+  store.Erase(5);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.Get(5).has_value());
+  store.Erase(5);  // idempotent
+}
+
+// Striped locking smoke: concurrent appends from many users must neither
+// race (tsan preset) nor lose the capacity bound.
+TEST(SessionStoreTest, ConcurrentAppendsStayBounded) {
+  SessionStore store(SmallOptions(128, 8, 16));
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 500; ++i) {
+        const int64_t user = t * 1000 + (i % 50);
+        store.Append(user, i % 32);
+        store.Get(user);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(store.size(), store.capacity());
+}
+
+}  // namespace
+}  // namespace plp::serve

@@ -116,5 +116,88 @@ TEST(ModelIoTest, RejectsTrailingBytes) {
   std::remove(path.c_str());
 }
 
+namespace {
+
+// Hand-writes a header with attacker-controlled dimensions and a tiny
+// payload; the loaders must reject it from the file length alone instead
+// of trusting L·dim and attempting a huge allocation.
+void WriteHostileHeader(const std::string& path, const char magic[4],
+                        int32_t num_locations, int32_t dim) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(magic, 4);
+  const int32_t version = 1;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&num_locations),
+            sizeof(num_locations));
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  const double filler = 0.5;
+  out.write(reinterpret_cast<const char*>(&filler), sizeof(filler));
+}
+
+}  // namespace
+
+TEST(ModelIoTest, RejectsOverflowingDimensionsWithoutAllocating) {
+  const char full_magic[4] = {'P', 'L', 'P', 'M'};
+  const char embed_magic[4] = {'P', 'L', 'P', 'E'};
+  const std::string path = TempPath("hostile_header.bin");
+  // L·dim ≈ 2^61: would overflow a naive L*dim*sizeof(double) and OOM a
+  // trusting resize. Must fail fast as a truncated/corrupt file.
+  WriteHostileHeader(path, full_magic, 0x7fffffff, 0x40000000);
+  auto model = LoadModel(path);
+  EXPECT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), plp::StatusCode::kInvalidArgument);
+  WriteHostileHeader(path, embed_magic, 0x7fffffff, 0x7fffffff);
+  auto embeddings = LoadEmbeddings(path);
+  EXPECT_FALSE(embeddings.ok());
+  EXPECT_EQ(embeddings.status().code(),
+            plp::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsNonPositiveDimensions) {
+  const char embed_magic[4] = {'P', 'L', 'P', 'E'};
+  const std::string path = TempPath("bad_dims.plpe");
+  WriteHostileHeader(path, embed_magic, -5, 7);
+  EXPECT_FALSE(LoadEmbeddings(path).ok());
+  WriteHostileHeader(path, embed_magic, 5, 0);
+  EXPECT_FALSE(LoadEmbeddings(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsTruncatedEmbeddingsPayload) {
+  const SgnsModel model = MakeModel(13);
+  const std::string path = TempPath("truncated.plpe");
+  ASSERT_TRUE(SaveEmbeddings(model, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // Drop the last 3 bytes: payload is no longer a whole double array.
+  std::ofstream(path, std::ios::binary)
+      << bytes.substr(0, bytes.size() - 3);
+  EXPECT_FALSE(LoadEmbeddings(path).ok());
+  // Drop a whole row too.
+  std::ofstream(path, std::ios::binary)
+      << bytes.substr(0, bytes.size() - 7 * sizeof(double));
+  EXPECT_FALSE(LoadEmbeddings(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsHeaderOnlyFile) {
+  const char full_magic[4] = {'P', 'L', 'P', 'M'};
+  const std::string path = TempPath("header_only.plpm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(full_magic, 4);
+    const int32_t version = 1, locations = 4, dim = 3;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.write(reinterpret_cast<const char*>(&locations),
+              sizeof(locations));
+    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  }
+  EXPECT_FALSE(LoadModel(path).ok());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace plp::sgns

@@ -2,15 +2,44 @@
 //
 //   plp_recommend --model=model.plpm --history=12,7,33 [--k=10]
 //
-// `--history` is the user's recent check-in location ids (most recent
-// last); the output is the top-k recommended next locations with scores.
+// `--model` accepts either a full model (SaveModel output) or the
+// embeddings-only deployment artifact a device would download
+// (SaveEmbeddings output); the format is auto-detected. `--history` is
+// the user's recent check-in location ids (most recent last); the output
+// is the top-k recommended next locations with scores.
 
 #include <cstdio>
 #include <iostream>
+#include <utility>
 
 #include "common/flags.h"
 #include "eval/recommender.h"
 #include "sgns/model_io.h"
+
+namespace {
+
+// Tries the full-model format first, then the deployment format
+// (Section 3.3: "only the embedding matrix is deployed" — a serving host
+// often has nothing else).
+plp::Result<plp::eval::Recommender> LoadRecommender(
+    const std::string& path) {
+  auto model_or = plp::sgns::LoadModel(path);
+  if (model_or.ok()) return plp::eval::Recommender(*model_or);
+  if (model_or.status().code() == plp::StatusCode::kNotFound) {
+    return model_or.status();
+  }
+  auto deployed_or = plp::sgns::LoadEmbeddings(path);
+  if (!deployed_or.ok()) {
+    return plp::InvalidArgumentError(
+        path + " is neither a full model (" + model_or.status().message() +
+        ") nor a deployment artifact (" + deployed_or.status().message() +
+        ")");
+  }
+  return plp::eval::Recommender(deployed_or->num_locations, deployed_or->dim,
+                                std::move(deployed_or->embeddings));
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   auto flags_or = plp::FlagParser::Parse(argc, argv);
@@ -26,12 +55,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto model_or = plp::sgns::LoadModel(model_path);
-  if (!model_or.ok()) {
-    std::cerr << "error: " << model_or.status() << "\n";
+  auto recommender_or = LoadRecommender(model_path);
+  if (!recommender_or.ok()) {
+    std::cerr << "error: " << recommender_or.status() << "\n";
     return 1;
   }
-  const plp::eval::Recommender recommender(*model_or);
+  const plp::eval::Recommender& recommender = *recommender_or;
 
   std::vector<int32_t> history;
   for (int64_t id : flags.GetIntList("history", {})) {

@@ -1,0 +1,175 @@
+// plp_serve — interactive next-location serving loop over stdin/stdout.
+//
+//   plp_serve --model=model.plpm [--threads=4] [--k=10]
+//             [--capacity=100000] [--history_len=16]
+//
+// `--model` accepts a full model or an embeddings-only deployment
+// artifact. One request per input line, one response line per request:
+//
+//   REC <user_id> <location_id> [k]   append a check-in to the user's
+//                                     session and recommend top-k
+//   HIST <l1,l2,...> [k]              stateless request with an explicit
+//                                     history (no session touched)
+//   SWAP <path> [version]             hot-swap to a new model file; live
+//                                     requests keep the old snapshot
+//   STATS                             dump the metrics table
+//   QUIT                              drain and exit
+//
+// Successful recommendations print `OK v<version> loc:score ...`
+// (best first); failures print `ERR <CODE>: <message>` and the loop
+// continues — per-request errors never take the server down.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "serve/serving_engine.h"
+
+namespace {
+
+using plp::serve::Request;
+using plp::serve::Response;
+using plp::serve::ScoredLocation;
+
+void PrintResponse(const Response& response) {
+  if (!response.status.ok()) {
+    std::cout << "ERR " << response.status.ToString() << "\n";
+    return;
+  }
+  std::cout << "OK v" << response.model_version;
+  for (const ScoredLocation& s : response.topk) {
+    std::printf(" %d:%.6f", s.location, static_cast<double>(s.score));
+  }
+  std::cout << "\n";
+}
+
+std::vector<int32_t> ParseIdList(const std::string& csv) {
+  std::vector<int32_t> ids;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    try {
+      ids.push_back(static_cast<int32_t>(std::stol(token)));
+    } catch (...) {
+      return {};
+    }
+  }
+  return ids;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_or = plp::FlagParser::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::cerr << "error: " << flags_or.status() << "\n";
+    return 1;
+  }
+  const plp::FlagParser& flags = flags_or.value();
+  const std::string model_path = flags.GetString("model", "");
+  if (model_path.empty()) {
+    std::cerr << "usage: plp_serve --model=model.plpm [--threads=4] "
+                 "[--k=10] [--capacity=100000] [--history_len=16]\n";
+    return 2;
+  }
+
+  plp::serve::ServingConfig config;
+  config.num_threads = static_cast<int32_t>(flags.GetInt("threads", 4));
+  config.sessions.capacity =
+      static_cast<size_t>(flags.GetInt("capacity", 100000));
+  config.sessions.history_length =
+      static_cast<int32_t>(flags.GetInt("history_len", 16));
+  const int32_t default_k = static_cast<int32_t>(flags.GetInt("k", 10));
+
+  plp::serve::ServingEngine engine(config);
+  uint64_t next_version = 1;
+  if (plp::Status s = engine.PublishFile(model_path, next_version);
+      !s.ok()) {
+    std::cerr << "error: " << s << "\n";
+    return 1;
+  }
+  {
+    const auto snapshot = engine.registry().Current();
+    std::cerr << "serving " << model_path << ": "
+              << snapshot->num_locations() << " locations, dim "
+              << snapshot->dim() << ", checksum " << std::hex
+              << snapshot->checksum() << std::dec << ", "
+              << snapshot->memory_bytes() / 1024 << " KiB resident\n";
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    if (command.empty()) continue;
+
+    if (command == "QUIT") break;
+
+    if (command == "STATS") {
+      engine.metrics().PrintTable(std::cout);
+      continue;
+    }
+
+    if (command == "SWAP") {
+      std::string path;
+      in >> path;
+      uint64_t version = next_version + 1;
+      // A failed extraction would zero `version`; parse into a temp.
+      if (uint64_t v = 0; in >> v) version = v;
+      if (path.empty()) {
+        std::cout << "ERR INVALID_ARGUMENT: usage: SWAP <path> [version]\n";
+        continue;
+      }
+      if (plp::Status s = engine.PublishFile(path, version); !s.ok()) {
+        std::cout << "ERR " << s.ToString() << "\n";
+        continue;
+      }
+      next_version = version;
+      const auto snapshot = engine.registry().Current();
+      std::cout << "OK swapped to v" << snapshot->version() << " checksum "
+                << std::hex << snapshot->checksum() << std::dec
+                << " (generation " << engine.registry().generation()
+                << ")\n";
+      continue;
+    }
+
+    if (command == "REC") {
+      Request request;
+      request.k = default_k;
+      if (!(in >> request.user_id >> request.new_checkin)) {
+        std::cout << "ERR INVALID_ARGUMENT: usage: REC <user> <loc> [k]\n";
+        continue;
+      }
+      if (int32_t k = 0; in >> k) request.k = k;
+      PrintResponse(engine.Recommend(request));
+      continue;
+    }
+
+    if (command == "HIST") {
+      std::string csv;
+      if (!(in >> csv)) {
+        std::cout << "ERR INVALID_ARGUMENT: usage: HIST <l1,l2,...> [k]\n";
+        continue;
+      }
+      Request request;
+      request.k = default_k;
+      request.history = ParseIdList(csv);
+      if (request.history.empty()) {
+        std::cout << "ERR INVALID_ARGUMENT: bad id list '" << csv << "'\n";
+        continue;
+      }
+      if (int32_t k = 0; in >> k) request.k = k;
+      PrintResponse(engine.Recommend(request));
+      continue;
+    }
+
+    std::cout << "ERR INVALID_ARGUMENT: unknown command '" << command
+              << "'\n";
+  }
+  engine.metrics().PrintTable(std::cerr);
+  return 0;
+}
