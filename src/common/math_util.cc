@@ -174,16 +174,12 @@ double StudentTTwoSidedPValue(double t, double df) {
 }
 
 double L2Norm(std::span<const double> xs) {
-  double s = 0.0;
-  for (double x : xs) s += x * x;
-  return std::sqrt(s);
+  return std::sqrt(SumSquaresKernel(xs.data(), xs.size()));
 }
 
 double Dot(std::span<const double> a, std::span<const double> b) {
   PLP_CHECK_EQ(a.size(), b.size());
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return DotKernel(a.data(), b.data(), a.size());
 }
 
 void NormalizeL2(std::span<double> xs) {

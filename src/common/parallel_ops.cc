@@ -1,0 +1,90 @@
+#include "common/parallel_ops.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace plp {
+namespace {
+
+/// splitmix64 finalizer (Steele et al.): a bijective avalanche mix, the
+/// same scrambling the Rng constructor applies to its seed.
+uint64_t SplitMix64Finalize(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+size_t NumBlocks(size_t n) {
+  return (n + kParallelOpsBlockSize - 1) / kParallelOpsBlockSize;
+}
+
+/// Runs fn(block, begin, end) over every block, on the pool when one is
+/// given and there is more than one block. The block decomposition is
+/// identical either way.
+template <typename Fn>
+void ForEachBlock(size_t n, ThreadPool* pool, const Fn& fn) {
+  const size_t blocks = NumBlocks(n);
+  if (blocks == 0) return;
+  auto run_block = [&](size_t b) {
+    const size_t begin = b * kParallelOpsBlockSize;
+    const size_t end = std::min(n, begin + kParallelOpsBlockSize);
+    fn(b, begin, end);
+  };
+  if (pool == nullptr || blocks < 2) {
+    for (size_t b = 0; b < blocks; ++b) run_block(b);
+  } else {
+    pool->ParallelFor(blocks, run_block);
+  }
+}
+
+}  // namespace
+
+uint64_t NoiseBlockSeed(uint64_t stream_seed, uint64_t block_index) {
+  return SplitMix64Finalize(stream_seed +
+                            (block_index + 1) * 0x9E3779B97F4A7C15ULL);
+}
+
+uint64_t DeriveStreamSeed(uint64_t base_seed, uint64_t lane) {
+  return SplitMix64Finalize(base_seed ^ ((lane + 1) * 0xD1B54A32D192ED03ULL));
+}
+
+void AddGaussianNoiseBlocks(std::span<double> values, uint64_t stream_seed,
+                            double stddev, ThreadPool* pool) {
+  PLP_CHECK(stddev >= 0.0);
+  if (stddev == 0.0) return;
+  ForEachBlock(values.size(), pool, [&](size_t b, size_t begin, size_t end) {
+    Rng rng(NoiseBlockSeed(stream_seed, b));
+    rng.AddGaussianNoise(values.subspan(begin, end - begin), stddev);
+  });
+}
+
+void ZeroBlocks(std::span<double> values, ThreadPool* pool) {
+  ForEachBlock(values.size(), pool, [&](size_t, size_t begin, size_t end) {
+    std::fill(values.begin() + static_cast<ptrdiff_t>(begin),
+              values.begin() + static_cast<ptrdiff_t>(end), 0.0);
+  });
+}
+
+void ScaleBlocks(std::span<double> values, double factor, ThreadPool* pool) {
+  ForEachBlock(values.size(), pool, [&](size_t, size_t begin, size_t end) {
+    ScaleKernel(factor, values.data() + begin, end - begin);
+  });
+}
+
+double SumSquaresBlocks(std::span<const double> values, ThreadPool* pool) {
+  const size_t blocks = NumBlocks(values.size());
+  std::vector<double> partial(blocks, 0.0);
+  ForEachBlock(values.size(), pool, [&](size_t b, size_t begin, size_t end) {
+    partial[b] = SumSquaresKernel(values.data() + begin, end - begin);
+  });
+  // Serial combine in block order keeps the FP summation order fixed.
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total;
+}
+
+}  // namespace plp

@@ -1,0 +1,63 @@
+#ifndef PLP_COMMON_PARALLEL_OPS_H_
+#define PLP_COMMON_PARALLEL_OPS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/thread_pool.h"
+
+namespace plp {
+
+/// Deterministic block-decomposed vector operations.
+///
+/// The dense phase of Algorithm 1 — zeroing the update buffer, drawing
+/// Gaussian noise on all 3·L·d coordinates, scaling by 1/|H| and taking
+/// norms — is O(L·d) work per step that a sequential scalar Rng turns into
+/// the dominant cost at realistic model sizes. These helpers partition the
+/// coordinate space into fixed-size blocks; each block is an independent
+/// unit of work whose result depends only on (inputs, block index), never
+/// on which thread executes it. Serial execution (pool == nullptr) walks
+/// the same blocks in the same order, so serial and parallel outputs are
+/// bitwise identical for any pool size — the dense-phase counterpart of
+/// the guarantee BucketSeed gives local training.
+
+/// Block width in coordinates. Large enough that per-block Rng setup and
+/// task dispatch are noise, small enough that a 50-dim model with a few
+/// thousand locations still splits into enough blocks to fill a pool.
+inline constexpr size_t kParallelOpsBlockSize = 8192;
+
+/// Seed for block `block_index` of the noise stream `stream_seed`:
+/// splitmix64's finalizer applied to stream_seed + (block_index+1)·golden,
+/// i.e. a counter-based construction — any block's generator can be built
+/// without sequencing through its predecessors, which is what makes the
+/// noise embarrassingly parallel.
+uint64_t NoiseBlockSeed(uint64_t stream_seed, uint64_t block_index);
+
+/// Decorrelated per-lane stream seed (one lane per tensor) from a
+/// step-level base seed.
+uint64_t DeriveStreamSeed(uint64_t base_seed, uint64_t lane);
+
+/// Adds iid N(0, stddev²) to every element. Block b draws from a fresh
+/// Rng(NoiseBlockSeed(stream_seed, b)), so output is a pure function of
+/// (values, stream_seed, stddev). Requires stddev >= 0; stddev == 0 is a
+/// no-op.
+void AddGaussianNoiseBlocks(std::span<double> values, uint64_t stream_seed,
+                            double stddev, ThreadPool* pool = nullptr);
+
+/// Sets every element to zero.
+void ZeroBlocks(std::span<double> values, ThreadPool* pool = nullptr);
+
+/// Multiplies every element by `factor`.
+void ScaleBlocks(std::span<double> values, double factor,
+                 ThreadPool* pool = nullptr);
+
+/// Sum of squares: per-block partials via SumSquaresKernel, combined
+/// serially in block order. The decomposition is the same with and without
+/// a pool, so the result is bitwise identical for any pool size.
+double SumSquaresBlocks(std::span<const double> values,
+                        ThreadPool* pool = nullptr);
+
+}  // namespace plp
+
+#endif  // PLP_COMMON_PARALLEL_OPS_H_

@@ -3,12 +3,20 @@
 #include "common/check.h"
 
 namespace plp {
+namespace {
+
+/// -1 outside pool workers; workers overwrite it with their index at
+/// startup. A worker belongs to exactly one pool for its whole lifetime,
+/// so a plain thread_local is unambiguous.
+thread_local int tls_worker_index = -1;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(static_cast<int>(i)); });
   }
 }
 
@@ -44,7 +52,10 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   Wait();
 }
 
-void ThreadPool::WorkerLoop() {
+int ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  tls_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
     {

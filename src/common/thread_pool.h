@@ -36,8 +36,15 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Index in [0, num_threads) of the calling pool worker, or -1 when the
+  /// caller is not a pool worker (e.g. the scheduling thread). Tasks run
+  /// only on workers, so inside a ParallelFor body this is a valid index —
+  /// which lets the trainer give each worker its own scratch buffers
+  /// without locks.
+  static int CurrentWorkerIndex();
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   std::mutex mu_;
   std::condition_variable work_available_;

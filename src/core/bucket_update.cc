@@ -1,6 +1,8 @@
 #include "core/bucket_update.h"
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "sgns/local_model.h"
 #include "sgns/loss.h"
@@ -9,25 +11,36 @@ namespace plp::core {
 namespace {
 
 /// Local SGD over the bucket's batches starting from θ_t (lines 15–22).
+/// The pair list lives in `scratch` when one is given; batches are spans
+/// into it after an in-place Fisher–Yates shuffle (same n−1 UniformInt
+/// draws the old copy-and-shuffle MakeBatches consumed).
 template <typename Model>
 sgns::BatchStats TrainLocally(Model& phi, const Bucket& bucket,
                               const PlpConfig& config, int32_t num_locations,
-                              Rng& rng) {
-  std::vector<sgns::Pair> pairs = BucketPairs(bucket, config);
+                              Rng& rng, sgns::TrainScratch* scratch) {
+  std::vector<sgns::Pair> local_pairs;
+  std::vector<int32_t> local_flat;
+  std::vector<sgns::Pair>& pairs =
+      scratch != nullptr ? scratch->pairs : local_pairs;
+  std::vector<int32_t>& flat =
+      scratch != nullptr ? scratch->flat : local_flat;
+  BucketPairsInto(bucket, config, flat, pairs);
   if (config.local_update == LocalUpdateMode::kSingleGradient) {
     // DP-SGD baseline: Φ = θ_t − η · ∇J(θ_t) over all of the bucket's
     // pairs at once — a single clipped gradient, no local optimization.
     return sgns::ApplySgdBatch(phi, pairs, config.sgns, num_locations,
-                               config.local_learning_rate, rng);
+                               config.local_learning_rate, rng, scratch);
   }
   sgns::BatchStats total;
+  const size_t batch_size = static_cast<size_t>(config.batch_size);
   for (int32_t epoch = 0; epoch < config.local_epochs; ++epoch) {
-    const std::vector<std::vector<sgns::Pair>> batches =
-        sgns::MakeBatches(pairs, config.batch_size, rng);
-    for (const auto& batch : batches) {
+    rng.Shuffle(pairs);
+    for (size_t start = 0; start < pairs.size(); start += batch_size) {
+      const size_t len = std::min(batch_size, pairs.size() - start);
+      const std::span<const sgns::Pair> batch(pairs.data() + start, len);
       const sgns::BatchStats stats =
           sgns::ApplySgdBatch(phi, batch, config.sgns, num_locations,
-                              config.local_learning_rate, rng);
+                              config.local_learning_rate, rng, scratch);
       total.loss_sum += stats.loss_sum;
       total.num_pairs += stats.num_pairs;
     }
@@ -39,37 +52,52 @@ sgns::BatchStats TrainLocally(Model& phi, const Bucket& bucket,
 
 std::vector<sgns::Pair> BucketPairs(const Bucket& bucket,
                                     const PlpConfig& config) {
-  if (config.cross_user_windows) {
-    std::vector<int32_t> flat;
-    flat.reserve(static_cast<size_t>(bucket.num_tokens()));
-    for (const auto& s : bucket.sentences) {
-      flat.insert(flat.end(), s.begin(), s.end());
-    }
-    return sgns::GeneratePairs(flat, config.sgns.window);
-  }
   std::vector<sgns::Pair> pairs;
-  for (const auto& s : bucket.sentences) {
-    std::vector<sgns::Pair> p = sgns::GeneratePairs(s, config.sgns.window);
-    pairs.insert(pairs.end(), p.begin(), p.end());
-  }
+  std::vector<int32_t> flat;
+  BucketPairsInto(bucket, config, flat, pairs);
   return pairs;
+}
+
+void BucketPairsInto(const Bucket& bucket, const PlpConfig& config,
+                     std::vector<int32_t>& flat_scratch,
+                     std::vector<sgns::Pair>& out) {
+  out.clear();
+  if (config.cross_user_windows) {
+    flat_scratch.clear();
+    flat_scratch.reserve(static_cast<size_t>(bucket.num_tokens()));
+    for (const auto& s : bucket.sentences) {
+      flat_scratch.insert(flat_scratch.end(), s.begin(), s.end());
+    }
+    out.reserve(sgns::PairCount(flat_scratch.size(), config.sgns.window));
+    sgns::AppendPairs(flat_scratch, config.sgns.window, out);
+    return;
+  }
+  size_t total = 0;
+  for (const auto& s : bucket.sentences) {
+    total += sgns::PairCount(s.size(), config.sgns.window);
+  }
+  out.reserve(total);
+  for (const auto& s : bucket.sentences) {
+    sgns::AppendPairs(s, config.sgns.window, out);
+  }
 }
 
 sgns::SparseDelta ComputeBucketUpdate(const sgns::SgnsModel& theta,
                                       const Bucket& bucket,
                                       const PlpConfig& config,
                                       int32_t num_locations, Rng& rng,
-                                      double* loss_out) {
+                                      double* loss_out,
+                                      sgns::TrainScratch* scratch) {
   sgns::BatchStats stats;
   sgns::SparseDelta delta(config.sgns.embedding_dim);
   if (config.dense_local_copy) {
     // Paper-faithful cost model: full Φ ← θ_t copy and dense diff.
     sgns::SgnsModel phi = theta;
-    stats = TrainLocally(phi, bucket, config, num_locations, rng);
+    stats = TrainLocally(phi, bucket, config, num_locations, rng, scratch);
     delta = sgns::DiffModels(phi, theta);
   } else {
     sgns::LocalModel phi(theta);
-    stats = TrainLocally(phi, bucket, config, num_locations, rng);
+    stats = TrainLocally(phi, bucket, config, num_locations, rng, scratch);
     delta = phi.ExtractDelta();
   }
   if (loss_out != nullptr) {

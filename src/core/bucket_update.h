@@ -10,6 +10,7 @@
 #include "sgns/model.h"
 #include "sgns/pairs.h"
 #include "sgns/sparse_delta.h"
+#include "sgns/train_scratch.h"
 
 namespace plp::core {
 
@@ -21,20 +22,26 @@ namespace plp::core {
 std::vector<sgns::Pair> BucketPairs(const Bucket& bucket,
                                     const PlpConfig& config);
 
+/// BucketPairs into caller-owned buffers: `out` is cleared and pre-reserved
+/// from the exact window pair count, `flat_scratch` is reused for the
+/// paper-literal sentence concatenation. Same output as BucketPairs, no
+/// growth reallocation.
+void BucketPairsInto(const Bucket& bucket, const PlpConfig& config,
+                     std::vector<int32_t>& flat_scratch,
+                     std::vector<sgns::Pair>& out);
+
 /// ModelUpdateFromBucket (Algorithm 1 lines 15–22): local SGD over the
 /// bucket's batches starting from θ_t, then the clipped model delta
 /// (per-tensor C/√3, so the overall norm is at most C). Deterministic
-/// given `rng`'s state. `loss_out` may be null.
-///
-/// This is the unit the DP sensitivity argument is about: the trainer sums
-/// one such delta per bucket, and tests exercise it directly to verify
-/// that the pre-noise sum moves by at most ω·C between neighboring
-/// datasets.
+/// given `rng`'s state. `loss_out` may be null. `scratch` is an optional
+/// per-worker workspace (pair/candidate/gradient buffers) that eliminates
+/// steady-state allocation without changing any result.
 sgns::SparseDelta ComputeBucketUpdate(const sgns::SgnsModel& theta,
                                       const Bucket& bucket,
                                       const PlpConfig& config,
                                       int32_t num_locations, Rng& rng,
-                                      double* loss_out = nullptr);
+                                      double* loss_out = nullptr,
+                                      sgns::TrainScratch* scratch = nullptr);
 
 /// The RNG seed for one bucket's local training, derived from the step
 /// seed and the bucket's *content* (user ids and data shape), never its

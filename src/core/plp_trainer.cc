@@ -10,6 +10,7 @@
 #include "core/bucket_update.h"
 #include "optim/optimizers.h"
 #include "sgns/sparse_delta.h"
+#include "sgns/train_scratch.h"
 
 namespace plp::core {
 
@@ -44,6 +45,20 @@ Result<TrainResult> PlpTrainer::Train(const data::TrainingCorpus& corpus,
   TrainResult result;
   result.model = std::move(model);
 
+  // Steady-state buffers reused across steps: one TrainScratch per pool
+  // worker (workers index them via ThreadPool::CurrentWorkerIndex(), the
+  // sequential path uses slot 0) and one SparseDelta slot per bucket
+  // (grown lazily; Clear() keeps row-map capacity).
+  const size_t num_workers = pool != nullptr ? pool->num_threads() : 1;
+  std::vector<sgns::TrainScratch> scratches;
+  scratches.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    scratches.emplace_back(config_.sgns.embedding_dim);
+  }
+  std::vector<sgns::SparseDelta> deltas;
+  std::vector<const sgns::SparseDelta*> delta_ptrs;
+  std::vector<double> losses;
+
   for (int64_t step = 1; step <= config_.max_steps; ++step) {
     const double sigma_t = NoiseScaleAt(config_, step);
     // The ledger tracks the *effective* noise multiplier: noise stddev
@@ -70,6 +85,8 @@ Result<TrainResult> PlpTrainer::Train(const data::TrainingCorpus& corpus,
     metrics.epsilon_spent = epsilon_after;
     result.epsilon_spent = epsilon_after;
 
+    Stopwatch phase;
+
     // Lines 5–6: Poisson user sample, then data grouping.
     const std::vector<int32_t> sampled = PoissonSampleUsers(
         corpus.num_users(), config_.sampling_probability, rng);
@@ -78,47 +95,64 @@ Result<TrainResult> PlpTrainer::Train(const data::TrainingCorpus& corpus,
     metrics.sampled_users = static_cast<int64_t>(sampled.size());
     metrics.num_buckets = static_cast<int64_t>(buckets.size());
     PLP_CHECK_LE(RealizedSplitFactor(buckets), config_.split_factor);
+    result.phase_seconds.sampling_grouping += phase.ElapsedSeconds();
 
-    // Lines 7–8: one clipped model delta per bucket, summed. Buckets are
+    // Lines 7–8: one clipped model delta per bucket. Buckets are
     // independent; every bucket's local training runs on an Rng derived
     // from the step seed and the bucket's content (BucketSeed), so the
     // result is bitwise-identical for any num_threads — the sequential
-    // path is the same computation without the fan-out. The step seed is
-    // drawn even when no bucket exists so the noise stream below stays
-    // aligned across runs that sample differently.
-    update.Zero();
-    double loss_sum = 0.0;
+    // path is the same computation without the fan-out. Both seeds are
+    // drawn even when no bucket exists so the streams stay aligned across
+    // runs that sample differently.
+    phase.Reset();
+    update.Zero(pool.get());
     const uint64_t step_seed = rng.NextU64();
+    const uint64_t noise_seed = rng.NextU64();
+    while (deltas.size() < buckets.size()) {
+      deltas.emplace_back(config_.sgns.embedding_dim);
+    }
+    losses.assign(buckets.size(), 0.0);
     if (pool != nullptr && buckets.size() > 1) {
-      std::vector<std::unique_ptr<sgns::SparseDelta>> deltas(buckets.size());
-      std::vector<double> losses(buckets.size(), 0.0);
       pool->ParallelFor(buckets.size(), [&](size_t i) {
+        const int worker = ThreadPool::CurrentWorkerIndex();
+        sgns::TrainScratch* scratch =
+            worker >= 0 ? &scratches[static_cast<size_t>(worker)] : nullptr;
         Rng bucket_rng(BucketSeed(step_seed, buckets[i]));
-        deltas[i] = std::make_unique<sgns::SparseDelta>(ComputeBucketUpdate(
-            result.model, buckets[i], config_, corpus.num_locations,
-            bucket_rng, &losses[i]));
+        deltas[i] = ComputeBucketUpdate(result.model, buckets[i], config_,
+                                        corpus.num_locations, bucket_rng,
+                                        &losses[i], scratch);
       });
-      for (size_t i = 0; i < buckets.size(); ++i) {
-        deltas[i]->AccumulateInto(update, 1.0);
-        loss_sum += losses[i];
-      }
     } else {
-      for (const Bucket& bucket : buckets) {
-        double bucket_loss = 0.0;
-        Rng bucket_rng(BucketSeed(step_seed, bucket));
-        const sgns::SparseDelta delta = ComputeBucketUpdate(
-            result.model, bucket, config_, corpus.num_locations, bucket_rng,
-            &bucket_loss);
-        delta.AccumulateInto(update, 1.0);
-        loss_sum += bucket_loss;
+      for (size_t i = 0; i < buckets.size(); ++i) {
+        Rng bucket_rng(BucketSeed(step_seed, buckets[i]));
+        deltas[i] = ComputeBucketUpdate(result.model, buckets[i], config_,
+                                        corpus.num_locations, bucket_rng,
+                                        &losses[i], &scratches[0]);
       }
     }
+    result.phase_seconds.local_sgd += phase.ElapsedSeconds();
+
+    // Sharded deterministic reduction of the bucket deltas (the Σ of the
+    // Gaussian sum query) — bitwise equal to accumulating them serially
+    // in bucket order.
+    phase.Reset();
+    delta_ptrs.clear();
+    double loss_sum = 0.0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      delta_ptrs.push_back(&deltas[i]);
+      loss_sum += losses[i];
+    }
+    sgns::AccumulateDeltas(delta_ptrs, 1.0, update, pool.get());
     metrics.mean_local_loss =
         buckets.empty() ? 0.0
                         : loss_sum / static_cast<double>(buckets.size());
-    metrics.signal_norm = update.Norm();
+    metrics.signal_norm = update.Norm(pool.get());
+    result.phase_seconds.reduction += phase.ElapsedSeconds();
 
-    // Line 9: Gaussian noise calibrated to the sum's sensitivity ω·C.
+    // Line 9: Gaussian noise calibrated to the sum's sensitivity ω·C,
+    // drawn from counter-based per-block streams keyed on noise_seed —
+    // identical output for any thread count.
+    phase.Reset();
     const double sensitivity =
         static_cast<double>(config_.split_factor) * config_.clip_norm;
     if (config_.per_tensor_noise) {
@@ -126,21 +160,25 @@ Result<TrainResult> PlpTrainer::Train(const data::TrainingCorpus& corpus,
           sigma_t * sensitivity /
           std::sqrt(static_cast<double>(sgns::kNumTensors));
       for (int ti = 0; ti < sgns::kNumTensors; ++ti) {
-        update.AddGaussianNoiseToTensor(static_cast<sgns::Tensor>(ti), rng,
-                                        per_tensor_std);
+        update.AddGaussianNoiseToTensor(static_cast<sgns::Tensor>(ti),
+                                        noise_seed, per_tensor_std,
+                                        pool.get());
       }
     } else {
-      update.AddGaussianNoise(rng, sigma_t * sensitivity);
+      update.AddGaussianNoise(noise_seed, sigma_t * sensitivity, pool.get());
     }
     const double denominator =
         config_.fixed_denominator
             ? expected_buckets
             : std::max<double>(1.0, static_cast<double>(buckets.size()));
-    update.Scale(1.0 / denominator);
-    metrics.noisy_update_norm = update.Norm();
+    update.Scale(1.0 / denominator, pool.get());
+    metrics.noisy_update_norm = update.Norm(pool.get());
+    result.phase_seconds.noise += phase.ElapsedSeconds();
 
     // Line 10: model update.
+    phase.Reset();
     server->ApplyUpdate(update, result.model);
+    result.phase_seconds.server_apply += phase.ElapsedSeconds();
     result.steps_executed = step;
     result.history.push_back(metrics);
 

@@ -33,6 +33,17 @@ enum class StopReason {
   kCallback,         ///< a callback returned false
 };
 
+/// Wall-clock seconds per pipeline stage, summed over all executed steps.
+/// The training-throughput bench reports this breakdown so regressions in
+/// one stage don't hide inside the aggregate steps/sec.
+struct TrainPhaseSeconds {
+  double sampling_grouping = 0.0;  ///< Poisson sample + bucket grouping
+  double local_sgd = 0.0;          ///< per-bucket local training (lines 7–8)
+  double reduction = 0.0;          ///< Σ bucket deltas into the dense sum
+  double noise = 0.0;              ///< Gaussian noise + averaging (line 9)
+  double server_apply = 0.0;       ///< server optimizer (line 10)
+};
+
 /// Output of a training run.
 struct TrainResult {
   sgns::SgnsModel model;
@@ -40,6 +51,7 @@ struct TrainResult {
   double epsilon_spent = 0.0;     ///< at the configured δ
   StopReason stop_reason = StopReason::kMaxSteps;
   double wall_seconds = 0.0;
+  TrainPhaseSeconds phase_seconds;
   std::vector<StepMetrics> history;
 };
 

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/math_util.h"
+
 namespace plp::serve {
 namespace {
 
@@ -39,24 +41,13 @@ void NormalizeRows(std::vector<float>& m, int32_t num_rows, int32_t dim) {
   }
 }
 
-/// Dot product with four independent accumulators. A naive `s += a*b`
-/// loop serializes on FP-add latency (~4-5 cycles per element, ~65 µs to
-/// score a 600x50 matrix); splitting the reduction keeps the FMA ports
-/// busy and is the difference between ~13k and >100k QPS single-thread.
-/// The explicit reassociation makes the result deterministic regardless
-/// of optimization level.
+/// Four-accumulator dot via the shared kernel (common/math_util) — the
+/// same accumulation shape the original serve-local kernel used, so
+/// snapshot scores are unchanged. A naive `s += a*b` loop serializes on
+/// FP-add latency and is the difference between ~13k and >100k QPS
+/// single-thread.
 float Dot(const float* a, const float* b, int32_t n) {
-  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-  int32_t d = 0;
-  for (; d + 4 <= n; d += 4) {
-    s0 += a[d] * b[d];
-    s1 += a[d + 1] * b[d + 1];
-    s2 += a[d + 2] * b[d + 2];
-    s3 += a[d + 3] * b[d + 3];
-  }
-  float tail = 0.0f;
-  for (; d < n; ++d) tail += a[d] * b[d];
-  return ((s0 + s1) + (s2 + s3)) + tail;
+  return DotKernel(a, b, static_cast<size_t>(n));
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 #define PLP_SGNS_LOSS_H_
 
 #include <cmath>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "sgns/model.h"
 #include "sgns/pairs.h"
 #include "sgns/sparse_delta.h"
+#include "sgns/train_scratch.h"
 
 namespace plp::sgns {
 
@@ -33,20 +35,27 @@ struct BatchStats {
 /// excluding the true context.
 ///
 /// `Model` must expose InRow/OutRow/bias like SgnsModel or LocalModel.
+/// `buffers` is an optional allocation cache (candidate/logit scratch,
+/// fully overwritten here); passing it changes nothing but allocation.
 template <typename Model>
 BatchStats AccumulateBatchGradient(const Model& model,
                                    std::span<const Pair> batch,
                                    const SgnsConfig& config,
                                    int32_t num_locations, Rng& rng,
-                                   SparseDelta& gradient);
+                                   SparseDelta& gradient,
+                                   PairBuffers* buffers = nullptr);
 
 /// Applies one SGD step over a batch (Algorithm 1 line 19):
 ///   Φ ← Φ − η · (1/|b|) Σ ∇J(Φ).
-/// Returns the batch loss.
+/// Returns the batch loss. `scratch` is an optional workspace: when given,
+/// its gradient is Clear()ed and reused instead of constructing a fresh
+/// SparseDelta per batch, and its candidate/logit buffers back the
+/// accumulation — identical results, no steady-state allocation.
 template <typename Model>
 BatchStats ApplySgdBatch(Model& model, std::span<const Pair> batch,
                          const SgnsConfig& config, int32_t num_locations,
-                         double learning_rate, Rng& rng);
+                         double learning_rate, Rng& rng,
+                         TrainScratch* scratch = nullptr);
 
 // Implementation details only below here.
 
@@ -76,7 +85,8 @@ BatchStats AccumulateBatchGradient(const Model& model,
                                    std::span<const Pair> batch,
                                    const SgnsConfig& config,
                                    int32_t num_locations, Rng& rng,
-                                   SparseDelta& gradient) {
+                                   SparseDelta& gradient,
+                                   PairBuffers* buffers) {
   PLP_CHECK_GT(num_locations, 0);
   PLP_CHECK_GT(config.negatives, 0);
   const int32_t dim = config.embedding_dim;
@@ -84,10 +94,16 @@ BatchStats AccumulateBatchGradient(const Model& model,
 
   BatchStats stats;
   const int32_t num_candidates = config.negatives + 1;
-  std::vector<int32_t> candidates(static_cast<size_t>(num_candidates));
-  std::vector<double> logits(static_cast<size_t>(num_candidates));
-  std::vector<double> dlogits(static_cast<size_t>(num_candidates));
-  std::vector<double> grad_h(static_cast<size_t>(dim));
+  PairBuffers local_buffers;
+  PairBuffers& buf = buffers != nullptr ? *buffers : local_buffers;
+  buf.candidates.resize(static_cast<size_t>(num_candidates));
+  buf.logits.resize(static_cast<size_t>(num_candidates));
+  buf.dlogits.resize(static_cast<size_t>(num_candidates));
+  buf.grad_h.resize(static_cast<size_t>(dim));
+  std::vector<int32_t>& candidates = buf.candidates;
+  std::vector<double>& logits = buf.logits;
+  std::vector<double>& dlogits = buf.dlogits;
+  std::vector<double>& grad_h = buf.grad_h;
 
   for (const Pair& pair : batch) {
     PLP_CHECK(pair.target >= 0 && pair.target < num_locations);
@@ -126,21 +142,20 @@ BatchStats AccumulateBatchGradient(const Model& model,
     }
 
     // Back-propagate: dL/dW'[c] = g_c · h, dL/db[c] = g_c,
-    // dL/dh = Σ g_c · W'[c].
+    // dL/dh = Σ g_c · W'[c]. Axpy is element-independent, so splitting the
+    // old fused loop into two kernel calls keeps results bitwise identical.
     std::fill(grad_h.begin(), grad_h.end(), 0.0);
     for (int32_t i = 0; i < num_candidates; ++i) {
       const double g = dlogits[i];
       const std::span<const double> out_row = model.OutRow(candidates[i]);
       const std::span<double> grad_out =
           gradient.Row(Tensor::kWOut, candidates[i]);
-      for (int32_t d = 0; d < dim; ++d) {
-        grad_out[d] += g * h[d];
-        grad_h[d] += g * out_row[d];
-      }
+      AxpyKernel(g, h.data(), grad_out.data(), static_cast<size_t>(dim));
+      AxpyKernel(g, out_row.data(), grad_h.data(), static_cast<size_t>(dim));
       gradient.AddBias(candidates[i], g);
     }
     const std::span<double> grad_in = gradient.Row(Tensor::kWIn, pair.target);
-    for (int32_t d = 0; d < dim; ++d) grad_in[d] += grad_h[d];
+    AxpyKernel(1.0, grad_h.data(), grad_in.data(), static_cast<size_t>(dim));
 
     ++stats.num_pairs;
   }
@@ -150,32 +165,40 @@ BatchStats AccumulateBatchGradient(const Model& model,
 template <typename Model>
 BatchStats ApplySgdBatch(Model& model, std::span<const Pair> batch,
                          const SgnsConfig& config, int32_t num_locations,
-                         double learning_rate, Rng& rng) {
+                         double learning_rate, Rng& rng,
+                         TrainScratch* scratch) {
   if (batch.empty()) return BatchStats{};
-  SparseDelta gradient(config.embedding_dim);
+  std::optional<SparseDelta> owned_gradient;
+  SparseDelta* gradient;
+  if (scratch != nullptr) {
+    PLP_CHECK_EQ(scratch->gradient.dim(), config.embedding_dim);
+    scratch->gradient.Clear();
+    gradient = &scratch->gradient;
+  } else {
+    owned_gradient.emplace(config.embedding_dim);
+    gradient = &*owned_gradient;
+  }
   const BatchStats stats = AccumulateBatchGradient(
-      model, batch, config, num_locations, rng, gradient);
+      model, batch, config, num_locations, rng, *gradient,
+      scratch != nullptr ? &scratch->buffers : nullptr);
   const double scale =
       -learning_rate / static_cast<double>(batch.size());
+  const size_t dim = static_cast<size_t>(config.embedding_dim);
   // Apply: overlay rows for LocalModel, direct rows for SgnsModel.
-  gradient.ForEachRow(Tensor::kWIn,
-                      [&](int32_t row, std::span<const double> vec) {
-                        std::span<double> dst = model.MutableInRow(row);
-                        for (int32_t d = 0; d < config.embedding_dim; ++d) {
-                          dst[d] += scale * vec[d];
-                        }
-                      });
-  gradient.ForEachRow(Tensor::kWOut,
-                      [&](int32_t row, std::span<const double> vec) {
-                        std::span<double> dst = model.MutableOutRow(row);
-                        for (int32_t d = 0; d < config.embedding_dim; ++d) {
-                          dst[d] += scale * vec[d];
-                        }
-                      });
-  gradient.ForEachRow(Tensor::kBias,
-                      [&](int32_t row, std::span<const double> v) {
-                        model.mutable_bias(row) += scale * v[0];
-                      });
+  gradient->ForEachRow(Tensor::kWIn,
+                       [&](int32_t row, std::span<const double> vec) {
+                         AxpyKernel(scale, vec.data(),
+                                    model.MutableInRow(row).data(), dim);
+                       });
+  gradient->ForEachRow(Tensor::kWOut,
+                       [&](int32_t row, std::span<const double> vec) {
+                         AxpyKernel(scale, vec.data(),
+                                    model.MutableOutRow(row).data(), dim);
+                       });
+  gradient->ForEachRow(Tensor::kBias,
+                       [&](int32_t row, std::span<const double> v) {
+                         model.mutable_bias(row) += scale * v[0];
+                       });
   return stats;
 }
 

@@ -6,20 +6,37 @@
 
 namespace plp::sgns {
 
+size_t PairCount(size_t tokens, int32_t window) {
+  PLP_CHECK_GT(window, 0);
+  if (tokens <= 1) return 0;
+  const size_t w = static_cast<size_t>(window);
+  // Window covers the whole sentence: every ordered pair of distinct
+  // positions. Otherwise each token sees 2w neighbors except for the w
+  // tokens at each edge, which lose 1..w of them (w(w+1) total).
+  if (tokens <= w + 1) return tokens * (tokens - 1);
+  return 2 * w * tokens - w * (w + 1);
+}
+
 std::vector<Pair> GeneratePairs(const std::vector<int32_t>& sentence,
                                 int32_t window) {
-  PLP_CHECK_GT(window, 0);
   std::vector<Pair> pairs;
+  pairs.reserve(PairCount(sentence.size(), window));
+  AppendPairs(sentence, window, pairs);
+  return pairs;
+}
+
+void AppendPairs(const std::vector<int32_t>& sentence, int32_t window,
+                 std::vector<Pair>& out) {
+  PLP_CHECK_GT(window, 0);
   const int64_t n = static_cast<int64_t>(sentence.size());
   for (int64_t i = 0; i < n; ++i) {
     const int64_t lo = std::max<int64_t>(0, i - window);
     const int64_t hi = std::min<int64_t>(n - 1, i + window);
     for (int64_t j = lo; j <= hi; ++j) {
       if (j == i) continue;
-      pairs.push_back(Pair{sentence[i], sentence[j]});
+      out.push_back(Pair{sentence[i], sentence[j]});
     }
   }
-  return pairs;
 }
 
 std::vector<std::vector<Pair>> MakeBatches(std::vector<Pair> pairs,

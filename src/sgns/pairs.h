@@ -18,11 +18,22 @@ inline bool operator==(const Pair& a, const Pair& b) {
   return a.target == b.target && a.context == b.context;
 }
 
+/// Exact number of pairs GeneratePairs emits for a sentence of `tokens`
+/// tokens: every token pairs with its ≤ window neighbors on each side.
+/// Used to pre-reserve pair buffers before generation.
+size_t PairCount(size_t tokens, int32_t window);
+
 /// Emits every (target, context) pair from one sentence with a symmetric
 /// window of `window` tokens on each side (Section 3.2: "a symmetric window
 /// of win context locations to the left and win to the right").
 std::vector<Pair> GeneratePairs(const std::vector<int32_t>& sentence,
                                 int32_t window);
+
+/// Appends GeneratePairs' output to `out` without clearing it. Callers
+/// that concatenate many sentences (BucketPairs) reserve once from
+/// PairCount and append, avoiding repeated reallocation.
+void AppendPairs(const std::vector<int32_t>& sentence, int32_t window,
+                 std::vector<Pair>& out);
 
 /// Splits `pairs` into shuffled batches of `batch_size` (the paper's
 /// generateBatches(); the final batch may be short). Requires

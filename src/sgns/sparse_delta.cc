@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "common/parallel_ops.h"
+#include "common/thread_pool.h"
 
 namespace plp::sgns {
 
@@ -41,10 +43,27 @@ std::span<const double> DenseUpdate::TensorData(Tensor t) const {
   return {};
 }
 
+void DenseUpdate::AddGaussianNoise(uint64_t noise_seed, double stddev,
+                                   ThreadPool* pool) {
+  for (int ti = 0; ti < kNumTensors; ++ti) {
+    AddGaussianNoiseToTensor(static_cast<Tensor>(ti), noise_seed, stddev,
+                             pool);
+  }
+}
+
 void DenseUpdate::AddGaussianNoise(Rng& rng, double stddev) {
   rng.AddGaussianNoise(w_in_, stddev);
   rng.AddGaussianNoise(w_out_, stddev);
   rng.AddGaussianNoise(bias_, stddev);
+}
+
+void DenseUpdate::AddGaussianNoiseToTensor(Tensor t, uint64_t noise_seed,
+                                           double stddev, ThreadPool* pool) {
+  // One decorrelated stream lane per tensor: the per-tensor overload seeds
+  // the same lane the all-tensor overload would, so the two compose.
+  const uint64_t stream =
+      DeriveStreamSeed(noise_seed, static_cast<uint64_t>(t));
+  AddGaussianNoiseBlocks(TensorData(t), stream, stddev, pool);
 }
 
 void DenseUpdate::AddGaussianNoiseToTensor(Tensor t, Rng& rng,
@@ -52,23 +71,22 @@ void DenseUpdate::AddGaussianNoiseToTensor(Tensor t, Rng& rng,
   rng.AddGaussianNoise(TensorData(t), stddev);
 }
 
-void DenseUpdate::Zero() {
-  std::fill(w_in_.begin(), w_in_.end(), 0.0);
-  std::fill(w_out_.begin(), w_out_.end(), 0.0);
-  std::fill(bias_.begin(), bias_.end(), 0.0);
+void DenseUpdate::Zero(ThreadPool* pool) {
+  ZeroBlocks(w_in_, pool);
+  ZeroBlocks(w_out_, pool);
+  ZeroBlocks(bias_, pool);
 }
 
-void DenseUpdate::Scale(double factor) {
-  for (double& v : w_in_) v *= factor;
-  for (double& v : w_out_) v *= factor;
-  for (double& v : bias_) v *= factor;
+void DenseUpdate::Scale(double factor, ThreadPool* pool) {
+  ScaleBlocks(w_in_, factor, pool);
+  ScaleBlocks(w_out_, factor, pool);
+  ScaleBlocks(bias_, factor, pool);
 }
 
-double DenseUpdate::Norm() const {
-  double s = 0.0;
-  for (double v : w_in_) s += v * v;
-  for (double v : w_out_) s += v * v;
-  for (double v : bias_) s += v * v;
+double DenseUpdate::Norm(ThreadPool* pool) const {
+  const double s = SumSquaresBlocks(w_in_, pool) +
+                   SumSquaresBlocks(w_out_, pool) +
+                   SumSquaresBlocks(bias_, pool);
   return std::sqrt(s);
 }
 
@@ -79,7 +97,7 @@ void DenseUpdate::ApplyTo(SgnsModel& model) const {
     const Tensor t = static_cast<Tensor>(ti);
     std::span<double> dst = model.MutableTensorData(t);
     std::span<const double> src = TensorData(t);
-    for (size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+    AxpyKernel(1.0, src.data(), dst.data(), dst.size());
   }
 }
 
@@ -160,31 +178,90 @@ void SparseDelta::ClipTotal(double max_norm) {
 
 void SparseDelta::AccumulateInto(DenseUpdate& sum, double scale) const {
   PLP_CHECK_EQ(sum.dim(), dim_);
-  for (const Tensor t : {Tensor::kWIn, Tensor::kWOut}) {
-    std::span<double> dst = sum.TensorData(t);
-    StoreFor(t).ForEach([&](int32_t row, std::span<const double> vec) {
-      double* out = dst.data() + static_cast<size_t>(row) * dim_;
-      for (int32_t d = 0; d < dim_; ++d) out[d] += scale * vec[d];
-    });
+  for (const Tensor t : {Tensor::kWIn, Tensor::kWOut, Tensor::kBias}) {
+    AccumulateTensorRangeInto(sum, scale, t, 0, sum.num_locations());
   }
-  std::span<double> dst = sum.TensorData(Tensor::kBias);
-  bias_.ForEach([&](int32_t row, std::span<const double> v) {
-    dst[static_cast<size_t>(row)] += scale * v[0];
+}
+
+void SparseDelta::AccumulateTensorRangeInto(DenseUpdate& sum, double scale,
+                                            Tensor tensor, int32_t row_begin,
+                                            int32_t row_end) const {
+  PLP_CHECK_EQ(sum.dim(), dim_);
+  std::span<double> dst = sum.TensorData(tensor);
+  if (tensor == Tensor::kBias) {
+    bias_.ForEach([&](int32_t row, std::span<const double> v) {
+      if (row < row_begin || row >= row_end) return;
+      dst[static_cast<size_t>(row)] += scale * v[0];
+    });
+    return;
+  }
+  StoreFor(tensor).ForEach([&](int32_t row, std::span<const double> vec) {
+    if (row < row_begin || row >= row_end) return;
+    AxpyKernel(scale, vec.data(),
+               dst.data() + static_cast<size_t>(row) * dim_,
+               static_cast<size_t>(dim_));
   });
 }
 
 void SparseDelta::ApplyTo(SgnsModel& model, double scale) const {
   PLP_CHECK_EQ(model.dim(), dim_);
+  const size_t dim = static_cast<size_t>(dim_);
   in_rows_.ForEach([&](int32_t row, std::span<const double> vec) {
-    std::span<double> dst = model.MutableInRow(row);
-    for (int32_t d = 0; d < dim_; ++d) dst[d] += scale * vec[d];
+    AxpyKernel(scale, vec.data(), model.MutableInRow(row).data(), dim);
   });
   out_rows_.ForEach([&](int32_t row, std::span<const double> vec) {
-    std::span<double> dst = model.MutableOutRow(row);
-    for (int32_t d = 0; d < dim_; ++d) dst[d] += scale * vec[d];
+    AxpyKernel(scale, vec.data(), model.MutableOutRow(row).data(), dim);
   });
   bias_.ForEach([&](int32_t row, std::span<const double> v) {
     model.mutable_bias(row) += scale * v[0];
+  });
+}
+
+void AccumulateDeltas(std::span<const SparseDelta* const> deltas,
+                      double scale, DenseUpdate& sum, ThreadPool* pool) {
+  const int32_t num_rows = sum.num_locations();
+  size_t live = 0;
+  for (const SparseDelta* d : deltas) {
+    if (d != nullptr) ++live;
+  }
+  if (live == 0) return;
+  if (pool == nullptr || live == 1 || num_rows < 2) {
+    for (const SparseDelta* d : deltas) {
+      if (d != nullptr) d->AccumulateInto(sum, scale);
+    }
+    return;
+  }
+  // (tensor, row-range) shards write disjoint regions of `sum`. Each shard
+  // scans every delta in index order, so per-coordinate addition order is
+  // identical to the serial loop above. Oversubscribe the pool a little so
+  // shards that hit dense row ranges don't straggle.
+  const int32_t target_shards = static_cast<int32_t>(
+      std::min<size_t>(static_cast<size_t>(num_rows),
+                       2 * std::max<size_t>(1, pool->num_threads())));
+  const int32_t rows_per_shard =
+      (num_rows + target_shards - 1) / target_shards;
+  struct Shard {
+    Tensor tensor;
+    int32_t begin;
+    int32_t end;
+  };
+  std::vector<Shard> shards;
+  shards.reserve(static_cast<size_t>(2 * target_shards) + 1);
+  for (const Tensor t : {Tensor::kWIn, Tensor::kWOut}) {
+    for (int32_t begin = 0; begin < num_rows; begin += rows_per_shard) {
+      shards.push_back(
+          Shard{t, begin, std::min(num_rows, begin + rows_per_shard)});
+    }
+  }
+  // The bias tensor is dim-1 — a single cheap shard.
+  shards.push_back(Shard{Tensor::kBias, 0, num_rows});
+  pool->ParallelFor(shards.size(), [&](size_t s) {
+    const Shard& shard = shards[s];
+    for (const SparseDelta* d : deltas) {
+      if (d == nullptr) continue;
+      d->AccumulateTensorRangeInto(sum, scale, shard.tensor, shard.begin,
+                                   shard.end);
+    }
   });
 }
 

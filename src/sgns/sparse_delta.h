@@ -9,6 +9,10 @@
 #include "sgns/model.h"
 #include "sgns/row_map.h"
 
+namespace plp {
+class ThreadPool;
+}  // namespace plp
+
 namespace plp::sgns {
 
 /// A dense parameter-shaped buffer: the Gaussian sum query of Algorithm 1
@@ -27,20 +31,37 @@ class DenseUpdate {
   std::span<const double> TensorData(Tensor t) const;
 
   /// Adds iid N(0, stddev²) noise to every coordinate of every tensor.
+  /// Each tensor draws from its own counter-based per-block stream derived
+  /// from `noise_seed` (common/parallel_ops), so the output is a pure
+  /// function of (noise_seed, stddev, shape): bitwise identical whether
+  /// `pool` is null or has any number of threads. This is the noise half
+  /// of the trainer's thread-count-determinism guarantee.
+  void AddGaussianNoise(uint64_t noise_seed, double stddev,
+                        ThreadPool* pool = nullptr);
+
+  /// Sequential-stream variant drawing from `rng` in coordinate order
+  /// (Gaussian-mechanism building block; kept for callers that own the
+  /// stream).
   void AddGaussianNoise(Rng& rng, double stddev);
 
   /// Adds iid N(0, stddev²) noise to one tensor only (per-tensor noise
-  /// calibration ablation).
+  /// calibration ablation), using the same per-tensor stream `noise_seed`
+  /// induces in the all-tensor overload.
+  void AddGaussianNoiseToTensor(Tensor t, uint64_t noise_seed, double stddev,
+                                ThreadPool* pool = nullptr);
+
+  /// Sequential-stream variant of per-tensor noise.
   void AddGaussianNoiseToTensor(Tensor t, Rng& rng, double stddev);
 
   /// Resets every coordinate to zero (buffer reuse across steps).
-  void Zero();
+  void Zero(ThreadPool* pool = nullptr);
 
   /// Multiplies every coordinate by `factor` (e.g. 1/|H|).
-  void Scale(double factor);
+  void Scale(double factor, ThreadPool* pool = nullptr);
 
-  /// Overall l2 norm across all tensors.
-  double Norm() const;
+  /// Overall l2 norm across all tensors. Always block-decomposed
+  /// (common/parallel_ops), so serial and pooled calls agree bitwise.
+  double Norm(ThreadPool* pool = nullptr) const;
 
   /// Adds this update into the model: θ ← θ + u (Algorithm 1 line 10).
   void ApplyTo(SgnsModel& model) const;
@@ -58,6 +79,19 @@ class DenseUpdate {
 /// local-copy mode (paper-faithful cost model for the runtime experiment).
 class SparseDelta;
 SparseDelta DiffModels(const SgnsModel& phi, const SgnsModel& theta);
+
+/// sum += scale · Σ_i deltas[i] — the Σ of the Gaussian sum query, as a
+/// sharded, deterministically-ordered parallel reduction. The dense
+/// parameter space is split into (tensor, row-range) shards that write
+/// disjoint regions of `sum`; within every shard the deltas are scanned in
+/// index order, so each coordinate receives exactly the FP additions — in
+/// exactly the order — of the serial
+/// `for (d : deltas) d->AccumulateInto(sum, scale)` loop. The result is
+/// therefore bitwise identical for any pool size, including none. Null
+/// entries in `deltas` are skipped.
+void AccumulateDeltas(std::span<const SparseDelta* const> deltas,
+                      double scale, DenseUpdate& sum,
+                      ThreadPool* pool = nullptr);
 
 /// A sparse parameter delta: only the embedding/context rows and bias
 /// entries actually touched by a bucket's local training are materialized.
@@ -107,6 +141,14 @@ class SparseDelta {
 
   /// sum += scale · delta (the Σ of the Gaussian sum query).
   void AccumulateInto(DenseUpdate& sum, double scale) const;
+
+  /// sum += scale · (the touched rows of `tensor` with row in
+  /// [row_begin, row_end)). Row-range shard of AccumulateInto, used by the
+  /// parallel reduction; accumulation per coordinate is the identical
+  /// `out[d] += scale * vec[d]`.
+  void AccumulateTensorRangeInto(DenseUpdate& sum, double scale,
+                                 Tensor tensor, int32_t row_begin,
+                                 int32_t row_end) const;
 
   /// model += scale · delta (used by the non-private trainer).
   void ApplyTo(SgnsModel& model, double scale) const;

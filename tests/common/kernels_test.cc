@@ -1,0 +1,128 @@
+// Equivalence of the vectorized multi-accumulator kernels
+// (common/math_util) against their strict left-to-right scalar references:
+//
+//   * DotKernel / SumSquaresKernel agree with the references within a
+//     tight reassociation bound (a few ULPs per element of condition).
+//   * AxpyKernel / ScaleKernel are element-independent, so they must be
+//     *bitwise* equal to the scalar loops at every size, including tails.
+//   * The span-level Dot / L2Norm wrappers delegate to the kernels
+//     exactly (bitwise).
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace plp {
+namespace {
+
+// Sizes straddling the 4-wide unroll: empty, sub-width, exact multiples,
+// and every tail length, plus larger odd sizes.
+const size_t kSizes[] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 15, 16, 50, 257, 1000};
+
+std::vector<double> RandomVector(Rng& rng, size_t n, double lo, double hi) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Uniform(lo, hi);
+  return v;
+}
+
+// Reassociating a sum of n terms perturbs it by at most ~n·eps·Σ|terms|.
+double DotErrorBound(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  double condition = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) condition += std::fabs(a[i] * b[i]);
+  const double n = static_cast<double>(a.size()) + 1.0;
+  return 4.0 * n * std::numeric_limits<double>::epsilon() * condition;
+}
+
+TEST(KernelsTest, DotKernelMatchesScalarReferenceDouble) {
+  Rng rng(0xD07);
+  for (size_t n : kSizes) {
+    const std::vector<double> a = RandomVector(rng, n, -2.0, 2.0);
+    const std::vector<double> b = RandomVector(rng, n, -2.0, 2.0);
+    const double kernel = DotKernel(a.data(), b.data(), n);
+    const double reference = DotReference(a.data(), b.data(), n);
+    EXPECT_NEAR(kernel, reference, DotErrorBound(a, b)) << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, DotKernelMatchesScalarReferenceFloat) {
+  Rng rng(0xF7D07);
+  for (size_t n : kSizes) {
+    std::vector<float> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<float>(rng.Uniform(-2.0, 2.0));
+      b[i] = static_cast<float>(rng.Uniform(-2.0, 2.0));
+    }
+    const float kernel = DotKernel(a.data(), b.data(), n);
+    const float reference = DotReference(a.data(), b.data(), n);
+    float condition = 0.0f;
+    for (size_t i = 0; i < n; ++i) condition += std::fabs(a[i] * b[i]);
+    const float bound = 4.0f * (static_cast<float>(n) + 1.0f) *
+                        std::numeric_limits<float>::epsilon() * condition;
+    EXPECT_NEAR(kernel, reference, bound) << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, SumSquaresKernelMatchesScalarReference) {
+  Rng rng(0x55E5);
+  for (size_t n : kSizes) {
+    const std::vector<double> x = RandomVector(rng, n, -3.0, 3.0);
+    const double kernel = SumSquaresKernel(x.data(), n);
+    const double reference = SumSquaresReference(x.data(), n);
+    EXPECT_NEAR(kernel, reference, DotErrorBound(x, x)) << "n=" << n;
+    EXPECT_GE(kernel, 0.0);
+  }
+}
+
+TEST(KernelsTest, AxpyKernelBitwiseEqualsScalarReference) {
+  Rng rng(0xA471);
+  for (size_t n : kSizes) {
+    const std::vector<double> x = RandomVector(rng, n, -5.0, 5.0);
+    std::vector<double> y_kernel = RandomVector(rng, n, -1.0, 1.0);
+    std::vector<double> y_reference = y_kernel;
+    const double alpha = rng.Uniform(-2.0, 2.0);
+    AxpyKernel(alpha, x.data(), y_kernel.data(), n);
+    AxpyReference(alpha, x.data(), y_reference.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(y_kernel[i], y_reference[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelsTest, ScaleKernelBitwiseEqualsScalarLoop) {
+  Rng rng(0x5CA1E);
+  for (size_t n : kSizes) {
+    std::vector<double> x_kernel = RandomVector(rng, n, -5.0, 5.0);
+    std::vector<double> x_scalar = x_kernel;
+    const double alpha = rng.Uniform(-2.0, 2.0);
+    ScaleKernel(alpha, x_kernel.data(), n);
+    for (double& v : x_scalar) v *= alpha;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(x_kernel[i], x_scalar[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelsTest, SpanWrappersDelegateToKernelsBitwise) {
+  Rng rng(0x3A9);
+  const std::vector<double> a = RandomVector(rng, 129, -2.0, 2.0);
+  const std::vector<double> b = RandomVector(rng, 129, -2.0, 2.0);
+  EXPECT_EQ(Dot(a, b), DotKernel(a.data(), b.data(), a.size()));
+  EXPECT_EQ(L2Norm(a), std::sqrt(SumSquaresKernel(a.data(), a.size())));
+}
+
+TEST(KernelsTest, KernelsHandleEmptyInput) {
+  EXPECT_EQ(DotKernel<double>(nullptr, nullptr, 0), 0.0);
+  EXPECT_EQ(SumSquaresKernel<double>(nullptr, 0), 0.0);
+  AxpyKernel<double>(2.0, nullptr, nullptr, 0);  // must not dereference
+  ScaleKernel<double>(2.0, nullptr, 0);
+}
+
+}  // namespace
+}  // namespace plp

@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel_ops.h"
 #include "common/rng.h"
 #include "core/grouping.h"
 #include "core/plp_trainer.h"
@@ -63,6 +64,55 @@ TEST(NoiseDistributionTest, DenseNoiseIsCalibratedGaussian) {
     EXPECT_TRUE(test::IsGaussianSample(coords, 0.0, stddev));
     EXPECT_TRUE(test::HasMean(coords, 0.0, stddev));
   });
+}
+
+TEST(NoiseDistributionTest, BlockSeededNoiseIsCalibratedGaussian) {
+  // Regression for the counter-based per-block noise streams the trainer
+  // now uses (common/parallel_ops): concatenating independent per-block
+  // Rngs must still produce one iid N(0, stddev²) sample over all
+  // coordinates — same KS/mean gate as the sequential stream above.
+  const sgns::SgnsModel model = SmallModel(40, 8, /*seed=*/11);
+  const double stddev = 3.7;
+  test::ForEachSeed(3, /*base=*/0x60B10C, [&](uint64_t seed) {
+    sgns::DenseUpdate update(model);
+    update.AddGaussianNoise(/*noise_seed=*/seed, stddev);
+    const std::vector<double> coords = AllCoordinates(update);
+    ASSERT_EQ(coords.size(), 40u * 8u * 2u + 40u);
+    EXPECT_TRUE(test::IsGaussianSample(coords, 0.0, stddev));
+    EXPECT_TRUE(test::HasMean(coords, 0.0, stddev));
+  });
+}
+
+TEST(NoiseDistributionTest, BlockSeededNoiseSpansBlockBoundaries) {
+  // A vector wider than one block: coordinates on both sides of the block
+  // boundary come from different Rngs yet must form a single calibrated
+  // Gaussian sample with no seam (per-block means included).
+  const size_t kSize = 3 * kParallelOpsBlockSize / 2;
+  const double stddev = 0.8;
+  std::vector<double> values(kSize, 0.0);
+  AddGaussianNoiseBlocks(values, test::SeedAt(0xB10C5EED, 0), stddev);
+  EXPECT_TRUE(test::IsGaussianSample(values, 0.0, stddev));
+  const std::vector<double> first(values.begin(),
+                                  values.begin() + kParallelOpsBlockSize);
+  const std::vector<double> second(values.begin() + kParallelOpsBlockSize,
+                                   values.end());
+  EXPECT_TRUE(test::HasMean(first, 0.0, stddev));
+  EXPECT_TRUE(test::HasMean(second, 0.0, stddev));
+}
+
+TEST(NoiseDistributionTest, PerTensorSeededNoiseTouchesOnlyThatTensor) {
+  // Seed-based analogue of the Rng& per-tensor leak check below.
+  const sgns::SgnsModel model = SmallModel(60, 6, /*seed=*/12);
+  const double stddev = 1.25;
+  sgns::DenseUpdate update(model);
+  update.AddGaussianNoiseToTensor(sgns::Tensor::kWOut,
+                                  test::SeedAt(0x7E4509, 0), stddev);
+  for (const sgns::Tensor t : {sgns::Tensor::kWIn, sgns::Tensor::kBias}) {
+    for (double v : update.TensorData(t)) EXPECT_EQ(v, 0.0);
+  }
+  const auto noised = update.TensorData(sgns::Tensor::kWOut);
+  const std::vector<double> sample(noised.begin(), noised.end());
+  EXPECT_TRUE(test::IsGaussianSample(sample, 0.0, stddev));
 }
 
 TEST(NoiseDistributionTest, PerTensorNoiseTouchesOnlyThatTensor) {
