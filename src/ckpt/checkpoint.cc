@@ -1,0 +1,243 @@
+#include "ckpt/checkpoint.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <utility>
+
+#include "common/atomic_file.h"
+#include "common/fault_injection.h"
+#include "common/serialize.h"
+
+namespace plp::ckpt {
+namespace {
+
+constexpr char kMagic[4] = {'P', 'L', 'P', 'C'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr std::string_view kFilePrefix = "ckpt-";
+constexpr std::string_view kFileSuffix = ".plpc";
+// Envelope: magic + version + payload size + payload CRC-64.
+constexpr size_t kEnvelopeBytes = 4 + sizeof(uint32_t) + 2 * sizeof(uint64_t);
+
+void WriteRngState(const RngState& rng, ByteWriter& writer) {
+  for (uint64_t word : rng.state) writer.U64(word);
+  writer.F64(rng.spare_gaussian);
+  writer.U8(rng.has_spare_gaussian ? 1 : 0);
+}
+
+Result<RngState> ReadRngState(ByteReader& reader) {
+  RngState rng;
+  for (uint64_t& word : rng.state) {
+    PLP_ASSIGN_OR_RETURN(word, reader.U64());
+  }
+  if ((rng.state[0] | rng.state[1] | rng.state[2] | rng.state[3]) == 0) {
+    return InvalidArgumentError("snapshot: all-zero RNG state");
+  }
+  PLP_ASSIGN_OR_RETURN(rng.spare_gaussian, reader.F64());
+  PLP_ASSIGN_OR_RETURN(const uint8_t has_spare, reader.U8());
+  if (has_spare > 1) {
+    return InvalidArgumentError("snapshot: bad RNG spare flag");
+  }
+  rng.has_spare_gaussian = has_spare == 1;
+  return rng;
+}
+
+/// Parses "ckpt-000000000042.plpc" → 42; nullopt for anything else
+/// (including the ".tmp.<pid>" debris of killed writers).
+std::optional<int64_t> StepFromFilename(std::string_view name) {
+  if (name.size() <= kFilePrefix.size() + kFileSuffix.size()) {
+    return std::nullopt;
+  }
+  if (name.substr(0, kFilePrefix.size()) != kFilePrefix) return std::nullopt;
+  if (name.substr(name.size() - kFileSuffix.size()) != kFileSuffix) {
+    return std::nullopt;
+  }
+  const std::string_view digits = name.substr(
+      kFilePrefix.size(), name.size() - kFilePrefix.size() - kFileSuffix.size());
+  int64_t step = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    if (step > (INT64_MAX - (c - '0')) / 10) return std::nullopt;
+    step = step * 10 + (c - '0');
+  }
+  return step;
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(const TrainerSnapshot& snapshot) {
+  ByteWriter payload;
+  payload.U8(static_cast<uint8_t>(snapshot.kind));
+  payload.I64(snapshot.step);
+  WriteRngState(snapshot.rng, payload);
+  payload.LengthPrefixedBytes(snapshot.ledger_blob);
+  payload.LengthPrefixedBytes(snapshot.optimizer_name);
+  payload.LengthPrefixedBytes(snapshot.optimizer_blob);
+  payload.I32(snapshot.model.num_locations());
+  payload.I32(snapshot.model.dim());
+  for (int ti = 0; ti < sgns::kNumTensors; ++ti) {
+    payload.DoubleSpan(snapshot.model.TensorData(static_cast<sgns::Tensor>(ti)));
+  }
+
+  ByteWriter envelope;
+  for (char c : kMagic) envelope.U8(static_cast<uint8_t>(c));
+  envelope.U32(kFormatVersion);
+  envelope.U64(payload.size());
+  envelope.U64(Crc64(payload.str()));
+  std::string out = envelope.Take();
+  out += payload.str();
+  return out;
+}
+
+Result<TrainerSnapshot> DecodeSnapshot(std::string_view bytes) {
+  if (bytes.size() < kEnvelopeBytes) {
+    return InvalidArgumentError("checkpoint: truncated envelope");
+  }
+  ByteReader envelope(bytes.substr(0, kEnvelopeBytes));
+  for (char expected : kMagic) {
+    PLP_ASSIGN_OR_RETURN(const uint8_t c, envelope.U8());
+    if (static_cast<char>(c) != expected) {
+      return InvalidArgumentError("checkpoint: bad magic");
+    }
+  }
+  PLP_ASSIGN_OR_RETURN(const uint32_t version, envelope.U32());
+  if (version != kFormatVersion) {
+    return InvalidArgumentError("checkpoint: unsupported format version");
+  }
+  PLP_ASSIGN_OR_RETURN(const uint64_t payload_size, envelope.U64());
+  PLP_ASSIGN_OR_RETURN(const uint64_t expected_crc, envelope.U64());
+  if (payload_size != bytes.size() - kEnvelopeBytes) {
+    return InvalidArgumentError("checkpoint: payload size mismatch");
+  }
+  const std::string_view payload_bytes = bytes.substr(kEnvelopeBytes);
+  if (Crc64(payload_bytes) != expected_crc) {
+    return InvalidArgumentError("checkpoint: payload checksum mismatch");
+  }
+
+  ByteReader payload(payload_bytes);
+  TrainerSnapshot snapshot;
+  PLP_ASSIGN_OR_RETURN(const uint8_t kind, payload.U8());
+  if (kind != static_cast<uint8_t>(TrainerKind::kPrivate) &&
+      kind != static_cast<uint8_t>(TrainerKind::kNonPrivate)) {
+    return InvalidArgumentError("checkpoint: unknown trainer kind");
+  }
+  snapshot.kind = static_cast<TrainerKind>(kind);
+  PLP_ASSIGN_OR_RETURN(snapshot.step, payload.I64());
+  if (snapshot.step < 0) {
+    return InvalidArgumentError("checkpoint: negative step");
+  }
+  PLP_ASSIGN_OR_RETURN(snapshot.rng, ReadRngState(payload));
+  PLP_ASSIGN_OR_RETURN(snapshot.ledger_blob,
+                       payload.ReadLengthPrefixedBytes(payload.remaining()));
+  PLP_ASSIGN_OR_RETURN(snapshot.optimizer_name,
+                       payload.ReadLengthPrefixedBytes(payload.remaining()));
+  PLP_ASSIGN_OR_RETURN(snapshot.optimizer_blob,
+                       payload.ReadLengthPrefixedBytes(payload.remaining()));
+
+  PLP_ASSIGN_OR_RETURN(const int32_t num_locations, payload.I32());
+  PLP_ASSIGN_OR_RETURN(const int32_t dim, payload.I32());
+  if (num_locations <= 0 || dim <= 0) {
+    return InvalidArgumentError("checkpoint: bad model shape");
+  }
+  // {W, W', B'}: 2·L·dim + L doubles must be exactly what remains.
+  const uint64_t ld =
+      static_cast<uint64_t>(num_locations) * static_cast<uint64_t>(dim);
+  const uint64_t expected_doubles = 2 * ld + static_cast<uint64_t>(num_locations);
+  if (payload.remaining() != expected_doubles * sizeof(double)) {
+    return InvalidArgumentError("checkpoint: model payload size mismatch");
+  }
+  Rng unused_rng(0);
+  sgns::SgnsConfig config;
+  config.embedding_dim = dim;
+  PLP_ASSIGN_OR_RETURN(
+      snapshot.model, sgns::SgnsModel::Create(num_locations, config, unused_rng));
+  for (int ti = 0; ti < sgns::kNumTensors; ++ti) {
+    PLP_RETURN_IF_ERROR(payload.ReadDoubleSpan(
+        snapshot.model.MutableTensorData(static_cast<sgns::Tensor>(ti))));
+  }
+  if (!payload.AtEnd()) {
+    return InvalidArgumentError("checkpoint: trailing bytes");
+  }
+  return snapshot;
+}
+
+CheckpointManager::CheckpointManager(std::string dir, int keep_last)
+    : dir_(std::move(dir)), keep_last_(keep_last) {}
+
+Status CheckpointManager::Init() const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return InternalError("cannot create checkpoint dir " + dir_ + ": " +
+                         ec.message());
+  }
+  return Status::Ok();
+}
+
+std::string CheckpointManager::PathForStep(int64_t step) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "ckpt-%012" PRId64 ".plpc", step);
+  return dir_ + "/" + name;
+}
+
+std::vector<int64_t> CheckpointManager::ListSteps() const {
+  std::vector<int64_t> steps;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) return steps;
+  for (const auto& entry : it) {
+    if (const auto step = StepFromFilename(entry.path().filename().string())) {
+      steps.push_back(*step);
+    }
+  }
+  std::sort(steps.begin(), steps.end());
+  return steps;
+}
+
+Status CheckpointManager::Save(const TrainerSnapshot& snapshot) const {
+  PLP_FAULT_POINT("ckpt.before_save");
+  PLP_RETURN_IF_ERROR(
+      AtomicWriteFile(PathForStep(snapshot.step), EncodeSnapshot(snapshot)));
+  PLP_FAULT_POINT("ckpt.after_save");
+  if (keep_last_ > 0) {
+    std::vector<int64_t> steps = ListSteps();
+    if (steps.size() > static_cast<size_t>(keep_last_)) {
+      for (size_t i = 0; i + static_cast<size_t>(keep_last_) < steps.size();
+           ++i) {
+        std::error_code ec;  // pruning is best-effort
+        std::filesystem::remove(PathForStep(steps[i]), ec);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<TrainerSnapshot> CheckpointManager::LoadLatest() const {
+  std::vector<int64_t> steps = ListSteps();
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    const std::string path = PathForStep(*it);
+    auto contents = ReadFileToString(path);
+    if (!contents.ok()) {
+      std::fprintf(stderr, "[ckpt] skipping unreadable %s: %s\n", path.c_str(),
+                   contents.status().message().c_str());
+      continue;
+    }
+    auto snapshot = DecodeSnapshot(*contents);
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "[ckpt] skipping invalid %s: %s\n", path.c_str(),
+                   snapshot.status().message().c_str());
+      continue;
+    }
+    if (snapshot->step != *it) {
+      std::fprintf(stderr, "[ckpt] skipping %s: step %" PRId64
+                   " disagrees with filename\n", path.c_str(), snapshot->step);
+      continue;
+    }
+    return std::move(*snapshot);
+  }
+  return NotFoundError("no valid checkpoint in " + dir_);
+}
+
+}  // namespace plp::ckpt

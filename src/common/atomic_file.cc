@@ -1,0 +1,98 @@
+#include "common/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/fault_injection.h"
+
+namespace plp {
+namespace {
+
+Status ErrnoError(const std::string& what, const std::string& path) {
+  return InternalError(what + " failed for " + path + ": " +
+                       std::strerror(errno));
+}
+
+Status WriteAll(int fd, std::string_view contents, const std::string& path) {
+  size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n = ::write(fd, contents.data() + written,
+                              contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("write", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// The commit sequence against an already-created temp fd. Split out so
+/// the caller can centralize cleanup: any error (including an injected
+/// one) unlinks the temp and leaves the destination untouched.
+Status CommitViaTemp(int fd, const std::string& temp_path,
+                     const std::string& path, std::string_view contents) {
+  // Stage the payload in two halves with a fault point between them: a
+  // kill here leaves a torn temp file — exactly the state the atomic
+  // protocol must make invisible to readers of `path`.
+  const size_t half = contents.size() / 2;
+  PLP_RETURN_IF_ERROR(WriteAll(fd, contents.substr(0, half), temp_path));
+  PLP_FAULT_POINT("atomic_file.mid_payload");
+  PLP_RETURN_IF_ERROR(WriteAll(fd, contents.substr(half), temp_path));
+  if (::fsync(fd) != 0) return ErrnoError("fsync", temp_path);
+  PLP_FAULT_POINT("atomic_file.after_temp_write");
+  if (::rename(temp_path.c_str(), path.c_str()) != 0) {
+    return ErrnoError("rename", temp_path);
+  }
+  PLP_FAULT_POINT("atomic_file.after_rename");
+  return Status::Ok();
+}
+
+Status SyncParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) return ErrnoError("open directory", dir);
+  const int rc = ::fsync(dir_fd);
+  ::close(dir_fd);
+  if (rc != 0) return ErrnoError("fsync directory", dir);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  if (path.empty()) return InvalidArgumentError("empty path");
+  const std::string temp_path =
+      path + std::string(kAtomicTempInfix) + std::to_string(::getpid());
+  const int fd = ::open(temp_path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoError("open", temp_path);
+
+  Status status = CommitViaTemp(fd, temp_path, path, contents);
+  ::close(fd);
+  if (!status.ok()) {
+    ::unlink(temp_path.c_str());  // best effort; never mask the root cause
+    return status;
+  }
+  return SyncParentDirectory(path);
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open: " + path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (!in && !in.eof()) return InternalError("read failed: " + path);
+  return std::move(contents).str();
+}
+
+}  // namespace plp

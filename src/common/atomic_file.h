@@ -1,0 +1,39 @@
+#ifndef PLP_COMMON_ATOMIC_FILE_H_
+#define PLP_COMMON_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace plp {
+
+/// Suffix of the temporary files AtomicWriteFile stages commits through.
+/// Readers that scan directories (checkpoint discovery, model registries)
+/// must ignore names containing it: a temp file is by definition possibly
+/// torn.
+inline constexpr std::string_view kAtomicTempInfix = ".tmp.";
+
+/// Durably replaces `path` with `contents` using the classic crash-safe
+/// commit protocol:
+///
+///   1. write the full contents to `<path>.tmp.<pid>` in the same
+///      directory (same filesystem, so the rename below is atomic),
+///   2. fsync the temp file — its bytes are on stable storage,
+///   3. rename(temp, path) — POSIX atomically swaps the name to the new
+///      inode; any concurrent or future reader sees either the complete
+///      old file or the complete new file, never a mixture,
+///   4. fsync the directory — the rename itself is durable.
+///
+/// A crash at any point leaves `path` either absent (if it never existed)
+/// or pointing at the last fully committed contents; at worst an orphaned
+/// temp file remains, which writers overwrite and readers ignore. On any
+/// error the destination is untouched and the temp file is unlinked.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// Reads an entire file into memory. NotFound when it does not exist.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace plp
+
+#endif  // PLP_COMMON_ATOMIC_FILE_H_

@@ -1,0 +1,124 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+
+namespace plp {
+namespace {
+
+// Armed-fault spec, guarded by a mutex: the slow path only runs while a
+// fault is armed (tests and the crashtest child), never in production.
+struct ArmedFault {
+  std::string point;
+  FaultMode mode = FaultMode::kKill;
+  int64_t trigger_hit = 1;
+  int64_t delay_millis = 0;
+  int64_t hits = 0;
+};
+
+std::mutex& FaultMutex() {
+  static std::mutex m;
+  return m;
+}
+
+ArmedFault& Fault() {
+  static ArmedFault fault;
+  return fault;
+}
+
+}  // namespace
+
+std::atomic<bool> FaultInjection::armed_{false};
+
+void FaultInjection::Arm(const std::string& point, FaultMode mode,
+                         int64_t trigger_hit, int64_t delay_millis) {
+  PLP_CHECK(!point.empty());
+  PLP_CHECK_GE(trigger_hit, 1);
+  std::lock_guard<std::mutex> lock(FaultMutex());
+  Fault() = ArmedFault{point, mode, trigger_hit, delay_millis, 0};
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjection::Disarm() {
+  std::lock_guard<std::mutex> lock(FaultMutex());
+  armed_.store(false, std::memory_order_release);
+  Fault() = ArmedFault{};
+}
+
+void FaultInjection::ArmFromEnv() {
+  const char* env = std::getenv("PLP_FAULT");
+  if (env == nullptr || *env == '\0') return;
+  std::string spec(env);
+
+  int64_t trigger_hit = 1;
+  if (const size_t at = spec.find('@'); at != std::string::npos) {
+    trigger_hit = std::strtoll(spec.c_str() + at + 1, nullptr, 10);
+    PLP_CHECK_GE(trigger_hit, 1);
+    spec.resize(at);
+  }
+  FaultMode mode = FaultMode::kKill;
+  int64_t delay_millis = 0;
+  if (const size_t colon = spec.find(':'); colon != std::string::npos) {
+    const std::string mode_str = spec.substr(colon + 1);
+    spec.resize(colon);
+    if (mode_str == "kill") {
+      mode = FaultMode::kKill;
+    } else if (mode_str == "fail") {
+      mode = FaultMode::kFail;
+    } else if (mode_str.rfind("delay", 0) == 0) {
+      mode = FaultMode::kDelay;
+      delay_millis = std::strtoll(mode_str.c_str() + 5, nullptr, 10);
+      PLP_CHECK_GE(delay_millis, 0);
+    } else {
+      PLP_CHECK(false && "PLP_FAULT mode must be kill, fail, or delay<ms>");
+    }
+  }
+  PLP_CHECK(!spec.empty());
+  Arm(spec, mode, trigger_hit, delay_millis);
+}
+
+Status FaultInjection::Hit(const char* point) {
+  FaultMode mode;
+  int64_t delay_millis = 0;
+  {
+    std::lock_guard<std::mutex> lock(FaultMutex());
+    ArmedFault& fault = Fault();
+    if (!armed_.load(std::memory_order_relaxed) || fault.point != point) {
+      return Status::Ok();
+    }
+    ++fault.hits;
+    if (fault.hits < fault.trigger_hit) return Status::Ok();
+    mode = fault.mode;
+    delay_millis = fault.delay_millis;
+    if (mode != FaultMode::kDelay) {
+      // One-shot: a kill never returns; a fail should not re-fire on the
+      // caller's cleanup/retry path unless re-armed.
+      armed_.store(false, std::memory_order_release);
+    }
+  }
+  switch (mode) {
+    case FaultMode::kKill:
+      // SIGKILL ourselves: no atexit handlers, no stream flushes, no
+      // destructors — the closest a test can get to a power cut.
+      std::raise(SIGKILL);
+      std::abort();  // unreachable
+    case FaultMode::kFail:
+      return InternalError(std::string("injected fault at ") + point);
+    case FaultMode::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_millis));
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+int64_t FaultInjection::HitCount() {
+  std::lock_guard<std::mutex> lock(FaultMutex());
+  return Fault().hits;
+}
+
+}  // namespace plp

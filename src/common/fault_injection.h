@@ -1,0 +1,82 @@
+#ifndef PLP_COMMON_FAULT_INJECTION_H_
+#define PLP_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace plp {
+
+/// Named crash/error points compiled into durability-critical code paths
+/// (checkpoint commit, model IO, the training loop). Production cost when
+/// nothing is armed is a single relaxed atomic load per point; the match
+/// logic runs only while a fault is armed.
+///
+/// The crash-loop driver (tools/plp_crashtest) arms a point, runs training
+/// in a forked child, and asserts the recovery invariants after the child
+/// is killed mid-commit. Unit tests arm kFail points to exercise error
+/// paths that are otherwise unreachable (torn writes, failed commits).
+///
+/// Points currently compiled in:
+///   atomic_file.mid_payload     half the payload written to the temp file
+///   atomic_file.after_temp_write temp durable, rename not yet issued
+///   atomic_file.after_rename    destination replaced, directory not synced
+///   ckpt.before_save            checkpoint assembled, nothing on disk yet
+///   ckpt.after_save             checkpoint committed
+///   trainer.after_noise         noised update applied, checkpoint pending
+///   trainer.before_checkpoint   cadence hit, commit about to start
+///   serve.execute               entry of request scoring (delay injection)
+enum class FaultMode {
+  kKill,   ///< raise(SIGKILL): no destructors, no flushes — a power cut
+  kFail,   ///< the point returns an InternalError to its caller
+  kDelay,  ///< the point sleeps delay_millis, then proceeds (every hit)
+};
+
+class FaultInjection {
+ public:
+  /// Fast path, safe to call from any thread.
+  static bool Armed() { return armed_.load(std::memory_order_acquire); }
+
+  /// Arms `point`: kKill/kFail trigger on the `trigger_hit`-th hit
+  /// (1-based) of that point and disarm afterwards; kDelay sleeps on every
+  /// hit from `trigger_hit` on. Replaces any previous arming.
+  static void Arm(const std::string& point, FaultMode mode,
+                  int64_t trigger_hit = 1, int64_t delay_millis = 0);
+
+  /// Clears the armed fault and hit counters.
+  static void Disarm();
+
+  /// Parses the PLP_FAULT environment variable and arms accordingly.
+  /// Syntax: "point[:mode][@hit]", mode in {kill, fail, delay<ms>},
+  /// e.g. PLP_FAULT="atomic_file.after_temp_write:kill@3". Unset or empty
+  /// leaves injection disabled; malformed specs abort (a misarmed fault
+  /// harness must never pass silently).
+  static void ArmFromEnv();
+
+  /// Slow path. Called by PLP_FAULT_POINT only while armed: returns OK
+  /// when `point` is not the armed one or its trigger hit has not been
+  /// reached; kills the process / returns an error / sleeps otherwise.
+  static Status Hit(const char* point);
+
+  /// Total hits recorded against the armed point (test introspection).
+  static int64_t HitCount();
+
+ private:
+  static std::atomic<bool> armed_;
+};
+
+}  // namespace plp
+
+/// Drops a fault point into a function returning plp::Status or
+/// plp::Result<T>. Zero work unless a fault is armed.
+#define PLP_FAULT_POINT(name)                                            \
+  do {                                                                   \
+    if (::plp::FaultInjection::Armed()) {                                \
+      ::plp::Status plp_fault_status_ = ::plp::FaultInjection::Hit(name); \
+      if (!plp_fault_status_.ok()) return plp_fault_status_;             \
+    }                                                                    \
+  } while (false)
+
+#endif  // PLP_COMMON_FAULT_INJECTION_H_

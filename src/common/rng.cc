@@ -28,6 +28,21 @@ Rng::Rng(uint64_t seed) {
 
 Rng Rng::Fork() { return Rng(NextU64() ^ 0xD1B54A32D192ED03ULL); }
 
+RngState Rng::SaveState() const {
+  RngState s;
+  for (int i = 0; i < 4; ++i) s.state[i] = state_[i];
+  s.spare_gaussian = spare_gaussian_;
+  s.has_spare_gaussian = has_spare_gaussian_;
+  return s;
+}
+
+void Rng::RestoreState(const RngState& s) {
+  PLP_CHECK((s.state[0] | s.state[1] | s.state[2] | s.state[3]) != 0);
+  for (int i = 0; i < 4; ++i) state_[i] = s.state[i];
+  spare_gaussian_ = s.spare_gaussian;
+  has_spare_gaussian_ = s.has_spare_gaussian;
+}
+
 uint64_t Rng::NextU64() {
   const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
   const uint64_t t = state_[1] << 17;

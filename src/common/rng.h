@@ -9,6 +9,15 @@
 
 namespace plp {
 
+/// Complete serializable Rng state — the four xoshiro256++ words plus the
+/// Box–Muller spare. Checkpoint/resume persists this so a resumed training
+/// run continues the exact random stream of the interrupted one.
+struct RngState {
+  uint64_t state[4] = {0, 0, 0, 0};
+  double spare_gaussian = 0.0;
+  bool has_spare_gaussian = false;
+};
+
 /// Deterministic, seedable pseudo-random generator (xoshiro256++) with the
 /// sampling primitives the library needs. One Rng instance is not thread
 /// safe; create one per thread (Fork() derives an independent stream).
@@ -71,6 +80,14 @@ class Rng {
   /// Samples k distinct indices from [0, n) uniformly (Floyd's algorithm).
   /// Requires k <= n. Result order is unspecified.
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Snapshot of the full generator state. A generator restored from it
+  /// continues the stream bit-exactly where the snapshot was taken.
+  RngState SaveState() const;
+
+  /// Overwrites this generator's state. Rejects (aborts on) the all-zero
+  /// xoshiro state, which no valid SaveState can produce.
+  void RestoreState(const RngState& state);
 
  private:
   uint64_t state_[4];

@@ -1,0 +1,137 @@
+#include "common/serialize.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace plp {
+
+static_assert(std::endian::native == std::endian::little,
+              "serialized formats are little-endian; big-endian hosts need "
+              "byte swaps here");
+
+void ByteWriter::AppendLe(const void* data, size_t bytes) {
+  buffer_.append(static_cast<const char*>(data), bytes);
+}
+
+void ByteWriter::DoubleSpan(std::span<const double> values) {
+  AppendLe(values.data(), values.size() * sizeof(double));
+}
+
+void ByteWriter::DoubleVector(std::span<const double> values) {
+  U64(static_cast<uint64_t>(values.size()));
+  DoubleSpan(values);
+}
+
+void ByteWriter::LengthPrefixedBytes(std::string_view bytes) {
+  U64(static_cast<uint64_t>(bytes.size()));
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+Status ByteReader::Take(void* out, size_t bytes) {
+  if (remaining() < bytes) {
+    return InvalidArgumentError("serialized buffer truncated");
+  }
+  std::memcpy(out, data_.data() + pos_, bytes);
+  pos_ += bytes;
+  return Status::Ok();
+}
+
+Result<uint8_t> ByteReader::U8() {
+  uint8_t v = 0;
+  PLP_RETURN_IF_ERROR(Take(&v, sizeof(v)));
+  return v;
+}
+
+Result<uint32_t> ByteReader::U32() {
+  uint32_t v = 0;
+  PLP_RETURN_IF_ERROR(Take(&v, sizeof(v)));
+  return v;
+}
+
+Result<int32_t> ByteReader::I32() {
+  int32_t v = 0;
+  PLP_RETURN_IF_ERROR(Take(&v, sizeof(v)));
+  return v;
+}
+
+Result<uint64_t> ByteReader::U64() {
+  uint64_t v = 0;
+  PLP_RETURN_IF_ERROR(Take(&v, sizeof(v)));
+  return v;
+}
+
+Result<int64_t> ByteReader::I64() {
+  int64_t v = 0;
+  PLP_RETURN_IF_ERROR(Take(&v, sizeof(v)));
+  return v;
+}
+
+Result<double> ByteReader::F64() {
+  double v = 0;
+  PLP_RETURN_IF_ERROR(Take(&v, sizeof(v)));
+  return v;
+}
+
+Status ByteReader::ReadDoubleSpan(std::span<double> values) {
+  return Take(values.data(), values.size() * sizeof(double));
+}
+
+Result<std::vector<double>> ByteReader::ReadDoubleVector(uint64_t max_len) {
+  PLP_ASSIGN_OR_RETURN(const uint64_t len, U64());
+  if (len > max_len) {
+    return InvalidArgumentError("serialized vector length exceeds limit");
+  }
+  if (remaining() < len * sizeof(double)) {
+    return InvalidArgumentError("serialized buffer truncated");
+  }
+  std::vector<double> values(static_cast<size_t>(len));
+  PLP_RETURN_IF_ERROR(ReadDoubleSpan(values));
+  return values;
+}
+
+Result<std::string> ByteReader::ReadLengthPrefixedBytes(uint64_t max_len) {
+  PLP_ASSIGN_OR_RETURN(const uint64_t len, U64());
+  if (len > max_len) {
+    return InvalidArgumentError("serialized blob length exceeds limit");
+  }
+  if (remaining() < len) {
+    return InvalidArgumentError("serialized buffer truncated");
+  }
+  std::string bytes(data_.substr(pos_, static_cast<size_t>(len)));
+  pos_ += static_cast<size_t>(len);
+  return bytes;
+}
+
+namespace {
+
+/// Reflected CRC-64/XZ table (polynomial 0x42F0E1EBA9EA3693, reflected as
+/// 0xC96C5795D7870F42), built once at first use.
+const std::array<uint64_t, 256>& Crc64Table() {
+  static const std::array<uint64_t, 256> table = [] {
+    std::array<uint64_t, 256> t{};
+    constexpr uint64_t kPoly = 0xC96C5795D7870F42ULL;
+    for (uint64_t i = 0; i < 256; ++i) {
+      uint64_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[static_cast<size_t>(i)] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint64_t Crc64(std::string_view data) {
+  const auto& table = Crc64Table();
+  uint64_t crc = ~uint64_t{0};
+  for (const char c : data) {
+    crc = table[(crc ^ static_cast<uint8_t>(c)) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace plp

@@ -1,0 +1,93 @@
+#ifndef PLP_COMMON_SERIALIZE_H_
+#define PLP_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace plp {
+
+/// Little-endian binary serialization primitives shared by the checkpoint
+/// subsystem and the stateful components it snapshots (ledger, optimizers,
+/// RNG). A ByteWriter appends to an in-memory buffer; the finished buffer
+/// is committed to disk in one shot (see common/atomic_file.h), never
+/// streamed — durability lives at the file layer, layout lives here.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { AppendLe(&v, sizeof(v)); }
+  void I32(int32_t v) { AppendLe(&v, sizeof(v)); }
+  void U64(uint64_t v) { AppendLe(&v, sizeof(v)); }
+  void I64(int64_t v) { AppendLe(&v, sizeof(v)); }
+  void F64(double v) { AppendLe(&v, sizeof(v)); }
+
+  /// Raw doubles, no length prefix (caller knows the count from shape).
+  void DoubleSpan(std::span<const double> values);
+
+  /// u64 length + raw doubles.
+  void DoubleVector(std::span<const double> values);
+
+  /// u64 length + bytes. Used both for strings and for nested opaque
+  /// state blobs (a component serializes into its own ByteWriter and the
+  /// parent embeds the result), which keeps layers decoupled: the
+  /// checkpoint format does not know the ledger's or an optimizer's
+  /// internal layout.
+  void LengthPrefixedBytes(std::string_view bytes);
+
+  const std::string& str() const { return buffer_; }
+  std::string Take() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  void AppendLe(const void* data, size_t bytes);
+
+  std::string buffer_;
+};
+
+/// Bounds-checked reader over a serialized buffer. Every accessor fails
+/// with InvalidArgument on truncation instead of reading past the end —
+/// defense in depth behind the envelope checksum.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> U8();
+  Result<uint32_t> U32();
+  Result<int32_t> I32();
+  Result<uint64_t> U64();
+  Result<int64_t> I64();
+  Result<double> F64();
+
+  /// Fills `values` with raw doubles (no length prefix).
+  Status ReadDoubleSpan(std::span<double> values);
+
+  /// Reads a u64-length-prefixed double vector; rejects lengths above
+  /// `max_len` before allocating.
+  Result<std::vector<double>> ReadDoubleVector(uint64_t max_len);
+
+  /// Reads a u64-length-prefixed byte string; rejects lengths above
+  /// `max_len` before allocating.
+  Result<std::string> ReadLengthPrefixedBytes(uint64_t max_len);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Take(void* out, size_t bytes);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// CRC-64/XZ (ECMA-182 polynomial, reflected) of `data`. Torn or
+/// bit-flipped checkpoint payloads are rejected by this checksum before
+/// any field is parsed.
+uint64_t Crc64(std::string_view data);
+
+}  // namespace plp
+
+#endif  // PLP_COMMON_SERIALIZE_H_

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
+#include "common/serialize.h"
 #include "common/stopwatch.h"
 #include "sgns/loss.h"
 #include "sgns/pairs.h"
@@ -27,12 +30,25 @@ Status NonPrivateConfig::Validate() const {
   return Status::Ok();
 }
 
+namespace {
+constexpr char kOptimizerName[] = "sparse_adam";
+}  // namespace
+
 Result<NonPrivateResult> NonPrivateTrainer::Train(
     const data::TrainingCorpus& corpus, Rng& rng,
-    const EpochCallback& callback) const {
+    const EpochCallback& callback,
+    const ckpt::CheckpointOptions& checkpoint) const {
   PLP_RETURN_IF_ERROR(config_.Validate());
   if (corpus.num_users() == 0 || corpus.num_locations <= 0) {
     return InvalidArgumentError("empty training corpus");
+  }
+  std::optional<ckpt::CheckpointManager> manager;
+  if (checkpoint.enabled()) {
+    if (checkpoint.every_steps <= 0) {
+      return InvalidArgumentError("checkpoint every_steps must be > 0");
+    }
+    manager.emplace(checkpoint.dir, checkpoint.keep_last);
+    PLP_RETURN_IF_ERROR(manager->Init());
   }
 
   Stopwatch stopwatch;
@@ -89,19 +105,58 @@ Result<NonPrivateResult> NonPrivateTrainer::Train(
     return pairs;
   };
 
-  // Without subsampling the pair set is static; each epoch reshuffles it.
-  std::vector<sgns::Pair> all_pairs = build_pairs(rng);
-  if (all_pairs.empty() && keep_probability.empty()) {
-    return InvalidArgumentError(
-        "corpus produced no training pairs (sentences shorter than 2?)");
+  // Without subsampling the pair set is static: build it once (consuming
+  // no randomness) and let every epoch shuffle a pristine-order copy. With
+  // subsampling, every epoch builds a fresh pristine-order subsample.
+  // Either way an epoch depends only on the RNG position at its start —
+  // never on the permutation earlier epochs left behind — which is what
+  // lets a resumed run replay the remaining epochs bit-identically.
+  std::vector<sgns::Pair> pristine_pairs;
+  if (keep_probability.empty()) {
+    pristine_pairs = build_pairs(rng);
+    if (pristine_pairs.empty()) {
+      return InvalidArgumentError(
+          "corpus produced no training pairs (sentences shorter than 2?)");
+    }
+  }
+
+  int64_t start_epoch = 0;
+  if (manager && checkpoint.resume) {
+    auto loaded = manager->LoadLatest();
+    if (loaded.ok()) {
+      ckpt::TrainerSnapshot& snapshot = *loaded;
+      if (snapshot.kind != ckpt::TrainerKind::kNonPrivate) {
+        return InvalidArgumentError(
+            "checkpoint was written by a different trainer kind");
+      }
+      if (snapshot.model.num_locations() != corpus.num_locations ||
+          snapshot.model.dim() != config_.sgns.embedding_dim) {
+        return InvalidArgumentError(
+            "checkpoint model shape disagrees with corpus/config");
+      }
+      if (snapshot.optimizer_name != kOptimizerName ||
+          !snapshot.ledger_blob.empty()) {
+        return InvalidArgumentError(
+            "checkpoint payload disagrees with the non-private trainer");
+      }
+      ByteReader optimizer_reader(snapshot.optimizer_blob);
+      PLP_RETURN_IF_ERROR(adam.LoadState(optimizer_reader, snapshot.model));
+      if (!optimizer_reader.AtEnd()) {
+        return InvalidArgumentError("checkpoint: trailing optimizer bytes");
+      }
+      model = std::move(snapshot.model);
+      rng.RestoreState(snapshot.rng);
+      start_epoch = snapshot.step;
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
   }
 
   NonPrivateResult result;
   result.model = std::move(model);
-  for (int64_t epoch = 1; epoch <= config_.epochs; ++epoch) {
-    if (!keep_probability.empty() && epoch > 1) {
-      all_pairs = build_pairs(rng);  // fresh subsample each epoch
-    }
+  std::vector<sgns::Pair> all_pairs;
+  for (int64_t epoch = start_epoch + 1; epoch <= config_.epochs; ++epoch) {
+    all_pairs = keep_probability.empty() ? pristine_pairs : build_pairs(rng);
     rng.Shuffle(all_pairs);
     double loss_sum = 0.0;
     int64_t pairs = 0;
@@ -125,7 +180,24 @@ Result<NonPrivateResult> NonPrivateTrainer::Train(
     metrics.mean_loss =
         pairs == 0 ? 0.0 : loss_sum / static_cast<double>(pairs);
     result.history.push_back(metrics);
-    if (callback && !callback(metrics, result.model)) break;
+    // Observe before committing (see PlpTrainer::Train): a crash between
+    // the two replays the epoch rather than hiding it from the observer.
+    const bool continue_training =
+        !callback || callback(metrics, result.model);
+    if (manager && epoch % checkpoint.every_steps == 0) {
+      PLP_FAULT_POINT("trainer.before_checkpoint");
+      ckpt::TrainerSnapshot snapshot;
+      snapshot.kind = ckpt::TrainerKind::kNonPrivate;
+      snapshot.step = epoch;
+      snapshot.rng = rng.SaveState();
+      snapshot.optimizer_name = kOptimizerName;
+      ByteWriter optimizer_writer;
+      adam.SaveState(optimizer_writer);
+      snapshot.optimizer_blob = optimizer_writer.Take();
+      snapshot.model = result.model;
+      PLP_RETURN_IF_ERROR(manager->Save(snapshot));
+    }
+    if (!continue_training) break;
   }
   result.wall_seconds = stopwatch.ElapsedSeconds();
   return result;

@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "data/corpus.h"
@@ -60,10 +61,16 @@ class NonPrivateTrainer {
 
   const NonPrivateConfig& config() const { return config_; }
 
-  Result<NonPrivateResult> Train(const data::TrainingCorpus& corpus,
-                                 Rng& rng,
-                                 const EpochCallback& callback = nullptr)
-      const;
+  /// With `checkpoint.dir` set, a durable snapshot is committed every
+  /// `checkpoint.every_steps` completed epochs; `checkpoint.resume`
+  /// continues from the newest valid one. Each epoch shuffles the pair
+  /// set from pristine corpus order, so an epoch is a pure function of the
+  /// RNG position at its start and a resumed run finishes bit-identically
+  /// to an uninterrupted one.
+  Result<NonPrivateResult> Train(
+      const data::TrainingCorpus& corpus, Rng& rng,
+      const EpochCallback& callback = nullptr,
+      const ckpt::CheckpointOptions& checkpoint = {}) const;
 
  private:
   NonPrivateConfig config_;

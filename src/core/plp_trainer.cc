@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
+#include "common/serialize.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/bucket_update.h"
@@ -13,13 +16,46 @@
 #include "sgns/train_scratch.h"
 
 namespace plp::core {
+namespace {
 
-Result<TrainResult> PlpTrainer::Train(const data::TrainingCorpus& corpus,
-                                      Rng& rng,
-                                      const StepCallback& callback) const {
+/// Snapshots the full mutable training state after completed step `step`.
+/// The ledger/optimizer states embed as opaque blobs: each component
+/// serializes itself, the checkpoint format stays ignorant of their layout.
+ckpt::TrainerSnapshot MakePrivateSnapshot(
+    int64_t step, const Rng& rng, const privacy::PrivacyLedger& ledger,
+    const optim::ServerOptimizer& server, const std::string& optimizer_name,
+    const sgns::SgnsModel& model) {
+  ckpt::TrainerSnapshot snapshot;
+  snapshot.kind = ckpt::TrainerKind::kPrivate;
+  snapshot.step = step;
+  snapshot.rng = rng.SaveState();
+  ByteWriter ledger_writer;
+  ledger.SaveState(ledger_writer);
+  snapshot.ledger_blob = ledger_writer.Take();
+  snapshot.optimizer_name = optimizer_name;
+  ByteWriter optimizer_writer;
+  server.SaveState(optimizer_writer);
+  snapshot.optimizer_blob = optimizer_writer.Take();
+  snapshot.model = model;
+  return snapshot;
+}
+
+}  // namespace
+
+Result<TrainResult> PlpTrainer::Train(
+    const data::TrainingCorpus& corpus, Rng& rng, const StepCallback& callback,
+    const ckpt::CheckpointOptions& checkpoint) const {
   PLP_RETURN_IF_ERROR(config_.Validate());
   if (corpus.num_users() == 0 || corpus.num_locations <= 0) {
     return InvalidArgumentError("empty training corpus");
+  }
+  std::optional<ckpt::CheckpointManager> manager;
+  if (checkpoint.enabled()) {
+    if (checkpoint.every_steps <= 0) {
+      return InvalidArgumentError("checkpoint every_steps must be > 0");
+    }
+    manager.emplace(checkpoint.dir, checkpoint.keep_last);
+    PLP_RETURN_IF_ERROR(manager->Init());
   }
 
   Stopwatch stopwatch;
@@ -29,6 +65,58 @@ Result<TrainResult> PlpTrainer::Train(const data::TrainingCorpus& corpus,
   privacy::PrivacyLedger ledger(config_.delta);
   std::unique_ptr<optim::ServerOptimizer> server =
       optim::MakeServerOptimizer(config_.server_optimizer, config_.adam);
+
+  // Resume overlays the freshly-initialized state: the snapshot's model,
+  // ledger, optimizer moments and RNG position replace the fresh ones, and
+  // the loop continues at the step after the snapshot. Every cross-field
+  // consistency violation is rejected here, before any state is mutated.
+  int64_t start_step = 0;
+  if (manager && checkpoint.resume) {
+    auto loaded = manager->LoadLatest();
+    if (loaded.ok()) {
+      ckpt::TrainerSnapshot& snapshot = *loaded;
+      if (snapshot.kind != ckpt::TrainerKind::kPrivate) {
+        return InvalidArgumentError(
+            "checkpoint was written by a different trainer kind");
+      }
+      if (snapshot.model.num_locations() != corpus.num_locations ||
+          snapshot.model.dim() != config_.sgns.embedding_dim) {
+        return InvalidArgumentError(
+            "checkpoint model shape disagrees with corpus/config");
+      }
+      if (snapshot.optimizer_name != config_.server_optimizer) {
+        return InvalidArgumentError(
+            "checkpoint optimizer disagrees with config");
+      }
+      ByteReader ledger_reader(snapshot.ledger_blob);
+      PLP_ASSIGN_OR_RETURN(privacy::PrivacyLedger restored_ledger,
+                           privacy::PrivacyLedger::Restore(ledger_reader));
+      if (!ledger_reader.AtEnd()) {
+        return InvalidArgumentError("checkpoint: trailing ledger bytes");
+      }
+      if (restored_ledger.delta() != config_.delta) {
+        return InvalidArgumentError("checkpoint δ disagrees with config");
+      }
+      // Ledger-first invariant: a snapshot at step k carries exactly k
+      // tracked steps — the ledger always covers the model's spends.
+      if (restored_ledger.total_steps() != snapshot.step) {
+        return InvalidArgumentError(
+            "checkpoint ledger steps disagree with step counter");
+      }
+      ByteReader optimizer_reader(snapshot.optimizer_blob);
+      PLP_RETURN_IF_ERROR(server->LoadState(optimizer_reader, snapshot.model));
+      if (!optimizer_reader.AtEnd()) {
+        return InvalidArgumentError("checkpoint: trailing optimizer bytes");
+      }
+      ledger = std::move(restored_ledger);
+      model = std::move(snapshot.model);
+      rng.RestoreState(snapshot.rng);
+      start_step = snapshot.step;
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
+  }
+
   std::unique_ptr<ThreadPool> pool;
   if (config_.num_threads > 1) {
     pool = std::make_unique<ThreadPool>(
@@ -44,6 +132,10 @@ Result<TrainResult> PlpTrainer::Train(const data::TrainingCorpus& corpus,
   sgns::DenseUpdate update(model);
   TrainResult result;
   result.model = std::move(model);
+  result.steps_executed = start_step;
+  if (start_step > 0) {
+    result.epsilon_spent = ledger.CumulativeEpsilon(config_.rdp_conversion);
+  }
 
   // Steady-state buffers reused across steps: one TrainScratch per pool
   // worker (workers index them via ThreadPool::CurrentWorkerIndex(), the
@@ -59,7 +151,7 @@ Result<TrainResult> PlpTrainer::Train(const data::TrainingCorpus& corpus,
   std::vector<const sgns::SparseDelta*> delta_ptrs;
   std::vector<double> losses;
 
-  for (int64_t step = 1; step <= config_.max_steps; ++step) {
+  for (int64_t step = start_step + 1; step <= config_.max_steps; ++step) {
     const double sigma_t = NoiseScaleAt(config_, step);
     // The ledger tracks the *effective* noise multiplier: noise stddev
     // divided by the query's joint l2 sensitivity ω·C. With per-tensor
@@ -174,6 +266,7 @@ Result<TrainResult> PlpTrainer::Train(const data::TrainingCorpus& corpus,
     update.Scale(1.0 / denominator, pool.get());
     metrics.noisy_update_norm = update.Norm(pool.get());
     result.phase_seconds.noise += phase.ElapsedSeconds();
+    PLP_FAULT_POINT("trainer.after_noise");
 
     // Line 10: model update.
     phase.Reset();
@@ -182,7 +275,20 @@ Result<TrainResult> PlpTrainer::Train(const data::TrainingCorpus& corpus,
     result.steps_executed = step;
     result.history.push_back(metrics);
 
-    if (callback && !callback(metrics, result.model)) {
+    // Observe before committing: a crash between the callback and the
+    // checkpoint replays the step (re-observing the identical metrics),
+    // whereas the reverse order could persist a step no observer ever saw.
+    const bool continue_training =
+        !callback || callback(metrics, result.model);
+
+    if (manager && step % checkpoint.every_steps == 0) {
+      PLP_FAULT_POINT("trainer.before_checkpoint");
+      PLP_RETURN_IF_ERROR(manager->Save(MakePrivateSnapshot(
+          step, rng, ledger, *server, config_.server_optimizer,
+          result.model)));
+    }
+
+    if (!continue_training) {
       result.stop_reason = StopReason::kCallback;
       break;
     }

@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/config.h"
@@ -78,8 +79,21 @@ class PlpTrainer {
 
   /// Runs Algorithm 1 over `corpus`. Deterministic given `rng`'s state.
   /// `callback` may be null.
-  Result<TrainResult> Train(const data::TrainingCorpus& corpus, Rng& rng,
-                            const StepCallback& callback = nullptr) const;
+  ///
+  /// When `checkpoint.dir` is set, a durable snapshot is committed every
+  /// `checkpoint.every_steps` completed steps (ledger-first: the ledger has
+  /// already tracked every step whose noised update the snapshot's model
+  /// contains, so no restored run can under-account). With
+  /// `checkpoint.resume`, training continues from the newest valid
+  /// snapshot — and because every random draw of a step is a pure function
+  /// of the saved RNG position, a run killed at any instant and resumed
+  /// replays the *identical* noise and reaches a bit-identical final model
+  /// at any thread count; replayed steps are the same mechanism draws, not
+  /// a second privacy spend.
+  Result<TrainResult> Train(
+      const data::TrainingCorpus& corpus, Rng& rng,
+      const StepCallback& callback = nullptr,
+      const ckpt::CheckpointOptions& checkpoint = {}) const;
 
  private:
   PlpConfig config_;
@@ -96,9 +110,11 @@ class DpSgdTrainer {
 
   const PlpConfig& config() const { return trainer_.config(); }
 
-  Result<TrainResult> Train(const data::TrainingCorpus& corpus, Rng& rng,
-                            const StepCallback& callback = nullptr) const {
-    return trainer_.Train(corpus, rng, callback);
+  Result<TrainResult> Train(
+      const data::TrainingCorpus& corpus, Rng& rng,
+      const StepCallback& callback = nullptr,
+      const ckpt::CheckpointOptions& checkpoint = {}) const {
+    return trainer_.Train(corpus, rng, callback, checkpoint);
   }
 
  private:

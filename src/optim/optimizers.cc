@@ -53,6 +53,70 @@ void DpAdamServerOptimizer::ApplyUpdate(const sgns::DenseUpdate& update,
   }
 }
 
+namespace {
+
+// Shared blob layout for both Adam variants: step counter, then the three
+// first-moment tensors, then the three second-moment tensors. Each tensor
+// is length-prefixed so a restored optimizer can validate shapes against
+// the model before touching its own state.
+void SaveAdamMoments(int64_t step, const std::vector<double> (&m)[sgns::kNumTensors],
+                     const std::vector<double> (&v)[sgns::kNumTensors], ByteWriter& writer) {
+  writer.I64(step);
+  for (int ti = 0; ti < sgns::kNumTensors; ++ti) writer.DoubleVector(m[ti]);
+  for (int ti = 0; ti < sgns::kNumTensors; ++ti) writer.DoubleVector(v[ti]);
+}
+
+Status LoadAdamMoments(ByteReader& reader, const sgns::SgnsModel& model,
+                       bool allow_empty_at_step_zero, int64_t& step,
+                       std::vector<double> (&m)[sgns::kNumTensors],
+                       std::vector<double> (&v)[sgns::kNumTensors]) {
+  PLP_ASSIGN_OR_RETURN(const int64_t loaded_step, reader.I64());
+  if (loaded_step < 0) {
+    return InvalidArgumentError("optimizer state: negative step count");
+  }
+  std::vector<double> loaded_m[sgns::kNumTensors];
+  std::vector<double> loaded_v[sgns::kNumTensors];
+  for (int ti = 0; ti < sgns::kNumTensors; ++ti) {
+    const auto t = static_cast<sgns::Tensor>(ti);
+    const size_t expected = model.TensorData(t).size();
+    PLP_ASSIGN_OR_RETURN(loaded_m[ti], reader.ReadDoubleVector(expected));
+    const bool empty_ok =
+        allow_empty_at_step_zero && loaded_step == 0 && loaded_m[ti].empty();
+    if (loaded_m[ti].size() != expected && !empty_ok) {
+      return InvalidArgumentError(
+          "optimizer state: first-moment shape disagrees with model");
+    }
+  }
+  for (int ti = 0; ti < sgns::kNumTensors; ++ti) {
+    PLP_ASSIGN_OR_RETURN(loaded_v[ti],
+                         reader.ReadDoubleVector(loaded_m[ti].size()));
+    if (loaded_v[ti].size() != loaded_m[ti].size()) {
+      return InvalidArgumentError(
+          "optimizer state: moment shapes disagree with each other");
+    }
+  }
+  step = loaded_step;
+  for (int ti = 0; ti < sgns::kNumTensors; ++ti) {
+    m[ti] = std::move(loaded_m[ti]);
+    v[ti] = std::move(loaded_v[ti]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void DpAdamServerOptimizer::SaveState(ByteWriter& writer) const {
+  SaveAdamMoments(step_, m_, v_, writer);
+}
+
+Status DpAdamServerOptimizer::LoadState(ByteReader& reader,
+                                        const sgns::SgnsModel& model) {
+  // Moments are lazily sized on the first ApplyUpdate, so a checkpoint
+  // taken before any update legitimately carries empty tensors.
+  return LoadAdamMoments(reader, model, /*allow_empty_at_step_zero=*/true,
+                         step_, m_, v_);
+}
+
 std::unique_ptr<ServerOptimizer> MakeServerOptimizer(const std::string& name,
                                                      const AdamConfig& adam) {
   if (name == "fixed_step") {
@@ -118,6 +182,21 @@ void SparseAdam::ApplyGradient(const sgns::SparseDelta& gradient,
         UpdateEntry(sgns::Tensor::kBias, static_cast<size_t>(row),
                     grad_scale * v[0], lr_t, model);
       });
+}
+
+void SparseAdam::SaveState(ByteWriter& writer) const {
+  SaveAdamMoments(step_, m_, v_, writer);
+}
+
+Status SparseAdam::LoadState(ByteReader& reader,
+                             const sgns::SgnsModel& model) {
+  // Eagerly sized at construction: shapes must match the model exactly.
+  PLP_RETURN_IF_ERROR(LoadAdamMoments(
+      reader, model, /*allow_empty_at_step_zero=*/false, step_, m_, v_));
+  if (model.dim() != dim_) {
+    return InvalidArgumentError("optimizer state: model dim changed");
+  }
+  return Status::Ok();
 }
 
 }  // namespace plp::optim

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.h"
 #include "sgns/model.h"
 #include "sgns/sparse_delta.h"
 
@@ -33,6 +34,17 @@ class ServerOptimizer {
 
   /// Human-readable name for logs and experiment tables.
   virtual const char* name() const = 0;
+
+  /// Serializes the optimizer's mutable state (moments, step counter —
+  /// not hyper-parameters, which the owning config re-creates). A
+  /// restored optimizer applies future updates bit-identically to the
+  /// uninterrupted one; checkpoint/resume depends on this.
+  virtual void SaveState(ByteWriter& writer) const = 0;
+
+  /// Restores state written by SaveState on the same optimizer type.
+  /// `model` supplies the expected tensor shapes for validation.
+  virtual Status LoadState(ByteReader& reader,
+                           const sgns::SgnsModel& model) = 0;
 };
 
 /// Literal Algorithm 1: θ_{t+1} = θ_t + ĝ_t.
@@ -44,6 +56,15 @@ class FixedStepServerOptimizer final : public ServerOptimizer {
   void ApplyUpdate(const sgns::DenseUpdate& update,
                    sgns::SgnsModel& model) override;
   const char* name() const override { return "fixed_step"; }
+
+  /// Stateless: nothing to save or restore.
+  void SaveState(ByteWriter& writer) const override { (void)writer; }
+  Status LoadState(ByteReader& reader,
+                   const sgns::SgnsModel& model) override {
+    (void)reader;
+    (void)model;
+    return Status::Ok();
+  }
 
  private:
   double scale_;
@@ -61,6 +82,10 @@ class DpAdamServerOptimizer final : public ServerOptimizer {
   void ApplyUpdate(const sgns::DenseUpdate& update,
                    sgns::SgnsModel& model) override;
   const char* name() const override { return "dp_adam"; }
+
+  void SaveState(ByteWriter& writer) const override;
+  Status LoadState(ByteReader& reader,
+                   const sgns::SgnsModel& model) override;
 
  private:
   AdamConfig config_;
@@ -89,6 +114,10 @@ class SparseAdam {
                      sgns::SgnsModel& model);
 
   int64_t step() const { return step_; }
+
+  /// Checkpoint support, mirroring ServerOptimizer::SaveState/LoadState.
+  void SaveState(ByteWriter& writer) const;
+  Status LoadState(ByteReader& reader, const sgns::SgnsModel& model);
 
  private:
   void UpdateEntry(sgns::Tensor tensor, size_t flat_index, double grad,

@@ -34,6 +34,52 @@ Status PrivacyLedger::TrackStep(double sampling_probability,
   return Status::Ok();
 }
 
+void PrivacyLedger::SaveState(ByteWriter& writer) const {
+  writer.F64(delta_);
+  writer.U64(static_cast<uint64_t>(entries_.size()));
+  for (const LedgerEntry& e : entries_) {
+    writer.F64(e.sampling_probability);
+    writer.F64(e.noise_multiplier);
+    writer.I64(e.steps);
+  }
+  accountant_.SaveState(writer);
+}
+
+Result<PrivacyLedger> PrivacyLedger::Restore(ByteReader& reader) {
+  PLP_ASSIGN_OR_RETURN(const double delta, reader.F64());
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return InvalidArgumentError("ledger state: delta outside (0, 1)");
+  }
+  PLP_ASSIGN_OR_RETURN(const uint64_t num_entries, reader.U64());
+  // Entries are coalesced runs; even one per step bounds them by the step
+  // count. Reject absurd counts before allocating.
+  if (num_entries > (uint64_t{1} << 32)) {
+    return InvalidArgumentError("ledger state: bad entry count");
+  }
+  std::vector<LedgerEntry> entries(static_cast<size_t>(num_entries));
+  int64_t entry_steps = 0;
+  for (LedgerEntry& e : entries) {
+    PLP_ASSIGN_OR_RETURN(e.sampling_probability, reader.F64());
+    PLP_ASSIGN_OR_RETURN(e.noise_multiplier, reader.F64());
+    PLP_ASSIGN_OR_RETURN(e.steps, reader.I64());
+    if (e.sampling_probability < 0.0 || e.sampling_probability > 1.0 ||
+        e.noise_multiplier < 0.0 || e.steps <= 0) {
+      return InvalidArgumentError("ledger state: invalid entry");
+    }
+    entry_steps += e.steps;
+  }
+  PLP_ASSIGN_OR_RETURN(RdpAccountant accountant,
+                       RdpAccountant::Restore(reader));
+  if (accountant.total_steps() != entry_steps) {
+    return InvalidArgumentError(
+        "ledger state: entry steps disagree with accountant steps");
+  }
+  PrivacyLedger ledger(delta);
+  ledger.entries_ = std::move(entries);
+  ledger.accountant_ = std::move(accountant);
+  return ledger;
+}
+
 double PrivacyLedger::CumulativeEpsilon(RdpConversion conversion) const {
   auto eps = accountant_.GetEpsilon(delta_, conversion);
   PLP_CHECK_OK(eps.status());

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.h"
 #include "common/status.h"
 #include "privacy/rdp_accountant.h"
 
@@ -38,6 +39,16 @@ class PrivacyLedger {
   int64_t total_steps() const { return accountant_.total_steps(); }
   const std::vector<LedgerEntry>& entries() const { return entries_; }
   const RdpAccountant& accountant() const { return accountant_; }
+
+  /// Serializes δ, the coalesced (q, σ, steps) entries, and the full
+  /// accountant state. This is the "ledger-first" half of the checkpoint
+  /// commit: a restored ledger answers CumulativeEpsilon bit-identically
+  /// to the uninterrupted one, so no released model can ever be backed by
+  /// an unrecorded budget spend. The per-step RDP cache is deliberately
+  /// not persisted — it is recomputed on the first TrackStep after
+  /// restore and is bit-identical by construction.
+  void SaveState(ByteWriter& writer) const;
+  static Result<PrivacyLedger> Restore(ByteReader& reader);
 
  private:
   double delta_;

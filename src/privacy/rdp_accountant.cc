@@ -127,6 +127,46 @@ Result<int64_t> RdpAccountant::GetOptimalOrder(double delta) const {
   return best_order;
 }
 
+namespace {
+// Orders are small integers; a corrupt blob claiming more than this many
+// is rejected before allocation.
+constexpr uint64_t kMaxSerializedOrders = 1 << 16;
+}  // namespace
+
+void RdpAccountant::SaveState(ByteWriter& writer) const {
+  writer.U64(static_cast<uint64_t>(orders_.size()));
+  for (int64_t a : orders_) writer.I64(a);
+  writer.DoubleSpan(rdp_);
+  writer.I64(total_steps_);
+}
+
+Result<RdpAccountant> RdpAccountant::Restore(ByteReader& reader) {
+  PLP_ASSIGN_OR_RETURN(const uint64_t num_orders, reader.U64());
+  if (num_orders == 0 || num_orders > kMaxSerializedOrders) {
+    return InvalidArgumentError("accountant state: bad order count");
+  }
+  std::vector<int64_t> orders(static_cast<size_t>(num_orders));
+  for (auto& a : orders) {
+    PLP_ASSIGN_OR_RETURN(a, reader.I64());
+    if (a < 2) return InvalidArgumentError("accountant state: order < 2");
+  }
+  std::vector<double> rdp(orders.size());
+  PLP_RETURN_IF_ERROR(reader.ReadDoubleSpan(rdp));
+  for (double r : rdp) {
+    if (!(r >= 0.0)) {  // rejects negatives and NaN
+      return InvalidArgumentError("accountant state: negative RDP");
+    }
+  }
+  PLP_ASSIGN_OR_RETURN(const int64_t total_steps, reader.I64());
+  if (total_steps < 0) {
+    return InvalidArgumentError("accountant state: negative step count");
+  }
+  RdpAccountant accountant(std::move(orders));
+  accountant.rdp_ = std::move(rdp);
+  accountant.total_steps_ = total_steps;
+  return accountant;
+}
+
 double NaiveCompositionEpsilon(double eps0, int64_t steps) {
   PLP_CHECK_GE(eps0, 0.0);
   PLP_CHECK_GE(steps, 0);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.h"
 #include "common/status.h"
 
 namespace plp::privacy {
@@ -73,6 +74,13 @@ class RdpAccountant {
   const std::vector<int64_t>& orders() const { return orders_; }
   const std::vector<double>& accumulated_rdp() const { return rdp_; }
   int64_t total_steps() const { return total_steps_; }
+
+  /// Serializes the full accountant state (orders, accumulated RDP, step
+  /// count). An accountant restored from it continues composition exactly
+  /// — GetEpsilon after restore+AddSteps equals the uninterrupted value
+  /// bit for bit, which is what makes checkpointed accounting sound.
+  void SaveState(ByteWriter& writer) const;
+  static Result<RdpAccountant> Restore(ByteReader& reader);
 
  private:
   std::vector<int64_t> orders_;

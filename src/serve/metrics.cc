@@ -49,7 +49,8 @@ uint64_t Metrics::TotalRequests() const {
          requests_invalid_argument.load(std::memory_order_relaxed) +
          requests_not_found.load(std::memory_order_relaxed) +
          requests_deadline_exceeded.load(std::memory_order_relaxed) +
-         requests_no_model.load(std::memory_order_relaxed);
+         requests_no_model.load(std::memory_order_relaxed) +
+         requests_overloaded.load(std::memory_order_relaxed);
 }
 
 void Metrics::PrintTable(std::ostream& os) const {
@@ -69,6 +70,9 @@ void Metrics::PrintTable(std::ostream& os) const {
       requests_deadline_exceeded.load(std::memory_order_relaxed));
   add("requests_no_model",
       requests_no_model.load(std::memory_order_relaxed));
+  add("requests_overloaded",
+      requests_overloaded.load(std::memory_order_relaxed));
+  add("protocol_errors", protocol_errors.load(std::memory_order_relaxed));
   add("batches", batches.load(std::memory_order_relaxed));
   add("batched_requests",
       batched_requests.load(std::memory_order_relaxed));

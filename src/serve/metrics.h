@@ -48,15 +48,21 @@ class LatencyHistogram {
 class Metrics {
  public:
   // Counter taxonomy: every finished request increments exactly one of
-  // {ok, invalid_argument, not_found, deadline_exceeded, no_model}.
+  // {ok, invalid_argument, not_found, deadline_exceeded, no_model,
+  // overloaded}.
   std::atomic<uint64_t> requests_ok{0};
   std::atomic<uint64_t> requests_invalid_argument{0};
   std::atomic<uint64_t> requests_not_found{0};       ///< unknown session
   std::atomic<uint64_t> requests_deadline_exceeded{0};
   std::atomic<uint64_t> requests_no_model{0};  ///< nothing published yet
+  std::atomic<uint64_t> requests_overloaded{0};  ///< shed: queue was full
   std::atomic<uint64_t> batches{0};       ///< micro-batches executed
   std::atomic<uint64_t> batched_requests{0};  ///< requests inside batches
   std::atomic<uint64_t> model_swaps{0};
+  /// Wire-level garbage that never became a Request (unknown command,
+  /// unparseable fields, oversized line). Counted by the protocol frontend
+  /// (plp_serve), not the engine, and not part of TotalRequests.
+  std::atomic<uint64_t> protocol_errors{0};
 
   LatencyHistogram latency;
 

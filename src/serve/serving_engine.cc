@@ -4,6 +4,8 @@
 #include <latch>
 #include <utility>
 
+#include "common/fault_injection.h"
+
 namespace plp::serve {
 namespace {
 
@@ -52,6 +54,17 @@ Response ServingEngine::Execute(
     const std::shared_ptr<const ModelSnapshot>& snapshot,
     Clock::time_point now) {
   Response response;
+  if (FaultInjection::Armed()) {
+    // "serve.execute": tests inject queue residency (kDelay) here to drive
+    // the queued-expired path deterministically. The clock is re-read so
+    // the injected delay counts against the request's deadline, exactly as
+    // real queue time would.
+    if (Status s = FaultInjection::Hit("serve.execute"); !s.ok()) {
+      response.status = std::move(s);
+      return response;
+    }
+    now = Clock::now();
+  }
   if (snapshot == nullptr) {
     response.status = FailedPreconditionError("no model published");
     return response;
@@ -129,6 +142,9 @@ Response ServingEngine::Finish(Response response,
     case StatusCode::kFailedPrecondition:
       metrics_.requests_no_model.fetch_add(1, std::memory_order_relaxed);
       break;
+    case StatusCode::kResourceExhausted:
+      metrics_.requests_overloaded.fetch_add(1, std::memory_order_relaxed);
+      break;
     default:
       metrics_.requests_invalid_argument.fetch_add(
           1, std::memory_order_relaxed);
@@ -179,11 +195,32 @@ std::future<Response> ServingEngine::SubmitAsync(Request request) {
   if (request.arrival == Clock::time_point{}) request.arrival = submitted;
   auto promise = std::make_shared<std::promise<Response>>();
   std::future<Response> future = promise->get_future();
+
+  // Admission control: shed instead of queueing without bound. The
+  // rejection is immediate (never enters the pool) so an overloaded
+  // engine answers OVERLOADED in microseconds rather than timing every
+  // excess request out at its deadline.
+  if (config_.max_queue > 0) {
+    const int64_t in_flight =
+        async_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    if (in_flight >= config_.max_queue) {
+      async_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      Response shed;
+      shed.status = ResourceExhaustedError(
+          "overloaded: " + std::to_string(in_flight) +
+          " requests already queued");
+      promise->set_value(Finish(std::move(shed), request.arrival));
+      return future;
+    }
+  }
   pool_.Schedule([this, request = std::move(request), promise]() mutable {
     const Clock::time_point now = Clock::now();
     const std::shared_ptr<const ModelSnapshot> snapshot = registry_.Current();
     promise->set_value(Finish(Execute(request, snapshot, now),
                               request.arrival));
+    if (config_.max_queue > 0) {
+      async_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
   });
   return future;
 }

@@ -1,6 +1,7 @@
 #ifndef PLP_SERVE_SERVING_ENGINE_H_
 #define PLP_SERVE_SERVING_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <future>
@@ -48,6 +49,12 @@ struct Response {
 struct ServingConfig {
   int32_t num_threads = 4;      ///< worker pool size (min 1)
   int32_t max_batch = 32;       ///< micro-batch size cap (min 1)
+  /// Async admission bound: SubmitAsync sheds (ResourceExhausted, counted
+  /// as requests_overloaded) once this many submissions are in flight
+  /// instead of queueing without limit. 0 disables shedding. Synchronous
+  /// Recommend/RecommendBatch apply caller backpressure by blocking, so
+  /// they are not shed.
+  int32_t max_queue = 1024;
   SessionStore::Options sessions;
 };
 
@@ -103,6 +110,8 @@ class ServingEngine {
   SessionStore sessions_;
   Metrics metrics_;
   ThreadPool pool_;
+  /// SubmitAsync requests accepted but not yet finished.
+  std::atomic<int64_t> async_in_flight_{0};
 };
 
 }  // namespace plp::serve

@@ -5,6 +5,9 @@
 #include <fstream>
 #include <vector>
 
+#include "common/atomic_file.h"
+#include "common/serialize.h"
+
 namespace plp::sgns {
 namespace {
 
@@ -12,17 +15,12 @@ constexpr char kMagicFull[4] = {'P', 'L', 'P', 'M'};
 constexpr char kMagicEmbeddings[4] = {'P', 'L', 'P', 'E'};
 constexpr int32_t kFormatVersion = 1;
 
-Status WriteHeader(std::ofstream& out, const char magic[4],
-                   int32_t num_locations, int32_t dim) {
-  out.write(magic, 4);
-  auto write_i32 = [&out](int32_t v) {
-    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  write_i32(kFormatVersion);
-  write_i32(num_locations);
-  write_i32(dim);
-  if (!out) return InternalError("header write failed");
-  return Status::Ok();
+void WriteHeader(ByteWriter& out, const char magic[4], int32_t num_locations,
+                 int32_t dim) {
+  for (int i = 0; i < 4; ++i) out.U8(static_cast<uint8_t>(magic[i]));
+  out.I32(kFormatVersion);
+  out.I32(num_locations);
+  out.I32(dim);
 }
 
 constexpr int64_t kHeaderBytes = 4 + 3 * static_cast<int64_t>(sizeof(int32_t));
@@ -81,13 +79,6 @@ Status ReadHeader(std::ifstream& in, const char magic[4],
   return Status::Ok();
 }
 
-Status WriteDoubles(std::ofstream& out, std::span<const double> values) {
-  out.write(reinterpret_cast<const char*>(values.data()),
-            static_cast<std::streamsize>(values.size() * sizeof(double)));
-  if (!out) return InternalError("tensor write failed");
-  return Status::Ok();
-}
-
 Status ReadDoubles(std::ifstream& in, std::span<double> values) {
   in.read(reinterpret_cast<char*>(values.data()),
           static_cast<std::streamsize>(values.size() * sizeof(double)));
@@ -98,15 +89,14 @@ Status ReadDoubles(std::ifstream& in, std::span<double> values) {
 }  // namespace
 
 Status SaveModel(const SgnsModel& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return InternalError("cannot open for writing: " + path);
-  PLP_RETURN_IF_ERROR(
-      WriteHeader(out, kMagicFull, model.num_locations(), model.dim()));
+  // Assemble in memory, then commit atomically: a crash mid-save (or a
+  // concurrent reader) only ever sees the previous complete artifact.
+  ByteWriter out;
+  WriteHeader(out, kMagicFull, model.num_locations(), model.dim());
   for (int ti = 0; ti < kNumTensors; ++ti) {
-    PLP_RETURN_IF_ERROR(
-        WriteDoubles(out, model.TensorData(static_cast<Tensor>(ti))));
+    out.DoubleSpan(model.TensorData(static_cast<Tensor>(ti)));
   }
-  return Status::Ok();
+  return AtomicWriteFile(path, out.str());
 }
 
 Result<SgnsModel> LoadModel(const std::string& path) {
@@ -135,12 +125,10 @@ Result<SgnsModel> LoadModel(const std::string& path) {
 }
 
 Status SaveEmbeddings(const SgnsModel& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return InternalError("cannot open for writing: " + path);
-  PLP_RETURN_IF_ERROR(WriteHeader(out, kMagicEmbeddings,
-                                  model.num_locations(), model.dim()));
-  const std::vector<double> normalized = model.NormalizedEmbeddings();
-  return WriteDoubles(out, normalized);
+  ByteWriter out;
+  WriteHeader(out, kMagicEmbeddings, model.num_locations(), model.dim());
+  out.DoubleSpan(model.NormalizedEmbeddings());
+  return AtomicWriteFile(path, out.str());
 }
 
 Result<DeployedEmbeddings> LoadEmbeddings(const std::string& path) {

@@ -16,6 +16,10 @@ namespace plp::sgns {
 /// Format: magic "PLPM", format version, L, dim, then tensors as raw
 /// little-endian doubles. Full models carry {W, W', B'}; deployment models
 /// carry the unit-normalized W only.
+///
+/// Saves are atomic (write temp in the same directory, fsync, rename):
+/// a process killed mid-save never leaves a torn artifact — readers see
+/// either the previous complete file or the new one.
 
 /// Writes the full model (all three tensors).
 Status SaveModel(const SgnsModel& model, const std::string& path);

@@ -1,0 +1,239 @@
+#include "ckpt/checkpoint.h"
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/atomic_file.h"
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "sgns/model.h"
+
+namespace plp::ckpt {
+namespace {
+
+sgns::SgnsModel MakeModel(uint64_t seed, int32_t locations = 7,
+                          int32_t dim = 4) {
+  Rng rng(seed);
+  sgns::SgnsConfig config;
+  config.embedding_dim = dim;
+  auto model = sgns::SgnsModel::Create(locations, config, rng);
+  PLP_CHECK(model.ok());
+  // Create leaves W' and B' at zero; perturb them so every tensor carries
+  // distinguishable content for the round-trip comparisons below.
+  auto out = model->MutableTensorData(sgns::Tensor::kWOut);
+  for (size_t i = 0; i < out.size(); ++i) out[i] = 0.01 * double(i) - 0.07;
+  auto bias = model->MutableTensorData(sgns::Tensor::kBias);
+  for (size_t i = 0; i < bias.size(); ++i) bias[i] = -0.5 + 0.2 * double(i);
+  return *std::move(model);
+}
+
+TrainerSnapshot MakeSnapshot(uint64_t seed, int64_t step) {
+  TrainerSnapshot snapshot;
+  snapshot.kind =
+      (seed % 2 == 0) ? TrainerKind::kPrivate : TrainerKind::kNonPrivate;
+  snapshot.step = step;
+  Rng rng(seed ^ 0x5bd1e995);
+  rng.Gaussian();  // populate the Box–Muller spare
+  snapshot.rng = rng.SaveState();
+  snapshot.ledger_blob = std::string("\x01opaque ledger bytes\x00\x7f", 22);
+  snapshot.optimizer_name = "dp_adam";
+  snapshot.optimizer_blob = std::string(64, '\xee');
+  snapshot.model = MakeModel(seed);
+  return snapshot;
+}
+
+bool ModelsBitwiseEqual(const sgns::SgnsModel& a, const sgns::SgnsModel& b) {
+  if (a.num_locations() != b.num_locations() || a.dim() != b.dim()) {
+    return false;
+  }
+  for (int t = 0; t < sgns::kNumTensors; ++t) {
+    const auto ta = a.TensorData(static_cast<sgns::Tensor>(t));
+    const auto tb = b.TensorData(static_cast<sgns::Tensor>(t));
+    if (ta.size() != tb.size() ||
+        std::memcmp(ta.data(), tb.data(), ta.size() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(SnapshotCodecTest, RoundTripPreservesEveryField) {
+  for (uint64_t seed : {2u, 3u}) {  // one of each trainer kind
+    const TrainerSnapshot original = MakeSnapshot(seed, /*step=*/41);
+    const std::string bytes = EncodeSnapshot(original);
+    auto decoded = DecodeSnapshot(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+    EXPECT_EQ(decoded->kind, original.kind);
+    EXPECT_EQ(decoded->step, original.step);
+    EXPECT_EQ(std::memcmp(decoded->rng.state, original.rng.state,
+                          sizeof original.rng.state),
+              0);
+    EXPECT_EQ(decoded->rng.has_spare_gaussian,
+              original.rng.has_spare_gaussian);
+    EXPECT_EQ(std::memcmp(&decoded->rng.spare_gaussian,
+                          &original.rng.spare_gaussian, sizeof(double)),
+              0);
+    EXPECT_EQ(decoded->ledger_blob, original.ledger_blob);
+    EXPECT_EQ(decoded->optimizer_name, original.optimizer_name);
+    EXPECT_EQ(decoded->optimizer_blob, original.optimizer_blob);
+    EXPECT_TRUE(ModelsBitwiseEqual(decoded->model, original.model));
+  }
+}
+
+TEST(SnapshotCodecTest, EverySingleBitFlipIsRejected) {
+  std::string bytes = EncodeSnapshot(MakeSnapshot(5, 12));
+  ASSERT_TRUE(DecodeSnapshot(bytes).ok());
+  // Stride through the file (covering header, checksum, and payload) and
+  // flip one bit at a time: no corruption may decode successfully.
+  for (size_t byte = 0; byte < bytes.size(); byte += 13) {
+    bytes[byte] = static_cast<char>(bytes[byte] ^ 0x10);
+    EXPECT_FALSE(DecodeSnapshot(bytes).ok()) << "byte " << byte;
+    bytes[byte] = static_cast<char>(bytes[byte] ^ 0x10);
+  }
+  EXPECT_TRUE(DecodeSnapshot(bytes).ok());
+}
+
+TEST(SnapshotCodecTest, EveryTruncationIsRejected) {
+  const std::string bytes = EncodeSnapshot(MakeSnapshot(6, 3));
+  for (size_t keep = 0; keep < bytes.size(); keep += 7) {
+    EXPECT_FALSE(
+        DecodeSnapshot(std::string_view(bytes).substr(0, keep)).ok())
+        << "kept " << keep << " of " << bytes.size();
+  }
+  // Trailing garbage after a valid payload is also torn state.
+  EXPECT_FALSE(DecodeSnapshot(bytes + "x").ok());
+}
+
+TEST(SnapshotCodecTest, NegativeStepRejected) {
+  TrainerSnapshot snapshot = MakeSnapshot(7, 1);
+  snapshot.step = -1;
+  EXPECT_FALSE(DecodeSnapshot(EncodeSnapshot(snapshot)).ok());
+}
+
+TEST(SnapshotCodecTest, AllZeroRngStateRejected) {
+  // No valid SaveState produces the all-zero xoshiro state; a snapshot
+  // claiming one must be refused rather than restored into an Rng (which
+  // would abort the process).
+  TrainerSnapshot snapshot = MakeSnapshot(8, 1);
+  snapshot.rng = RngState{};
+  EXPECT_FALSE(DecodeSnapshot(EncodeSnapshot(snapshot)).ok());
+}
+
+class CheckpointManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("plp_ckpt_test_" + std::string(::testing::UnitTest::GetInstance()
+                                               ->current_test_info()
+                                               ->name()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override {
+    FaultInjection::Disarm();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CheckpointManagerTest, SaveThenLoadLatestReturnsNewest) {
+  CheckpointManager manager(dir_.string(), /*keep_last=*/0);
+  ASSERT_TRUE(manager.Init().ok());
+  EXPECT_EQ(manager.LoadLatest().status().code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(manager.Save(MakeSnapshot(2, 10)).ok());
+  ASSERT_TRUE(manager.Save(MakeSnapshot(4, 20)).ok());
+  auto latest = manager.LoadLatest();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->step, 20);
+  EXPECT_EQ(manager.ListSteps(), (std::vector<int64_t>{10, 20}));
+}
+
+TEST_F(CheckpointManagerTest, KeepLastPrunesOldest) {
+  CheckpointManager manager(dir_.string(), /*keep_last=*/2);
+  ASSERT_TRUE(manager.Init().ok());
+  for (int64_t step : {5, 10, 15, 20}) {
+    ASSERT_TRUE(manager.Save(MakeSnapshot(2, step)).ok());
+  }
+  EXPECT_EQ(manager.ListSteps(), (std::vector<int64_t>{15, 20}));
+}
+
+TEST_F(CheckpointManagerTest, TornNewestFallsBackToPreviousValid) {
+  CheckpointManager manager(dir_.string(), /*keep_last=*/0);
+  ASSERT_TRUE(manager.Init().ok());
+  ASSERT_TRUE(manager.Save(MakeSnapshot(2, 10)).ok());
+  ASSERT_TRUE(manager.Save(MakeSnapshot(2, 20)).ok());
+  // Simulate a crash that left the newest file torn: truncate it in place.
+  auto torn = ReadFileToString(manager.PathForStep(20));
+  ASSERT_TRUE(torn.ok());
+  ASSERT_TRUE(
+      AtomicWriteFile(manager.PathForStep(20), torn->substr(0, 37)).ok());
+
+  auto latest = manager.LoadLatest();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->step, 10);  // skipped the torn 20, loaded the good 10
+}
+
+TEST_F(CheckpointManagerTest, StepMismatchedFilenameIsSkipped) {
+  CheckpointManager manager(dir_.string(), /*keep_last=*/0);
+  ASSERT_TRUE(manager.Init().ok());
+  ASSERT_TRUE(manager.Save(MakeSnapshot(2, 10)).ok());
+  // A snapshot whose payload says step 5 under the step-30 filename is
+  // inconsistent state, never a resume source.
+  ASSERT_TRUE(AtomicWriteFile(manager.PathForStep(30),
+                              EncodeSnapshot(MakeSnapshot(2, 5)))
+                  .ok());
+  auto latest = manager.LoadLatest();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->step, 10);
+}
+
+TEST_F(CheckpointManagerTest, TempDebrisAndForeignFilesIgnored) {
+  CheckpointManager manager(dir_.string(), /*keep_last=*/0);
+  ASSERT_TRUE(manager.Init().ok());
+  ASSERT_TRUE(manager.Save(MakeSnapshot(2, 7)).ok());
+  // Plant the kinds of debris a killed writer or an operator leaves around.
+  ASSERT_TRUE(AtomicWriteFile((dir_ / "ckpt-000000000009.plpc.tmp.123").string(),
+                              "partial")
+                  .ok());
+  ASSERT_TRUE(AtomicWriteFile((dir_ / "notes.txt").string(), "hi").ok());
+  ASSERT_TRUE(AtomicWriteFile((dir_ / "ckpt-abc.plpc").string(), "bad").ok());
+  EXPECT_EQ(manager.ListSteps(), (std::vector<int64_t>{7}));
+  auto latest = manager.LoadLatest();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->step, 7);
+}
+
+TEST_F(CheckpointManagerTest, FaultBeforeSaveWritesNothing) {
+  CheckpointManager manager(dir_.string(), /*keep_last=*/0);
+  ASSERT_TRUE(manager.Init().ok());
+  ASSERT_TRUE(manager.Save(MakeSnapshot(2, 10)).ok());
+  FaultInjection::Arm("ckpt.before_save", FaultMode::kFail);
+  EXPECT_FALSE(manager.Save(MakeSnapshot(2, 20)).ok());
+  EXPECT_EQ(manager.ListSteps(), (std::vector<int64_t>{10}));
+}
+
+TEST_F(CheckpointManagerTest, FaultMidPayloadLeavesOnlyPriorCheckpoints) {
+  CheckpointManager manager(dir_.string(), /*keep_last=*/0);
+  ASSERT_TRUE(manager.Init().ok());
+  ASSERT_TRUE(manager.Save(MakeSnapshot(2, 10)).ok());
+  FaultInjection::Arm("atomic_file.mid_payload", FaultMode::kFail);
+  EXPECT_FALSE(manager.Save(MakeSnapshot(2, 20)).ok());
+  EXPECT_EQ(manager.ListSteps(), (std::vector<int64_t>{10}));
+  EXPECT_EQ(manager.LoadLatest()->step, 10);
+}
+
+TEST_F(CheckpointManagerTest, PathForStepIsZeroPaddedAndSortable) {
+  CheckpointManager manager(dir_.string());
+  const std::string p9 = manager.PathForStep(9);
+  const std::string p10 = manager.PathForStep(10);
+  EXPECT_NE(p9.find("ckpt-000000000009.plpc"), std::string::npos);
+  EXPECT_LT(p9, p10);  // lexicographic order == numeric order
+}
+
+}  // namespace
+}  // namespace plp::ckpt

@@ -1,0 +1,118 @@
+#include "common/atomic_file.h"
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+
+namespace plp {
+namespace {
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("plp_atomic_file_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    FaultInjection::Disarm();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  /// Non-temp entries in the test directory.
+  int VisibleFiles() const {
+    int n = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      if (entry.path().filename().string().find(kAtomicTempInfix) ==
+          std::string::npos) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(AtomicFileTest, WriteThenReadRoundTrip) {
+  const std::string path = Path("data.bin");
+  const std::string contents("hello\0world", 11);  // embedded NUL survives
+  ASSERT_TRUE(AtomicWriteFile(path, contents).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, contents);
+}
+
+TEST_F(AtomicFileTest, OverwriteReplacesAtomically) {
+  const std::string path = Path("data.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "old").ok());
+  ASSERT_TRUE(AtomicWriteFile(path, "new contents").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "new contents");
+  EXPECT_EQ(VisibleFiles(), 1);  // no temp debris after success
+}
+
+TEST_F(AtomicFileTest, ReadMissingFileIsNotFound) {
+  const auto result = ReadFileToString(Path("absent"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(AtomicFileTest, FailureMidPayloadLeavesDestinationUntouched) {
+  const std::string path = Path("data.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "previous snapshot").ok());
+  FaultInjection::Arm("atomic_file.mid_payload", FaultMode::kFail);
+  const Status status = AtomicWriteFile(path, "torn write");
+  EXPECT_FALSE(status.ok());
+  // The failed commit neither replaced the destination nor left a temp.
+  EXPECT_EQ(ReadFileToString(path).value(), "previous snapshot");
+  EXPECT_TRUE(std::filesystem::directory_iterator(dir_) !=
+              std::filesystem::directory_iterator());
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().filename().string().find(kAtomicTempInfix),
+              std::string::npos);
+  }
+}
+
+TEST_F(AtomicFileTest, FailureAfterTempWriteLeavesDestinationUntouched) {
+  const std::string path = Path("data.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "previous snapshot").ok());
+  FaultInjection::Arm("atomic_file.after_temp_write", FaultMode::kFail);
+  EXPECT_FALSE(AtomicWriteFile(path, "never renamed").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "previous snapshot");
+}
+
+TEST_F(AtomicFileTest, FailureAfterRenameHasAlreadyCommitted) {
+  // Past the rename the new contents are the visible state; the injected
+  // error models a crash before the directory sync, where the commit may
+  // or may not survive — readers still never observe a torn file.
+  const std::string path = Path("data.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "previous snapshot").ok());
+  FaultInjection::Arm("atomic_file.after_rename", FaultMode::kFail);
+  EXPECT_FALSE(AtomicWriteFile(path, "committed contents").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "committed contents");
+}
+
+TEST_F(AtomicFileTest, FreshWriteFailureLeavesNothingBehind) {
+  const std::string path = Path("data.bin");
+  FaultInjection::Arm("atomic_file.mid_payload", FaultMode::kFail);
+  EXPECT_FALSE(AtomicWriteFile(path, "torn write").ok());
+  EXPECT_TRUE(std::filesystem::is_empty(dir_));
+}
+
+TEST_F(AtomicFileTest, EmptyPathRejected) {
+  EXPECT_EQ(AtomicWriteFile("", "x").code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace plp

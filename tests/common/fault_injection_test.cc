@@ -1,0 +1,86 @@
+#include "common/fault_injection.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace plp {
+namespace {
+
+// Mirrors production call sites: a Status-returning function with one
+// named point.
+Status GuardedOperation(const char* point) {
+  PLP_FAULT_POINT(point);
+  return Status::Ok();
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FaultInjection::Disarm();
+    ::unsetenv("PLP_FAULT");
+  }
+};
+
+TEST_F(FaultInjectionTest, DisarmedIsInvisible) {
+  EXPECT_FALSE(FaultInjection::Armed());
+  EXPECT_TRUE(GuardedOperation("some.point").ok());
+}
+
+TEST_F(FaultInjectionTest, FailTriggersOnlyOnArmedPoint) {
+  FaultInjection::Arm("target.point", FaultMode::kFail);
+  EXPECT_TRUE(GuardedOperation("other.point").ok());
+  const Status status = GuardedOperation("target.point");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST_F(FaultInjectionTest, FailIsOneShot) {
+  FaultInjection::Arm("target.point", FaultMode::kFail);
+  EXPECT_FALSE(GuardedOperation("target.point").ok());
+  // Auto-disarmed: the cleanup/retry path must not re-fire.
+  EXPECT_FALSE(FaultInjection::Armed());
+  EXPECT_TRUE(GuardedOperation("target.point").ok());
+}
+
+TEST_F(FaultInjectionTest, TriggerHitCountsOneBased) {
+  FaultInjection::Arm("target.point", FaultMode::kFail, /*trigger_hit=*/3);
+  EXPECT_TRUE(GuardedOperation("target.point").ok());
+  EXPECT_TRUE(GuardedOperation("target.point").ok());
+  EXPECT_FALSE(GuardedOperation("target.point").ok());
+  EXPECT_EQ(FaultInjection::HitCount(), 3);
+}
+
+TEST_F(FaultInjectionTest, DelayProceedsAndStaysArmed) {
+  FaultInjection::Arm("target.point", FaultMode::kDelay, /*trigger_hit=*/1,
+                      /*delay_millis=*/1);
+  EXPECT_TRUE(GuardedOperation("target.point").ok());
+  EXPECT_TRUE(GuardedOperation("target.point").ok());
+  EXPECT_TRUE(FaultInjection::Armed());  // delay points fire every hit
+}
+
+TEST_F(FaultInjectionTest, ArmFromEnvParsesPointModeAndHit) {
+  ::setenv("PLP_FAULT", "ckpt.before_save:fail@2", 1);
+  FaultInjection::ArmFromEnv();
+  ASSERT_TRUE(FaultInjection::Armed());
+  EXPECT_TRUE(GuardedOperation("ckpt.before_save").ok());
+  EXPECT_FALSE(GuardedOperation("ckpt.before_save").ok());
+}
+
+TEST_F(FaultInjectionTest, ArmFromEnvUnsetIsNoop) {
+  ::unsetenv("PLP_FAULT");
+  FaultInjection::ArmFromEnv();
+  EXPECT_FALSE(FaultInjection::Armed());
+}
+
+TEST_F(FaultInjectionTest, ArmFromEnvDelayMode) {
+  ::setenv("PLP_FAULT", "serve.execute:delay5", 1);
+  FaultInjection::ArmFromEnv();
+  ASSERT_TRUE(FaultInjection::Armed());
+  EXPECT_TRUE(GuardedOperation("serve.execute").ok());
+}
+
+}  // namespace
+}  // namespace plp

@@ -1,0 +1,141 @@
+#include "common/serialize.h"
+
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace plp {
+namespace {
+
+TEST(SerializeTest, ScalarRoundTrip) {
+  ByteWriter writer;
+  writer.U8(0xAB);
+  writer.U32(0xDEADBEEF);
+  writer.I32(-12345);
+  writer.U64(0x0123456789ABCDEFULL);
+  writer.I64(-9876543210LL);
+  writer.F64(3.141592653589793);
+
+  ByteReader reader(writer.str());
+  EXPECT_EQ(reader.U8().value(), 0xAB);
+  EXPECT_EQ(reader.U32().value(), 0xDEADBEEF);
+  EXPECT_EQ(reader.I32().value(), -12345);
+  EXPECT_EQ(reader.U64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(reader.I64().value(), -9876543210LL);
+  EXPECT_EQ(reader.F64().value(), 3.141592653589793);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerializeTest, DoubleRoundTripIsBitExact) {
+  // NaN payloads, infinities, denormals, and signed zero must survive.
+  const std::vector<double> values = {
+      0.0, -0.0, std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::denorm_min(), 1.0 / 3.0};
+  ByteWriter writer;
+  writer.DoubleVector(values);
+  ByteReader reader(writer.str());
+  auto decoded = reader.ReadDoubleVector(values.size());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), values.size());
+  EXPECT_EQ(std::memcmp(decoded->data(), values.data(),
+                        values.size() * sizeof(double)),
+            0);
+}
+
+TEST(SerializeTest, TruncationIsAnErrorNotARead) {
+  ByteWriter writer;
+  writer.U64(42);
+  for (size_t keep = 0; keep < writer.size(); ++keep) {
+    ByteReader reader(std::string_view(writer.str()).substr(0, keep));
+    const auto result = reader.U64();
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(SerializeTest, LengthPrefixedBytesRejectsOversizedLength) {
+  ByteWriter writer;
+  writer.LengthPrefixedBytes("hello");
+  {
+    ByteReader reader(writer.str());
+    auto bytes = reader.ReadLengthPrefixedBytes(5);
+    ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(*bytes, "hello");
+    EXPECT_TRUE(reader.AtEnd());
+  }
+  {
+    ByteReader reader(writer.str());
+    EXPECT_FALSE(reader.ReadLengthPrefixedBytes(4).ok());
+  }
+}
+
+TEST(SerializeTest, LengthPrefixedLengthBeyondBufferFails) {
+  // A corrupt length field larger than the remaining buffer must fail
+  // before any allocation sized by it.
+  ByteWriter writer;
+  writer.U64(std::numeric_limits<uint64_t>::max());
+  ByteReader reader(writer.str());
+  EXPECT_FALSE(
+      reader.ReadLengthPrefixedBytes(std::numeric_limits<uint64_t>::max())
+          .ok());
+}
+
+TEST(SerializeTest, DoubleVectorRejectsOversizedLength) {
+  ByteWriter writer;
+  writer.DoubleVector(std::vector<double>{1.0, 2.0, 3.0});
+  ByteReader reader(writer.str());
+  EXPECT_FALSE(reader.ReadDoubleVector(2).ok());
+}
+
+TEST(SerializeTest, NestedBlobsCompose) {
+  // The checkpoint idiom: a component serializes into its own writer, the
+  // parent embeds the blob, and the reader peels the layers back apart.
+  ByteWriter inner;
+  inner.I64(7);
+  inner.F64(2.5);
+  ByteWriter outer;
+  outer.U32(1);
+  outer.LengthPrefixedBytes(inner.str());
+  outer.U8(9);
+
+  ByteReader reader(outer.str());
+  EXPECT_EQ(reader.U32().value(), 1u);
+  auto blob = reader.ReadLengthPrefixedBytes(reader.remaining());
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(reader.U8().value(), 9);
+  EXPECT_TRUE(reader.AtEnd());
+  ByteReader inner_reader(*blob);
+  EXPECT_EQ(inner_reader.I64().value(), 7);
+  EXPECT_EQ(inner_reader.F64().value(), 2.5);
+  EXPECT_TRUE(inner_reader.AtEnd());
+}
+
+TEST(Crc64Test, KnownVector) {
+  // CRC-64/XZ check value from the canonical catalogue:
+  // crc64("123456789") = 0x995DC9BBDF1939FA.
+  EXPECT_EQ(Crc64("123456789"), 0x995DC9BBDF1939FAULL);
+  EXPECT_EQ(Crc64(""), 0u);
+}
+
+TEST(Crc64Test, DetectsEverySingleBitFlip) {
+  ByteWriter writer;
+  for (int i = 0; i < 32; ++i) writer.F64(static_cast<double>(i) * 0.37);
+  std::string bytes = writer.Take();
+  const uint64_t clean = Crc64(bytes);
+  for (size_t byte = 0; byte < bytes.size(); byte += 17) {
+    for (int bit = 0; bit < 8; ++bit) {
+      bytes[byte] = static_cast<char>(bytes[byte] ^ (1 << bit));
+      EXPECT_NE(Crc64(bytes), clean) << "byte " << byte << " bit " << bit;
+      bytes[byte] = static_cast<char>(bytes[byte] ^ (1 << bit));
+    }
+  }
+  EXPECT_EQ(Crc64(bytes), clean);
+}
+
+}  // namespace
+}  // namespace plp

@@ -109,6 +109,33 @@ TEST(AccountantRegressionTest, ImprovedConversionIsTighter) {
   }
 }
 
+TEST(AccountantRegressionTest, RestoredAccountantHitsThePinnedEpsilons) {
+  // Checkpoint soundness against the same external reference values as
+  // PinnedEpsilons: serialize the paper-regime accountant at step 500,
+  // restore it, continue to step 1000 — the restored trajectory must land
+  // on the independently-computed ε(1000), and bit-identical to an
+  // accountant that was never interrupted.
+  RdpAccountant uninterrupted;
+  ASSERT_TRUE(uninterrupted.AddSteps(0.06, 2.5, 500).ok());
+
+  ByteWriter writer;
+  uninterrupted.SaveState(writer);
+  ByteReader reader(writer.str());
+  auto restored = RdpAccountant::Restore(reader);
+  ASSERT_TRUE(restored.ok());
+
+  ASSERT_TRUE(uninterrupted.AddSteps(0.06, 2.5, 500).ok());
+  ASSERT_TRUE(restored->AddSteps(0.06, 2.5, 500).ok());
+  EXPECT_EQ(restored->total_steps(), 1000);
+
+  EXPECT_NEAR(restored->GetEpsilon(2e-4, RdpConversion::kClassic).value(),
+              3.657955980983, 5e-6);
+  EXPECT_NEAR(restored->GetEpsilon(2e-4, RdpConversion::kImproved).value(),
+              3.114898558582, 5e-6);
+  EXPECT_EQ(restored->GetEpsilon(2e-4).value(),
+            uninterrupted.GetEpsilon(2e-4).value());
+}
+
 TEST(AccountantRegressionTest, PrecomputedStepsMatchAddSteps) {
   // The bulk path (StepRdp + AddPrecomputedSteps) must agree exactly with
   // step-by-step accumulation — the trainer's ledger relies on it.

@@ -1,5 +1,8 @@
 #include "privacy/ledger.h"
 
+#include <string>
+#include <string_view>
+
 #include <gtest/gtest.h>
 
 namespace plp::privacy {
@@ -81,6 +84,83 @@ TEST(LedgerTest, ImprovedConversionAvailable) {
   }
   EXPECT_LE(ledger.CumulativeEpsilon(RdpConversion::kImproved),
             ledger.CumulativeEpsilon(RdpConversion::kClassic));
+}
+
+TEST(LedgerTest, SaveRestoreRoundTripIsBitExact) {
+  PrivacyLedger original(2e-4);
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(original.TrackStep(0.06, 2.5).ok());
+  }
+  ASSERT_TRUE(original.TrackStep(0.10, 1.5).ok());
+
+  ByteWriter writer;
+  original.SaveState(writer);
+  ByteReader reader(writer.str());
+  auto restored = PrivacyLedger::Restore(reader);
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  EXPECT_TRUE(reader.AtEnd());
+
+  EXPECT_EQ(restored->delta(), original.delta());
+  EXPECT_EQ(restored->total_steps(), original.total_steps());
+  ASSERT_EQ(restored->entries().size(), original.entries().size());
+  for (size_t i = 0; i < original.entries().size(); ++i) {
+    EXPECT_EQ(restored->entries()[i].sampling_probability,
+              original.entries()[i].sampling_probability);
+    EXPECT_EQ(restored->entries()[i].noise_multiplier,
+              original.entries()[i].noise_multiplier);
+    EXPECT_EQ(restored->entries()[i].steps, original.entries()[i].steps);
+  }
+  EXPECT_EQ(restored->CumulativeEpsilon(), original.CumulativeEpsilon());
+  EXPECT_EQ(restored->CumulativeEpsilon(RdpConversion::kImproved),
+            original.CumulativeEpsilon(RdpConversion::kImproved));
+}
+
+TEST(LedgerTest, RestoredLedgerContinuesTrackingBitExactly) {
+  // The checkpoint soundness property: interrupt after 30 steps, restore,
+  // track 30 more — every cumulative ε must equal the uninterrupted
+  // ledger's, bit for bit (the per-step RDP cache is rebuilt, not saved).
+  PrivacyLedger uninterrupted(2e-4);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(uninterrupted.TrackStep(0.06, 2.5).ok());
+  }
+  ByteWriter writer;
+  uninterrupted.SaveState(writer);
+  ByteReader reader(writer.str());
+  auto restored = PrivacyLedger::Restore(reader);
+  ASSERT_TRUE(restored.ok());
+
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(uninterrupted.TrackStep(0.06, 2.5).ok());
+    ASSERT_TRUE(restored->TrackStep(0.06, 2.5).ok());
+    EXPECT_EQ(restored->CumulativeEpsilon(),
+              uninterrupted.CumulativeEpsilon())
+        << "step " << (31 + i);
+  }
+  EXPECT_EQ(restored->total_steps(), 60);
+}
+
+TEST(LedgerTest, RestoreRejectsInconsistentState) {
+  PrivacyLedger ledger(2e-4);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ledger.TrackStep(0.06, 2.5).ok());
+  }
+  ByteWriter writer;
+  ledger.SaveState(writer);
+  const std::string bytes = writer.Take();
+
+  {
+    // Entry count claims 6 steps but the accountant recorded 5.
+    std::string tampered = bytes;
+    // delta (8) + count (8) + q (8) + sigma (8), then the entry's step
+    // count as a little-endian i64: bump it by one.
+    tampered[32] = static_cast<char>(tampered[32] + 1);
+    ByteReader reader(tampered);
+    EXPECT_FALSE(PrivacyLedger::Restore(reader).ok());
+  }
+  for (size_t keep = 0; keep < bytes.size(); keep += 11) {
+    ByteReader reader(std::string_view(bytes).substr(0, keep));
+    EXPECT_FALSE(PrivacyLedger::Restore(reader).ok()) << "kept " << keep;
+  }
 }
 
 }  // namespace

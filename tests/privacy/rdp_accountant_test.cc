@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
+#include <string_view>
 
 #include <gtest/gtest.h>
 #include "common/math_util.h"
@@ -219,6 +221,41 @@ TEST(CompositionTest, AdvancedSublinearForManySteps) {
   const double naive = NaiveCompositionEpsilon(eps0, 10000);
   const double advanced = AdvancedCompositionEpsilon(eps0, 10000, 1e-5);
   EXPECT_LT(advanced, naive);
+}
+
+TEST(AccountantSerializationTest, RoundTripIsBitExact) {
+  RdpAccountant original;
+  ASSERT_TRUE(original.AddSteps(0.06, 2.5, 123).ok());
+  ASSERT_TRUE(original.AddSteps(0.25, 1.5, 7).ok());
+
+  ByteWriter writer;
+  original.SaveState(writer);
+  ByteReader reader(writer.str());
+  auto restored = RdpAccountant::Restore(reader);
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  EXPECT_TRUE(reader.AtEnd());
+
+  EXPECT_EQ(restored->orders(), original.orders());
+  EXPECT_EQ(restored->total_steps(), original.total_steps());
+  ASSERT_EQ(restored->accumulated_rdp().size(),
+            original.accumulated_rdp().size());
+  for (size_t i = 0; i < original.accumulated_rdp().size(); ++i) {
+    EXPECT_EQ(restored->accumulated_rdp()[i], original.accumulated_rdp()[i]);
+  }
+  EXPECT_EQ(restored->GetEpsilon(2e-4).value(),
+            original.GetEpsilon(2e-4).value());
+}
+
+TEST(AccountantSerializationTest, RestoreRejectsTruncation) {
+  RdpAccountant accountant;
+  ASSERT_TRUE(accountant.AddSteps(0.06, 2.5, 10).ok());
+  ByteWriter writer;
+  accountant.SaveState(writer);
+  const std::string bytes = writer.Take();
+  for (size_t keep = 0; keep < bytes.size(); keep += 9) {
+    ByteReader reader(std::string_view(bytes).substr(0, keep));
+    EXPECT_FALSE(RdpAccountant::Restore(reader).ok()) << "kept " << keep;
+  }
 }
 
 }  // namespace

@@ -66,15 +66,19 @@ TEST(MetricsTest, TotalsAndTable) {
   metrics.requests_ok.fetch_add(5);
   metrics.requests_not_found.fetch_add(2);
   metrics.requests_deadline_exceeded.fetch_add(1);
+  metrics.requests_overloaded.fetch_add(4);  // shed requests are finished
+  metrics.protocol_errors.fetch_add(6);      // ...but wire garbage is not
   metrics.model_swaps.fetch_add(3);
   metrics.latency.Record(100);
-  EXPECT_EQ(metrics.TotalRequests(), 8u);
+  EXPECT_EQ(metrics.TotalRequests(), 12u);
 
   std::ostringstream out;
   metrics.PrintTable(out);
   const std::string dump = out.str();
   EXPECT_NE(dump.find("requests_total"), std::string::npos);
   EXPECT_NE(dump.find("requests_ok"), std::string::npos);
+  EXPECT_NE(dump.find("requests_overloaded"), std::string::npos);
+  EXPECT_NE(dump.find("protocol_errors"), std::string::npos);
   EXPECT_NE(dump.find("model_swaps"), std::string::npos);
   EXPECT_NE(dump.find("latency_p99_us_le"), std::string::npos);
 }

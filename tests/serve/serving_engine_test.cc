@@ -5,6 +5,7 @@
 #include <vector>
 
 #include <gtest/gtest.h>
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "eval/recommender.h"
 #include "sgns/model.h"
@@ -184,6 +185,132 @@ TEST(ServingEngineTest, BatchMatchesIndividualExecution) {
   // 10 requests at max_batch=4 → 3 micro-batches.
   EXPECT_EQ(engine.metrics().batches.load(), 3u);
   EXPECT_EQ(engine.metrics().batched_requests.load(), 10u);
+}
+
+TEST(ServingEngineTest, QueuedExpiredRequestsAreRejectedUnderLoad) {
+  // The queued-expired path under concurrent load: every worker is slowed
+  // by an injected 5 ms of queue residency while a burst of requests with
+  // 1 ms budgets lands on the pool. Each must come back DEADLINE_EXCEEDED
+  // — never a stale answer — and be counted.
+  ServingEngine engine(SmallConfig());
+  ASSERT_TRUE(engine.PublishModel(MakeModel(21), 1).ok());
+  FaultInjection::Arm("serve.execute", FaultMode::kDelay, /*trigger_hit=*/1,
+                      /*delay_millis=*/5);
+
+  constexpr int kBurst = 16;
+  std::vector<std::future<Response>> futures;
+  futures.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    Request request;
+    request.history = {1, 2};
+    request.timeout_micros = 1000;  // 1 ms budget vs 5 ms injected delay
+    futures.push_back(engine.SubmitAsync(request));
+  }
+  for (auto& future : futures) {
+    const Response response = future.get();
+    EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_TRUE(response.topk.empty());
+  }
+  FaultInjection::Disarm();
+  EXPECT_EQ(engine.metrics().requests_deadline_exceeded.load(),
+            static_cast<uint64_t>(kBurst));
+
+  // With the congestion gone the same deadline is comfortable.
+  Request fresh;
+  fresh.history = {1, 2};
+  fresh.timeout_micros = 1000000;
+  EXPECT_TRUE(engine.SubmitAsync(fresh).get().status.ok());
+}
+
+TEST(ServingEngineTest, DeadlineAppliesInBatchesToo) {
+  ServingEngine engine(SmallConfig());
+  ASSERT_TRUE(engine.PublishModel(MakeModel(23), 1).ok());
+  std::vector<Request> batch(6);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].history = {1, 2, 3};
+    batch[i].k = 4;
+    if (i % 2 == 1) {
+      batch[i].timeout_micros = 50;
+      batch[i].arrival = std::chrono::steady_clock::now() -
+                         std::chrono::milliseconds(10);
+    }
+  }
+  const std::vector<Response> responses = engine.RecommendBatch(batch);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (i % 2 == 1) {
+      EXPECT_EQ(responses[i].status.code(), StatusCode::kDeadlineExceeded);
+    } else {
+      EXPECT_TRUE(responses[i].status.ok()) << "request " << i;
+    }
+  }
+  EXPECT_EQ(engine.metrics().requests_deadline_exceeded.load(), 3u);
+}
+
+TEST(ServingEngineTest, AsyncQueueBoundShedsWithOverloaded) {
+  // One worker, each request delayed 20 ms, admission bound of 2: a burst
+  // of 10 must complete at most 2 + pool-capacity requests and shed the
+  // rest immediately with RESOURCE_EXHAUSTED.
+  ServingConfig config = SmallConfig();
+  config.num_threads = 1;
+  config.max_queue = 2;
+  ServingEngine engine(config);
+  ASSERT_TRUE(engine.PublishModel(MakeModel(25), 1).ok());
+  FaultInjection::Arm("serve.execute", FaultMode::kDelay, /*trigger_hit=*/1,
+                      /*delay_millis=*/20);
+
+  constexpr int kBurst = 10;
+  std::vector<std::future<Response>> futures;
+  futures.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    Request request;
+    request.history = {1, 2};
+    futures.push_back(engine.SubmitAsync(request));
+  }
+  int ok = 0, shed = 0;
+  for (auto& future : futures) {
+    const Response response = future.get();
+    if (response.status.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(response.status.code(), StatusCode::kResourceExhausted);
+      EXPECT_TRUE(response.topk.empty());
+      ++shed;
+    }
+  }
+  FaultInjection::Disarm();
+  // The first two submissions are always admitted; with each execution
+  // pinned at 20 ms, the burst outpaces completions and most of the rest
+  // is shed (exact counts depend on scheduler timing between submits).
+  EXPECT_EQ(ok + shed, kBurst);
+  EXPECT_GE(ok, 2);
+  EXPECT_GE(shed, 1);
+  EXPECT_EQ(engine.metrics().requests_overloaded.load(),
+            static_cast<uint64_t>(shed));
+  EXPECT_EQ(engine.metrics().requests_ok.load(), static_cast<uint64_t>(ok));
+  // Shed requests count in the request total — they are finished requests.
+  EXPECT_EQ(engine.metrics().TotalRequests(), static_cast<uint64_t>(kBurst));
+
+  // The bound releases as requests finish: the engine accepts again.
+  Request after;
+  after.history = {3, 4};
+  EXPECT_TRUE(engine.SubmitAsync(after).get().status.ok());
+}
+
+TEST(ServingEngineTest, ZeroMaxQueueDisablesShedding) {
+  ServingConfig config = SmallConfig();
+  config.max_queue = 0;
+  ServingEngine engine(config);
+  ASSERT_TRUE(engine.PublishModel(MakeModel(27), 1).ok());
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 64; ++i) {
+    Request request;
+    request.history = {1};
+    futures.push_back(engine.SubmitAsync(request));
+  }
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().status.ok());
+  }
+  EXPECT_EQ(engine.metrics().requests_overloaded.load(), 0u);
 }
 
 TEST(ServingEngineTest, SubmitAsyncDeliversFuture) {

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include <gtest/gtest.h>
+#include "common/fault_injection.h"
 #include "common/math_util.h"
 #include "common/rng.h"
 
@@ -180,6 +181,50 @@ TEST(ModelIoTest, RejectsTruncatedEmbeddingsPayload) {
   std::ofstream(path, std::ios::binary)
       << bytes.substr(0, bytes.size() - 7 * sizeof(double));
   EXPECT_FALSE(LoadEmbeddings(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, TornSaveLeavesPreviousArtifactIntact) {
+  // The publish contract: SaveModel commits atomically, so a save that
+  // dies mid-payload fails loudly and the previously published artifact
+  // still loads — a serving process never observes a torn model.
+  const SgnsModel published = MakeModel(17);
+  const std::string path = TempPath("torn_save.plpm");
+  ASSERT_TRUE(SaveModel(published, path).ok());
+
+  const SgnsModel replacement = MakeModel(19);
+  FaultInjection::Arm("atomic_file.mid_payload", FaultMode::kFail);
+  EXPECT_FALSE(SaveModel(replacement, path).ok());
+  FaultInjection::Disarm();
+
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+  for (int ti = 0; ti < kNumTensors; ++ti) {
+    const auto t = static_cast<Tensor>(ti);
+    const auto a = published.TensorData(t);
+    const auto b = loaded->TensorData(t);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, TornEmbeddingsSaveLeavesPreviousArtifactIntact) {
+  const SgnsModel published = MakeModel(21);
+  const std::string path = TempPath("torn_save.plpe");
+  ASSERT_TRUE(SaveEmbeddings(published, path).ok());
+
+  FaultInjection::Arm("atomic_file.after_temp_write", FaultMode::kFail);
+  EXPECT_FALSE(SaveEmbeddings(MakeModel(23), path).ok());
+  FaultInjection::Disarm();
+
+  auto deployed = LoadEmbeddings(path);
+  ASSERT_TRUE(deployed.ok());
+  const std::vector<double> expected = published.NormalizedEmbeddings();
+  ASSERT_EQ(deployed->embeddings.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(deployed->embeddings[i], expected[i]);
+  }
   std::remove(path.c_str());
 }
 

@@ -1,7 +1,7 @@
 // plp_serve — interactive next-location serving loop over stdin/stdout.
 //
 //   plp_serve --model=model.plpm [--threads=4] [--k=10]
-//             [--capacity=100000] [--history_len=16]
+//             [--capacity=100000] [--history_len=16] [--max_queue=1024]
 //
 // `--model` accepts a full model or an embeddings-only deployment
 // artifact. One request per input line, one response line per request:
@@ -17,8 +17,15 @@
 //
 // Successful recommendations print `OK v<version> loc:score ...`
 // (best first); failures print `ERR <CODE>: <message>` and the loop
-// continues — per-request errors never take the server down.
+// continues — per-request errors never take the server down. Wire-level
+// garbage gets the same treatment: unknown commands, unparseable fields,
+// oversized lines (> 64 KiB) and oversized id lists each produce one
+// structured `ERR INVALID_ARGUMENT: ...` line and bump the
+// `protocol_errors` counter instead of desynchronizing the loop. When the
+// engine sheds load (`--max_queue` admission bound), the response is
+// `ERR OVERLOADED: ...` and counts as `requests_overloaded`.
 
+#include <atomic>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -34,8 +41,19 @@ using plp::serve::Request;
 using plp::serve::Response;
 using plp::serve::ScoredLocation;
 
+// Wire-level bounds: a line (and so an id list) a client can send is
+// capped so hostile or corrupted input degrades into one structured error
+// instead of an unbounded allocation.
+constexpr size_t kMaxLineBytes = 64 * 1024;
+constexpr size_t kMaxHistoryIds = 4096;
+
 void PrintResponse(const Response& response) {
   if (!response.status.ok()) {
+    if (response.status.code() == plp::StatusCode::kResourceExhausted) {
+      // Shed by the engine's admission bound, not a caller mistake.
+      std::cout << "ERR OVERLOADED: " << response.status.message() << "\n";
+      return;
+    }
     std::cout << "ERR " << response.status.ToString() << "\n";
     return;
   }
@@ -51,6 +69,7 @@ std::vector<int32_t> ParseIdList(const std::string& csv) {
   std::stringstream ss(csv);
   std::string token;
   while (std::getline(ss, token, ',')) {
+    if (ids.size() >= kMaxHistoryIds) return {};
     try {
       ids.push_back(static_cast<int32_t>(std::stol(token)));
     } catch (...) {
@@ -72,7 +91,8 @@ int main(int argc, char** argv) {
   const std::string model_path = flags.GetString("model", "");
   if (model_path.empty()) {
     std::cerr << "usage: plp_serve --model=model.plpm [--threads=4] "
-                 "[--k=10] [--capacity=100000] [--history_len=16]\n";
+                 "[--k=10] [--capacity=100000] [--history_len=16] "
+                 "[--max_queue=1024]\n";
     return 2;
   }
 
@@ -82,6 +102,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("capacity", 100000));
   config.sessions.history_length =
       static_cast<int32_t>(flags.GetInt("history_len", 16));
+  config.max_queue = static_cast<int32_t>(flags.GetInt("max_queue", 1024));
   const int32_t default_k = static_cast<int32_t>(flags.GetInt("k", 10));
 
   plp::serve::ServingEngine engine(config);
@@ -100,8 +121,20 @@ int main(int argc, char** argv) {
               << snapshot->memory_bytes() / 1024 << " KiB resident\n";
   }
 
+  // One structured error line per protocol violation; the loop always
+  // stays line-synchronized with the client.
+  auto protocol_error = [&engine](const std::string& message) {
+    engine.metrics().protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    std::cout << "ERR INVALID_ARGUMENT: " << message << "\n";
+  };
+
   std::string line;
   while (std::getline(std::cin, line)) {
+    if (line.size() > kMaxLineBytes) {
+      protocol_error("line exceeds " + std::to_string(kMaxLineBytes) +
+                     " bytes");
+      continue;
+    }
     std::istringstream in(line);
     std::string command;
     in >> command;
@@ -121,7 +154,7 @@ int main(int argc, char** argv) {
       // A failed extraction would zero `version`; parse into a temp.
       if (uint64_t v = 0; in >> v) version = v;
       if (path.empty()) {
-        std::cout << "ERR INVALID_ARGUMENT: usage: SWAP <path> [version]\n";
+        protocol_error("usage: SWAP <path> [version]");
         continue;
       }
       if (plp::Status s = engine.PublishFile(path, version); !s.ok()) {
@@ -141,7 +174,7 @@ int main(int argc, char** argv) {
       Request request;
       request.k = default_k;
       if (!(in >> request.user_id >> request.new_checkin)) {
-        std::cout << "ERR INVALID_ARGUMENT: usage: REC <user> <loc> [k]\n";
+        protocol_error("usage: REC <user> <loc> [k]");
         continue;
       }
       if (int32_t k = 0; in >> k) request.k = k;
@@ -152,14 +185,15 @@ int main(int argc, char** argv) {
     if (command == "HIST") {
       std::string csv;
       if (!(in >> csv)) {
-        std::cout << "ERR INVALID_ARGUMENT: usage: HIST <l1,l2,...> [k]\n";
+        protocol_error("usage: HIST <l1,l2,...> [k]");
         continue;
       }
       Request request;
       request.k = default_k;
       request.history = ParseIdList(csv);
       if (request.history.empty()) {
-        std::cout << "ERR INVALID_ARGUMENT: bad id list '" << csv << "'\n";
+        protocol_error("bad id list (unparseable, empty, or more than " +
+                       std::to_string(kMaxHistoryIds) + " ids)");
         continue;
       }
       if (int32_t k = 0; in >> k) request.k = k;
@@ -167,8 +201,7 @@ int main(int argc, char** argv) {
       continue;
     }
 
-    std::cout << "ERR INVALID_ARGUMENT: unknown command '" << command
-              << "'\n";
+    protocol_error("unknown command '" + command + "'");
   }
   engine.metrics().PrintTable(std::cerr);
   return 0;

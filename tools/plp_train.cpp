@@ -7,14 +7,22 @@
 //             [--embeddings_output=embeddings.plpe] \
 //             [--private=true] [--eps=2] [--delta=2e-4] [--sigma=2.5] \
 //             [--q=0.06] [--lambda=4] [--clip=0.5] [--epochs=100] \
-//             [--min_user_checkins=10] [--min_location_users=2] [--seed=1]
+//             [--min_user_checkins=10] [--min_location_users=2] [--seed=1] \
+//             [--checkpoint_dir=ckpts] [--checkpoint_every_steps=25] \
+//             [--resume]
 //
 // With --private=true (default) this runs Algorithm 1 under user-level
 // (ε, δ)-DP; with --private=false it runs plain Adam for --epochs passes.
+//
+// With --checkpoint_dir, training commits a durable, checksummed snapshot
+// every --checkpoint_every_steps steps (epochs when --private=false);
+// --resume continues from the newest valid one after a crash, replaying
+// the interrupted run bit-identically.
 
 #include <cstdio>
 #include <iostream>
 
+#include "common/fault_injection.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "core/nonprivate_trainer.h"
@@ -33,6 +41,7 @@ int Fail(const plp::Status& status) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  plp::FaultInjection::ArmFromEnv();  // PLP_FAULT=point[:mode][@hit]
   auto flags_or = plp::FlagParser::Parse(argc, argv);
   if (!flags_or.ok()) return Fail(flags_or.status());
   const plp::FlagParser& flags = flags_or.value();
@@ -53,6 +62,11 @@ int main(int argc, char** argv) {
               plp::data::ComputeStats(dataset).ToString().c_str());
   auto corpus_or = plp::data::BuildCorpus(dataset);
   if (!corpus_or.ok()) return Fail(corpus_or.status());
+
+  plp::ckpt::CheckpointOptions checkpoint;
+  checkpoint.dir = flags.GetString("checkpoint_dir", "");
+  checkpoint.every_steps = flags.GetInt("checkpoint_every_steps", 25);
+  checkpoint.resume = flags.GetBool("resume", false);
 
   plp::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
   plp::sgns::SgnsModel model;
@@ -76,7 +90,8 @@ int main(int argc, char** argv) {
                         m.mean_local_loss);
           }
           return true;
-        });
+        },
+        checkpoint);
     if (!result.ok()) return Fail(result.status());
     std::printf("trained %lld private steps; spent eps=%.3f at "
                 "delta=%.0e (user-level)\n",
@@ -88,8 +103,8 @@ int main(int argc, char** argv) {
     config.epochs = flags.GetInt("epochs", 100);
     config.sgns.embedding_dim =
         static_cast<int32_t>(flags.GetInt("dim", 50));
-    auto result = plp::core::NonPrivateTrainer(config).Train(*corpus_or,
-                                                             rng);
+    auto result = plp::core::NonPrivateTrainer(config).Train(
+        *corpus_or, rng, nullptr, checkpoint);
     if (!result.ok()) return Fail(result.status());
     std::printf("trained %zu non-private epochs (final loss %.4f)\n",
                 result->history.size(), result->history.back().mean_loss);
