@@ -32,11 +32,15 @@ void Run(int argc, char** argv) {
   TablePrinter table({"seed", "random_HR@10", "equal_frequency_HR@10"});
   for (int64_t r = 0; r < repeats; ++r) {
     const uint64_t seed = options.seed + 1 + static_cast<uint64_t>(r);
+    // Stage selection by config: both runs share every stage except the
+    // Grouper implementation the config picks.
     core::PlpConfig config = DefaultPlpConfig(options);
     config.grouping = core::GroupingKind::kRandom;
-    const RunOutcome a = RunPrivate(config, workload, seed);
+    const RunOutcome a =
+        RunAndEvaluate(StageConfig::Private(config), workload, seed);
     config.grouping = core::GroupingKind::kEqualFrequency;
-    const RunOutcome b = RunPrivate(config, workload, seed);
+    const RunOutcome b =
+        RunAndEvaluate(StageConfig::Private(config), workload, seed);
     random_hr.push_back(a.hit_rate_at_10);
     balanced_hr.push_back(b.hit_rate_at_10);
     table.NewRow()
@@ -49,6 +53,10 @@ void Run(int argc, char** argv) {
   std::printf("\n\n");
   table.PrintAligned(std::cout);
 
+  if (repeats < 2) {
+    std::printf("\n(paired t-test skipped: needs --repeats >= 2)\n");
+    return;
+  }
   auto ttest = PairedTTest(random_hr, balanced_hr);
   PLP_CHECK_OK(ttest.status());
   std::printf(

@@ -9,11 +9,11 @@
 //
 // Usage: ablation_loss [--scale=small|paper] [--seed=N]
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "common/rng.h"
 #include "common/table_printer.h"
 #include "core/nonprivate_trainer.h"
 
@@ -34,27 +34,31 @@ void Run(int argc, char** argv) {
   TablePrinter table({"loss", "setting", "steps_or_epochs", "HR@10"});
   for (sgns::LossKind loss :
        {sgns::LossKind::kSampledSoftmax, sgns::LossKind::kSgnsLogistic}) {
+    // Stage selection by config: the loss parameterizes the LocalUpdater
+    // of whichever stage set (private or non-private) is being run — the
+    // engine and train→eval loop are identical across all four cells.
     {
       core::NonPrivateConfig config;
       config.sgns.loss = loss;
       config.epochs = options.scale == "paper" ? 50 : 8;
-      Rng rng(options.seed + 1);
-      auto result =
-          core::NonPrivateTrainer(config).Train(workload.corpus, rng);
-      PLP_CHECK_OK(result.status());
+      if (options.max_steps > 0) {
+        config.epochs = std::min(config.epochs, options.max_steps);
+      }
+      const RunOutcome outcome = RunAndEvaluate(
+          StageConfig::NonPrivate(config), workload, options.seed + 1);
       table.NewRow()
           .AddCell(std::string(Name(loss)))
           .AddCell("non-private")
           .AddCell(config.epochs)
-          .AddCell(EvalHr(result->model, workload.validation, 10));
+          .AddCell(outcome.hit_rate_at_10);
       std::printf(".");
       std::fflush(stdout);
     }
     {
       core::PlpConfig config = DefaultPlpConfig(options);
       config.sgns.loss = loss;
-      const RunOutcome outcome =
-          RunPrivate(config, workload, options.seed + 1);
+      const RunOutcome outcome = RunAndEvaluate(
+          StageConfig::Private(config), workload, options.seed + 1);
       table.NewRow()
           .AddCell(std::string(Name(loss)))
           .AddCell("private eps=2")

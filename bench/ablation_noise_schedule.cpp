@@ -45,12 +45,16 @@ void Run(int argc, char** argv) {
               RandomFloorHr10(workload, 50, options.seed));
   TablePrinter table({"schedule", "steps", "eps_spent", "HR@10"});
   for (const Schedule& s : schedules) {
+    // Stage selection by config: the schedule parameterizes the
+    // NoisyAggregator's per-step σ_t and the Accountant tracks the same
+    // σ_t, so every schedule is charged exactly what it injects.
     core::PlpConfig config = DefaultPlpConfig(options);
     config.epsilon_budget = eps;
     config.noise_scale = s.sigma0;
     config.noise_scale_final = s.sigma_final;
     config.noise_decay_steps = s.decay_steps;
-    const RunOutcome outcome = RunPrivate(config, workload, options.seed + 1);
+    const RunOutcome outcome = RunAndEvaluate(
+        StageConfig::Private(config), workload, options.seed + 1);
     table.NewRow()
         .AddCell(std::string(s.name))
         .AddCell(outcome.steps)

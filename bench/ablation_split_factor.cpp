@@ -28,9 +28,12 @@ void Run(int argc, char** argv) {
   TablePrinter table(
       {"omega", "noise_stddev_multiplier", "steps", "HR@10"});
   for (int32_t omega : {1, 2, 3}) {
+    // Stage selection by config: the ω bound lives in the Grouper stage;
+    // the NoisyAggregator rescales its noise to the ω·C sensitivity.
     core::PlpConfig config = DefaultPlpConfig(options);
     config.split_factor = omega;
-    const RunOutcome outcome = RunPrivate(config, workload, options.seed + 1);
+    const RunOutcome outcome = RunAndEvaluate(
+        StageConfig::Private(config), workload, options.seed + 1);
     table.NewRow()
         .AddCell(static_cast<int64_t>(omega))
         .AddCell(config.noise_scale * omega * config.clip_norm, 3)

@@ -17,6 +17,7 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
   PLP_CHECK(options.scale == "small" || options.scale == "paper");
   options.full = flags->GetBool("full", false);
   options.seed = static_cast<uint64_t>(flags->GetInt("seed", 42));
+  options.max_steps = flags->GetInt("max_steps", 0);
   return options;
 }
 
@@ -55,20 +56,109 @@ core::PlpConfig DefaultPlpConfig(const BenchOptions& options) {
     // inside the paper's tested range [0.02, 0.07].
     config.adam.learning_rate = 0.03;
   }
+  if (options.max_steps > 0) config.max_steps = options.max_steps;
   return config;
+}
+
+StageConfig StageConfig::Private(core::PlpConfig config) {
+  StageConfig stage;
+  stage.is_private = true;
+  stage.plp = std::move(config);
+  return stage;
+}
+
+StageConfig StageConfig::NonPrivate(core::NonPrivateConfig config) {
+  StageConfig stage;
+  stage.is_private = false;
+  stage.nonprivate = std::move(config);
+  return stage;
+}
+
+namespace {
+
+EvalPoint EvaluatePoint(const Workload& workload, const sgns::SgnsModel& model,
+                        int64_t index, double mean_loss) {
+  EvalPoint point;
+  point.index = index;
+  point.mean_loss = mean_loss;
+  constexpr std::array<int32_t, 3> kRanks = {5, 10, 20};
+  for (size_t i = 0; i < kRanks.size(); ++i) {
+    point.validation_hr[i] = EvalHr(model, workload.validation, kRanks[i]);
+    point.test_hr[i] = EvalHr(model, workload.test, kRanks[i]);
+  }
+  std::printf(".");
+  std::fflush(stdout);
+  return point;
+}
+
+}  // namespace
+
+RunOutcome RunAndEvaluate(const StageConfig& config, const Workload& workload,
+                          uint64_t seed) {
+  Rng rng(seed);
+  RunOutcome outcome;
+  if (config.is_private) {
+    core::StepCallback callback = nullptr;
+    if (config.eval_every > 0) {
+      callback = [&](const core::StepMetrics& metrics,
+                     const sgns::SgnsModel& model) {
+        if (metrics.step % config.eval_every == 0) {
+          outcome.trajectory.push_back(EvaluatePoint(
+              workload, model, metrics.step, metrics.mean_local_loss));
+        }
+        return true;
+      };
+    }
+    auto result = core::PlpTrainer(config.plp).Train(workload.corpus, rng,
+                                                     callback);
+    PLP_CHECK_OK(result.status());
+    outcome.steps = result->steps_executed;
+    outcome.epsilon_spent = result->epsilon_spent;
+    outcome.wall_seconds = result->wall_seconds;
+    // A final trajectory point when the run stopped off-cadence (budget
+    // exhaustion between eval_every multiples).
+    if (config.eval_every > 0 && !result->history.empty() &&
+        (outcome.trajectory.empty() ||
+         outcome.trajectory.back().index != result->steps_executed)) {
+      outcome.trajectory.push_back(
+          EvaluatePoint(workload, result->model, result->steps_executed,
+                        result->history.back().mean_local_loss));
+    }
+    outcome.model = std::move(result->model);
+  } else {
+    core::EpochCallback callback = nullptr;
+    if (config.eval_every > 0) {
+      callback = [&](const core::EpochMetrics& metrics,
+                     const sgns::SgnsModel& model) {
+        if (metrics.epoch % config.eval_every == 0 ||
+            metrics.epoch == config.nonprivate.epochs) {
+          outcome.trajectory.push_back(EvaluatePoint(
+              workload, model, metrics.epoch, metrics.mean_loss));
+        }
+        return true;
+      };
+    }
+    auto result = core::NonPrivateTrainer(config.nonprivate)
+                      .Train(workload.corpus, rng, callback);
+    PLP_CHECK_OK(result.status());
+    outcome.steps = static_cast<int64_t>(result->history.size());
+    outcome.wall_seconds = result->wall_seconds;
+    outcome.model = std::move(result->model);
+  }
+  if (config.evaluate) {
+    constexpr std::array<int32_t, 3> kRanks = {5, 10, 20};
+    for (size_t i = 0; i < kRanks.size(); ++i) {
+      outcome.validation_hr[i] =
+          EvalHr(outcome.model, workload.validation, kRanks[i]);
+    }
+    outcome.hit_rate_at_10 = outcome.validation_hr[1];
+  }
+  return outcome;
 }
 
 RunOutcome RunPrivate(const core::PlpConfig& config,
                       const Workload& workload, uint64_t seed) {
-  Rng rng(seed);
-  auto result = core::PlpTrainer(config).Train(workload.corpus, rng);
-  PLP_CHECK_OK(result.status());
-  RunOutcome outcome;
-  outcome.hit_rate_at_10 = EvalHr(result->model, workload.validation, 10);
-  outcome.steps = result->steps_executed;
-  outcome.epsilon_spent = result->epsilon_spent;
-  outcome.wall_seconds = result->wall_seconds;
-  return outcome;
+  return RunAndEvaluate(StageConfig::Private(config), workload, seed);
 }
 
 double RandomFloorHr10(const Workload& workload, int32_t embedding_dim,

@@ -1,11 +1,13 @@
 #ifndef PLP_BENCH_BENCH_COMMON_H_
 #define PLP_BENCH_BENCH_COMMON_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
+#include "core/nonprivate_trainer.h"
 #include "core/plp_trainer.h"
 #include "data/corpus.h"
 #include "data/dataset.h"
@@ -19,11 +21,14 @@ namespace plp::bench {
 /// 600 POIs) whose sweeps finish in minutes on one core; --scale=paper
 /// clones the paper's dataset dimensions (4602 users, 5069 POIs, ~740k
 /// check-ins) and hours-long budgets. --full widens the parameter grids to
-/// the paper's complete figure grids; --seed controls all randomness.
+/// the paper's complete figure grids; --seed controls all randomness;
+/// --max_steps caps every training run (steps when private, epochs when
+/// not) so CI can smoke each bench in seconds without a forked code path.
 struct BenchOptions {
   std::string scale = "small";
   bool full = false;
   uint64_t seed = 42;
+  int64_t max_steps = 0;  ///< 0 = the bench's own budget/epoch bounds
 };
 
 /// Parses the shared flags; aborts on an unknown scale.
@@ -46,17 +51,56 @@ Workload BuildWorkload(const BenchOptions& options);
 /// defaults (q=0.06, σ=2.5, C=0.5, λ=4, δ=2e-4, dim=50, win=2, neg=16,
 /// b=32); at small scale the server Adam learning rate is 0.03 — inside
 /// the paper's tested range [0.02, 0.07] — which compensates for the
-/// smaller expected bucket count of the down-scaled city.
+/// smaller expected bucket count of the down-scaled city. Applies
+/// `options.max_steps` when set.
 core::PlpConfig DefaultPlpConfig(const BenchOptions& options);
 
-/// Trains with `config` and returns {HR@10 on the validation users, the
-/// train result}. Deterministic per (config, seed).
-struct RunOutcome {
-  double hit_rate_at_10 = 0.0;
-  int64_t steps = 0;
-  double epsilon_spent = 0.0;
-  double wall_seconds = 0.0;
+/// What a bench varies: a pipeline stage configuration, named by the
+/// trainer facade that owns it plus that facade's config. Benches describe
+/// WHAT to train; the single train→eval loop lives in RunAndEvaluate, so a
+/// sweep cell differs from its neighbors only in config fields — never in
+/// loop code.
+struct StageConfig {
+  static StageConfig Private(core::PlpConfig config);
+  static StageConfig NonPrivate(core::NonPrivateConfig config);
+
+  bool is_private = true;
+  core::PlpConfig plp;                ///< used when is_private
+  core::NonPrivateConfig nonprivate;  ///< used when !is_private
+
+  /// > 0: record an EvalPoint every N steps (private) / epochs
+  /// (non-private), plus one at the final index.
+  int64_t eval_every = 0;
+  /// false: skip hit-rate evaluation entirely (timing-only runs).
+  bool evaluate = true;
 };
+
+/// One periodic evaluation snapshot (eval_every > 0).
+struct EvalPoint {
+  int64_t index = 0;       ///< step (private) or epoch (non-private)
+  double mean_loss = 0.0;  ///< that round's mean local loss
+  std::array<double, 3> validation_hr{};  ///< HR@{5,10,20}, validation users
+  std::array<double, 3> test_hr{};        ///< HR@{5,10,20}, test users
+};
+
+/// Result of one train→eval run. Deterministic per (config, seed).
+struct RunOutcome {
+  double hit_rate_at_10 = 0.0;            ///< = validation_hr[1]
+  std::array<double, 3> validation_hr{};  ///< final HR@{5,10,20}
+  int64_t steps = 0;  ///< steps executed (private) / epochs (non-private)
+  double epsilon_spent = 0.0;  ///< 0 for non-private runs
+  double wall_seconds = 0.0;   ///< training time (evaluation excluded)
+  sgns::SgnsModel model;       ///< for bench-specific extra evaluation
+  std::vector<EvalPoint> trajectory;  ///< empty unless eval_every > 0
+};
+
+/// THE shared train→eval loop: trains `config` through the pipeline engine
+/// (via its trainer facade) and evaluates the result on the workload's
+/// validation users.
+RunOutcome RunAndEvaluate(const StageConfig& config, const Workload& workload,
+                          uint64_t seed);
+
+/// Shorthand for RunAndEvaluate(StageConfig::Private(config), ...).
 RunOutcome RunPrivate(const core::PlpConfig& config,
                       const Workload& workload, uint64_t seed);
 

@@ -7,11 +7,11 @@
 // Usage: fig05_hyperparams [--scale=small|paper] [--full] [--seed=N]
 //                          [--epochs=N]
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "common/rng.h"
 #include "common/table_printer.h"
 #include "core/nonprivate_trainer.h"
 
@@ -31,8 +31,9 @@ void Run(int argc, char** argv) {
   const Workload workload = BuildWorkload(options);
   PrintBanner("Figure 5: hyper-parameter tuning (non-private)", options,
               workload);
-  const int64_t epochs = flags->GetInt(
+  int64_t epochs = flags->GetInt(
       "epochs", options.scale == "paper" ? 50 : 5);
+  if (options.max_steps > 0) epochs = std::min(epochs, options.max_steps);
 
   std::vector<Sweep> sweeps = {
       {"embedding_dim",
@@ -68,16 +69,14 @@ void Run(int argc, char** argv) {
       core::NonPrivateConfig config;
       config.epochs = epochs;
       sweep.apply(config, value);
-      Rng rng(options.seed + 1);
-      auto result = core::NonPrivateTrainer(config).Train(workload.corpus,
-                                                          rng);
-      PLP_CHECK_OK(result.status());
+      const RunOutcome outcome = RunAndEvaluate(
+          StageConfig::NonPrivate(config), workload, options.seed + 1);
       table.NewRow()
           .AddCell(std::string(sweep.panel))
           .AddCell(value)
-          .AddCell(EvalHr(result->model, workload.validation, 5))
-          .AddCell(EvalHr(result->model, workload.validation, 10))
-          .AddCell(EvalHr(result->model, workload.validation, 20));
+          .AddCell(outcome.validation_hr[0])
+          .AddCell(outcome.validation_hr[1])
+          .AddCell(outcome.validation_hr[2]);
       std::printf(".");
       std::fflush(stdout);
     }

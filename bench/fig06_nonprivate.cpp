@@ -7,11 +7,11 @@
 // Usage: fig06_nonprivate [--scale=small|paper] [--seed=N] [--epochs=N]
 //                         [--eval_every=N]
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "common/rng.h"
 #include "common/table_printer.h"
 #include "core/nonprivate_trainer.h"
 
@@ -24,8 +24,9 @@ void Run(int argc, char** argv) {
   const BenchOptions options = ParseBenchOptions(argc, argv);
   const Workload workload = BuildWorkload(options);
   PrintBanner("Figure 6: non-private model performance", options, workload);
-  const int64_t epochs =
+  int64_t epochs =
       flags->GetInt("epochs", options.scale == "paper" ? 250 : 30);
+  if (options.max_steps > 0) epochs = std::min(epochs, options.max_steps);
   const int64_t eval_every =
       flags->GetInt("eval_every", options.scale == "paper" ? 25 : 3);
 
@@ -34,26 +35,21 @@ void Run(int argc, char** argv) {
                       "test_HR@20"});
   core::NonPrivateConfig config;
   config.epochs = epochs;
-  Rng rng(options.seed + 1);
-  auto result = core::NonPrivateTrainer(config).Train(
-      workload.corpus, rng,
-      [&](const core::EpochMetrics& m, const sgns::SgnsModel& model) {
-        if (m.epoch % eval_every == 0 || m.epoch == epochs) {
-          table.NewRow()
-              .AddCell(m.epoch)
-              .AddCell(m.mean_loss)
-              .AddCell(EvalHr(model, workload.validation, 5))
-              .AddCell(EvalHr(model, workload.validation, 10))
-              .AddCell(EvalHr(model, workload.validation, 20))
-              .AddCell(EvalHr(model, workload.test, 5))
-              .AddCell(EvalHr(model, workload.test, 10))
-              .AddCell(EvalHr(model, workload.test, 20));
-          std::printf(".");
-          std::fflush(stdout);
-        }
-        return true;
-      });
-  PLP_CHECK_OK(result.status());
+  StageConfig stage = StageConfig::NonPrivate(config);
+  stage.eval_every = eval_every;
+  const RunOutcome outcome =
+      RunAndEvaluate(stage, workload, options.seed + 1);
+  for (const EvalPoint& point : outcome.trajectory) {
+    table.NewRow()
+        .AddCell(point.index)
+        .AddCell(point.mean_loss)
+        .AddCell(point.validation_hr[0])
+        .AddCell(point.validation_hr[1])
+        .AddCell(point.validation_hr[2])
+        .AddCell(point.test_hr[0])
+        .AddCell(point.test_hr[1])
+        .AddCell(point.test_hr[2]);
+  }
   std::printf("\n\n");
   table.PrintAligned(std::cout);
   std::printf(
@@ -62,7 +58,7 @@ void Run(int argc, char** argv) {
       "track each other (no overfitting); HR@5 < HR@10 < HR@20.\n",
       RandomFloorHr10(workload, config.sgns.embedding_dim,
                       options.seed + 2),
-      result->wall_seconds);
+      outcome.wall_seconds);
 }
 
 }  // namespace

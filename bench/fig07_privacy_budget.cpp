@@ -63,8 +63,8 @@ void Run(int argc, char** argv) {
         if (method.single_gradient) {
           config.local_update = core::LocalUpdateMode::kSingleGradient;
         }
-        const RunOutcome outcome =
-            RunPrivate(config, workload, options.seed + 1);
+        const RunOutcome outcome = RunAndEvaluate(
+            StageConfig::Private(config), workload, options.seed + 1);
         table.NewRow()
             .AddCell(q, 2)
             .AddCell(eps, 1)

@@ -17,7 +17,6 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "common/rng.h"
 #include "common/table_printer.h"
 
 namespace plp::bench {
@@ -31,11 +30,11 @@ double SecondsPerStep(const core::PlpConfig& base, int32_t lambda,
   config.max_steps = steps;
   config.epsilon_budget = 1e9;  // time-bound, not budget-bound
   config.dense_local_copy = true;
-  Rng rng(seed);
-  auto result = core::PlpTrainer(config).Train(workload.corpus, rng);
-  PLP_CHECK_OK(result.status());
-  PLP_CHECK_EQ(result->steps_executed, steps);
-  return result->wall_seconds / static_cast<double>(steps);
+  StageConfig stage = StageConfig::Private(config);
+  stage.evaluate = false;  // timing only — skip the hit-rate pass
+  const RunOutcome outcome = RunAndEvaluate(stage, workload, seed);
+  PLP_CHECK_EQ(outcome.steps, steps);
+  return outcome.wall_seconds / static_cast<double>(steps);
 }
 
 void Run(int argc, char** argv) {

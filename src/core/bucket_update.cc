@@ -82,12 +82,12 @@ void BucketPairsInto(const Bucket& bucket, const PlpConfig& config,
   }
 }
 
-sgns::SparseDelta ComputeBucketUpdate(const sgns::SgnsModel& theta,
-                                      const Bucket& bucket,
-                                      const PlpConfig& config,
-                                      int32_t num_locations, Rng& rng,
-                                      double* loss_out,
-                                      sgns::TrainScratch* scratch) {
+sgns::SparseDelta ComputeRawBucketDelta(const sgns::SgnsModel& theta,
+                                        const Bucket& bucket,
+                                        const PlpConfig& config,
+                                        int32_t num_locations, Rng& rng,
+                                        double* loss_out,
+                                        sgns::TrainScratch* scratch) {
   sgns::BatchStats stats;
   sgns::SparseDelta delta(config.sgns.embedding_dim);
   if (config.dense_local_copy) {
@@ -103,6 +103,17 @@ sgns::SparseDelta ComputeBucketUpdate(const sgns::SgnsModel& theta,
   if (loss_out != nullptr) {
     *loss_out = stats.mean_loss();
   }
+  return delta;
+}
+
+sgns::SparseDelta ComputeBucketUpdate(const sgns::SgnsModel& theta,
+                                      const Bucket& bucket,
+                                      const PlpConfig& config,
+                                      int32_t num_locations, Rng& rng,
+                                      double* loss_out,
+                                      sgns::TrainScratch* scratch) {
+  sgns::SparseDelta delta = ComputeRawBucketDelta(
+      theta, bucket, config, num_locations, rng, loss_out, scratch);
   // Per-layer clipping (Section 4.1): each of the |θ| = 3 tensors is
   // clipped to C/√3 so the overall delta norm is at most C.
   delta.ClipPerTensor(config.clip_norm /

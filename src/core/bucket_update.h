@@ -30,12 +30,26 @@ void BucketPairsInto(const Bucket& bucket, const PlpConfig& config,
                      std::vector<int32_t>& flat_scratch,
                      std::vector<sgns::Pair>& out);
 
+/// Lines 15–20 only: local SGD over the bucket's batches starting from
+/// θ_t, returning the *unclipped* model delta. The pipeline's
+/// `LocalUpdater` stage produces this raw delta and hands it to the
+/// `DeltaClipper` stage, which applies line 21 and reports whether the
+/// bound engaged (clip_fraction). `loss_out` may be null; `scratch` is an
+/// optional per-worker workspace.
+sgns::SparseDelta ComputeRawBucketDelta(const sgns::SgnsModel& theta,
+                                        const Bucket& bucket,
+                                        const PlpConfig& config,
+                                        int32_t num_locations, Rng& rng,
+                                        double* loss_out = nullptr,
+                                        sgns::TrainScratch* scratch = nullptr);
+
 /// ModelUpdateFromBucket (Algorithm 1 lines 15–22): local SGD over the
 /// bucket's batches starting from θ_t, then the clipped model delta
 /// (per-tensor C/√3, so the overall norm is at most C). Deterministic
 /// given `rng`'s state. `loss_out` may be null. `scratch` is an optional
 /// per-worker workspace (pair/candidate/gradient buffers) that eliminates
 /// steady-state allocation without changing any result.
+/// ComputeRawBucketDelta followed by the per-tensor clip.
 sgns::SparseDelta ComputeBucketUpdate(const sgns::SgnsModel& theta,
                                       const Bucket& bucket,
                                       const PlpConfig& config,

@@ -1,63 +1,60 @@
 #include "core/config.h"
 
+#include <string>
+#include <vector>
+
 namespace plp::core {
+namespace {
+
+/// Joins every violation into one kInvalidArgument status so a
+/// misconfigured run reports all problems at once.
+Status CollectViolations(const std::vector<std::string>& violations) {
+  if (violations.empty()) return Status::Ok();
+  std::string message = "invalid config: ";
+  for (size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) message += "; ";
+    message += violations[i];
+  }
+  return InvalidArgumentError(std::move(message));
+}
+
+}  // namespace
 
 Status PlpConfig::Validate() const {
-  if (sgns.embedding_dim <= 0) {
-    return InvalidArgumentError("embedding_dim must be > 0");
-  }
-  if (sgns.window <= 0) return InvalidArgumentError("window must be > 0");
-  if (sgns.negatives <= 0) {
-    return InvalidArgumentError("negatives must be > 0");
-  }
-  if (sampling_probability <= 0.0 || sampling_probability > 1.0) {
-    return InvalidArgumentError("sampling_probability must be in (0, 1]");
-  }
-  if (grouping_factor < 1) {
-    return InvalidArgumentError("grouping_factor must be >= 1");
-  }
-  if (split_factor < 1) {
-    return InvalidArgumentError("split_factor must be >= 1");
-  }
-  if (noise_scale < 0.0) {
-    return InvalidArgumentError("noise_scale must be >= 0");
-  }
-  if (clip_norm <= 0.0) return InvalidArgumentError("clip_norm must be > 0");
-  if (epsilon_budget <= 0.0) {
-    return InvalidArgumentError("epsilon_budget must be > 0");
-  }
-  if (delta <= 0.0 || delta >= 1.0) {
-    return InvalidArgumentError("delta must be in (0, 1)");
-  }
-  if (batch_size <= 0) return InvalidArgumentError("batch_size must be > 0");
-  if (local_learning_rate <= 0.0) {
-    return InvalidArgumentError("local_learning_rate must be > 0");
-  }
-  if (local_epochs < 1) {
-    return InvalidArgumentError("local_epochs must be >= 1");
-  }
+  std::vector<std::string> violations;
+  const auto require = [&](bool ok, const char* message) {
+    if (!ok) violations.emplace_back(message);
+  };
+  require(sgns.embedding_dim > 0, "embedding_dim must be > 0");
+  require(sgns.window > 0, "window must be > 0");
+  require(sgns.negatives > 0, "negatives must be > 0");
+  require(sampling_probability > 0.0 && sampling_probability <= 1.0,
+          "sampling_probability must be in (0, 1]");
+  require(grouping_factor >= 1, "grouping_factor must be >= 1");
+  require(split_factor >= 1, "split_factor must be >= 1");
+  require(noise_scale >= 0.0, "noise_scale must be >= 0");
+  require(clip_norm > 0.0, "clip_norm must be > 0");
+  require(epsilon_budget > 0.0, "epsilon_budget must be > 0");
+  require(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  require(batch_size > 0, "batch_size must be > 0");
+  require(local_learning_rate > 0.0, "local_learning_rate must be > 0");
+  require(local_epochs >= 1, "local_epochs must be >= 1");
   if (server_optimizer != "dp_adam" && server_optimizer != "fixed_step") {
-    return InvalidArgumentError("unknown server_optimizer: " +
-                                server_optimizer);
+    violations.push_back("unknown server_optimizer: " + server_optimizer);
   }
-  if (max_steps <= 0) return InvalidArgumentError("max_steps must be > 0");
-  if (num_threads < 1) {
-    return InvalidArgumentError("num_threads must be >= 1");
+  if (accountant != "rdp" && accountant != "pld_fft") {
+    violations.push_back("unknown accountant: " + accountant);
   }
-  if (noise_scale_final < 0.0) {
-    return InvalidArgumentError("noise_scale_final must be >= 0");
-  }
+  require(max_steps > 0, "max_steps must be > 0");
+  require(num_threads >= 1, "num_threads must be >= 1");
+  require(noise_scale_final >= 0.0, "noise_scale_final must be >= 0");
   if (noise_scale_final > 0.0) {
-    if (noise_scale_final > noise_scale) {
-      return InvalidArgumentError(
-          "noise_scale_final must not exceed noise_scale");
-    }
-    if (noise_decay_steps <= 0) {
-      return InvalidArgumentError(
-          "noise_decay_steps must be > 0 when a schedule is set");
-    }
+    require(noise_scale_final <= noise_scale,
+            "noise_scale_final must not exceed noise_scale");
+    require(noise_decay_steps > 0,
+            "noise_decay_steps must be > 0 when a schedule is set");
   }
-  return Status::Ok();
+  return CollectViolations(violations);
 }
 
 double NoiseScaleAt(const PlpConfig& config, int64_t step) {

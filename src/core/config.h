@@ -56,6 +56,14 @@ struct PlpConfig {
   /// more steps at the same budget).
   privacy::RdpConversion rdp_conversion = privacy::RdpConversion::kClassic;
 
+  /// Accountant stage implementation: "rdp" (the moments-accountant
+  /// ledger, the default) or "pld_fft" (FFT-composed privacy-loss
+  /// distribution per Koskela et al., arXiv:1906.03049 — tighter ε at the
+  /// same (q, σ, δ), so more steps inside the same budget). Checkpoints
+  /// record the accountant's own blob; resuming under a different
+  /// accountant is rejected.
+  std::string accountant = "rdp";
+
   /// Flexible budget allocation across learning stages (the paper's
   /// Section 7 future work): when > 0, σ_t decays linearly from
   /// noise_scale to noise_scale_final over noise_decay_steps, then stays
@@ -115,7 +123,9 @@ struct PlpConfig {
   /// sequential num_threads = 1 path.
   int32_t num_threads = 1;
 
-  /// Validates ranges; returns the first violation.
+  /// Validates ranges. Reports *every* violation in one
+  /// kInvalidArgument message ("; "-separated), so a misconfigured run
+  /// surfaces all problems at once instead of one per attempt.
   Status Validate() const;
 };
 

@@ -1,205 +1,64 @@
 #include "core/nonprivate_trainer.h"
 
-#include <algorithm>
-#include <cmath>
-#include <optional>
+#include <utility>
 
-#include "common/check.h"
-#include "common/fault_injection.h"
-#include "common/serialize.h"
-#include "common/stopwatch.h"
-#include "sgns/loss.h"
-#include "sgns/pairs.h"
-#include "sgns/sparse_delta.h"
+#include "core/plp_trainer.h"
+#include "pipeline/engine.h"
+#include "pipeline/standard_stages.h"
 
 namespace plp::core {
 
 Status NonPrivateConfig::Validate() const {
-  if (sgns.embedding_dim <= 0) {
-    return InvalidArgumentError("embedding_dim must be > 0");
-  }
-  if (sgns.window <= 0) return InvalidArgumentError("window must be > 0");
-  if (sgns.negatives <= 0) {
-    return InvalidArgumentError("negatives must be > 0");
-  }
-  if (batch_size <= 0) return InvalidArgumentError("batch_size must be > 0");
-  if (epochs <= 0) return InvalidArgumentError("epochs must be > 0");
-  if (subsample_threshold < 0.0 || subsample_threshold >= 1.0) {
-    return InvalidArgumentError("subsample_threshold must be in [0, 1)");
-  }
-  return Status::Ok();
+  std::string message;
+  const auto require = [&](bool ok, const char* violation) {
+    if (ok) return;
+    message += message.empty() ? "invalid config: " : "; ";
+    message += violation;
+  };
+  require(sgns.embedding_dim > 0, "embedding_dim must be > 0");
+  require(sgns.window > 0, "window must be > 0");
+  require(sgns.negatives > 0, "negatives must be > 0");
+  require(batch_size > 0, "batch_size must be > 0");
+  require(epochs > 0, "epochs must be > 0");
+  require(subsample_threshold >= 0.0 && subsample_threshold < 1.0,
+          "subsample_threshold must be in [0, 1)");
+  if (message.empty()) return Status::Ok();
+  return InvalidArgumentError(std::move(message));
 }
-
-namespace {
-constexpr char kOptimizerName[] = "sparse_adam";
-}  // namespace
 
 Result<NonPrivateResult> NonPrivateTrainer::Train(
     const data::TrainingCorpus& corpus, Rng& rng,
     const EpochCallback& callback,
     const ckpt::CheckpointOptions& checkpoint) const {
   PLP_RETURN_IF_ERROR(config_.Validate());
-  if (corpus.num_users() == 0 || corpus.num_locations <= 0) {
-    return InvalidArgumentError("empty training corpus");
+  // The baseline as a degenerate stage configuration of the shared engine:
+  // a whole-round epoch updater driving a lazy sparse Adam, with sampling,
+  // clipping, noise and accounting all null. One engine step = one epoch.
+  pipeline::TrainingEngine engine(
+      pipeline::MakeNonPrivateEngineConfig(config_),
+      pipeline::MakeNonPrivateStages(config_));
+  StepCallback step_callback;
+  if (callback) {
+    step_callback = [&callback](const StepMetrics& step,
+                                const sgns::SgnsModel& model) {
+      EpochMetrics metrics;
+      metrics.epoch = step.step;
+      metrics.mean_loss = step.mean_local_loss;
+      return callback(metrics, model);
+    };
   }
-  std::optional<ckpt::CheckpointManager> manager;
-  if (checkpoint.enabled()) {
-    if (checkpoint.every_steps <= 0) {
-      return InvalidArgumentError("checkpoint every_steps must be > 0");
-    }
-    manager.emplace(checkpoint.dir, checkpoint.keep_last);
-    PLP_RETURN_IF_ERROR(manager->Init());
-  }
-
-  Stopwatch stopwatch;
-  PLP_ASSIGN_OR_RETURN(sgns::SgnsModel model,
-                       sgns::SgnsModel::Create(corpus.num_locations,
-                                               config_.sgns, rng));
-  optim::SparseAdam adam(model, config_.adam);
-
-  // Per-token keep probabilities for word2vec-style subsampling of
-  // frequent locations (non-private only; see the config comment).
-  std::vector<double> keep_probability;
-  if (config_.subsample_threshold > 0.0) {
-    std::vector<int64_t> counts(
-        static_cast<size_t>(corpus.num_locations), 0);
-    int64_t total = 0;
-    for (const auto& sentences : corpus.user_sentences) {
-      for (const auto& s : sentences) {
-        for (int32_t token : s) {
-          ++counts[static_cast<size_t>(token)];
-          ++total;
-        }
-      }
-    }
-    keep_probability.resize(counts.size(), 1.0);
-    for (size_t l = 0; l < counts.size(); ++l) {
-      if (counts[l] == 0) continue;
-      const double f = static_cast<double>(counts[l]) /
-                       static_cast<double>(total);
-      const double ratio = config_.subsample_threshold / f;
-      keep_probability[l] = std::min(1.0, std::sqrt(ratio) + ratio);
-    }
-  }
-  auto build_pairs = [&](Rng& pair_rng) {
-    std::vector<sgns::Pair> pairs;
-    std::vector<int32_t> filtered;
-    for (const auto& sentences : corpus.user_sentences) {
-      for (const auto& s : sentences) {
-        const std::vector<int32_t>* sentence = &s;
-        if (!keep_probability.empty()) {
-          filtered.clear();
-          for (int32_t token : s) {
-            if (pair_rng.Bernoulli(
-                    keep_probability[static_cast<size_t>(token)])) {
-              filtered.push_back(token);
-            }
-          }
-          sentence = &filtered;
-        }
-        std::vector<sgns::Pair> p =
-            sgns::GeneratePairs(*sentence, config_.sgns.window);
-        pairs.insert(pairs.end(), p.begin(), p.end());
-      }
-    }
-    return pairs;
-  };
-
-  // Without subsampling the pair set is static: build it once (consuming
-  // no randomness) and let every epoch shuffle a pristine-order copy. With
-  // subsampling, every epoch builds a fresh pristine-order subsample.
-  // Either way an epoch depends only on the RNG position at its start —
-  // never on the permutation earlier epochs left behind — which is what
-  // lets a resumed run replay the remaining epochs bit-identically.
-  std::vector<sgns::Pair> pristine_pairs;
-  if (keep_probability.empty()) {
-    pristine_pairs = build_pairs(rng);
-    if (pristine_pairs.empty()) {
-      return InvalidArgumentError(
-          "corpus produced no training pairs (sentences shorter than 2?)");
-    }
-  }
-
-  int64_t start_epoch = 0;
-  if (manager && checkpoint.resume) {
-    auto loaded = manager->LoadLatest();
-    if (loaded.ok()) {
-      ckpt::TrainerSnapshot& snapshot = *loaded;
-      if (snapshot.kind != ckpt::TrainerKind::kNonPrivate) {
-        return InvalidArgumentError(
-            "checkpoint was written by a different trainer kind");
-      }
-      if (snapshot.model.num_locations() != corpus.num_locations ||
-          snapshot.model.dim() != config_.sgns.embedding_dim) {
-        return InvalidArgumentError(
-            "checkpoint model shape disagrees with corpus/config");
-      }
-      if (snapshot.optimizer_name != kOptimizerName ||
-          !snapshot.ledger_blob.empty()) {
-        return InvalidArgumentError(
-            "checkpoint payload disagrees with the non-private trainer");
-      }
-      ByteReader optimizer_reader(snapshot.optimizer_blob);
-      PLP_RETURN_IF_ERROR(adam.LoadState(optimizer_reader, snapshot.model));
-      if (!optimizer_reader.AtEnd()) {
-        return InvalidArgumentError("checkpoint: trailing optimizer bytes");
-      }
-      model = std::move(snapshot.model);
-      rng.RestoreState(snapshot.rng);
-      start_epoch = snapshot.step;
-    } else if (loaded.status().code() != StatusCode::kNotFound) {
-      return loaded.status();
-    }
-  }
-
+  PLP_ASSIGN_OR_RETURN(TrainResult train,
+                       engine.Train(corpus, rng, step_callback, checkpoint));
   NonPrivateResult result;
-  result.model = std::move(model);
-  std::vector<sgns::Pair> all_pairs;
-  for (int64_t epoch = start_epoch + 1; epoch <= config_.epochs; ++epoch) {
-    all_pairs = keep_probability.empty() ? pristine_pairs : build_pairs(rng);
-    rng.Shuffle(all_pairs);
-    double loss_sum = 0.0;
-    int64_t pairs = 0;
-    for (size_t start = 0; start < all_pairs.size();
-         start += static_cast<size_t>(config_.batch_size)) {
-      const size_t end = std::min(
-          all_pairs.size(), start + static_cast<size_t>(config_.batch_size));
-      const std::span<const sgns::Pair> batch(all_pairs.data() + start,
-                                              end - start);
-      sgns::SparseDelta gradient(config_.sgns.embedding_dim);
-      const sgns::BatchStats stats = sgns::AccumulateBatchGradient(
-          result.model, batch, config_.sgns, corpus.num_locations, rng,
-          gradient);
-      adam.ApplyGradient(gradient, 1.0 / static_cast<double>(batch.size()),
-                         result.model);
-      loss_sum += stats.loss_sum;
-      pairs += stats.num_pairs;
-    }
+  result.model = std::move(train.model);
+  result.history.reserve(train.history.size());
+  for (const StepMetrics& step : train.history) {
     EpochMetrics metrics;
-    metrics.epoch = epoch;
-    metrics.mean_loss =
-        pairs == 0 ? 0.0 : loss_sum / static_cast<double>(pairs);
+    metrics.epoch = step.step;
+    metrics.mean_loss = step.mean_local_loss;
     result.history.push_back(metrics);
-    // Observe before committing (see PlpTrainer::Train): a crash between
-    // the two replays the epoch rather than hiding it from the observer.
-    const bool continue_training =
-        !callback || callback(metrics, result.model);
-    if (manager && epoch % checkpoint.every_steps == 0) {
-      PLP_FAULT_POINT("trainer.before_checkpoint");
-      ckpt::TrainerSnapshot snapshot;
-      snapshot.kind = ckpt::TrainerKind::kNonPrivate;
-      snapshot.step = epoch;
-      snapshot.rng = rng.SaveState();
-      snapshot.optimizer_name = kOptimizerName;
-      ByteWriter optimizer_writer;
-      adam.SaveState(optimizer_writer);
-      snapshot.optimizer_blob = optimizer_writer.Take();
-      snapshot.model = result.model;
-      PLP_RETURN_IF_ERROR(manager->Save(snapshot));
-    }
-    if (!continue_training) break;
   }
-  result.wall_seconds = stopwatch.ElapsedSeconds();
+  result.wall_seconds = train.wall_seconds;
   return result;
 }
 

@@ -1,302 +1,20 @@
 #include "core/plp_trainer.h"
 
-#include <algorithm>
-#include <cmath>
-#include <memory>
-#include <optional>
-
-#include "common/check.h"
-#include "common/fault_injection.h"
-#include "common/serialize.h"
-#include "common/stopwatch.h"
-#include "common/thread_pool.h"
-#include "core/bucket_update.h"
-#include "optim/optimizers.h"
-#include "sgns/sparse_delta.h"
-#include "sgns/train_scratch.h"
+#include "pipeline/engine.h"
+#include "pipeline/standard_stages.h"
 
 namespace plp::core {
-namespace {
-
-/// Snapshots the full mutable training state after completed step `step`.
-/// The ledger/optimizer states embed as opaque blobs: each component
-/// serializes itself, the checkpoint format stays ignorant of their layout.
-ckpt::TrainerSnapshot MakePrivateSnapshot(
-    int64_t step, const Rng& rng, const privacy::PrivacyLedger& ledger,
-    const optim::ServerOptimizer& server, const std::string& optimizer_name,
-    const sgns::SgnsModel& model) {
-  ckpt::TrainerSnapshot snapshot;
-  snapshot.kind = ckpt::TrainerKind::kPrivate;
-  snapshot.step = step;
-  snapshot.rng = rng.SaveState();
-  ByteWriter ledger_writer;
-  ledger.SaveState(ledger_writer);
-  snapshot.ledger_blob = ledger_writer.Take();
-  snapshot.optimizer_name = optimizer_name;
-  ByteWriter optimizer_writer;
-  server.SaveState(optimizer_writer);
-  snapshot.optimizer_blob = optimizer_writer.Take();
-  snapshot.model = model;
-  return snapshot;
-}
-
-}  // namespace
 
 Result<TrainResult> PlpTrainer::Train(
     const data::TrainingCorpus& corpus, Rng& rng, const StepCallback& callback,
     const ckpt::CheckpointOptions& checkpoint) const {
   PLP_RETURN_IF_ERROR(config_.Validate());
-  if (corpus.num_users() == 0 || corpus.num_locations <= 0) {
-    return InvalidArgumentError("empty training corpus");
-  }
-  std::optional<ckpt::CheckpointManager> manager;
-  if (checkpoint.enabled()) {
-    if (checkpoint.every_steps <= 0) {
-      return InvalidArgumentError("checkpoint every_steps must be > 0");
-    }
-    manager.emplace(checkpoint.dir, checkpoint.keep_last);
-    PLP_RETURN_IF_ERROR(manager->Init());
-  }
-
-  Stopwatch stopwatch;
-  PLP_ASSIGN_OR_RETURN(sgns::SgnsModel model,
-                       sgns::SgnsModel::Create(corpus.num_locations,
-                                               config_.sgns, rng));
-  privacy::PrivacyLedger ledger(config_.delta);
-  std::unique_ptr<optim::ServerOptimizer> server =
-      optim::MakeServerOptimizer(config_.server_optimizer, config_.adam);
-
-  // Resume overlays the freshly-initialized state: the snapshot's model,
-  // ledger, optimizer moments and RNG position replace the fresh ones, and
-  // the loop continues at the step after the snapshot. Every cross-field
-  // consistency violation is rejected here, before any state is mutated.
-  int64_t start_step = 0;
-  if (manager && checkpoint.resume) {
-    auto loaded = manager->LoadLatest();
-    if (loaded.ok()) {
-      ckpt::TrainerSnapshot& snapshot = *loaded;
-      if (snapshot.kind != ckpt::TrainerKind::kPrivate) {
-        return InvalidArgumentError(
-            "checkpoint was written by a different trainer kind");
-      }
-      if (snapshot.model.num_locations() != corpus.num_locations ||
-          snapshot.model.dim() != config_.sgns.embedding_dim) {
-        return InvalidArgumentError(
-            "checkpoint model shape disagrees with corpus/config");
-      }
-      if (snapshot.optimizer_name != config_.server_optimizer) {
-        return InvalidArgumentError(
-            "checkpoint optimizer disagrees with config");
-      }
-      ByteReader ledger_reader(snapshot.ledger_blob);
-      PLP_ASSIGN_OR_RETURN(privacy::PrivacyLedger restored_ledger,
-                           privacy::PrivacyLedger::Restore(ledger_reader));
-      if (!ledger_reader.AtEnd()) {
-        return InvalidArgumentError("checkpoint: trailing ledger bytes");
-      }
-      if (restored_ledger.delta() != config_.delta) {
-        return InvalidArgumentError("checkpoint δ disagrees with config");
-      }
-      // Ledger-first invariant: a snapshot at step k carries exactly k
-      // tracked steps — the ledger always covers the model's spends.
-      if (restored_ledger.total_steps() != snapshot.step) {
-        return InvalidArgumentError(
-            "checkpoint ledger steps disagree with step counter");
-      }
-      ByteReader optimizer_reader(snapshot.optimizer_blob);
-      PLP_RETURN_IF_ERROR(server->LoadState(optimizer_reader, snapshot.model));
-      if (!optimizer_reader.AtEnd()) {
-        return InvalidArgumentError("checkpoint: trailing optimizer bytes");
-      }
-      ledger = std::move(restored_ledger);
-      model = std::move(snapshot.model);
-      rng.RestoreState(snapshot.rng);
-      start_step = snapshot.step;
-    } else if (loaded.status().code() != StatusCode::kNotFound) {
-      return loaded.status();
-    }
-  }
-
-  std::unique_ptr<ThreadPool> pool;
-  if (config_.num_threads > 1) {
-    pool = std::make_unique<ThreadPool>(
-        static_cast<size_t>(config_.num_threads));
-  }
-
-  // Fixed-denominator estimator: E[|H|] = q·N/λ (never below 1).
-  const double expected_buckets =
-      std::max(1.0, config_.sampling_probability *
-                        static_cast<double>(corpus.num_users()) /
-                        static_cast<double>(config_.grouping_factor));
-
-  sgns::DenseUpdate update(model);
-  TrainResult result;
-  result.model = std::move(model);
-  result.steps_executed = start_step;
-  if (start_step > 0) {
-    result.epsilon_spent = ledger.CumulativeEpsilon(config_.rdp_conversion);
-  }
-
-  // Steady-state buffers reused across steps: one TrainScratch per pool
-  // worker (workers index them via ThreadPool::CurrentWorkerIndex(), the
-  // sequential path uses slot 0) and one SparseDelta slot per bucket
-  // (grown lazily; Clear() keeps row-map capacity).
-  const size_t num_workers = pool != nullptr ? pool->num_threads() : 1;
-  std::vector<sgns::TrainScratch> scratches;
-  scratches.reserve(num_workers);
-  for (size_t i = 0; i < num_workers; ++i) {
-    scratches.emplace_back(config_.sgns.embedding_dim);
-  }
-  std::vector<sgns::SparseDelta> deltas;
-  std::vector<const sgns::SparseDelta*> delta_ptrs;
-  std::vector<double> losses;
-
-  for (int64_t step = start_step + 1; step <= config_.max_steps; ++step) {
-    const double sigma_t = NoiseScaleAt(config_, step);
-    // The ledger tracks the *effective* noise multiplier: noise stddev
-    // divided by the query's joint l2 sensitivity ω·C. With per-tensor
-    // noise σ·ω·C/√3 on each tensor, the joint multiplier is σ/√3
-    // (strictly less privacy per step than the default dense noise).
-    const double effective_multiplier =
-        config_.per_tensor_noise
-            ? sigma_t / std::sqrt(static_cast<double>(sgns::kNumTensors))
-            : sigma_t;
-    // Consume this step's budget first; if it overruns, return θ_{t-1} —
-    // the model *before* this step's update (Algorithm 1 lines 11–13).
-    PLP_RETURN_IF_ERROR(ledger.TrackStep(config_.sampling_probability,
-                                         effective_multiplier));
-    const double epsilon_after =
-        ledger.CumulativeEpsilon(config_.rdp_conversion);
-    if (epsilon_after > config_.epsilon_budget) {
-      result.stop_reason = StopReason::kBudgetExhausted;
-      break;
-    }
-
-    StepMetrics metrics;
-    metrics.step = step;
-    metrics.epsilon_spent = epsilon_after;
-    result.epsilon_spent = epsilon_after;
-
-    Stopwatch phase;
-
-    // Lines 5–6: Poisson user sample, then data grouping.
-    const std::vector<int32_t> sampled = PoissonSampleUsers(
-        corpus.num_users(), config_.sampling_probability, rng);
-    const std::vector<Bucket> buckets =
-        BuildBuckets(corpus, sampled, config_, rng);
-    metrics.sampled_users = static_cast<int64_t>(sampled.size());
-    metrics.num_buckets = static_cast<int64_t>(buckets.size());
-    PLP_CHECK_LE(RealizedSplitFactor(buckets), config_.split_factor);
-    result.phase_seconds.sampling_grouping += phase.ElapsedSeconds();
-
-    // Lines 7–8: one clipped model delta per bucket. Buckets are
-    // independent; every bucket's local training runs on an Rng derived
-    // from the step seed and the bucket's content (BucketSeed), so the
-    // result is bitwise-identical for any num_threads — the sequential
-    // path is the same computation without the fan-out. Both seeds are
-    // drawn even when no bucket exists so the streams stay aligned across
-    // runs that sample differently.
-    phase.Reset();
-    update.Zero(pool.get());
-    const uint64_t step_seed = rng.NextU64();
-    const uint64_t noise_seed = rng.NextU64();
-    while (deltas.size() < buckets.size()) {
-      deltas.emplace_back(config_.sgns.embedding_dim);
-    }
-    losses.assign(buckets.size(), 0.0);
-    if (pool != nullptr && buckets.size() > 1) {
-      pool->ParallelFor(buckets.size(), [&](size_t i) {
-        const int worker = ThreadPool::CurrentWorkerIndex();
-        sgns::TrainScratch* scratch =
-            worker >= 0 ? &scratches[static_cast<size_t>(worker)] : nullptr;
-        Rng bucket_rng(BucketSeed(step_seed, buckets[i]));
-        deltas[i] = ComputeBucketUpdate(result.model, buckets[i], config_,
-                                        corpus.num_locations, bucket_rng,
-                                        &losses[i], scratch);
-      });
-    } else {
-      for (size_t i = 0; i < buckets.size(); ++i) {
-        Rng bucket_rng(BucketSeed(step_seed, buckets[i]));
-        deltas[i] = ComputeBucketUpdate(result.model, buckets[i], config_,
-                                        corpus.num_locations, bucket_rng,
-                                        &losses[i], &scratches[0]);
-      }
-    }
-    result.phase_seconds.local_sgd += phase.ElapsedSeconds();
-
-    // Sharded deterministic reduction of the bucket deltas (the Σ of the
-    // Gaussian sum query) — bitwise equal to accumulating them serially
-    // in bucket order.
-    phase.Reset();
-    delta_ptrs.clear();
-    double loss_sum = 0.0;
-    for (size_t i = 0; i < buckets.size(); ++i) {
-      delta_ptrs.push_back(&deltas[i]);
-      loss_sum += losses[i];
-    }
-    sgns::AccumulateDeltas(delta_ptrs, 1.0, update, pool.get());
-    metrics.mean_local_loss =
-        buckets.empty() ? 0.0
-                        : loss_sum / static_cast<double>(buckets.size());
-    metrics.signal_norm = update.Norm(pool.get());
-    result.phase_seconds.reduction += phase.ElapsedSeconds();
-
-    // Line 9: Gaussian noise calibrated to the sum's sensitivity ω·C,
-    // drawn from counter-based per-block streams keyed on noise_seed —
-    // identical output for any thread count.
-    phase.Reset();
-    const double sensitivity =
-        static_cast<double>(config_.split_factor) * config_.clip_norm;
-    if (config_.per_tensor_noise) {
-      const double per_tensor_std =
-          sigma_t * sensitivity /
-          std::sqrt(static_cast<double>(sgns::kNumTensors));
-      for (int ti = 0; ti < sgns::kNumTensors; ++ti) {
-        update.AddGaussianNoiseToTensor(static_cast<sgns::Tensor>(ti),
-                                        noise_seed, per_tensor_std,
-                                        pool.get());
-      }
-    } else {
-      update.AddGaussianNoise(noise_seed, sigma_t * sensitivity, pool.get());
-    }
-    const double denominator =
-        config_.fixed_denominator
-            ? expected_buckets
-            : std::max<double>(1.0, static_cast<double>(buckets.size()));
-    update.Scale(1.0 / denominator, pool.get());
-    metrics.noisy_update_norm = update.Norm(pool.get());
-    result.phase_seconds.noise += phase.ElapsedSeconds();
-    PLP_FAULT_POINT("trainer.after_noise");
-
-    // Line 10: model update.
-    phase.Reset();
-    server->ApplyUpdate(update, result.model);
-    result.phase_seconds.server_apply += phase.ElapsedSeconds();
-    result.steps_executed = step;
-    result.history.push_back(metrics);
-
-    // Observe before committing: a crash between the callback and the
-    // checkpoint replays the step (re-observing the identical metrics),
-    // whereas the reverse order could persist a step no observer ever saw.
-    const bool continue_training =
-        !callback || callback(metrics, result.model);
-
-    if (manager && step % checkpoint.every_steps == 0) {
-      PLP_FAULT_POINT("trainer.before_checkpoint");
-      PLP_RETURN_IF_ERROR(manager->Save(MakePrivateSnapshot(
-          step, rng, ledger, *server, config_.server_optimizer,
-          result.model)));
-    }
-
-    if (!continue_training) {
-      result.stop_reason = StopReason::kCallback;
-      break;
-    }
-    if (step == config_.max_steps) result.stop_reason = StopReason::kMaxSteps;
-  }
-
-  result.wall_seconds = stopwatch.ElapsedSeconds();
-  return result;
+  // Algorithm 1 as a stage configuration of the shared engine: Poisson
+  // sampler, λ-grouper, per-bucket local SGD, per-tensor clip, Gaussian
+  // sum query, the configured accountant, the configured server optimizer.
+  pipeline::TrainingEngine engine(pipeline::MakePrivateEngineConfig(config_),
+                                  pipeline::MakePrivateStages(config_));
+  return engine.Train(corpus, rng, callback, checkpoint);
 }
 
 DpSgdTrainer::DpSgdTrainer(const PlpConfig& config)

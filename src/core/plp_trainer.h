@@ -25,6 +25,10 @@ struct StepMetrics {
   double epsilon_spent = 0.0;      ///< cumulative ε after this step
   double signal_norm = 0.0;        ///< ‖Σ clipped deltas‖ before noise
   double noisy_update_norm = 0.0;  ///< ‖ĝ_t‖ actually applied
+  /// Fraction of this step's bucket deltas whose clip bound engaged (line
+  /// 21 actually scaled them). Persistently ≈ 1 means C is throttling the
+  /// signal; ≈ 0 means C is slack and the noise is larger than necessary.
+  double clip_fraction = 0.0;
 };
 
 /// Why training stopped.

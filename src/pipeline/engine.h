@@ -1,0 +1,53 @@
+#ifndef PLP_PIPELINE_ENGINE_H_
+#define PLP_PIPELINE_ENGINE_H_
+
+#include <cstdint>
+
+#include "ckpt/checkpoint.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/plp_trainer.h"
+#include "data/corpus.h"
+#include "pipeline/stages.h"
+#include "sgns/model.h"
+
+namespace plp::pipeline {
+
+/// Loop bounds and scheduling for one TrainingEngine run — everything
+/// about *how* the step loop executes; the StageSet holds everything about
+/// *what* each step computes.
+struct EngineConfig {
+  sgns::SgnsConfig sgns;  ///< model shape/init (θ_0 is engine-created)
+  int64_t max_steps = 0;  ///< rounds (steps for PLP, epochs non-private)
+  int32_t num_threads = 1;
+  ckpt::TrainerKind kind = ckpt::TrainerKind::kPrivate;
+};
+
+/// The one step loop behind every trainer (Algorithm 1's outer for-loop):
+/// owns model creation, the thread pool and per-worker scratch, the
+/// content-keyed bucket fan-out, phase timing, step callbacks, and the
+/// checkpoint/resume protocol. Trainers are thin facades that pick a
+/// StageSet; the engine guarantees the run is bitwise thread-count
+/// deterministic and crash-resumable as long as the stages respect the
+/// randomness contract in stages.h.
+class TrainingEngine {
+ public:
+  TrainingEngine(EngineConfig config, StageSet stages)
+      : config_(std::move(config)), stages_(std::move(stages)) {}
+
+  /// Runs the loop. Semantics (RNG draw order, reduction shape, budget
+  /// gate returning θ_{t−1}, observe-before-commit checkpointing) are
+  /// pinned by the golden equivalence suite against the pre-pipeline
+  /// trainers — see tests/pipeline/golden_equivalence_test.cc.
+  Result<core::TrainResult> Train(const data::TrainingCorpus& corpus,
+                                  Rng& rng, const core::StepCallback& callback,
+                                  const ckpt::CheckpointOptions& checkpoint);
+
+ private:
+  EngineConfig config_;
+  StageSet stages_;
+};
+
+}  // namespace plp::pipeline
+
+#endif  // PLP_PIPELINE_ENGINE_H_

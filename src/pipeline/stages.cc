@@ -1,0 +1,39 @@
+#include "pipeline/stages.h"
+
+#include "common/check.h"
+
+namespace plp::pipeline {
+
+sgns::SparseDelta LocalUpdater::ComputeDelta(const sgns::SgnsModel& theta,
+                                             const core::Bucket& bucket,
+                                             int32_t num_locations,
+                                             Rng& bucket_rng, double* loss_out,
+                                             sgns::TrainScratch* scratch) {
+  (void)theta;
+  (void)bucket;
+  (void)num_locations;
+  (void)bucket_rng;
+  (void)loss_out;
+  (void)scratch;
+  PLP_CHECK(false);  // BucketParallel() updaters must override ComputeDelta
+  return sgns::SparseDelta(1);
+}
+
+Result<double> LocalUpdater::WholeRound(const data::TrainingCorpus& corpus,
+                                        sgns::SgnsModel& model, Rng& rng) {
+  (void)corpus;
+  (void)model;
+  (void)rng;
+  return InternalError("LocalUpdater does not implement WholeRound");
+}
+
+Result<BudgetDecision> Accountant::TrackRounds(int64_t first_step,
+                                               int64_t count) {
+  BudgetDecision decision;
+  for (int64_t i = 0; i < count; ++i) {
+    PLP_ASSIGN_OR_RETURN(decision, TrackRound(first_step + i));
+  }
+  return decision;
+}
+
+}  // namespace plp::pipeline

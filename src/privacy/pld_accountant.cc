@@ -1,0 +1,291 @@
+#include "privacy/pld_accountant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace plp::privacy {
+namespace {
+
+constexpr uint32_t kBlobMagic = 0x31444C50;  // "PLD1" little-endian
+constexpr uint64_t kMaxEntries = 1u << 20;
+
+double StdNormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+/// CDF of the dominating distribution P = (1−q)N(0,σ²) + qN(1,σ²).
+double UpperCdf(double q, double sigma, double x) {
+  return (1.0 - q) * StdNormalCdf(x / sigma) +
+         q * StdNormalCdf((x - 1.0) / sigma);
+}
+
+/// x achieving privacy loss s: the inverse of the strictly increasing
+/// L(x) = log(1−q+q·e^{(2x−1)/(2σ²)}). −infinity when no x reaches s
+/// (s ≤ log(1−q), the loss function's infimum).
+double LossInverse(double q, double sigma, double s) {
+  const double shifted = std::exp(s) - (1.0 - q);
+  if (shifted <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 0.5 + sigma * sigma * std::log(shifted / q);
+}
+
+/// In-place iterative radix-2 FFT (inverse = true divides by n at the
+/// end). data.size() must be a power of two.
+void Fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const size_t n = data.size();
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI /
+                         static_cast<double>(len);
+    const std::complex<double> root(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> even = data[i + k];
+        const std::complex<double> odd = data[i + k + len / 2] * w;
+        data[i + k] = even + odd;
+        data[i + k + len / 2] = even - odd;
+        w *= root;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& v : data) v /= static_cast<double>(n);
+  }
+}
+
+/// z^k for integer k >= 1 in polar form (exact for integer exponents:
+/// e^{ik(θ+2πm)} = e^{ikθ}).
+std::complex<double> IntPow(std::complex<double> z, int64_t k) {
+  const double r = std::abs(z);
+  if (r == 0.0) return {0.0, 0.0};
+  const double theta = std::arg(z);
+  const double magnitude = std::exp(static_cast<double>(k) * std::log(r));
+  const double phase = static_cast<double>(k) * theta;
+  return {magnitude * std::cos(phase), magnitude * std::sin(phase)};
+}
+
+}  // namespace
+
+PldAccountant::PldAccountant(double delta, const PldOptions& options)
+    : delta_(delta), options_(options) {
+  PLP_CHECK_GT(delta_, 0.0);
+  PLP_CHECK_LT(delta_, 1.0);
+  PLP_CHECK_GE(options_.log2_grid_size, 4);
+  PLP_CHECK_LE(options_.log2_grid_size, 24);
+  PLP_CHECK_GT(options_.grid_range, 0.0);
+}
+
+Status PldAccountant::AddSteps(double q, double sigma, int64_t steps) {
+  if (!(q > 0.0) || q > 1.0) {
+    return InvalidArgumentError("sampling probability must be in (0, 1]");
+  }
+  if (!(sigma > 0.0)) {
+    return InvalidArgumentError("noise multiplier must be > 0");
+  }
+  if (steps <= 0) return InvalidArgumentError("steps must be > 0");
+  if (!entries_.empty() && entries_.back().sampling_probability == q &&
+      entries_.back().noise_multiplier == sigma) {
+    entries_.back().steps += steps;
+  } else {
+    entries_.push_back({q, sigma, steps});
+  }
+  total_steps_ += steps;
+  return Status::Ok();
+}
+
+const PldAccountant::StepPld& PldAccountant::StepPldFor(double q,
+                                                        double sigma) const {
+  for (const StepPld& cached : step_cache_) {
+    if (cached.q == q && cached.sigma == sigma) return cached;
+  }
+  const size_t n = static_cast<size_t>(1) << options_.log2_grid_size;
+  const double range = options_.grid_range;
+  const double width = 2.0 * range / static_cast<double>(n);
+
+  StepPld pld;
+  pld.q = q;
+  pld.sigma = sigma;
+  // Loss-ordered bin t (t = 0 … n−1) holds the P-mass of losses in
+  // (s_t − Δ, s_t] with right edge s_t = −R + (t+1)·Δ — mass rounds *up*
+  // to the edge, so every bin's contribution to δ(ε) is over- rather than
+  // under-counted. Mass below the grid lumps into bin t = 0 (also
+  // rounding up); mass above it is the truncated tail that contributes to
+  // δ in full.
+  //
+  // The bin is *stored* at FFT wrap-around index (t + n/2 + 1) mod n, so
+  // that array index i represents loss i·Δ (negative losses in the top
+  // half). With that convention index sums equal loss sums and circular
+  // convolution composes losses with no origin offset; binning losses at
+  // −R + (t+1)·Δ directly by t would instead shift every composition's
+  // origin by (k−1)·(R − Δ) (mod 2R) after k steps.
+  std::vector<std::complex<double>> pmf(n, {0.0, 0.0});
+  // The running CDF starts at 0, so everything at or below the grid's
+  // bottom edge rounds up into the lowest loss bin along with its own
+  // mass.
+  double previous_cdf = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    const double edge = -range + static_cast<double>(t + 1) * width;
+    const double x = LossInverse(q, sigma, edge);
+    const double cdf = std::isinf(x) ? 0.0 : UpperCdf(q, sigma, x);
+    const size_t raw = (t + n / 2 + 1) % n;
+    pmf[raw] = {std::max(0.0, cdf - previous_cdf), 0.0};
+    previous_cdf = std::max(cdf, previous_cdf);
+  }
+  pld.inf_mass = std::max(0.0, 1.0 - previous_cdf);
+  Fft(pmf, /*inverse=*/false);
+  pld.dft = std::move(pmf);
+  step_cache_.push_back(std::move(pld));
+  return step_cache_.back();
+}
+
+void PldAccountant::Compose(std::vector<double>& pmf,
+                            double& inf_mass) const {
+  const size_t n = static_cast<size_t>(1) << options_.log2_grid_size;
+  std::vector<std::complex<double>> composed(n, {1.0, 0.0});
+  double finite_fraction = 1.0;
+  for (const PldEntry& entry : entries_) {
+    const StepPld& step =
+        StepPldFor(entry.sampling_probability, entry.noise_multiplier);
+    for (size_t i = 0; i < n; ++i) {
+      composed[i] *= IntPow(step.dft[i], entry.steps);
+    }
+    finite_fraction *=
+        std::pow(1.0 - step.inf_mass, static_cast<double>(entry.steps));
+  }
+  inf_mass = std::max(0.0, 1.0 - finite_fraction);
+  if (entries_.empty()) {
+    // Empty composition: point mass at loss 0 — δ(ε) = 0 for ε >= 0.
+    pmf.assign(n, 0.0);
+    const size_t zero_bin =
+        n / 2 == 0 ? 0 : n / 2 - 1;  // right edge closest to 0 from below
+    pmf[zero_bin] = 1.0;
+    return;
+  }
+  Fft(composed, /*inverse=*/true);
+  // Rotate from FFT wrap-around order back to loss-ascending order (see
+  // StepPldFor): loss-ordered bin t lives at raw index (t + n/2 + 1) mod n.
+  pmf.resize(n);
+  for (size_t t = 0; t < n; ++t) {
+    pmf[t] = std::max(0.0, composed[(t + n / 2 + 1) % n].real());
+  }
+}
+
+double PldAccountant::DeltaAtEpsilon(double epsilon) const {
+  std::vector<double> pmf;
+  double inf_mass = 0.0;
+  Compose(pmf, inf_mass);
+  const size_t n = pmf.size();
+  const double range = options_.grid_range;
+  const double width = 2.0 * range / static_cast<double>(n);
+  double tail = 0.0;
+  // Iterate from the top of the grid down to the first edge ≤ ε; the
+  // integrand (1 − e^{ε−s}) is positive only for s > ε.
+  for (size_t j = n; j-- > 0;) {
+    const double edge = -range + static_cast<double>(j + 1) * width;
+    if (edge <= epsilon) break;
+    tail += pmf[j] * (1.0 - std::exp(epsilon - edge));
+  }
+  return std::min(1.0, inf_mass + tail);
+}
+
+double PldAccountant::CumulativeEpsilon() const {
+  if (total_steps_ == 0) return 0.0;
+  std::vector<double> pmf;
+  double inf_mass = 0.0;
+  Compose(pmf, inf_mass);
+  const size_t n = pmf.size();
+  const double range = options_.grid_range;
+  const double width = 2.0 * range / static_cast<double>(n);
+  // Precompute suffix sums so each δ(ε) probe is O(log n): for bins above
+  // a cut index c, δ = Σ_{j≥c} pmf[j] − e^ε Σ_{j≥c} pmf[j]·e^{−s_j}.
+  std::vector<double> suffix_mass(n + 1, 0.0);
+  std::vector<double> suffix_weighted(n + 1, 0.0);
+  for (size_t j = n; j-- > 0;) {
+    const double edge = -range + static_cast<double>(j + 1) * width;
+    suffix_mass[j] = suffix_mass[j + 1] + pmf[j];
+    suffix_weighted[j] = suffix_weighted[j + 1] + pmf[j] * std::exp(-edge);
+  }
+  const auto delta_at = [&](double eps) {
+    // First bin whose right edge exceeds eps.
+    const double position = (eps + range) / width;
+    size_t cut = 0;
+    if (position >= static_cast<double>(n)) {
+      cut = n;
+    } else if (position > 0.0) {
+      cut = static_cast<size_t>(position);
+      // Edges are s_j = −R + (j+1)Δ; bin j participates iff s_j > eps.
+      const double edge = -range + static_cast<double>(cut + 1) * width;
+      if (edge <= eps) ++cut;
+    }
+    if (cut >= n) return std::min(1.0, inf_mass);
+    const double tail =
+        suffix_mass[cut] - std::exp(eps) * suffix_weighted[cut];
+    return std::min(1.0, inf_mass + std::max(0.0, tail));
+  };
+  if (delta_at(range) > delta_) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double lo = 0.0;
+  double hi = range;
+  if (delta_at(lo) <= delta_) return 0.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (delta_at(mid) <= delta_) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+void PldAccountant::SaveState(ByteWriter& writer) const {
+  writer.U32(kBlobMagic);
+  writer.F64(delta_);
+  writer.I32(options_.log2_grid_size);
+  writer.F64(options_.grid_range);
+  writer.U64(static_cast<uint64_t>(entries_.size()));
+  for (const PldEntry& entry : entries_) {
+    writer.F64(entry.sampling_probability);
+    writer.F64(entry.noise_multiplier);
+    writer.I64(entry.steps);
+  }
+}
+
+Result<PldAccountant> PldAccountant::Restore(ByteReader& reader) {
+  PLP_ASSIGN_OR_RETURN(const uint32_t magic, reader.U32());
+  if (magic != kBlobMagic) {
+    return InvalidArgumentError("not a PLD accountant blob");
+  }
+  PLP_ASSIGN_OR_RETURN(const double delta, reader.F64());
+  if (delta <= 0.0 || delta >= 1.0) {
+    return InvalidArgumentError("PLD blob: δ out of range");
+  }
+  PldOptions options;
+  PLP_ASSIGN_OR_RETURN(options.log2_grid_size, reader.I32());
+  PLP_ASSIGN_OR_RETURN(options.grid_range, reader.F64());
+  if (options.log2_grid_size < 4 || options.log2_grid_size > 24 ||
+      !(options.grid_range > 0.0)) {
+    return InvalidArgumentError("PLD blob: degenerate grid options");
+  }
+  PLP_ASSIGN_OR_RETURN(const uint64_t count, reader.U64());
+  if (count > kMaxEntries) {
+    return InvalidArgumentError("PLD blob: entry count too large");
+  }
+  PldAccountant accountant(delta, options);
+  for (uint64_t i = 0; i < count; ++i) {
+    PLP_ASSIGN_OR_RETURN(const double q, reader.F64());
+    PLP_ASSIGN_OR_RETURN(const double sigma, reader.F64());
+    PLP_ASSIGN_OR_RETURN(const int64_t steps, reader.I64());
+    PLP_RETURN_IF_ERROR(accountant.AddSteps(q, sigma, steps));
+  }
+  return accountant;
+}
+
+}  // namespace plp::privacy

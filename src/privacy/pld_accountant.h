@@ -1,0 +1,100 @@
+#ifndef PLP_PRIVACY_PLD_ACCOUNTANT_H_
+#define PLP_PRIVACY_PLD_ACCOUNTANT_H_
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace plp::privacy {
+
+/// Discretization of the privacy-loss distribution (Koskela et al.,
+/// "Computing Tight Differential Privacy Guarantees Using FFT",
+/// arXiv:1906.03049). Losses are binned on a uniform grid over
+/// (−grid_range, grid_range]; n-fold composition is a pointwise power in
+/// the Fourier domain. Mass falling past either end of the grid is
+/// handled pessimistically: the right tail contributes to δ in full, the
+/// left tail is rounded up into the lowest bin. Accuracy degrades (toward
+/// over-estimating ε, never under the discretization's control knobs)
+/// when the composed loss mass approaches ±grid_range — pick grid_range
+/// comfortably above the target ε.
+struct PldOptions {
+  int32_t log2_grid_size = 15;  ///< n = 2^15 loss bins
+  double grid_range = 32.0;     ///< losses discretized on (−R, R]
+};
+
+/// One coalesced run of identical subsampled-Gaussian steps.
+struct PldEntry {
+  double sampling_probability = 0.0;  ///< q
+  double noise_multiplier = 0.0;      ///< σ (relative to sensitivity)
+  int64_t steps = 0;
+};
+
+/// Privacy-loss-distribution accountant for the Poisson-subsampled
+/// Gaussian mechanism under remove-adjacency: the dominating pair is
+/// P = (1−q)·N(0,σ²) + q·N(1,σ²) against Q = N(0,σ²), whose privacy loss
+/// at sample x is L(x) = log(1−q+q·e^{(2x−1)/(2σ²)}). The PLD (the
+/// distribution of L(x), x ~ P) is discretized once per distinct (q, σ)
+/// and composed across steps via DFT pointwise powers; δ(ε) is then the
+/// standard tail functional Σ_{s>ε} PLD(s)·(1−e^{ε−s}) plus the truncated
+/// mass. Tighter than the RDP moments accountant at equal (q, σ, δ) —
+/// typically by 25–40% in ε over hundreds of steps.
+///
+/// This backs the pipeline's "pld_fft" Accountant stage (the plug-in seam
+/// proof for plp::pipeline); the RDP ledger remains the default.
+class PldAccountant {
+ public:
+  /// `delta` is the fixed δ of the (ε, δ) guarantee, in (0, 1). Aborts on
+  /// out-of-range δ or degenerate grid options.
+  explicit PldAccountant(double delta, const PldOptions& options = {});
+
+  /// Accumulates `steps` steps with sampling probability `q` in (0, 1]
+  /// and noise multiplier `sigma` > 0. Consecutive identical (q, σ) runs
+  /// coalesce into one entry.
+  Status AddSteps(double q, double sigma, int64_t steps);
+
+  /// Smallest grid-resolvable ε such that the composition so far is
+  /// (ε, δ)-DP under this discretization. 0 before any step; +infinity if
+  /// even ε = grid_range cannot meet δ (grid too small for the spend).
+  double CumulativeEpsilon() const;
+
+  /// δ(ε) of the composition so far (test/diagnostic surface).
+  double DeltaAtEpsilon(double epsilon) const;
+
+  double delta() const { return delta_; }
+  int64_t total_steps() const { return total_steps_; }
+  const std::vector<PldEntry>& entries() const { return entries_; }
+
+  /// Serializes δ, the grid options, and the coalesced entries. The PLD
+  /// discretizations are deterministic functions of those, so a restored
+  /// accountant answers CumulativeEpsilon bit-identically. The blob is
+  /// tagged, so restoring an RDP-ledger blob here (or vice versa) fails
+  /// instead of misparsing.
+  void SaveState(ByteWriter& writer) const;
+  static Result<PldAccountant> Restore(ByteReader& reader);
+
+ private:
+  struct StepPld {
+    double q = 0.0;
+    double sigma = 0.0;
+    std::vector<std::complex<double>> dft;  ///< DFT of one step's PLD
+    double inf_mass = 0.0;                  ///< P[L(x) > grid_range]
+  };
+
+  const StepPld& StepPldFor(double q, double sigma) const;
+  /// Composed PLD over all entries: the finite grid part and the total
+  /// truncated mass. Empty composition → point mass at loss 0.
+  void Compose(std::vector<double>& pmf, double& inf_mass) const;
+
+  double delta_;
+  PldOptions options_;
+  std::vector<PldEntry> entries_;
+  int64_t total_steps_ = 0;
+  mutable std::vector<StepPld> step_cache_;
+};
+
+}  // namespace plp::privacy
+
+#endif  // PLP_PRIVACY_PLD_ACCOUNTANT_H_

@@ -161,19 +161,28 @@ void SparseDelta::Scale(double factor) {
   }
 }
 
-void SparseDelta::ClipPerTensor(double per_tensor_max) {
+bool SparseDelta::ClipPerTensor(double per_tensor_max) {
   PLP_CHECK_GT(per_tensor_max, 0.0);
+  bool engaged = false;
   for (int ti = 0; ti < kNumTensors; ++ti) {
     const Tensor t = static_cast<Tensor>(ti);
     const double norm = TensorNorm(t);
-    if (norm > per_tensor_max) ScaleTensor(t, per_tensor_max / norm);
+    if (norm > per_tensor_max) {
+      ScaleTensor(t, per_tensor_max / norm);
+      engaged = true;
+    }
   }
+  return engaged;
 }
 
-void SparseDelta::ClipTotal(double max_norm) {
+bool SparseDelta::ClipTotal(double max_norm) {
   PLP_CHECK_GT(max_norm, 0.0);
   const double norm = TotalNorm();
-  if (norm > max_norm) Scale(max_norm / norm);
+  if (norm > max_norm) {
+    Scale(max_norm / norm);
+    return true;
+  }
+  return false;
 }
 
 void SparseDelta::AccumulateInto(DenseUpdate& sum, double scale) const {

@@ -133,11 +133,14 @@ class SparseDelta {
 
   /// Per-layer clipping of Section 4.1: each tensor is independently scaled
   /// down (if needed) so its norm is at most `per_tensor_max` = C/√|θ|.
-  /// Equivalent to line 21 applied per tensor.
-  void ClipPerTensor(double per_tensor_max);
+  /// Equivalent to line 21 applied per tensor. Returns true when any tensor
+  /// actually hit the bound (the clip "engaged") — the trainer aggregates
+  /// this into the clip_fraction diagnostic of §4.2.
+  bool ClipPerTensor(double per_tensor_max);
 
   /// Clips the *overall* delta norm to `max_norm` (literal line 21).
-  void ClipTotal(double max_norm);
+  /// Returns true when the bound engaged.
+  bool ClipTotal(double max_norm);
 
   /// sum += scale · delta (the Σ of the Gaussian sum query).
   void AccumulateInto(DenseUpdate& sum, double scale) const;

@@ -1,0 +1,207 @@
+#include "privacy/pld_accountant.h"
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "core/plp_trainer.h"
+#include "data/fixtures.h"
+#include "privacy/ledger.h"
+
+namespace plp::privacy {
+namespace {
+
+constexpr double kDelta = 1e-5;
+
+TEST(PldAccountantTest, ZeroBeforeAnySteps) {
+  PldAccountant pld(kDelta);
+  EXPECT_EQ(pld.CumulativeEpsilon(), 0.0);
+  EXPECT_EQ(pld.total_steps(), 0);
+  EXPECT_LE(pld.DeltaAtEpsilon(0.0), kDelta);
+}
+
+TEST(PldAccountantTest, RejectsInvalidSteps) {
+  PldAccountant pld(kDelta);
+  EXPECT_FALSE(pld.AddSteps(0.0, 1.0, 1).ok());
+  EXPECT_FALSE(pld.AddSteps(1.1, 1.0, 1).ok());
+  EXPECT_FALSE(pld.AddSteps(0.5, 0.0, 1).ok());
+  EXPECT_FALSE(pld.AddSteps(0.5, -1.0, 1).ok());
+  EXPECT_FALSE(pld.AddSteps(0.5, 1.0, 0).ok());
+  EXPECT_EQ(pld.total_steps(), 0);
+}
+
+TEST(PldAccountantTest, EpsilonIncreasesWithSteps) {
+  PldAccountant pld(kDelta);
+  double previous = 0.0;
+  for (int round = 0; round < 6; ++round) {
+    ASSERT_TRUE(pld.AddSteps(0.1, 1.5, 25).ok());
+    const double eps = pld.CumulativeEpsilon();
+    EXPECT_GT(eps, previous) << "after " << (round + 1) * 25 << " steps";
+    EXPECT_TRUE(std::isfinite(eps));
+    previous = eps;
+  }
+}
+
+TEST(PldAccountantTest, DeltaDecreasesInEpsilon) {
+  PldAccountant pld(kDelta);
+  ASSERT_TRUE(pld.AddSteps(0.2, 1.2, 50).ok());
+  double previous = 1.0;
+  for (double eps = 0.0; eps <= 8.0; eps += 0.5) {
+    const double d = pld.DeltaAtEpsilon(eps);
+    EXPECT_LE(d, previous + 1e-15) << "eps=" << eps;
+    EXPECT_GE(d, 0.0);
+    previous = d;
+  }
+}
+
+/// δ(ε) of a single unsubsampled Gaussian query (q = 1) has the closed
+/// form Φ(1/(2σ) − εσ) − e^ε·Φ(−1/(2σ) − εσ) [Balle & Wang 2018]. The
+/// grid discretization rounds mass pessimistically, so the accountant's ε
+/// may exceed the analytic value slightly but must never undercut it.
+TEST(PldAccountantTest, MatchesAnalyticGaussianAtQOne) {
+  const double sigma = 2.0;
+  const auto analytic_delta = [&](double eps) {
+    const auto phi = [](double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); };
+    return phi(1.0 / (2.0 * sigma) - eps * sigma) -
+           std::exp(eps) * phi(-1.0 / (2.0 * sigma) - eps * sigma);
+  };
+  // Analytic ε at kDelta by bisection.
+  double lo = 0.0, hi = 16.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (analytic_delta(mid) > kDelta ? lo : hi) = mid;
+  }
+  const double analytic_eps = hi;
+
+  PldAccountant pld(kDelta);
+  ASSERT_TRUE(pld.AddSteps(1.0, sigma, 1).ok());
+  const double pld_eps = pld.CumulativeEpsilon();
+  EXPECT_GE(pld_eps, analytic_eps - 1e-6);
+  EXPECT_LE(pld_eps, analytic_eps + 0.02);
+}
+
+/// The point of the FFT accountant: tighter ε than the RDP moments ledger
+/// at the same (q, σ, δ, steps), never looser.
+TEST(PldAccountantTest, TighterThanRdpLedger) {
+  const double q = 0.06, sigma = 2.5;
+  const int64_t steps = 200;
+  PldAccountant pld(kDelta);
+  ASSERT_TRUE(pld.AddSteps(q, sigma, steps).ok());
+  PrivacyLedger ledger(kDelta);
+  for (int64_t i = 0; i < steps; ++i) {
+    ASSERT_TRUE(ledger.TrackStep(q, sigma).ok());
+  }
+  const double pld_eps = pld.CumulativeEpsilon();
+  const double rdp_eps = ledger.CumulativeEpsilon(RdpConversion::kClassic);
+  EXPECT_GT(pld_eps, 0.0);
+  EXPECT_LT(pld_eps, rdp_eps);
+}
+
+TEST(PldAccountantTest, OverflowingGridReportsInfinity) {
+  PldAccountant pld(kDelta);
+  ASSERT_TRUE(pld.AddSteps(1.0, 0.05, 500).ok());
+  EXPECT_TRUE(std::isinf(pld.CumulativeEpsilon()));
+}
+
+TEST(PldAccountantTest, CoalescesIdenticalRuns) {
+  PldAccountant pld(kDelta);
+  ASSERT_TRUE(pld.AddSteps(0.1, 1.5, 10).ok());
+  ASSERT_TRUE(pld.AddSteps(0.1, 1.5, 5).ok());
+  ASSERT_TRUE(pld.AddSteps(0.1, 1.0, 5).ok());
+  ASSERT_EQ(pld.entries().size(), 2u);
+  EXPECT_EQ(pld.entries()[0].steps, 15);
+  EXPECT_EQ(pld.total_steps(), 20);
+}
+
+TEST(PldAccountantTest, SaveRestoreRoundTripsBitIdentically) {
+  PldAccountant pld(kDelta);
+  ASSERT_TRUE(pld.AddSteps(0.06, 2.5, 120).ok());
+  ASSERT_TRUE(pld.AddSteps(0.06, 1.8, 40).ok());
+  ByteWriter writer;
+  pld.SaveState(writer);
+  const std::string blob = writer.Take();
+
+  ByteReader reader(blob);
+  auto restored = PldAccountant::Restore(reader);
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(restored->delta(), pld.delta());
+  EXPECT_EQ(restored->total_steps(), pld.total_steps());
+  // Bit-identity, not approximation: the discretization is deterministic.
+  EXPECT_EQ(restored->CumulativeEpsilon(), pld.CumulativeEpsilon());
+
+  ByteWriter writer2;
+  restored->SaveState(writer2);
+  EXPECT_EQ(writer2.Take(), blob);
+}
+
+TEST(PldAccountantTest, RejectsForeignAndTruncatedBlobs) {
+  {
+    ByteReader reader(std::string("nonsense-bytes"));
+    EXPECT_FALSE(PldAccountant::Restore(reader).ok());
+  }
+  {
+    // An RDP ledger blob must not parse as a PLD blob.
+    PrivacyLedger ledger(kDelta);
+    ASSERT_TRUE(ledger.TrackStep(0.1, 1.5).ok());
+    ByteWriter writer;
+    ledger.SaveState(writer);
+    ByteReader reader(writer.Take());
+    EXPECT_FALSE(PldAccountant::Restore(reader).ok());
+  }
+  {
+    PldAccountant pld(kDelta);
+    ASSERT_TRUE(pld.AddSteps(0.1, 1.5, 3).ok());
+    ByteWriter writer;
+    pld.SaveState(writer);
+    std::string blob = writer.Take();
+    blob.resize(blob.size() / 2);  // truncate mid-entry
+    ByteReader reader(blob);
+    EXPECT_FALSE(PldAccountant::Restore(reader).ok());
+  }
+}
+
+/// End-to-end through the trainer facade: selecting "pld_fft" must train
+/// successfully, and its tighter accounting must fit at least as many
+/// steps into the same ε budget as the RDP ledger.
+TEST(PldAccountantTest, EngineFitsMoreStepsThanRdpInSameBudget) {
+  data::FixtureCorpusOptions options;
+  options.num_users = 48;
+  options.num_locations = 24;
+  options.neighborhood = 4;
+  const data::TrainingCorpus corpus = data::MakeFixtureCorpus(777, options);
+
+  core::PlpConfig config;
+  config.sgns.embedding_dim = 8;
+  config.sgns.negatives = 4;
+  config.sampling_probability = 0.25;
+  config.grouping_factor = 2;
+  config.noise_scale = 1.2;
+  config.clip_norm = 0.5;
+  config.batch_size = 8;
+  config.epsilon_budget = 4.0;
+  config.max_steps = 64;
+
+  core::PlpConfig rdp = config;
+  rdp.accountant = "rdp";
+  Rng rng_rdp(99);
+  auto rdp_result = core::PlpTrainer(rdp).Train(corpus, rng_rdp);
+  ASSERT_TRUE(rdp_result.ok()) << rdp_result.status().message();
+  ASSERT_EQ(rdp_result->stop_reason, core::StopReason::kBudgetExhausted);
+
+  core::PlpConfig pld = config;
+  pld.accountant = "pld_fft";
+  Rng rng_pld(99);
+  auto pld_result = core::PlpTrainer(pld).Train(corpus, rng_pld);
+  ASSERT_TRUE(pld_result.ok()) << pld_result.status().message();
+
+  EXPECT_GT(pld_result->steps_executed, rdp_result->steps_executed);
+  EXPECT_GT(pld_result->epsilon_spent, 0.0);
+  EXPECT_LE(pld_result->epsilon_spent, config.epsilon_budget);
+}
+
+}  // namespace
+}  // namespace plp::privacy

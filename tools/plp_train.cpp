@@ -7,12 +7,18 @@
 //             [--embeddings_output=embeddings.plpe] \
 //             [--private=true] [--eps=2] [--delta=2e-4] [--sigma=2.5] \
 //             [--q=0.06] [--lambda=4] [--clip=0.5] [--epochs=100] \
+//             [--accountant=rdp|pld_fft] [--print_config] \
 //             [--min_user_checkins=10] [--min_location_users=2] [--seed=1] \
 //             [--checkpoint_dir=ckpts] [--checkpoint_every_steps=25] \
 //             [--resume]
 //
 // With --private=true (default) this runs Algorithm 1 under user-level
 // (ε, δ)-DP; with --private=false it runs plain Adam for --epochs passes.
+//
+// Configuration errors report *every* invalid field in one message, before
+// any data is read. --print_config validates, dumps the resolved pipeline
+// stage configuration (which implementation fills each Algorithm 1 stage),
+// and exits without training.
 //
 // With --checkpoint_dir, training commits a durable, checksummed snapshot
 // every --checkpoint_every_steps steps (epochs when --private=false);
@@ -29,6 +35,7 @@
 #include "core/plp_trainer.h"
 #include "data/corpus.h"
 #include "data/statistics.h"
+#include "pipeline/standard_stages.h"
 #include "sgns/model_io.h"
 
 namespace {
@@ -38,6 +45,28 @@ int Fail(const plp::Status& status) {
   return 1;
 }
 
+plp::core::PlpConfig PrivateConfigFromFlags(const plp::FlagParser& flags) {
+  plp::core::PlpConfig config;
+  config.epsilon_budget = flags.GetDouble("eps", 2.0);
+  config.delta = flags.GetDouble("delta", 2e-4);
+  config.noise_scale = flags.GetDouble("sigma", 2.5);
+  config.sampling_probability = flags.GetDouble("q", 0.06);
+  config.grouping_factor = static_cast<int32_t>(flags.GetInt("lambda", 4));
+  config.clip_norm = flags.GetDouble("clip", 0.5);
+  config.accountant = flags.GetString("accountant", "rdp");
+  config.sgns.embedding_dim = static_cast<int32_t>(flags.GetInt("dim", 50));
+  config.num_threads = static_cast<int32_t>(flags.GetInt("threads", 1));
+  return config;
+}
+
+plp::core::NonPrivateConfig NonPrivateConfigFromFlags(
+    const plp::FlagParser& flags) {
+  plp::core::NonPrivateConfig config;
+  config.epochs = flags.GetInt("epochs", 100);
+  config.sgns.embedding_dim = static_cast<int32_t>(flags.GetInt("dim", 50));
+  return config;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -45,6 +74,42 @@ int main(int argc, char** argv) {
   auto flags_or = plp::FlagParser::Parse(argc, argv);
   if (!flags_or.ok()) return Fail(flags_or.status());
   const plp::FlagParser& flags = flags_or.value();
+  const bool is_private = flags.GetBool("private", true);
+
+  // Validate eagerly — every invalid field is reported in one message, so
+  // a misconfigured run never waits on data loading to learn about the
+  // second problem.
+  if (is_private) {
+    if (auto s = PrivateConfigFromFlags(flags).Validate(); !s.ok()) {
+      return Fail(s);
+    }
+  } else {
+    if (auto s = NonPrivateConfigFromFlags(flags).Validate(); !s.ok()) {
+      return Fail(s);
+    }
+  }
+
+  if (flags.GetBool("print_config", false)) {
+    if (is_private) {
+      std::printf("%s", plp::pipeline::DescribeStages(
+                            PrivateConfigFromFlags(flags)).c_str());
+    } else {
+      const plp::core::NonPrivateConfig config =
+          NonPrivateConfigFromFlags(flags);
+      std::printf(
+          "pipeline stages (non-private baseline):\n"
+          "  UserSampler      null (whole corpus every epoch)\n"
+          "  Grouper          null\n"
+          "  LocalUpdater     epoch_sgd(batch=%d, epochs=%lld)\n"
+          "  DeltaClipper     identity\n"
+          "  NoisyAggregator  zero_noise\n"
+          "  Accountant       null (eps = 0)\n"
+          "  ServerOptimizer  sparse_adam\n",
+          config.batch_size, static_cast<long long>(config.epochs));
+    }
+    return 0;
+  }
+
   const std::string input = flags.GetString("input", "");
   const std::string output = flags.GetString("output", "");
   if (input.empty() || output.empty()) {
@@ -70,41 +135,30 @@ int main(int argc, char** argv) {
 
   plp::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
   plp::sgns::SgnsModel model;
-  if (flags.GetBool("private", true)) {
-    plp::core::PlpConfig config;
-    config.epsilon_budget = flags.GetDouble("eps", 2.0);
-    config.delta = flags.GetDouble("delta", 2e-4);
-    config.noise_scale = flags.GetDouble("sigma", 2.5);
-    config.sampling_probability = flags.GetDouble("q", 0.06);
-    config.grouping_factor = static_cast<int32_t>(flags.GetInt("lambda", 4));
-    config.clip_norm = flags.GetDouble("clip", 0.5);
-    config.sgns.embedding_dim =
-        static_cast<int32_t>(flags.GetInt("dim", 50));
-    config.num_threads = static_cast<int32_t>(flags.GetInt("threads", 1));
+  if (is_private) {
+    const plp::core::PlpConfig config = PrivateConfigFromFlags(flags);
     auto result = plp::core::PlpTrainer(config).Train(
         *corpus_or, rng,
         [](const plp::core::StepMetrics& m, const plp::sgns::SgnsModel&) {
           if (m.step % 50 == 0) {
-            std::printf("  step %5lld  eps %.3f  local loss %.3f\n",
-                        static_cast<long long>(m.step), m.epsilon_spent,
-                        m.mean_local_loss);
+            std::printf(
+                "  step %5lld  eps %.3f  local loss %.3f  clipped %3.0f%%\n",
+                static_cast<long long>(m.step), m.epsilon_spent,
+                m.mean_local_loss, 100.0 * m.clip_fraction);
           }
           return true;
         },
         checkpoint);
     if (!result.ok()) return Fail(result.status());
     std::printf("trained %lld private steps; spent eps=%.3f at "
-                "delta=%.0e (user-level)\n",
+                "delta=%.0e (user-level, %s accountant)\n",
                 static_cast<long long>(result->steps_executed),
-                result->epsilon_spent, config.delta);
+                result->epsilon_spent, config.delta,
+                config.accountant.c_str());
     model = std::move(result->model);
   } else {
-    plp::core::NonPrivateConfig config;
-    config.epochs = flags.GetInt("epochs", 100);
-    config.sgns.embedding_dim =
-        static_cast<int32_t>(flags.GetInt("dim", 50));
-    auto result = plp::core::NonPrivateTrainer(config).Train(
-        *corpus_or, rng, nullptr, checkpoint);
+    auto result = plp::core::NonPrivateTrainer(NonPrivateConfigFromFlags(flags))
+                      .Train(*corpus_or, rng, nullptr, checkpoint);
     if (!result.ok()) return Fail(result.status());
     std::printf("trained %zu non-private epochs (final loss %.4f)\n",
                 result->history.size(), result->history.back().mean_loss);
