@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/math_util.h"
 #include "common/rng.h"
 #include "data/synthetic_generator.h"
 #include "privacy/rdp_accountant.h"
@@ -35,6 +36,106 @@ void BM_RngUniformInt(benchmark::State& state) {
   benchmark::DoNotOptimize(sink);
 }
 BENCHMARK(BM_RngUniformInt);
+
+// The libm exp/sigmoid calls the bounded LUTs replaced on the SGNS hot
+// path, benchmarked against the tables over the same argument stream.
+void BM_SigmoidLibm(benchmark::State& state) {
+  Rng rng(11);
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += SigmoidReference(rng.Uniform(-10.0, 10.0));
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_SigmoidLibm);
+
+void BM_SigmoidLut(benchmark::State& state) {
+  Rng rng(11);
+  const SigmoidLut& lut = SigmoidLut::Get();
+  double sink = 0.0;
+  for (auto _ : state) sink += lut(rng.Uniform(-10.0, 10.0));
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_SigmoidLut);
+
+void BM_ExpNegLibm(benchmark::State& state) {
+  Rng rng(12);
+  double sink = 0.0;
+  for (auto _ : state) sink += ExpNegReference(rng.Uniform(-20.0, 0.0));
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ExpNegLibm);
+
+void BM_ExpNegLut(benchmark::State& state) {
+  Rng rng(12);
+  const ExpNegLut& lut = ExpNegLut::Get();
+  double sink = 0.0;
+  for (auto _ : state) sink += lut(rng.Uniform(-20.0, 0.0));
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ExpNegLut);
+
+void BM_DotKernel(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(14);
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Uniform(-1.0, 1.0);
+    b[i] = rng.Uniform(-1.0, 1.0);
+  }
+  double sink = 0.0;
+  for (auto _ : state) sink += DotKernel(a.data(), b.data(), n);
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DotKernel)->Arg(50)->Arg(512);
+
+void BM_DotKernelPortable(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(14);
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Uniform(-1.0, 1.0);
+    b[i] = rng.Uniform(-1.0, 1.0);
+  }
+  double sink = 0.0;
+  for (auto _ : state) sink += DotKernelPortable(a.data(), b.data(), n);
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DotKernelPortable)->Arg(50)->Arg(512);
+
+void BM_AxpyKernel(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(15);
+  std::vector<double> x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Uniform(-1.0, 1.0);
+    y[i] = rng.Uniform(-1.0, 1.0);
+  }
+  for (auto _ : state) {
+    AxpyKernel(1e-9, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AxpyKernel)->Arg(50)->Arg(512);
+
+void BM_SubKernel(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(13);
+  std::vector<double> a(n), b(n), out(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Uniform(-1.0, 1.0);
+    b[i] = rng.Uniform(-1.0, 1.0);
+  }
+  for (auto _ : state) {
+    SubKernel(a.data(), b.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SubKernel)->Arg(50)->Arg(512);
 
 void BM_RowMapAccumulate(benchmark::State& state) {
   const int64_t keys = state.range(0);

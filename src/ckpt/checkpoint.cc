@@ -77,9 +77,17 @@ std::string EncodeSnapshot(const TrainerSnapshot& snapshot) {
   payload.LengthPrefixedBytes(snapshot.optimizer_blob);
   payload.I32(snapshot.model.num_locations());
   payload.I32(snapshot.model.dim());
-  for (int ti = 0; ti < sgns::kNumTensors; ++ti) {
-    payload.DoubleSpan(snapshot.model.TensorData(static_cast<sgns::Tensor>(ti)));
+  // Tensors are written row-wise over the logical dims: the payload stays
+  // exactly 2·L·dim + L doubles regardless of the model's in-memory row
+  // padding, so pre-padding checkpoints remain loadable (and vice versa).
+  const sgns::SgnsModel& model = snapshot.model;
+  for (int32_t l = 0; l < model.num_locations(); ++l) {
+    payload.DoubleSpan(model.InRow(l));
   }
+  for (int32_t l = 0; l < model.num_locations(); ++l) {
+    payload.DoubleSpan(model.OutRow(l));
+  }
+  payload.DoubleSpan(model.TensorData(sgns::Tensor::kBias));
 
   ByteWriter envelope;
   for (char c : kMagic) envelope.U8(static_cast<uint8_t>(c));
@@ -153,10 +161,16 @@ Result<TrainerSnapshot> DecodeSnapshot(std::string_view bytes) {
   config.embedding_dim = dim;
   PLP_ASSIGN_OR_RETURN(
       snapshot.model, sgns::SgnsModel::Create(num_locations, config, unused_rng));
-  for (int ti = 0; ti < sgns::kNumTensors; ++ti) {
-    PLP_RETURN_IF_ERROR(payload.ReadDoubleSpan(
-        snapshot.model.MutableTensorData(static_cast<sgns::Tensor>(ti))));
+  for (int32_t l = 0; l < num_locations; ++l) {
+    PLP_RETURN_IF_ERROR(
+        payload.ReadDoubleSpan(snapshot.model.MutableInRow(l)));
   }
+  for (int32_t l = 0; l < num_locations; ++l) {
+    PLP_RETURN_IF_ERROR(
+        payload.ReadDoubleSpan(snapshot.model.MutableOutRow(l)));
+  }
+  PLP_RETURN_IF_ERROR(payload.ReadDoubleSpan(
+      snapshot.model.MutableTensorData(sgns::Tensor::kBias)));
   if (!payload.AtEnd()) {
     return InvalidArgumentError("checkpoint: trailing bytes");
   }

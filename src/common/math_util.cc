@@ -4,6 +4,11 @@
 #include <cmath>
 #include <limits>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define PLP_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
 #include "common/check.h"
 
 namespace plp {
@@ -172,6 +177,168 @@ double StudentTTwoSidedPValue(double t, double df) {
   const double x = df / (df + t * t);
   return RegularizedIncompleteBeta(df / 2.0, 0.5, x);
 }
+
+// ---------------------------------------------------------------------------
+// Dispatched double-precision kernels.
+//
+// The AVX2 bodies implement exactly the portable spec: the dot's four
+// 256-bit accumulators hold lanes s_{4k}..s_{4k+3}, the two vaddpd
+// combines produce lanes u_l = (s_l + s_{l+4}) + (s_{l+8} + s_{l+12}),
+// and the final scalar combine is ((u0+u1) + (u2+u3)) + tail. Multiplies
+// and adds stay separate instructions (the target below enables AVX2 but
+// not FMA, so the compiler cannot contract them), which keeps every
+// rounding step identical to the scalar fallback.
+// ---------------------------------------------------------------------------
+
+namespace internal_simd {
+namespace {
+
+#if PLP_SIMD_X86
+
+__attribute__((target("avx2"))) double DotAvx2(const double* a,
+                                               const double* b, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_add_pd(
+        acc0, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(_mm256_loadu_pd(a + i + 4),
+                                             _mm256_loadu_pd(b + i + 4)));
+    acc2 = _mm256_add_pd(acc2, _mm256_mul_pd(_mm256_loadu_pd(a + i + 8),
+                                             _mm256_loadu_pd(b + i + 8)));
+    acc3 = _mm256_add_pd(acc3, _mm256_mul_pd(_mm256_loadu_pd(a + i + 12),
+                                             _mm256_loadu_pd(b + i + 12)));
+  }
+  // Lane l of `u` is (s_l + s_{l+4}) + (s_{l+8} + s_{l+12}).
+  const __m256d u =
+      _mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3));
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, u);
+  double tail = 0.0;
+  for (; i < n; ++i) tail += a[i] * b[i];
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail;
+}
+
+__attribute__((target("avx2"))) void AxpyAvx2(double alpha, const double* x,
+                                              double* y, size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                             _mm256_mul_pd(va, _mm256_loadu_pd(x + i))));
+    _mm256_storeu_pd(
+        y + i + 4,
+        _mm256_add_pd(_mm256_loadu_pd(y + i + 4),
+                      _mm256_mul_pd(va, _mm256_loadu_pd(x + i + 4))));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                             _mm256_mul_pd(va, _mm256_loadu_pd(x + i))));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+__attribute__((target("avx2"))) void ScaleAvx2(double alpha, double* x,
+                                               size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(va, _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+__attribute__((target("avx2"))) void SubAvx2(const double* a, const double* b,
+                                             double* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        out + i, _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+#endif  // PLP_SIMD_X86
+
+}  // namespace
+
+// Constant-initialized to the portable bodies so calls during other
+// translation units' static initialization are always safe.
+double (*dot)(const double*, const double*, size_t) = &DotKernelPortable<double>;
+void (*axpy)(double, const double*, double*, size_t) =
+    &AxpyKernelPortable<double>;
+void (*scale)(double, double*, size_t) = &ScaleKernelPortable<double>;
+void (*sub)(const double*, const double*, double*, size_t) =
+    &SubKernelPortable<double>;
+
+namespace {
+
+bool avx2_active = false;
+
+#if PLP_SIMD_X86
+/// Rebinds the dispatch pointers to the AVX2 bodies when the CPU has
+/// them. Runs during this translation unit's static initialization —
+/// before main and before any thread exists, so the writes are unsynced
+/// but unobservable mid-flight; and because both bodies are bitwise
+/// identical, even an earlier initializer that already called through the
+/// portable default got the same answer.
+const bool simd_init = [] {
+  if (__builtin_cpu_supports("avx2")) {
+    dot = &DotAvx2;
+    axpy = &AxpyAvx2;
+    scale = &ScaleAvx2;
+    sub = &SubAvx2;
+    avx2_active = true;
+  }
+  return true;
+}();
+#endif  // PLP_SIMD_X86
+
+}  // namespace
+
+bool Avx2Active() { return avx2_active; }
+
+}  // namespace internal_simd
+
+SigmoidLut::SigmoidLut() {
+  for (size_t k = 0; k <= kNumIntervals; ++k) {
+    const double x = -kBound + static_cast<double>(k) / kInvStep;
+    table_[k] = 1.0 / (1.0 + std::exp(-x));
+  }
+}
+
+const SigmoidLut& SigmoidLut::Get() {
+  static const SigmoidLut lut;
+  return lut;
+}
+
+ExpNegLut::ExpNegLut() {
+  for (size_t k = 0; k <= kNumIntervals; ++k) {
+    const double x = -kBound + static_cast<double>(k) / kInvStep;
+    table_[k] = std::exp(x);
+  }
+}
+
+const ExpNegLut& ExpNegLut::Get() {
+  static const ExpNegLut lut;
+  return lut;
+}
+
+double FastSigmoid(double x) { return SigmoidLut::Get()(x); }
+
+void WarmFastMathTables() {
+  SigmoidLut::Get();
+  ExpNegLut::Get();
+}
+
+double SigmoidReference(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+double ExpNegReference(double x) { return std::exp(x); }
 
 double L2Norm(std::span<const double> xs) {
   return std::sqrt(SumSquaresKernel(xs.data(), xs.size()));

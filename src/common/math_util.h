@@ -3,56 +3,65 @@
 
 #include <cstddef>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 namespace plp {
 
 // ---------------------------------------------------------------------------
-// Vectorizable inner-loop kernels.
+// Vectorized inner-loop kernels.
 //
 // These are the shared hot loops of the whole system: SGNS logits and
 // backprop (sgns/loss.h), the bucket-delta reduction (sgns/sparse_delta.cc),
 // and serving-side scoring (serve/model_snapshot.cc) all funnel through
-// them. The reductions use four independent accumulators: a naive
-// `s += a*b` loop serializes on FP-add latency (~4-5 cycles per element),
-// while splitting the chain keeps the FMA ports busy — the difference
-// between ~13k and >100k QPS on the serve path. The reassociation is
-// *explicit* and fixed — `((s0+s1)+(s2+s3)) + tail` — so results are
-// deterministic regardless of optimization level, call site, or thread
-// count. Element-wise kernels (axpy/scale) have no cross-element
-// dependency, so unrolling cannot change their results at all.
+// them. Double-precision calls dispatch (once, at load) to an AVX2
+// implementation when the CPU has it, falling back to the portable scalar
+// version otherwise. The two implementations are *bitwise identical*:
 //
-// The *Reference functions are the strict left-to-right scalar versions,
-// kept only so equivalence tests can bound the reassociation error.
+//   * The dot reduction follows one fixed 16-lane spec — partial sum s_j
+//     accumulates elements i ≡ j (mod 16) over the largest multiple of 16,
+//     lanes combine as u_l = (s_l + s_{l+4}) + (s_{l+8} + s_{l+12}),
+//     result = ((u0+u1) + (u2+u3)) + tail — which is exactly the shape a
+//     4×256-bit-register accumulation produces, and which the scalar
+//     fallback reproduces term for term. Sixteen independent add chains
+//     also keep the FP ports busy instead of serializing on add latency.
+//   * Element-wise kernels (axpy/scale/sub) have no cross-element
+//     dependency, so vector width cannot change their results at all.
+//   * The AVX2 bodies use separate multiply and add instructions — never
+//     FMA contraction, whose fused rounding would make results differ
+//     from the scalar spec.
+//
+// Consequently results are deterministic regardless of CPU, dispatch
+// choice, call site, or thread count, and the golden CRC pins are
+// machine-independent. The *Reference functions are the strict
+// left-to-right scalar versions, kept only so equivalence tests can bound
+// the reassociation error; the *Portable functions are the dispatch
+// fallbacks, exposed so tests can check the AVX2 path against them
+// bitwise.
 // ---------------------------------------------------------------------------
 
-/// Dot product over raw arrays with four independent accumulators,
-/// combined as ((s0+s1)+(s2+s3)) + tail. Deterministic for a given n.
+/// Portable dot product implementing the fixed 16-lane reduction spec
+/// documented above. Deterministic for a given n; the AVX2 path matches it
+/// bitwise.
 template <typename T>
-inline T DotKernel(const T* a, const T* b, size_t n) {
-  T s0{}, s1{}, s2{}, s3{};
+inline T DotKernelPortable(const T* a, const T* b, size_t n) {
+  T s[16] = {};
   size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += a[i] * b[i];
-    s1 += a[i + 1] * b[i + 1];
-    s2 += a[i + 2] * b[i + 2];
-    s3 += a[i + 3] * b[i + 3];
+  for (; i + 16 <= n; i += 16) {
+    for (size_t j = 0; j < 16; ++j) s[j] += a[i + j] * b[i + j];
   }
   T tail{};
   for (; i < n; ++i) tail += a[i] * b[i];
-  return ((s0 + s1) + (s2 + s3)) + tail;
+  const T u0 = (s[0] + s[4]) + (s[8] + s[12]);
+  const T u1 = (s[1] + s[5]) + (s[9] + s[13]);
+  const T u2 = (s[2] + s[6]) + (s[10] + s[14]);
+  const T u3 = (s[3] + s[7]) + (s[11] + s[15]);
+  return ((u0 + u1) + (u2 + u3)) + tail;
 }
 
-/// Sum of squares with the same accumulation shape as DotKernel.
+/// Portable y[i] += alpha * x[i] (dispatch fallback).
 template <typename T>
-inline T SumSquaresKernel(const T* x, size_t n) {
-  return DotKernel(x, x, n);
-}
-
-/// y[i] += alpha * x[i]. Element-independent, so bitwise identical to the
-/// scalar loop at any unroll factor.
-template <typename T>
-inline void AxpyKernel(T alpha, const T* x, T* y, size_t n) {
+inline void AxpyKernelPortable(T alpha, const T* x, T* y, size_t n) {
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     y[i] += alpha * x[i];
@@ -63,9 +72,9 @@ inline void AxpyKernel(T alpha, const T* x, T* y, size_t n) {
   for (; i < n; ++i) y[i] += alpha * x[i];
 }
 
-/// x[i] *= alpha. Element-independent.
+/// Portable x[i] *= alpha (dispatch fallback).
 template <typename T>
-inline void ScaleKernel(T alpha, T* x, size_t n) {
+inline void ScaleKernelPortable(T alpha, T* x, size_t n) {
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     x[i] *= alpha;
@@ -74,6 +83,87 @@ inline void ScaleKernel(T alpha, T* x, size_t n) {
     x[i + 3] *= alpha;
   }
   for (; i < n; ++i) x[i] *= alpha;
+}
+
+/// Portable out[i] = a[i] - b[i] (dispatch fallback).
+template <typename T>
+inline void SubKernelPortable(const T* a, const T* b, T* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    out[i] = a[i] - b[i];
+    out[i + 1] = a[i + 1] - b[i + 1];
+    out[i + 2] = a[i + 2] - b[i + 2];
+    out[i + 3] = a[i + 3] - b[i + 3];
+  }
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+namespace internal_simd {
+
+/// Double-precision kernel entry points, bound at static-initialization
+/// time to the AVX2 bodies when the CPU supports them. Statically
+/// initialized to the portable implementations, so a call from any other
+/// translation unit's static initializer is safe (and, because both
+/// implementations are bitwise identical, still correct).
+extern double (*dot)(const double*, const double*, size_t);
+extern void (*axpy)(double, const double*, double*, size_t);
+extern void (*scale)(double, double*, size_t);
+extern void (*sub)(const double*, const double*, double*, size_t);
+
+/// True when the AVX2 bodies are the active dispatch targets (for tests
+/// and diagnostics).
+bool Avx2Active();
+
+}  // namespace internal_simd
+
+/// Dot product over raw arrays under the fixed 16-lane reduction spec.
+/// Doubles run the dispatched (AVX2 where available) implementation.
+template <typename T>
+inline T DotKernel(const T* a, const T* b, size_t n) {
+  if constexpr (std::is_same_v<T, double>) {
+    return internal_simd::dot(a, b, n);
+  } else {
+    return DotKernelPortable(a, b, n);
+  }
+}
+
+/// Sum of squares with the same accumulation shape as DotKernel.
+template <typename T>
+inline T SumSquaresKernel(const T* x, size_t n) {
+  return DotKernel(x, x, n);
+}
+
+/// y[i] += alpha * x[i]. Element-independent, so bitwise identical to the
+/// scalar loop at any unroll or vector width.
+template <typename T>
+inline void AxpyKernel(T alpha, const T* x, T* y, size_t n) {
+  if constexpr (std::is_same_v<T, double>) {
+    internal_simd::axpy(alpha, x, y, n);
+  } else {
+    AxpyKernelPortable(alpha, x, y, n);
+  }
+}
+
+/// x[i] *= alpha. Element-independent.
+template <typename T>
+inline void ScaleKernel(T alpha, T* x, size_t n) {
+  if constexpr (std::is_same_v<T, double>) {
+    internal_simd::scale(alpha, x, n);
+  } else {
+    ScaleKernelPortable(alpha, x, n);
+  }
+}
+
+/// out[i] = a[i] - b[i]. Element-independent; out == a aliasing is allowed
+/// (each slot is read before it is written). Used by the delta-extraction
+/// paths (LocalModel::ExtractDelta, DiffModels).
+template <typename T>
+inline void SubKernel(const T* a, const T* b, T* out, size_t n) {
+  if constexpr (std::is_same_v<T, double>) {
+    internal_simd::sub(a, b, out, n);
+  } else {
+    SubKernelPortable(a, b, out, n);
+  }
 }
 
 /// Strict left-to-right scalar dot (equivalence-test oracle).
@@ -95,6 +185,102 @@ template <typename T>
 inline void AxpyReference(T alpha, const T* x, T* y, size_t n) {
   for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
+
+/// Scalar out[i] = a[i] - b[i] (equivalence-test oracle).
+template <typename T>
+inline void SubReference(const T* a, const T* b, T* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+// ---------------------------------------------------------------------------
+// Bounded transcendental lookup tables (word2vec's expTable idiom).
+//
+// The SGNS local update evaluates exp/sigmoid once per candidate per pair —
+// by far the most expensive scalar math on the training hot path. These
+// tables replace libm calls with one load and a linear interpolation over a
+// fixed grid. The grid step is a power of two (1/256) and the bounds are
+// integers, so grid-node arguments (notably x = 0, the shifted-softmax
+// maximum) index the table exactly and reproduce the node value bitwise.
+// Both tables are pure functions of their input: results are independent of
+// thread count, call site, and evaluation order, which keeps the trainer's
+// bitwise determinism contract intact.
+//
+// The *Reference functions are the libm versions kept as test oracles: the
+// LUT accuracy suite bounds |lut - reference| over the bounded domain, and
+// the finite-difference gradient test runs the loss under the reference
+// policy (a piecewise-linear interpolant's slope differs from its value by
+// O(step), which a numeric-vs-analytic gradient comparison would see).
+// ---------------------------------------------------------------------------
+
+/// σ(x) on [-kBound, kBound] by linear interpolation over 4096 intervals;
+/// saturates to exactly 0.0 / 1.0 at and beyond the bounds (the gradient
+/// is numerically saturated there anyway). Max abs error in-domain is
+/// bounded by step²/8 · max|σ''| < 2e-7 (pinned by tests/common).
+class SigmoidLut {
+ public:
+  static constexpr double kBound = 8.0;
+  static constexpr double kInvStep = 256.0;  // 1/step; step = 2^-8
+  static constexpr size_t kNumIntervals =
+      static_cast<size_t>(2 * kBound * kInvStep);  // 4096
+
+  /// The process-wide table (built on first use, immutable after).
+  static const SigmoidLut& Get();
+
+  double operator()(double x) const {
+    if (x <= -kBound) return 0.0;
+    if (x >= kBound) return 1.0;
+    const double pos = (x + kBound) * kInvStep;
+    const size_t k = static_cast<size_t>(pos);
+    const double r = pos - static_cast<double>(k);
+    return table_[k] + r * (table_[k + 1] - table_[k]);
+  }
+
+ private:
+  SigmoidLut();
+  double table_[kNumIntervals + 1];
+};
+
+/// exp(x) for x <= 0 on [-kBound, 0] by linear interpolation over 4096
+/// intervals; exactly 1.0 at x >= 0 and exactly 0.0 at and below -kBound
+/// (exp(-16) ≈ 1.1e-7 — a candidate that far under the max contributes
+/// nothing to the sampled softmax). Max abs error in-domain < 2e-6.
+class ExpNegLut {
+ public:
+  static constexpr double kBound = 16.0;
+  static constexpr double kInvStep = 256.0;
+  static constexpr size_t kNumIntervals =
+      static_cast<size_t>(kBound * kInvStep);  // 4096
+
+  static const ExpNegLut& Get();
+
+  double operator()(double x) const {
+    if (x >= 0.0) return 1.0;
+    if (x <= -kBound) return 0.0;
+    const double pos = (x + kBound) * kInvStep;
+    const size_t k = static_cast<size_t>(pos);
+    const double r = pos - static_cast<double>(k);
+    return table_[k] + r * (table_[k + 1] - table_[k]);
+  }
+
+ private:
+  ExpNegLut();
+  double table_[kNumIntervals + 1];
+};
+
+/// Convenience wrapper over SigmoidLut::Get() for cold call sites. Hot
+/// loops should hoist `const SigmoidLut& lut = SigmoidLut::Get()` instead.
+double FastSigmoid(double x);
+
+/// Builds both tables now instead of on first lookup, so the first timed
+/// training step doesn't pay table construction.
+void WarmFastMathTables();
+
+/// libm sigmoid 1/(1+exp(-x)) — the LUT accuracy oracle.
+double SigmoidReference(double x);
+
+/// libm exp(x) for the ExpNegLut domain (callers pass x <= 0) — the LUT
+/// accuracy oracle.
+double ExpNegReference(double x);
 
 /// Numerically stable log(exp(a) + exp(b)). Handles -inf inputs.
 double LogAdd(double a, double b);

@@ -88,22 +88,43 @@ sgns::SparseDelta ComputeRawBucketDelta(const sgns::SgnsModel& theta,
                                         int32_t num_locations, Rng& rng,
                                         double* loss_out,
                                         sgns::TrainScratch* scratch) {
-  sgns::BatchStats stats;
   sgns::SparseDelta delta(config.sgns.embedding_dim);
+  ComputeRawBucketDeltaInto(theta, bucket, config, num_locations, rng,
+                            loss_out, scratch, delta);
+  return delta;
+}
+
+void ComputeRawBucketDeltaInto(const sgns::SgnsModel& theta,
+                               const Bucket& bucket, const PlpConfig& config,
+                               int32_t num_locations, Rng& rng,
+                               double* loss_out, sgns::TrainScratch* scratch,
+                               sgns::SparseDelta& delta) {
+  sgns::BatchStats stats;
   if (config.dense_local_copy) {
     // Paper-faithful cost model: full Φ ← θ_t copy and dense diff.
     sgns::SgnsModel phi = theta;
     stats = TrainLocally(phi, bucket, config, num_locations, rng, scratch);
     delta = sgns::DiffModels(phi, theta);
+  } else if (scratch != nullptr) {
+    // The overlay reuses the scratch's row stores across buckets: Reset()
+    // makes it behave exactly like a fresh LocalModel(theta) without the
+    // per-bucket grow-from-scratch table and arena allocations.
+    if (scratch->overlay.has_value()) {
+      scratch->overlay->Reset(theta);
+    } else {
+      scratch->overlay.emplace(theta);
+    }
+    sgns::LocalModel& phi = *scratch->overlay;
+    stats = TrainLocally(phi, bucket, config, num_locations, rng, scratch);
+    phi.ExtractDeltaInto(delta);
   } else {
     sgns::LocalModel phi(theta);
     stats = TrainLocally(phi, bucket, config, num_locations, rng, scratch);
-    delta = phi.ExtractDelta();
+    phi.ExtractDeltaInto(delta);
   }
   if (loss_out != nullptr) {
     *loss_out = stats.mean_loss();
   }
-  return delta;
 }
 
 sgns::SparseDelta ComputeBucketUpdate(const sgns::SgnsModel& theta,

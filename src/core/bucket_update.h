@@ -43,6 +43,17 @@ sgns::SparseDelta ComputeRawBucketDelta(const sgns::SgnsModel& theta,
                                         double* loss_out = nullptr,
                                         sgns::TrainScratch* scratch = nullptr);
 
+/// ComputeRawBucketDelta into a caller-owned delta (Clear()ed first).
+/// With `scratch` given, the overlay model and the delta's row stores
+/// both reuse capacity grown on earlier buckets, so steady-state bucket
+/// fan-out performs no allocation. Results are bitwise identical to the
+/// by-value overload.
+void ComputeRawBucketDeltaInto(const sgns::SgnsModel& theta,
+                               const Bucket& bucket, const PlpConfig& config,
+                               int32_t num_locations, Rng& rng,
+                               double* loss_out, sgns::TrainScratch* scratch,
+                               sgns::SparseDelta& delta);
+
 /// ModelUpdateFromBucket (Algorithm 1 lines 15–22): local SGD over the
 /// bucket's batches starting from θ_t, then the clipped model delta
 /// (per-tensor C/√3, so the overall norm is at most C). Deterministic

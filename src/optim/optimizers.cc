@@ -9,12 +9,24 @@ namespace plp::optim {
 
 void FixedStepServerOptimizer::ApplyUpdate(const sgns::DenseUpdate& update,
                                            sgns::SgnsModel& model) {
-  for (int ti = 0; ti < sgns::kNumTensors; ++ti) {
-    const auto t = static_cast<sgns::Tensor>(ti);
-    std::span<double> dst = model.MutableTensorData(t);
-    std::span<const double> src = update.TensorData(t);
-    PLP_CHECK_EQ(dst.size(), src.size());
-    for (size_t i = 0; i < dst.size(); ++i) dst[i] += scale_ * src[i];
+  // The update is unpadded while the model's W/W' rows are stride-padded:
+  // walk W/W' row by row (element-wise, so identical to one flat pass).
+  const size_t dim = static_cast<size_t>(model.dim());
+  std::span<const double> in_src = update.TensorData(sgns::Tensor::kWIn);
+  std::span<const double> out_src = update.TensorData(sgns::Tensor::kWOut);
+  PLP_CHECK_EQ(in_src.size(), model.TensorNumel(sgns::Tensor::kWIn));
+  for (int32_t l = 0; l < model.num_locations(); ++l) {
+    const size_t base = static_cast<size_t>(l) * dim;
+    std::span<double> in_dst = model.MutableInRow(l);
+    std::span<double> out_dst = model.MutableOutRow(l);
+    for (size_t d = 0; d < dim; ++d) in_dst[d] += scale_ * in_src[base + d];
+    for (size_t d = 0; d < dim; ++d) out_dst[d] += scale_ * out_src[base + d];
+  }
+  std::span<double> bias_dst = model.MutableTensorData(sgns::Tensor::kBias);
+  std::span<const double> bias_src = update.TensorData(sgns::Tensor::kBias);
+  PLP_CHECK_EQ(bias_dst.size(), bias_src.size());
+  for (size_t i = 0; i < bias_dst.size(); ++i) {
+    bias_dst[i] += scale_ * bias_src[i];
   }
 }
 
@@ -31,24 +43,42 @@ void DpAdamServerOptimizer::ApplyUpdate(const sgns::DenseUpdate& update,
   ++step_;
   const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(step_));
   const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(step_));
+  // Moments and the update are unpadded (logical shape); the model's W/W'
+  // rows are stride-padded, so parameters are reached through row spans.
+  auto advance = [&](int ti, size_t flat, double g, double& param) {
+    m_[ti][flat] = config_.beta1 * m_[ti][flat] + (1.0 - config_.beta1) * g;
+    v_[ti][flat] =
+        config_.beta2 * v_[ti][flat] + (1.0 - config_.beta2) * g * g;
+    const double m_hat = m_[ti][flat] / bc1;
+    const double v_hat = v_[ti][flat] / bc2;
+    param -= config_.learning_rate * m_hat /
+             (std::sqrt(v_hat) + config_.epsilon);
+  };
   for (int ti = 0; ti < sgns::kNumTensors; ++ti) {
     const auto t = static_cast<sgns::Tensor>(ti);
     std::span<const double> src = update.TensorData(t);
-    std::span<double> dst = model.MutableTensorData(t);
-    PLP_CHECK_EQ(dst.size(), src.size());
+    PLP_CHECK_EQ(src.size(), model.TensorNumel(t));
     if (m_[ti].size() != src.size()) {
       m_[ti].assign(src.size(), 0.0);
       v_[ti].assign(src.size(), 0.0);
     }
-    for (size_t i = 0; i < src.size(); ++i) {
-      // ĝ is an ascent direction; Adam consumes the (noisy) gradient −ĝ.
-      const double g = -src[i];
-      m_[ti][i] = config_.beta1 * m_[ti][i] + (1.0 - config_.beta1) * g;
-      v_[ti][i] = config_.beta2 * v_[ti][i] + (1.0 - config_.beta2) * g * g;
-      const double m_hat = m_[ti][i] / bc1;
-      const double v_hat = v_[ti][i] / bc2;
-      dst[i] -= config_.learning_rate * m_hat /
-                (std::sqrt(v_hat) + config_.epsilon);
+    if (t == sgns::Tensor::kBias) {
+      std::span<double> dst = model.MutableTensorData(t);
+      for (size_t i = 0; i < src.size(); ++i) {
+        // ĝ is an ascent direction; Adam consumes the (noisy) gradient −ĝ.
+        advance(ti, i, -src[i], dst[i]);
+      }
+      continue;
+    }
+    const size_t dim = static_cast<size_t>(model.dim());
+    for (int32_t l = 0; l < model.num_locations(); ++l) {
+      std::span<double> row = t == sgns::Tensor::kWIn
+                                  ? model.MutableInRow(l)
+                                  : model.MutableOutRow(l);
+      const size_t base = static_cast<size_t>(l) * dim;
+      for (size_t d = 0; d < dim; ++d) {
+        advance(ti, base + d, -src[base + d], row[d]);
+      }
     }
   }
 }
@@ -78,7 +108,7 @@ Status LoadAdamMoments(ByteReader& reader, const sgns::SgnsModel& model,
   std::vector<double> loaded_v[sgns::kNumTensors];
   for (int ti = 0; ti < sgns::kNumTensors; ++ti) {
     const auto t = static_cast<sgns::Tensor>(ti);
-    const size_t expected = model.TensorData(t).size();
+    const size_t expected = model.TensorNumel(t);
     PLP_ASSIGN_OR_RETURN(loaded_m[ti], reader.ReadDoubleVector(expected));
     const bool empty_ok =
         allow_empty_at_step_zero && loaded_step == 0 && loaded_m[ti].empty();
@@ -134,21 +164,22 @@ SparseAdam::SparseAdam(const sgns::SgnsModel& model, const AdamConfig& config)
   PLP_CHECK_GT(config_.learning_rate, 0.0);
   for (int ti = 0; ti < sgns::kNumTensors; ++ti) {
     const auto t = static_cast<sgns::Tensor>(ti);
-    m_[ti].assign(model.TensorData(t).size(), 0.0);
-    v_[ti].assign(model.TensorData(t).size(), 0.0);
+    m_[ti].assign(model.TensorNumel(t), 0.0);
+    v_[ti].assign(model.TensorNumel(t), 0.0);
   }
 }
 
 void SparseAdam::UpdateEntry(sgns::Tensor tensor, size_t flat_index,
                              double grad, double bias_corrected_lr,
-                             sgns::SgnsModel& model) {
+                             double& param) {
+  // `flat_index` addresses the logical (unpadded) moment buffers; `param`
+  // is the model entry, reached through a row span by the caller.
   const int ti = static_cast<int>(tensor);
   double& m = m_[ti][flat_index];
   double& v = v_[ti][flat_index];
   m = config_.beta1 * m + (1.0 - config_.beta1) * grad;
   v = config_.beta2 * v + (1.0 - config_.beta2) * grad * grad;
-  model.MutableTensorData(tensor)[flat_index] -=
-      bias_corrected_lr * m / (std::sqrt(v) + config_.epsilon);
+  param -= bias_corrected_lr * m / (std::sqrt(v) + config_.epsilon);
 }
 
 void SparseAdam::ApplyGradient(const sgns::SparseDelta& gradient,
@@ -164,23 +195,25 @@ void SparseAdam::ApplyGradient(const sgns::SparseDelta& gradient,
   gradient.ForEachRow(
       sgns::Tensor::kWIn, [&](int32_t row, std::span<const double> vec) {
         const size_t base = static_cast<size_t>(row) * dim_;
+        std::span<double> params = model.MutableInRow(row);
         for (int32_t d = 0; d < dim_; ++d) {
           UpdateEntry(sgns::Tensor::kWIn, base + d, grad_scale * vec[d],
-                      lr_t, model);
+                      lr_t, params[static_cast<size_t>(d)]);
         }
       });
   gradient.ForEachRow(
       sgns::Tensor::kWOut, [&](int32_t row, std::span<const double> vec) {
         const size_t base = static_cast<size_t>(row) * dim_;
+        std::span<double> params = model.MutableOutRow(row);
         for (int32_t d = 0; d < dim_; ++d) {
           UpdateEntry(sgns::Tensor::kWOut, base + d, grad_scale * vec[d],
-                      lr_t, model);
+                      lr_t, params[static_cast<size_t>(d)]);
         }
       });
   gradient.ForEachRow(
       sgns::Tensor::kBias, [&](int32_t row, std::span<const double> v) {
         UpdateEntry(sgns::Tensor::kBias, static_cast<size_t>(row),
-                    grad_scale * v[0], lr_t, model);
+                    grad_scale * v[0], lr_t, model.mutable_bias(row));
       });
 }
 

@@ -120,8 +120,10 @@ class SparseAdam {
   Status LoadState(ByteReader& reader, const sgns::SgnsModel& model);
 
  private:
+  /// Advances the moments at `flat_index` (logical shape) and steps the
+  /// model entry `param` in place.
   void UpdateEntry(sgns::Tensor tensor, size_t flat_index, double grad,
-                   double bias_corrected_lr, sgns::SgnsModel& model);
+                   double bias_corrected_lr, double& param);
 
   AdamConfig config_;
   int32_t dim_;

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/fault_injection.h"
+#include "common/math_util.h"
 #include "common/serialize.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -46,6 +47,10 @@ Result<core::TrainResult> TrainingEngine::Train(
   if (corpus.num_users() == 0 || corpus.num_locations <= 0) {
     return InvalidArgumentError("empty training corpus");
   }
+  // Build the bounded exp/sigmoid tables before any worker needs them, so
+  // the one-time construction cost never lands inside a timed phase (and
+  // never races the pool, magic statics notwithstanding).
+  WarmFastMathTables();
   std::optional<ckpt::CheckpointManager> manager;
   if (checkpoint.enabled()) {
     if (checkpoint.every_steps <= 0) {
@@ -177,10 +182,9 @@ Result<core::TrainResult> TrainingEngine::Train(
       clip_engaged.assign(buckets.size(), 0);
       const auto run_bucket = [&](size_t i, sgns::TrainScratch* scratch) {
         Rng bucket_rng(core::BucketSeed(step_seed, buckets[i]));
-        deltas[i] = stages_.updater->ComputeDelta(result.model, buckets[i],
-                                                  corpus.num_locations,
-                                                  bucket_rng, &losses[i],
-                                                  scratch);
+        stages_.updater->ComputeDelta(result.model, buckets[i],
+                                      corpus.num_locations, bucket_rng,
+                                      &losses[i], scratch, deltas[i]);
         clip_engaged[i] = stages_.clipper->Clip(deltas[i]) ? 1 : 0;
       };
       if (pool != nullptr && buckets.size() > 1) {

@@ -4,19 +4,19 @@
 
 namespace plp::pipeline {
 
-sgns::SparseDelta LocalUpdater::ComputeDelta(const sgns::SgnsModel& theta,
-                                             const core::Bucket& bucket,
-                                             int32_t num_locations,
-                                             Rng& bucket_rng, double* loss_out,
-                                             sgns::TrainScratch* scratch) {
+void LocalUpdater::ComputeDelta(const sgns::SgnsModel& theta,
+                                const core::Bucket& bucket,
+                                int32_t num_locations, Rng& bucket_rng,
+                                double* loss_out, sgns::TrainScratch* scratch,
+                                sgns::SparseDelta& delta) {
   (void)theta;
   (void)bucket;
   (void)num_locations;
   (void)bucket_rng;
   (void)loss_out;
   (void)scratch;
+  (void)delta;
   PLP_CHECK(false);  // BucketParallel() updaters must override ComputeDelta
-  return sgns::SparseDelta(1);
 }
 
 Result<double> LocalUpdater::WholeRound(const data::TrainingCorpus& corpus,

@@ -90,14 +90,17 @@ class LocalUpdater {
   /// updater owns the model mutation and the main RNG stream).
   virtual bool BucketParallel() const = 0;
 
-  /// Bucket-parallel mode: the raw (unclipped) delta of one bucket's local
-  /// training at θ_t. Must depend only on (θ_t, bucket, bucket_rng) so the
-  /// engine may schedule buckets on any thread. `scratch` may be null.
-  virtual sgns::SparseDelta ComputeDelta(const sgns::SgnsModel& theta,
-                                         const core::Bucket& bucket,
-                                         int32_t num_locations,
-                                         Rng& bucket_rng, double* loss_out,
-                                         sgns::TrainScratch* scratch);
+  /// Bucket-parallel mode: computes the raw (unclipped) delta of one
+  /// bucket's local training at θ_t into `delta` (which is Clear()ed
+  /// first — the engine hands each bucket a reusable slot so steady-state
+  /// fan-out does not allocate). Must depend only on (θ_t, bucket,
+  /// bucket_rng) so the engine may schedule buckets on any thread.
+  /// `scratch` may be null.
+  virtual void ComputeDelta(const sgns::SgnsModel& theta,
+                            const core::Bucket& bucket,
+                            int32_t num_locations, Rng& bucket_rng,
+                            double* loss_out, sgns::TrainScratch* scratch,
+                            sgns::SparseDelta& delta);
 
   /// Whole-round mode: one full round (epoch) mutating `model` in place,
   /// drawing from the trainer's main `rng`. Returns the round's mean loss.

@@ -64,13 +64,12 @@ class BucketSgdUpdater final : public LocalUpdater {
 
   bool BucketParallel() const override { return true; }
 
-  sgns::SparseDelta ComputeDelta(const sgns::SgnsModel& theta,
-                                 const core::Bucket& bucket,
-                                 int32_t num_locations, Rng& bucket_rng,
-                                 double* loss_out,
-                                 sgns::TrainScratch* scratch) override {
-    return core::ComputeRawBucketDelta(theta, bucket, config_, num_locations,
-                                       bucket_rng, loss_out, scratch);
+  void ComputeDelta(const sgns::SgnsModel& theta, const core::Bucket& bucket,
+                    int32_t num_locations, Rng& bucket_rng, double* loss_out,
+                    sgns::TrainScratch* scratch,
+                    sgns::SparseDelta& delta) override {
+    core::ComputeRawBucketDeltaInto(theta, bucket, config_, num_locations,
+                                    bucket_rng, loss_out, scratch, delta);
   }
 
  private:

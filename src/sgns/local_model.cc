@@ -1,23 +1,31 @@
 #include "sgns/local_model.h"
 
+#include "common/math_util.h"
+
 namespace plp::sgns {
 
 SparseDelta LocalModel::ExtractDelta() const {
   SparseDelta delta(dim());
+  ExtractDeltaInto(delta);
+  return delta;
+}
+
+void LocalModel::ExtractDeltaInto(SparseDelta& delta) const {
+  PLP_CHECK_EQ(delta.dim(), dim());
+  delta.Clear();
+  delta.Reserve(in_rows_.size(), out_rows_.size(), bias_.size());
+  const size_t dim = static_cast<size_t>(this->dim());
   in_rows_.ForEach([&](int32_t row, std::span<const double> vec) {
     std::span<double> d = delta.Row(Tensor::kWIn, row);
-    const std::span<const double> base_row = base_->InRow(row);
-    for (int32_t i = 0; i < dim(); ++i) d[i] = vec[i] - base_row[i];
+    SubKernel(vec.data(), base_->InRow(row).data(), d.data(), dim);
   });
   out_rows_.ForEach([&](int32_t row, std::span<const double> vec) {
     std::span<double> d = delta.Row(Tensor::kWOut, row);
-    const std::span<const double> base_row = base_->OutRow(row);
-    for (int32_t i = 0; i < dim(); ++i) d[i] = vec[i] - base_row[i];
+    SubKernel(vec.data(), base_->OutRow(row).data(), d.data(), dim);
   });
   bias_.ForEach([&](int32_t row, std::span<const double> v) {
     delta.AddBias(row, v[0] - base_->bias(row));
   });
-  return delta;
 }
 
 }  // namespace plp::sgns

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <span>
 
+#include "common/check.h"
 #include "sgns/model.h"
 #include "sgns/row_map.h"
 #include "sgns/sparse_delta.h"
@@ -25,6 +26,20 @@ class LocalModel {
  public:
   explicit LocalModel(const SgnsModel& base)
       : base_(&base), in_rows_(base.dim()), out_rows_(base.dim()), bias_(1) {}
+
+  /// Rebinds the overlay to `base` and drops every touched row, keeping
+  /// the row stores' tables and arenas. A reused overlay inserts, probes
+  /// and iterates exactly like a freshly constructed one (RowMap behavior
+  /// is independent of capacity), so reuse across buckets is bitwise
+  /// result-neutral — it only removes the per-bucket grow-from-16-slots
+  /// allocation ladder. `base` must have the same dim as the original.
+  void Reset(const SgnsModel& base) {
+    PLP_CHECK_EQ(base.dim(), dim());
+    base_ = &base;
+    in_rows_.Clear();
+    out_rows_.Clear();
+    bias_.Clear();
+  }
 
   int32_t num_locations() const { return base_->num_locations(); }
   int32_t dim() const { return base_->dim(); }
@@ -61,6 +76,13 @@ class LocalModel {
 
   /// Φ − θ_t over the touched rows.
   SparseDelta ExtractDelta() const;
+
+  /// ExtractDelta into an existing delta (Clear()ed first). With a delta
+  /// whose row stores already carry enough capacity this performs no
+  /// allocation — the engine reuses one delta slot per bucket index across
+  /// steps, which keeps the per-step fan-out free of the multi-megabyte
+  /// arena alloc/zero/free cycle a by-value extraction pays per bucket.
+  void ExtractDeltaInto(SparseDelta& delta) const;
 
   size_t NumTouchedRows() const {
     return in_rows_.size() + out_rows_.size() + bias_.size();

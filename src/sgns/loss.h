@@ -26,6 +26,34 @@ struct BatchStats {
   }
 };
 
+/// Transcendental-math policy for the sampled loss. The production default
+/// evaluates exp/sigmoid through the bounded lookup tables in
+/// common/math_util (one load + an interpolation instead of a libm call per
+/// candidate). Both policies are pure functions — results never depend on
+/// thread count or evaluation order — so either satisfies the determinism
+/// contract; they just pin *different* bit-exact trajectories.
+struct FastLossMath {
+  /// Hoisted table references: fetched once per batch, not per candidate.
+  const ExpNegLut& exp_neg = ExpNegLut::Get();
+  const SigmoidLut& sigmoid = SigmoidLut::Get();
+
+  double ExpNeg(double x) const { return exp_neg(x); }
+  double Sigmoid(double x) const { return sigmoid(x); }
+};
+
+/// libm policy for tests that need the loss to be a smooth function of the
+/// parameters — the finite-difference gradient check would otherwise see
+/// the O(table-step) gap between a piecewise-linear interpolant's slope
+/// and its value. Mirrors the LUTs' saturation so the two policies differ
+/// only by the interpolation error bounded in tests/common.
+struct ExactLossMath {
+  double ExpNeg(double x) const { return x >= 0.0 ? 1.0 : std::exp(x); }
+  double Sigmoid(double x) const {
+    // Clamp so exp() never overflows; gradients saturate anyway.
+    return 1.0 / (1.0 + std::exp(-Clamp(x, -30.0, 30.0)));
+  }
+};
+
 /// Computes the batch-average gradient of the sampled loss at the model's
 /// current parameters (accumulated into `gradient`), returning the batch
 /// loss. Only the rows of the target embedding and the neg+1 candidate
@@ -37,7 +65,7 @@ struct BatchStats {
 /// `Model` must expose InRow/OutRow/bias like SgnsModel or LocalModel.
 /// `buffers` is an optional allocation cache (candidate/logit scratch,
 /// fully overwritten here); passing it changes nothing but allocation.
-template <typename Model>
+template <typename Model, typename LossMath = FastLossMath>
 BatchStats AccumulateBatchGradient(const Model& model,
                                    std::span<const Pair> batch,
                                    const SgnsConfig& config,
@@ -51,7 +79,7 @@ BatchStats AccumulateBatchGradient(const Model& model,
 /// its gradient is Clear()ed and reused instead of constructing a fresh
 /// SparseDelta per batch, and its candidate/logit buffers back the
 /// accumulation — identical results, no steady-state allocation.
-template <typename Model>
+template <typename Model, typename LossMath = FastLossMath>
 BatchStats ApplySgdBatch(Model& model, std::span<const Pair> batch,
                          const SgnsConfig& config, int32_t num_locations,
                          double learning_rate, Rng& rng,
@@ -60,12 +88,6 @@ BatchStats ApplySgdBatch(Model& model, std::span<const Pair> batch,
 // Implementation details only below here.
 
 namespace internal_loss {
-
-inline double Sigmoid(double x) {
-  // Clamp so exp() never overflows; gradients saturate anyway.
-  x = Clamp(x, -30.0, 30.0);
-  return 1.0 / (1.0 + std::exp(-x));
-}
 
 /// Draws a uniform candidate different from `exclude` (bounded retries;
 /// with L >= 2 a collision streak of 16 is practically impossible).
@@ -80,7 +102,7 @@ inline int32_t DrawNegative(Rng& rng, int32_t num_locations, int32_t exclude) {
 
 }  // namespace internal_loss
 
-template <typename Model>
+template <typename Model, typename LossMath>
 BatchStats AccumulateBatchGradient(const Model& model,
                                    std::span<const Pair> batch,
                                    const SgnsConfig& config,
@@ -92,6 +114,7 @@ BatchStats AccumulateBatchGradient(const Model& model,
   const int32_t dim = config.embedding_dim;
   PLP_CHECK_EQ(dim, gradient.dim());
 
+  const LossMath math;
   BatchStats stats;
   const int32_t num_candidates = config.negatives + 1;
   PairBuffers local_buffers;
@@ -101,9 +124,9 @@ BatchStats AccumulateBatchGradient(const Model& model,
   buf.dlogits.resize(static_cast<size_t>(num_candidates));
   buf.grad_h.resize(static_cast<size_t>(dim));
   std::vector<int32_t>& candidates = buf.candidates;
-  std::vector<double>& logits = buf.logits;
-  std::vector<double>& dlogits = buf.dlogits;
-  std::vector<double>& grad_h = buf.grad_h;
+  AlignedVector<double>& logits = buf.logits;
+  AlignedVector<double>& dlogits = buf.dlogits;
+  AlignedVector<double>& grad_h = buf.grad_h;
 
   for (const Pair& pair : batch) {
     PLP_CHECK(pair.target >= 0 && pair.target < num_locations);
@@ -115,22 +138,43 @@ BatchStats AccumulateBatchGradient(const Model& model,
       candidates[i] =
           internal_loss::DrawNegative(rng, num_locations, pair.context);
     }
+    // The candidate rows are uniform-random draws over W', which at
+    // realistic L does not fit in L2 — without a hint the forward dots
+    // stall on one row-sized miss each. Prefetching the whole candidate
+    // set first lets those loads overlap.
     for (int32_t i = 0; i < num_candidates; ++i) {
-      logits[i] = Dot(model.OutRow(candidates[i]), h) +
+      __builtin_prefetch(model.OutRow(candidates[i]).data());
+    }
+    for (int32_t i = 0; i < num_candidates; ++i) {
+      logits[i] = DotKernel(model.OutRow(candidates[i]).data(), h.data(),
+                            static_cast<size_t>(dim)) +
                   model.bias(candidates[i]);
     }
 
     if (config.loss == LossKind::kSampledSoftmax) {
-      // Softmax over the candidate set; loss = −log p(positive).
-      const double lse = LogSumExp(logits);
-      stats.loss_sum += lse - logits[0];
+      // Softmax over the candidate set; loss = −log p(positive). One fused
+      // max-shifted pass: e_i = exp(u_i − max) lands in dlogits, then one
+      // log for the loss and one divide for the probabilities — instead of
+      // a LogSumExp pass plus a second exp per candidate.
+      double max_logit = logits[0];
+      for (int32_t i = 1; i < num_candidates; ++i) {
+        max_logit = std::max(max_logit, logits[i]);
+      }
+      double sum = 0.0;
       for (int32_t i = 0; i < num_candidates; ++i) {
-        dlogits[i] = std::exp(logits[i] - lse) - (i == 0 ? 1.0 : 0.0);
+        const double e = math.ExpNeg(logits[i] - max_logit);
+        dlogits[i] = e;
+        sum += e;
+      }
+      stats.loss_sum += max_logit + std::log(sum) - logits[0];
+      const double inv_sum = 1.0 / sum;
+      for (int32_t i = 0; i < num_candidates; ++i) {
+        dlogits[i] = dlogits[i] * inv_sum - (i == 0 ? 1.0 : 0.0);
       }
     } else {
       // Classic SGNS: −log σ(u₀) − Σ log σ(−uᵢ).
       for (int32_t i = 0; i < num_candidates; ++i) {
-        const double s = internal_loss::Sigmoid(logits[i]);
+        const double s = math.Sigmoid(logits[i]);
         if (i == 0) {
           stats.loss_sum += -std::log(std::max(s, 1e-12));
           dlogits[i] = s - 1.0;
@@ -162,7 +206,7 @@ BatchStats AccumulateBatchGradient(const Model& model,
   return stats;
 }
 
-template <typename Model>
+template <typename Model, typename LossMath>
 BatchStats ApplySgdBatch(Model& model, std::span<const Pair> batch,
                          const SgnsConfig& config, int32_t num_locations,
                          double learning_rate, Rng& rng,
@@ -178,7 +222,7 @@ BatchStats ApplySgdBatch(Model& model, std::span<const Pair> batch,
     owned_gradient.emplace(config.embedding_dim);
     gradient = &*owned_gradient;
   }
-  const BatchStats stats = AccumulateBatchGradient(
+  const BatchStats stats = AccumulateBatchGradient<Model, LossMath>(
       model, batch, config, num_locations, rng, *gradient,
       scratch != nullptr ? &scratch->buffers : nullptr);
   const double scale =

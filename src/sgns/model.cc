@@ -18,15 +18,21 @@ Result<SgnsModel> SgnsModel::Create(int32_t num_locations,
   SgnsModel model;
   model.num_locations_ = num_locations;
   model.dim_ = config.embedding_dim;
-  const size_t matrix_size =
-      static_cast<size_t>(num_locations) * static_cast<size_t>(model.dim_);
-  model.w_in_.resize(matrix_size);
-  model.w_out_.assign(matrix_size, 0.0);
+  model.stride_ = PaddedRowStride(static_cast<size_t>(model.dim_));
+  const size_t storage_size =
+      static_cast<size_t>(num_locations) * model.stride_;
+  model.w_in_.assign(storage_size, 0.0);
+  model.w_out_.assign(storage_size, 0.0);
   model.bias_.assign(static_cast<size_t>(num_locations), 0.0);
   const double scale = config.init_scale > 0.0
                            ? config.init_scale
                            : 0.5 / static_cast<double>(model.dim_);
-  for (double& w : model.w_in_) w = rng.Uniform(-scale, scale);
+  // Row-wise over the logical dims: the uniform draw sequence matches the
+  // unpadded layout, and the padding tail stays at its assigned 0.0.
+  for (int32_t l = 0; l < num_locations; ++l) {
+    const std::span<double> row = model.MutableInRow(l);
+    for (double& w : row) w = rng.Uniform(-scale, scale);
+  }
   return model;
 }
 
@@ -34,27 +40,33 @@ int64_t SgnsModel::num_parameters() const {
   return 2LL * num_locations_ * dim_ + num_locations_;
 }
 
+size_t SgnsModel::TensorNumel(Tensor t) const {
+  const size_t locations = static_cast<size_t>(num_locations_);
+  return t == Tensor::kBias ? locations
+                            : locations * static_cast<size_t>(dim_);
+}
+
 std::span<const double> SgnsModel::InRow(int32_t location) const {
   PLP_CHECK(location >= 0 && location < num_locations_);
-  return {w_in_.data() + static_cast<size_t>(location) * dim_,
+  return {w_in_.data() + static_cast<size_t>(location) * stride_,
           static_cast<size_t>(dim_)};
 }
 
 std::span<double> SgnsModel::MutableInRow(int32_t location) {
   PLP_CHECK(location >= 0 && location < num_locations_);
-  return {w_in_.data() + static_cast<size_t>(location) * dim_,
+  return {w_in_.data() + static_cast<size_t>(location) * stride_,
           static_cast<size_t>(dim_)};
 }
 
 std::span<const double> SgnsModel::OutRow(int32_t location) const {
   PLP_CHECK(location >= 0 && location < num_locations_);
-  return {w_out_.data() + static_cast<size_t>(location) * dim_,
+  return {w_out_.data() + static_cast<size_t>(location) * stride_,
           static_cast<size_t>(dim_)};
 }
 
 std::span<double> SgnsModel::MutableOutRow(int32_t location) {
   PLP_CHECK(location >= 0 && location < num_locations_);
-  return {w_out_.data() + static_cast<size_t>(location) * dim_,
+  return {w_out_.data() + static_cast<size_t>(location) * stride_,
           static_cast<size_t>(dim_)};
 }
 
@@ -97,10 +109,13 @@ std::span<double> SgnsModel::MutableTensorData(Tensor t) {
 double SgnsModel::TensorNorm(Tensor t) const { return L2Norm(TensorData(t)); }
 
 std::vector<double> SgnsModel::NormalizedEmbeddings() const {
-  std::vector<double> out = w_in_;
+  std::vector<double> out(TensorNumel(Tensor::kWIn));
   for (int32_t l = 0; l < num_locations_; ++l) {
-    NormalizeL2({out.data() + static_cast<size_t>(l) * dim_,
-                 static_cast<size_t>(dim_)});
+    const std::span<const double> row = InRow(l);
+    const std::span<double> dst{
+        out.data() + static_cast<size_t>(l) * dim_, static_cast<size_t>(dim_)};
+    for (size_t i = 0; i < dst.size(); ++i) dst[i] = row[i];
+    NormalizeL2(dst);
   }
   return out;
 }

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -35,9 +36,16 @@ struct SgnsConfig {
 };
 
 /// The skip-gram location model: an embedding matrix W (L × dim), a context
-/// matrix W' (L × dim) and a bias vector B' (L). Rows are stored
-/// contiguously; all parameter access is by row so gradient updates stay
-/// sparse.
+/// matrix W' (L × dim) and a bias vector B' (L). All parameter access is by
+/// row so gradient updates stay sparse.
+///
+/// Storage layout: W and W' live in 64-byte-aligned arenas with rows padded
+/// to row_stride() = PaddedRowStride(dim) doubles, so every row starts on a
+/// cache-line boundary and the vectorized Dot/Axpy kernels run over aligned
+/// spans. The padding tail of every row is maintained at exactly 0.0 by
+/// every mutation path (row spans only expose the logical dim entries), so
+/// two models with equal logical parameters also compare equal over their
+/// full TensorData spans. B' is unpadded (aligned, length L).
 class SgnsModel {
  public:
   /// An empty (0-location) model; usable only as a move-assignment target.
@@ -45,14 +53,24 @@ class SgnsModel {
 
   /// Creates a model with W initialized uniformly in ±init_scale and
   /// W', B' at zero (word2vec convention). Fails on non-positive sizes.
+  /// The RNG is drawn row-wise over the logical dims, so the draw sequence
+  /// is independent of the storage padding.
   static Result<SgnsModel> Create(int32_t num_locations,
                                   const SgnsConfig& config, Rng& rng);
 
   int32_t num_locations() const { return num_locations_; }
   int32_t dim() const { return dim_; }
 
-  /// Total scalar parameter count: 2·L·dim + L.
+  /// Stored doubles per W/W' row: dim rounded up to a 64-byte multiple.
+  size_t row_stride() const { return stride_; }
+
+  /// Total scalar parameter count: 2·L·dim + L (padding excluded).
   int64_t num_parameters() const;
+
+  /// Logical element count of one tensor: L·dim for W/W', L for B'.
+  /// This — not TensorData(t).size(), which includes padding — is the
+  /// shape serialization and optimizer state are keyed on.
+  size_t TensorNumel(Tensor t) const;
 
   std::span<const double> InRow(int32_t location) const;
   std::span<double> MutableInRow(int32_t location);
@@ -61,24 +79,28 @@ class SgnsModel {
   double bias(int32_t location) const;
   double& mutable_bias(int32_t location);
 
-  /// Whole-tensor views (used by the server optimizer and the noise step).
+  /// Whole-tensor *storage* views: for W/W' these are the padded arenas
+  /// (L·row_stride() doubles, padding always 0.0); for B' the logical
+  /// vector. Fine for element-wise comparison or noise-free scans; use the
+  /// row accessors or TensorNumel for anything shape-sensitive.
   std::span<const double> TensorData(Tensor t) const;
   std::span<double> MutableTensorData(Tensor t);
 
-  /// l2 norm of one tensor.
+  /// l2 norm of one tensor (padding contributes zero to the sum).
   double TensorNorm(Tensor t) const;
 
   /// Returns a copy of W with every row scaled to unit l2 norm (Section 3.2:
   /// "the embedded vectors are normalized to unit length"). Row-major,
-  /// L × dim.
+  /// L × dim — unpadded, so serialized embeddings are layout-independent.
   std::vector<double> NormalizedEmbeddings() const;
 
  private:
   int32_t num_locations_ = 0;
   int32_t dim_ = 0;
-  std::vector<double> w_in_;
-  std::vector<double> w_out_;
-  std::vector<double> bias_;
+  size_t stride_ = 0;
+  AlignedVector<double> w_in_;
+  AlignedVector<double> w_out_;
+  AlignedVector<double> bias_;
 };
 
 }  // namespace plp::sgns

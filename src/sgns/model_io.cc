@@ -93,9 +93,15 @@ Status SaveModel(const SgnsModel& model, const std::string& path) {
   // concurrent reader) only ever sees the previous complete artifact.
   ByteWriter out;
   WriteHeader(out, kMagicFull, model.num_locations(), model.dim());
-  for (int ti = 0; ti < kNumTensors; ++ti) {
-    out.DoubleSpan(model.TensorData(static_cast<Tensor>(ti)));
+  // Row-wise over the logical dims: the payload is exactly 2·L·dim + L
+  // doubles, independent of the in-memory row padding.
+  for (int32_t l = 0; l < model.num_locations(); ++l) {
+    out.DoubleSpan(model.InRow(l));
   }
+  for (int32_t l = 0; l < model.num_locations(); ++l) {
+    out.DoubleSpan(model.OutRow(l));
+  }
+  out.DoubleSpan(model.TensorData(Tensor::kBias));
   return AtomicWriteFile(path, out.str());
 }
 
@@ -117,10 +123,13 @@ Result<SgnsModel> LoadModel(const std::string& path) {
   config.embedding_dim = dim;
   PLP_ASSIGN_OR_RETURN(SgnsModel model,
                        SgnsModel::Create(num_locations, config, unused_rng));
-  for (int ti = 0; ti < kNumTensors; ++ti) {
-    PLP_RETURN_IF_ERROR(
-        ReadDoubles(in, model.MutableTensorData(static_cast<Tensor>(ti))));
+  for (int32_t l = 0; l < num_locations; ++l) {
+    PLP_RETURN_IF_ERROR(ReadDoubles(in, model.MutableInRow(l)));
   }
+  for (int32_t l = 0; l < num_locations; ++l) {
+    PLP_RETURN_IF_ERROR(ReadDoubles(in, model.MutableOutRow(l)));
+  }
+  PLP_RETURN_IF_ERROR(ReadDoubles(in, model.MutableTensorData(Tensor::kBias)));
   return model;
 }
 

@@ -1,10 +1,12 @@
 #ifndef PLP_SGNS_ROW_MAP_H_
 #define PLP_SGNS_ROW_MAP_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/check.h"
 
 namespace plp::sgns {
@@ -17,10 +19,21 @@ namespace plp::sgns {
 /// beats std::unordered_map by avoiding per-node allocation and pointer
 /// chasing — rows live in one arena, and the table is a flat probe array.
 /// Erasure is intentionally unsupported (training only ever inserts).
+///
+/// The arena is 64-byte aligned. Rows of SIMD-relevant width (dim >= 8)
+/// are stored at a stride of PaddedRowStride(dim) doubles, so every row
+/// starts on a cache-line boundary (matching SgnsModel's layout); narrow
+/// rows (dim < 8 — notably the dim = 1 scalar maps for B') are packed
+/// dense, because padding a scalar to a full cache line would multiply
+/// the arena's footprint by 8 for loops the vector kernels never touch.
+/// Row spans expose only the logical dim entries; any padding tail stays
+/// at its zero-initialized value for the row's lifetime.
 class RowMap {
  public:
   /// `dim` >= 1 doubles per row (use dim = 1 for scalar maps like B').
-  explicit RowMap(int32_t dim) : dim_(static_cast<size_t>(dim)) {
+  explicit RowMap(int32_t dim)
+      : dim_(static_cast<size_t>(dim)),
+        stride_(dim_ < 8 ? dim_ : PaddedRowStride(dim_)) {
     PLP_CHECK_GE(dim, 1);
     Rehash(16);
   }
@@ -28,6 +41,19 @@ class RowMap {
   size_t size() const { return entry_keys_.size(); }
   bool empty() const { return entry_keys_.empty(); }
   int32_t dim() const { return static_cast<int32_t>(dim_); }
+
+  /// Doubles between consecutive row starts (== dim() when rows are
+  /// packed dense, PaddedRowStride(dim) otherwise).
+  size_t stride() const { return stride_; }
+
+  /// All rows as one contiguous span: size() rows of stride() doubles in
+  /// insertion order, with any padding tail exactly 0.0. Whole-map
+  /// reductions (e.g. SparseDelta::TensorNorm) run one long kernel pass
+  /// over this instead of size() row-sized ones; the zero padding
+  /// contributes nothing to sums of squares.
+  std::span<const double> Flat() const {
+    return {arena_.data(), entry_keys_.size() * stride_};
+  }
 
   /// Returns the row for `key`, inserting a zero-filled row if absent.
   /// `inserted` (optional) reports whether the row is new. Spans are
@@ -41,8 +67,19 @@ class RowMap {
       }
       slots_[slot].key = key;
       slots_[slot].index = static_cast<uint32_t>(entry_keys_.size());
+      const size_t offset = entry_keys_.size() * stride_;
       entry_keys_.push_back(key);
-      arena_.resize(arena_.size() + dim_, 0.0);
+      // The arena's size is its capacity: it never shrinks (Clear() keeps
+      // it), so the steady-state insert is one inlined fill of the new
+      // row — resize()'s out-of-line element construction on every insert
+      // was the single hottest call in the whole trainer profile.
+      if (arena_.size() < offset + stride_) {
+        // Geometric growth; resize value-initializes the new region to 0.
+        arena_.resize(std::max(arena_.size() * 2, offset + stride_));
+      } else {
+        // Reused storage may hold a stale row from before a Clear().
+        std::fill_n(arena_.data() + offset, stride_, 0.0);
+      }
       if (inserted != nullptr) *inserted = true;
       return RowAt(entry_keys_.size() - 1);
     }
@@ -81,10 +118,21 @@ class RowMap {
   }
 
   /// Removes all rows but keeps capacity (cheap reuse across batches).
+  /// Stale arena contents are re-zeroed row-by-row on reuse.
   void Clear() {
     for (Slot& s : slots_) s.key = kEmpty;
     entry_keys_.clear();
-    arena_.clear();
+  }
+
+  /// Pre-sizes the probe table and arena for `rows` rows, so a burst of
+  /// inserts of known cardinality (e.g. delta extraction) skips the
+  /// rehash-and-regrow ladder a fresh map would otherwise climb.
+  void Reserve(size_t rows) {
+    size_t capacity = slots_.size();
+    while (rows * 4 > capacity * 3) capacity *= 2;
+    if (capacity != slots_.size()) Rehash(capacity);
+    if (arena_.size() < rows * stride_) arena_.resize(rows * stride_);
+    entry_keys_.reserve(rows);
   }
 
  private:
@@ -113,10 +161,10 @@ class RowMap {
   }
 
   std::span<double> RowAt(size_t index) {
-    return {arena_.data() + index * dim_, dim_};
+    return {arena_.data() + index * stride_, dim_};
   }
   std::span<const double> RowAt(size_t index) const {
-    return {arena_.data() + index * dim_, dim_};
+    return {arena_.data() + index * stride_, dim_};
   }
 
   void Rehash(size_t new_capacity) {
@@ -131,10 +179,11 @@ class RowMap {
   }
 
   size_t dim_;
+  size_t stride_;
   size_t mask_ = 0;
   std::vector<Slot> slots_;
   std::vector<int32_t> entry_keys_;
-  std::vector<double> arena_;
+  AlignedVector<double> arena_;
 };
 
 }  // namespace plp::sgns

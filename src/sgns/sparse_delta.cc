@@ -93,12 +93,17 @@ double DenseUpdate::Norm(ThreadPool* pool) const {
 void DenseUpdate::ApplyTo(SgnsModel& model) const {
   PLP_CHECK_EQ(model.num_locations(), num_locations_);
   PLP_CHECK_EQ(model.dim(), dim_);
-  for (int ti = 0; ti < kNumTensors; ++ti) {
-    const Tensor t = static_cast<Tensor>(ti);
-    std::span<double> dst = model.MutableTensorData(t);
-    std::span<const double> src = TensorData(t);
-    AxpyKernel(1.0, src.data(), dst.data(), dst.size());
+  // The update is stored unpadded while the model rows are padded, so the
+  // W/W' tensors are applied row by row. Axpy is element-independent:
+  // row-wise application is bitwise identical to one flat pass.
+  const size_t dim = static_cast<size_t>(dim_);
+  for (int32_t l = 0; l < num_locations_; ++l) {
+    const size_t base = static_cast<size_t>(l) * dim;
+    AxpyKernel(1.0, w_in_.data() + base, model.MutableInRow(l).data(), dim);
+    AxpyKernel(1.0, w_out_.data() + base, model.MutableOutRow(l).data(), dim);
   }
+  std::span<double> bias_dst = model.MutableTensorData(Tensor::kBias);
+  AxpyKernel(1.0, bias_.data(), bias_dst.data(), bias_dst.size());
 }
 
 SparseDelta::SparseDelta(int32_t dim)
@@ -123,21 +128,13 @@ const RowMap& SparseDelta::StoreFor(Tensor t) const {
   return const_cast<SparseDelta*>(this)->StoreFor(t);
 }
 
-std::span<double> SparseDelta::Row(Tensor tensor, int32_t row) {
-  PLP_CHECK(tensor == Tensor::kWIn || tensor == Tensor::kWOut);
-  return StoreFor(tensor).FindOrInsertZero(row);
-}
-
-void SparseDelta::AddBias(int32_t row, double value) {
-  bias_.FindOrInsertZero(row)[0] += value;
-}
-
 double SparseDelta::TensorNorm(Tensor t) const {
-  double s = 0.0;
-  StoreFor(t).ForEach([&](int32_t, std::span<const double> row) {
-    for (double v : row) s += v * v;
-  });
-  return std::sqrt(s);
+  // One contiguous kernel pass over the store's arena prefix. Row padding
+  // is exactly 0.0 (RowMap invariant), so including it adds only +0.0
+  // terms; the 16-lane reduction spec keeps the result machine- and
+  // thread-count-independent.
+  const std::span<const double> flat = StoreFor(t).Flat();
+  return std::sqrt(SumSquaresKernel(flat.data(), flat.size()));
 }
 
 double SparseDelta::TotalNorm() const {
@@ -279,13 +276,14 @@ SparseDelta DiffModels(const SgnsModel& phi, const SgnsModel& theta) {
   PLP_CHECK_EQ(phi.dim(), theta.dim());
   const int32_t dim = phi.dim();
   SparseDelta delta(dim);
+  const size_t row_len = static_cast<size_t>(dim);
   for (int32_t l = 0; l < phi.num_locations(); ++l) {
     const std::span<const double> a = phi.InRow(l);
     const std::span<const double> b = theta.InRow(l);
     for (int32_t d = 0; d < dim; ++d) {
       if (a[d] != b[d]) {
         std::span<double> row = delta.Row(Tensor::kWIn, l);
-        for (int32_t e = 0; e < dim; ++e) row[e] = a[e] - b[e];
+        SubKernel(a.data(), b.data(), row.data(), row_len);
         break;
       }
     }
@@ -294,7 +292,7 @@ SparseDelta DiffModels(const SgnsModel& phi, const SgnsModel& theta) {
     for (int32_t d = 0; d < dim; ++d) {
       if (ao[d] != bo[d]) {
         std::span<double> row = delta.Row(Tensor::kWOut, l);
-        for (int32_t e = 0; e < dim; ++e) row[e] = ao[e] - bo[e];
+        SubKernel(ao.data(), bo.data(), row.data(), row_len);
         break;
       }
     }

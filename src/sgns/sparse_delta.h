@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "sgns/model.h"
 #include "sgns/row_map.h"
@@ -106,10 +107,18 @@ class SparseDelta {
 
   /// Mutable row accumulator (zero-initialized on first access). `tensor`
   /// must be kWIn or kWOut. The span is invalidated by the next Row call.
-  std::span<double> Row(Tensor tensor, int32_t row);
+  /// Inline: this and AddBias are the per-candidate accesses of the
+  /// backward loop, hot enough that the probe must inline into callers.
+  std::span<double> Row(Tensor tensor, int32_t row) {
+    PLP_CHECK(tensor == Tensor::kWIn || tensor == Tensor::kWOut);
+    return (tensor == Tensor::kWIn ? in_rows_ : out_rows_)
+        .FindOrInsertZero(row);
+  }
 
   /// Adds `value` to the bias accumulator for `row`.
-  void AddBias(int32_t row, double value);
+  void AddBias(int32_t row, double value) {
+    bias_.FindOrInsertZero(row)[0] += value;
+  }
 
   /// Calls fn(row, std::span<const double>) for each touched row of kWIn
   /// or kWOut; for kBias the span has length 1.
@@ -163,6 +172,15 @@ class SparseDelta {
 
   /// Removes all entries but keeps capacity (reuse across batches).
   void Clear();
+
+  /// Pre-sizes the three row stores for a burst of inserts of known
+  /// cardinality (e.g. delta extraction from an overlay whose touched-row
+  /// counts are known exactly).
+  void Reserve(size_t in_rows, size_t out_rows, size_t bias_rows) {
+    in_rows_.Reserve(in_rows);
+    out_rows_.Reserve(out_rows);
+    bias_.Reserve(bias_rows);
+  }
 
  private:
   RowMap& StoreFor(Tensor t);

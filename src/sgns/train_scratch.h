@@ -2,20 +2,25 @@
 #define PLP_SGNS_TRAIN_SCRATCH_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "common/aligned.h"
+#include "sgns/local_model.h"
 #include "sgns/pairs.h"
 #include "sgns/sparse_delta.h"
 
 namespace plp::sgns {
 
 /// Per-pair candidate/logit buffers used inside AccumulateBatchGradient.
-/// Resized (capacity kept) instead of reallocated every call.
+/// Resized (capacity kept) instead of reallocated every call. The double
+/// buffers are 64-byte aligned so the Dot/Axpy kernels run over aligned
+/// spans end to end.
 struct PairBuffers {
   std::vector<int32_t> candidates;
-  std::vector<double> logits;
-  std::vector<double> dlogits;
-  std::vector<double> grad_h;
+  AlignedVector<double> logits;
+  AlignedVector<double> dlogits;
+  AlignedVector<double> grad_h;
 };
 
 /// Reusable workspace for local bucket training. The trainer owns one per
@@ -32,6 +37,10 @@ struct TrainScratch {
   std::vector<int32_t> flat;      ///< concatenated sentences (paper-literal)
   PairBuffers buffers;            ///< candidate/logit scratch
   SparseDelta gradient;           ///< batch gradient, Clear()ed per batch
+  /// Copy-on-write overlay reused across buckets (Reset() per bucket —
+  /// bitwise result-neutral, see LocalModel::Reset). Engaged lazily the
+  /// first time a bucket trains through this scratch.
+  std::optional<LocalModel> overlay;
 };
 
 }  // namespace plp::sgns

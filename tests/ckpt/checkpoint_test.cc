@@ -23,9 +23,15 @@ sgns::SgnsModel MakeModel(uint64_t seed, int32_t locations = 7,
   auto model = sgns::SgnsModel::Create(locations, config, rng);
   PLP_CHECK(model.ok());
   // Create leaves W' and B' at zero; perturb them so every tensor carries
-  // distinguishable content for the round-trip comparisons below.
-  auto out = model->MutableTensorData(sgns::Tensor::kWOut);
-  for (size_t i = 0; i < out.size(); ++i) out[i] = 0.01 * double(i) - 0.07;
+  // distinguishable content for the round-trip comparisons below. Written
+  // through the row accessors: the padding tail of the storage spans must
+  // stay 0.0, and decode builds its model with zero padding.
+  for (int32_t l = 0; l < locations; ++l) {
+    auto out = model->MutableOutRow(l);
+    for (int32_t d = 0; d < dim; ++d) {
+      out[d] = 0.01 * double(l * dim + d) - 0.07;
+    }
+  }
   auto bias = model->MutableTensorData(sgns::Tensor::kBias);
   for (size_t i = 0; i < bias.size(); ++i) bias[i] = -0.5 + 0.2 * double(i);
   return *std::move(model);

@@ -1,0 +1,152 @@
+// Accuracy and saturation contract of the bounded transcendental lookup
+// tables (common/math_util) that back the SGNS hot loop:
+//
+//   * |lut − libm reference| stays under the documented bound over a dense
+//     sweep of the whole in-domain range (on- and off-grid arguments).
+//   * Grid-node arguments — in particular x = 0, the shifted-softmax
+//     maximum — reproduce the reference value exactly.
+//   * The endpoints saturate to exactly 0.0 / 1.0, and arguments far
+//     outside the domain (including ±inf) clamp to the same exact values,
+//     never extrapolate.
+//   * Monotonicity survives interpolation, so downstream code may rely on
+//     order relations between lookups.
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace plp {
+namespace {
+
+// Documented in math_util.h: in-domain interpolation error is bounded by
+// step²/8 · max|f''| plus the rounding of the node values themselves.
+constexpr double kSigmoidMaxAbsError = 2e-7;
+constexpr double kExpNegMaxAbsError = 2e-6;
+
+/// Sweeps [lo, hi] with a step that is NOT a divisor of the table step, so
+/// the probes land at ever-changing offsets inside the interpolation
+/// intervals rather than on the grid.
+template <typename Fn, typename Ref>
+double MaxAbsErrorOverSweep(double lo, double hi, const Fn& fn,
+                            const Ref& ref) {
+  double max_err = 0.0;
+  const double step = 1.0 / 977.0;  // prime denominator: off-grid probes
+  for (double x = lo; x <= hi; x += step) {
+    max_err = std::max(max_err, std::fabs(fn(x) - ref(x)));
+  }
+  return max_err;
+}
+
+TEST(SigmoidLutTest, MaxAbsErrorWithinBoundInDomain) {
+  const SigmoidLut& lut = SigmoidLut::Get();
+  // Strictly inside the bounds: the exact endpoints saturate by design
+  // (|σ(−8) − 0| ≈ 3.4e-4 is the documented truncation, not interpolation
+  // error) and are pinned by the saturation test below.
+  const double err = MaxAbsErrorOverSweep(
+      -SigmoidLut::kBound + 1e-9, SigmoidLut::kBound - 1e-9,
+      [&](double x) { return lut(x); }, SigmoidReference);
+  EXPECT_LT(err, kSigmoidMaxAbsError);
+}
+
+TEST(SigmoidLutTest, ExactAtInteriorGridNodes) {
+  const SigmoidLut& lut = SigmoidLut::Get();
+  // Every interior table node must reproduce the libm value bitwise
+  // (r == 0 in the interpolation); the two boundary nodes saturate instead.
+  for (size_t k = 1; k < SigmoidLut::kNumIntervals; ++k) {
+    const double x =
+        -SigmoidLut::kBound + static_cast<double>(k) / SigmoidLut::kInvStep;
+    EXPECT_EQ(lut(x), SigmoidReference(x)) << "node " << k << " x=" << x;
+  }
+  EXPECT_EQ(lut(0.0), 0.5);
+}
+
+TEST(SigmoidLutTest, SaturatesExactlyAtAndBeyondBounds) {
+  const SigmoidLut& lut = SigmoidLut::Get();
+  EXPECT_EQ(lut(SigmoidLut::kBound), 1.0);
+  EXPECT_EQ(lut(-SigmoidLut::kBound), 0.0);
+  EXPECT_EQ(lut(SigmoidLut::kBound + 1e-9), 1.0);
+  EXPECT_EQ(lut(-SigmoidLut::kBound - 1e-9), 0.0);
+  EXPECT_EQ(lut(1e12), 1.0);
+  EXPECT_EQ(lut(-1e12), 0.0);
+  EXPECT_EQ(lut(std::numeric_limits<double>::infinity()), 1.0);
+  EXPECT_EQ(lut(-std::numeric_limits<double>::infinity()), 0.0);
+}
+
+TEST(SigmoidLutTest, MonotoneNonDecreasing) {
+  const SigmoidLut& lut = SigmoidLut::Get();
+  double prev = lut(-SigmoidLut::kBound - 1.0);
+  for (double x = -SigmoidLut::kBound; x <= SigmoidLut::kBound + 1.0;
+       x += 1.0 / 311.0) {
+    const double y = lut(x);
+    EXPECT_GE(y, prev) << "x=" << x;
+    prev = y;
+  }
+}
+
+TEST(SigmoidLutTest, FastSigmoidWrapperDelegates) {
+  const SigmoidLut& lut = SigmoidLut::Get();
+  for (double x : {-9.0, -2.5, -0.3, 0.0, 0.7, 3.1, 9.0}) {
+    EXPECT_EQ(FastSigmoid(x), lut(x));
+  }
+}
+
+TEST(ExpNegLutTest, MaxAbsErrorWithinBoundInDomain) {
+  const ExpNegLut& lut = ExpNegLut::Get();
+  const double err =
+      MaxAbsErrorOverSweep(-ExpNegLut::kBound, 0.0,
+                           [&](double x) { return lut(x); }, ExpNegReference);
+  EXPECT_LT(err, kExpNegMaxAbsError);
+}
+
+TEST(ExpNegLutTest, ExactAtGridNodes) {
+  const ExpNegLut& lut = ExpNegLut::Get();
+  // k = 0 is the saturated boundary (0.0, not exp(−16) ≈ 1.1e-7); every
+  // other node — including x = 0, where exp must be exactly 1 — matches
+  // libm bitwise.
+  for (size_t k = 1; k <= ExpNegLut::kNumIntervals; ++k) {
+    const double x =
+        -ExpNegLut::kBound + static_cast<double>(k) / ExpNegLut::kInvStep;
+    EXPECT_EQ(lut(x), ExpNegReference(x)) << "node " << k << " x=" << x;
+  }
+  // The fused softmax feeds logit − max here; the max itself maps to
+  // exactly 1.0, which is what keeps the cold-start loss log(neg+1) exact.
+  EXPECT_EQ(lut(0.0), 1.0);
+}
+
+TEST(ExpNegLutTest, SaturatesExactlyAtAndBeyondBounds) {
+  const ExpNegLut& lut = ExpNegLut::Get();
+  EXPECT_EQ(lut(0.0), 1.0);
+  EXPECT_EQ(lut(1e-9), 1.0);   // domain is x <= 0; positives clamp to e^0
+  EXPECT_EQ(lut(1e12), 1.0);
+  EXPECT_EQ(lut(-ExpNegLut::kBound), 0.0);
+  EXPECT_EQ(lut(-ExpNegLut::kBound - 1e-9), 0.0);
+  EXPECT_EQ(lut(-1e12), 0.0);
+  EXPECT_EQ(lut(-std::numeric_limits<double>::infinity()), 0.0);
+}
+
+TEST(ExpNegLutTest, MonotoneNonDecreasing) {
+  const ExpNegLut& lut = ExpNegLut::Get();
+  double prev = lut(-ExpNegLut::kBound - 1.0);
+  for (double x = -ExpNegLut::kBound; x <= 1.0; x += 1.0 / 311.0) {
+    const double y = lut(x);
+    EXPECT_GE(y, prev) << "x=" << x;
+    prev = y;
+  }
+}
+
+TEST(FastMathTest, WarmFastMathTablesIsIdempotent) {
+  WarmFastMathTables();
+  const SigmoidLut* sigmoid = &SigmoidLut::Get();
+  const ExpNegLut* exp_neg = &ExpNegLut::Get();
+  WarmFastMathTables();
+  // Same process-wide instances, same values after re-warming.
+  EXPECT_EQ(sigmoid, &SigmoidLut::Get());
+  EXPECT_EQ(exp_neg, &ExpNegLut::Get());
+  EXPECT_EQ((*sigmoid)(0.5), SigmoidLut::Get()(0.5));
+}
+
+}  // namespace
+}  // namespace plp

@@ -5,6 +5,11 @@
 //     tight reassociation bound (a few ULPs per element of condition).
 //   * AxpyKernel / ScaleKernel are element-independent, so they must be
 //     *bitwise* equal to the scalar loops at every size, including tails.
+//   * The runtime-dispatched double kernels (AVX2 where the CPU has it)
+//     must be *bitwise* equal to the portable scalar spec at every size —
+//     including the dot reduction, whose 16-lane accumulation tree is
+//     defined to be reproducible by both bodies. This is what keeps golden
+//     CRC pins machine-independent.
 //   * The span-level Dot / L2Norm wrappers delegate to the kernels
 //     exactly (bitwise).
 
@@ -21,9 +26,12 @@
 namespace plp {
 namespace {
 
-// Sizes straddling the 4-wide unroll: empty, sub-width, exact multiples,
-// and every tail length, plus larger odd sizes.
-const size_t kSizes[] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 15, 16, 50, 257, 1000};
+// Sizes straddling the unroll widths (4-wide element-wise, 16-wide dot):
+// empty, sub-width, exact multiples, every interesting tail length, plus
+// larger odd sizes.
+const size_t kSizes[] = {0,  1,  2,  3,  4,  5,   6,   7,   8,
+                         15, 16, 17, 31, 32, 33,  47,  48,  50,
+                         63, 64, 65, 96, 257, 1000};
 
 std::vector<double> RandomVector(Rng& rng, size_t n, double lo, double hi) {
   std::vector<double> v(n);
@@ -109,6 +117,101 @@ TEST(KernelsTest, ScaleKernelBitwiseEqualsScalarLoop) {
   }
 }
 
+TEST(KernelsTest, SubKernelBitwiseEqualsScalarReference) {
+  Rng rng(0x5B0);
+  for (size_t n : kSizes) {
+    const std::vector<double> a = RandomVector(rng, n, -5.0, 5.0);
+    const std::vector<double> b = RandomVector(rng, n, -5.0, 5.0);
+    std::vector<double> out_kernel(n, 0.0);
+    std::vector<double> out_reference(n, 0.0);
+    SubKernel(a.data(), b.data(), out_kernel.data(), n);
+    SubReference(a.data(), b.data(), out_reference.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out_kernel[i], out_reference[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelsTest, SubKernelAllowsOutAliasingA) {
+  // Element-independent: each slot is read before it is written, so callers
+  // may compute a -= b in place by passing out == a.
+  Rng rng(0x5B1);
+  for (size_t n : kSizes) {
+    std::vector<double> a = RandomVector(rng, n, -5.0, 5.0);
+    const std::vector<double> a_copy = a;
+    const std::vector<double> b = RandomVector(rng, n, -5.0, 5.0);
+    SubKernel(a.data(), b.data(), a.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(a[i], a_copy[i] - b[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelsTest, DispatchedKernelsBitwiseMatchPortableSpec) {
+  // On AVX2 hardware the dispatched double kernels run the vector bodies;
+  // this pins them bitwise against the portable scalar spec over every
+  // size (main loop + every tail shape). On CPUs without AVX2 the
+  // dispatched kernel IS the portable one and the test is trivially
+  // green — either way, the two can never disagree, which is what makes
+  // golden pins machine-independent.
+  Rng rng(0xA5D);
+  for (size_t n : kSizes) {
+    const std::vector<double> a = RandomVector(rng, n, -3.0, 3.0);
+    const std::vector<double> b = RandomVector(rng, n, -3.0, 3.0);
+    const double alpha = rng.Uniform(-2.0, 2.0);
+
+    EXPECT_EQ(DotKernel(a.data(), b.data(), n),
+              DotKernelPortable(a.data(), b.data(), n))
+        << "n=" << n;
+
+    std::vector<double> y_dispatch = RandomVector(rng, n, -1.0, 1.0);
+    std::vector<double> y_portable = y_dispatch;
+    AxpyKernel(alpha, a.data(), y_dispatch.data(), n);
+    AxpyKernelPortable(alpha, a.data(), y_portable.data(), n);
+
+    std::vector<double> x_dispatch = a;
+    std::vector<double> x_portable = a;
+    ScaleKernel(alpha, x_dispatch.data(), n);
+    ScaleKernelPortable(alpha, x_portable.data(), n);
+
+    std::vector<double> d_dispatch(n, 0.0), d_portable(n, 0.0);
+    SubKernel(a.data(), b.data(), d_dispatch.data(), n);
+    SubKernelPortable(a.data(), b.data(), d_portable.data(), n);
+
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(y_dispatch[i], y_portable[i]) << "axpy n=" << n << " i=" << i;
+      EXPECT_EQ(x_dispatch[i], x_portable[i]) << "scale n=" << n << " i=" << i;
+      EXPECT_EQ(d_dispatch[i], d_portable[i]) << "sub n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelsTest, DotKernelImplementsDocumentedLaneSpec) {
+  // Independent re-derivation of the 16-lane reduction spec: lane j sums
+  // elements i ≡ j (mod 16) over the largest multiple of 16, lanes combine
+  // as u_l = (s_l + s_{l+4}) + (s_{l+8} + s_{l+12}), and the result is
+  // ((u0+u1) + (u2+u3)) + tail. Bitwise — this is the contract the golden
+  // CRCs are pinned against.
+  Rng rng(0x1A7E);
+  for (size_t n : kSizes) {
+    const std::vector<double> a = RandomVector(rng, n, -2.0, 2.0);
+    const std::vector<double> b = RandomVector(rng, n, -2.0, 2.0);
+    double s[16] = {0.0};
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+      for (size_t j = 0; j < 16; ++j) s[j] += a[i + j] * b[i + j];
+    }
+    double tail = 0.0;
+    for (; i < n; ++i) tail += a[i] * b[i];
+    double u[4];
+    for (size_t l = 0; l < 4; ++l) {
+      u[l] = (s[l] + s[l + 4]) + (s[l + 8] + s[l + 12]);
+    }
+    const double expected = ((u[0] + u[1]) + (u[2] + u[3])) + tail;
+    EXPECT_EQ(DotKernel(a.data(), b.data(), n), expected) << "n=" << n;
+  }
+}
+
 TEST(KernelsTest, SpanWrappersDelegateToKernelsBitwise) {
   Rng rng(0x3A9);
   const std::vector<double> a = RandomVector(rng, 129, -2.0, 2.0);
@@ -122,6 +225,7 @@ TEST(KernelsTest, KernelsHandleEmptyInput) {
   EXPECT_EQ(SumSquaresKernel<double>(nullptr, 0), 0.0);
   AxpyKernel<double>(2.0, nullptr, nullptr, 0);  // must not dereference
   ScaleKernel<double>(2.0, nullptr, 0);
+  SubKernel<double>(nullptr, nullptr, nullptr, 0);
 }
 
 }  // namespace

@@ -22,15 +22,30 @@ namespace plp::golden {
 
 inline constexpr uint64_t kGoldenSeed = 1234;
 
+/// Version of the training stack's *numerics* the pins were generated
+/// under. Bump this (and regenerate the pins) whenever an intentional
+/// change alters the bit-exact training trajectory — e.g. a different
+/// transcendental approximation or reduction order. plp_golden_gen stamps
+/// the value into golden_pins.h, and the golden suite fails loudly when
+/// the stamp disagrees: that means the pins predate the current numerics.
+///
+/// History: 1 = libm exp/LogSumExp softmax path (PR 5 and earlier);
+/// 2 = fused max-shifted softmax over the bounded exp/sigmoid LUTs.
+inline constexpr int kGoldenNumericsVersion = 2;
+
 /// CRC-64/XZ over the raw bytes of the three tensors in tensor order —
-/// the "model fingerprint" every pin stores.
+/// the "model fingerprint" every pin stores. Tensors are walked row-wise
+/// over the logical dims, so the fingerprint is independent of the
+/// in-memory row padding.
 inline uint64_t ModelCrc64(const sgns::SgnsModel& model) {
   std::string bytes;
-  for (int t = 0; t < sgns::kNumTensors; ++t) {
-    const auto data = model.TensorData(static_cast<sgns::Tensor>(t));
-    bytes.append(reinterpret_cast<const char*>(data.data()),
-                 data.size() * sizeof(double));
-  }
+  auto append = [&bytes](std::span<const double> values) {
+    bytes.append(reinterpret_cast<const char*>(values.data()),
+                 values.size() * sizeof(double));
+  };
+  for (int32_t l = 0; l < model.num_locations(); ++l) append(model.InRow(l));
+  for (int32_t l = 0; l < model.num_locations(); ++l) append(model.OutRow(l));
+  append(model.TensorData(sgns::Tensor::kBias));
   return Crc64(bytes);
 }
 

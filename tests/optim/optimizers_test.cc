@@ -79,10 +79,11 @@ TEST(DpAdamTest, MovesInUpdateDirection) {
   update.TensorData(Tensor::kWOut)[6] = -0.3;
   DpAdamServerOptimizer opt;
   opt.ApplyUpdate(update, model);
-  EXPECT_GT(model.TensorData(Tensor::kWOut)[5],
-            before.TensorData(Tensor::kWOut)[5]);
-  EXPECT_LT(model.TensorData(Tensor::kWOut)[6],
-            before.TensorData(Tensor::kWOut)[6]);
+  // Update flat indices 5 and 6 are row1[2] and row2[0] at dim 3; read the
+  // model through the row accessors — its storage span is padded, so the
+  // same flat index would land in the inter-row padding there.
+  EXPECT_GT(model.OutRow(1)[2], before.OutRow(1)[2]);
+  EXPECT_LT(model.OutRow(2)[0], before.OutRow(2)[0]);
 }
 
 TEST(DpAdamTest, MomentumPersistsAcrossSteps) {

@@ -140,7 +140,9 @@ TEST(PldAccountantTest, SaveRestoreRoundTripsBitIdentically) {
 
 TEST(PldAccountantTest, RejectsForeignAndTruncatedBlobs) {
   {
-    ByteReader reader(std::string("nonsense-bytes"));
+    // The blob must outlive the reader (ByteReader is a view).
+    const std::string blob("nonsense-bytes");
+    ByteReader reader(blob);
     EXPECT_FALSE(PldAccountant::Restore(reader).ok());
   }
   {
@@ -149,7 +151,8 @@ TEST(PldAccountantTest, RejectsForeignAndTruncatedBlobs) {
     ASSERT_TRUE(ledger.TrackStep(0.1, 1.5).ok());
     ByteWriter writer;
     ledger.SaveState(writer);
-    ByteReader reader(writer.Take());
+    const std::string blob = writer.Take();
+    ByteReader reader(blob);
     EXPECT_FALSE(PldAccountant::Restore(reader).ok());
   }
   {

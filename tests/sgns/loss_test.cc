@@ -27,8 +27,8 @@ SgnsModel MakeWarmModel(uint64_t seed) {
   SgnsConfig config = TestConfig(LossKind::kSampledSoftmax);
   auto model = SgnsModel::Create(kLocations, config, rng);
   EXPECT_TRUE(model.ok());
-  for (double& v : model->MutableTensorData(Tensor::kWOut)) {
-    v = rng.Uniform(-0.3, 0.3);
+  for (int32_t l = 0; l < kLocations; ++l) {  // row-wise: padding stays 0.0
+    for (double& v : model->MutableOutRow(l)) v = rng.Uniform(-0.3, 0.3);
   }
   for (double& v : model->MutableTensorData(Tensor::kBias)) {
     v = rng.Uniform(-0.1, 0.1);
@@ -36,12 +36,17 @@ SgnsModel MakeWarmModel(uint64_t seed) {
   return std::move(model).value();
 }
 
+/// Finite-difference probe. Uses ExactLossMath: the production FastLossMath
+/// tables are piecewise-linear, so the FD slope of the *computed* loss
+/// differs from the analytic gradient by O(table step) — far above the
+/// 1e-4 tolerance below. The LUT-vs-exact error is bounded separately in
+/// tests/common/math_util LUT accuracy tests.
 double EvalLoss(const SgnsModel& model, std::span<const Pair> batch,
                 const SgnsConfig& config, uint64_t rng_seed) {
   Rng rng(rng_seed);
   SparseDelta scratch(config.embedding_dim);
-  return AccumulateBatchGradient(model, batch, config, kLocations, rng,
-                                 scratch)
+  return AccumulateBatchGradient<SgnsModel, ExactLossMath>(
+             model, batch, config, kLocations, rng, scratch)
       .loss_sum;
 }
 
@@ -55,7 +60,7 @@ TEST_P(LossGradientTest, MatchesFiniteDifferences) {
 
   Rng grad_rng(kSeed);
   SparseDelta gradient(kDim);
-  const BatchStats stats = AccumulateBatchGradient(
+  const BatchStats stats = AccumulateBatchGradient<SgnsModel, ExactLossMath>(
       model, batch, config, kLocations, grad_rng, gradient);
   EXPECT_EQ(stats.num_pairs, 3);
 
@@ -64,13 +69,18 @@ TEST_P(LossGradientTest, MatchesFiniteDifferences) {
   auto check_entry = [&](Tensor tensor, int32_t row, int32_t d,
                          double analytic) {
     SgnsModel perturbed = model;
-    std::span<double> data = perturbed.MutableTensorData(tensor);
-    const size_t flat = tensor == Tensor::kBias
-                            ? static_cast<size_t>(row)
-                            : static_cast<size_t>(row) * kDim + d;
-    data[flat] += kH;
+    // Perturb through the row accessors: with padded row storage a flat
+    // row*dim+d index would land on the wrong (or padding) element.
+    double& entry = tensor == Tensor::kBias
+                        ? perturbed.MutableTensorData(Tensor::kBias)[
+                              static_cast<size_t>(row)]
+                        : (tensor == Tensor::kWIn
+                               ? perturbed.MutableInRow(row)
+                               : perturbed.MutableOutRow(row))[
+                              static_cast<size_t>(d)];
+    entry += kH;
     const double up = EvalLoss(perturbed, batch, config, kSeed);
-    data[flat] -= 2 * kH;
+    entry -= 2 * kH;
     const double down = EvalLoss(perturbed, batch, config, kSeed);
     const double numeric = (up - down) / (2 * kH);
     EXPECT_NEAR(analytic, numeric, 1e-4)
@@ -169,7 +179,9 @@ TEST(LossTest, NegativesExcludeTrueContext) {
   Rng rng(3);
   auto model = SgnsModel::Create(2, config, rng);
   ASSERT_TRUE(model.ok());
-  for (double& v : model->MutableTensorData(Tensor::kWOut)) v = 0.1;
+  for (int32_t l = 0; l < 2; ++l) {
+    for (double& v : model->MutableOutRow(l)) v = 0.1;
+  }
   const std::vector<Pair> batch = {{0, 1}};
   SparseDelta gradient(kDim);
   Rng loss_rng(5);
