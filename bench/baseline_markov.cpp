@@ -53,7 +53,7 @@ void Run(int argc, char** argv) {
       .AddCell(RandomFloorHr10(workload, 50, options.seed));
   {
     Rng rng(options.seed + 1);
-    auto markov = baselines::MarkovModel::Train(workload.corpus,
+    auto markov = baselines::MarkovModel::Train(*workload.corpus,
                                                 baselines::MarkovConfig{},
                                                 rng);
     PLP_CHECK_OK(markov.status());
@@ -67,7 +67,7 @@ void Run(int argc, char** argv) {
     config.epsilon = eps;
     Rng rng(options.seed + 1);
     auto markov =
-        baselines::MarkovModel::Train(workload.corpus, config, rng);
+        baselines::MarkovModel::Train(*workload.corpus, config, rng);
     PLP_CHECK_OK(markov.status());
     char label[64];
     std::snprintf(label, sizeof(label), "user-level eps=%.1f", eps);
@@ -81,7 +81,7 @@ void Run(int argc, char** argv) {
     config.epochs = 8;
     Rng rng(options.seed + 1);
     auto result =
-        core::NonPrivateTrainer(config).Train(workload.corpus, rng);
+        core::NonPrivateTrainer(config).Train(*workload.corpus, rng);
     PLP_CHECK_OK(result.status());
     table.NewRow()
         .AddCell("skip-gram")

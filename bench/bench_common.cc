@@ -1,11 +1,16 @@
 #include "bench/bench_common.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <utility>
 
 #include "common/check.h"
 #include "common/rng.h"
 #include "data/fixtures.h"
+#include "data/store/checkin_store.h"
+#include "data/store/mmap_corpus.h"
+#include "data/store/store_writer.h"
+#include "data/synthetic_generator.h"
 
 namespace plp::bench {
 
@@ -14,14 +19,78 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
   PLP_CHECK_OK(flags.status());
   BenchOptions options;
   options.scale = flags->GetString("scale", "small");
-  PLP_CHECK(options.scale == "small" || options.scale == "paper");
+  PLP_CHECK(options.scale == "small" || options.scale == "paper" ||
+            options.scale == "large");
   options.full = flags->GetBool("full", false);
   options.seed = static_cast<uint64_t>(flags->GetInt("seed", 42));
   options.max_steps = flags->GetInt("max_steps", 0);
+  options.corpus_dir = flags->GetString("corpus_dir", "");
+  options.users = static_cast<int32_t>(flags->GetInt("users", options.users));
+  options.locations =
+      static_cast<int32_t>(flags->GetInt("locations", options.locations));
   return options;
 }
 
+namespace {
+
+/// The large-scale workload: a PLPD corpus on disk, trained through the
+/// mmap view. The corpus is generated once per (seed, users, locations)
+/// into `corpus_dir` (or a seed-stamped temp directory) and reused on
+/// later runs — an already-opening directory is trusted as-is, so sweeps
+/// pay the generation cost once. The last 200 store users are held out:
+/// [N-200, N-100) validation, [N-100, N) test, matching the paper's
+/// 100 + 100 user-disjoint split.
+Workload BuildLargeWorkload(const BenchOptions& options) {
+  std::string dir = options.corpus_dir;
+  if (dir.empty()) {
+    dir = (std::filesystem::temp_directory_path() /
+           ("plpd-bench-" + std::to_string(options.seed) + "-" +
+            std::to_string(options.users) + "x" +
+            std::to_string(options.locations)))
+              .string();
+  }
+  auto store_or = data::store::CheckInStore::Open(dir);
+  if (!store_or.ok()) {
+    data::SyntheticConfig config;
+    config.num_users = options.users;
+    config.num_locations = options.locations;
+    config.num_clusters = 64;
+    auto writer_or = data::store::CheckInStoreWriter::Create(dir);
+    PLP_CHECK_OK(writer_or.status());
+    Rng gen_rng(options.seed);
+    PLP_CHECK_OK(
+        data::GenerateSyntheticCheckInsToStore(config, gen_rng, **writer_or));
+    PLP_CHECK_OK((*writer_or)->Finish());
+    store_or = data::store::CheckInStore::Open(dir);
+    PLP_CHECK_OK(store_or.status());
+  }
+  std::shared_ptr<const data::store::CheckInStore> store = *store_or;
+  const int32_t n = store->num_users();
+  PLP_CHECK_GT(n, 400);
+
+  Workload workload;
+  workload.corpus =
+      std::make_shared<data::store::MmapCorpus>(store, 0, n - 200);
+  auto holdout_examples = [&store](int32_t begin, int32_t end) {
+    std::vector<eval::EvalExample> examples;
+    for (int32_t u = begin; u < end; ++u) {
+      const auto span = store->User(u);
+      eval::AppendLeaveOneOutExamples(span.locations, span.timestamps,
+                                      examples);
+    }
+    return examples;
+  };
+  workload.validation = holdout_examples(n - 200, n - 100);
+  workload.test = holdout_examples(n - 100, n);
+  PLP_CHECK(!workload.validation.empty());
+  PLP_CHECK(!workload.test.empty());
+  return workload;
+}
+
+}  // namespace
+
 Workload BuildWorkload(const BenchOptions& options) {
+  if (options.scale == "large") return BuildLargeWorkload(options);
   // The corpus fixture is shared with the test suite (data/fixtures.h) so
   // every consumer of a given (seed, scale) sees the same dataset. The
   // holdout split below keeps drawing from a generator seeded identically.
@@ -40,7 +109,8 @@ Workload BuildWorkload(const BenchOptions& options) {
   workload.train = std::move(test_split->first);
   auto corpus = data::BuildCorpus(workload.train);
   PLP_CHECK_OK(corpus.status());
-  workload.corpus = std::move(corpus).value();
+  workload.corpus =
+      std::make_shared<data::TrainingCorpus>(std::move(corpus).value());
   workload.validation =
       eval::BuildLeaveOneOutExamples(validation_split->second);
   workload.test = eval::BuildLeaveOneOutExamples(test_split->second);
@@ -109,7 +179,7 @@ RunOutcome RunAndEvaluate(const StageConfig& config, const Workload& workload,
         return true;
       };
     }
-    auto result = core::PlpTrainer(config.plp).Train(workload.corpus, rng,
+    auto result = core::PlpTrainer(config.plp).Train(*workload.corpus, rng,
                                                      callback);
     PLP_CHECK_OK(result.status());
     outcome.steps = result->steps_executed;
@@ -139,7 +209,7 @@ RunOutcome RunAndEvaluate(const StageConfig& config, const Workload& workload,
       };
     }
     auto result = core::NonPrivateTrainer(config.nonprivate)
-                      .Train(workload.corpus, rng, callback);
+                      .Train(*workload.corpus, rng, callback);
     PLP_CHECK_OK(result.status());
     outcome.steps = static_cast<int64_t>(result->history.size());
     outcome.wall_seconds = result->wall_seconds;
@@ -167,7 +237,7 @@ double RandomFloorHr10(const Workload& workload, int32_t embedding_dim,
   sgns::SgnsConfig config;
   config.embedding_dim = embedding_dim;
   auto model =
-      sgns::SgnsModel::Create(workload.corpus.num_locations, config, rng);
+      sgns::SgnsModel::Create(workload.corpus->NumLocations(), config, rng);
   PLP_CHECK_OK(model.status());
   return EvalHr(*model, workload.validation, 10);
 }
@@ -187,8 +257,8 @@ void PrintBanner(const std::string& figure, const BenchOptions& options,
   std::printf(
       "workload: %d train users, %d locations, %lld check-ins; "
       "%zu validation / %zu test trajectories\n\n",
-      workload.train.num_users(), workload.train.num_locations(),
-      static_cast<long long>(workload.train.num_checkins()),
+      workload.corpus->NumUsers(), workload.corpus->NumLocations(),
+      static_cast<long long>(workload.corpus->NumTokens()),
       workload.validation.size(), workload.test.size());
 }
 

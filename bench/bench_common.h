@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,26 +21,42 @@ namespace plp::bench {
 /// --scale=small (default) runs a down-scaled synthetic city (~2.3k users,
 /// 600 POIs) whose sweeps finish in minutes on one core; --scale=paper
 /// clones the paper's dataset dimensions (4602 users, 5069 POIs, ~740k
-/// check-ins) and hours-long budgets. --full widens the parameter grids to
-/// the paper's complete figure grids; --seed controls all randomness;
-/// --max_steps caps every training run (steps when private, epochs when
-/// not) so CI can smoke each bench in seconds without a forked code path.
+/// check-ins) and hours-long budgets; --scale=large streams a synthetic
+/// corpus to an on-disk PLPD store (--users/--locations, default 100k ×
+/// 20k) and trains through the mmap-backed view, so the working set never
+/// includes the whole corpus. --corpus_dir pins where the large corpus
+/// lives (a pre-generated directory is reused; default is a
+/// seed-stamped directory under the system temp dir). --full widens the
+/// parameter grids to the paper's complete figure grids; --seed controls
+/// all randomness; --max_steps caps every training run (steps when
+/// private, epochs when not) so CI can smoke each bench in seconds
+/// without a forked code path.
 struct BenchOptions {
   std::string scale = "small";
   bool full = false;
   uint64_t seed = 42;
   int64_t max_steps = 0;  ///< 0 = the bench's own budget/epoch bounds
+
+  // --scale=large knobs.
+  std::string corpus_dir;       ///< empty = seed-stamped temp directory
+  int32_t users = 100000;       ///< generated users at large scale
+  int32_t locations = 20000;    ///< configured POIs at large scale
 };
 
 /// Parses the shared flags; aborts on an unknown scale.
 BenchOptions ParseBenchOptions(int argc, char** argv);
 
-/// The evaluation workload every figure uses: a filtered training set plus
+/// The evaluation workload every figure uses: a training corpus plus
 /// user-disjoint validation and test users (100 each, as in Section 5.1),
 /// with leave-one-out examples prepared.
+///
+/// `corpus` is the polymorphic handle every bench trains through: the
+/// in-RAM TrainingCorpus at small/paper scale, a zero-copy
+/// store::MmapCorpus over the on-disk PLPD directory at large scale (the
+/// last 200 store users are held out for evaluation there).
 struct Workload {
-  data::CheckInDataset train;
-  data::TrainingCorpus corpus;
+  data::CheckInDataset train;  ///< empty at --scale=large
+  std::shared_ptr<const data::CorpusView> corpus;
   std::vector<eval::EvalExample> validation;
   std::vector<eval::EvalExample> test;
 };

@@ -19,13 +19,13 @@ double SampleLaplace(Rng& rng, double scale) {
 
 }  // namespace
 
-Result<MarkovModel> MarkovModel::Train(const data::TrainingCorpus& corpus,
+Result<MarkovModel> MarkovModel::Train(const data::CorpusView& corpus,
                                        const MarkovConfig& config,
                                        Rng& rng) {
-  if (corpus.num_locations <= 0 || corpus.num_users() == 0) {
+  if (corpus.NumLocations() <= 0 || corpus.NumUsers() == 0) {
     return InvalidArgumentError("empty corpus");
   }
-  if (corpus.num_locations > kMaxLocations) {
+  if (corpus.NumLocations() > kMaxLocations) {
     return InvalidArgumentError(
         "Markov baseline materializes an LxL matrix; vocabulary too large");
   }
@@ -40,13 +40,16 @@ Result<MarkovModel> MarkovModel::Train(const data::TrainingCorpus& corpus,
   }
 
   MarkovModel model;
-  model.num_locations_ = corpus.num_locations;
+  model.num_locations_ = corpus.NumLocations();
   model.smoothing_ = config.popularity_smoothing;
-  const size_t locations = static_cast<size_t>(corpus.num_locations);
+  const size_t locations = static_cast<size_t>(corpus.NumLocations());
   model.transition_.assign(locations * locations, 0.0);
   model.popularity_.assign(locations, 0.0);
 
-  for (const auto& sentences : corpus.user_sentences) {
+  std::vector<std::span<const int32_t>> sentences;
+  for (int32_t u = 0; u < corpus.NumUsers(); ++u) {
+    sentences.clear();
+    corpus.AppendUserSentences(u, sentences);
     // User-level contribution bound: count increments stop once the cap is
     // hit, so a user changes the aggregate by at most the cap (in L1).
     int64_t budget = config.epsilon > 0.0

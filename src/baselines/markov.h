@@ -43,7 +43,7 @@ class MarkovModel {
  public:
   /// Trains on the corpus under `config`. Noise (if any) is drawn from
   /// `rng`, so runs are reproducible.
-  static Result<MarkovModel> Train(const data::TrainingCorpus& corpus,
+  static Result<MarkovModel> Train(const data::CorpusView& corpus,
                                    const MarkovConfig& config, Rng& rng);
 
   int32_t num_locations() const { return num_locations_; }

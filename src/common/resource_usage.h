@@ -1,0 +1,17 @@
+#ifndef PLP_COMMON_RESOURCE_USAGE_H_
+#define PLP_COMMON_RESOURCE_USAGE_H_
+
+#include <cstdint>
+
+namespace plp {
+
+/// Peak resident set size of this process in bytes (getrusage ru_maxrss),
+/// or 0 where unavailable. The scale-smoke CI job and the tools' optional
+/// --rss_cap_mb flag use this to catch accidental full-corpus
+/// materialization: an mmap-backed training run over a million users must
+/// stay bounded regardless of corpus size.
+int64_t PeakRssBytes();
+
+}  // namespace plp
+
+#endif  // PLP_COMMON_RESOURCE_USAGE_H_

@@ -126,12 +126,19 @@ const std::array<uint64_t, 256>& Crc64Table() {
 }  // namespace
 
 uint64_t Crc64(std::string_view data) {
-  const auto& table = Crc64Table();
-  uint64_t crc = ~uint64_t{0};
-  for (const char c : data) {
-    crc = table[(crc ^ static_cast<uint8_t>(c)) & 0xFF] ^ (crc >> 8);
-  }
-  return ~crc;
+  return Crc64Finish(Crc64Update(Crc64Init(), data));
 }
+
+uint64_t Crc64Init() { return ~uint64_t{0}; }
+
+uint64_t Crc64Update(uint64_t state, std::string_view chunk) {
+  const auto& table = Crc64Table();
+  for (const char c : chunk) {
+    state = table[(state ^ static_cast<uint8_t>(c)) & 0xFF] ^ (state >> 8);
+  }
+  return state;
+}
+
+uint64_t Crc64Finish(uint64_t state) { return ~state; }
 
 }  // namespace plp

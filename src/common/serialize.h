@@ -88,6 +88,14 @@ class ByteReader {
 /// any field is parsed.
 uint64_t Crc64(std::string_view data);
 
+/// Streaming form of Crc64 for data that never lives in one buffer (the
+/// on-disk corpus writer checksums shards as it appends). Start from
+/// Crc64Init(), fold in chunks with Crc64Update, finish with
+/// Crc64Finish; Crc64Finish(Crc64Update(Crc64Init(), data)) == Crc64(data).
+uint64_t Crc64Init();
+uint64_t Crc64Update(uint64_t state, std::string_view chunk);
+uint64_t Crc64Finish(uint64_t state);
+
 }  // namespace plp
 
 #endif  // PLP_COMMON_SERIALIZE_H_

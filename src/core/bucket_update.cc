@@ -17,7 +17,8 @@ namespace {
 template <typename Model>
 sgns::BatchStats TrainLocally(Model& phi, const Bucket& bucket,
                               const PlpConfig& config, int32_t num_locations,
-                              Rng& rng, sgns::TrainScratch* scratch) {
+                              Rng& rng, sgns::TrainScratch* scratch,
+                              const sgns::UnigramTable* negative_table) {
   std::vector<sgns::Pair> local_pairs;
   std::vector<int32_t> local_flat;
   std::vector<sgns::Pair>& pairs =
@@ -29,7 +30,8 @@ sgns::BatchStats TrainLocally(Model& phi, const Bucket& bucket,
     // DP-SGD baseline: Φ = θ_t − η · ∇J(θ_t) over all of the bucket's
     // pairs at once — a single clipped gradient, no local optimization.
     return sgns::ApplySgdBatch(phi, pairs, config.sgns, num_locations,
-                               config.local_learning_rate, rng, scratch);
+                               config.local_learning_rate, rng, scratch,
+                               negative_table);
   }
   sgns::BatchStats total;
   const size_t batch_size = static_cast<size_t>(config.batch_size);
@@ -40,7 +42,8 @@ sgns::BatchStats TrainLocally(Model& phi, const Bucket& bucket,
       const std::span<const sgns::Pair> batch(pairs.data() + start, len);
       const sgns::BatchStats stats =
           sgns::ApplySgdBatch(phi, batch, config.sgns, num_locations,
-                              config.local_learning_rate, rng, scratch);
+                              config.local_learning_rate, rng, scratch,
+                              negative_table);
       total.loss_sum += stats.loss_sum;
       total.num_pairs += stats.num_pairs;
     }
@@ -98,12 +101,14 @@ void ComputeRawBucketDeltaInto(const sgns::SgnsModel& theta,
                                const Bucket& bucket, const PlpConfig& config,
                                int32_t num_locations, Rng& rng,
                                double* loss_out, sgns::TrainScratch* scratch,
-                               sgns::SparseDelta& delta) {
+                               sgns::SparseDelta& delta,
+                               const sgns::UnigramTable* negative_table) {
   sgns::BatchStats stats;
   if (config.dense_local_copy) {
     // Paper-faithful cost model: full Φ ← θ_t copy and dense diff.
     sgns::SgnsModel phi = theta;
-    stats = TrainLocally(phi, bucket, config, num_locations, rng, scratch);
+    stats = TrainLocally(phi, bucket, config, num_locations, rng, scratch,
+                         negative_table);
     delta = sgns::DiffModels(phi, theta);
   } else if (scratch != nullptr) {
     // The overlay reuses the scratch's row stores across buckets: Reset()
@@ -115,11 +120,13 @@ void ComputeRawBucketDeltaInto(const sgns::SgnsModel& theta,
       scratch->overlay.emplace(theta);
     }
     sgns::LocalModel& phi = *scratch->overlay;
-    stats = TrainLocally(phi, bucket, config, num_locations, rng, scratch);
+    stats = TrainLocally(phi, bucket, config, num_locations, rng, scratch,
+                         negative_table);
     phi.ExtractDeltaInto(delta);
   } else {
     sgns::LocalModel phi(theta);
-    stats = TrainLocally(phi, bucket, config, num_locations, rng, scratch);
+    stats = TrainLocally(phi, bucket, config, num_locations, rng, scratch,
+                         negative_table);
     phi.ExtractDeltaInto(delta);
   }
   if (loss_out != nullptr) {

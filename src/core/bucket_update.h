@@ -8,6 +8,7 @@
 #include "core/config.h"
 #include "core/grouping.h"
 #include "sgns/model.h"
+#include "sgns/negative_sampler.h"
 #include "sgns/pairs.h"
 #include "sgns/sparse_delta.h"
 #include "sgns/train_scratch.h"
@@ -48,11 +49,15 @@ sgns::SparseDelta ComputeRawBucketDelta(const sgns::SgnsModel& theta,
 /// both reuse capacity grown on earlier buckets, so steady-state bucket
 /// fan-out performs no allocation. Results are bitwise identical to the
 /// by-value overload.
+/// `negative_table` selects unigram negative sampling for the local SGD
+/// (null → uniform, byte-identical to the pre-option behavior).
 void ComputeRawBucketDeltaInto(const sgns::SgnsModel& theta,
                                const Bucket& bucket, const PlpConfig& config,
                                int32_t num_locations, Rng& rng,
                                double* loss_out, sgns::TrainScratch* scratch,
-                               sgns::SparseDelta& delta);
+                               sgns::SparseDelta& delta,
+                               const sgns::UnigramTable* negative_table =
+                                   nullptr);
 
 /// ModelUpdateFromBucket (Algorithm 1 lines 15–22): local SGD over the
 /// bucket's batches starting from θ_t, then the clipped model delta

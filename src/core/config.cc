@@ -28,6 +28,7 @@ Status PlpConfig::Validate() const {
   require(sgns.embedding_dim > 0, "embedding_dim must be > 0");
   require(sgns.window > 0, "window must be > 0");
   require(sgns.negatives > 0, "negatives must be > 0");
+  require(sgns.unigram_power >= 0.0, "unigram_power must be >= 0");
   require(sampling_probability > 0.0 && sampling_probability <= 1.0,
           "sampling_probability must be in (0, 1]");
   require(grouping_factor >= 1, "grouping_factor must be >= 1");

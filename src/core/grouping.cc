@@ -1,6 +1,7 @@
 #include "core/grouping.h"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -28,17 +29,32 @@ namespace {
 
 /// Flattens one user's sentences into a single token stream (used by the
 /// ω-split path, which cuts the stream into contiguous parts).
-std::vector<int32_t> FlattenUser(const data::TrainingCorpus& corpus,
+std::vector<int32_t> FlattenUser(const data::CorpusView& corpus,
                                  int32_t user) {
   std::vector<int32_t> tokens;
-  for (const auto& s : corpus.user_sentences[user]) {
+  std::vector<std::span<const int32_t>> sentences;
+  corpus.AppendUserSentences(user, sentences);
+  for (const auto& s : sentences) {
     tokens.insert(tokens.end(), s.begin(), s.end());
   }
   return tokens;
 }
 
+/// Copies one user's sentences into a bucket. Buckets own their tokens:
+/// the per-step copy is bounded by the Poisson sample (qN users), never
+/// the corpus, and keeps Bucket bytes — and therefore content-keyed
+/// bucket seeds — identical across corpus representations.
+void AppendUserToBucket(const data::CorpusView& corpus, int32_t user,
+                        Bucket& bucket) {
+  std::vector<std::span<const int32_t>> sentences;
+  corpus.AppendUserSentences(user, sentences);
+  for (const auto& s : sentences) {
+    bucket.sentences.emplace_back(s.begin(), s.end());
+  }
+}
+
 std::vector<Bucket> BuildRandomBuckets(
-    const data::TrainingCorpus& corpus,
+    const data::CorpusView& corpus,
     std::vector<int32_t> sampled_users, int32_t lambda, Rng& rng) {
   rng.Shuffle(sampled_users);
   std::vector<Bucket> buckets;
@@ -50,9 +66,7 @@ std::vector<Bucket> BuildRandomBuckets(
     for (size_t i = start; i < end; ++i) {
       const int32_t u = sampled_users[i];
       bucket.users.push_back(u);
-      for (const auto& s : corpus.user_sentences[u]) {
-        bucket.sentences.push_back(s);
-      }
+      AppendUserToBucket(corpus, u, bucket);
     }
     buckets.push_back(std::move(bucket));
   }
@@ -60,7 +74,7 @@ std::vector<Bucket> BuildRandomBuckets(
 }
 
 std::vector<Bucket> BuildEqualFrequencyBuckets(
-    const data::TrainingCorpus& corpus,
+    const data::CorpusView& corpus,
     std::vector<int32_t> sampled_users, int32_t lambda) {
   const size_t n = sampled_users.size();
   const size_t num_buckets =
@@ -70,11 +84,7 @@ std::vector<Bucket> BuildEqualFrequencyBuckets(
   // so "the data records of each user are not split into multiple buckets").
   std::vector<int64_t> user_tokens(n);
   for (size_t i = 0; i < n; ++i) {
-    int64_t total = 0;
-    for (const auto& s : corpus.user_sentences[sampled_users[i]]) {
-      total += static_cast<int64_t>(s.size());
-    }
-    user_tokens[i] = total;
+    user_tokens[i] = corpus.UserTokenCount(sampled_users[i]);
   }
   std::vector<size_t> order(n);
   for (size_t i = 0; i < n; ++i) order[i] = i;
@@ -93,15 +103,13 @@ std::vector<Bucket> BuildEqualFrequencyBuckets(
     PLP_CHECK_LT(best, num_buckets);
     const int32_t u = sampled_users[idx];
     buckets[best].users.push_back(u);
-    for (const auto& s : corpus.user_sentences[u]) {
-      buckets[best].sentences.push_back(s);
-    }
+    AppendUserToBucket(corpus, u, buckets[best]);
     load[best] += user_tokens[idx];
   }
   return buckets;
 }
 
-std::vector<Bucket> BuildSplitBuckets(const data::TrainingCorpus& corpus,
+std::vector<Bucket> BuildSplitBuckets(const data::CorpusView& corpus,
                                       const std::vector<int32_t>& sampled,
                                       const PlpConfig& config, Rng& rng) {
   // ω > 1: cut each user's flattened stream into ω contiguous parts and
@@ -144,11 +152,11 @@ std::vector<Bucket> BuildSplitBuckets(const data::TrainingCorpus& corpus,
 
 }  // namespace
 
-std::vector<Bucket> BuildBuckets(const data::TrainingCorpus& corpus,
+std::vector<Bucket> BuildBuckets(const data::CorpusView& corpus,
                                  const std::vector<int32_t>& sampled_users,
                                  const PlpConfig& config, Rng& rng) {
   for (int32_t u : sampled_users) {
-    PLP_CHECK(u >= 0 && u < corpus.num_users());
+    PLP_CHECK(u >= 0 && u < corpus.NumUsers());
   }
   if (sampled_users.empty()) return {};
   if (config.split_factor > 1) {

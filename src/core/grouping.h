@@ -37,7 +37,7 @@ std::vector<int32_t> PoissonSampleUsers(int32_t num_users, double q,
 /// With config.split_factor ω > 1, each user's token stream is cut into ω
 /// contiguous parts which are assigned to ω *distinct* buckets (Section 4.2
 /// Case 2; the trainer must then scale noise by ω).
-std::vector<Bucket> BuildBuckets(const data::TrainingCorpus& corpus,
+std::vector<Bucket> BuildBuckets(const data::CorpusView& corpus,
                                  const std::vector<int32_t>& sampled_users,
                                  const PlpConfig& config, Rng& rng);
 

@@ -27,7 +27,7 @@ Status NonPrivateConfig::Validate() const {
 }
 
 Result<NonPrivateResult> NonPrivateTrainer::Train(
-    const data::TrainingCorpus& corpus, Rng& rng,
+    const data::CorpusView& corpus, Rng& rng,
     const EpochCallback& callback,
     const ckpt::CheckpointOptions& checkpoint) const {
   PLP_RETURN_IF_ERROR(config_.Validate());

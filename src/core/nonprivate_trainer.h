@@ -68,7 +68,7 @@ class NonPrivateTrainer {
   /// RNG position at its start and a resumed run finishes bit-identically
   /// to an uninterrupted one.
   Result<NonPrivateResult> Train(
-      const data::TrainingCorpus& corpus, Rng& rng,
+      const data::CorpusView& corpus, Rng& rng,
       const EpochCallback& callback = nullptr,
       const ckpt::CheckpointOptions& checkpoint = {}) const;
 

@@ -6,7 +6,7 @@
 namespace plp::core {
 
 Result<TrainResult> PlpTrainer::Train(
-    const data::TrainingCorpus& corpus, Rng& rng, const StepCallback& callback,
+    const data::CorpusView& corpus, Rng& rng, const StepCallback& callback,
     const ckpt::CheckpointOptions& checkpoint) const {
   PLP_RETURN_IF_ERROR(config_.Validate());
   // Algorithm 1 as a stage configuration of the shared engine: Poisson

@@ -95,7 +95,7 @@ class PlpTrainer {
   /// at any thread count; replayed steps are the same mechanism draws, not
   /// a second privacy spend.
   Result<TrainResult> Train(
-      const data::TrainingCorpus& corpus, Rng& rng,
+      const data::CorpusView& corpus, Rng& rng,
       const StepCallback& callback = nullptr,
       const ckpt::CheckpointOptions& checkpoint = {}) const;
 
@@ -115,7 +115,7 @@ class DpSgdTrainer {
   const PlpConfig& config() const { return trainer_.config(); }
 
   Result<TrainResult> Train(
-      const data::TrainingCorpus& corpus, Rng& rng,
+      const data::CorpusView& corpus, Rng& rng,
       const StepCallback& callback = nullptr,
       const ckpt::CheckpointOptions& checkpoint = {}) const {
     return trainer_.Train(corpus, rng, callback, checkpoint);

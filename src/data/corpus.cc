@@ -1,11 +1,32 @@
 #include "data/corpus.h"
 
+#include <algorithm>
+
+#include "common/check.h"
+
 namespace plp::data {
 
 int64_t TrainingCorpus::num_tokens() const {
   int64_t total = 0;
   for (const auto& sentences : user_sentences) {
     for (const auto& s : sentences) total += static_cast<int64_t>(s.size());
+  }
+  return total;
+}
+
+void TrainingCorpus::AppendUserSentences(
+    int32_t user, std::vector<std::span<const int32_t>>& out) const {
+  PLP_CHECK(user >= 0 && user < num_users());
+  for (const auto& s : user_sentences[static_cast<size_t>(user)]) {
+    out.emplace_back(s);
+  }
+}
+
+int64_t TrainingCorpus::UserTokenCount(int32_t user) const {
+  PLP_CHECK(user >= 0 && user < num_users());
+  int64_t total = 0;
+  for (const auto& s : user_sentences[static_cast<size_t>(user)]) {
+    total += static_cast<int64_t>(s.size());
   }
   return total;
 }
@@ -32,6 +53,27 @@ Result<TrainingCorpus> BuildCorpus(const CheckInDataset& dataset,
     }
   }
   return corpus;
+}
+
+std::vector<int64_t> CountTokenFrequencies(const CorpusView& corpus) {
+  const std::span<const int64_t> persisted = corpus.TokenFrequencies();
+  if (!persisted.empty()) {
+    return std::vector<int64_t>(persisted.begin(), persisted.end());
+  }
+  std::vector<int64_t> counts(
+      static_cast<size_t>(std::max<int32_t>(corpus.NumLocations(), 0)), 0);
+  std::vector<std::span<const int32_t>> sentences;
+  for (int32_t u = 0; u < corpus.NumUsers(); ++u) {
+    sentences.clear();
+    corpus.AppendUserSentences(u, sentences);
+    for (const auto& s : sentences) {
+      for (int32_t token : s) {
+        PLP_CHECK(token >= 0 && static_cast<size_t>(token) < counts.size());
+        ++counts[static_cast<size_t>(token)];
+      }
+    }
+  }
+  return counts;
 }
 
 }  // namespace plp::data

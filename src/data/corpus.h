@@ -2,6 +2,7 @@
 #define PLP_DATA_CORPUS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -19,11 +20,50 @@ enum class SentenceMode {
   kPerSession,
 };
 
-/// Tokenized training input: one or more location-id sequences per user.
+/// Read-only, user-partitioned view of tokenized training data — the
+/// interface the training pipeline consumes.
 ///
-/// The corpus preserves the user partitioning that user-level DP requires —
+/// Two implementations exist: the in-RAM TrainingCorpus below, and the
+/// mmap-backed store::MmapCorpus (src/data/store), whose sentences are
+/// zero-copy spans into an on-disk PLPD corpus. The pipeline only ever
+/// reads through this interface, so a million-user corpus never has to be
+/// materialized in memory; user-level DP needs exactly this partitioning —
 /// Algorithm 1 samples and groups *users*, then reads their sequences.
-struct TrainingCorpus {
+///
+/// Spans returned by AppendUserSentences alias storage owned by the view
+/// and stay valid for the view's lifetime (training copies the sampled
+/// users' tokens into buckets each round, so nothing outlives a step).
+class CorpusView {
+ public:
+  virtual ~CorpusView() = default;
+
+  virtual int32_t NumUsers() const = 0;
+  virtual int32_t NumLocations() const = 0;
+
+  /// Total number of location tokens across all users.
+  virtual int64_t NumTokens() const = 0;
+
+  /// Appends user `user`'s sentences to `out` as zero-copy spans (the
+  /// vector is NOT cleared — callers batch several users into one list).
+  /// Requires 0 <= user < NumUsers().
+  virtual void AppendUserSentences(
+      int32_t user, std::vector<std::span<const int32_t>>& out) const = 0;
+
+  /// Number of tokens contributed by one user (the grouper's balancing
+  /// weight). Requires 0 <= user < NumUsers().
+  virtual int64_t UserTokenCount(int32_t user) const = 0;
+
+  /// Per-dense-location token counts when the view already knows them
+  /// (the on-disk store persists frequencies at write time); empty
+  /// otherwise, in which case callers scan via AppendUserSentences. Used
+  /// by the unigram negative sampler and the subsampling table so neither
+  /// needs its own corpus pass.
+  virtual std::span<const int64_t> TokenFrequencies() const { return {}; }
+};
+
+/// Tokenized in-RAM training input: one or more location-id sequences per
+/// user. The default CorpusView for datasets that fit in memory.
+struct TrainingCorpus : public CorpusView {
   /// sequences[u] = the sentences contributed by user u.
   std::vector<std::vector<std::vector<int32_t>>> user_sentences;
   int32_t num_locations = 0;
@@ -34,6 +74,14 @@ struct TrainingCorpus {
 
   /// Total number of location tokens across all users.
   int64_t num_tokens() const;
+
+  // CorpusView:
+  int32_t NumUsers() const override { return num_users(); }
+  int32_t NumLocations() const override { return num_locations; }
+  int64_t NumTokens() const override { return num_tokens(); }
+  void AppendUserSentences(
+      int32_t user, std::vector<std::span<const int32_t>>& out) const override;
+  int64_t UserTokenCount(int32_t user) const override;
 };
 
 /// Options for corpus construction.
@@ -46,6 +94,12 @@ struct CorpusOptions {
 /// Builds the training corpus from a dataset. Fails on an empty dataset.
 Result<TrainingCorpus> BuildCorpus(const CheckInDataset& dataset,
                                    const CorpusOptions& options = {});
+
+/// Per-dense-location token counts of `corpus` — from the view's persisted
+/// TokenFrequencies() when available, otherwise from one scan. This is the
+/// single counting path shared by corpus statistics, the word2vec
+/// subsampling table and the unigram negative-sampler table.
+std::vector<int64_t> CountTokenFrequencies(const CorpusView& corpus);
 
 }  // namespace plp::data
 

@@ -5,17 +5,43 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/check.h"
+
 namespace plp::data {
 
-DatasetStats ComputeStats(const CheckInDataset& dataset) {
+StatsAccumulator::StatsAccumulator(int32_t num_locations)
+    : num_locations_(num_locations),
+      location_counts_(static_cast<size_t>(std::max(num_locations, 0)), 0) {}
+
+void StatsAccumulator::AddUser(std::span<const int32_t> locations) {
+  user_counts_.push_back(static_cast<int64_t>(locations.size()));
+  num_checkins_ += static_cast<int64_t>(locations.size());
+  for (int32_t l : locations) {
+    PLP_CHECK(l >= 0 && l < num_locations_);
+    ++location_counts_[static_cast<size_t>(l)];
+  }
+}
+
+DatasetStats StatsAccumulator::Finalize() const {
   DatasetStats stats;
-  stats.num_users = dataset.num_users();
-  stats.num_locations = dataset.num_locations();
-  stats.num_checkins = dataset.num_checkins();
-  stats.density = dataset.Density();
+  stats.num_users = static_cast<int32_t>(user_counts_.size());
+  stats.num_locations = num_locations_;
+  stats.num_checkins = num_checkins_;
+  if (stats.num_users > 0 && num_locations_ > 0) {
+    // Density counts distinct (user, POI) cells at most once per visit;
+    // visit counts overestimate it, so recompute the classic bound the
+    // way the dataset does: non-zero cells / (users · locations). A
+    // streaming pass cannot know distinct cells without O(cells) state,
+    // so approximate with the visit-based upper bound capped at 1 — the
+    // dataset overload below reports the exact value.
+    stats.density = std::min(
+        1.0, static_cast<double>(num_checkins_) /
+                 (static_cast<double>(stats.num_users) *
+                  static_cast<double>(num_locations_)));
+  }
   if (stats.num_users == 0) return stats;
 
-  std::vector<int64_t> per_user = dataset.UserRecordCounts();
+  std::vector<int64_t> per_user = user_counts_;
   std::sort(per_user.begin(), per_user.end());
   stats.user_checkins_mean = static_cast<double>(stats.num_checkins) /
                              static_cast<double>(stats.num_users);
@@ -23,22 +49,16 @@ DatasetStats ComputeStats(const CheckInDataset& dataset) {
   stats.user_checkins_p90 = per_user[(per_user.size() * 9) / 10];
   stats.user_checkins_max = per_user.back();
 
-  if (stats.num_locations > 0 && stats.num_checkins > 0) {
-    std::vector<int64_t> visits(static_cast<size_t>(stats.num_locations),
-                                0);
-    for (int32_t u = 0; u < stats.num_users; ++u) {
-      for (const CheckIn& c : dataset.UserCheckIns(u)) {
-        ++visits[static_cast<size_t>(c.location)];
-      }
-    }
+  if (num_locations_ > 0 && num_checkins_ > 0) {
+    std::vector<int64_t> visits = location_counts_;
     std::sort(visits.begin(), visits.end());
     // Gini = (2·Σ i·x_i / (n·Σ x_i)) − (n + 1)/n with 1-based ranks over
     // ascending values.
     const double n = static_cast<double>(visits.size());
     double weighted = 0.0, total = 0.0;
     for (size_t i = 0; i < visits.size(); ++i) {
-      weighted += static_cast<double>(i + 1) *
-                  static_cast<double>(visits[i]);
+      weighted +=
+          static_cast<double>(i + 1) * static_cast<double>(visits[i]);
       total += static_cast<double>(visits[i]);
     }
     stats.location_gini = (2.0 * weighted) / (n * total) - (n + 1.0) / n;
@@ -50,6 +70,41 @@ DatasetStats ComputeStats(const CheckInDataset& dataset) {
     stats.top1pct_share = top_visits / total;
   }
   return stats;
+}
+
+DatasetStats ComputeStats(const CheckInDataset& dataset) {
+  StatsAccumulator accumulator(dataset.num_locations());
+  std::vector<int32_t> locations;
+  for (int32_t u = 0; u < dataset.num_users(); ++u) {
+    locations.clear();
+    for (const CheckIn& c : dataset.UserCheckIns(u)) {
+      locations.push_back(c.location);
+    }
+    accumulator.AddUser(locations);
+  }
+  DatasetStats stats = accumulator.Finalize();
+  stats.density = dataset.Density();  // exact distinct-cell density
+  return stats;
+}
+
+DatasetStats ComputeStats(const CorpusView& corpus) {
+  StatsAccumulator accumulator(corpus.NumLocations());
+  std::vector<std::span<const int32_t>> sentences;
+  std::vector<int32_t> flat;
+  for (int32_t u = 0; u < corpus.NumUsers(); ++u) {
+    sentences.clear();
+    corpus.AppendUserSentences(u, sentences);
+    if (sentences.size() == 1) {
+      accumulator.AddUser(sentences[0]);
+      continue;
+    }
+    flat.clear();
+    for (const auto& s : sentences) {
+      flat.insert(flat.end(), s.begin(), s.end());
+    }
+    accumulator.AddUser(flat);
+  }
+  return accumulator.Finalize();
 }
 
 std::string DatasetStats::ToString() const {

@@ -2,8 +2,11 @@
 #define PLP_DATA_STATISTICS_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
+#include "data/corpus.h"
 #include "data/dataset.h"
 
 namespace plp::data {
@@ -31,8 +34,44 @@ struct DatasetStats {
   std::string ToString() const;
 };
 
-/// Computes summary statistics. O(total check-ins).
+/// Streaming single-pass statistics accumulator: feed each user's
+/// location stream once, read the summary at the end. State is O(users +
+/// locations), never O(check-ins), so a million-user on-disk corpus can
+/// be characterized in one bounded-RSS scan. The per-location counts it
+/// accumulates are the same array the unigram negative sampler and the
+/// word2vec subsampling table are built from (CountTokenFrequencies), so
+/// stats and sampler construction share one scan of the store.
+class StatsAccumulator {
+ public:
+  explicit StatsAccumulator(int32_t num_locations);
+
+  /// Adds one user's full check-in stream (token = dense location id).
+  /// Users with empty streams still count toward num_users.
+  void AddUser(std::span<const int32_t> locations);
+
+  /// Per-dense-location visit counts accumulated so far.
+  const std::vector<int64_t>& location_counts() const {
+    return location_counts_;
+  }
+
+  /// Summary over everything added so far. O(users·log users +
+  /// locations·log locations) for the sorts; callable repeatedly.
+  DatasetStats Finalize() const;
+
+ private:
+  int32_t num_locations_ = 0;
+  int64_t num_checkins_ = 0;
+  std::vector<int64_t> user_counts_;
+  std::vector<int64_t> location_counts_;
+};
+
+/// Computes summary statistics in one pass over the dataset.
 DatasetStats ComputeStats(const CheckInDataset& dataset);
+
+/// Computes summary statistics in one pass over any corpus view —
+/// including the mmap-backed store, which is scanned without
+/// materializing the corpus (per-location "visits" are token counts).
+DatasetStats ComputeStats(const CorpusView& corpus);
 
 }  // namespace plp::data
 

@@ -1,0 +1,370 @@
+#include "data/store/checkin_store.h"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#include "common/atomic_file.h"
+#include "common/check.h"
+#include "common/serialize.h"
+
+namespace plp::data::store {
+namespace {
+
+Status CollectViolations(const std::string& dir,
+                         const std::vector<std::string>& violations) {
+  if (violations.empty()) return Status::Ok();
+  std::string message = "corrupt PLPD corpus in " + dir + ": ";
+  for (size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) message += "; ";
+    message += violations[i];
+  }
+  return InvalidArgumentError(std::move(message));
+}
+
+/// Streams a file through the CRC in 1 MiB chunks — O(1) resident memory
+/// regardless of shard size (mmap-touching every page would charge the
+/// whole file to RSS on first read).
+Result<FileDigest> DigestFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("missing file");
+  std::string buffer(1 << 20, '\0');
+  FileDigest digest;
+  uint64_t crc = Crc64Init();
+  while (in) {
+    in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    const std::streamsize got = in.gcount();
+    if (got <= 0) break;
+    crc = Crc64Update(crc,
+                      std::string_view(buffer.data(), static_cast<size_t>(got)));
+    digest.size += got;
+  }
+  digest.crc64 = Crc64Finish(crc);
+  return digest;
+}
+
+/// Reads `file` fully, checking size and CRC against the manifest digest.
+/// Appends violations instead of failing so the caller reports them all.
+bool LoadVerified(const std::string& dir, const std::string& file,
+                  const FileDigest& expected,
+                  std::vector<std::string>& violations, std::string& out) {
+  Result<std::string> contents = ReadFileToString(dir + "/" + file);
+  if (!contents.ok()) {
+    violations.push_back(file + ": missing");
+    return false;
+  }
+  if (static_cast<int64_t>(contents->size()) != expected.size) {
+    violations.push_back(file + ": size " + std::to_string(contents->size()) +
+                         " != manifest " + std::to_string(expected.size));
+    return false;
+  }
+  if (Crc64(*contents) != expected.crc64) {
+    violations.push_back(file + ": checksum mismatch");
+    return false;
+  }
+  out = *std::move(contents);
+  return true;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const CheckInStore>> CheckInStore::Open(
+    const std::string& dir, const StoreOpenOptions& options) {
+  // The manifest is the commit point: without a valid one this is not a
+  // corpus, so manifest problems fail immediately rather than collecting.
+  Result<std::string> manifest_bytes =
+      ReadFileToString(dir + "/" + std::string(kManifestFile));
+  if (!manifest_bytes.ok()) {
+    return NotFoundError("not a PLPD corpus (no " +
+                         std::string(kManifestFile) + " in " + dir + ")");
+  }
+  if (manifest_bytes->size() < 8) {
+    return InvalidArgumentError("corrupt PLPD manifest in " + dir +
+                                ": truncated");
+  }
+  const std::string_view body(manifest_bytes->data(),
+                              manifest_bytes->size() - 8);
+  ByteReader crc_reader(
+      std::string_view(*manifest_bytes).substr(manifest_bytes->size() - 8));
+  PLP_ASSIGN_OR_RETURN(const uint64_t manifest_crc, crc_reader.U64());
+  if (Crc64(body) != manifest_crc) {
+    return InvalidArgumentError("corrupt PLPD manifest in " + dir +
+                                ": checksum mismatch");
+  }
+
+  ByteReader reader(body);
+  PLP_ASSIGN_OR_RETURN(const uint32_t magic, reader.U32());
+  PLP_ASSIGN_OR_RETURN(const uint32_t version, reader.U32());
+  if (magic != kManifestMagic) {
+    return InvalidArgumentError("corrupt PLPD manifest in " + dir +
+                                ": bad magic");
+  }
+  if (version != kFormatVersion) {
+    return InvalidArgumentError("unsupported PLPD version " +
+                                std::to_string(version) + " in " + dir);
+  }
+  auto store = std::shared_ptr<CheckInStore>(new CheckInStore());
+  PLP_ASSIGN_OR_RETURN(store->num_users_, reader.I32());
+  PLP_ASSIGN_OR_RETURN(store->num_locations_, reader.I32());
+  PLP_ASSIGN_OR_RETURN(store->num_tokens_, reader.I64());
+  PLP_ASSIGN_OR_RETURN(const uint32_t num_shards, reader.U32());
+  PLP_ASSIGN_OR_RETURN(const uint32_t num_vocab_shards, reader.U32());
+  if (store->num_users_ < 0 || store->num_locations_ < 0 ||
+      store->num_tokens_ < 0 || num_shards > (1u << 20) ||
+      num_vocab_shards == 0) {
+    return InvalidArgumentError("corrupt PLPD manifest in " + dir +
+                                ": implausible totals");
+  }
+  FileDigest index_digest, vocab_digest, freqs_digest;
+  const auto read_digest = [&reader](FileDigest& d) -> Status {
+    PLP_ASSIGN_OR_RETURN(d.size, reader.I64());
+    PLP_ASSIGN_OR_RETURN(d.crc64, reader.U64());
+    if (d.size < 0) return InvalidArgumentError("negative file size");
+    return Status::Ok();
+  };
+  PLP_RETURN_IF_ERROR(read_digest(index_digest));
+  PLP_RETURN_IF_ERROR(read_digest(vocab_digest));
+  PLP_RETURN_IF_ERROR(read_digest(freqs_digest));
+  std::vector<FileDigest> shard_digests(num_shards);
+  for (FileDigest& d : shard_digests) PLP_RETURN_IF_ERROR(read_digest(d));
+  if (!reader.AtEnd()) {
+    return InvalidArgumentError("corrupt PLPD manifest in " + dir +
+                                ": trailing bytes");
+  }
+
+  // From here on, collect every violation so one Open reports everything
+  // wrong with the corpus at once.
+  std::vector<std::string> violations;
+
+  std::string index_bytes, vocab_bytes, freqs_bytes;
+  const bool index_ok =
+      LoadVerified(dir, kIndexFile, index_digest, violations, index_bytes);
+  const bool vocab_ok =
+      LoadVerified(dir, kVocabFile, vocab_digest, violations, vocab_bytes);
+  const bool freqs_ok =
+      LoadVerified(dir, kFreqsFile, freqs_digest, violations, freqs_bytes);
+
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const std::string name = ShardFileName(static_cast<int32_t>(s));
+    if (options.verify_shard_checksums) {
+      Result<FileDigest> actual = DigestFile(dir + "/" + name);
+      if (!actual.ok()) {
+        violations.push_back(name + ": missing");
+      } else if (actual->size != shard_digests[s].size) {
+        violations.push_back(name + ": size " + std::to_string(actual->size) +
+                             " != manifest " +
+                             std::to_string(shard_digests[s].size));
+      } else if (actual->crc64 != shard_digests[s].crc64) {
+        violations.push_back(name + ": checksum mismatch");
+      }
+    }
+    Result<MmapFile> mapped = MmapFile::Open(dir + "/" + name);
+    if (!mapped.ok()) {
+      if (options.verify_shard_checksums) continue;  // already reported
+      violations.push_back(name + ": " + mapped.status().message());
+      continue;
+    }
+    if (static_cast<int64_t>(mapped->size()) != shard_digests[s].size) {
+      if (!options.verify_shard_checksums) {
+        violations.push_back(name + ": size " +
+                             std::to_string(mapped->size()) + " != manifest " +
+                             std::to_string(shard_digests[s].size));
+      }
+      continue;
+    }
+    store->shards_.push_back(std::move(mapped).value());
+  }
+  if (store->shards_.size() == num_shards) {
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      const MmapFile& shard = store->shards_[s];
+      if (shard.size() < static_cast<size_t>(kShardHeaderBytes)) {
+        violations.push_back(ShardFileName(static_cast<int32_t>(s)) +
+                             ": shorter than header");
+        continue;
+      }
+      ByteReader header(shard.view().substr(0, kShardHeaderBytes));
+      const auto magic_result = header.U32();
+      const auto id_result = header.U32();
+      if (!magic_result.ok() || *magic_result != kShardMagic ||
+          !id_result.ok() || *id_result != s) {
+        violations.push_back(ShardFileName(static_cast<int32_t>(s)) +
+                             ": bad shard header");
+      }
+    }
+  }
+
+  // index.plpdi → per-user entries, bounds-checked against shard sizes
+  // (pure index arithmetic; record pages stay untouched).
+  if (index_ok) {
+    ByteReader index(index_bytes);
+    const auto magic_r = index.U32();
+    const auto version_r = index.U32();
+    const auto users_r = index.I32();
+    if (!magic_r.ok() || *magic_r != kIndexMagic || !version_r.ok() ||
+        *version_r != kFormatVersion || !users_r.ok() ||
+        *users_r != store->num_users_) {
+      violations.push_back(std::string(kIndexFile) + ": bad header");
+    } else {
+      store->index_.reserve(static_cast<size_t>(store->num_users_));
+      int64_t total_tokens = 0;
+      for (int32_t u = 0; u < store->num_users_; ++u) {
+        UserIndexEntry entry;
+        const auto shard_r = index.U32();
+        const auto pad_r = index.U32();
+        const auto offset_r = index.I64();
+        const auto count_r = index.I64();
+        if (!shard_r.ok() || !pad_r.ok() || !offset_r.ok() || !count_r.ok()) {
+          violations.push_back(std::string(kIndexFile) + ": truncated at user " +
+                               std::to_string(u));
+          break;
+        }
+        entry.shard = *shard_r;
+        entry.offset = *offset_r;
+        entry.count = *count_r;
+        const bool shard_known = entry.shard < store->shards_.size();
+        const int64_t shard_size =
+            shard_known
+                ? static_cast<int64_t>(store->shards_[entry.shard].size())
+                : 0;
+        if (entry.shard >= num_shards || entry.count < 0 ||
+            entry.offset < kShardHeaderBytes || entry.offset % 8 != 0 ||
+            (shard_known &&
+             entry.offset + UserBlockBytes(entry.count) > shard_size)) {
+          violations.push_back(std::string(kIndexFile) + ": user " +
+                               std::to_string(u) + " entry out of bounds");
+          break;
+        }
+        total_tokens += entry.count;
+        store->index_.push_back(entry);
+      }
+      if (static_cast<int32_t>(store->index_.size()) == store->num_users_) {
+        if (!index.AtEnd()) {
+          violations.push_back(std::string(kIndexFile) + ": trailing bytes");
+        }
+        if (total_tokens != store->num_tokens_) {
+          violations.push_back(std::string(kIndexFile) +
+                               ": token total disagrees with manifest");
+        }
+      }
+    }
+  }
+
+  // vocab.plpdv → raw→dense map; dense ids must form 0..L-1 exactly.
+  if (vocab_ok) {
+    ByteReader vocab(vocab_bytes);
+    const auto magic_r = vocab.U32();
+    const auto version_r = vocab.U32();
+    const auto shards_r = vocab.U32();
+    const auto locations_r = vocab.I32();
+    if (!magic_r.ok() || *magic_r != kVocabMagic || !version_r.ok() ||
+        *version_r != kFormatVersion || !shards_r.ok() ||
+        *shards_r != num_vocab_shards || !locations_r.ok() ||
+        *locations_r != store->num_locations_) {
+      violations.push_back(std::string(kVocabFile) + ": bad header");
+    } else {
+      std::vector<char> seen(static_cast<size_t>(store->num_locations_), 0);
+      bool valid = true;
+      store->raw_to_dense_.reserve(
+          static_cast<size_t>(store->num_locations_));
+      for (uint32_t s = 0; valid && s < num_vocab_shards; ++s) {
+        const auto shard_id_r = vocab.U32();
+        const auto entries_r = vocab.U32();
+        if (!shard_id_r.ok() || *shard_id_r != s || !entries_r.ok()) {
+          violations.push_back(std::string(kVocabFile) + ": bad shard " +
+                               std::to_string(s));
+          valid = false;
+          break;
+        }
+        for (uint32_t e = 0; e < *entries_r; ++e) {
+          const auto raw_r = vocab.I64();
+          const auto dense_r = vocab.I32();
+          if (!raw_r.ok() || !dense_r.ok() || *dense_r < 0 ||
+              *dense_r >= store->num_locations_ ||
+              seen[static_cast<size_t>(*dense_r)] ||
+              !store->raw_to_dense_.emplace(*raw_r, *dense_r).second) {
+            violations.push_back(std::string(kVocabFile) +
+                                 ": invalid entry in shard " +
+                                 std::to_string(s));
+            valid = false;
+            break;
+          }
+          seen[static_cast<size_t>(*dense_r)] = 1;
+        }
+      }
+      if (valid &&
+          (static_cast<int32_t>(store->raw_to_dense_.size()) !=
+               store->num_locations_ ||
+           !vocab.AtEnd())) {
+        violations.push_back(std::string(kVocabFile) +
+                             ": entry count disagrees with manifest");
+      }
+    }
+  }
+
+  // freqs.plpdf → per-location counts; their sum must equal num_tokens.
+  if (freqs_ok) {
+    ByteReader freqs(freqs_bytes);
+    const auto magic_r = freqs.U32();
+    const auto version_r = freqs.U32();
+    const auto locations_r = freqs.I32();
+    if (!magic_r.ok() || *magic_r != kFreqsMagic || !version_r.ok() ||
+        *version_r != kFormatVersion || !locations_r.ok() ||
+        *locations_r != store->num_locations_) {
+      violations.push_back(std::string(kFreqsFile) + ": bad header");
+    } else {
+      store->frequencies_.reserve(
+          static_cast<size_t>(store->num_locations_));
+      int64_t total = 0;
+      bool valid = true;
+      for (int32_t l = 0; l < store->num_locations_; ++l) {
+        const auto count_r = freqs.I64();
+        if (!count_r.ok() || *count_r < 0) {
+          violations.push_back(std::string(kFreqsFile) + ": truncated");
+          valid = false;
+          break;
+        }
+        total += *count_r;
+        store->frequencies_.push_back(*count_r);
+      }
+      if (valid && (!freqs.AtEnd() || total != store->num_tokens_)) {
+        violations.push_back(std::string(kFreqsFile) +
+                             ": counts disagree with manifest token total");
+      }
+    }
+  }
+
+  PLP_RETURN_IF_ERROR(CollectViolations(dir, violations));
+  if (store->shards_.size() != num_shards ||
+      static_cast<int32_t>(store->index_.size()) != store->num_users_) {
+    return InternalError("PLPD open failed without a recorded violation");
+  }
+  return std::shared_ptr<const CheckInStore>(std::move(store));
+}
+
+CheckInStore::UserSpan CheckInStore::User(int32_t user) const {
+  PLP_CHECK(user >= 0 && user < num_users_);
+  const UserIndexEntry& entry = index_[static_cast<size_t>(user)];
+  const char* base = shards_[entry.shard].data() + entry.offset;
+  // The block's own count is the one integrity field the open-time scan
+  // leaves to access time (checking it eagerly would page in every shard).
+  PLP_CHECK_EQ(*reinterpret_cast<const int64_t*>(base), entry.count);
+  const size_t count = static_cast<size_t>(entry.count);
+  UserSpan span;
+  span.locations = {reinterpret_cast<const int32_t*>(base + 8), count};
+  const int64_t padded = (4 * entry.count + 7) / 8 * 8;
+  span.timestamps = {reinterpret_cast<const int64_t*>(base + 8 + padded),
+                     count};
+  return span;
+}
+
+int64_t CheckInStore::UserTokenCount(int32_t user) const {
+  PLP_CHECK(user >= 0 && user < num_users_);
+  return index_[static_cast<size_t>(user)].count;
+}
+
+int32_t CheckInStore::DenseLocation(int64_t raw_id) const {
+  const auto it = raw_to_dense_.find(raw_id);
+  return it == raw_to_dense_.end() ? -1 : it->second;
+}
+
+}  // namespace plp::data::store

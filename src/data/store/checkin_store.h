@@ -1,0 +1,81 @@
+#ifndef PLP_DATA_STORE_CHECKIN_STORE_H_
+#define PLP_DATA_STORE_CHECKIN_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/store/format.h"
+#include "data/store/mmap_file.h"
+
+namespace plp::data::store {
+
+/// Open-time integrity options.
+struct StoreOpenOptions {
+  /// Verify every record shard's CRC-64 against the manifest with a
+  /// chunked streaming read (bounded RSS, but it reads every byte once).
+  /// The index, vocabulary and frequency files are always verified — they
+  /// are read fully anyway. Disable only for sources that were verified
+  /// out of band.
+  bool verify_shard_checksums = true;
+};
+
+/// Read-only mmap-backed view of a PLPD corpus directory (see format.h).
+///
+/// Open() validates the manifest, checks every file's size and checksum
+/// (collecting ALL violations into one status, so a corrupt corpus
+/// reports everything wrong with it at once), bounds-checks the per-user
+/// index against shard sizes, and maps the shards. After that, reading a
+/// user's check-ins is two pointer additions — the spans point straight
+/// into the mapping and no check-in is ever copied into the heap.
+///
+/// Resident cost is O(users + locations) for the index, vocabulary and
+/// frequency table; record bytes are paged in by the kernel on demand.
+/// Spans stay valid for the store's lifetime.
+class CheckInStore {
+ public:
+  struct UserSpan {
+    std::span<const int32_t> locations;   ///< dense ids, time-ordered
+    std::span<const int64_t> timestamps;  ///< seconds, same length
+  };
+
+  static Result<std::shared_ptr<const CheckInStore>> Open(
+      const std::string& dir, const StoreOpenOptions& options = {});
+
+  int32_t num_users() const { return num_users_; }
+  int32_t num_locations() const { return num_locations_; }
+  int64_t num_tokens() const { return num_tokens_; }
+  int32_t num_shards() const { return static_cast<int32_t>(shards_.size()); }
+
+  /// Zero-copy view of one user's check-ins. Requires 0 <= user <
+  /// num_users().
+  UserSpan User(int32_t user) const;
+
+  /// Token count of one user without touching record pages.
+  int64_t UserTokenCount(int32_t user) const;
+
+  /// Per-dense-location token counts persisted at write time.
+  std::span<const int64_t> token_frequencies() const { return frequencies_; }
+
+  /// Dense id of a raw location id, or -1 when absent from the vocabulary.
+  int32_t DenseLocation(int64_t raw_id) const;
+
+ private:
+  CheckInStore() = default;
+
+  int32_t num_users_ = 0;
+  int32_t num_locations_ = 0;
+  int64_t num_tokens_ = 0;
+  std::vector<UserIndexEntry> index_;
+  std::vector<int64_t> frequencies_;
+  std::unordered_map<int64_t, int32_t> raw_to_dense_;
+  std::vector<MmapFile> shards_;
+};
+
+}  // namespace plp::data::store
+
+#endif  // PLP_DATA_STORE_CHECKIN_STORE_H_

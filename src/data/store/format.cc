@@ -1,0 +1,13 @@
+#include "data/store/format.h"
+
+#include <cstdio>
+
+namespace plp::data::store {
+
+std::string ShardFileName(int32_t shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%05d.plpds", shard);
+  return buf;
+}
+
+}  // namespace plp::data::store

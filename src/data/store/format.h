@@ -1,0 +1,73 @@
+#ifndef PLP_DATA_STORE_FORMAT_H_
+#define PLP_DATA_STORE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace plp::data::store {
+
+/// On-disk layout of a PLPD corpus directory.
+///
+/// A corpus is a directory of five kinds of files:
+///
+///   manifest.plpd      commit point; names every other file with its byte
+///                      size and CRC-64/XZ, plus corpus totals. Written
+///                      last via the atomic-rename protocol — a directory
+///                      without a valid manifest is not a corpus.
+///   index.plpdi        per-user locator: {shard, byte offset, count} per
+///                      dense user id, in user order.
+///   vocab.plpdv        sharded raw-id → dense-id location vocabulary.
+///   freqs.plpdf        per-dense-location token counts (the unigram
+///                      sampler's and subsampler's input — persisted so
+///                      opening a corpus never needs a data scan).
+///   shard-%05d.plpds   check-in record shards, mmap-ed read-only.
+///
+/// A shard is a 16-byte header followed by user blocks:
+///
+///   [i64 count][i32 location × count][pad to 8][i64 timestamp × count]
+///
+/// Blocks are 8-byte aligned (header is 16 bytes; each block's size is a
+/// multiple of 8), so the location and timestamp arrays can be handed out
+/// as zero-copy spans straight into the mapping.
+inline constexpr uint32_t kManifestMagic = 0x44504C50;  // "PLPD"
+inline constexpr uint32_t kIndexMagic = 0x49504C50;     // "PLPI"
+inline constexpr uint32_t kVocabMagic = 0x56504C50;     // "PLPV"
+inline constexpr uint32_t kFreqsMagic = 0x46504C50;     // "PLPF"
+inline constexpr uint32_t kShardMagic = 0x53504C50;     // "PLPS"
+inline constexpr uint32_t kFormatVersion = 1;
+
+inline constexpr char kManifestFile[] = "manifest.plpd";
+inline constexpr char kIndexFile[] = "index.plpdi";
+inline constexpr char kVocabFile[] = "vocab.plpdv";
+inline constexpr char kFreqsFile[] = "freqs.plpdf";
+
+inline constexpr int64_t kShardHeaderBytes = 16;
+
+/// "shard-00042.plpds"
+std::string ShardFileName(int32_t shard);
+
+/// One per-user entry of index.plpdi (serialized as u32 + u32 pad +
+/// i64 + i64 = 24 bytes; `offset` points at the block's i64 count field).
+struct UserIndexEntry {
+  uint32_t shard = 0;
+  int64_t offset = 0;
+  int64_t count = 0;
+};
+
+/// Size/checksum of one corpus file as recorded in the manifest.
+struct FileDigest {
+  int64_t size = 0;
+  uint64_t crc64 = 0;
+};
+
+/// Bytes a user block occupies inside a shard: count field + padded
+/// locations + timestamps.
+inline int64_t UserBlockBytes(int64_t count) {
+  const int64_t locations = 4 * count;
+  const int64_t padded = (locations + 7) / 8 * 8;
+  return 8 + padded + 8 * count;
+}
+
+}  // namespace plp::data::store
+
+#endif  // PLP_DATA_STORE_FORMAT_H_

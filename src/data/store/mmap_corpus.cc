@@ -1,0 +1,41 @@
+#include "data/store/mmap_corpus.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace plp::data::store {
+
+MmapCorpus::MmapCorpus(std::shared_ptr<const CheckInStore> store)
+    : MmapCorpus(std::move(store), 0, 0) {
+  end_ = store_->num_users();
+}
+
+MmapCorpus::MmapCorpus(std::shared_ptr<const CheckInStore> store,
+                       int32_t begin, int32_t end)
+    : store_(std::move(store)), begin_(begin), end_(end) {
+  PLP_CHECK(store_ != nullptr);
+  PLP_CHECK(begin_ >= 0 && begin_ <= end_ && end_ <= store_->num_users());
+}
+
+int64_t MmapCorpus::NumTokens() const {
+  if (begin_ == 0 && end_ == store_->num_users()) {
+    return store_->num_tokens();
+  }
+  int64_t total = 0;
+  for (int32_t u = begin_; u < end_; ++u) total += store_->UserTokenCount(u);
+  return total;
+}
+
+void MmapCorpus::AppendUserSentences(
+    int32_t user, std::vector<std::span<const int32_t>>& out) const {
+  PLP_CHECK(user >= 0 && user < NumUsers());
+  out.push_back(store_->User(begin_ + user).locations);
+}
+
+int64_t MmapCorpus::UserTokenCount(int32_t user) const {
+  PLP_CHECK(user >= 0 && user < NumUsers());
+  return store_->UserTokenCount(begin_ + user);
+}
+
+}  // namespace plp::data::store

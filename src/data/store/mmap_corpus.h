@@ -1,0 +1,57 @@
+#ifndef PLP_DATA_STORE_MMAP_CORPUS_H_
+#define PLP_DATA_STORE_MMAP_CORPUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "data/corpus.h"
+#include "data/store/checkin_store.h"
+
+namespace plp::data::store {
+
+/// CorpusView over an open PLPD store: each user's full check-in history
+/// is one sentence (SentenceMode::kFullHistory), materialized as a
+/// zero-copy span into the mapping. This is the view the training
+/// pipeline consumes for on-disk corpora — Algorithm 1 samples users,
+/// reads their sequences, and never needs the corpus in RAM.
+///
+/// An optional contiguous user range restricts the view (for train /
+/// holdout splits); users are renumbered to [0, end - begin) while the
+/// location vocabulary stays global.
+class MmapCorpus : public data::CorpusView {
+ public:
+  explicit MmapCorpus(std::shared_ptr<const CheckInStore> store);
+
+  /// View of users [begin, end). Requires 0 <= begin <= end <=
+  /// store->num_users().
+  MmapCorpus(std::shared_ptr<const CheckInStore> store, int32_t begin,
+             int32_t end);
+
+  int32_t NumUsers() const override { return end_ - begin_; }
+  int32_t NumLocations() const override { return store_->num_locations(); }
+  int64_t NumTokens() const override;
+  void AppendUserSentences(
+      int32_t user, std::vector<std::span<const int32_t>>& out) const override;
+  int64_t UserTokenCount(int32_t user) const override;
+
+  /// Persisted frequencies — valid for the whole store, which is exact
+  /// when the view spans every user and an upper envelope otherwise
+  /// (samplers only need relative weights, and a global table keeps the
+  /// negative distribution identical across splits).
+  std::span<const int64_t> TokenFrequencies() const override {
+    return store_->token_frequencies();
+  }
+
+  const CheckInStore& store() const { return *store_; }
+
+ private:
+  std::shared_ptr<const CheckInStore> store_;
+  int32_t begin_ = 0;
+  int32_t end_ = 0;
+};
+
+}  // namespace plp::data::store
+
+#endif  // PLP_DATA_STORE_MMAP_CORPUS_H_

@@ -1,0 +1,42 @@
+#ifndef PLP_DATA_STORE_MMAP_FILE_H_
+#define PLP_DATA_STORE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+
+namespace plp::data::store {
+
+/// Read-only memory mapping of a whole file (RAII: unmapped on
+/// destruction). Movable, not copyable. The kernel pages data in on
+/// demand and may evict it under pressure, which is exactly the property
+/// the million-user store relies on: opening a corpus costs address
+/// space, not resident memory.
+class MmapFile {
+ public:
+  /// Maps `path` read-only. Fails with NotFound when the file does not
+  /// exist. Zero-length files map successfully with data() == nullptr.
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::string_view view() const { return {data_, size_}; }
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace plp::data::store
+
+#endif  // PLP_DATA_STORE_MMAP_FILE_H_

@@ -1,0 +1,325 @@
+#include "data/store/store_writer.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/atomic_file.h"
+#include "common/check.h"
+#include "common/serialize.h"
+
+namespace plp::data::store {
+namespace {
+
+/// SplitMix64 finalizer: decorrelates raw ids before sharding so
+/// sequential id ranges spread across vocabulary shards.
+uint64_t MixId(int64_t raw_id) {
+  uint64_t z = static_cast<uint64_t>(raw_id) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Status WriteAll(int fd, const char* data, size_t size,
+                const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return InternalError("write " + path + ": " + std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return InternalError("open dir " + dir + ": " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return InternalError("fsync dir " + dir + ": " + std::strerror(err));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+LocationVocab::LocationVocab(int32_t num_shards) {
+  PLP_CHECK(num_shards > 0);
+  shards_.resize(static_cast<size_t>(num_shards));
+}
+
+int32_t LocationVocab::ShardOf(int64_t raw_id) const {
+  return static_cast<int32_t>(MixId(raw_id) % shards_.size());
+}
+
+int32_t LocationVocab::Assign(int64_t raw_id) {
+  auto& shard = shards_[static_cast<size_t>(ShardOf(raw_id))];
+  const auto [it, inserted] = shard.try_emplace(raw_id, next_dense_);
+  if (inserted) ++next_dense_;
+  return it->second;
+}
+
+int32_t LocationVocab::Lookup(int64_t raw_id) const {
+  const auto& shard = shards_[static_cast<size_t>(ShardOf(raw_id))];
+  const auto it = shard.find(raw_id);
+  return it == shard.end() ? -1 : it->second;
+}
+
+CheckInStoreWriter::CheckInStoreWriter(std::string dir,
+                                       StoreWriterOptions options)
+    : dir_(std::move(dir)),
+      options_(options),
+      vocab_(options.num_vocab_shards) {}
+
+CheckInStoreWriter::~CheckInStoreWriter() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(temp_path_.c_str());
+  }
+}
+
+Result<std::unique_ptr<CheckInStoreWriter>> CheckInStoreWriter::Create(
+    const std::string& dir, const StoreWriterOptions& options) {
+  if (options.target_shard_bytes <= 0) {
+    return InvalidArgumentError("target_shard_bytes must be > 0");
+  }
+  if (options.num_vocab_shards <= 0) {
+    return InvalidArgumentError("num_vocab_shards must be > 0");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return InternalError("create corpus dir " + dir + ": " + ec.message());
+  }
+  return std::unique_ptr<CheckInStoreWriter>(
+      new CheckInStoreWriter(dir, options));
+}
+
+void CheckInStoreWriter::PreRegisterVocab(int32_t num_locations) {
+  PLP_CHECK(index_.empty());
+  for (int32_t l = 0; l < num_locations; ++l) {
+    const int32_t dense = vocab_.Assign(l);
+    PLP_CHECK_EQ(dense, l);
+  }
+  frequencies_.resize(static_cast<size_t>(vocab_.size()), 0);
+}
+
+Status CheckInStoreWriter::StartShardIfNeeded() {
+  if (fd_ >= 0) return Status::Ok();
+  const int32_t shard = static_cast<int32_t>(shard_digests_.size());
+  temp_path_ = dir_ + "/" + ShardFileName(shard) +
+               std::string(kAtomicTempInfix) + std::to_string(::getpid());
+  fd_ = ::open(temp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) {
+    return InternalError("open " + temp_path_ + ": " + std::strerror(errno));
+  }
+  ByteWriter header;
+  header.U32(kShardMagic);
+  header.U32(static_cast<uint32_t>(shard));
+  header.U64(0);  // reserved
+  PLP_RETURN_IF_ERROR(
+      WriteAll(fd_, header.str().data(), header.size(), temp_path_));
+  shard_crc_ = Crc64Update(Crc64Init(), header.str());
+  shard_bytes_ = kShardHeaderBytes;
+  return Status::Ok();
+}
+
+Status CheckInStoreWriter::AppendUserDense(std::span<const int32_t> locations,
+                                           std::span<const int64_t> timestamps) {
+  if (finished_) return FailedPreconditionError("writer already finished");
+  if (locations.size() != timestamps.size()) {
+    return InvalidArgumentError("locations/timestamps size mismatch");
+  }
+  if (frequencies_.size() < static_cast<size_t>(vocab_.size())) {
+    frequencies_.resize(static_cast<size_t>(vocab_.size()), 0);
+  }
+  for (const int32_t l : locations) {
+    if (l < 0 || l >= vocab_.size()) {
+      return InvalidArgumentError("location id " + std::to_string(l) +
+                                  " outside vocabulary of size " +
+                                  std::to_string(vocab_.size()));
+    }
+    ++frequencies_[static_cast<size_t>(l)];
+  }
+  PLP_RETURN_IF_ERROR(StartShardIfNeeded());
+
+  const int64_t count = static_cast<int64_t>(locations.size());
+  ByteWriter block;
+  block.I64(count);
+  for (const int32_t l : locations) block.I32(l);
+  while (block.size() % 8 != 0) block.U8(0);
+  for (const int64_t t : timestamps) block.I64(t);
+  PLP_CHECK_EQ(static_cast<int64_t>(block.size()), UserBlockBytes(count));
+  PLP_RETURN_IF_ERROR(
+      WriteAll(fd_, block.str().data(), block.size(), temp_path_));
+
+  UserIndexEntry entry;
+  entry.shard = static_cast<uint32_t>(shard_digests_.size());
+  entry.offset = shard_bytes_;
+  entry.count = count;
+  index_.push_back(entry);
+  shard_crc_ = Crc64Update(shard_crc_, block.str());
+  shard_bytes_ += static_cast<int64_t>(block.size());
+  num_tokens_ += count;
+
+  if (shard_bytes_ >= options_.target_shard_bytes) {
+    return CommitCurrentShard();
+  }
+  return Status::Ok();
+}
+
+Status CheckInStoreWriter::AppendUser(std::span<const int64_t> raw_locations,
+                                      std::span<const int64_t> timestamps) {
+  std::vector<int32_t> dense;
+  dense.reserve(raw_locations.size());
+  for (const int64_t raw : raw_locations) dense.push_back(vocab_.Assign(raw));
+  return AppendUserDense(dense, timestamps);
+}
+
+Status CheckInStoreWriter::CommitCurrentShard() {
+  PLP_CHECK(fd_ >= 0);
+  if (::fsync(fd_) != 0) {
+    const Status status =
+        InternalError("fsync " + temp_path_ + ": " + std::strerror(errno));
+    ::close(fd_);
+    fd_ = -1;
+    return status;
+  }
+  ::close(fd_);
+  fd_ = -1;
+  const std::string final_path =
+      dir_ + "/" + ShardFileName(static_cast<int32_t>(shard_digests_.size()));
+  if (::rename(temp_path_.c_str(), final_path.c_str()) != 0) {
+    return InternalError("rename " + temp_path_ + " -> " + final_path + ": " +
+                         std::strerror(errno));
+  }
+  PLP_RETURN_IF_ERROR(FsyncDir(dir_));
+  FileDigest digest;
+  digest.size = shard_bytes_;
+  digest.crc64 = Crc64Finish(shard_crc_);
+  shard_digests_.push_back(digest);
+  return Status::Ok();
+}
+
+Status CheckInStoreWriter::WriteBlob(const std::string& file_name,
+                                     const std::string& contents,
+                                     FileDigest& digest) {
+  PLP_RETURN_IF_ERROR(AtomicWriteFile(dir_ + "/" + file_name, contents));
+  digest.size = static_cast<int64_t>(contents.size());
+  digest.crc64 = Crc64(contents);
+  return Status::Ok();
+}
+
+Status CheckInStoreWriter::Finish() {
+  if (finished_) return FailedPreconditionError("writer already finished");
+  if (fd_ >= 0) {
+    PLP_RETURN_IF_ERROR(CommitCurrentShard());
+  }
+  finished_ = true;
+  if (frequencies_.size() < static_cast<size_t>(vocab_.size())) {
+    frequencies_.resize(static_cast<size_t>(vocab_.size()), 0);
+  }
+
+  // index.plpdi
+  ByteWriter index;
+  index.U32(kIndexMagic);
+  index.U32(kFormatVersion);
+  index.I32(static_cast<int32_t>(index_.size()));
+  for (const UserIndexEntry& e : index_) {
+    index.U32(e.shard);
+    index.U32(0);  // pad
+    index.I64(e.offset);
+    index.I64(e.count);
+  }
+  FileDigest index_digest;
+  PLP_RETURN_IF_ERROR(WriteBlob(kIndexFile, index.str(), index_digest));
+
+  // vocab.plpdv — entries within a shard sorted by dense id so the bytes
+  // do not depend on hash-map iteration order.
+  ByteWriter vocab;
+  vocab.U32(kVocabMagic);
+  vocab.U32(kFormatVersion);
+  vocab.U32(static_cast<uint32_t>(vocab_.num_shards()));
+  vocab.I32(vocab_.size());
+  std::vector<std::pair<int32_t, int64_t>> entries;  // (dense, raw)
+  for (int32_t s = 0; s < vocab_.num_shards(); ++s) {
+    entries.clear();
+    for (const auto& [raw, dense] : vocab_.Shard(s)) {
+      entries.emplace_back(dense, raw);
+    }
+    std::sort(entries.begin(), entries.end());
+    vocab.U32(static_cast<uint32_t>(s));
+    vocab.U32(static_cast<uint32_t>(entries.size()));
+    for (const auto& [dense, raw] : entries) {
+      vocab.I64(raw);
+      vocab.I32(dense);
+    }
+  }
+  FileDigest vocab_digest;
+  PLP_RETURN_IF_ERROR(WriteBlob(kVocabFile, vocab.str(), vocab_digest));
+
+  // freqs.plpdf
+  ByteWriter freqs;
+  freqs.U32(kFreqsMagic);
+  freqs.U32(kFormatVersion);
+  freqs.I32(vocab_.size());
+  for (const int64_t f : frequencies_) freqs.I64(f);
+  FileDigest freqs_digest;
+  PLP_RETURN_IF_ERROR(WriteBlob(kFreqsFile, freqs.str(), freqs_digest));
+
+  // manifest.plpd — the commit point, written last.
+  ByteWriter manifest;
+  manifest.U32(kManifestMagic);
+  manifest.U32(kFormatVersion);
+  manifest.I32(static_cast<int32_t>(index_.size()));
+  manifest.I32(vocab_.size());
+  manifest.I64(num_tokens_);
+  manifest.U32(static_cast<uint32_t>(shard_digests_.size()));
+  manifest.U32(static_cast<uint32_t>(vocab_.num_shards()));
+  const auto put_digest = [&manifest](const FileDigest& d) {
+    manifest.I64(d.size);
+    manifest.U64(d.crc64);
+  };
+  put_digest(index_digest);
+  put_digest(vocab_digest);
+  put_digest(freqs_digest);
+  for (const FileDigest& d : shard_digests_) put_digest(d);
+  manifest.U64(Crc64(manifest.str()));
+  return AtomicWriteFile(dir_ + "/" + std::string(kManifestFile),
+                         manifest.str());
+}
+
+Status WriteDatasetToStore(const CheckInDataset& dataset,
+                           const std::string& dir,
+                           const StoreWriterOptions& options) {
+  PLP_ASSIGN_OR_RETURN(const auto writer,
+                       CheckInStoreWriter::Create(dir, options));
+  writer->PreRegisterVocab(dataset.num_locations());
+  std::vector<int32_t> locations;
+  std::vector<int64_t> timestamps;
+  for (int32_t u = 0; u < dataset.num_users(); ++u) {
+    locations.clear();
+    timestamps.clear();
+    for (const CheckIn& c : dataset.UserCheckIns(u)) {
+      locations.push_back(c.location);
+      timestamps.push_back(c.timestamp);
+    }
+    PLP_RETURN_IF_ERROR(writer->AppendUserDense(locations, timestamps));
+  }
+  return writer->Finish();
+}
+
+}  // namespace plp::data::store

@@ -1,0 +1,137 @@
+#ifndef PLP_DATA_STORE_STORE_WRITER_H_
+#define PLP_DATA_STORE_STORE_WRITER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/store/format.h"
+
+namespace plp::data::store {
+
+/// Raw-location-id → dense-id vocabulary, hash-sharded so lookups at
+/// 10^5–10^6 POIs touch one small map instead of one giant one and so
+/// the on-disk serialization is naturally partitioned. Dense ids are
+/// assigned in first-appearance order and are stable: re-ingesting the
+/// same stream yields the same assignment.
+class LocationVocab {
+ public:
+  explicit LocationVocab(int32_t num_shards = 16);
+
+  /// Returns the dense id of `raw_id`, assigning the next free dense id
+  /// on first appearance.
+  int32_t Assign(int64_t raw_id);
+
+  /// Returns the dense id of `raw_id`, or -1 when never assigned.
+  int32_t Lookup(int64_t raw_id) const;
+
+  int32_t size() const { return next_dense_; }
+  int32_t num_shards() const { return static_cast<int32_t>(shards_.size()); }
+
+  /// All (raw, dense) pairs of one hash shard, unordered.
+  const std::unordered_map<int64_t, int32_t>& Shard(int32_t shard) const {
+    return shards_[static_cast<size_t>(shard)];
+  }
+
+  /// The shard `raw_id` hashes to.
+  int32_t ShardOf(int64_t raw_id) const;
+
+ private:
+  std::vector<std::unordered_map<int64_t, int32_t>> shards_;
+  int32_t next_dense_ = 0;
+};
+
+/// Writer tuning knobs.
+struct StoreWriterOptions {
+  /// A new record shard is started once the current one exceeds this.
+  int64_t target_shard_bytes = 64ll << 20;
+  int32_t num_vocab_shards = 16;
+};
+
+/// Streaming writer of a PLPD corpus directory. Users are appended one at
+/// a time and flow straight to the current record shard — resident memory
+/// is O(users + locations) for the index, vocabulary and frequency table,
+/// never O(check-ins), so a million-user corpus can be generated in
+/// bounded RSS.
+///
+/// Durability: each finished shard is committed via write-to-temp + fsync
+/// + rename + directory fsync; the manifest (which names every file with
+/// its CRC-64) is written last through the same protocol and is the
+/// commit point. A crash mid-write leaves either a previous complete
+/// corpus or no manifest at all — never a torn corpus that opens.
+class CheckInStoreWriter {
+ public:
+  /// Creates `dir` (and parents) and starts a fresh corpus in it.
+  static Result<std::unique_ptr<CheckInStoreWriter>> Create(
+      const std::string& dir, const StoreWriterOptions& options = {});
+
+  ~CheckInStoreWriter();
+  CheckInStoreWriter(const CheckInStoreWriter&) = delete;
+  CheckInStoreWriter& operator=(const CheckInStoreWriter&) = delete;
+
+  /// Pre-assigns dense ids 0..num_locations-1 to raw ids 0..num_locations-1.
+  /// For sources that are already densely tokenized (a CheckInDataset, the
+  /// synthetic generator) this makes store tokens bit-identical to source
+  /// tokens. Must be called before any append.
+  void PreRegisterVocab(int32_t num_locations);
+
+  /// Appends one user's time-ordered check-ins, mapping raw location ids
+  /// through the vocabulary. The user's dense id is the append ordinal.
+  Status AppendUser(std::span<const int64_t> raw_locations,
+                    std::span<const int64_t> timestamps);
+
+  /// Appends one user whose locations are already dense vocabulary ids
+  /// (each id must have been assigned, e.g. via PreRegisterVocab).
+  Status AppendUserDense(std::span<const int32_t> locations,
+                         std::span<const int64_t> timestamps);
+
+  int32_t users_appended() const {
+    return static_cast<int32_t>(index_.size());
+  }
+  int64_t tokens_appended() const { return num_tokens_; }
+  int32_t vocab_size() const { return vocab_.size(); }
+
+  /// Commits the corpus: final shard, index, vocabulary, frequency table,
+  /// then the manifest. The writer is unusable afterwards.
+  Status Finish();
+
+ private:
+  CheckInStoreWriter(std::string dir, StoreWriterOptions options);
+
+  Status StartShardIfNeeded();
+  Status CommitCurrentShard();
+  Status WriteBlob(const std::string& file_name, const std::string& contents,
+                   FileDigest& digest);
+
+  std::string dir_;
+  StoreWriterOptions options_;
+  LocationVocab vocab_;
+  std::vector<int64_t> frequencies_;
+  std::vector<UserIndexEntry> index_;
+  std::vector<FileDigest> shard_digests_;
+  int64_t num_tokens_ = 0;
+
+  // Current shard stream state.
+  int fd_ = -1;
+  std::string temp_path_;
+  int64_t shard_bytes_ = 0;
+  uint64_t shard_crc_ = 0;
+  bool finished_ = false;
+};
+
+/// Writes an in-memory dataset to a PLPD directory. The identity
+/// vocabulary is pre-registered, so store tokens equal the dataset's
+/// dense location ids and training on either representation is
+/// bit-identical.
+Status WriteDatasetToStore(const CheckInDataset& dataset,
+                           const std::string& dir,
+                           const StoreWriterOptions& options = {});
+
+}  // namespace plp::data::store
+
+#endif  // PLP_DATA_STORE_STORE_WRITER_H_

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "data/store/store_writer.h"
 
 namespace plp::data {
 namespace {
@@ -44,15 +47,28 @@ Status ValidateConfig(const SyntheticConfig& c) {
   return Status::Ok();
 }
 
-}  // namespace
+/// World-level state shared by every user trajectory: the city's districts,
+/// its POIs with their geography and Zipf popularity, and the popularity
+/// samplers. O(num_locations) memory — this is the only per-corpus state
+/// the streaming mode holds, which is what bounds its resident set.
+struct World {
+  std::vector<int32_t> location_cluster;
+  std::vector<double> location_lat, location_lon;
+  std::vector<double> location_weight;
+  std::vector<std::vector<int32_t>> cluster_locations;
+  std::vector<AliasSampler> cluster_popularity;
+  // No default constructor on AliasSampler; filled during BuildWorld.
+  std::optional<AliasSampler> cluster_sampler;
+  std::optional<AliasSampler> global_popularity;
+};
 
-Result<CheckInDataset> GenerateSyntheticCheckIns(
-    const SyntheticConfig& config, Rng& rng,
-    SyntheticGroundTruth* ground_truth) {
-  PLP_RETURN_IF_ERROR(ValidateConfig(config));
-
+/// Draws the world. RNG consumption: 2 uniforms per cluster center, then
+/// one cluster sample + 2 gaussians per POI — identical to the historical
+/// monolithic generator, so (config, seed) keeps producing the same city.
+World BuildWorld(const SyntheticConfig& config, Rng& rng) {
   const int32_t num_clusters = config.num_clusters;
   const int32_t num_locations = config.num_locations;
+  World world;
 
   // District centers scattered in the bounding box; district popularity
   // itself is skewed (downtown effect).
@@ -65,144 +81,179 @@ Result<CheckInDataset> GenerateSyntheticCheckIns(
   for (int32_t k = 0; k < num_clusters; ++k) {
     cluster_weight[k] = std::pow(static_cast<double>(k + 1), -0.8);
   }
-  AliasSampler cluster_sampler(cluster_weight);
+  world.cluster_sampler.emplace(cluster_weight);
 
   // POIs: assign to a district, scatter geographically, give Zipf weight.
   ZipfDistribution popularity(static_cast<size_t>(num_locations),
                               config.zipf_exponent);
-  std::vector<int32_t> location_cluster(num_locations);
-  std::vector<double> location_lat(num_locations), location_lon(num_locations);
-  std::vector<double> location_weight(num_locations);
-  std::vector<std::vector<int32_t>> cluster_locations(num_clusters);
+  world.location_cluster.resize(num_locations);
+  world.location_lat.resize(num_locations);
+  world.location_lon.resize(num_locations);
+  world.location_weight.resize(num_locations);
+  world.cluster_locations.resize(num_clusters);
   for (int32_t l = 0; l < num_locations; ++l) {
-    const int32_t k = static_cast<int32_t>(cluster_sampler.Sample(rng));
-    location_cluster[l] = k;
-    location_lat[l] = Clamp(
+    const int32_t k = static_cast<int32_t>(world.cluster_sampler->Sample(rng));
+    world.location_cluster[l] = k;
+    world.location_lat[l] = Clamp(
         rng.Gaussian(center_lat[k], config.cluster_stddev_deg),
         config.bbox.south, config.bbox.north);
-    location_lon[l] = Clamp(
+    world.location_lon[l] = Clamp(
         rng.Gaussian(center_lon[k], config.cluster_stddev_deg),
         config.bbox.west, config.bbox.east);
-    location_weight[l] = popularity.Pmf(static_cast<size_t>(l));
-    cluster_locations[k].push_back(l);
+    world.location_weight[l] = popularity.Pmf(static_cast<size_t>(l));
+    world.cluster_locations[k].push_back(l);
   }
   // A cluster can end up empty (alias sampling); steal a POI from the
   // currently largest cluster so per-cluster samplers are well-formed.
   // num_clusters <= num_locations guarantees a donor with >= 2 POIs exists
   // while any cluster is empty.
   for (int32_t k = 0; k < num_clusters; ++k) {
-    if (!cluster_locations[k].empty()) continue;
+    if (!world.cluster_locations[k].empty()) continue;
     int32_t donor = 0;
     for (int32_t j = 1; j < num_clusters; ++j) {
-      if (cluster_locations[j].size() > cluster_locations[donor].size()) {
+      if (world.cluster_locations[j].size() >
+          world.cluster_locations[donor].size()) {
         donor = j;
       }
     }
-    PLP_CHECK_GE(cluster_locations[donor].size(), 2u);
-    const int32_t l = cluster_locations[donor].back();
-    cluster_locations[donor].pop_back();
-    location_cluster[l] = k;
-    cluster_locations[k].push_back(l);
+    PLP_CHECK_GE(world.cluster_locations[donor].size(), 2u);
+    const int32_t l = world.cluster_locations[donor].back();
+    world.cluster_locations[donor].pop_back();
+    world.location_cluster[l] = k;
+    world.cluster_locations[k].push_back(l);
   }
 
   // Per-cluster popularity samplers.
-  std::vector<AliasSampler> cluster_popularity;
-  cluster_popularity.reserve(num_clusters);
+  world.cluster_popularity.reserve(num_clusters);
   for (int32_t k = 0; k < num_clusters; ++k) {
     std::vector<double> w;
-    w.reserve(cluster_locations[k].size());
-    for (int32_t l : cluster_locations[k]) w.push_back(location_weight[l]);
-    cluster_popularity.emplace_back(w);
+    w.reserve(world.cluster_locations[k].size());
+    for (int32_t l : world.cluster_locations[k]) {
+      w.push_back(world.location_weight[l]);
+    }
+    world.cluster_popularity.emplace_back(w);
   }
-  AliasSampler global_popularity(location_weight);
+  world.global_popularity.emplace(world.location_weight);
+  return world;
+}
+
+/// One user's exploration / preferential-return trajectory. Appends the
+/// visited locations and their timestamps (time-ordered) and returns the
+/// user's home cluster. RNG consumption is identical to the historical
+/// per-user loop of the monolithic generator.
+int32_t GenerateUserTrajectory(const World& world,
+                               const SyntheticConfig& config, Rng& rng,
+                               std::vector<int32_t>& locations,
+                               std::vector<int64_t>& timestamps) {
+  locations.clear();
+  timestamps.clear();
+  const int32_t home =
+      static_cast<int32_t>(world.cluster_sampler->Sample(rng));
+
+  const double raw = std::exp(
+      rng.Gaussian(config.log_checkins_mean, config.log_checkins_stddev));
+  const int32_t target_checkins = static_cast<int32_t>(Clamp(
+      std::round(raw), config.min_checkins_per_user,
+      config.max_checkins_per_user));
+
+  // Exploration/preferential-return mobility.
+  std::vector<double> visit_count;  // per distinct visited location
+  std::vector<int32_t> distinct;    // distinct visited locations
+  auto explore = [&]() -> int32_t {
+    const bool stay_home = rng.Bernoulli(config.home_cluster_affinity);
+    if (stay_home) {
+      const auto& locs = world.cluster_locations[home];
+      return locs[world.cluster_popularity[home].Sample(rng)];
+    }
+    return static_cast<int32_t>(world.global_popularity->Sample(rng));
+  };
+  auto next_location = [&]() -> int32_t {
+    if (!distinct.empty() && rng.Bernoulli(config.return_probability)) {
+      AliasSampler personal(visit_count);
+      return distinct[personal.Sample(rng)];
+    }
+    return explore();
+  };
+  auto record_visit = [&](int32_t l) {
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      if (distinct[i] == l) {
+        visit_count[i] += 1.0;
+        return;
+      }
+    }
+    distinct.push_back(l);
+    visit_count.push_back(1.0);
+  };
+
+  int64_t now = config.start_timestamp +
+                static_cast<int64_t>(rng.Exponential(
+                    1.0 / (config.mean_hours_between_sessions * 3600.0)));
+  int32_t produced = 0;
+  std::vector<int32_t> session_locs;
+  while (produced < target_checkins) {
+    const int32_t session_len = static_cast<int32_t>(std::min<int64_t>(
+        rng.UniformInt(config.session_length_min, config.session_length_max),
+        target_checkins - produced));
+    session_locs.clear();
+    for (int32_t s = 0; s < session_len; ++s) {
+      int32_t l = next_location();
+      if (config.unique_within_session) {
+        // Resample on a within-session repeat (bounded retries; fall back
+        // to a fresh exploration draw, repeat or not, if the user's
+        // personal pool is exhausted).
+        for (int attempt = 0;
+             attempt < 16 && std::find(session_locs.begin(),
+                                       session_locs.end(),
+                                       l) != session_locs.end();
+             ++attempt) {
+          l = attempt < 8 ? next_location() : explore();
+        }
+      }
+      session_locs.push_back(l);
+      record_visit(l);
+      locations.push_back(l);
+      timestamps.push_back(now);
+      ++produced;
+      now += static_cast<int64_t>(rng.Exponential(
+          1.0 / (config.mean_minutes_between_checkins * 60.0)));
+    }
+    now += static_cast<int64_t>(rng.Exponential(
+        1.0 / (config.mean_hours_between_sessions * 3600.0)));
+  }
+  return home;
+}
+
+}  // namespace
+
+Result<CheckInDataset> GenerateSyntheticCheckIns(
+    const SyntheticConfig& config, Rng& rng,
+    SyntheticGroundTruth* ground_truth) {
+  PLP_RETURN_IF_ERROR(ValidateConfig(config));
+  const int32_t num_locations = config.num_locations;
+  const World world = BuildWorld(config, rng);
 
   if (ground_truth != nullptr) {
-    ground_truth->location_cluster = location_cluster;
-    ground_truth->location_popularity = location_weight;
+    ground_truth->location_cluster = world.location_cluster;
+    ground_truth->location_popularity = world.location_weight;
     ground_truth->user_home_cluster.assign(config.num_users, 0);
   }
 
-  // Users.
   std::vector<CheckIn> records;
+  std::vector<int32_t> locations;
+  std::vector<int64_t> timestamps;
   for (int32_t u = 0; u < config.num_users; ++u) {
-    const int32_t home = static_cast<int32_t>(cluster_sampler.Sample(rng));
+    const int32_t home =
+        GenerateUserTrajectory(world, config, rng, locations, timestamps);
     if (ground_truth != nullptr) ground_truth->user_home_cluster[u] = home;
-
-    const double raw = std::exp(
-        rng.Gaussian(config.log_checkins_mean, config.log_checkins_stddev));
-    const int32_t target_checkins = static_cast<int32_t>(Clamp(
-        std::round(raw), config.min_checkins_per_user,
-        config.max_checkins_per_user));
-
-    // Exploration/preferential-return mobility.
-    std::vector<int32_t> visited;        // personal history (with repeats)
-    std::vector<double> visit_count;     // per distinct visited location
-    std::vector<int32_t> distinct;       // distinct visited locations
-    auto explore = [&]() -> int32_t {
-      const bool stay_home = rng.Bernoulli(config.home_cluster_affinity);
-      if (stay_home) {
-        const auto& locs = cluster_locations[home];
-        return locs[cluster_popularity[home].Sample(rng)];
-      }
-      return static_cast<int32_t>(global_popularity.Sample(rng));
-    };
-    auto next_location = [&]() -> int32_t {
-      if (!distinct.empty() && rng.Bernoulli(config.return_probability)) {
-        AliasSampler personal(visit_count);
-        return distinct[personal.Sample(rng)];
-      }
-      return explore();
-    };
-    auto record_visit = [&](int32_t l) {
-      for (size_t i = 0; i < distinct.size(); ++i) {
-        if (distinct[i] == l) {
-          visit_count[i] += 1.0;
-          return;
-        }
-      }
-      distinct.push_back(l);
-      visit_count.push_back(1.0);
-    };
-
-    int64_t now = config.start_timestamp +
-                  static_cast<int64_t>(rng.Exponential(
-                      1.0 / (config.mean_hours_between_sessions * 3600.0)));
-    int32_t produced = 0;
-    std::vector<int32_t> session_locs;
-    while (produced < target_checkins) {
-      const int32_t session_len = static_cast<int32_t>(std::min<int64_t>(
-          rng.UniformInt(config.session_length_min, config.session_length_max),
-          target_checkins - produced));
-      session_locs.clear();
-      for (int32_t s = 0; s < session_len; ++s) {
-        int32_t l = next_location();
-        if (config.unique_within_session) {
-          // Resample on a within-session repeat (bounded retries; fall back
-          // to a fresh exploration draw, repeat or not, if the user's
-          // personal pool is exhausted).
-          for (int attempt = 0;
-               attempt < 16 && std::find(session_locs.begin(),
-                                         session_locs.end(),
-                                         l) != session_locs.end();
-               ++attempt) {
-            l = attempt < 8 ? next_location() : explore();
-          }
-        }
-        session_locs.push_back(l);
-        record_visit(l);
-        CheckIn c;
-        c.user = u;
-        c.location = l;
-        c.timestamp = now;
-        c.latitude = location_lat[l];
-        c.longitude = location_lon[l];
-        records.push_back(c);
-        ++produced;
-        now += static_cast<int64_t>(rng.Exponential(
-            1.0 / (config.mean_minutes_between_checkins * 60.0)));
-      }
-      now += static_cast<int64_t>(rng.Exponential(
-          1.0 / (config.mean_hours_between_sessions * 3600.0)));
+    for (size_t i = 0; i < locations.size(); ++i) {
+      const int32_t l = locations[i];
+      CheckIn c;
+      c.user = u;
+      c.location = l;
+      c.timestamp = timestamps[i];
+      c.latitude = world.location_lat[l];
+      c.longitude = world.location_lon[l];
+      records.push_back(c);
     }
   }
 
@@ -226,6 +277,23 @@ Result<CheckInDataset> GenerateSyntheticCheckIns(
     *ground_truth = std::move(compact);
   }
   return CheckInDataset::FromRecords(std::move(records));
+}
+
+Status GenerateSyntheticCheckInsToStore(const SyntheticConfig& config,
+                                        Rng& rng,
+                                        store::CheckInStoreWriter& writer) {
+  PLP_RETURN_IF_ERROR(ValidateConfig(config));
+  const World world = BuildWorld(config, rng);
+
+  std::vector<int32_t> locations;
+  std::vector<int64_t> timestamps;
+  std::vector<int64_t> raw_ids;
+  for (int32_t u = 0; u < config.num_users; ++u) {
+    GenerateUserTrajectory(world, config, rng, locations, timestamps);
+    raw_ids.assign(locations.begin(), locations.end());
+    PLP_RETURN_IF_ERROR(writer.AppendUser(raw_ids, timestamps));
+  }
+  return Status::Ok();
 }
 
 SyntheticConfig SmallSyntheticConfig() {

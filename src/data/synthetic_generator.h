@@ -11,6 +11,10 @@
 
 namespace plp::data {
 
+namespace store {
+class CheckInStoreWriter;
+}  // namespace store
+
 /// Configuration of the synthetic Foursquare-like check-in generator.
 ///
 /// The generator substitutes for the proprietary Foursquare Tokyo dataset
@@ -66,6 +70,24 @@ struct SyntheticGroundTruth {
 Result<CheckInDataset> GenerateSyntheticCheckIns(
     const SyntheticConfig& config, Rng& rng,
     SyntheticGroundTruth* ground_truth = nullptr);
+
+/// Streams a synthetic corpus user-by-user into an on-disk PLPD writer.
+/// The world setup and every per-user trajectory consume the RNG in
+/// exactly the same order as GenerateSyntheticCheckIns, so the two modes
+/// produce the same check-in stream for a given (config, seed) — but
+/// resident memory here stays O(num_locations + num_users): each user's
+/// trajectory is handed to the writer and dropped, never accumulated.
+/// That is what makes a 10^6-user / 10^5-POI corpus generable on a
+/// laptop-sized heap.
+///
+/// Location ids are appended as raw ids, so the store's vocabulary
+/// assigns dense ids in first-appearance order — a different (but
+/// self-consistent) numbering than CheckInDataset::FromRecords, which
+/// densifies by ascending raw id. The caller owns `writer` and must call
+/// Finish() afterwards to commit the corpus.
+Status GenerateSyntheticCheckInsToStore(const SyntheticConfig& config,
+                                        Rng& rng,
+                                        store::CheckInStoreWriter& writer);
 
 /// A down-scaled configuration (hundreds of users, hundreds of POIs) whose
 /// training runs finish in seconds; used by tests and the default bench

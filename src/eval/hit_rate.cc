@@ -25,6 +25,42 @@ std::vector<EvalExample> BuildLeaveOneOutExamples(
   return examples;
 }
 
+void AppendLeaveOneOutExamples(std::span<const int32_t> locations,
+                               std::span<const int64_t> timestamps,
+                               std::vector<EvalExample>& out,
+                               int64_t max_session_seconds,
+                               int64_t max_gap_seconds) {
+  PLP_CHECK_EQ(locations.size(), timestamps.size());
+  PLP_CHECK_GT(max_session_seconds, 0);
+  PLP_CHECK_GT(max_gap_seconds, 0);
+  std::vector<int32_t> session;
+  int64_t session_start = 0;
+  int64_t previous = 0;
+  auto flush = [&out, &session] {
+    if (session.size() >= 2) {
+      EvalExample ex;
+      ex.label = session.back();
+      session.pop_back();
+      ex.history = std::move(session);
+      out.push_back(std::move(ex));
+    }
+    session.clear();
+  };
+  for (size_t i = 0; i < locations.size(); ++i) {
+    const int64_t t = timestamps[i];
+    const bool start_new = session.empty() ||
+                           t - session_start > max_session_seconds ||
+                           t - previous > max_gap_seconds;
+    if (start_new) {
+      flush();
+      session_start = t;
+    }
+    session.push_back(locations[i]);
+    previous = t;
+  }
+  flush();
+}
+
 double HitRateResult::at(int32_t k) const {
   const auto it = hit_rate.find(k);
   PLP_CHECK(it != hit_rate.end());

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -25,6 +26,19 @@ std::vector<EvalExample> BuildLeaveOneOutExamples(
     const data::CheckInDataset& holdout,
     int64_t max_session_seconds = 6 * 3600,
     int64_t max_gap_seconds = 6 * 3600);
+
+/// Same leave-one-out construction from one user's raw (location,
+/// timestamp) arrays — the shape the mmap-backed check-in store hands out
+/// — replicating CheckInDataset::Sessionize's cutting rules exactly: a
+/// new trajectory starts when the session would exceed
+/// `max_session_seconds` from its first visit or the gap since the
+/// previous visit exceeds `max_gap_seconds`. Appends to `out` so holdout
+/// users can be streamed one at a time.
+void AppendLeaveOneOutExamples(std::span<const int32_t> locations,
+                               std::span<const int64_t> timestamps,
+                               std::vector<EvalExample>& out,
+                               int64_t max_session_seconds = 6 * 3600,
+                               int64_t max_gap_seconds = 6 * 3600);
 
 /// HR@k for each requested k plus the example count.
 struct HitRateResult {

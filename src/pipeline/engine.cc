@@ -41,10 +41,10 @@ ckpt::TrainerSnapshot MakeSnapshot(ckpt::TrainerKind kind, int64_t step,
 }  // namespace
 
 Result<core::TrainResult> TrainingEngine::Train(
-    const data::TrainingCorpus& corpus, Rng& rng,
+    const data::CorpusView& corpus, Rng& rng,
     const core::StepCallback& callback,
     const ckpt::CheckpointOptions& checkpoint) {
-  if (corpus.num_users() == 0 || corpus.num_locations <= 0) {
+  if (corpus.NumUsers() == 0 || corpus.NumLocations() <= 0) {
     return InvalidArgumentError("empty training corpus");
   }
   // Build the bounded exp/sigmoid tables before any worker needs them, so
@@ -63,7 +63,7 @@ Result<core::TrainResult> TrainingEngine::Train(
   Stopwatch stopwatch;
   PLP_ASSIGN_OR_RETURN(
       sgns::SgnsModel model,
-      sgns::SgnsModel::Create(corpus.num_locations, config_.sgns, rng));
+      sgns::SgnsModel::Create(corpus.NumLocations(), config_.sgns, rng));
   PLP_RETURN_IF_ERROR(stages_.server->Prepare(model));
   PLP_RETURN_IF_ERROR(stages_.updater->Prepare(corpus, model, rng));
   stages_.aggregator->Prepare(corpus);
@@ -82,7 +82,7 @@ Result<core::TrainResult> TrainingEngine::Train(
         return InvalidArgumentError(
             "checkpoint was written by a different trainer kind");
       }
-      if (snapshot.model.num_locations() != corpus.num_locations ||
+      if (snapshot.model.num_locations() != corpus.NumLocations() ||
           snapshot.model.dim() != config_.sgns.embedding_dim) {
         return InvalidArgumentError(
             "checkpoint model shape disagrees with corpus/config");
@@ -183,7 +183,7 @@ Result<core::TrainResult> TrainingEngine::Train(
       const auto run_bucket = [&](size_t i, sgns::TrainScratch* scratch) {
         Rng bucket_rng(core::BucketSeed(step_seed, buckets[i]));
         stages_.updater->ComputeDelta(result.model, buckets[i],
-                                      corpus.num_locations, bucket_rng,
+                                      corpus.NumLocations(), bucket_rng,
                                       &losses[i], scratch, deltas[i]);
         clip_engaged[i] = stages_.clipper->Clip(deltas[i]) ? 1 : 0;
       };

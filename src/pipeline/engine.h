@@ -39,7 +39,7 @@ class TrainingEngine {
   /// gate returning θ_{t−1}, observe-before-commit checkpointing) are
   /// pinned by the golden equivalence suite against the pre-pipeline
   /// trainers — see tests/pipeline/golden_equivalence_test.cc.
-  Result<core::TrainResult> Train(const data::TrainingCorpus& corpus,
+  Result<core::TrainResult> Train(const data::CorpusView& corpus,
                                   Rng& rng, const core::StepCallback& callback,
                                   const ckpt::CheckpointOptions& checkpoint);
 

@@ -19,7 +19,7 @@ void LocalUpdater::ComputeDelta(const sgns::SgnsModel& theta,
   PLP_CHECK(false);  // BucketParallel() updaters must override ComputeDelta
 }
 
-Result<double> LocalUpdater::WholeRound(const data::TrainingCorpus& corpus,
+Result<double> LocalUpdater::WholeRound(const data::CorpusView& corpus,
                                         sgns::SgnsModel& model, Rng& rng) {
   (void)corpus;
   (void)model;

@@ -47,7 +47,7 @@ class UserSampler {
   virtual ~UserSampler() = default;
 
   /// Returns the sampled user ids (ascending). Draws from `rng` only.
-  virtual std::vector<int32_t> Sample(const data::TrainingCorpus& corpus,
+  virtual std::vector<int32_t> Sample(const data::CorpusView& corpus,
                                       Rng& rng) = 0;
 };
 
@@ -59,7 +59,7 @@ class Grouper {
   /// Builds the round's buckets. Implementations enforce their own split
   /// bound (no user's data may reach more than ω buckets — the ω·C
   /// sensitivity argument depends on it).
-  virtual std::vector<core::Bucket> Group(const data::TrainingCorpus& corpus,
+  virtual std::vector<core::Bucket> Group(const data::CorpusView& corpus,
                                           const std::vector<int32_t>& sampled,
                                           Rng& rng) = 0;
 };
@@ -76,7 +76,7 @@ class LocalUpdater {
   /// resume. May precompute corpus-derived state (e.g. subsampling keep
   /// probabilities); must not consume `rng` unless that consumption is
   /// part of the trainer's pinned RNG stream.
-  virtual Status Prepare(const data::TrainingCorpus& corpus,
+  virtual Status Prepare(const data::CorpusView& corpus,
                          const sgns::SgnsModel& model, Rng& rng) {
     (void)corpus;
     (void)model;
@@ -104,7 +104,7 @@ class LocalUpdater {
 
   /// Whole-round mode: one full round (epoch) mutating `model` in place,
   /// drawing from the trainer's main `rng`. Returns the round's mean loss.
-  virtual Result<double> WholeRound(const data::TrainingCorpus& corpus,
+  virtual Result<double> WholeRound(const data::CorpusView& corpus,
                                     sgns::SgnsModel& model, Rng& rng);
 };
 
@@ -135,7 +135,7 @@ class NoisyAggregator {
 
   /// Called once per Train() before the loop; may precompute
   /// corpus-derived constants (e.g. the fixed denominator q·N/λ).
-  virtual void Prepare(const data::TrainingCorpus& corpus) { (void)corpus; }
+  virtual void Prepare(const data::CorpusView& corpus) { (void)corpus; }
 
   /// Σ deltas into `sum` (already zeroed), in deterministic bucket order
   /// regardless of `pool` size.

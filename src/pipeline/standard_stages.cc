@@ -25,9 +25,9 @@ class PoissonSampler final : public UserSampler {
  public:
   explicit PoissonSampler(double q) : q_(q) {}
 
-  std::vector<int32_t> Sample(const data::TrainingCorpus& corpus,
+  std::vector<int32_t> Sample(const data::CorpusView& corpus,
                               Rng& rng) override {
-    return core::PoissonSampleUsers(corpus.num_users(), q_, rng);
+    return core::PoissonSampleUsers(corpus.NumUsers(), q_, rng);
   }
 
  private:
@@ -43,7 +43,7 @@ class ConfiguredGrouper final : public Grouper {
   explicit ConfiguredGrouper(const core::PlpConfig& config)
       : config_(config) {}
 
-  std::vector<core::Bucket> Group(const data::TrainingCorpus& corpus,
+  std::vector<core::Bucket> Group(const data::CorpusView& corpus,
                                   const std::vector<int32_t>& sampled,
                                   Rng& rng) override {
     std::vector<core::Bucket> buckets =
@@ -64,16 +64,30 @@ class BucketSgdUpdater final : public LocalUpdater {
 
   bool BucketParallel() const override { return true; }
 
+  Status Prepare(const data::CorpusView& corpus, const sgns::SgnsModel& model,
+                 Rng& rng) override {
+    (void)model;
+    (void)rng;  // table construction is deterministic — no draws
+    if (config_.sgns.negative_sampling ==
+        sgns::NegativeSamplingKind::kUnigram) {
+      negative_table_.emplace(data::CountTokenFrequencies(corpus),
+                              config_.sgns.unigram_power);
+    }
+    return Status::Ok();
+  }
+
   void ComputeDelta(const sgns::SgnsModel& theta, const core::Bucket& bucket,
                     int32_t num_locations, Rng& bucket_rng, double* loss_out,
                     sgns::TrainScratch* scratch,
                     sgns::SparseDelta& delta) override {
-    core::ComputeRawBucketDeltaInto(theta, bucket, config_, num_locations,
-                                    bucket_rng, loss_out, scratch, delta);
+    core::ComputeRawBucketDeltaInto(
+        theta, bucket, config_, num_locations, bucket_rng, loss_out, scratch,
+        delta, negative_table_.has_value() ? &*negative_table_ : nullptr);
   }
 
  private:
   core::PlpConfig config_;
+  std::optional<sgns::UnigramTable> negative_table_;
 };
 
 /// Line 21 (per-layer form, Section 4.1): each tensor clipped to C/√|θ|.
@@ -97,11 +111,11 @@ class GaussianAggregator final : public NoisyAggregator {
   explicit GaussianAggregator(const core::PlpConfig& config)
       : config_(config) {}
 
-  void Prepare(const data::TrainingCorpus& corpus) override {
+  void Prepare(const data::CorpusView& corpus) override {
     // Fixed-denominator estimator: E[|H|] = q·N/λ (never below 1).
     expected_buckets_ =
         std::max(1.0, config_.sampling_probability *
-                          static_cast<double>(corpus.num_users()) /
+                          static_cast<double>(corpus.NumUsers()) /
                           static_cast<double>(config_.grouping_factor));
   }
 
@@ -312,7 +326,7 @@ class OptimServerAdapter final : public ServerOptimizer {
 /// Samples nothing — the non-private round always uses the whole corpus.
 class NullSampler final : public UserSampler {
  public:
-  std::vector<int32_t> Sample(const data::TrainingCorpus& corpus,
+  std::vector<int32_t> Sample(const data::CorpusView& corpus,
                               Rng& rng) override {
     (void)corpus;
     (void)rng;
@@ -323,7 +337,7 @@ class NullSampler final : public UserSampler {
 /// Groups nothing — the whole-round updater reads the corpus directly.
 class NullGrouper final : public Grouper {
  public:
-  std::vector<core::Bucket> Group(const data::TrainingCorpus& corpus,
+  std::vector<core::Bucket> Group(const data::CorpusView& corpus,
                                   const std::vector<int32_t>& sampled,
                                   Rng& rng) override {
     (void)corpus;
@@ -422,24 +436,26 @@ class EpochSgdUpdater final : public LocalUpdater {
 
   bool BucketParallel() const override { return false; }
 
-  Status Prepare(const data::TrainingCorpus& corpus,
+  Status Prepare(const data::CorpusView& corpus,
                  const sgns::SgnsModel& model, Rng& rng) override {
     (void)model;
+    // One corpus scan feeds both the subsampling keep probabilities and
+    // the unigram negative-sampling table (when either is enabled).
+    const bool wants_unigram = config_.sgns.negative_sampling ==
+                               sgns::NegativeSamplingKind::kUnigram;
+    std::vector<int64_t> counts;
+    if (wants_unigram || config_.subsample_threshold > 0.0) {
+      counts = data::CountTokenFrequencies(corpus);
+    }
+    if (wants_unigram) {
+      negative_table_.emplace(counts, config_.sgns.unigram_power);
+    }
     // Per-token keep probabilities for word2vec-style subsampling of
     // frequent locations (non-private only; see the config comment).
     keep_probability_.clear();
     if (config_.subsample_threshold > 0.0) {
-      std::vector<int64_t> counts(static_cast<size_t>(corpus.num_locations),
-                                  0);
       int64_t total = 0;
-      for (const auto& sentences : corpus.user_sentences) {
-        for (const auto& s : sentences) {
-          for (int32_t token : s) {
-            ++counts[static_cast<size_t>(token)];
-            ++total;
-          }
-        }
-      }
+      for (const int64_t c : counts) total += c;
       keep_probability_.resize(counts.size(), 1.0);
       for (size_t l = 0; l < counts.size(); ++l) {
         if (counts[l] == 0) continue;
@@ -466,7 +482,7 @@ class EpochSgdUpdater final : public LocalUpdater {
     return Status::Ok();
   }
 
-  Result<double> WholeRound(const data::TrainingCorpus& corpus,
+  Result<double> WholeRound(const data::CorpusView& corpus,
                             sgns::SgnsModel& model, Rng& rng) override {
     all_pairs_ =
         keep_probability_.empty() ? pristine_pairs_ : BuildPairs(corpus, rng);
@@ -482,7 +498,9 @@ class EpochSgdUpdater final : public LocalUpdater {
                                               end - start);
       sgns::SparseDelta gradient(config_.sgns.embedding_dim);
       const sgns::BatchStats stats = sgns::AccumulateBatchGradient(
-          model, batch, config_.sgns, corpus.num_locations, rng, gradient);
+          model, batch, config_.sgns, corpus.NumLocations(), rng, gradient,
+          /*buffers=*/nullptr,
+          negative_table_.has_value() ? &*negative_table_ : nullptr);
       server_->adam()->ApplyGradient(
           gradient, 1.0 / static_cast<double>(batch.size()), model);
       loss_sum += stats.loss_sum;
@@ -492,13 +510,16 @@ class EpochSgdUpdater final : public LocalUpdater {
   }
 
  private:
-  std::vector<sgns::Pair> BuildPairs(const data::TrainingCorpus& corpus,
+  std::vector<sgns::Pair> BuildPairs(const data::CorpusView& corpus,
                                      Rng& pair_rng) const {
     std::vector<sgns::Pair> pairs;
+    std::vector<std::span<const int32_t>> sentences;
     std::vector<int32_t> filtered;
-    for (const auto& sentences : corpus.user_sentences) {
+    for (int32_t u = 0; u < corpus.NumUsers(); ++u) {
+      sentences.clear();
+      corpus.AppendUserSentences(u, sentences);
       for (const auto& s : sentences) {
-        const std::vector<int32_t>* sentence = &s;
+        std::span<const int32_t> sentence = s;
         if (!keep_probability_.empty()) {
           filtered.clear();
           for (int32_t token : s) {
@@ -507,10 +528,10 @@ class EpochSgdUpdater final : public LocalUpdater {
               filtered.push_back(token);
             }
           }
-          sentence = &filtered;
+          sentence = filtered;
         }
         std::vector<sgns::Pair> p =
-            sgns::GeneratePairs(*sentence, config_.sgns.window);
+            sgns::GeneratePairs(sentence, config_.sgns.window);
         pairs.insert(pairs.end(), p.begin(), p.end());
       }
     }
@@ -519,6 +540,7 @@ class EpochSgdUpdater final : public LocalUpdater {
 
   core::NonPrivateConfig config_;
   SparseAdamServer* server_;  ///< owned by the same StageSet
+  std::optional<sgns::UnigramTable> negative_table_;
   std::vector<double> keep_probability_;
   std::vector<sgns::Pair> pristine_pairs_;
   std::vector<sgns::Pair> all_pairs_;
@@ -599,6 +621,12 @@ std::string DescribeStages(const core::PlpConfig& config) {
          "(batch=" + std::to_string(config.batch_size) +
          ", eta=" + std::to_string(config.local_learning_rate) +
          ", local_epochs=" + std::to_string(config.local_epochs) + ")\n";
+  out += "  NegativeSampler  ";
+  out += config.sgns.negative_sampling == sgns::NegativeSamplingKind::kUnigram
+             ? "unigram(power=" + std::to_string(config.sgns.unigram_power) +
+                   ", non-private)"
+             : "uniform";
+  out += "\n";
   out += "  DeltaClipper     per_tensor(C=" + std::to_string(config.clip_norm) + ")\n";
   out += "  NoisyAggregator  gaussian(sigma=" + std::to_string(config.noise_scale) +
          (config.noise_scale_final > 0.0

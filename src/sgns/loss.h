@@ -10,6 +10,7 @@
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "sgns/model.h"
+#include "sgns/negative_sampler.h"
 #include "sgns/pairs.h"
 #include "sgns/sparse_delta.h"
 #include "sgns/train_scratch.h"
@@ -65,13 +66,18 @@ struct ExactLossMath {
 /// `Model` must expose InRow/OutRow/bias like SgnsModel or LocalModel.
 /// `buffers` is an optional allocation cache (candidate/logit scratch,
 /// fully overwritten here); passing it changes nothing but allocation.
+/// `negative_table` switches candidate draws to the unigram^power law
+/// (SgnsConfig::negative_sampling == kUnigram); null keeps the uniform
+/// draw byte-identical to before the option existed.
 template <typename Model, typename LossMath = FastLossMath>
 BatchStats AccumulateBatchGradient(const Model& model,
                                    std::span<const Pair> batch,
                                    const SgnsConfig& config,
                                    int32_t num_locations, Rng& rng,
                                    SparseDelta& gradient,
-                                   PairBuffers* buffers = nullptr);
+                                   PairBuffers* buffers = nullptr,
+                                   const UnigramTable* negative_table =
+                                       nullptr);
 
 /// Applies one SGD step over a batch (Algorithm 1 line 19):
 ///   Φ ← Φ − η · (1/|b|) Σ ∇J(Φ).
@@ -83,7 +89,8 @@ template <typename Model, typename LossMath = FastLossMath>
 BatchStats ApplySgdBatch(Model& model, std::span<const Pair> batch,
                          const SgnsConfig& config, int32_t num_locations,
                          double learning_rate, Rng& rng,
-                         TrainScratch* scratch = nullptr);
+                         TrainScratch* scratch = nullptr,
+                         const UnigramTable* negative_table = nullptr);
 
 // Implementation details only below here.
 
@@ -100,6 +107,21 @@ inline int32_t DrawNegative(Rng& rng, int32_t num_locations, int32_t exclude) {
   return exclude == 0 ? (num_locations > 1 ? 1 : 0) : 0;
 }
 
+/// Table-driven variant: same bounded-retry/fallback contract as the
+/// uniform draw, with candidates from the unigram^power law. A null table
+/// falls through to the uniform draw (no extra RNG consumption either
+/// way, so the uniform path stays bitwise identical).
+inline int32_t DrawNegative(Rng& rng, int32_t num_locations, int32_t exclude,
+                            const UnigramTable* table) {
+  if (table == nullptr) return DrawNegative(rng, num_locations, exclude);
+  PLP_CHECK_EQ(table->num_locations(), num_locations);
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const int32_t c = table->Sample(rng);
+    if (c != exclude) return c;
+  }
+  return exclude == 0 ? (num_locations > 1 ? 1 : 0) : 0;
+}
+
 }  // namespace internal_loss
 
 template <typename Model, typename LossMath>
@@ -108,7 +130,8 @@ BatchStats AccumulateBatchGradient(const Model& model,
                                    const SgnsConfig& config,
                                    int32_t num_locations, Rng& rng,
                                    SparseDelta& gradient,
-                                   PairBuffers* buffers) {
+                                   PairBuffers* buffers,
+                                   const UnigramTable* negative_table) {
   PLP_CHECK_GT(num_locations, 0);
   PLP_CHECK_GT(config.negatives, 0);
   const int32_t dim = config.embedding_dim;
@@ -135,8 +158,9 @@ BatchStats AccumulateBatchGradient(const Model& model,
 
     candidates[0] = pair.context;  // positive class first
     for (int32_t i = 1; i < num_candidates; ++i) {
-      candidates[i] =
-          internal_loss::DrawNegative(rng, num_locations, pair.context);
+      candidates[i] = internal_loss::DrawNegative(rng, num_locations,
+                                                  pair.context,
+                                                  negative_table);
     }
     // The candidate rows are uniform-random draws over W', which at
     // realistic L does not fit in L2 — without a hint the forward dots
@@ -210,7 +234,8 @@ template <typename Model, typename LossMath>
 BatchStats ApplySgdBatch(Model& model, std::span<const Pair> batch,
                          const SgnsConfig& config, int32_t num_locations,
                          double learning_rate, Rng& rng,
-                         TrainScratch* scratch) {
+                         TrainScratch* scratch,
+                         const UnigramTable* negative_table) {
   if (batch.empty()) return BatchStats{};
   std::optional<SparseDelta> owned_gradient;
   SparseDelta* gradient;
@@ -224,7 +249,7 @@ BatchStats ApplySgdBatch(Model& model, std::span<const Pair> batch,
   }
   const BatchStats stats = AccumulateBatchGradient<Model, LossMath>(
       model, batch, config, num_locations, rng, *gradient,
-      scratch != nullptr ? &scratch->buffers : nullptr);
+      scratch != nullptr ? &scratch->buffers : nullptr, negative_table);
   const double scale =
       -learning_rate / static_cast<double>(batch.size());
   const size_t dim = static_cast<size_t>(config.embedding_dim);

@@ -26,6 +26,19 @@ enum class LossKind {
   kSgnsLogistic,
 };
 
+/// How negative candidates are drawn for each positive pair.
+enum class NegativeSamplingKind {
+  /// Uniform over [0, L). The paper's (and the DP path's) choice: the
+  /// distribution is data-independent, so it adds nothing to the privacy
+  /// analysis. Default.
+  kUniform,
+  /// Frequency-proportional, P(c) ∝ count(c)^unigram_power (the word2vec
+  /// unigram^0.75 law via sgns::UnigramTable). The token frequencies are
+  /// data-derived and NOT covered by the DP accounting — a non-private /
+  /// research option for large-vocabulary utility studies.
+  kUnigram,
+};
+
 /// Skip-gram hyper-parameters (paper defaults from Section 5.1).
 struct SgnsConfig {
   int32_t embedding_dim = 50;  ///< dim
@@ -33,6 +46,8 @@ struct SgnsConfig {
   int32_t negatives = 16;      ///< neg: candidates drawn per positive pair
   LossKind loss = LossKind::kSampledSoftmax;
   double init_scale = 0.0;  ///< 0 → use 0.5/dim (word2vec convention)
+  NegativeSamplingKind negative_sampling = NegativeSamplingKind::kUniform;
+  double unigram_power = 0.75;  ///< smoothing exponent for kUnigram
 };
 
 /// The skip-gram location model: an embedding matrix W (L × dim), a context

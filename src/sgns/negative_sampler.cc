@@ -1,0 +1,40 @@
+#include "sgns/negative_sampler.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace plp::sgns {
+namespace {
+
+std::vector<double> SmoothedWeights(std::span<const int64_t> counts,
+                                    double power) {
+  PLP_CHECK(!counts.empty());
+  PLP_CHECK(power >= 0.0);
+  std::vector<double> weights(counts.size(), 0.0);
+  double total = 0.0;
+  for (size_t l = 0; l < counts.size(); ++l) {
+    PLP_CHECK(counts[l] >= 0);
+    if (counts[l] > 0) {
+      weights[l] = std::pow(static_cast<double>(counts[l]), power);
+      total += weights[l];
+    }
+  }
+  if (total <= 0.0) {
+    // No observed tokens at all: fall back to uniform.
+    for (double& w : weights) w = 1.0;
+    total = static_cast<double>(weights.size());
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+}  // namespace
+
+UnigramTable::UnigramTable(std::span<const int64_t> counts, double power)
+    : UnigramTable(SmoothedWeights(counts, power)) {}
+
+UnigramTable::UnigramTable(std::vector<double> probabilities)
+    : alias_(probabilities), probabilities_(std::move(probabilities)) {}
+
+}  // namespace plp::sgns

@@ -1,0 +1,59 @@
+#ifndef PLP_SGNS_NEGATIVE_SAMPLER_H_
+#define PLP_SGNS_NEGATIVE_SAMPLER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace plp::sgns {
+
+/// Frequency-proportional negative sampling table: candidate c is drawn
+/// with probability count(c)^power / Σ count(l)^power — the word2vec
+/// unigram^0.75 law, realized as a Walker alias table so a draw is O(1)
+/// (one uniform integer + one uniform real) at any vocabulary size.
+///
+/// The default DP path keeps *uniform* negatives: the paper avoids
+/// frequency-based candidate sampling because the frequencies themselves
+/// are data-derived and would leak outside the DP accounting (Section
+/// 3.2). The unigram table is the non-private / research option and an
+/// ingredient for utility studies at 10^5–10^6 POIs, where uniform
+/// negatives are almost always never-visited locations.
+///
+/// Every draw consumes exactly two RNG values regardless of the outcome,
+/// so swapping the table in or out cannot desynchronize the pinned RNG
+/// streams of other stages (determinism contract in pipeline/stages.h).
+class UnigramTable {
+ public:
+  /// Builds the table from per-location token counts. Locations with zero
+  /// count get zero probability; if every count is zero the table
+  /// degenerates to uniform (so a freshly built corpus never aborts).
+  UnigramTable(std::span<const int64_t> counts, double power);
+
+  int32_t num_locations() const {
+    return static_cast<int32_t>(alias_.size());
+  }
+
+  /// Draws one location id. Exactly two RNG draws per call.
+  int32_t Sample(Rng& rng) const {
+    return static_cast<int32_t>(alias_.Sample(rng));
+  }
+
+  /// The sampling probability of `location` (for goodness-of-fit tests).
+  double Probability(int32_t location) const {
+    return probabilities_[static_cast<size_t>(location)];
+  }
+
+ private:
+  explicit UnigramTable(std::vector<double> probabilities);
+
+  // Declaration order matters: alias_ is built from `probabilities` before
+  // the delegate constructor moves it into probabilities_.
+  AliasSampler alias_;
+  std::vector<double> probabilities_;
+};
+
+}  // namespace plp::sgns
+
+#endif  // PLP_SGNS_NEGATIVE_SAMPLER_H_

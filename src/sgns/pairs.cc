@@ -17,7 +17,7 @@ size_t PairCount(size_t tokens, int32_t window) {
   return 2 * w * tokens - w * (w + 1);
 }
 
-std::vector<Pair> GeneratePairs(const std::vector<int32_t>& sentence,
+std::vector<Pair> GeneratePairs(std::span<const int32_t> sentence,
                                 int32_t window) {
   std::vector<Pair> pairs;
   pairs.reserve(PairCount(sentence.size(), window));
@@ -25,7 +25,7 @@ std::vector<Pair> GeneratePairs(const std::vector<int32_t>& sentence,
   return pairs;
 }
 
-void AppendPairs(const std::vector<int32_t>& sentence, int32_t window,
+void AppendPairs(std::span<const int32_t> sentence, int32_t window,
                  std::vector<Pair>& out) {
   PLP_CHECK_GT(window, 0);
   const int64_t n = static_cast<int64_t>(sentence.size());

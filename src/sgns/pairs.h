@@ -2,6 +2,8 @@
 #define PLP_SGNS_PAIRS_H_
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -26,13 +28,19 @@ size_t PairCount(size_t tokens, int32_t window);
 /// Emits every (target, context) pair from one sentence with a symmetric
 /// window of `window` tokens on each side (Section 3.2: "a symmetric window
 /// of win context locations to the left and win to the right").
-std::vector<Pair> GeneratePairs(const std::vector<int32_t>& sentence,
+std::vector<Pair> GeneratePairs(std::span<const int32_t> sentence,
                                 int32_t window);
+inline std::vector<Pair> GeneratePairs(std::initializer_list<int32_t> sentence,
+                                       int32_t window) {
+  return GeneratePairs(std::span<const int32_t>(sentence.begin(),
+                                                sentence.size()),
+                       window);
+}
 
 /// Appends GeneratePairs' output to `out` without clearing it. Callers
 /// that concatenate many sentences (BucketPairs) reserve once from
 /// PairCount and append, avoiding repeated reallocation.
-void AppendPairs(const std::vector<int32_t>& sentence, int32_t window,
+void AppendPairs(std::span<const int32_t> sentence, int32_t window,
                  std::vector<Pair>& out);
 
 /// Splits `pairs` into shuffled batches of `batch_size` (the paper's

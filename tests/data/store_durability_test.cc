@@ -1,0 +1,166 @@
+// PLPD durability contract: a corpus directory either opens as exactly
+// the bytes that were committed, or Open() fails — no torn, truncated, or
+// bit-flipped state is ever silently accepted. The battery flips EVERY
+// byte of the metadata files and one record shard, truncates the shard at
+// every length, and checks that stray atomic-write temp files (a crash
+// mid-commit) do not confuse a reopen.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/atomic_file.h"
+#include "data/dataset.h"
+#include "data/fixtures.h"
+#include "data/store/checkin_store.h"
+#include "data/store/store_writer.h"
+#include "support/seeded_driver.h"
+
+namespace plp::data::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string ReadAll(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void WriteAll(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A tiny committed corpus (3 users, single shard) shared by the flip
+/// batteries — small files keep every-byte sweeps fast.
+std::string CommitTinyCorpus(const std::string& name) {
+  const std::string dir = FreshDir(name);
+  auto writer_or = CheckInStoreWriter::Create(dir);
+  PLP_CHECK(writer_or.ok());
+  const std::vector<std::vector<int64_t>> users = {
+      {7, 3, 7, 1}, {3, 3}, {1, 7, 3}};
+  int64_t t = 100;
+  for (const auto& locs : users) {
+    std::vector<int64_t> ts;
+    for (size_t i = 0; i < locs.size(); ++i) ts.push_back(t += 60);
+    PLP_CHECK((*writer_or)->AppendUser(locs, ts).ok());
+  }
+  PLP_CHECK((*writer_or)->Finish().ok());
+  PLP_CHECK(CheckInStore::Open(dir).ok());
+  return dir;
+}
+
+/// Flips every byte of `file` in turn (XOR 0xFF) and asserts that Open
+/// rejects each corruption, restoring the pristine bytes between flips.
+void ExpectEveryByteFlipRejected(const std::string& dir,
+                                 const std::string& file) {
+  const fs::path path = fs::path(dir) / file;
+  const std::string pristine = ReadAll(path);
+  ASSERT_GT(pristine.size(), 0u) << file;
+  int accepted = 0;
+  for (size_t i = 0; i < pristine.size(); ++i) {
+    std::string corrupt = pristine;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xFF);
+    WriteAll(path, corrupt);
+    if (CheckInStore::Open(dir).ok()) {
+      ++accepted;
+      ADD_FAILURE() << file << ": flip of byte " << i << " was accepted";
+      if (accepted > 3) break;  // don't spam thousands of failures
+    }
+  }
+  WriteAll(path, pristine);
+  ASSERT_TRUE(CheckInStore::Open(dir).ok()) << "restore failed for " << file;
+}
+
+TEST(StoreDurabilityTest, EveryManifestByteFlipIsRejected) {
+  const std::string dir = CommitTinyCorpus("durability-manifest");
+  ExpectEveryByteFlipRejected(dir, kManifestFile);
+}
+
+TEST(StoreDurabilityTest, EveryIndexByteFlipIsRejected) {
+  const std::string dir = CommitTinyCorpus("durability-index");
+  ExpectEveryByteFlipRejected(dir, kIndexFile);
+}
+
+TEST(StoreDurabilityTest, EveryVocabByteFlipIsRejected) {
+  const std::string dir = CommitTinyCorpus("durability-vocab");
+  ExpectEveryByteFlipRejected(dir, kVocabFile);
+}
+
+TEST(StoreDurabilityTest, EveryFreqsByteFlipIsRejected) {
+  const std::string dir = CommitTinyCorpus("durability-freqs");
+  ExpectEveryByteFlipRejected(dir, kFreqsFile);
+}
+
+TEST(StoreDurabilityTest, EveryShardByteFlipIsRejected) {
+  const std::string dir = CommitTinyCorpus("durability-shard");
+  ExpectEveryByteFlipRejected(dir, ShardFileName(0));
+}
+
+TEST(StoreDurabilityTest, EveryShardTruncationIsRejected) {
+  const std::string dir = CommitTinyCorpus("durability-truncate");
+  const fs::path shard = fs::path(dir) / ShardFileName(0);
+  const std::string pristine = ReadAll(shard);
+  for (size_t len = 0; len < pristine.size(); ++len) {
+    WriteAll(shard, pristine.substr(0, len));
+    EXPECT_FALSE(CheckInStore::Open(dir).ok())
+        << "truncation to " << len << " bytes was accepted";
+  }
+  WriteAll(shard, pristine);
+  ASSERT_TRUE(CheckInStore::Open(dir).ok());
+}
+
+TEST(StoreDurabilityTest, MissingShardIsRejectedWithClearMessage) {
+  const std::string dir = CommitTinyCorpus("durability-missing-shard");
+  fs::remove(fs::path(dir) / ShardFileName(0));
+  auto store_or = CheckInStore::Open(dir);
+  ASSERT_FALSE(store_or.ok());
+  EXPECT_NE(std::string(store_or.status().message()).find(ShardFileName(0)),
+            std::string::npos)
+      << store_or.status();
+}
+
+TEST(StoreDurabilityTest, StrayAtomicTempFilesDoNotBlockReopen) {
+  // A crash between AtomicWriteFile's temp write and its rename leaves a
+  // `*.plp_tmp.*`-style temp beside the committed files. The committed
+  // corpus must still open: the manifest is the commit point and temps
+  // are not part of the namespace it describes.
+  const std::string dir = CommitTinyCorpus("durability-torn");
+  WriteAll(fs::path(dir) / ("index.plpdi" + std::string(kAtomicTempInfix) +
+                            "1234"),
+           "garbage bytes from a torn write");
+  WriteAll(fs::path(dir) / "shard-00001.plpds.tmp.999", "torn shard bytes");
+  auto store_or = CheckInStore::Open(dir);
+  ASSERT_TRUE(store_or.ok()) << store_or.status();
+  EXPECT_EQ((*store_or)->num_users(), 3);
+}
+
+TEST(StoreDurabilityTest, InterruptedWriterLeavesNoOpenableCorpus) {
+  // A writer that never reaches Finish() must not leave a directory that
+  // opens: the manifest is written last, so its absence is the signal.
+  const std::string dir = FreshDir("durability-unfinished");
+  {
+    auto writer_or = CheckInStoreWriter::Create(dir);
+    ASSERT_TRUE(writer_or.ok());
+    const std::vector<int64_t> locs = {1, 2, 3};
+    const std::vector<int64_t> ts = {10, 20, 30};
+    ASSERT_TRUE((*writer_or)->AppendUser(locs, ts).ok());
+    // Writer destroyed without Finish() — simulated crash.
+  }
+  auto store_or = CheckInStore::Open(dir);
+  ASSERT_FALSE(store_or.ok());
+  EXPECT_EQ(store_or.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace plp::data::store

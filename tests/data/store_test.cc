@@ -1,0 +1,302 @@
+// PLPD check-in store: round-trip fidelity, sharded-vocabulary id
+// assignment, shard rotation, zero-copy read-back equivalence with the
+// in-RAM corpus, bitwise training equivalence across the two corpus
+// representations, and the collect-all-violations open contract.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/plp_trainer.h"
+#include "data/corpus.h"
+#include "data/fixtures.h"
+#include "data/statistics.h"
+#include "data/store/checkin_store.h"
+#include "data/store/mmap_corpus.h"
+#include "data/store/store_writer.h"
+#include "data/synthetic_generator.h"
+#include "support/fixtures.h"
+#include "support/seeded_driver.h"
+
+namespace plp::data::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+CheckInDataset SmallDataset(uint64_t seed) {
+  auto dataset = MakeFixtureDataset(seed, "small");
+  PLP_CHECK(dataset.ok());
+  return *std::move(dataset);
+}
+
+TEST(CheckInStoreTest, RoundTripsEveryUserSpan) {
+  const CheckInDataset dataset = SmallDataset(test::SeedAt(0x57081, 0));
+  const std::string dir = FreshDir("store-roundtrip");
+  ASSERT_TRUE(WriteDatasetToStore(dataset, dir).ok());
+
+  auto store_or = CheckInStore::Open(dir);
+  ASSERT_TRUE(store_or.ok()) << store_or.status();
+  const CheckInStore& store = **store_or;
+  ASSERT_EQ(store.num_users(), dataset.num_users());
+  ASSERT_EQ(store.num_locations(), dataset.num_locations());
+  ASSERT_EQ(store.num_tokens(), dataset.num_checkins());
+
+  for (int32_t u = 0; u < dataset.num_users(); ++u) {
+    const auto& checkins = dataset.UserCheckIns(u);
+    const CheckInStore::UserSpan span = store.User(u);
+    ASSERT_EQ(span.locations.size(), checkins.size()) << "user " << u;
+    ASSERT_EQ(span.timestamps.size(), checkins.size()) << "user " << u;
+    ASSERT_EQ(store.UserTokenCount(u),
+              static_cast<int64_t>(checkins.size()));
+    for (size_t i = 0; i < checkins.size(); ++i) {
+      EXPECT_EQ(span.locations[i], checkins[i].location);
+      EXPECT_EQ(span.timestamps[i], checkins[i].timestamp);
+    }
+  }
+}
+
+TEST(CheckInStoreTest, TinyShardTargetRotatesShards) {
+  const CheckInDataset dataset = SmallDataset(test::SeedAt(0x57081, 1));
+  const std::string dir = FreshDir("store-rotation");
+  StoreWriterOptions options;
+  options.target_shard_bytes = 256;  // force many shards
+  ASSERT_TRUE(WriteDatasetToStore(dataset, dir, options).ok());
+
+  int shard_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".plpds") ++shard_files;
+  }
+  EXPECT_GT(shard_files, 1);
+
+  auto store_or = CheckInStore::Open(dir);
+  ASSERT_TRUE(store_or.ok()) << store_or.status();
+  EXPECT_EQ((*store_or)->num_tokens(), dataset.num_checkins());
+  const CheckInStore::UserSpan last =
+      (*store_or)->User(dataset.num_users() - 1);
+  const auto& checkins = dataset.UserCheckIns(dataset.num_users() - 1);
+  ASSERT_EQ(last.locations.size(), checkins.size());
+  EXPECT_EQ(last.locations.front(), checkins.front().location);
+}
+
+TEST(LocationVocabTest, AssignsDenseIdsInFirstAppearanceOrder) {
+  LocationVocab vocab(/*num_shards=*/4);
+  EXPECT_EQ(vocab.Assign(900100), 0);
+  EXPECT_EQ(vocab.Assign(42), 1);
+  EXPECT_EQ(vocab.Assign(900100), 0);  // stable on re-lookup
+  EXPECT_EQ(vocab.Assign(7), 2);
+  EXPECT_EQ(vocab.size(), 3);
+  EXPECT_EQ(vocab.Lookup(42), 1);
+  EXPECT_EQ(vocab.Lookup(999), -1);
+}
+
+TEST(CheckInStoreTest, RawIdVocabularySurvivesReopen) {
+  const std::string dir = FreshDir("store-vocab");
+  auto writer_or = CheckInStoreWriter::Create(dir);
+  ASSERT_TRUE(writer_or.ok());
+  // Raw ids far outside dense range; dense assignment is by first
+  // appearance: 500000 -> 0, 17 -> 1, 230 -> 2.
+  const std::vector<int64_t> user0 = {500000, 17, 500000};
+  const std::vector<int64_t> user1 = {230, 17};
+  const std::vector<int64_t> ts0 = {10, 20, 30};
+  const std::vector<int64_t> ts1 = {5, 6};
+  ASSERT_TRUE((*writer_or)->AppendUser(user0, ts0).ok());
+  ASSERT_TRUE((*writer_or)->AppendUser(user1, ts1).ok());
+  ASSERT_TRUE((*writer_or)->Finish().ok());
+
+  auto store_or = CheckInStore::Open(dir);
+  ASSERT_TRUE(store_or.ok()) << store_or.status();
+  const CheckInStore& store = **store_or;
+  EXPECT_EQ(store.num_locations(), 3);
+  EXPECT_EQ(store.DenseLocation(500000), 0);
+  EXPECT_EQ(store.DenseLocation(17), 1);
+  EXPECT_EQ(store.DenseLocation(230), 2);
+  EXPECT_EQ(store.DenseLocation(31337), -1);
+  const CheckInStore::UserSpan span = store.User(0);
+  ASSERT_EQ(span.locations.size(), 3u);
+  EXPECT_EQ(span.locations[0], 0);
+  EXPECT_EQ(span.locations[1], 1);
+  EXPECT_EQ(span.locations[2], 0);
+  // Frequencies persisted at write time: 500000 twice, 17 twice, 230 once.
+  ASSERT_EQ(store.token_frequencies().size(), 3u);
+  EXPECT_EQ(store.token_frequencies()[0], 2);
+  EXPECT_EQ(store.token_frequencies()[1], 2);
+  EXPECT_EQ(store.token_frequencies()[2], 1);
+}
+
+TEST(MmapCorpusTest, MatchesInRamCorpusExactly) {
+  const CheckInDataset dataset = SmallDataset(test::SeedAt(0x57081, 2));
+  auto ram_or = BuildCorpus(dataset);
+  ASSERT_TRUE(ram_or.ok());
+  const TrainingCorpus& ram = *ram_or;
+
+  const std::string dir = FreshDir("store-equivalence");
+  ASSERT_TRUE(WriteDatasetToStore(dataset, dir).ok());
+  auto store_or = CheckInStore::Open(dir);
+  ASSERT_TRUE(store_or.ok()) << store_or.status();
+  const MmapCorpus mapped(*store_or);
+
+  ASSERT_EQ(mapped.NumUsers(), ram.NumUsers());
+  ASSERT_EQ(mapped.NumLocations(), ram.NumLocations());
+  ASSERT_EQ(mapped.NumTokens(), ram.NumTokens());
+  std::vector<std::span<const int32_t>> ram_sentences, mapped_sentences;
+  for (int32_t u = 0; u < ram.NumUsers(); ++u) {
+    ram_sentences.clear();
+    mapped_sentences.clear();
+    ram.AppendUserSentences(u, ram_sentences);
+    mapped.AppendUserSentences(u, mapped_sentences);
+    // kFullHistory: both views present one sentence per user, and the
+    // token stream must match byte for byte.
+    ASSERT_EQ(ram_sentences.size(), 1u);
+    ASSERT_EQ(mapped_sentences.size(), 1u);
+    ASSERT_EQ(mapped_sentences[0].size(), ram_sentences[0].size());
+    for (size_t i = 0; i < ram_sentences[0].size(); ++i) {
+      ASSERT_EQ(mapped_sentences[0][i], ram_sentences[0][i])
+          << "user " << u << " token " << i;
+    }
+  }
+  // The persisted frequency table equals a fresh scan of the RAM corpus.
+  const std::vector<int64_t> scanned = CountTokenFrequencies(ram);
+  const std::span<const int64_t> persisted = mapped.TokenFrequencies();
+  ASSERT_EQ(persisted.size(), scanned.size());
+  for (size_t l = 0; l < scanned.size(); ++l) {
+    EXPECT_EQ(persisted[l], scanned[l]) << "location " << l;
+  }
+  // Streaming statistics agree on the shared fields.
+  const DatasetStats ram_stats = ComputeStats(ram);
+  const DatasetStats mapped_stats = ComputeStats(mapped);
+  EXPECT_EQ(mapped_stats.num_checkins, ram_stats.num_checkins);
+  EXPECT_EQ(mapped_stats.user_checkins_median, ram_stats.user_checkins_median);
+  EXPECT_EQ(mapped_stats.location_gini, ram_stats.location_gini);
+}
+
+TEST(MmapCorpusTest, TrainingIsBitwiseIdenticalToInRamCorpus) {
+  // The load-bearing property of the data plane: swapping the mmap view
+  // in for the in-RAM corpus changes NOTHING about training — buckets
+  // copy identical token bytes, so content-keyed bucket seeds, clipping,
+  // noise, and the final model are all bit-identical.
+  const CheckInDataset dataset = SmallDataset(test::SeedAt(0x57081, 3));
+  auto ram_or = BuildCorpus(dataset);
+  ASSERT_TRUE(ram_or.ok());
+  const std::string dir = FreshDir("store-train-equivalence");
+  ASSERT_TRUE(WriteDatasetToStore(dataset, dir).ok());
+  auto store_or = CheckInStore::Open(dir);
+  ASSERT_TRUE(store_or.ok()) << store_or.status();
+  const MmapCorpus mapped(*store_or);
+
+  core::PlpConfig config = test::FastTrainerConfig();
+  const uint64_t seed = test::SeedAt(0x57081, 4);
+  auto train = [&](const CorpusView& corpus) {
+    Rng rng(seed);
+    auto result = core::PlpTrainer(config).Train(corpus, rng);
+    PLP_CHECK(result.ok());
+    return *std::move(result);
+  };
+  const core::TrainResult a = train(*ram_or);
+  const core::TrainResult b = train(mapped);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].signal_norm, b.history[i].signal_norm);
+    EXPECT_EQ(a.history[i].epsilon_spent, b.history[i].epsilon_spent);
+  }
+  for (int t = 0; t < sgns::kNumTensors; ++t) {
+    const auto xa = a.model.TensorData(static_cast<sgns::Tensor>(t));
+    const auto xb = b.model.TensorData(static_cast<sgns::Tensor>(t));
+    ASSERT_EQ(xa.size(), xb.size());
+    int mismatches = 0;
+    for (size_t i = 0; i < xa.size(); ++i) mismatches += xa[i] != xb[i];
+    EXPECT_EQ(mismatches, 0) << "tensor " << t << " differs";
+  }
+}
+
+TEST(MmapCorpusTest, SubRangeViewExposesUserWindow) {
+  const CheckInDataset dataset = SmallDataset(test::SeedAt(0x57081, 5));
+  const std::string dir = FreshDir("store-subrange");
+  ASSERT_TRUE(WriteDatasetToStore(dataset, dir).ok());
+  auto store_or = CheckInStore::Open(dir);
+  ASSERT_TRUE(store_or.ok());
+  const int32_t n = (*store_or)->num_users();
+  ASSERT_GE(n, 4);
+  const MmapCorpus window(*store_or, 1, 3);
+  EXPECT_EQ(window.NumUsers(), 2);
+  EXPECT_EQ(window.UserTokenCount(0), (*store_or)->UserTokenCount(1));
+  EXPECT_EQ(window.NumTokens(),
+            (*store_or)->UserTokenCount(1) + (*store_or)->UserTokenCount(2));
+}
+
+TEST(CheckInStoreTest, StreamedSyntheticCorpusOpensAndCounts) {
+  // plp_corpus_gen's path: stream a down-scaled synthetic city straight
+  // to disk, then mmap it back and check the totals.
+  SyntheticConfig config = SmallSyntheticConfig();
+  config.num_users = 40;
+  config.num_locations = 60;
+  config.num_clusters = 4;
+  const std::string dir = FreshDir("store-streamed");
+  auto writer_or = CheckInStoreWriter::Create(dir);
+  ASSERT_TRUE(writer_or.ok());
+  Rng rng(test::SeedAt(0x57081, 6));
+  ASSERT_TRUE(
+      GenerateSyntheticCheckInsToStore(config, rng, **writer_or).ok());
+  const int64_t tokens = (*writer_or)->tokens_appended();
+  ASSERT_TRUE((*writer_or)->Finish().ok());
+
+  auto store_or = CheckInStore::Open(dir);
+  ASSERT_TRUE(store_or.ok()) << store_or.status();
+  EXPECT_EQ((*store_or)->num_users(), 40);
+  EXPECT_EQ((*store_or)->num_tokens(), tokens);
+  EXPECT_GT((*store_or)->num_locations(), 0);
+  EXPECT_LE((*store_or)->num_locations(), 60);
+}
+
+TEST(CheckInStoreTest, MissingDirectoryIsNotFound) {
+  auto store_or = CheckInStore::Open(FreshDir("store-missing"));
+  ASSERT_FALSE(store_or.ok());
+  EXPECT_EQ(store_or.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckInStoreTest, OpenCollectsEveryViolationInOneMessage) {
+  const CheckInDataset dataset = SmallDataset(test::SeedAt(0x57081, 7));
+  const std::string dir = FreshDir("store-collect-all");
+  ASSERT_TRUE(WriteDatasetToStore(dataset, dir).ok());
+
+  // Corrupt two independent files: flip a byte mid-index and truncate the
+  // first shard. Open must report BOTH in a single status.
+  {
+    const fs::path index = fs::path(dir) / "index.plpdi";
+    std::string bytes;
+    {
+      std::ifstream in(index, std::ios::binary);
+      bytes.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    ASSERT_GT(bytes.size(), 40u);
+    bytes[bytes.size() / 2] ^= 0x5A;
+    std::ofstream out(index, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  {
+    const fs::path shard = fs::path(dir) / "shard-00000.plpds";
+    const auto size = fs::file_size(shard);
+    fs::resize_file(shard, size - 8);
+  }
+
+  auto store_or = CheckInStore::Open(dir);
+  ASSERT_FALSE(store_or.ok());
+  EXPECT_EQ(store_or.status().code(), StatusCode::kInvalidArgument);
+  const std::string message(store_or.status().message());
+  EXPECT_NE(message.find("index.plpdi"), std::string::npos) << message;
+  EXPECT_NE(message.find("shard-00000.plpds"), std::string::npos) << message;
+}
+
+}  // namespace
+}  // namespace plp::data::store

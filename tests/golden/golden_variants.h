@@ -121,6 +121,14 @@ inline std::vector<PrivateVariant> PrivateVariants() {
     c.epsilon_budget = 4.0;  // exhausts before max_steps at these (q, σ)
     variants.push_back({"budget", c});
   }
+  {
+    // Frequency-proportional negatives (non-private research option).
+    // Appended LAST so every pre-existing pin keeps its position and
+    // value; the uniform-path variants above must stay bit-identical.
+    core::PlpConfig c = GoldenPrivateBase();
+    c.sgns.negative_sampling = sgns::NegativeSamplingKind::kUnigram;
+    variants.push_back({"unigram", c});
+  }
   return variants;
 }
 

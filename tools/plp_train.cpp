@@ -7,10 +7,16 @@
 //             [--embeddings_output=embeddings.plpe] \
 //             [--private=true] [--eps=2] [--delta=2e-4] [--sigma=2.5] \
 //             [--q=0.06] [--lambda=4] [--clip=0.5] [--epochs=100] \
-//             [--accountant=rdp|pld_fft] [--print_config] \
+//             [--max_steps=N] [--accountant=rdp|pld_fft] [--print_config] \
+//             [--negative_sampling=uniform|unigram] [--unigram_power=0.75] \
 //             [--min_user_checkins=10] [--min_location_users=2] [--seed=1] \
 //             [--checkpoint_dir=ckpts] [--checkpoint_every_steps=25] \
-//             [--resume]
+//             [--resume] [--rss_cap_mb=0]
+//
+// Instead of a CSV, --corpus_dir=DIR trains straight from an on-disk PLPD
+// corpus (see plp_corpus_gen): shards are memory-mapped and check-ins are
+// read zero-copy, so corpus size does not bound resident memory. The two
+// data sources are mutually exclusive and exactly one is required.
 //
 // With --private=true (default) this runs Algorithm 1 under user-level
 // (ε, δ)-DP; with --private=false it runs plain Adam for --epochs passes.
@@ -27,14 +33,20 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "common/fault_injection.h"
 #include "common/flags.h"
+#include "common/resource_usage.h"
 #include "common/rng.h"
 #include "core/nonprivate_trainer.h"
 #include "core/plp_trainer.h"
 #include "data/corpus.h"
 #include "data/statistics.h"
+#include "data/store/checkin_store.h"
+#include "data/store/mmap_corpus.h"
 #include "pipeline/standard_stages.h"
 #include "sgns/model_io.h"
 
@@ -43,6 +55,13 @@ namespace {
 int Fail(const plp::Status& status) {
   std::cerr << "error: " << status << "\n";
   return 1;
+}
+
+plp::sgns::NegativeSamplingKind SamplingKindFromFlags(
+    const plp::FlagParser& flags) {
+  return flags.GetString("negative_sampling", "uniform") == "unigram"
+             ? plp::sgns::NegativeSamplingKind::kUnigram
+             : plp::sgns::NegativeSamplingKind::kUniform;
 }
 
 plp::core::PlpConfig PrivateConfigFromFlags(const plp::FlagParser& flags) {
@@ -54,7 +73,10 @@ plp::core::PlpConfig PrivateConfigFromFlags(const plp::FlagParser& flags) {
   config.grouping_factor = static_cast<int32_t>(flags.GetInt("lambda", 4));
   config.clip_norm = flags.GetDouble("clip", 0.5);
   config.accountant = flags.GetString("accountant", "rdp");
+  config.max_steps = flags.GetInt("max_steps", config.max_steps);
   config.sgns.embedding_dim = static_cast<int32_t>(flags.GetInt("dim", 50));
+  config.sgns.negative_sampling = SamplingKindFromFlags(flags);
+  config.sgns.unigram_power = flags.GetDouble("unigram_power", 0.75);
   config.num_threads = static_cast<int32_t>(flags.GetInt("threads", 1));
   return config;
 }
@@ -64,7 +86,49 @@ plp::core::NonPrivateConfig NonPrivateConfigFromFlags(
   plp::core::NonPrivateConfig config;
   config.epochs = flags.GetInt("epochs", 100);
   config.sgns.embedding_dim = static_cast<int32_t>(flags.GetInt("dim", 50));
+  config.sgns.negative_sampling = SamplingKindFromFlags(flags);
+  config.sgns.unigram_power = flags.GetDouble("unigram_power", 0.75);
   return config;
+}
+
+/// Validates the data-source flag set, collecting every violation so one
+/// run reports every mistake at once (same contract as config Validate()).
+plp::Status ValidateDataFlags(const plp::FlagParser& flags) {
+  const std::string input = flags.GetString("input", "");
+  const std::string corpus_dir = flags.GetString("corpus_dir", "");
+  std::vector<std::string> violations;
+  if (input.empty() && corpus_dir.empty()) {
+    violations.emplace_back(
+        "one data source is required: --input=checkins.csv or "
+        "--corpus_dir=DIR");
+  }
+  if (!input.empty() && !corpus_dir.empty()) {
+    violations.emplace_back(
+        "--input and --corpus_dir are mutually exclusive");
+  }
+  if (!corpus_dir.empty() &&
+      (flags.Has("min_user_checkins") || flags.Has("min_location_users"))) {
+    violations.emplace_back(
+        "--min_user_checkins/--min_location_users apply only to --input "
+        "(PLPD corpora are ingested as-is; filter at generation time)");
+  }
+  const std::string sampling =
+      flags.GetString("negative_sampling", "uniform");
+  if (sampling != "uniform" && sampling != "unigram") {
+    violations.emplace_back(
+        "unknown --negative_sampling (expected uniform or unigram): " +
+        sampling);
+  }
+  if (flags.GetInt("rss_cap_mb", 0) < 0) {
+    violations.emplace_back("--rss_cap_mb must be >= 0");
+  }
+  if (violations.empty()) return plp::Status::Ok();
+  std::string message = "invalid flags: ";
+  for (size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) message += "; ";
+    message += violations[i];
+  }
+  return plp::InvalidArgumentError(std::move(message));
 }
 
 }  // namespace
@@ -111,22 +175,51 @@ int main(int argc, char** argv) {
   }
 
   const std::string input = flags.GetString("input", "");
+  const std::string corpus_dir = flags.GetString("corpus_dir", "");
   const std::string output = flags.GetString("output", "");
-  if (input.empty() || output.empty()) {
-    std::cerr << "usage: plp_train --input=checkins.csv --output=model.plpm"
+  if (output.empty() || (input.empty() && corpus_dir.empty())) {
+    std::cerr << "usage: plp_train {--input=checkins.csv | --corpus_dir=DIR}"
+                 " --output=model.plpm"
                  " [--private=true --eps=2 | --private=false --epochs=100]\n";
     return 2;
   }
+  if (auto s = ValidateDataFlags(flags); !s.ok()) return Fail(s);
 
-  auto dataset_or = plp::data::CheckInDataset::LoadCsv(input);
-  if (!dataset_or.ok()) return Fail(dataset_or.status());
-  const plp::data::CheckInDataset dataset = dataset_or->Filter(
-      flags.GetInt("min_user_checkins", 10),
-      flags.GetInt("min_location_users", 2));
-  std::printf("loaded %s\n%s\n\n", input.c_str(),
-              plp::data::ComputeStats(dataset).ToString().c_str());
-  auto corpus_or = plp::data::BuildCorpus(dataset);
-  if (!corpus_or.ok()) return Fail(corpus_or.status());
+  // Exactly one of these backs `corpus`: an in-RAM tokenization of the
+  // CSV, or a zero-copy view over the memory-mapped PLPD shards.
+  std::unique_ptr<plp::data::TrainingCorpus> ram_corpus;
+  std::unique_ptr<plp::data::store::MmapCorpus> mmap_corpus;
+  const plp::data::CorpusView* corpus = nullptr;
+  if (!input.empty()) {
+    auto dataset_or = plp::data::CheckInDataset::LoadCsv(input);
+    if (!dataset_or.ok()) return Fail(dataset_or.status());
+    const plp::data::CheckInDataset dataset = dataset_or->Filter(
+        flags.GetInt("min_user_checkins", 10),
+        flags.GetInt("min_location_users", 2));
+    std::printf("loaded %s\n%s\n\n", input.c_str(),
+                plp::data::ComputeStats(dataset).ToString().c_str());
+    auto corpus_or = plp::data::BuildCorpus(dataset);
+    if (!corpus_or.ok()) return Fail(corpus_or.status());
+    ram_corpus = std::make_unique<plp::data::TrainingCorpus>(
+        std::move(*corpus_or));
+    corpus = ram_corpus.get();
+  } else {
+    auto store_or = plp::data::store::CheckInStore::Open(corpus_dir);
+    if (!store_or.ok()) return Fail(store_or.status());
+    mmap_corpus =
+        std::make_unique<plp::data::store::MmapCorpus>(store_or.value());
+    std::printf("mapped %s: %d users, %d locations, %lld check-ins\n\n",
+                corpus_dir.c_str(), mmap_corpus->NumUsers(),
+                mmap_corpus->NumLocations(),
+                static_cast<long long>(mmap_corpus->NumTokens()));
+    // Full statistics touch every shard page, which inflates peak RSS far
+    // beyond what training needs — opt in explicitly.
+    if (flags.GetBool("stats", false)) {
+      std::printf("%s\n\n",
+                  plp::data::ComputeStats(*mmap_corpus).ToString().c_str());
+    }
+    corpus = mmap_corpus.get();
+  }
 
   plp::ckpt::CheckpointOptions checkpoint;
   checkpoint.dir = flags.GetString("checkpoint_dir", "");
@@ -138,7 +231,7 @@ int main(int argc, char** argv) {
   if (is_private) {
     const plp::core::PlpConfig config = PrivateConfigFromFlags(flags);
     auto result = plp::core::PlpTrainer(config).Train(
-        *corpus_or, rng,
+        *corpus, rng,
         [](const plp::core::StepMetrics& m, const plp::sgns::SgnsModel&) {
           if (m.step % 50 == 0) {
             std::printf(
@@ -158,7 +251,7 @@ int main(int argc, char** argv) {
     model = std::move(result->model);
   } else {
     auto result = plp::core::NonPrivateTrainer(NonPrivateConfigFromFlags(flags))
-                      .Train(*corpus_or, rng, nullptr, checkpoint);
+                      .Train(*corpus, rng, nullptr, checkpoint);
     if (!result.ok()) return Fail(result.status());
     std::printf("trained %zu non-private epochs (final loss %.4f)\n",
                 result->history.size(), result->history.back().mean_loss);
@@ -173,6 +266,15 @@ int main(int argc, char** argv) {
       return Fail(s);
     }
     std::printf("deployment embeddings -> %s\n", embeddings.c_str());
+  }
+
+  const int64_t peak_rss_mb = plp::PeakRssBytes() >> 20;
+  std::printf("peak RSS: %lld MiB\n", static_cast<long long>(peak_rss_mb));
+  const int64_t rss_cap_mb = flags.GetInt("rss_cap_mb", 0);
+  if (rss_cap_mb > 0 && peak_rss_mb > rss_cap_mb) {
+    std::cerr << "error: peak RSS " << peak_rss_mb << " MiB exceeds --rss_cap_mb="
+              << rss_cap_mb << "\n";
+    return 3;
   }
   return 0;
 }
