@@ -263,6 +263,64 @@ __attribute__((target("avx2"))) void SubAvx2(const double* a, const double* b,
   for (; i < n; ++i) out[i] = a[i] - b[i];
 }
 
+// The float32 16-lane spec mapped onto two 8-float registers: acc0 holds
+// lanes s_0..s_7, acc1 holds s_8..s_15. low(acc)+high(acc) produces
+// (s_l + s_{l+4}) per register, and adding the two 128-bit halves yields
+// u_l = (s_l + s_{l+4}) + (s_{l+8} + s_{l+12}) — exactly the portable
+// combine, term for term.
+__attribute__((target("avx2"))) inline float CombineF32Spec(__m256 acc0,
+                                                            __m256 acc1,
+                                                            float tail) {
+  const __m128 u = _mm_add_ps(
+      _mm_add_ps(_mm256_castps256_ps128(acc0), _mm256_extractf128_ps(acc0, 1)),
+      _mm_add_ps(_mm256_castps256_ps128(acc1),
+                 _mm256_extractf128_ps(acc1, 1)));
+  alignas(16) float lanes[4];
+  _mm_store_ps(lanes, u);
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail;
+}
+
+// F16C vcvtph2ps is the exact conversion HalfToFloat implements, and the
+// target enables f16c + avx2 but not fma, so mul/add cannot contract:
+// every rounding step matches DotF16KernelPortable.
+__attribute__((target("avx2,f16c"))) float DotF16Avx2(const uint16_t* a,
+                                                      const float* b,
+                                                      size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 a0 = _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256 a1 = _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i + 8)));
+    acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(a0, _mm256_loadu_ps(b + i)));
+    acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(a1, _mm256_loadu_ps(b + i + 8)));
+  }
+  float tail = 0.0f;
+  for (; i < n; ++i) tail += HalfToFloat(a[i]) * b[i];
+  return CombineF32Spec(acc0, acc1, tail);
+}
+
+__attribute__((target("avx2"))) float DotI8Avx2(const int8_t* a,
+                                                const float* b, size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    // Sign-extend 8 bytes to 8 int32 lanes, then convert; both exact.
+    const __m256 a0 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a + i))));
+    const __m256 a1 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a + i + 8))));
+    acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(a0, _mm256_loadu_ps(b + i)));
+    acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(a1, _mm256_loadu_ps(b + i + 8)));
+  }
+  float tail = 0.0f;
+  for (; i < n; ++i) tail += static_cast<float>(a[i]) * b[i];
+  return CombineF32Spec(acc0, acc1, tail);
+}
+
 #endif  // PLP_SIMD_X86
 
 }  // namespace
@@ -275,10 +333,14 @@ void (*axpy)(double, const double*, double*, size_t) =
 void (*scale)(double, double*, size_t) = &ScaleKernelPortable<double>;
 void (*sub)(const double*, const double*, double*, size_t) =
     &SubKernelPortable<double>;
+float (*dot_f16)(const uint16_t*, const float*, size_t) =
+    &DotF16KernelPortable;
+float (*dot_i8)(const int8_t*, const float*, size_t) = &DotI8KernelPortable;
 
 namespace {
 
 bool avx2_active = false;
+bool f16c_active = false;
 
 #if PLP_SIMD_X86
 /// Rebinds the dispatch pointers to the AVX2 bodies when the CPU has
@@ -293,7 +355,12 @@ const bool simd_init = [] {
     axpy = &AxpyAvx2;
     scale = &ScaleAvx2;
     sub = &SubAvx2;
+    dot_i8 = &DotI8Avx2;
     avx2_active = true;
+    if (__builtin_cpu_supports("f16c")) {
+      dot_f16 = &DotF16Avx2;
+      f16c_active = true;
+    }
   }
   return true;
 }();
@@ -302,6 +369,8 @@ const bool simd_init = [] {
 }  // namespace
 
 bool Avx2Active() { return avx2_active; }
+
+bool F16cActive() { return f16c_active; }
 
 }  // namespace internal_simd
 

@@ -2,6 +2,8 @@
 #define PLP_COMMON_MATH_UTIL_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <span>
 #include <type_traits>
 #include <vector>
@@ -110,9 +112,17 @@ extern void (*axpy)(double, const double*, double*, size_t);
 extern void (*scale)(double, double*, size_t);
 extern void (*sub)(const double*, const double*, double*, size_t);
 
+/// Quantized-serving kernels (see "Quantized dot kernels" below): mixed
+/// fp16·f32 and int8·f32 dots, dispatched like the double kernels.
+extern float (*dot_f16)(const uint16_t*, const float*, size_t);
+extern float (*dot_i8)(const int8_t*, const float*, size_t);
+
 /// True when the AVX2 bodies are the active dispatch targets (for tests
 /// and diagnostics).
 bool Avx2Active();
+
+/// True when the F16C-accelerated fp16 dot is the active dispatch target.
+bool F16cActive();
 
 }  // namespace internal_simd
 
@@ -190,6 +200,135 @@ inline void AxpyReference(T alpha, const T* x, T* y, size_t n) {
 template <typename T>
 inline void SubReference(const T* a, const T* b, T* out, size_t n) {
   for (size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+// ---------------------------------------------------------------------------
+// Quantized dot kernels (serving-side snapshot scoring).
+//
+// Published snapshots can store their embedding rows as IEEE fp16 or as
+// symmetric per-row-scaled int8 instead of float32; scoring then needs a
+// mixed-precision dot of a quantized row against a float32 profile. The
+// kernels below follow the same discipline as the double kernels above:
+// one fixed 16-lane float32 accumulation spec (identical lane shape and
+// combine order), portable bodies as the dispatch defaults, and AVX2
+// (+F16C for fp16) bodies bound at static initialization that reproduce
+// the portable results bitwise — dequantization (half→float, int8→float)
+// is exact in both paths, multiplies and adds stay separate instructions,
+// and the per-lane add order matches term for term. Scores therefore do
+// not depend on which body the dispatcher picked, and the quantization
+// error bounds pinned by tests are machine-independent.
+// ---------------------------------------------------------------------------
+
+/// float → IEEE 754 binary16 bit pattern, round-to-nearest-even. Handles
+/// normals, subnormals, overflow (→ ±inf) and NaN. This is the *build*
+/// path (snapshot quantization), so it is pure portable code — the
+/// scoring path never converts in this direction.
+inline uint16_t FloatToHalf(float value) {
+  uint32_t f;
+  std::memcpy(&f, &value, sizeof(f));
+  const uint32_t sign = (f >> 16) & 0x8000u;
+  f &= 0x7fffffffu;
+  if (f > 0x7f800000u) return static_cast<uint16_t>(sign | 0x7e00u);  // NaN
+  if (f >= 0x47800000u) {  // >= 2^16 after rounding: overflow to inf
+    return static_cast<uint16_t>(sign | 0x7c00u);
+  }
+  if (f >= 0x38800000u) {  // normal half range [2^-14, 65504]
+    const uint32_t mant = f & 0x7fffffu;
+    const uint32_t exp = (f >> 23) - 112u;  // rebias 127 → 15
+    uint32_t half = (exp << 10) | (mant >> 13);
+    const uint32_t rem = mant & 0x1fffu;  // dropped low 13 bits
+    half += (rem > 0x1000u) || (rem == 0x1000u && (half & 1u));
+    return static_cast<uint16_t>(sign | half);
+  }
+  if (f < 0x32000000u) return static_cast<uint16_t>(sign);  // < 2^-27 → ±0
+  // Subnormal half: value = m_h · 2^-24; shift the implicit-bit mantissa
+  // down and round to nearest even. A carry out of m_h == 1023 lands on
+  // the smallest normal bit pattern, which is exactly right.
+  const uint32_t mant = (f & 0x7fffffu) | 0x800000u;
+  const uint32_t shift = 126u - (f >> 23);  // in [14, 27]
+  uint32_t half = mant >> shift;
+  const uint32_t rem = mant & ((1u << shift) - 1u);
+  const uint32_t halfway = 1u << (shift - 1);
+  half += (rem > halfway) || (rem == halfway && (half & 1u));
+  return static_cast<uint16_t>(sign | half);
+}
+
+/// IEEE 754 binary16 bit pattern → float. Exact (every half value is
+/// representable in float), so software and F16C hardware conversion
+/// agree bitwise — the property the dispatch equivalence tests pin.
+inline float HalfToFloat(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1fu;
+  uint32_t mant = h & 0x3ffu;
+  uint32_t f;
+  if (exp == 0) {
+    if (mant == 0) {
+      f = sign;  // ±0
+    } else {
+      // Subnormal: normalize the mantissa into the implicit-bit position.
+      uint32_t e = 0;
+      while (!(mant & 0x400u)) {
+        mant <<= 1;
+        ++e;
+      }
+      f = sign | ((113u - e) << 23) | ((mant & 0x3ffu) << 13);
+    }
+  } else if (exp == 31) {
+    f = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+  } else {
+    f = sign | ((exp + 112u) << 23) | (mant << 13);
+  }
+  float out;
+  std::memcpy(&out, &f, sizeof(out));
+  return out;
+}
+
+/// Portable fp16·f32 dot under the fixed 16-lane float32 reduction spec.
+inline float DotF16KernelPortable(const uint16_t* a, const float* b,
+                                  size_t n) {
+  float s[16] = {};
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    for (size_t j = 0; j < 16; ++j) s[j] += HalfToFloat(a[i + j]) * b[i + j];
+  }
+  float tail = 0.0f;
+  for (; i < n; ++i) tail += HalfToFloat(a[i]) * b[i];
+  const float u0 = (s[0] + s[4]) + (s[8] + s[12]);
+  const float u1 = (s[1] + s[5]) + (s[9] + s[13]);
+  const float u2 = (s[2] + s[6]) + (s[10] + s[14]);
+  const float u3 = (s[3] + s[7]) + (s[11] + s[15]);
+  return ((u0 + u1) + (u2 + u3)) + tail;
+}
+
+/// Portable int8·f32 dot under the same spec. int8 → float is exact; the
+/// caller applies the row's dequantization scale to the result (one
+/// multiply per row instead of one per element).
+inline float DotI8KernelPortable(const int8_t* a, const float* b, size_t n) {
+  float s[16] = {};
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    for (size_t j = 0; j < 16; ++j) {
+      s[j] += static_cast<float>(a[i + j]) * b[i + j];
+    }
+  }
+  float tail = 0.0f;
+  for (; i < n; ++i) tail += static_cast<float>(a[i]) * b[i];
+  const float u0 = (s[0] + s[4]) + (s[8] + s[12]);
+  const float u1 = (s[1] + s[5]) + (s[9] + s[13]);
+  const float u2 = (s[2] + s[6]) + (s[10] + s[14]);
+  const float u3 = (s[3] + s[7]) + (s[11] + s[15]);
+  return ((u0 + u1) + (u2 + u3)) + tail;
+}
+
+/// Dispatched fp16·f32 dot (AVX2+F16C where available).
+inline float DotF16Kernel(const uint16_t* a, const float* b, size_t n) {
+  return internal_simd::dot_f16(a, b, n);
+}
+
+/// Dispatched int8·f32 dot (AVX2 where available). The result is in
+/// quantized units; multiply by the row scale to recover the score.
+inline float DotI8Kernel(const int8_t* a, const float* b, size_t n) {
+  return internal_simd::dot_i8(a, b, n);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,176 @@
+#include "serve/ivf_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace plp::serve {
+namespace {
+
+/// Index of the centroid with the highest dot against `row`; ties break
+/// toward the smaller cluster id (fixed scan order keeps builds
+/// deterministic — the dispatched DotKernel is bitwise-identical to the
+/// portable body, so SIMD availability cannot change the clustering).
+int32_t NearestCentroid(const float* row, const float* centroids,
+                        int32_t num_clusters, int32_t dim) {
+  int32_t best = 0;
+  float best_score = DotKernel(centroids, row, static_cast<size_t>(dim));
+  for (int32_t c = 1; c < num_clusters; ++c) {
+    const float score =
+        DotKernel(centroids + static_cast<size_t>(c) * dim, row,
+                  static_cast<size_t>(dim));
+    if (score > best_score) {
+      best = c;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+void NormalizeRow(float* row, int32_t dim) {
+  float sq = 0.0f;
+  for (int32_t d = 0; d < dim; ++d) sq += row[d] * row[d];
+  if (sq <= 0.0f) return;
+  const float inv = 1.0f / std::sqrt(sq);
+  for (int32_t d = 0; d < dim; ++d) row[d] *= inv;
+}
+
+}  // namespace
+
+IvfIndex IvfIndex::Build(const float* matrix, int32_t num_rows, int32_t dim,
+                         const Options& options) {
+  PLP_CHECK_GT(num_rows, 0);
+  PLP_CHECK_GT(dim, 0);
+  IvfIndex index;
+  index.dim_ = dim;
+  int32_t clusters = options.num_clusters;
+  if (clusters <= 0) {
+    clusters = 2 * static_cast<int32_t>(
+                       std::ceil(std::sqrt(static_cast<double>(num_rows))));
+  }
+  index.num_clusters_ = std::clamp(clusters, 1, num_rows);
+  const int32_t c_count = index.num_clusters_;
+  const size_t row_bytes = static_cast<size_t>(dim);
+
+  // Strided training sample: every row when L is small, an even slice of
+  // the matrix otherwise. Deterministic by construction.
+  const int64_t max_sample = std::max<int64_t>(
+      4096, static_cast<int64_t>(options.sample_per_cluster) * c_count);
+  const int32_t stride = std::max<int32_t>(
+      1, static_cast<int32_t>(num_rows / std::min<int64_t>(num_rows,
+                                                           max_sample)));
+  std::vector<int32_t> sample;
+  for (int32_t r = 0; r < num_rows; r += stride) sample.push_back(r);
+
+  // Seed centroids with evenly strided sample rows.
+  index.centroids_.assign(static_cast<size_t>(c_count) * dim, 0.0f);
+  for (int32_t c = 0; c < c_count; ++c) {
+    const int32_t r =
+        sample[static_cast<size_t>(c) * sample.size() / c_count];
+    std::copy_n(matrix + static_cast<size_t>(r) * row_bytes, dim,
+                index.centroids_.data() + static_cast<size_t>(c) * dim);
+  }
+
+  // Lloyd iterations over the sample: assign, then recompute + renormalize
+  // centroids. Clusters that go empty keep their previous centroid.
+  std::vector<float> sums(static_cast<size_t>(c_count) * dim);
+  std::vector<int32_t> counts(static_cast<size_t>(c_count));
+  for (int32_t it = 0; it < options.iterations; ++it) {
+    std::fill(sums.begin(), sums.end(), 0.0f);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (int32_t r : sample) {
+      const float* row = matrix + static_cast<size_t>(r) * row_bytes;
+      const int32_t c =
+          NearestCentroid(row, index.centroids_.data(), c_count, dim);
+      float* sum = sums.data() + static_cast<size_t>(c) * dim;
+      for (int32_t d = 0; d < dim; ++d) sum[d] += row[d];
+      ++counts[static_cast<size_t>(c)];
+    }
+    for (int32_t c = 0; c < c_count; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) continue;
+      float* centroid = index.centroids_.data() + static_cast<size_t>(c) * dim;
+      const float* sum = sums.data() + static_cast<size_t>(c) * dim;
+      const float inv = 1.0f / static_cast<float>(counts[static_cast<size_t>(c)]);
+      for (int32_t d = 0; d < dim; ++d) centroid[d] = sum[d] * inv;
+      NormalizeRow(centroid, dim);
+    }
+  }
+
+  // Final pass: assign every row (not just the sample) to its cluster and
+  // build the posting lists, ascending row id within each cluster.
+  std::vector<int32_t> assignment(static_cast<size_t>(num_rows));
+  std::vector<int32_t> sizes(static_cast<size_t>(c_count), 0);
+  for (int32_t r = 0; r < num_rows; ++r) {
+    const int32_t c = NearestCentroid(matrix + static_cast<size_t>(r) * row_bytes,
+                                      index.centroids_.data(), c_count, dim);
+    assignment[static_cast<size_t>(r)] = c;
+    ++sizes[static_cast<size_t>(c)];
+  }
+  index.cluster_begin_.assign(static_cast<size_t>(c_count) + 1, 0);
+  for (int32_t c = 0; c < c_count; ++c) {
+    index.cluster_begin_[static_cast<size_t>(c) + 1] =
+        index.cluster_begin_[static_cast<size_t>(c)] +
+        sizes[static_cast<size_t>(c)];
+  }
+  index.member_ids_.resize(static_cast<size_t>(num_rows));
+  std::vector<int32_t> cursor(index.cluster_begin_.begin(),
+                              index.cluster_begin_.end() - 1);
+  for (int32_t r = 0; r < num_rows; ++r) {
+    const int32_t c = assignment[static_cast<size_t>(r)];
+    index.member_ids_[static_cast<size_t>(cursor[static_cast<size_t>(c)]++)] =
+        r;
+  }
+  return index;
+}
+
+void IvfIndex::TopClusters(std::span<const float> profile, int32_t nprobe,
+                           std::vector<int32_t>& out) const {
+  out.clear();
+  PLP_CHECK_EQ(profile.size(), static_cast<size_t>(dim_));
+  nprobe = std::clamp(nprobe, 1, num_clusters_);
+
+  // Score all centroids, select the nprobe best with an O(C) partition,
+  // and emit them in ascending cluster id. The (score desc, id asc) order
+  // is a strict total order, so the selected set is deterministic; id
+  // order within it is what the pruned scan wants — the packed payload is
+  // laid out by cluster, so ascending ids mean a monotone address walk.
+  struct Scored {
+    float score;
+    int32_t cluster;
+  };
+  std::vector<Scored> scored(static_cast<size_t>(num_clusters_));
+  for (int32_t c = 0; c < num_clusters_; ++c) {
+    scored[static_cast<size_t>(c)] = {
+        DotKernel(centroids_.data() + static_cast<size_t>(c) * dim_,
+                  profile.data(), static_cast<size_t>(dim_)),
+        c};
+  }
+  std::nth_element(scored.begin(), scored.begin() + (nprobe - 1),
+                   scored.end(), [](const Scored& a, const Scored& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.cluster < b.cluster;
+                   });
+  out.reserve(static_cast<size_t>(nprobe));
+  for (int32_t p = 0; p < nprobe; ++p) {
+    out.push_back(scored[static_cast<size_t>(p)].cluster);
+  }
+  std::sort(out.begin(), out.end());
+}
+
+void IvfIndex::CandidateRows(std::span<const float> profile, int32_t nprobe,
+                             std::vector<int32_t>& out) const {
+  std::vector<int32_t> clusters;
+  TopClusters(profile, nprobe, clusters);
+  out.clear();
+  size_t total = 0;
+  for (int32_t c : clusters) total += ClusterMembers(c).size();
+  out.reserve(total);
+  for (int32_t c : clusters) {
+    const std::span<const int32_t> members = ClusterMembers(c);
+    out.insert(out.end(), members.begin(), members.end());
+  }
+}
+
+}  // namespace plp::serve

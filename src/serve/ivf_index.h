@@ -1,0 +1,108 @@
+#ifndef PLP_SERVE_IVF_INDEX_H_
+#define PLP_SERVE_IVF_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace plp::serve {
+
+/// IVF-style candidate-pruning index over a snapshot's embedding matrix.
+///
+/// At build time the rows are clustered with spherical k-means (dot-product
+/// assignment over unit-norm rows — equivalent to cosine k-means); at query
+/// time the profile is scored against the C centroids and only the rows of
+/// the best `nprobe` clusters are exact-scored. With C ≈ √L and nprobe a
+/// fixed fraction of C, the scan shrinks from L rows to ~L·nprobe/C — the
+/// classic inverted-file trade: recall@k is bounded below 1.0 only by
+/// profiles whose true top-k rows hide in unprobed clusters, which the
+/// recall gate in tests keeps ≥ 0.99 at default settings.
+///
+/// The build is deterministic (strided seeding, fixed iteration order, no
+/// RNG), so the same matrix always produces the same index on every host.
+class IvfIndex {
+ public:
+  struct Options {
+    /// Number of clusters; 0 picks 2·ceil(sqrt(L)) clamped to [1, L].
+    /// (2× the classic √L rule: measured recall@10 on clustered
+    /// embeddings plateaus at a much smaller probed *fraction* with the
+    /// finer partition, so the same recall costs half the scan.)
+    int32_t num_clusters = 0;
+    /// Lloyd iterations. Diminishing returns past ~8 on embedding data.
+    int32_t iterations = 8;
+    /// Centroid training runs on at most max(4096, sample_per_cluster · C)
+    /// strided rows, followed by one full assignment pass — keeps build
+    /// time sane at large L without changing the query-side contract.
+    int32_t sample_per_cluster = 64;
+  };
+
+  /// Builds over a row-major L×dim float32 matrix (rows assumed unit-norm,
+  /// zero rows allowed). L must be ≥ 1.
+  static IvfIndex Build(const float* matrix, int32_t num_rows, int32_t dim,
+                        const Options& options);
+
+  int32_t num_clusters() const { return num_clusters_; }
+  int32_t dim() const { return dim_; }
+
+  /// Probe width giving the tested ≥ 0.99 recall@10 at default build
+  /// settings: a fifth of the clusters, at least 1. Tuned on the
+  /// clustered recall fixture (tests/serve/ivf_index_test.cc): profiles
+  /// average several history rows, so their top-10 straddles one cluster
+  /// per history group — C/8 measured 0.988, C/5 measures 0.9985 and
+  /// still prunes ~80% of the scan.
+  int32_t default_nprobe() const {
+    return std::max(1, (num_clusters_ + 4) / 5);
+  }
+
+  /// Fills `out` (cleared first) with the ids of the `nprobe` clusters
+  /// whose centroids score highest against `profile` (ties toward the
+  /// smaller id), in ascending cluster id — the order that walks a
+  /// cluster-packed payload monotonically. nprobe is clamped to
+  /// [1, num_clusters].
+  void TopClusters(std::span<const float> profile, int32_t nprobe,
+                   std::vector<int32_t>& out) const;
+
+  /// Global position of a cluster's first row in the concatenated
+  /// posting-list order — the offset of that cluster's rows inside a
+  /// payload packed by BuildPackedPayload (ModelSnapshot).
+  int32_t ClusterOffset(int32_t cluster) const {
+    return cluster_begin_[static_cast<size_t>(cluster)];
+  }
+
+  /// Row ids of one cluster, ascending.
+  std::span<const int32_t> ClusterMembers(int32_t cluster) const {
+    const auto begin = static_cast<size_t>(cluster_begin_[
+        static_cast<size_t>(cluster)]);
+    const auto end = static_cast<size_t>(cluster_begin_[
+        static_cast<size_t>(cluster) + 1]);
+    return {member_ids_.data() + begin, end - begin};
+  }
+
+  /// Fills `out` (cleared first) with the row ids of the `nprobe` clusters
+  /// whose centroids score highest against `profile`, clusters in
+  /// ascending id, row ids ascending within each cluster. nprobe is
+  /// clamped to [1, num_clusters].
+  void CandidateRows(std::span<const float> profile, int32_t nprobe,
+                     std::vector<int32_t>& out) const;
+
+  /// Resident bytes of centroids + posting lists.
+  size_t memory_bytes() const {
+    return centroids_.size() * sizeof(float) +
+           member_ids_.size() * sizeof(int32_t) +
+           cluster_begin_.size() * sizeof(int32_t);
+  }
+
+ private:
+  IvfIndex() = default;
+
+  int32_t dim_ = 0;
+  int32_t num_clusters_ = 0;
+  std::vector<float> centroids_;       ///< C × dim, row-major
+  std::vector<int32_t> member_ids_;    ///< row ids grouped by cluster
+  std::vector<int32_t> cluster_begin_; ///< C+1 offsets into member_ids_
+};
+
+}  // namespace plp::serve
+
+#endif  // PLP_SERVE_IVF_INDEX_H_

@@ -36,6 +36,11 @@ class LatencyHistogram {
         std::memory_order_relaxed);
   }
 
+  /// Adds another histogram's buckets/count/sum into this one (relaxed
+  /// reads of a live histogram — aggregation is a monitoring view, not a
+  /// linearizable snapshot).
+  void MergeFrom(const LatencyHistogram& other);
+
  private:
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};
@@ -59,6 +64,17 @@ class Metrics {
   std::atomic<uint64_t> batches{0};       ///< micro-batches executed
   std::atomic<uint64_t> batched_requests{0};  ///< requests inside batches
   std::atomic<uint64_t> model_swaps{0};
+  /// Successful recommendations broken out by the snapshot format that
+  /// scored them (f32 / fp16 / int8) — sums to requests_ok. Makes a
+  /// quantization rollout observable: a dashboard can watch traffic move
+  /// between formats across hot swaps.
+  std::atomic<uint64_t> requests_f32{0};
+  std::atomic<uint64_t> requests_fp16{0};
+  std::atomic<uint64_t> requests_int8{0};
+  /// steady_clock microsecond stamp of the latest Publish (0 = never).
+  /// swap_age_seconds in the STATS table derives from it, so snapshot
+  /// freshness is observable without scraping logs.
+  std::atomic<int64_t> last_swap_steady_micros{0};
   /// Wire-level garbage that never became a Request (unknown command,
   /// unparseable fields, oversized line). Counted by the protocol frontend
   /// (plp_serve), not the engine, and not part of TotalRequests.
@@ -67,6 +83,19 @@ class Metrics {
   LatencyHistogram latency;
 
   uint64_t TotalRequests() const;
+
+  /// Seconds since the latest Publish, or -1 when nothing was ever
+  /// published. `now_micros` is a steady_clock microsecond reading so
+  /// callers (and tests) control the clock.
+  double SwapAgeSeconds(int64_t now_micros) const;
+
+  /// Records a Publish: bumps model_swaps and stamps the swap time.
+  void RecordSwap(int64_t now_micros);
+
+  /// Accumulates another Metrics into this one (counters and histogram
+  /// buckets added; the freshest swap stamp wins). The sharded engine
+  /// aggregates per-shard metrics into one STATS view with this.
+  void MergeFrom(const Metrics& other);
 
   /// Aligned table of every counter plus p50/p95/p99/mean latency.
   void PrintTable(std::ostream& os) const;

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/check.h"
 #include "common/math_util.h"
 
 namespace plp::serve {
@@ -50,7 +51,75 @@ float Dot(const float* a, const float* b, int32_t n) {
   return DotKernel(a, b, static_cast<size_t>(n));
 }
 
+/// The shared top-k heap: min-heap on (score asc, id desc), so heap[0] is
+/// the worst kept candidate and each better-scoring row replaces it in
+/// O(log k). The comparison and offer order are exactly the original
+/// exact-scan's, so the float32 path keeps its bitwise behavior.
+struct TopKHeap {
+  explicit TopKHeap(int32_t k_in, std::span<const int32_t> exclude_in)
+      : k(k_in), exclude(exclude_in) {
+    heap.reserve(static_cast<size_t>(k));
+  }
+
+  static bool Worse(const ScoredLocation& a, const ScoredLocation& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.location > b.location;
+  }
+
+  bool IsExcluded(int32_t l) const {
+    return std::find(exclude.begin(), exclude.end(), l) != exclude.end();
+  }
+
+  void Offer(const ScoredLocation& candidate) {
+    auto cmp = [](const ScoredLocation& a, const ScoredLocation& b) {
+      return Worse(b, a);  // max-heap of "worseness" == min-heap of score
+    };
+    if (static_cast<int32_t>(heap.size()) < k) {
+      if (IsExcluded(candidate.location)) return;
+      heap.push_back(candidate);
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (Worse(heap.front(), candidate) &&
+               !IsExcluded(candidate.location)) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = candidate;
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  }
+
+  std::vector<ScoredLocation> Finish() {
+    std::sort(heap.begin(), heap.end(),
+              [](const ScoredLocation& a, const ScoredLocation& b) {
+                return Worse(b, a);  // best first
+              });
+    return std::move(heap);
+  }
+
+  int32_t k;
+  std::span<const int32_t> exclude;
+  std::vector<ScoredLocation> heap;
+};
+
 }  // namespace
+
+const char* FormatName(SnapshotFormat format) {
+  switch (format) {
+    case SnapshotFormat::kFloat32:
+      return "f32";
+    case SnapshotFormat::kFloat16:
+      return "fp16";
+    case SnapshotFormat::kInt8:
+      return "int8";
+  }
+  return "unknown";
+}
+
+Result<SnapshotFormat> ParseSnapshotFormat(const std::string& name) {
+  if (name == "f32" || name == "float32") return SnapshotFormat::kFloat32;
+  if (name == "fp16" || name == "float16") return SnapshotFormat::kFloat16;
+  if (name == "int8") return SnapshotFormat::kInt8;
+  return InvalidArgumentError("unknown snapshot format '" + name +
+                              "' (expected f32, fp16, or int8)");
+}
 
 ModelSnapshot::ModelSnapshot(int32_t num_locations, int32_t dim,
                              uint64_t version, std::vector<float> embeddings)
@@ -60,20 +129,204 @@ ModelSnapshot::ModelSnapshot(int32_t num_locations, int32_t dim,
       checksum_(ChecksumOf(num_locations, dim, embeddings)),
       embeddings_(std::move(embeddings)) {}
 
+void ModelSnapshot::ApplyOptions(const SnapshotOptions& options) {
+  // The IVF index clusters the float32 matrix, so build it before the
+  // quantization below can drop that matrix.
+  if (options.build_ivf) {
+    ivf_ = IvfIndex::Build(embeddings_.data(), num_locations_, dim_,
+                           options.ivf);
+  }
+  if (options.format == SnapshotFormat::kFloat32) {
+    if (ivf_) BuildPackedPayload();
+    return;
+  }
+  format_ = options.format;
+  const size_t count = embeddings_.size();
+  uint64_t payload_hash = 0xcbf29ce484222325ULL;
+  payload_hash = Fnv1a64(&num_locations_, sizeof(num_locations_), payload_hash);
+  payload_hash = Fnv1a64(&dim_, sizeof(dim_), payload_hash);
+  payload_hash = Fnv1a64(&format_, sizeof(format_), payload_hash);
+  if (format_ == SnapshotFormat::kFloat16) {
+    half_.resize(count);
+    for (size_t i = 0; i < count; ++i) half_[i] = FloatToHalf(embeddings_[i]);
+    payload_hash =
+        Fnv1a64(half_.data(), half_.size() * sizeof(uint16_t), payload_hash);
+  } else {
+    quant_.resize(count);
+    row_scale_.resize(static_cast<size_t>(num_locations_));
+    for (int32_t r = 0; r < num_locations_; ++r) {
+      const float* row = embeddings_.data() + static_cast<size_t>(r) * dim_;
+      float amax = 0.0f;
+      for (int32_t d = 0; d < dim_; ++d) {
+        amax = std::max(amax, std::fabs(row[d]));
+      }
+      const float scale = amax > 0.0f ? amax / 127.0f : 0.0f;
+      row_scale_[static_cast<size_t>(r)] = scale;
+      int8_t* q = quant_.data() + static_cast<size_t>(r) * dim_;
+      if (scale == 0.0f) {
+        std::fill_n(q, dim_, int8_t{0});
+        continue;
+      }
+      const float inv = 1.0f / scale;
+      for (int32_t d = 0; d < dim_; ++d) {
+        const long v = std::lroundf(row[d] * inv);
+        q[d] = static_cast<int8_t>(std::clamp<long>(v, -127, 127));
+      }
+    }
+    payload_hash =
+        Fnv1a64(quant_.data(), quant_.size() * sizeof(int8_t), payload_hash);
+    payload_hash = Fnv1a64(row_scale_.data(),
+                           row_scale_.size() * sizeof(float), payload_hash);
+  }
+  checksum_ = payload_hash;
+  embeddings_.clear();
+  embeddings_.shrink_to_fit();
+  if (ivf_) BuildPackedPayload();
+}
+
+void ModelSnapshot::BuildPackedPayload() {
+  const size_t dim = static_cast<size_t>(dim_);
+  const size_t count = static_cast<size_t>(num_locations_) * dim;
+  switch (format_) {
+    case SnapshotFormat::kFloat32:
+      packed_f32_.resize(count);
+      break;
+    case SnapshotFormat::kFloat16:
+      packed_half_.resize(count);
+      break;
+    case SnapshotFormat::kInt8:
+      packed_quant_.resize(count);
+      packed_scale_.resize(static_cast<size_t>(num_locations_));
+      break;
+  }
+  size_t pos = 0;
+  for (int32_t c = 0; c < ivf_->num_clusters(); ++c) {
+    for (const int32_t id : ivf_->ClusterMembers(c)) {
+      const size_t src = static_cast<size_t>(id) * dim;
+      const size_t dst = pos * dim;
+      switch (format_) {
+        case SnapshotFormat::kFloat32:
+          std::copy_n(embeddings_.data() + src, dim, packed_f32_.data() + dst);
+          break;
+        case SnapshotFormat::kFloat16:
+          std::copy_n(half_.data() + src, dim, packed_half_.data() + dst);
+          break;
+        case SnapshotFormat::kInt8:
+          std::copy_n(quant_.data() + src, dim, packed_quant_.data() + dst);
+          packed_scale_[pos] = row_scale_[static_cast<size_t>(id)];
+          break;
+      }
+      ++pos;
+    }
+  }
+  PLP_CHECK_EQ(pos, static_cast<size_t>(num_locations_));
+}
+
+size_t ModelSnapshot::memory_bytes() const {
+  const size_t packed = packed_f32_.size() * sizeof(float) +
+                        packed_half_.size() * sizeof(uint16_t) +
+                        packed_quant_.size() * sizeof(int8_t) +
+                        packed_scale_.size() * sizeof(float);
+  switch (format_) {
+    case SnapshotFormat::kFloat32:
+      return embeddings_.size() * sizeof(float) + packed;
+    case SnapshotFormat::kFloat16:
+      return half_.size() * sizeof(uint16_t) + packed;
+    case SnapshotFormat::kInt8:
+      return quant_.size() * sizeof(int8_t) +
+             row_scale_.size() * sizeof(float) + packed;
+  }
+  return 0;
+}
+
+void ModelSnapshot::DequantizeRow(int32_t location,
+                                  std::span<float> out) const {
+  PLP_CHECK_EQ(out.size(), static_cast<size_t>(dim_));
+  const size_t offset = static_cast<size_t>(location) * dim_;
+  switch (format_) {
+    case SnapshotFormat::kFloat32:
+      std::copy_n(embeddings_.data() + offset, dim_, out.data());
+      return;
+    case SnapshotFormat::kFloat16:
+      for (int32_t d = 0; d < dim_; ++d) {
+        out[static_cast<size_t>(d)] = HalfToFloat(half_[offset + d]);
+      }
+      return;
+    case SnapshotFormat::kInt8: {
+      const float scale = row_scale_[static_cast<size_t>(location)];
+      for (int32_t d = 0; d < dim_; ++d) {
+        out[static_cast<size_t>(d)] =
+            scale * static_cast<float>(quant_[offset + d]);
+      }
+      return;
+    }
+  }
+}
+
+float ModelSnapshot::ScorePackedRow(int32_t pos, const float* profile) const {
+  const size_t offset = static_cast<size_t>(pos) * dim_;
+  switch (format_) {
+    case SnapshotFormat::kFloat32:
+      return Dot(packed_f32_.data() + offset, profile, dim_);
+    case SnapshotFormat::kFloat16:
+      return DotF16Kernel(packed_half_.data() + offset, profile,
+                          static_cast<size_t>(dim_));
+    case SnapshotFormat::kInt8:
+      return packed_scale_[static_cast<size_t>(pos)] *
+             DotI8Kernel(packed_quant_.data() + offset, profile,
+                         static_cast<size_t>(dim_));
+  }
+  return 0.0f;
+}
+
+float ModelSnapshot::ScoreRow(int32_t location, const float* profile) const {
+  const size_t offset = static_cast<size_t>(location) * dim_;
+  switch (format_) {
+    case SnapshotFormat::kFloat32:
+      return Dot(embeddings_.data() + offset, profile, dim_);
+    case SnapshotFormat::kFloat16:
+      return DotF16Kernel(half_.data() + offset, profile,
+                          static_cast<size_t>(dim_));
+    case SnapshotFormat::kInt8:
+      return row_scale_[static_cast<size_t>(location)] *
+             DotI8Kernel(quant_.data() + offset, profile,
+                         static_cast<size_t>(dim_));
+  }
+  return 0.0f;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::Replicate() const {
+  return std::shared_ptr<const ModelSnapshot>(new ModelSnapshot(*this));
+}
+
 Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::FromModel(
     const sgns::SgnsModel& model, uint64_t version) {
+  return FromModel(model, version, SnapshotOptions{});
+}
+
+Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::FromModel(
+    const sgns::SgnsModel& model, uint64_t version,
+    const SnapshotOptions& options) {
   if (model.num_locations() <= 0 || model.dim() <= 0) {
     return InvalidArgumentError("cannot snapshot an empty model");
   }
   const std::vector<double> normalized = model.NormalizedEmbeddings();
   std::vector<float> embeddings(normalized.begin(), normalized.end());
   NormalizeRows(embeddings, model.num_locations(), model.dim());
-  return std::shared_ptr<const ModelSnapshot>(new ModelSnapshot(
+  auto snapshot = std::shared_ptr<ModelSnapshot>(new ModelSnapshot(
       model.num_locations(), model.dim(), version, std::move(embeddings)));
+  snapshot->ApplyOptions(options);
+  return std::shared_ptr<const ModelSnapshot>(std::move(snapshot));
 }
 
 Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::FromDeployed(
     const sgns::DeployedEmbeddings& deployed, uint64_t version) {
+  return FromDeployed(deployed, version, SnapshotOptions{});
+}
+
+Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::FromDeployed(
+    const sgns::DeployedEmbeddings& deployed, uint64_t version,
+    const SnapshotOptions& options) {
   if (deployed.num_locations <= 0 || deployed.dim <= 0) {
     return InvalidArgumentError("cannot snapshot empty embeddings");
   }
@@ -85,15 +338,23 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::FromDeployed(
   std::vector<float> embeddings(deployed.embeddings.begin(),
                                 deployed.embeddings.end());
   NormalizeRows(embeddings, deployed.num_locations, deployed.dim);
-  return std::shared_ptr<const ModelSnapshot>(
+  auto snapshot = std::shared_ptr<ModelSnapshot>(
       new ModelSnapshot(deployed.num_locations, deployed.dim, version,
                         std::move(embeddings)));
+  snapshot->ApplyOptions(options);
+  return std::shared_ptr<const ModelSnapshot>(std::move(snapshot));
 }
 
 Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::FromFile(
     const std::string& path, uint64_t version) {
+  return FromFile(path, version, SnapshotOptions{});
+}
+
+Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::FromFile(
+    const std::string& path, uint64_t version,
+    const SnapshotOptions& options) {
   auto model_or = sgns::LoadModel(path);
-  if (model_or.ok()) return FromModel(*model_or, version);
+  if (model_or.ok()) return FromModel(*model_or, version, options);
   // A missing file will fail the same way again; only fall back when the
   // file exists but is not a full model (embeddings-only deployment).
   if (model_or.status().code() == StatusCode::kNotFound) {
@@ -106,15 +367,25 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::FromFile(
         ") nor a deployment artifact (" + deployed_or.status().message() +
         ")");
   }
-  return FromDeployed(*deployed_or, version);
+  return FromDeployed(*deployed_or, version, options);
 }
 
 std::vector<float> ModelSnapshot::Profile(
     std::span<const int32_t> recent) const {
   std::vector<float> profile(static_cast<size_t>(dim_), 0.0f);
-  for (int32_t l : recent) {
-    const float* row = embeddings_.data() + static_cast<size_t>(l) * dim_;
-    for (int32_t d = 0; d < dim_; ++d) profile[d] += row[d];
+  if (format_ == SnapshotFormat::kFloat32) {
+    for (int32_t l : recent) {
+      const float* row = embeddings_.data() + static_cast<size_t>(l) * dim_;
+      for (int32_t d = 0; d < dim_; ++d) profile[d] += row[d];
+    }
+  } else {
+    std::vector<float> row(static_cast<size_t>(dim_));
+    for (int32_t l : recent) {
+      DequantizeRow(l, row);
+      for (int32_t d = 0; d < dim_; ++d) {
+        profile[static_cast<size_t>(d)] += row[static_cast<size_t>(d)];
+      }
+    }
   }
   float sq = 0.0f;
   for (float v : profile) sq += v * v;
@@ -145,42 +416,52 @@ std::vector<ScoredLocation> TopKScores(const ModelSnapshot& snapshot,
   const int32_t dim = snapshot.dim();
   if (k <= 0 || profile.size() != static_cast<size_t>(dim)) return {};
 
-  auto is_excluded = [&exclude](int32_t l) {
-    return std::find(exclude.begin(), exclude.end(), l) != exclude.end();
-  };
-  // Min-heap on (score asc, id desc): heap[0] is the worst kept candidate,
-  // so each better-scoring row replaces it in O(log k).
-  auto worse = [](const ScoredLocation& a, const ScoredLocation& b) {
-    if (a.score != b.score) return a.score < b.score;
-    return a.location > b.location;
-  };
-  std::vector<ScoredLocation> heap;
-  heap.reserve(static_cast<size_t>(k));
-
-  const float* matrix = snapshot.embeddings().data();
-  for (int32_t l = 0; l < num_locations; ++l) {
-    const float* row = matrix + static_cast<size_t>(l) * dim;
-    const ScoredLocation candidate{l, Dot(row, profile.data(), dim)};
-    if (static_cast<int32_t>(heap.size()) < k) {
-      if (is_excluded(l)) continue;
-      heap.push_back(candidate);
-      std::push_heap(heap.begin(), heap.end(), [&](const auto& a,
-                                                   const auto& b) {
-        return worse(b, a);  // max-heap of "worseness" == min-heap of score
-      });
-    } else if (worse(heap.front(), candidate) && !is_excluded(l)) {
-      std::pop_heap(heap.begin(), heap.end(),
-                    [&](const auto& a, const auto& b) { return worse(b, a); });
-      heap.back() = candidate;
-      std::push_heap(heap.begin(), heap.end(),
-                     [&](const auto& a, const auto& b) { return worse(b, a); });
+  TopKHeap heap(k, exclude);
+  if (snapshot.format() == SnapshotFormat::kFloat32) {
+    // Direct matrix walk, identical float ops and offer order to the
+    // original float32-only scan — this path is pinned bitwise.
+    const float* matrix = snapshot.embeddings().data();
+    for (int32_t l = 0; l < num_locations; ++l) {
+      const float* row = matrix + static_cast<size_t>(l) * dim;
+      heap.Offer(ScoredLocation{l, Dot(row, profile.data(), dim)});
+    }
+  } else {
+    for (int32_t l = 0; l < num_locations; ++l) {
+      heap.Offer(ScoredLocation{l, snapshot.ScoreRow(l, profile.data())});
     }
   }
-  std::sort(heap.begin(), heap.end(),
-            [&](const ScoredLocation& a, const ScoredLocation& b) {
-              return worse(b, a);  // best first
-            });
-  return heap;
+  return heap.Finish();
+}
+
+std::vector<ScoredLocation> ApproxTopKScores(const ModelSnapshot& snapshot,
+                                             std::span<const float> profile,
+                                             int32_t k, int32_t nprobe,
+                                             std::span<const int32_t> exclude) {
+  const IvfIndex* ivf = snapshot.ivf();
+  if (ivf == nullptr) return TopKScores(snapshot, profile, k, exclude);
+  const int32_t dim = snapshot.dim();
+  if (k <= 0 || profile.size() != static_cast<size_t>(dim)) return {};
+  if (nprobe <= 0) nprobe = ivf->default_nprobe();
+
+  // Walk the probed posting lists through the cluster-ordered payload:
+  // each probed cluster is one contiguous packed range, so the pruned
+  // scan streams memory sequentially (hardware-prefetchable) instead of
+  // chasing one scattered cache line per row — the difference between a
+  // latency-bound and a bandwidth-bound scan.
+  std::vector<int32_t> clusters;
+  ivf->TopClusters(profile, nprobe, clusters);
+  TopKHeap heap(k, exclude);
+  for (int32_t c : clusters) {
+    const std::span<const int32_t> members = ivf->ClusterMembers(c);
+    const int32_t base = ivf->ClusterOffset(c);
+    for (size_t i = 0; i < members.size(); ++i) {
+      heap.Offer(ScoredLocation{
+          members[i],
+          snapshot.ScorePackedRow(base + static_cast<int32_t>(i),
+                                  profile.data())});
+    }
+  }
+  return heap.Finish();
 }
 
 }  // namespace plp::serve

@@ -21,6 +21,12 @@ Clock::time_point ResolveArrival(const Request& request,
   return request.arrival == Clock::time_point{} ? now : request.arrival;
 }
 
+int64_t SteadyMicrosNow() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 ServingEngine::ServingEngine(const ServingConfig& config)
@@ -33,19 +39,31 @@ ServingEngine::ServingEngine(const ServingConfig& config)
 
 Status ServingEngine::PublishModel(const sgns::SgnsModel& model,
                                    uint64_t version) {
-  PLP_ASSIGN_OR_RETURN(auto snapshot,
-                       ModelSnapshot::FromModel(model, version));
+  PLP_ASSIGN_OR_RETURN(
+      auto snapshot,
+      ModelSnapshot::FromModel(model, version, config_.snapshot));
   registry_.Publish(std::move(snapshot));
-  metrics_.model_swaps.fetch_add(1, std::memory_order_relaxed);
+  metrics_.RecordSwap(SteadyMicrosNow());
   return Status::Ok();
 }
 
 Status ServingEngine::PublishFile(const std::string& path,
                                   uint64_t version) {
   PLP_ASSIGN_OR_RETURN(auto snapshot,
-                       ModelSnapshot::FromFile(path, version));
+                       ModelSnapshot::FromFile(path, version,
+                                               config_.snapshot));
   registry_.Publish(std::move(snapshot));
-  metrics_.model_swaps.fetch_add(1, std::memory_order_relaxed);
+  metrics_.RecordSwap(SteadyMicrosNow());
+  return Status::Ok();
+}
+
+Status ServingEngine::PublishSnapshot(
+    std::shared_ptr<const ModelSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    return InvalidArgumentError("cannot publish a null snapshot");
+  }
+  registry_.Publish(std::move(snapshot));
+  metrics_.RecordSwap(SteadyMicrosNow());
   return Status::Ok();
 }
 
@@ -78,6 +96,15 @@ Response ServingEngine::Execute(
   }
   if (request.k <= 0) {
     response.status = InvalidArgumentError("k must be positive");
+    return response;
+  }
+  // No silent clamp: asking for more candidates than the vocabulary holds
+  // is a caller bug (or a stale client after a swap to a smaller model),
+  // and clamping would hide it from the caller's pagination logic.
+  if (request.k > snapshot->num_locations()) {
+    response.status = InvalidArgumentError(
+        "k=" + std::to_string(request.k) + " exceeds the vocabulary (" +
+        std::to_string(snapshot->num_locations()) + " locations)");
     return response;
   }
 
@@ -117,8 +144,26 @@ Response ServingEngine::Execute(
   }
 
   const std::vector<float> profile = snapshot->Profile(history);
-  response.topk =
-      TopKScores(*snapshot, profile, request.k, request.exclude);
+  // Approximate (IVF-pruned) scan only when the snapshot was built with
+  // an index; the exact scan stays the default and the reference.
+  if (snapshot->ivf() != nullptr) {
+    response.topk = ApproxTopKScores(*snapshot, profile, request.k,
+                                     config_.nprobe, request.exclude);
+  } else {
+    response.topk =
+        TopKScores(*snapshot, profile, request.k, request.exclude);
+  }
+  switch (snapshot->format()) {
+    case SnapshotFormat::kFloat32:
+      metrics_.requests_f32.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SnapshotFormat::kFloat16:
+      metrics_.requests_fp16.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SnapshotFormat::kInt8:
+      metrics_.requests_int8.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
   response.status = Status::Ok();
   return response;
 }

@@ -56,6 +56,14 @@ struct ServingConfig {
   /// they are not shed.
   int32_t max_queue = 1024;
   SessionStore::Options sessions;
+  /// How PublishModel/PublishFile build snapshots (format, IVF index).
+  /// Defaults are the exact float32 scan — the reference configuration.
+  SnapshotOptions snapshot;
+  /// IVF probe width when the published snapshot carries an index:
+  /// 0 uses IvfIndex::default_nprobe() (the recall-gated default); any
+  /// positive value overrides it (larger = more recall, more scan).
+  /// Ignored on snapshots without an index.
+  int32_t nprobe = 0;
 };
 
 /// Thread-pool-backed request execution over the registry's live snapshot.
@@ -81,6 +89,10 @@ class ServingEngine {
   /// publishes it.
   Status PublishFile(const std::string& path, uint64_t version);
 
+  /// Publishes an already-built snapshot (the sharded engine builds one
+  /// and hands each shard its own replica).
+  Status PublishSnapshot(std::shared_ptr<const ModelSnapshot> snapshot);
+
   /// Synchronous execution of one request on the caller's thread.
   Response Recommend(const Request& request);
 
@@ -91,6 +103,7 @@ class ServingEngine {
   /// Enqueues one request onto the pool and returns its future response.
   std::future<Response> SubmitAsync(Request request);
 
+  const ServingConfig& config() const { return config_; }
   ModelRegistry& registry() { return registry_; }
   SessionStore& sessions() { return sessions_; }
   Metrics& metrics() { return metrics_; }

@@ -1,0 +1,92 @@
+#include "serve/sharded_engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "common/check.h"
+
+namespace plp::serve {
+
+ShardedServingEngine::ShardedServingEngine(const ShardedConfig& config) {
+  const int32_t n = std::max(config.num_shards, 1);
+  shards_.reserve(static_cast<size_t>(n));
+  for (int32_t s = 0; s < n; ++s) {
+    shards_.push_back(std::make_unique<ServingEngine>(config.shard));
+  }
+}
+
+int32_t ShardedServingEngine::ShardFor(int64_t user_id) const {
+  // Same bit mixing as SessionStore::ShardFor so sequential user ids
+  // spread evenly; reduced modulo the shard count (which need not be a
+  // power of two).
+  const uint64_t h = std::hash<int64_t>{}(user_id) * 0x9e3779b97f4a7c15ULL;
+  return static_cast<int32_t>((h >> 32) % shards_.size());
+}
+
+Status ShardedServingEngine::PublishModel(const sgns::SgnsModel& model,
+                                          uint64_t version) {
+  // Build once (the expensive part: normalization, quantization, IVF
+  // clustering), then hand each shard its own deep copy.
+  PLP_ASSIGN_OR_RETURN(
+      auto snapshot,
+      ModelSnapshot::FromModel(model, version,
+                               shards_.front()->config().snapshot));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    PLP_RETURN_IF_ERROR(shards_[s]->PublishSnapshot(
+        s + 1 == shards_.size() ? std::move(snapshot)
+                                : snapshot->Replicate()));
+  }
+  return Status::Ok();
+}
+
+Status ShardedServingEngine::PublishFile(const std::string& path,
+                                         uint64_t version) {
+  PLP_ASSIGN_OR_RETURN(
+      auto snapshot,
+      ModelSnapshot::FromFile(path, version,
+                              shards_.front()->config().snapshot));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    PLP_RETURN_IF_ERROR(shards_[s]->PublishSnapshot(
+        s + 1 == shards_.size() ? std::move(snapshot)
+                                : snapshot->Replicate()));
+  }
+  return Status::Ok();
+}
+
+Status ShardedServingEngine::PublishSnapshot(
+    std::shared_ptr<const ModelSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    return InvalidArgumentError("cannot publish a null snapshot");
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    PLP_RETURN_IF_ERROR(shards_[s]->PublishSnapshot(
+        s + 1 == shards_.size() ? std::move(snapshot)
+                                : snapshot->Replicate()));
+  }
+  return Status::Ok();
+}
+
+Response ShardedServingEngine::Recommend(const Request& request) {
+  return shards_[static_cast<size_t>(ShardFor(request.user_id))]->Recommend(
+      request);
+}
+
+std::future<Response> ShardedServingEngine::SubmitAsync(Request request) {
+  const size_t s = static_cast<size_t>(ShardFor(request.user_id));
+  return shards_[s]->SubmitAsync(std::move(request));
+}
+
+void ShardedServingEngine::AggregateMetrics(Metrics& into) const {
+  for (const auto& shard : shards_) {
+    into.MergeFrom(shard->metrics());
+  }
+}
+
+void ShardedServingEngine::PrintStats(std::ostream& os) const {
+  Metrics total;
+  AggregateMetrics(total);
+  total.PrintTable(os);
+}
+
+}  // namespace plp::serve

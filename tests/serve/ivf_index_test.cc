@@ -1,0 +1,245 @@
+#include "serve/ivf_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/rng.h"
+#include "serve/model_snapshot.h"
+#include "sgns/model_io.h"
+
+namespace plp::serve {
+namespace {
+
+/// Unit-norm row-major matrix of `num_rows` rows drawn around a handful of
+/// cluster directions — the shape trained embeddings actually have (related
+/// POIs point the same way), and the regime IVF pruning is built for.
+std::vector<float> ClusteredRows(uint64_t seed, int32_t num_rows, int32_t dim,
+                                 int32_t num_groups, double spread) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> centers(
+      static_cast<size_t>(num_groups), std::vector<double>(dim));
+  for (auto& c : centers) {
+    double sq = 0.0;
+    for (double& v : c) {
+      v = rng.Gaussian();
+      sq += v * v;
+    }
+    const double inv = 1.0 / std::sqrt(sq);
+    for (double& v : c) v *= inv;
+  }
+  std::vector<float> rows(static_cast<size_t>(num_rows) * dim);
+  for (int32_t r = 0; r < num_rows; ++r) {
+    const auto& c = centers[static_cast<size_t>(r) % num_groups];
+    double sq = 0.0;
+    std::vector<double> v(static_cast<size_t>(dim));
+    for (int32_t d = 0; d < dim; ++d) {
+      v[static_cast<size_t>(d)] =
+          c[static_cast<size_t>(d)] + spread * rng.Gaussian();
+      sq += v[static_cast<size_t>(d)] * v[static_cast<size_t>(d)];
+    }
+    const double inv = 1.0 / std::sqrt(sq);
+    float* out = rows.data() + static_cast<size_t>(r) * dim;
+    for (int32_t d = 0; d < dim; ++d) {
+      out[d] = static_cast<float>(v[static_cast<size_t>(d)] * inv);
+    }
+  }
+  return rows;
+}
+
+/// Snapshot over a clustered vocabulary — trained embeddings group related
+/// POIs, which is exactly the structure the IVF recall contract assumes.
+std::shared_ptr<const ModelSnapshot> IndexedSnapshot(uint64_t seed,
+                                                     int32_t locations,
+                                                     int32_t dim,
+                                                     bool build_ivf = true) {
+  // spread is per-dimension noise: 0.08·√32 ≈ 0.45 perturbation norm on a
+  // unit center, i.e. within-group cosine ≈ 0.9 — the neighborhood
+  // tightness trained embeddings actually show (that structure is why IVF
+  // pruning works at all; isotropic rows would be the wrong fixture).
+  const std::vector<float> rows =
+      ClusteredRows(seed, locations, dim, /*num_groups=*/20, /*spread=*/0.08);
+  sgns::DeployedEmbeddings deployed;
+  deployed.num_locations = locations;
+  deployed.dim = dim;
+  deployed.embeddings.assign(rows.begin(), rows.end());
+  SnapshotOptions options;
+  options.build_ivf = build_ivf;
+  auto snapshot = ModelSnapshot::FromDeployed(deployed, 1, options);
+  EXPECT_TRUE(snapshot.ok());
+  return std::move(snapshot).value();
+}
+
+double RecallAt10(const std::vector<ScoredLocation>& approx,
+                  const std::vector<ScoredLocation>& exact) {
+  int hits = 0;
+  for (const auto& e : exact) {
+    for (const auto& a : approx) {
+      if (a.location == e.location) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return exact.empty() ? 1.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(exact.size());
+}
+
+TEST(IvfIndexTest, BuildIsDeterministic) {
+  const auto rows = ClusteredRows(1, 300, 16, 8, 0.3);
+  const IvfIndex a = IvfIndex::Build(rows.data(), 300, 16, {});
+  const IvfIndex b = IvfIndex::Build(rows.data(), 300, 16, {});
+  ASSERT_EQ(a.num_clusters(), b.num_clusters());
+  std::vector<float> profile(rows.begin(), rows.begin() + 16);
+  std::vector<int32_t> ca, cb;
+  for (int32_t nprobe = 1; nprobe <= a.num_clusters(); ++nprobe) {
+    a.CandidateRows(profile, nprobe, ca);
+    b.CandidateRows(profile, nprobe, cb);
+    EXPECT_EQ(ca, cb) << "nprobe " << nprobe;
+  }
+}
+
+TEST(IvfIndexTest, PostingListsPartitionAllRows) {
+  const int32_t num_rows = 257;  // deliberately not a square
+  const auto rows = ClusteredRows(2, num_rows, 12, 6, 0.4);
+  const IvfIndex index = IvfIndex::Build(rows.data(), num_rows, 12, {});
+  // Default cluster count is 2·ceil(sqrt(L)).
+  EXPECT_EQ(index.num_clusters(), 34);
+
+  // Probing every cluster must return each row exactly once.
+  std::vector<float> profile(rows.begin(), rows.begin() + 12);
+  std::vector<int32_t> candidates;
+  index.CandidateRows(profile, index.num_clusters(), candidates);
+  ASSERT_EQ(candidates.size(), static_cast<size_t>(num_rows));
+  std::vector<int32_t> sorted = candidates;
+  std::sort(sorted.begin(), sorted.end());
+  for (int32_t r = 0; r < num_rows; ++r) {
+    EXPECT_EQ(sorted[static_cast<size_t>(r)], r);
+  }
+}
+
+TEST(IvfIndexTest, NprobeClampsAndShrinksCandidates) {
+  const auto rows = ClusteredRows(3, 400, 16, 10, 0.3);
+  const IvfIndex index = IvfIndex::Build(rows.data(), 400, 16, {});
+  std::vector<float> profile(rows.begin(), rows.begin() + 16);
+
+  std::vector<int32_t> narrow, wide, clamped;
+  index.CandidateRows(profile, 1, narrow);
+  index.CandidateRows(profile, index.num_clusters(), wide);
+  index.CandidateRows(profile, index.num_clusters() + 100, clamped);
+  EXPECT_FALSE(narrow.empty());
+  EXPECT_LT(narrow.size(), wide.size());
+  EXPECT_EQ(wide.size(), 400u);
+  EXPECT_EQ(clamped, wide);  // over-asking clamps to every cluster
+
+  // nprobe <= 0 clamps up to 1.
+  std::vector<int32_t> floor;
+  index.CandidateRows(profile, 0, floor);
+  EXPECT_EQ(floor, narrow);
+}
+
+TEST(IvfIndexTest, SingleRowAndSingleClusterDegenerate) {
+  const std::vector<float> one = {1.0f, 0.0f, 0.0f, 0.0f};
+  const IvfIndex index = IvfIndex::Build(one.data(), 1, 4, {});
+  EXPECT_EQ(index.num_clusters(), 1);
+  std::vector<int32_t> candidates;
+  index.CandidateRows(one, 5, candidates);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], 0);
+}
+
+// The acceptance gate: on a realistically clustered vocabulary, the pruned
+// scan at the index's default probe width keeps recall@10 ≥ 0.99 averaged
+// over many history-derived profiles.
+TEST(IvfIndexTest, RecallGateAtDefaultNprobe) {
+  const auto snapshot = IndexedSnapshot(17, 2000, 32);
+  ASSERT_NE(snapshot->ivf(), nullptr);
+
+  Rng rng(18);
+  double recall_sum = 0.0;
+  const int num_queries = 200;
+  for (int q = 0; q < num_queries; ++q) {
+    std::vector<int32_t> history;
+    for (int h = 0; h < 5; ++h) {
+      history.push_back(static_cast<int32_t>(rng.UniformInt(2000)));
+    }
+    const std::vector<float> profile = snapshot->Profile(history);
+    const auto exact = TopKScores(*snapshot, profile, 10);
+    const auto approx = ApproxTopKScores(*snapshot, profile, 10,
+                                         /*nprobe=*/0);
+    recall_sum += RecallAt10(approx, exact);
+  }
+  const double recall = recall_sum / num_queries;
+  RecordProperty("recall_at_10", std::to_string(recall));
+  EXPECT_GE(recall, 0.99) << "recall@10 gate failed at default nprobe";
+}
+
+// Negative control: the gate must actually bite. Starving the probe width
+// to a single cluster on the same fixture has to push recall below the
+// 0.99 bar — if this test ever fails, the gate above is vacuous.
+TEST(IvfIndexTest, RecallGateFailsWhenNprobeDegraded) {
+  const auto snapshot = IndexedSnapshot(17, 2000, 32);
+  ASSERT_NE(snapshot->ivf(), nullptr);
+
+  Rng rng(18);
+  double recall_sum = 0.0;
+  const int num_queries = 200;
+  for (int q = 0; q < num_queries; ++q) {
+    std::vector<int32_t> history;
+    for (int h = 0; h < 5; ++h) {
+      history.push_back(static_cast<int32_t>(rng.UniformInt(2000)));
+    }
+    const std::vector<float> profile = snapshot->Profile(history);
+    const auto exact = TopKScores(*snapshot, profile, 10);
+    const auto approx = ApproxTopKScores(*snapshot, profile, 10,
+                                         /*nprobe=*/1);
+    recall_sum += RecallAt10(approx, exact);
+  }
+  const double recall = recall_sum / num_queries;
+  RecordProperty("degraded_recall_at_10", std::to_string(recall));
+  EXPECT_LT(recall, 0.99)
+      << "nprobe=1 recall did not degrade; the recall gate tests nothing";
+}
+
+TEST(IvfIndexTest, ApproxTopKFallsBackWithoutIndex) {
+  const auto snapshot = IndexedSnapshot(21, 150, 16, /*build_ivf=*/false);
+  ASSERT_EQ(snapshot->ivf(), nullptr);
+  const std::vector<int32_t> history = {3, 77, 149};
+  const std::vector<float> profile = snapshot->Profile(history);
+  const auto exact = TopKScores(*snapshot, profile, 10);
+  const auto approx = ApproxTopKScores(*snapshot, profile, 10, 4);
+  ASSERT_EQ(approx.size(), exact.size());
+  for (size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(approx[i].location, exact[i].location);
+    EXPECT_EQ(approx[i].score, exact[i].score);
+  }
+}
+
+TEST(IvfIndexTest, ApproxRespectsExcludeList) {
+  const auto snapshot = IndexedSnapshot(23, 500, 16);
+  const std::vector<int32_t> history = {5, 250, 499};
+  const std::vector<float> profile = snapshot->Profile(history);
+  const auto unrestricted = ApproxTopKScores(*snapshot, profile, 5, 0);
+  ASSERT_FALSE(unrestricted.empty());
+  const std::vector<int32_t> exclude = {unrestricted[0].location};
+  const auto filtered = ApproxTopKScores(*snapshot, profile, 5, 0, exclude);
+  for (const auto& s : filtered) {
+    EXPECT_NE(s.location, exclude[0]);
+  }
+}
+
+TEST(IvfIndexTest, MemoryBytesAccountsCentroidsAndLists) {
+  const auto rows = ClusteredRows(4, 100, 8, 4, 0.3);
+  const IvfIndex index = IvfIndex::Build(rows.data(), 100, 8, {});
+  const size_t expected =
+      static_cast<size_t>(index.num_clusters()) * 8 * sizeof(float) +
+      100 * sizeof(int32_t) +
+      static_cast<size_t>(index.num_clusters() + 1) * sizeof(int32_t);
+  EXPECT_EQ(index.memory_bytes(), expected);
+}
+
+}  // namespace
+}  // namespace plp::serve

@@ -116,13 +116,19 @@ TEST(ServingEngineTest, PerRequestErrorsDontPoisonState) {
   bad_k.k = 0;
   EXPECT_EQ(engine.Recommend(bad_k).status.code(),
             StatusCode::kInvalidArgument);
+  // k beyond the vocabulary is rejected, not silently clamped.
+  Request oversized_k;
+  oversized_k.history = {1};
+  oversized_k.k = 21;
+  EXPECT_EQ(engine.Recommend(oversized_k).status.code(),
+            StatusCode::kInvalidArgument);
   Request bad_exclude;
   bad_exclude.history = {1};
   bad_exclude.exclude = {50};
   EXPECT_EQ(engine.Recommend(bad_exclude).status.code(),
             StatusCode::kInvalidArgument);
 
-  EXPECT_EQ(engine.metrics().requests_invalid_argument.load(), 4u);
+  EXPECT_EQ(engine.metrics().requests_invalid_argument.load(), 5u);
   EXPECT_EQ(engine.metrics().requests_not_found.load(), 1u);
 
   // The engine still serves.

@@ -2,9 +2,16 @@
 //
 //   plp_serve --model=model.plpm [--threads=4] [--k=10]
 //             [--capacity=100000] [--history_len=16] [--max_queue=1024]
+//             [--shards=1] [--format=f32] [--ivf=false] [--nprobe=0]
 //
 // `--model` accepts a full model or an embeddings-only deployment
-// artifact. One request per input line, one response line per request:
+// artifact. `--shards` runs the sharded engine (requests route by user
+// id; sessions and metrics are per-shard, STATS aggregates them).
+// `--format` stores the snapshot as f32 (exact, the default), fp16, or
+// int8; `--ivf` builds the candidate-pruning index at load and
+// `--nprobe` overrides its probe width (0 = the index default, which is
+// the recall-gated setting). One request per input line, one response
+// line per request:
 //
 //   REC <user_id> <location_id> [k]   append a check-in to the user's
 //                                     session and recommend top-k
@@ -33,7 +40,7 @@
 #include <vector>
 
 #include "common/flags.h"
-#include "serve/serving_engine.h"
+#include "serve/sharded_engine.h"
 
 namespace {
 
@@ -92,20 +99,34 @@ int main(int argc, char** argv) {
   if (model_path.empty()) {
     std::cerr << "usage: plp_serve --model=model.plpm [--threads=4] "
                  "[--k=10] [--capacity=100000] [--history_len=16] "
-                 "[--max_queue=1024]\n";
+                 "[--max_queue=1024] [--shards=1] [--format=f32] "
+                 "[--ivf=false] [--nprobe=0]\n";
     return 2;
   }
 
-  plp::serve::ServingConfig config;
-  config.num_threads = static_cast<int32_t>(flags.GetInt("threads", 4));
-  config.sessions.capacity =
+  plp::serve::ShardedConfig config;
+  config.num_shards = static_cast<int32_t>(flags.GetInt("shards", 1));
+  config.shard.num_threads = static_cast<int32_t>(flags.GetInt("threads", 4));
+  config.shard.sessions.capacity =
       static_cast<size_t>(flags.GetInt("capacity", 100000));
-  config.sessions.history_length =
+  config.shard.sessions.history_length =
       static_cast<int32_t>(flags.GetInt("history_len", 16));
-  config.max_queue = static_cast<int32_t>(flags.GetInt("max_queue", 1024));
+  config.shard.max_queue =
+      static_cast<int32_t>(flags.GetInt("max_queue", 1024));
+  config.shard.nprobe = static_cast<int32_t>(flags.GetInt("nprobe", 0));
+  config.shard.snapshot.build_ivf = flags.GetBool("ivf", false);
   const int32_t default_k = static_cast<int32_t>(flags.GetInt("k", 10));
+  {
+    auto format_or =
+        plp::serve::ParseSnapshotFormat(flags.GetString("format", "f32"));
+    if (!format_or.ok()) {
+      std::cerr << "error: " << format_or.status() << "\n";
+      return 2;
+    }
+    config.shard.snapshot.format = format_or.value();
+  }
 
-  plp::serve::ServingEngine engine(config);
+  plp::serve::ShardedServingEngine engine(config);
   uint64_t next_version = 1;
   if (plp::Status s = engine.PublishFile(model_path, next_version);
       !s.ok()) {
@@ -113,18 +134,24 @@ int main(int argc, char** argv) {
     return 1;
   }
   {
-    const auto snapshot = engine.registry().Current();
+    // Every shard holds an identical replica; shard 0 speaks for all.
+    const auto snapshot = engine.shard(0).registry().Current();
     std::cerr << "serving " << model_path << ": "
               << snapshot->num_locations() << " locations, dim "
-              << snapshot->dim() << ", checksum " << std::hex
-              << snapshot->checksum() << std::dec << ", "
-              << snapshot->memory_bytes() / 1024 << " KiB resident\n";
+              << snapshot->dim() << ", format "
+              << plp::serve::FormatName(snapshot->format()) << ", checksum "
+              << std::hex << snapshot->checksum() << std::dec << ", "
+              << snapshot->memory_bytes() / 1024 << " KiB resident, "
+              << engine.num_shards() << " shard(s)\n";
   }
 
   // One structured error line per protocol violation; the loop always
-  // stays line-synchronized with the client.
+  // stays line-synchronized with the client. Protocol errors happen
+  // before any request exists to route, so they count on shard 0 — the
+  // aggregated STATS view sums shards and still shows them all.
   auto protocol_error = [&engine](const std::string& message) {
-    engine.metrics().protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    engine.shard(0).metrics().protocol_errors.fetch_add(
+        1, std::memory_order_relaxed);
     std::cout << "ERR INVALID_ARGUMENT: " << message << "\n";
   };
 
@@ -143,7 +170,7 @@ int main(int argc, char** argv) {
     if (command == "QUIT") break;
 
     if (command == "STATS") {
-      engine.metrics().PrintTable(std::cout);
+      engine.PrintStats(std::cout);
       continue;
     }
 
@@ -162,11 +189,11 @@ int main(int argc, char** argv) {
         continue;
       }
       next_version = version;
-      const auto snapshot = engine.registry().Current();
+      const auto snapshot = engine.shard(0).registry().Current();
       std::cout << "OK swapped to v" << snapshot->version() << " checksum "
                 << std::hex << snapshot->checksum() << std::dec
-                << " (generation " << engine.registry().generation()
-                << ")\n";
+                << " (generation "
+                << engine.shard(0).registry().generation() << ")\n";
       continue;
     }
 
@@ -203,6 +230,6 @@ int main(int argc, char** argv) {
 
     protocol_error("unknown command '" + command + "'");
   }
-  engine.metrics().PrintTable(std::cerr);
+  engine.PrintStats(std::cerr);
   return 0;
 }
