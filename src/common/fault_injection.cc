@@ -12,13 +12,16 @@ namespace plp {
 namespace {
 
 // Armed-fault spec, guarded by a mutex: the slow path only runs while a
-// fault is armed (tests and the crashtest child), never in production.
+// fault is armed (tests and the chaos/crashtest drivers), never in
+// production.
 struct ArmedFault {
   std::string point;
   FaultMode mode = FaultMode::kKill;
-  int64_t trigger_hit = 1;
+  FaultTrigger trigger;
   int64_t delay_millis = 0;
   int64_t hits = 0;
+  int64_t fires = 0;
+  uint64_t coin_state = 0;  ///< kProbability stream position
 };
 
 std::mutex& FaultMutex() {
@@ -31,16 +34,87 @@ ArmedFault& Fault() {
   return fault;
 }
 
+// splitmix64 step — the same self-contained generator the RNG seeding
+// uses. The coin stream must not depend on any global RNG state so a
+// seeded fault schedule replays identically regardless of what else the
+// process draws.
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double NextCoin(ArmedFault& fault) {
+  return static_cast<double>(SplitMix64(fault.coin_state) >> 11) *
+         0x1.0p-53;
+}
+
+// Whether this hit (already counted into fault.hits) fires the trigger.
+bool TriggerFires(ArmedFault& fault) {
+  switch (fault.trigger.kind) {
+    case FaultTrigger::Kind::kOnce:
+      // kDelay keeps the historical "every hit from n on" semantics; the
+      // one-shot modes fire exactly once (they disarm right after anyway).
+      return fault.mode == FaultMode::kDelay
+                 ? fault.hits >= fault.trigger.n
+                 : fault.hits == fault.trigger.n;
+    case FaultTrigger::Kind::kEveryNth:
+      return fault.hits % fault.trigger.n == 0;
+    case FaultTrigger::Kind::kProbability:
+      // One coin per hit, always consumed, so the stream position is a
+      // pure function of (seed, hit index) — deterministic replay.
+      return NextCoin(fault) < fault.trigger.probability;
+  }
+  return false;
+}
+
 }  // namespace
+
+FaultTrigger FaultTrigger::Once(int64_t hit) {
+  PLP_CHECK_GE(hit, 1);
+  FaultTrigger t;
+  t.kind = Kind::kOnce;
+  t.n = hit;
+  return t;
+}
+
+FaultTrigger FaultTrigger::EveryNth(int64_t period) {
+  PLP_CHECK_GE(period, 1);
+  FaultTrigger t;
+  t.kind = Kind::kEveryNth;
+  t.n = period;
+  return t;
+}
+
+FaultTrigger FaultTrigger::WithProbability(double p, uint64_t seed) {
+  PLP_CHECK(p >= 0.0 && p <= 1.0);
+  FaultTrigger t;
+  t.kind = Kind::kProbability;
+  t.probability = p;
+  t.seed = seed;
+  return t;
+}
 
 std::atomic<bool> FaultInjection::armed_{false};
 
 void FaultInjection::Arm(const std::string& point, FaultMode mode,
                          int64_t trigger_hit, int64_t delay_millis) {
+  Arm(point, mode, FaultTrigger::Once(trigger_hit), delay_millis);
+}
+
+void FaultInjection::Arm(const std::string& point, FaultMode mode,
+                         const FaultTrigger& trigger, int64_t delay_millis) {
   PLP_CHECK(!point.empty());
-  PLP_CHECK_GE(trigger_hit, 1);
+  PLP_CHECK_GE(trigger.n, 1);
   std::lock_guard<std::mutex> lock(FaultMutex());
-  Fault() = ArmedFault{point, mode, trigger_hit, delay_millis, 0};
+  ArmedFault& fault = Fault();
+  fault = ArmedFault{};
+  fault.point = point;
+  fault.mode = mode;
+  fault.trigger = trigger;
+  fault.delay_millis = delay_millis;
+  fault.coin_state = trigger.seed;
   armed_.store(true, std::memory_order_release);
 }
 
@@ -55,11 +129,29 @@ void FaultInjection::ArmFromEnv() {
   if (env == nullptr || *env == '\0') return;
   std::string spec(env);
 
-  int64_t trigger_hit = 1;
+  FaultTrigger trigger = FaultTrigger::Once(1);
   if (const size_t at = spec.find('@'); at != std::string::npos) {
-    trigger_hit = std::strtoll(spec.c_str() + at + 1, nullptr, 10);
-    PLP_CHECK_GE(trigger_hit, 1);
+    const std::string trigger_str = spec.substr(at + 1);
     spec.resize(at);
+    PLP_CHECK(!trigger_str.empty());
+    if (trigger_str.rfind("every", 0) == 0) {
+      trigger = FaultTrigger::EveryNth(
+          std::strtoll(trigger_str.c_str() + 5, nullptr, 10));
+    } else if (trigger_str[0] == 'p') {
+      char* end = nullptr;
+      const double p = std::strtod(trigger_str.c_str() + 1, &end);
+      PLP_CHECK(p >= 0.0 && p <= 1.0);
+      uint64_t seed = 1;
+      if (end != nullptr && *end == '/') {
+        seed = std::strtoull(end + 1, nullptr, 10);
+      } else {
+        PLP_CHECK(end != nullptr && *end == '\0');
+      }
+      trigger = FaultTrigger::WithProbability(p, seed);
+    } else {
+      trigger = FaultTrigger::Once(
+          std::strtoll(trigger_str.c_str(), nullptr, 10));
+    }
   }
   FaultMode mode = FaultMode::kKill;
   int64_t delay_millis = 0;
@@ -79,7 +171,7 @@ void FaultInjection::ArmFromEnv() {
     }
   }
   PLP_CHECK(!spec.empty());
-  Arm(spec, mode, trigger_hit, delay_millis);
+  Arm(spec, mode, trigger, delay_millis);
 }
 
 Status FaultInjection::Hit(const char* point) {
@@ -92,12 +184,15 @@ Status FaultInjection::Hit(const char* point) {
       return Status::Ok();
     }
     ++fault.hits;
-    if (fault.hits < fault.trigger_hit) return Status::Ok();
+    if (!TriggerFires(fault)) return Status::Ok();
+    ++fault.fires;
     mode = fault.mode;
     delay_millis = fault.delay_millis;
-    if (mode != FaultMode::kDelay) {
+    if (mode != FaultMode::kDelay &&
+        fault.trigger.kind == FaultTrigger::Kind::kOnce) {
       // One-shot: a kill never returns; a fail should not re-fire on the
-      // caller's cleanup/retry path unless re-armed.
+      // caller's cleanup/retry path unless re-armed. Recurring triggers
+      // (kEveryNth, kProbability) stay armed — that is their point.
       armed_.store(false, std::memory_order_release);
     }
   }
@@ -119,6 +214,11 @@ Status FaultInjection::Hit(const char* point) {
 int64_t FaultInjection::HitCount() {
   std::lock_guard<std::mutex> lock(FaultMutex());
   return Fault().hits;
+}
+
+int64_t FaultInjection::FireCount() {
+  std::lock_guard<std::mutex> lock(FaultMutex());
+  return Fault().fires;
 }
 
 }  // namespace plp

@@ -10,28 +10,62 @@
 namespace plp {
 
 /// Named crash/error points compiled into durability-critical code paths
-/// (checkpoint commit, model IO, the training loop). Production cost when
-/// nothing is armed is a single relaxed atomic load per point; the match
-/// logic runs only while a fault is armed.
+/// (checkpoint commit, model IO, the training loop, the publish loop).
+/// Production cost when nothing is armed is a single relaxed atomic load
+/// per point; the match logic runs only while a fault is armed.
 ///
 /// The crash-loop driver (tools/plp_crashtest) arms a point, runs training
 /// in a forked child, and asserts the recovery invariants after the child
-/// is killed mid-commit. Unit tests arm kFail points to exercise error
-/// paths that are otherwise unreachable (torn writes, failed commits).
+/// is killed mid-commit. The publish-chaos driver (tools/plp_publish_chaos)
+/// arms fail-mode faults across the publish path and asserts the loop's
+/// rollback/ledger invariants. Unit tests arm kFail points to exercise
+/// error paths that are otherwise unreachable (torn writes, failed
+/// commits, rejected snapshots).
 ///
 /// Points currently compiled in:
-///   atomic_file.mid_payload     half the payload written to the temp file
+///   atomic_file.mid_payload      half the payload written to the temp file
 ///   atomic_file.after_temp_write temp durable, rename not yet issued
-///   atomic_file.after_rename    destination replaced, directory not synced
-///   ckpt.before_save            checkpoint assembled, nothing on disk yet
-///   ckpt.after_save             checkpoint committed
-///   trainer.after_noise         noised update applied, checkpoint pending
-///   trainer.before_checkpoint   cadence hit, commit about to start
-///   serve.execute               entry of request scoring (delay injection)
+///   atomic_file.after_rename     destination replaced, directory not synced
+///   ckpt.before_save             checkpoint assembled, nothing on disk yet
+///   ckpt.after_save              checkpoint committed
+///   trainer.after_noise          noised update applied, checkpoint pending
+///   trainer.before_checkpoint    cadence hit, commit about to start
+///   serve.execute                entry of request scoring (delay injection)
+///   snapshot.verify              snapshot integrity re-check (publish gate)
+///   publish.stage                staged artifact about to be written
+///   publish.validate             validation gates about to run
+///   publish.ledger_append        ε record durably committed next
+///   publish.promote              versioned directory about to be created
+///   publish.current_swap         CURRENT pointer about to move
+///   publish.serve_swap           validated snapshot about to hot-swap in
 enum class FaultMode {
   kKill,   ///< raise(SIGKILL): no destructors, no flushes — a power cut
   kFail,   ///< the point returns an InternalError to its caller
-  kDelay,  ///< the point sleeps delay_millis, then proceeds (every hit)
+  kDelay,  ///< the point sleeps delay_millis, then proceeds
+};
+
+/// When the hits of an armed point actually fire. kOnce reproduces the
+/// original behavior (fire on the n-th hit; kKill/kFail then disarm);
+/// kEveryNth and kProbability model *recurring* faults — a flaky disk, a
+/// lossy link — and stay armed until Disarm(), which is what a chaos loop
+/// needs to exercise retry paths more than once per arming.
+struct FaultTrigger {
+  enum class Kind : uint8_t {
+    kOnce,         ///< fire exactly on the n-th hit (1-based)
+    kEveryNth,     ///< fire on every n-th hit (n, 2n, 3n, ...)
+    kProbability,  ///< fire each hit with probability p (seeded stream)
+  };
+
+  Kind kind = Kind::kOnce;
+  int64_t n = 1;             ///< kOnce: firing hit; kEveryNth: period
+  double probability = 0.0;  ///< kProbability: per-hit firing chance
+  uint64_t seed = 1;         ///< kProbability: coin-stream seed
+
+  static FaultTrigger Once(int64_t hit = 1);
+  static FaultTrigger EveryNth(int64_t period);
+  /// The coin stream is a pure function of `seed` and the hit index, so a
+  /// chaos schedule replays identically run to run.
+  static FaultTrigger WithProbability(double p, uint64_t seed = 1);
 };
 
 class FaultInjection {
@@ -39,29 +73,43 @@ class FaultInjection {
   /// Fast path, safe to call from any thread.
   static bool Armed() { return armed_.load(std::memory_order_acquire); }
 
-  /// Arms `point`: kKill/kFail trigger on the `trigger_hit`-th hit
-  /// (1-based) of that point and disarm afterwards; kDelay sleeps on every
-  /// hit from `trigger_hit` on. Replaces any previous arming.
+  /// Arms `point` with a kOnce trigger: kKill/kFail fire on the
+  /// `trigger_hit`-th hit (1-based) of that point and disarm afterwards;
+  /// kDelay sleeps on every hit from `trigger_hit` on. Replaces any
+  /// previous arming.
   static void Arm(const std::string& point, FaultMode mode,
                   int64_t trigger_hit = 1, int64_t delay_millis = 0);
+
+  /// Arms `point` with an explicit trigger. kEveryNth/kProbability stay
+  /// armed after firing (recurring faults); kOnce keeps the one-shot
+  /// kKill/kFail semantics above. Replaces any previous arming.
+  static void Arm(const std::string& point, FaultMode mode,
+                  const FaultTrigger& trigger, int64_t delay_millis = 0);
 
   /// Clears the armed fault and hit counters.
   static void Disarm();
 
   /// Parses the PLP_FAULT environment variable and arms accordingly.
-  /// Syntax: "point[:mode][@hit]", mode in {kill, fail, delay<ms>},
-  /// e.g. PLP_FAULT="atomic_file.after_temp_write:kill@3". Unset or empty
-  /// leaves injection disabled; malformed specs abort (a misarmed fault
-  /// harness must never pass silently).
+  /// Syntax: "point[:mode][@trigger]", mode in {kill, fail, delay<ms>},
+  /// trigger one of
+  ///   <N>            fire once, on the N-th hit     e.g. "@3"
+  ///   every<N>       fire on every N-th hit         e.g. "@every4"
+  ///   p<P>[/<seed>]  fire each hit w.p. P, seeded   e.g. "@p0.25/7"
+  /// e.g. PLP_FAULT="publish.promote:fail@p0.5/42". Unset or empty leaves
+  /// injection disabled; malformed specs abort (a misarmed fault harness
+  /// must never pass silently).
   static void ArmFromEnv();
 
   /// Slow path. Called by PLP_FAULT_POINT only while armed: returns OK
-  /// when `point` is not the armed one or its trigger hit has not been
-  /// reached; kills the process / returns an error / sleeps otherwise.
+  /// when `point` is not the armed one or its trigger does not fire on
+  /// this hit; kills the process / returns an error / sleeps otherwise.
   static Status Hit(const char* point);
 
   /// Total hits recorded against the armed point (test introspection).
   static int64_t HitCount();
+
+  /// Hits on which the trigger actually fired (test introspection).
+  static int64_t FireCount();
 
  private:
   static std::atomic<bool> armed_;

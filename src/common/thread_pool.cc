@@ -40,6 +40,24 @@ void ThreadPool::Schedule(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+void ThreadPool::ScheduleAll(std::span<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    PLP_CHECK(!shutting_down_);
+    for (auto& task : tasks) {
+      PLP_CHECK(task != nullptr);
+      queue_.push_back(std::move(task));
+    }
+    in_flight_ += tasks.size();
+  }
+  if (tasks.size() == 1) {
+    work_available_.notify_one();
+  } else {
+    work_available_.notify_all();
+  }
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   work_done_.wait(lock, [this] { return in_flight_ == 0; });

@@ -1,0 +1,160 @@
+#include "publish/publish_ledger.h"
+
+#include <utility>
+
+#include "common/atomic_file.h"
+#include "common/fault_injection.h"
+#include "common/serialize.h"
+
+namespace plp::publish {
+namespace {
+
+constexpr char kMagic[4] = {'P', 'L', 'P', 'L'};
+constexpr uint32_t kFormatVersion = 1;
+// Envelope: magic + version + payload size + payload CRC-64.
+constexpr size_t kEnvelopeBytes = 4 + sizeof(uint32_t) + 2 * sizeof(uint64_t);
+// A ledger is one record per publish; anything past this is not a ledger.
+constexpr uint64_t kMaxRecords = 1u << 20;
+
+Status ValidateLink(const PublishRecord& prev, const PublishRecord& next) {
+  if (next.version != prev.version + 1) {
+    return InvalidArgumentError(
+        "publish ledger: version " + std::to_string(next.version) +
+        " does not extend " + std::to_string(prev.version) +
+        " (versions must be dense — a gap is lost accounting)");
+  }
+  if (next.epsilon_spent < prev.epsilon_spent) {
+    return InvalidArgumentError(
+        "publish ledger: cumulative epsilon regressed (" +
+        std::to_string(prev.epsilon_spent) + " -> " +
+        std::to_string(next.epsilon_spent) + ")");
+  }
+  if (next.train_steps < prev.train_steps) {
+    return InvalidArgumentError(
+        "publish ledger: cumulative train steps regressed (" +
+        std::to_string(prev.train_steps) + " -> " +
+        std::to_string(next.train_steps) + ")");
+  }
+  return Status::Ok();
+}
+
+Status ValidateFirst(const PublishRecord& record) {
+  if (record.version != 1) {
+    return InvalidArgumentError(
+        "publish ledger: first record must be version 1, got " +
+        std::to_string(record.version));
+  }
+  if (record.epsilon_spent < 0.0 || record.train_steps < 0) {
+    return InvalidArgumentError(
+        "publish ledger: negative spend in first record");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string PublishLedger::Encode() const {
+  ByteWriter payload;
+  payload.U64(static_cast<uint64_t>(records_.size()));
+  for (const PublishRecord& record : records_) {
+    payload.U64(record.version);
+    payload.I64(record.train_steps);
+    payload.F64(record.epsilon_spent);
+    payload.U64(record.model_crc64);
+    payload.U64(record.snapshot_checksum);
+  }
+  ByteWriter envelope;
+  for (char c : kMagic) envelope.U8(static_cast<uint8_t>(c));
+  envelope.U32(kFormatVersion);
+  envelope.U64(payload.size());
+  envelope.U64(Crc64(payload.str()));
+  std::string out = envelope.Take();
+  out += payload.str();
+  return out;
+}
+
+Result<std::vector<PublishRecord>> PublishLedger::Decode(
+    std::string_view bytes) {
+  if (bytes.size() < kEnvelopeBytes) {
+    return InvalidArgumentError("publish ledger: truncated envelope");
+  }
+  ByteReader envelope(bytes.substr(0, kEnvelopeBytes));
+  for (char expected : kMagic) {
+    PLP_ASSIGN_OR_RETURN(const uint8_t c, envelope.U8());
+    if (static_cast<char>(c) != expected) {
+      return InvalidArgumentError("publish ledger: bad magic");
+    }
+  }
+  PLP_ASSIGN_OR_RETURN(const uint32_t version, envelope.U32());
+  if (version != kFormatVersion) {
+    return InvalidArgumentError(
+        "publish ledger: unsupported format version");
+  }
+  PLP_ASSIGN_OR_RETURN(const uint64_t payload_size, envelope.U64());
+  PLP_ASSIGN_OR_RETURN(const uint64_t expected_crc, envelope.U64());
+  if (payload_size != bytes.size() - kEnvelopeBytes) {
+    return InvalidArgumentError("publish ledger: payload size mismatch");
+  }
+  const std::string_view payload = bytes.substr(kEnvelopeBytes);
+  if (Crc64(payload) != expected_crc) {
+    return InvalidArgumentError("publish ledger: checksum mismatch");
+  }
+
+  ByteReader reader(payload);
+  PLP_ASSIGN_OR_RETURN(const uint64_t count, reader.U64());
+  if (count > kMaxRecords) {
+    return InvalidArgumentError("publish ledger: implausible record count");
+  }
+  std::vector<PublishRecord> records;
+  records.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    PublishRecord record;
+    PLP_ASSIGN_OR_RETURN(record.version, reader.U64());
+    PLP_ASSIGN_OR_RETURN(record.train_steps, reader.I64());
+    PLP_ASSIGN_OR_RETURN(record.epsilon_spent, reader.F64());
+    PLP_ASSIGN_OR_RETURN(record.model_crc64, reader.U64());
+    PLP_ASSIGN_OR_RETURN(record.snapshot_checksum, reader.U64());
+    if (records.empty()) {
+      PLP_RETURN_IF_ERROR(ValidateFirst(record));
+    } else {
+      PLP_RETURN_IF_ERROR(ValidateLink(records.back(), record));
+    }
+    records.push_back(record);
+  }
+  if (!reader.AtEnd()) {
+    return InvalidArgumentError("publish ledger: trailing bytes");
+  }
+  return records;
+}
+
+Result<PublishLedger> PublishLedger::Open(std::string path) {
+  PublishLedger ledger(std::move(path));
+  auto bytes = ReadFileToString(ledger.path_);
+  if (!bytes.ok()) {
+    if (bytes.status().code() == StatusCode::kNotFound) {
+      return ledger;  // fresh ledger — first publish will create the file
+    }
+    return bytes.status();
+  }
+  PLP_ASSIGN_OR_RETURN(ledger.records_, Decode(*bytes));
+  return ledger;
+}
+
+Status PublishLedger::Append(const PublishRecord& record) {
+  if (records_.empty()) {
+    PLP_RETURN_IF_ERROR(ValidateFirst(record));
+  } else {
+    PLP_RETURN_IF_ERROR(ValidateLink(records_.back(), record));
+  }
+  PLP_FAULT_POINT("publish.ledger_append");
+  // Commit to disk first, memory second: a failed write leaves both the
+  // file and the in-memory chain exactly as they were.
+  records_.push_back(record);
+  std::string encoded = Encode();
+  records_.pop_back();
+  PLP_RETURN_IF_ERROR(AtomicWriteFile(path_, encoded));
+  records_.push_back(record);
+  return Status::Ok();
+}
+
+}  // namespace plp::publish

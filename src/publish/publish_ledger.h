@@ -1,0 +1,87 @@
+#ifndef PLP_PUBLISH_PUBLISH_LEDGER_H_
+#define PLP_PUBLISH_PUBLISH_LEDGER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace plp::publish {
+
+/// One committed publish: the cumulative privacy spend and the artifact
+/// fingerprints behind version `version`. No wall-clock field on purpose —
+/// the chaos harness compares a fault-injected run's ledger byte-for-byte
+/// against a fault-free reference, which only works if the payload is a
+/// pure function of the publish sequence.
+struct PublishRecord {
+  uint64_t version = 0;       ///< dense, starting at 1
+  int64_t train_steps = 0;    ///< cumulative private steps at publish time
+  double epsilon_spent = 0.0; ///< cumulative ε at the trainer's fixed δ
+  uint64_t model_crc64 = 0;   ///< CRC-64/XZ of the staged model artifact
+  uint64_t snapshot_checksum = 0;  ///< ModelSnapshot::checksum() served
+};
+
+/// Durable cross-publish ε accounting — the ledger-first rule extended to
+/// the publish loop: a version's cumulative privacy spend is on stable
+/// storage BEFORE any CURRENT pointer or registry can name that version,
+/// so no crash or injected fault can ever serve a model whose ε was not
+/// accounted.
+///
+/// The file is a checksummed envelope (magic "PLPL" + format version +
+/// payload size + CRC-64/XZ + payload) committed atomically as a whole on
+/// every Append (common/atomic_file.h temp→fsync→rename protocol): a torn
+/// or bit-flipped ledger is rejected at Open instead of silently losing ε.
+///
+/// Invariants, enforced on Append and re-checked on Open:
+///   * versions are dense from 1 (no gaps — a gap would mean a publish
+///     whose spend vanished),
+///   * epsilon_spent and train_steps never decrease (ε is spent at
+///     training time and can only accumulate; rollbacks revert CURRENT,
+///     never the ledger).
+class PublishLedger {
+ public:
+  /// Opens (or starts) the ledger at `path`. A missing file is an empty
+  /// ledger; an unreadable or invariant-violating file is an error — a
+  /// publisher must never run on top of corrupt accounting.
+  static Result<PublishLedger> Open(std::string path);
+
+  /// Validates `record` against the chain (dense version, monotone ε and
+  /// steps), then durably rewrites the file before exposing the record in
+  /// memory. On any failure — including the "publish.ledger_append" fault
+  /// point — neither the file nor the in-memory chain has changed.
+  Status Append(const PublishRecord& record);
+
+  const std::vector<PublishRecord>& records() const { return records_; }
+
+  /// Newest record, or nullptr on an empty ledger.
+  const PublishRecord* last() const {
+    return records_.empty() ? nullptr : &records_.back();
+  }
+
+  /// The version the next (non-idempotent) Append must carry.
+  uint64_t NextVersion() const {
+    return records_.empty() ? 1 : records_.back().version + 1;
+  }
+
+  const std::string& path() const { return path_; }
+
+  /// Serialized envelope of the full chain — what Append writes. Exposed
+  /// so the chaos harness can compare two ledgers bit-for-bit.
+  std::string Encode() const;
+
+  /// Inverse of Encode, enforcing the envelope checksum and the chain
+  /// invariants.
+  static Result<std::vector<PublishRecord>> Decode(std::string_view bytes);
+
+ private:
+  explicit PublishLedger(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;
+  std::vector<PublishRecord> records_;
+};
+
+}  // namespace plp::publish
+
+#endif  // PLP_PUBLISH_PUBLISH_LEDGER_H_

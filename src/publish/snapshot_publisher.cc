@@ -1,0 +1,265 @@
+#include "publish/snapshot_publisher.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <utility>
+
+#include "common/atomic_file.h"
+#include "common/fault_injection.h"
+#include "common/serialize.h"
+#include "sgns/model_io.h"
+
+namespace plp::publish {
+namespace {
+
+constexpr std::string_view kLedgerFile = "ledger.plpl";
+constexpr std::string_view kCurrentFile = "CURRENT";
+constexpr std::string_view kStagingDir = "staging";
+constexpr std::string_view kModelFile = "model.plpm";
+
+/// Best-effort directory fsync after a promote rename: the version
+/// directory's new name must survive power loss just like the files
+/// inside it (same reasoning as step 4 of AtomicWriteFile).
+void FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::string SnapshotPublisher::VersionDirName(uint64_t version) {
+  return "v" + std::to_string(version);
+}
+
+std::string SnapshotPublisher::VersionDir(uint64_t version) const {
+  return config_.publish_dir + "/" + VersionDirName(version);
+}
+
+std::string SnapshotPublisher::ModelPath(uint64_t version) const {
+  return VersionDir(version) + "/" + std::string(kModelFile);
+}
+
+std::string SnapshotPublisher::StagingDir() const {
+  return config_.publish_dir + "/" + std::string(kStagingDir);
+}
+
+std::string SnapshotPublisher::StagingModelPath() const {
+  return StagingDir() + "/" + std::string(kModelFile);
+}
+
+std::string SnapshotPublisher::CurrentPath() const {
+  return config_.publish_dir + "/" + std::string(kCurrentFile);
+}
+
+Result<SnapshotPublisher> SnapshotPublisher::Create(PublisherConfig config) {
+  if (config.publish_dir.empty()) {
+    return InvalidArgumentError("publisher: publish_dir must be set");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(config.publish_dir, ec);
+  if (ec) {
+    return InternalError("publisher: cannot create " + config.publish_dir +
+                         ": " + ec.message());
+  }
+  PLP_ASSIGN_OR_RETURN(
+      PublishLedger ledger,
+      PublishLedger::Open(config.publish_dir + "/" +
+                          std::string(kLedgerFile)));
+  return SnapshotPublisher(std::move(config), std::move(ledger));
+}
+
+Result<PublishResult> SnapshotPublisher::Publish(const sgns::SgnsModel& model,
+                                                 double epsilon_spent,
+                                                 int64_t train_steps) {
+  // ---- stage -------------------------------------------------------
+  PLP_FAULT_POINT("publish.stage");
+  std::error_code ec;
+  std::filesystem::create_directories(StagingDir(), ec);
+  if (ec) {
+    return InternalError("publish stage: cannot create staging dir: " +
+                         ec.message());
+  }
+  PLP_RETURN_IF_ERROR(sgns::SaveModel(model, StagingModelPath()));
+  PLP_ASSIGN_OR_RETURN(const std::string staged_bytes,
+                       ReadFileToString(StagingModelPath()));
+  const uint64_t model_crc64 = Crc64(staged_bytes);
+
+  // Idempotent resume: if the newest ledger entry already names exactly
+  // this artifact and spend, a previous attempt died AFTER its append —
+  // reuse that version and do not append again. This is what makes
+  // "retry the whole publish" safe against ε double-counting.
+  PublishRecord prior{};
+  bool resumed = false;
+  if (const PublishRecord* last = ledger_.last();
+      last != nullptr && last->model_crc64 == model_crc64 &&
+      last->epsilon_spent == epsilon_spent &&
+      last->train_steps == train_steps) {
+    prior = *last;
+    resumed = true;
+  }
+  const uint64_t version = resumed ? prior.version : ledger_.NextVersion();
+
+  // ---- validate ----------------------------------------------------
+  PLP_FAULT_POINT("publish.validate");
+  // Reload from the staged bytes (not the in-memory model): what gets
+  // validated is the artifact that will actually be promoted. The model
+  // file loader rejects bad magic/shape; Verify() re-checks the snapshot
+  // payload against its build-time checksum.
+  PLP_ASSIGN_OR_RETURN(auto candidate,
+                       serve::ModelSnapshot::FromFile(
+                           StagingModelPath(), version, config_.snapshot));
+  PLP_RETURN_IF_ERROR(candidate->Verify());
+  PLP_ASSIGN_OR_RETURN(auto reference,
+                       serve::ModelSnapshot::FromFile(
+                           StagingModelPath(), version, serve::SnapshotOptions{}));
+  for (const float value : reference->embeddings()) {
+    if (!std::isfinite(value)) {
+      return FailedPreconditionError(
+          "publish validation: non-finite value in the embedding matrix");
+    }
+  }
+  // Recall gate: candidates whose answers can differ from the exact f32
+  // scan must stay within the recall budget against it.
+  if (config_.min_recall > 0.0 &&
+      (config_.snapshot.format != serve::SnapshotFormat::kFloat32 ||
+       config_.snapshot.build_ivf)) {
+    const double recall =
+        serve::MeasureRecallAtK(*candidate, *reference, config_.recall);
+    if (recall < config_.min_recall) {
+      return FailedPreconditionError(
+          "publish validation: recall@" + std::to_string(config_.recall.k) +
+          " vs f32 is " + std::to_string(recall) + ", below the gate " +
+          std::to_string(config_.min_recall));
+    }
+  }
+
+  // ---- account (ledger-first) --------------------------------------
+  if (resumed) {
+    if (prior.snapshot_checksum != candidate->checksum()) {
+      return InternalError(
+          "publish resume: rebuilt snapshot checksum diverges from the "
+          "accounted one — refusing to promote");
+    }
+  } else {
+    PublishRecord record;
+    record.version = version;
+    record.train_steps = train_steps;
+    record.epsilon_spent = epsilon_spent;
+    record.model_crc64 = model_crc64;
+    record.snapshot_checksum = candidate->checksum();
+    PLP_RETURN_IF_ERROR(ledger_.Append(record));
+  }
+
+  // ---- promote -----------------------------------------------------
+  PLP_FAULT_POINT("publish.promote");
+  const std::string version_dir = VersionDir(version);
+  if (std::filesystem::exists(version_dir)) {
+    // A previous attempt already promoted this version; accept it only if
+    // it holds bitwise the same artifact.
+    PLP_ASSIGN_OR_RETURN(const std::string promoted_bytes,
+                         ReadFileToString(ModelPath(version)));
+    if (Crc64(promoted_bytes) != model_crc64) {
+      return InternalError("publish promote: " + version_dir +
+                           " exists with a different artifact");
+    }
+    std::filesystem::remove_all(StagingDir(), ec);
+  } else {
+    std::filesystem::rename(StagingDir(), version_dir, ec);
+    if (ec) {
+      return InternalError("publish promote: rename failed: " +
+                           ec.message());
+    }
+    FsyncDir(config_.publish_dir);
+  }
+
+  // ---- swap CURRENT ------------------------------------------------
+  PLP_FAULT_POINT("publish.current_swap");
+  PLP_RETURN_IF_ERROR(
+      AtomicWriteFile(CurrentPath(), VersionDirName(version)));
+
+  PublishResult result;
+  result.version = version;
+  result.version_dir = version_dir;
+  result.model_crc64 = model_crc64;
+  result.snapshot = std::move(candidate);
+  result.resumed = resumed;
+  return result;
+}
+
+Status SnapshotPublisher::RollbackTo(uint64_t version) {
+  bool accounted = false;
+  for (const PublishRecord& record : ledger_.records()) {
+    if (record.version == version) {
+      accounted = true;
+      break;
+    }
+  }
+  if (!accounted) {
+    return FailedPreconditionError(
+        "rollback: version " + std::to_string(version) +
+        " is not in the publish ledger — only accounted versions are "
+        "serving-safe");
+  }
+  if (!std::filesystem::exists(ModelPath(version))) {
+    return FailedPreconditionError("rollback: version " +
+                                   std::to_string(version) +
+                                   " is not promoted on disk");
+  }
+  PLP_FAULT_POINT("publish.current_swap");
+  return AtomicWriteFile(CurrentPath(), VersionDirName(version));
+}
+
+Result<uint64_t> SnapshotPublisher::CurrentVersion() const {
+  PLP_ASSIGN_OR_RETURN(const std::string contents,
+                       ReadFileToString(CurrentPath()));
+  if (contents.size() < 2 || contents[0] != 'v') {
+    return InternalError("CURRENT is malformed: '" + contents + "'");
+  }
+  uint64_t version = 0;
+  for (size_t i = 1; i < contents.size(); ++i) {
+    const char c = contents[i];
+    if (c < '0' || c > '9') {
+      return InternalError("CURRENT is malformed: '" + contents + "'");
+    }
+    version = version * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return version;
+}
+
+Status SnapshotPublisher::VerifyCurrent() const {
+  PLP_ASSIGN_OR_RETURN(const uint64_t version, CurrentVersion());
+  const PublishRecord* record = nullptr;
+  for (const PublishRecord& r : ledger_.records()) {
+    if (r.version == version) {
+      record = &r;
+      break;
+    }
+  }
+  if (record == nullptr) {
+    return InternalError("CURRENT names v" + std::to_string(version) +
+                         ", which the ledger never accounted");
+  }
+  PLP_ASSIGN_OR_RETURN(const std::string bytes,
+                       ReadFileToString(ModelPath(version)));
+  if (Crc64(bytes) != record->model_crc64) {
+    return InternalError("v" + std::to_string(version) +
+                         " artifact bytes do not match the accounted CRC");
+  }
+  PLP_ASSIGN_OR_RETURN(auto snapshot,
+                       serve::ModelSnapshot::FromFile(
+                           ModelPath(version), version, config_.snapshot));
+  PLP_RETURN_IF_ERROR(snapshot->Verify());
+  if (snapshot->checksum() != record->snapshot_checksum) {
+    return InternalError(
+        "v" + std::to_string(version) +
+        " rebuilt snapshot does not match the accounted checksum");
+  }
+  return Status::Ok();
+}
+
+}  // namespace plp::publish

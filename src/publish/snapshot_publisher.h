@@ -1,0 +1,117 @@
+#ifndef PLP_PUBLISH_SNAPSHOT_PUBLISHER_H_
+#define PLP_PUBLISH_SNAPSHOT_PUBLISHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "publish/publish_ledger.h"
+#include "serve/model_snapshot.h"
+#include "serve/recall_gate.h"
+#include "sgns/model.h"
+
+namespace plp::publish {
+
+struct PublisherConfig {
+  /// Root of the publish tree:
+  ///   <publish_dir>/staging/model.plpm   in-flight artifact (ignorable)
+  ///   <publish_dir>/v<N>/model.plpm      promoted, immutable versions
+  ///   <publish_dir>/CURRENT              name of the live version ("v<N>")
+  ///   <publish_dir>/ledger.plpl          the cross-publish ε ledger
+  std::string publish_dir;
+  /// How candidate snapshots are built (format, IVF). The serving tier
+  /// must be configured identically — the ledger records the checksum of
+  /// THIS build.
+  serve::SnapshotOptions snapshot;
+  /// Recall-gate probe schedule (seeded, deterministic).
+  serve::RecallProbe recall;
+  /// Candidates that answer differently from the exact float32 reference
+  /// (quantized payloads, IVF-pruned scans) must measure at least this
+  /// recall@k against it; ≤ 0 disables the gate. Exact f32 candidates
+  /// skip the gate — they ARE the reference.
+  double min_recall = 0.99;
+};
+
+/// Outcome of a successful publish.
+struct PublishResult {
+  uint64_t version = 0;
+  std::string version_dir;    ///< <publish_dir>/v<N>, promoted
+  uint64_t model_crc64 = 0;   ///< CRC-64/XZ of the committed artifact
+  /// The validated candidate — exactly the build the ledger's
+  /// snapshot_checksum names. Hand this to the serving tier; rebuilding
+  /// from the file yields the same bytes (builds are deterministic).
+  std::shared_ptr<const serve::ModelSnapshot> snapshot;
+  /// True when an idempotent retry resumed a publish whose ledger entry
+  /// already existed (the append was NOT repeated — ε counted once).
+  bool resumed = false;
+};
+
+/// Stages, validates, accounts, and promotes trained models into a
+/// versioned publish tree. Every stage is fallible and every failure
+/// leaves the tree serving-safe; a retry of the same input resumes where
+/// the last attempt died instead of double-spending ε:
+///
+///   stage     write <staging>/model.plpm     [fault "publish.stage"]
+///   validate  re-read bytes + CRC, rebuild snapshot, Verify(),
+///             finite-bounds re-check, recall@k-vs-f32 gate
+///                                            [fault "publish.validate"]
+///   account   append {version, steps, ε, crcs} to the ledger — ledger
+///             first: ε is durable before the version is nameable
+///                                            [fault "publish.ledger_append"]
+///   promote   rename staging → v<N> (idempotent if v<N> already matches)
+///                                            [fault "publish.promote"]
+///   swap      CURRENT ← "v<N>" (atomic temp→fsync→rename)
+///                                            [fault "publish.current_swap"]
+///
+/// CURRENT therefore always names a version that passed validation and
+/// whose ε is accounted — the two invariants the chaos harness hammers.
+class SnapshotPublisher {
+ public:
+  /// Creates the publish tree (mkdir -p) and opens the ledger. Fails on a
+  /// corrupt ledger rather than publishing on top of lost accounting.
+  static Result<SnapshotPublisher> Create(PublisherConfig config);
+
+  /// Runs the full stage→validate→account→promote→swap sequence for one
+  /// trained model. `epsilon_spent` and `train_steps` are CUMULATIVE
+  /// across the deployment's lifetime (the ledger enforces monotonicity).
+  /// Safe to retry verbatim after any failure.
+  Result<PublishResult> Publish(const sgns::SgnsModel& model,
+                                double epsilon_spent, int64_t train_steps);
+
+  /// Points CURRENT back at an already-promoted, already-accounted
+  /// version. The ledger is untouched — ε spent on the abandoned version
+  /// stays spent (rollbacks revert what is SERVED, never what was PAID).
+  Status RollbackTo(uint64_t version);
+
+  /// Version named by CURRENT. NotFound before the first publish.
+  Result<uint64_t> CurrentVersion() const;
+
+  /// Invariant check (ops tooling / chaos harness): CURRENT names a
+  /// ledger-accounted version, the promoted artifact's bytes match the
+  /// recorded CRC, and the rebuilt snapshot matches the recorded
+  /// checksum. Anything else means an unvalidated artifact is nameable.
+  Status VerifyCurrent() const;
+
+  const PublishLedger& ledger() const { return ledger_; }
+  const PublisherConfig& config() const { return config_; }
+
+  static std::string VersionDirName(uint64_t version);
+  std::string VersionDir(uint64_t version) const;
+  std::string ModelPath(uint64_t version) const;
+
+ private:
+  SnapshotPublisher(PublisherConfig config, PublishLedger ledger)
+      : config_(std::move(config)), ledger_(std::move(ledger)) {}
+
+  std::string StagingDir() const;
+  std::string StagingModelPath() const;
+  std::string CurrentPath() const;
+
+  PublisherConfig config_;
+  PublishLedger ledger_;
+};
+
+}  // namespace plp::publish
+
+#endif  // PLP_PUBLISH_SNAPSHOT_PUBLISHER_H_

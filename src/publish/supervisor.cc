@@ -1,0 +1,227 @@
+#include "publish/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "serve/metrics.h"
+
+namespace plp::publish {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int64_t SteadyMicrosNow() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+PublishSupervisor::PublishSupervisor(SupervisorConfig config,
+                                     SnapshotPublisher publisher,
+                                     serve::ShardedServingEngine* engine)
+    : config_(std::move(config)),
+      publisher_(std::move(publisher)),
+      engine_(engine),
+      jitter_state_(config_.jitter_seed) {
+  config_.max_attempts = std::max(config_.max_attempts, 1);
+  config_.backoff_initial_millis =
+      std::max<int64_t>(config_.backoff_initial_millis, 0);
+  config_.backoff_max_millis = std::max<int64_t>(
+      config_.backoff_max_millis, config_.backoff_initial_millis);
+  config_.probe_requests = std::max(config_.probe_requests, 1);
+}
+
+Result<PublishSupervisor> PublishSupervisor::Create(
+    SupervisorConfig config, serve::ShardedServingEngine* engine) {
+  PLP_ASSIGN_OR_RETURN(SnapshotPublisher publisher,
+                       SnapshotPublisher::Create(config.publisher));
+  PublishSupervisor supervisor(std::move(config), std::move(publisher),
+                               engine);
+
+  // Restart recovery: the cumulative spend continues from the ledger (ε
+  // already paid must never be re-zeroed), and a verified CURRENT version
+  // becomes the last good snapshot — re-published to the fleet so a
+  // restarted supervisor serves at once.
+  if (const PublishRecord* last = supervisor.publisher_.ledger().last();
+      last != nullptr) {
+    supervisor.cumulative_epsilon_ = last->epsilon_spent;
+    supervisor.cumulative_steps_ = last->train_steps;
+  }
+  if (auto current = supervisor.publisher_.CurrentVersion(); current.ok()) {
+    PLP_RETURN_IF_ERROR(supervisor.publisher_.VerifyCurrent());
+    PLP_ASSIGN_OR_RETURN(
+        auto snapshot,
+        serve::ModelSnapshot::FromFile(
+            supervisor.publisher_.ModelPath(*current), *current,
+            supervisor.config_.publisher.snapshot));
+    if (engine != nullptr) {
+      PLP_RETURN_IF_ERROR(engine->PublishSnapshot(snapshot));
+    }
+    supervisor.last_good_version_ = *current;
+    supervisor.last_good_snapshot_ = std::move(snapshot);
+  }
+  return supervisor;
+}
+
+int64_t PublishSupervisor::BackoffMillis(int attempt) {
+  const int64_t initial = config_.backoff_initial_millis;
+  int64_t backoff = initial;
+  for (int i = 1; i < attempt && backoff < config_.backoff_max_millis; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, config_.backoff_max_millis);
+  const int64_t jitter =
+      initial > 0
+          ? static_cast<int64_t>(SplitMix64(jitter_state_) %
+                                 static_cast<uint64_t>(initial))
+          : 0;
+  return backoff + jitter;
+}
+
+void PublishSupervisor::SleepBeforeRetry(int attempt) {
+  const int64_t millis = BackoffMillis(attempt);
+  if (millis > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+  }
+}
+
+Status PublishSupervisor::SwapIntoEngine(
+    std::shared_ptr<const serve::ModelSnapshot> snapshot, int& attempts) {
+  Status status = Status::Ok();
+  for (int attempt = 1; attempt <= config_.max_attempts; ++attempt) {
+    ++attempts;
+    status = engine_->PublishSnapshot(snapshot);
+    if (status.ok()) return status;
+    if (attempt < config_.max_attempts) SleepBeforeRetry(attempt);
+  }
+  return status;
+}
+
+Status PublishSupervisor::HealthProbe(uint64_t version) {
+  for (size_t s = 0; s < engine_->num_shards(); ++s) {
+    for (int32_t p = 0; p < config_.probe_requests; ++p) {
+      serve::Request request;
+      request.history = {0};
+      request.k = 1;
+      const serve::Response response = engine_->shard(s).Recommend(request);
+      if (!response.status.ok()) {
+        return InternalError("health probe: shard " + std::to_string(s) +
+                             " failed: " + response.status.message());
+      }
+      if (response.model_version != version) {
+        return InternalError(
+            "health probe: shard " + std::to_string(s) + " serves v" +
+            std::to_string(response.model_version) + ", expected v" +
+            std::to_string(version));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void PublishSupervisor::Rollback(CycleReport& report) {
+  if (last_good_version_ == 0 || last_good_snapshot_ == nullptr) {
+    return;  // nothing good to roll back to — stay as we are
+  }
+  report.rolled_back = true;
+  // CURRENT first (the durable pointer), then the fleet. Both retried;
+  // both revert to a version that already passed every gate, so partial
+  // progress here still satisfies "only validated versions are served".
+  for (int attempt = 1; attempt <= config_.max_attempts; ++attempt) {
+    if (publisher_.RollbackTo(last_good_version_).ok()) break;
+    if (attempt < config_.max_attempts) SleepBeforeRetry(attempt);
+  }
+  if (engine_ != nullptr) {
+    int attempts = 0;
+    (void)SwapIntoEngine(last_good_snapshot_, attempts);
+  }
+}
+
+void PublishSupervisor::FillServingState(CycleReport& report) const {
+  if (engine_ == nullptr) {
+    report.serving_version = last_good_version_;
+    return;
+  }
+  const auto snapshot = engine_->shard(0).registry().Current();
+  report.serving_version = snapshot != nullptr ? snapshot->version() : 0;
+  serve::Metrics total;
+  engine_->AggregateMetrics(total);
+  report.swap_age_seconds = total.SwapAgeSeconds(SteadyMicrosNow());
+  report.within_slo = report.swap_age_seconds >= 0.0 &&
+                      report.swap_age_seconds <= config_.freshness_slo_seconds;
+}
+
+Result<CycleReport> PublishSupervisor::RunCycle(const TrainFn& train) {
+  CycleReport report;
+  report.cycle = cycles_run_++;
+
+  // ---- train (retry with backoff) ----------------------------------
+  Result<TrainedArtifact> artifact = InternalError("train never ran");
+  for (int attempt = 1; attempt <= config_.max_attempts; ++attempt) {
+    ++report.train_attempts;
+    artifact = train(report.cycle);
+    if (artifact.ok()) break;
+    if (attempt < config_.max_attempts) SleepBeforeRetry(attempt);
+  }
+  if (!artifact.ok()) {
+    report.failure = artifact.status();
+    FillServingState(report);
+    return report;
+  }
+  // ε is spent the moment training succeeded — account it now, publish or
+  // not. A failed publish delays the durable record; the next successful
+  // one carries the full cumulative spend.
+  cumulative_epsilon_ += artifact->epsilon_spent;
+  cumulative_steps_ += artifact->steps;
+
+  // ---- publish (stage→validate→account→promote→swap CURRENT) -------
+  Result<PublishResult> published = InternalError("publish never ran");
+  for (int attempt = 1; attempt <= config_.max_attempts; ++attempt) {
+    ++report.publish_attempts;
+    published = publisher_.Publish(artifact->model, cumulative_epsilon_,
+                                   cumulative_steps_);
+    if (published.ok()) break;
+    if (attempt < config_.max_attempts) SleepBeforeRetry(attempt);
+  }
+  if (!published.ok()) {
+    // Degraded mode: CURRENT still names the last version that passed
+    // its gates; shards keep serving it. Nothing to roll back — the new
+    // version never became nameable.
+    report.failure = published.status();
+    FillServingState(report);
+    return report;
+  }
+  report.published_version = published->version;
+
+  // ---- fleet swap + health probe -----------------------------------
+  if (engine_ != nullptr) {
+    Status swapped = SwapIntoEngine(published->snapshot, report.swap_attempts);
+    if (swapped.ok()) {
+      swapped = HealthProbe(published->version);
+    }
+    if (!swapped.ok()) {
+      report.failure = swapped;
+      Rollback(report);
+      FillServingState(report);
+      return report;
+    }
+  }
+
+  report.published = true;
+  last_good_version_ = published->version;
+  last_good_snapshot_ = published->snapshot;
+  FillServingState(report);
+  return report;
+}
+
+}  // namespace plp::publish

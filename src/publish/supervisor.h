@@ -1,0 +1,137 @@
+#ifndef PLP_PUBLISH_SUPERVISOR_H_
+#define PLP_PUBLISH_SUPERVISOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "publish/snapshot_publisher.h"
+#include "serve/sharded_engine.h"
+#include "sgns/model.h"
+
+namespace plp::publish {
+
+struct SupervisorConfig {
+  PublisherConfig publisher;
+  /// Attempts per fallible phase (train / publish / serve-swap) before the
+  /// cycle gives up and the fleet stays degraded on the last good version.
+  int max_attempts = 5;
+  /// Bounded exponential backoff between attempts: initial · 2^(n-1),
+  /// capped at max, plus seeded jitter in [0, initial) so a fleet of
+  /// supervisors never retries in lockstep.
+  int64_t backoff_initial_millis = 2;
+  int64_t backoff_max_millis = 200;
+  uint64_t jitter_seed = 1;
+  /// Staleness budget for the degraded-mode contract: when a cycle fails,
+  /// shards keep serving the last good snapshot and the report flags
+  /// whether its swap age still fits this SLO.
+  double freshness_slo_seconds = 600.0;
+  /// Post-swap health probe: this many synchronous requests per shard
+  /// must answer OK from the new version before the swap counts.
+  int32_t probe_requests = 4;
+};
+
+/// What one training round produced. `epsilon_spent` and `steps` are the
+/// ROUND's spend (the supervisor accumulates them into the cumulative
+/// totals the ledger records) — core::TrainResult maps directly.
+struct TrainedArtifact {
+  sgns::SgnsModel model;
+  double epsilon_spent = 0.0;
+  int64_t steps = 0;
+};
+
+/// Produces the next trained model. `cycle` is 0-based. The pipeline
+/// engine plugs in directly: run TrainingEngine::Train and move the
+/// result's model/epsilon_spent/steps_executed into a TrainedArtifact.
+using TrainFn = std::function<Result<TrainedArtifact>(uint64_t cycle)>;
+
+/// Everything one cycle did, for logs and the chaos harness.
+struct CycleReport {
+  uint64_t cycle = 0;
+  bool published = false;    ///< a new version reached CURRENT + shards
+  bool rolled_back = false;  ///< CURRENT/fleet reverted to last good
+  uint64_t published_version = 0;  ///< 0 when nothing was published
+  uint64_t serving_version = 0;    ///< what shards serve after the cycle
+  int train_attempts = 0;
+  int publish_attempts = 0;
+  int swap_attempts = 0;
+  Status failure;  ///< OK on a clean cycle; the terminal error otherwise
+  /// Staleness of the fleet's newest swap at cycle end; -1 before any
+  /// swap ever landed.
+  double swap_age_seconds = -1.0;
+  bool within_slo = false;
+};
+
+/// Drives the continuous retrain→validate→publish→swap loop and keeps it
+/// correct under failure:
+///
+///   * every fallible phase retries with bounded exponential backoff and
+///     seeded jitter, up to max_attempts;
+///   * ε accounting is supervisor-side cumulative: a training round's
+///     spend is added the moment training succeeds, so a later publish
+///     failure can delay the accounting but never lose it (the next
+///     successful publish records the full cumulative spend);
+///   * after the fleet swap, a health probe must answer from the new
+///     version on every shard; a regression triggers automatic rollback —
+///     CURRENT and every shard revert to the last good version (the
+///     ledger is never rewound: ε stays spent);
+///   * on a terminally failed cycle the fleet degrades instead of
+///     breaking: shards keep serving the last good snapshot, and the
+///     report carries swap_age_seconds against the freshness SLO so the
+///     operator sees exactly how stale "still serving" is.
+class PublishSupervisor {
+ public:
+  /// Opens the publish tree. If a CURRENT version already exists and
+  /// verifies, it is recovered as the last good version and (when an
+  /// engine is attached) re-published to every shard — a restarted
+  /// supervisor serves immediately instead of waiting out a full retrain.
+  /// `engine` may be null (publish-only mode); it is borrowed, not owned.
+  static Result<PublishSupervisor> Create(SupervisorConfig config,
+                                          serve::ShardedServingEngine* engine);
+
+  /// Runs one full cycle. The report's `failure` field carries the
+  /// terminal error of a degraded cycle; the Result itself is only an
+  /// error when the supervisor's own state is unusable.
+  Result<CycleReport> RunCycle(const TrainFn& train);
+
+  uint64_t last_good_version() const { return last_good_version_; }
+  double cumulative_epsilon() const { return cumulative_epsilon_; }
+  int64_t cumulative_steps() const { return cumulative_steps_; }
+  const SnapshotPublisher& publisher() const { return publisher_; }
+
+ private:
+  PublishSupervisor(SupervisorConfig config, SnapshotPublisher publisher,
+                    serve::ShardedServingEngine* engine);
+
+  /// initial·2^(attempt-1) capped at max, plus seeded jitter.
+  int64_t BackoffMillis(int attempt);
+  void SleepBeforeRetry(int attempt);
+
+  /// Publishes `snapshot` to every shard, with retries.
+  Status SwapIntoEngine(std::shared_ptr<const serve::ModelSnapshot> snapshot,
+                        int& attempts);
+
+  /// Probes every shard: probe_requests OKs from `version` each.
+  Status HealthProbe(uint64_t version);
+
+  /// Reverts CURRENT and (best effort) the fleet to last good.
+  void Rollback(CycleReport& report);
+
+  void FillServingState(CycleReport& report) const;
+
+  SupervisorConfig config_;
+  SnapshotPublisher publisher_;
+  serve::ShardedServingEngine* engine_;  ///< borrowed; may be null
+  uint64_t jitter_state_;
+  uint64_t cycles_run_ = 0;
+  double cumulative_epsilon_ = 0.0;
+  int64_t cumulative_steps_ = 0;
+  uint64_t last_good_version_ = 0;  ///< 0 = nothing good yet
+  std::shared_ptr<const serve::ModelSnapshot> last_good_snapshot_;
+};
+
+}  // namespace plp::publish
+
+#endif  // PLP_PUBLISH_SUPERVISOR_H_

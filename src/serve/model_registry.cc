@@ -15,4 +15,13 @@ uint64_t ModelRegistry::Publish(
   return generation_.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
+Result<uint64_t> ModelRegistry::PublishVerified(
+    std::shared_ptr<const ModelSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    return InvalidArgumentError("cannot publish a null snapshot");
+  }
+  PLP_RETURN_IF_ERROR(snapshot->Verify());
+  return Publish(std::move(snapshot));
+}
+
 }  // namespace plp::serve

@@ -41,6 +41,15 @@ class ModelRegistry {
   /// or the new snapshot, never a mix.
   uint64_t Publish(std::shared_ptr<const ModelSnapshot> snapshot);
 
+  /// The safe publish path: runs `snapshot->Verify()` (shape + checksum
+  /// recompute) BEFORE the swap and returns the failure as a Status — the
+  /// installed snapshot, the generation counter, and every in-flight
+  /// reader are untouched on rejection. Null is rejected the same way
+  /// (InvalidArgument), never asserted on: a serving process must survive
+  /// a bad artifact, not die on it. Returns the new generation on success.
+  Result<uint64_t> PublishVerified(
+      std::shared_ptr<const ModelSnapshot> snapshot);
+
   /// Number of successful Publish calls.
   uint64_t generation() const {
     return generation_.load(std::memory_order_relaxed);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/math_util.h"
 
 namespace plp::serve {
@@ -142,15 +143,9 @@ void ModelSnapshot::ApplyOptions(const SnapshotOptions& options) {
   }
   format_ = options.format;
   const size_t count = embeddings_.size();
-  uint64_t payload_hash = 0xcbf29ce484222325ULL;
-  payload_hash = Fnv1a64(&num_locations_, sizeof(num_locations_), payload_hash);
-  payload_hash = Fnv1a64(&dim_, sizeof(dim_), payload_hash);
-  payload_hash = Fnv1a64(&format_, sizeof(format_), payload_hash);
   if (format_ == SnapshotFormat::kFloat16) {
     half_.resize(count);
     for (size_t i = 0; i < count; ++i) half_[i] = FloatToHalf(embeddings_[i]);
-    payload_hash =
-        Fnv1a64(half_.data(), half_.size() * sizeof(uint16_t), payload_hash);
   } else {
     quant_.resize(count);
     row_scale_.resize(static_cast<size_t>(num_locations_));
@@ -173,15 +168,66 @@ void ModelSnapshot::ApplyOptions(const SnapshotOptions& options) {
         q[d] = static_cast<int8_t>(std::clamp<long>(v, -127, 127));
       }
     }
-    payload_hash =
-        Fnv1a64(quant_.data(), quant_.size() * sizeof(int8_t), payload_hash);
-    payload_hash = Fnv1a64(row_scale_.data(),
-                           row_scale_.size() * sizeof(float), payload_hash);
   }
-  checksum_ = payload_hash;
+  checksum_ = ComputeChecksum();
   embeddings_.clear();
   embeddings_.shrink_to_fit();
   if (ivf_) BuildPackedPayload();
+}
+
+uint64_t ModelSnapshot::ComputeChecksum() const {
+  if (format_ == SnapshotFormat::kFloat32) {
+    return ChecksumOf(num_locations_, dim_, embeddings_);
+  }
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  hash = Fnv1a64(&num_locations_, sizeof(num_locations_), hash);
+  hash = Fnv1a64(&dim_, sizeof(dim_), hash);
+  hash = Fnv1a64(&format_, sizeof(format_), hash);
+  if (format_ == SnapshotFormat::kFloat16) {
+    hash = Fnv1a64(half_.data(), half_.size() * sizeof(uint16_t), hash);
+  } else {
+    hash = Fnv1a64(quant_.data(), quant_.size() * sizeof(int8_t), hash);
+    hash =
+        Fnv1a64(row_scale_.data(), row_scale_.size() * sizeof(float), hash);
+  }
+  return hash;
+}
+
+Status ModelSnapshot::Verify() const {
+  PLP_FAULT_POINT("snapshot.verify");
+  if (num_locations_ <= 0 || dim_ <= 0) {
+    return InternalError("corrupt snapshot: non-positive shape (" +
+                         std::to_string(num_locations_) + " x " +
+                         std::to_string(dim_) + ")");
+  }
+  const size_t count =
+      static_cast<size_t>(num_locations_) * static_cast<size_t>(dim_);
+  bool shape_ok = false;
+  switch (format_) {
+    case SnapshotFormat::kFloat32:
+      shape_ok = embeddings_.size() == count;
+      break;
+    case SnapshotFormat::kFloat16:
+      shape_ok = half_.size() == count && embeddings_.empty();
+      break;
+    case SnapshotFormat::kInt8:
+      shape_ok = quant_.size() == count &&
+                 row_scale_.size() == static_cast<size_t>(num_locations_) &&
+                 embeddings_.empty();
+      break;
+  }
+  if (!shape_ok) {
+    return InternalError(
+        "corrupt snapshot: payload size does not match the " +
+        std::string(FormatName(format_)) + " shape " +
+        std::to_string(num_locations_) + " x " + std::to_string(dim_));
+  }
+  if (const uint64_t actual = ComputeChecksum(); actual != checksum_) {
+    return InternalError("corrupt snapshot: checksum mismatch (stamped " +
+                         std::to_string(checksum_) + ", recomputed " +
+                         std::to_string(actual) + ")");
+  }
+  return Status::Ok();
 }
 
 void ModelSnapshot::BuildPackedPayload() {

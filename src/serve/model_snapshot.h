@@ -111,6 +111,15 @@ class ModelSnapshot {
   /// including the cluster-ordered copy an IVF-indexed snapshot carries.
   size_t memory_bytes() const;
 
+  /// Integrity gate run before a snapshot may be installed: re-checks the
+  /// shape invariants (positive dims, payload sizes matching the format)
+  /// and recomputes the payload checksum from the bytes actually resident,
+  /// comparing against the value stamped at build time. A failure means
+  /// the artifact was corrupted between build and publish and must never
+  /// reach readers. Fault point "snapshot.verify" lets tests and the chaos
+  /// harness force this gate to fail.
+  Status Verify() const;
+
   /// Float32 row view. Only valid on kFloat32 snapshots; quantized
   /// formats drop the float matrix (that is the point) — use
   /// DequantizeRow.
@@ -157,6 +166,11 @@ class ModelSnapshot {
   /// asked. Called by the factories right after construction, while the
   /// float matrix is still present.
   void ApplyOptions(const SnapshotOptions& options);
+
+  /// Recomputes the build-time checksum from the resident payload (the
+  /// float matrix on kFloat32, the quantized payload + format tag
+  /// otherwise). Verify compares this against checksum_.
+  uint64_t ComputeChecksum() const;
 
   /// Builds the cluster-ordered payload copy for the pruned scan: row at
   /// packed position p is the p-th entry of the index's concatenated

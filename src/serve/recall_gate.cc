@@ -1,0 +1,51 @@
+#include "serve/recall_gate.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace plp::serve {
+
+double MeasureRecallAtK(const ModelSnapshot& candidate,
+                        const ModelSnapshot& reference,
+                        const RecallProbe& probe) {
+  PLP_CHECK(candidate.num_locations() == reference.num_locations());
+  const int32_t locations = reference.num_locations();
+  const int32_t k = std::min(std::max(probe.k, 1), locations);
+  const int32_t history_length = std::max(probe.history_length, 1);
+  const int32_t num_queries = std::max(probe.num_queries, 1);
+
+  Rng rng(probe.seed);
+  std::vector<int32_t> history(static_cast<size_t>(history_length));
+  double recall_sum = 0.0;
+  for (int32_t q = 0; q < num_queries; ++q) {
+    for (int32_t& h : history) {
+      h = static_cast<int32_t>(
+          rng.UniformInt(static_cast<uint64_t>(locations)));
+    }
+    const std::vector<float> reference_profile = reference.Profile(history);
+    const auto exact = TopKScores(reference, reference_profile, k);
+    // The candidate scores through its own payload (dequantized kernels)
+    // and its own profile — exactly what a reader of that snapshot sees.
+    const std::vector<float> candidate_profile = candidate.Profile(history);
+    const auto answered =
+        candidate.ivf() != nullptr
+            ? ApproxTopKScores(candidate, candidate_profile, k, probe.nprobe)
+            : TopKScores(candidate, candidate_profile, k);
+    int hits = 0;
+    for (const ScoredLocation& truth : exact) {
+      for (const ScoredLocation& got : answered) {
+        if (got.location == truth.location) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    recall_sum += static_cast<double>(hits) / static_cast<double>(k);
+  }
+  return recall_sum / static_cast<double>(num_queries);
+}
+
+}  // namespace plp::serve

@@ -42,9 +42,7 @@ Status ServingEngine::PublishModel(const sgns::SgnsModel& model,
   PLP_ASSIGN_OR_RETURN(
       auto snapshot,
       ModelSnapshot::FromModel(model, version, config_.snapshot));
-  registry_.Publish(std::move(snapshot));
-  metrics_.RecordSwap(SteadyMicrosNow());
-  return Status::Ok();
+  return PublishSnapshot(std::move(snapshot));
 }
 
 Status ServingEngine::PublishFile(const std::string& path,
@@ -52,17 +50,18 @@ Status ServingEngine::PublishFile(const std::string& path,
   PLP_ASSIGN_OR_RETURN(auto snapshot,
                        ModelSnapshot::FromFile(path, version,
                                                config_.snapshot));
-  registry_.Publish(std::move(snapshot));
-  metrics_.RecordSwap(SteadyMicrosNow());
-  return Status::Ok();
+  return PublishSnapshot(std::move(snapshot));
 }
 
 Status ServingEngine::PublishSnapshot(
     std::shared_ptr<const ModelSnapshot> snapshot) {
-  if (snapshot == nullptr) {
-    return InvalidArgumentError("cannot publish a null snapshot");
-  }
-  registry_.Publish(std::move(snapshot));
+  // Verify-then-swap: a snapshot that fails its integrity gate is
+  // rejected here, before readers can ever observe it — the installed
+  // snapshot keeps serving and the swap-age clock keeps ticking against
+  // the OLD swap (the staleness is real and must be visible).
+  PLP_ASSIGN_OR_RETURN(uint64_t generation,
+                       registry_.PublishVerified(std::move(snapshot)));
+  (void)generation;
   metrics_.RecordSwap(SteadyMicrosNow());
   return Status::Ok();
 }
@@ -233,6 +232,46 @@ std::vector<Response> ServingEngine::RecommendBatch(
   }
   done.wait();
   return responses;
+}
+
+std::vector<std::future<Response>> ServingEngine::SubmitAsyncBatch(
+    std::vector<Request> requests) {
+  const Clock::time_point submitted = Clock::now();
+  std::vector<std::future<Response>> futures;
+  futures.reserve(requests.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(requests.size());
+  for (Request& request : requests) {
+    if (request.arrival == Clock::time_point{}) request.arrival = submitted;
+    auto promise = std::make_shared<std::promise<Response>>();
+    futures.push_back(promise->get_future());
+    if (config_.max_queue > 0) {
+      const int64_t in_flight =
+          async_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      if (in_flight >= config_.max_queue) {
+        async_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        Response shed;
+        shed.status = ResourceExhaustedError(
+            "overloaded: " + std::to_string(in_flight) +
+            " requests already queued");
+        promise->set_value(Finish(std::move(shed), request.arrival));
+        continue;
+      }
+    }
+    tasks.push_back([this, request = std::move(request),
+                     promise = std::move(promise)]() mutable {
+      const Clock::time_point now = Clock::now();
+      const std::shared_ptr<const ModelSnapshot> snapshot =
+          registry_.Current();
+      promise->set_value(Finish(Execute(request, snapshot, now),
+                                request.arrival));
+      if (config_.max_queue > 0) {
+        async_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+  pool_.ScheduleAll(tasks);
+  return futures;
 }
 
 std::future<Response> ServingEngine::SubmitAsync(Request request) {

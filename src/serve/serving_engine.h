@@ -103,6 +103,15 @@ class ServingEngine {
   /// Enqueues one request onto the pool and returns its future response.
   std::future<Response> SubmitAsync(Request request);
 
+  /// Enqueues every request in one pool push: one lock acquisition and one
+  /// condvar wakeup for the whole batch instead of one signal per request
+  /// (the open-loop bench submits arrivals that fell due together this
+  /// way). Admission control is still per request — response i answers
+  /// request i, and any shed request resolves immediately with
+  /// RESOURCE_EXHAUSTED without entering the pool.
+  std::vector<std::future<Response>> SubmitAsyncBatch(
+      std::vector<Request> requests);
+
   const ServingConfig& config() const { return config_; }
   ModelRegistry& registry() { return registry_; }
   SessionStore& sessions() { return sessions_; }

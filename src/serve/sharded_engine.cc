@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 
 namespace plp::serve {
 
@@ -32,12 +33,7 @@ Status ShardedServingEngine::PublishModel(const sgns::SgnsModel& model,
       auto snapshot,
       ModelSnapshot::FromModel(model, version,
                                shards_.front()->config().snapshot));
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    PLP_RETURN_IF_ERROR(shards_[s]->PublishSnapshot(
-        s + 1 == shards_.size() ? std::move(snapshot)
-                                : snapshot->Replicate()));
-  }
-  return Status::Ok();
+  return PublishSnapshot(std::move(snapshot));
 }
 
 Status ShardedServingEngine::PublishFile(const std::string& path,
@@ -46,12 +42,7 @@ Status ShardedServingEngine::PublishFile(const std::string& path,
       auto snapshot,
       ModelSnapshot::FromFile(path, version,
                               shards_.front()->config().snapshot));
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    PLP_RETURN_IF_ERROR(shards_[s]->PublishSnapshot(
-        s + 1 == shards_.size() ? std::move(snapshot)
-                                : snapshot->Replicate()));
-  }
-  return Status::Ok();
+  return PublishSnapshot(std::move(snapshot));
 }
 
 Status ShardedServingEngine::PublishSnapshot(
@@ -59,10 +50,23 @@ Status ShardedServingEngine::PublishSnapshot(
   if (snapshot == nullptr) {
     return InvalidArgumentError("cannot publish a null snapshot");
   }
+  // Verify the master copy and replicate for every shard BEFORE any shard
+  // swaps, so a rejected artifact (or an injected fault) leaves the whole
+  // fleet on the version it was already serving. A failure between the
+  // per-shard swaps below can still leave shards briefly mixed across the
+  // OLD and NEW versions — both validated, both published — which is the
+  // documented consistency of a replicated fleet; an unvalidated snapshot
+  // can never be one of them.
+  PLP_RETURN_IF_ERROR(snapshot->Verify());
+  std::vector<std::shared_ptr<const ModelSnapshot>> replicas;
+  replicas.reserve(shards_.size());
+  for (size_t s = 0; s + 1 < shards_.size(); ++s) {
+    replicas.push_back(snapshot->Replicate());
+  }
+  replicas.push_back(std::move(snapshot));
+  PLP_FAULT_POINT("publish.serve_swap");
   for (size_t s = 0; s < shards_.size(); ++s) {
-    PLP_RETURN_IF_ERROR(shards_[s]->PublishSnapshot(
-        s + 1 == shards_.size() ? std::move(snapshot)
-                                : snapshot->Replicate()));
+    PLP_RETURN_IF_ERROR(shards_[s]->PublishSnapshot(std::move(replicas[s])));
   }
   return Status::Ok();
 }
@@ -75,6 +79,31 @@ Response ShardedServingEngine::Recommend(const Request& request) {
 std::future<Response> ShardedServingEngine::SubmitAsync(Request request) {
   const size_t s = static_cast<size_t>(ShardFor(request.user_id));
   return shards_[s]->SubmitAsync(std::move(request));
+}
+
+std::vector<std::future<Response>> ShardedServingEngine::SubmitAsyncBatch(
+    std::vector<Request> requests) {
+  if (shards_.size() == 1) {
+    return shards_[0]->SubmitAsyncBatch(std::move(requests));
+  }
+  // Partition by owning shard, remembering where each request came from so
+  // the per-shard futures can be scattered back into submission order.
+  std::vector<std::vector<Request>> per_shard(shards_.size());
+  std::vector<std::vector<size_t>> origin(shards_.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const auto s = static_cast<size_t>(ShardFor(requests[i].user_id));
+    per_shard[s].push_back(std::move(requests[i]));
+    origin[s].push_back(i);
+  }
+  std::vector<std::future<Response>> futures(requests.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (per_shard[s].empty()) continue;
+    auto shard_futures = shards_[s]->SubmitAsyncBatch(std::move(per_shard[s]));
+    for (size_t j = 0; j < shard_futures.size(); ++j) {
+      futures[origin[s][j]] = std::move(shard_futures[j]);
+    }
+  }
+  return futures;
 }
 
 void ShardedServingEngine::AggregateMetrics(Metrics& into) const {

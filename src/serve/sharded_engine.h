@@ -60,6 +60,12 @@ class ShardedServingEngine {
   /// Async submission onto the owning shard's pool.
   std::future<Response> SubmitAsync(Request request);
 
+  /// Routes each request to its owning shard, then submits every shard's
+  /// share as ONE batched pool push (one condvar wakeup per shard touched
+  /// instead of one per request). Future i answers request i.
+  std::vector<std::future<Response>> SubmitAsyncBatch(
+      std::vector<Request> requests);
+
   size_t num_shards() const { return shards_.size(); }
   int32_t ShardFor(int64_t user_id) const;
   ServingEngine& shard(size_t i) { return *shards_[i]; }

@@ -1,6 +1,8 @@
 #include "common/fault_injection.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -80,6 +82,106 @@ TEST_F(FaultInjectionTest, ArmFromEnvDelayMode) {
   FaultInjection::ArmFromEnv();
   ASSERT_TRUE(FaultInjection::Armed());
   EXPECT_TRUE(GuardedOperation("serve.execute").ok());
+}
+
+TEST_F(FaultInjectionTest, EveryNthFiresPeriodicallyAndStaysArmed) {
+  FaultInjection::Arm("target.point", FaultMode::kFail,
+                      FaultTrigger::EveryNth(3));
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_TRUE(GuardedOperation("target.point").ok());
+    EXPECT_TRUE(GuardedOperation("target.point").ok());
+    EXPECT_FALSE(GuardedOperation("target.point").ok());
+    // Recurring trigger: a fired kFail does NOT disarm (unlike kOnce) —
+    // the retry path must be able to fail again.
+    EXPECT_TRUE(FaultInjection::Armed());
+  }
+  EXPECT_EQ(FaultInjection::HitCount(), 12);
+  EXPECT_EQ(FaultInjection::FireCount(), 4);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityZeroNeverFiresOneAlwaysFires) {
+  FaultInjection::Arm("target.point", FaultMode::kFail,
+                      FaultTrigger::WithProbability(0.0, /*seed=*/7));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(GuardedOperation("target.point").ok());
+  }
+  EXPECT_EQ(FaultInjection::FireCount(), 0);
+
+  FaultInjection::Arm("target.point", FaultMode::kFail,
+                      FaultTrigger::WithProbability(1.0, /*seed=*/7));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(GuardedOperation("target.point").ok());
+    EXPECT_TRUE(FaultInjection::Armed());  // recurring: stays armed
+  }
+  EXPECT_EQ(FaultInjection::FireCount(), 10);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityScheduleIsDeterministicUnderSeed) {
+  auto pattern_for = [](uint64_t seed) {
+    FaultInjection::Arm("target.point", FaultMode::kFail,
+                        FaultTrigger::WithProbability(0.5, seed));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(!GuardedOperation("target.point").ok());
+    }
+    FaultInjection::Disarm();
+    return fired;
+  };
+  const std::vector<bool> a = pattern_for(42);
+  const std::vector<bool> b = pattern_for(42);
+  const std::vector<bool> c = pattern_for(43);
+  EXPECT_EQ(a, b) << "same seed must replay the identical fault schedule";
+  EXPECT_NE(a, c) << "different seeds should diverge";
+  // Sanity: p=0.5 over 64 hits fires a nontrivial mix of both outcomes.
+  const auto fires = std::count(a.begin(), a.end(), true);
+  EXPECT_GT(fires, 8);
+  EXPECT_LT(fires, 56);
+}
+
+TEST_F(FaultInjectionTest, ArmFromEnvParsesEveryNth) {
+  ::setenv("PLP_FAULT", "publish.promote:fail@every2", 1);
+  FaultInjection::ArmFromEnv();
+  ASSERT_TRUE(FaultInjection::Armed());
+  EXPECT_TRUE(GuardedOperation("publish.promote").ok());
+  EXPECT_FALSE(GuardedOperation("publish.promote").ok());
+  EXPECT_TRUE(GuardedOperation("publish.promote").ok());
+  EXPECT_FALSE(GuardedOperation("publish.promote").ok());
+}
+
+TEST_F(FaultInjectionTest, ArmFromEnvParsesProbabilityWithSeed) {
+  ::setenv("PLP_FAULT", "publish.stage:fail@p1.0/9", 1);
+  FaultInjection::ArmFromEnv();
+  ASSERT_TRUE(FaultInjection::Armed());
+  EXPECT_FALSE(GuardedOperation("publish.stage").ok());
+  EXPECT_FALSE(GuardedOperation("publish.stage").ok());
+
+  // Env-parsed p-trigger replays the same schedule as the programmatic
+  // arming with the same seed.
+  ::setenv("PLP_FAULT", "publish.stage:fail@p0.5/11", 1);
+  FaultInjection::ArmFromEnv();
+  std::vector<bool> from_env;
+  for (int i = 0; i < 32; ++i) {
+    from_env.push_back(!GuardedOperation("publish.stage").ok());
+  }
+  FaultInjection::Arm("publish.stage", FaultMode::kFail,
+                      FaultTrigger::WithProbability(0.5, 11));
+  std::vector<bool> programmatic;
+  for (int i = 0; i < 32; ++i) {
+    programmatic.push_back(!GuardedOperation("publish.stage").ok());
+  }
+  EXPECT_EQ(from_env, programmatic);
+}
+
+TEST_F(FaultInjectionTest, DisarmedFastPathRecordsNoHits) {
+  // The disarmed fast path is one relaxed load: Hit() is never entered,
+  // so no hit is ever counted against a stale spec.
+  FaultInjection::Arm("target.point", FaultMode::kFail);
+  FaultInjection::Disarm();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(GuardedOperation("target.point").ok());
+  }
+  EXPECT_EQ(FaultInjection::HitCount(), 0);
+  EXPECT_EQ(FaultInjection::FireCount(), 0);
 }
 
 }  // namespace

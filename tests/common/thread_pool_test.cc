@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <functional>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -49,6 +50,51 @@ TEST(ThreadPoolTest, MultipleWaitCycles) {
     pool.Wait();
     EXPECT_EQ(counter.load(), (round + 1) * 10);
   }
+}
+
+TEST(ThreadPoolTest, ScheduleAllRunsEveryTask) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(hits.size());
+  for (size_t i = 0; i < hits.size(); ++i) {
+    tasks.push_back([&hits, i] { hits[i].fetch_add(1); });
+  }
+  pool.ScheduleAll(tasks);
+  pool.Wait();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ScheduleAllEmptySpanIsANoOp) {
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks;
+  pool.ScheduleAll(tasks);
+  pool.Wait();  // must not hang — in_flight must stay balanced
+}
+
+TEST(ThreadPoolTest, ScheduleAllSingleTaskRuns) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&counter] { counter.fetch_add(1); });
+  pool.ScheduleAll(tasks);
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ScheduleAllMixesWithSchedule) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 4; ++round) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 7; ++i) {
+      tasks.push_back([&counter] { counter.fetch_add(1); });
+    }
+    pool.ScheduleAll(tasks);
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 4 * 8);
 }
 
 TEST(ThreadPoolTest, DestructorJoinsCleanly) {

@@ -1,0 +1,133 @@
+#include "publish/publish_ledger.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+#include "common/atomic_file.h"
+#include "common/fault_injection.h"
+
+namespace plp::publish {
+namespace {
+
+std::string TempLedgerPath(const char* name) {
+  return testing::TempDir() + "/" + name + ".plpl";
+}
+
+PublishRecord MakeRecord(uint64_t version, double epsilon, int64_t steps) {
+  PublishRecord record;
+  record.version = version;
+  record.train_steps = steps;
+  record.epsilon_spent = epsilon;
+  record.model_crc64 = 0x1000 + version;
+  record.snapshot_checksum = 0x2000 + version;
+  return record;
+}
+
+TEST(PublishLedgerTest, StartsEmptyAndAppends) {
+  const std::string path = TempLedgerPath("starts_empty");
+  std::remove(path.c_str());
+  auto ledger = PublishLedger::Open(path);
+  ASSERT_TRUE(ledger.ok());
+  EXPECT_EQ(ledger->last(), nullptr);
+  EXPECT_EQ(ledger->NextVersion(), 1u);
+
+  ASSERT_TRUE(ledger->Append(MakeRecord(1, 0.5, 10)).ok());
+  ASSERT_TRUE(ledger->Append(MakeRecord(2, 1.0, 20)).ok());
+  ASSERT_EQ(ledger->records().size(), 2u);
+  EXPECT_EQ(ledger->last()->version, 2u);
+  EXPECT_EQ(ledger->NextVersion(), 3u);
+}
+
+TEST(PublishLedgerTest, PersistsAcrossOpen) {
+  const std::string path = TempLedgerPath("persists");
+  std::remove(path.c_str());
+  {
+    auto ledger = PublishLedger::Open(path);
+    ASSERT_TRUE(ledger.ok());
+    ASSERT_TRUE(ledger->Append(MakeRecord(1, 0.5, 10)).ok());
+    ASSERT_TRUE(ledger->Append(MakeRecord(2, 1.25, 20)).ok());
+  }
+  auto reopened = PublishLedger::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ(reopened->records().size(), 2u);
+  EXPECT_EQ(reopened->records()[0].epsilon_spent, 0.5);
+  EXPECT_EQ(reopened->records()[1].epsilon_spent, 1.25);
+  EXPECT_EQ(reopened->records()[1].model_crc64, 0x1000u + 2);
+}
+
+TEST(PublishLedgerTest, EncodeIsAPureFunctionOfTheChain) {
+  const std::string path_a = TempLedgerPath("pure_a");
+  const std::string path_b = TempLedgerPath("pure_b");
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+  auto a = PublishLedger::Open(path_a);
+  auto b = PublishLedger::Open(path_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (uint64_t v = 1; v <= 5; ++v) {
+    ASSERT_TRUE(a->Append(MakeRecord(v, 0.5 * v, 10 * v)).ok());
+    ASSERT_TRUE(b->Append(MakeRecord(v, 0.5 * v, 10 * v)).ok());
+  }
+  // Identical chains encode to identical bytes regardless of where they
+  // live — the property the chaos harness's bit-identity check rests on.
+  EXPECT_EQ(a->Encode(), b->Encode());
+}
+
+TEST(PublishLedgerTest, RejectsVersionGapsAndRegressions) {
+  const std::string path = TempLedgerPath("monotone");
+  std::remove(path.c_str());
+  auto ledger = PublishLedger::Open(path);
+  ASSERT_TRUE(ledger.ok());
+  // First record must be version 1.
+  EXPECT_FALSE(ledger->Append(MakeRecord(3, 0.5, 10)).ok());
+  ASSERT_TRUE(ledger->Append(MakeRecord(1, 0.5, 10)).ok());
+  // Version gap.
+  EXPECT_FALSE(ledger->Append(MakeRecord(3, 1.0, 20)).ok());
+  // ε regression.
+  EXPECT_FALSE(ledger->Append(MakeRecord(2, 0.25, 20)).ok());
+  // Step regression.
+  EXPECT_FALSE(ledger->Append(MakeRecord(2, 1.0, 5)).ok());
+  // None of the rejected appends changed anything.
+  ASSERT_EQ(ledger->records().size(), 1u);
+  auto reopened = PublishLedger::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->records().size(), 1u);
+  // The valid continuation still lands.
+  EXPECT_TRUE(ledger->Append(MakeRecord(2, 1.0, 20)).ok());
+}
+
+TEST(PublishLedgerTest, RejectsCorruptFile) {
+  const std::string path = TempLedgerPath("corrupt");
+  std::remove(path.c_str());
+  {
+    auto ledger = PublishLedger::Open(path);
+    ASSERT_TRUE(ledger.ok());
+    ASSERT_TRUE(ledger->Append(MakeRecord(1, 0.5, 10)).ok());
+  }
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string flipped = *bytes;
+  flipped[flipped.size() / 2] ^= 0x40;
+  ASSERT_TRUE(AtomicWriteFile(path, flipped).ok());
+  EXPECT_FALSE(PublishLedger::Open(path).ok());
+}
+
+TEST(PublishLedgerTest, AppendFaultLeavesFileAndChainUntouched) {
+  const std::string path = TempLedgerPath("fault");
+  std::remove(path.c_str());
+  auto ledger = PublishLedger::Open(path);
+  ASSERT_TRUE(ledger.ok());
+  ASSERT_TRUE(ledger->Append(MakeRecord(1, 0.5, 10)).ok());
+  const std::string before = ReadFileToString(path).value();
+
+  FaultInjection::Arm("publish.ledger_append", FaultMode::kFail);
+  EXPECT_FALSE(ledger->Append(MakeRecord(2, 1.0, 20)).ok());
+  FaultInjection::Disarm();
+
+  EXPECT_EQ(ledger->records().size(), 1u);
+  EXPECT_EQ(ReadFileToString(path).value(), before);
+  // And the chain still extends cleanly afterwards.
+  EXPECT_TRUE(ledger->Append(MakeRecord(2, 1.0, 20)).ok());
+}
+
+}  // namespace
+}  // namespace plp::publish

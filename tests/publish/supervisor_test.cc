@@ -1,0 +1,199 @@
+#include "publish/supervisor.h"
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "sgns/model.h"
+
+namespace plp::publish {
+namespace {
+
+sgns::SgnsModel MakeModel(uint64_t seed, int32_t locations = 40,
+                          int32_t dim = 8) {
+  Rng rng(seed);
+  sgns::SgnsConfig config;
+  config.embedding_dim = dim;
+  config.init_scale = 1.0;
+  auto model = sgns::SgnsModel::Create(locations, config, rng);
+  EXPECT_TRUE(model.ok());
+  return std::move(model).value();
+}
+
+/// Deterministic stand-in for a retrain round: cycle c yields the model
+/// seeded c, spending 0.5 ε and 10 steps.
+TrainFn DeterministicTrainer() {
+  return [](uint64_t cycle) -> Result<TrainedArtifact> {
+    TrainedArtifact artifact;
+    artifact.model = MakeModel(100 + cycle);
+    artifact.epsilon_spent = 0.5;
+    artifact.steps = 10;
+    return artifact;
+  };
+}
+
+std::string FreshDir(const char* name) {
+  const std::string dir = testing::TempDir() + "/supervisor_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+SupervisorConfig FastConfig(const std::string& dir) {
+  SupervisorConfig config;
+  config.publisher.publish_dir = dir;
+  config.publisher.recall.num_queries = 16;
+  config.max_attempts = 4;
+  config.backoff_initial_millis = 0;  // tests retry instantly
+  config.backoff_max_millis = 0;
+  config.probe_requests = 2;
+  return config;
+}
+
+serve::ShardedConfig TwoShards() {
+  serve::ShardedConfig config;
+  config.num_shards = 2;
+  config.shard.num_threads = 1;
+  return config;
+}
+
+TEST(PublishSupervisorTest, CycleTrainsPublishesAndSwapsFleet) {
+  const std::string dir = FreshDir("happy");
+  serve::ShardedServingEngine engine(TwoShards());
+  auto supervisor = PublishSupervisor::Create(FastConfig(dir), &engine);
+  ASSERT_TRUE(supervisor.ok()) << supervisor.status().message();
+
+  auto report = supervisor->RunCycle(DeterministicTrainer());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->failure.ok()) << report->failure.message();
+  EXPECT_TRUE(report->published);
+  EXPECT_EQ(report->published_version, 1u);
+  EXPECT_EQ(report->serving_version, 1u);
+  EXPECT_GE(report->swap_age_seconds, 0.0);
+  EXPECT_TRUE(report->within_slo);
+  for (size_t s = 0; s < engine.num_shards(); ++s) {
+    ASSERT_NE(engine.shard(s).registry().Current(), nullptr);
+    EXPECT_EQ(engine.shard(s).registry().Current()->version(), 1u);
+  }
+  EXPECT_EQ(supervisor->cumulative_epsilon(), 0.5);
+
+  auto second = supervisor->RunCycle(DeterministicTrainer());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->published);
+  EXPECT_EQ(second->published_version, 2u);
+  EXPECT_EQ(supervisor->cumulative_epsilon(), 1.0);
+  EXPECT_EQ(supervisor->cumulative_steps(), 20);
+  EXPECT_EQ(supervisor->publisher().ledger().last()->epsilon_spent, 1.0);
+}
+
+TEST(PublishSupervisorTest, TransientFaultRetriesWithinTheCycle) {
+  const std::string dir = FreshDir("transient");
+  serve::ShardedServingEngine engine(TwoShards());
+  auto supervisor = PublishSupervisor::Create(FastConfig(dir), &engine);
+  ASSERT_TRUE(supervisor.ok());
+
+  // One-shot fault: the first publish attempt dies at stage, the retry
+  // sails through — the cycle still ends published.
+  FaultInjection::Arm("publish.stage", FaultMode::kFail);
+  auto report = supervisor->RunCycle(DeterministicTrainer());
+  FaultInjection::Disarm();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->published);
+  EXPECT_EQ(report->publish_attempts, 2);
+  EXPECT_EQ(report->serving_version, 1u);
+}
+
+TEST(PublishSupervisorTest, PersistentGateFailureDegradesNotBreaks) {
+  const std::string dir = FreshDir("degraded");
+  serve::ShardedServingEngine engine(TwoShards());
+  auto supervisor = PublishSupervisor::Create(FastConfig(dir), &engine);
+  ASSERT_TRUE(supervisor.ok());
+  ASSERT_TRUE(supervisor->RunCycle(DeterministicTrainer())->published);
+
+  // A gate that fails EVERY attempt: the cycle exhausts its retries, the
+  // fleet keeps serving v1, CURRENT still names v1, ε accounting keeps
+  // the spend of the failed round.
+  FaultInjection::Arm("publish.validate", FaultMode::kFail,
+                      FaultTrigger::EveryNth(1));
+  auto degraded = supervisor->RunCycle(DeterministicTrainer());
+  FaultInjection::Disarm();
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_FALSE(degraded->published);
+  EXPECT_FALSE(degraded->failure.ok());
+  EXPECT_EQ(degraded->publish_attempts, 4);  // == max_attempts
+  EXPECT_FALSE(degraded->rolled_back);       // CURRENT never moved
+  EXPECT_EQ(degraded->serving_version, 1u);
+  EXPECT_GE(degraded->swap_age_seconds, 0.0);
+  EXPECT_TRUE(degraded->within_slo);
+  EXPECT_EQ(*supervisor->publisher().CurrentVersion(), 1u);
+  EXPECT_EQ(supervisor->cumulative_epsilon(), 1.0);  // spend never lost
+
+  // Once the fault clears, the next cycle publishes v2 carrying the full
+  // cumulative spend (1.5 = three trained rounds).
+  auto recovered = supervisor->RunCycle(DeterministicTrainer());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->published);
+  EXPECT_EQ(recovered->published_version, 2u);
+  EXPECT_EQ(supervisor->publisher().ledger().last()->epsilon_spent, 1.5);
+}
+
+TEST(PublishSupervisorTest, FleetSwapFailureRollsBackToLastGood) {
+  const std::string dir = FreshDir("rollback");
+  serve::ShardedServingEngine engine(TwoShards());
+  auto supervisor = PublishSupervisor::Create(FastConfig(dir), &engine);
+  ASSERT_TRUE(supervisor.ok());
+  ASSERT_TRUE(supervisor->RunCycle(DeterministicTrainer())->published);
+
+  // v2 passes every publish gate (CURRENT briefly names it), but the
+  // fleet swap fails persistently → automatic rollback: CURRENT and both
+  // shards return to v1.
+  FaultInjection::Arm("publish.serve_swap", FaultMode::kFail,
+                      FaultTrigger::EveryNth(1));
+  auto report = supervisor->RunCycle(DeterministicTrainer());
+  FaultInjection::Disarm();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->published);
+  EXPECT_TRUE(report->rolled_back);
+  EXPECT_EQ(report->serving_version, 1u);
+  EXPECT_EQ(*supervisor->publisher().CurrentVersion(), 1u);
+  for (size_t s = 0; s < engine.num_shards(); ++s) {
+    EXPECT_EQ(engine.shard(s).registry().Current()->version(), 1u);
+  }
+  // v2 remains accounted (ε spent) and promoted — rollback reverts what
+  // is served, never what was paid.
+  EXPECT_EQ(supervisor->publisher().ledger().last()->version, 2u);
+}
+
+TEST(PublishSupervisorTest, RestartRecoversLastGoodAndServesImmediately) {
+  const std::string dir = FreshDir("restart");
+  double epsilon_before = 0.0;
+  {
+    serve::ShardedServingEngine engine(TwoShards());
+    auto supervisor = PublishSupervisor::Create(FastConfig(dir), &engine);
+    ASSERT_TRUE(supervisor.ok());
+    ASSERT_TRUE(supervisor->RunCycle(DeterministicTrainer())->published);
+    ASSERT_TRUE(supervisor->RunCycle(DeterministicTrainer())->published);
+    epsilon_before = supervisor->cumulative_epsilon();
+  }
+  // Fresh process, fresh engine: recovery re-publishes the verified
+  // CURRENT version before any retraining happens.
+  serve::ShardedServingEngine engine(TwoShards());
+  auto supervisor = PublishSupervisor::Create(FastConfig(dir), &engine);
+  ASSERT_TRUE(supervisor.ok()) << supervisor.status().message();
+  EXPECT_EQ(supervisor->last_good_version(), 2u);
+  EXPECT_EQ(supervisor->cumulative_epsilon(), epsilon_before);
+  for (size_t s = 0; s < engine.num_shards(); ++s) {
+    ASSERT_NE(engine.shard(s).registry().Current(), nullptr);
+    EXPECT_EQ(engine.shard(s).registry().Current()->version(), 2u);
+  }
+  // And the loop continues from v3.
+  auto next = supervisor->RunCycle(DeterministicTrainer());
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(next->published);
+  EXPECT_EQ(next->published_version, 3u);
+}
+
+}  // namespace
+}  // namespace plp::publish

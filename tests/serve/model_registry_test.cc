@@ -6,6 +6,7 @@
 #include <vector>
 
 #include <gtest/gtest.h>
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "sgns/model.h"
 
@@ -46,6 +47,33 @@ TEST(ModelRegistryTest, ConstructorSeedsInitialSnapshot) {
   ASSERT_TRUE(registry.has_model());
   EXPECT_EQ(registry.Current()->version(), 9u);
   EXPECT_EQ(registry.generation(), 1u);
+}
+
+TEST(ModelRegistryTest, PublishVerifiedRejectsWithoutDisturbing) {
+  ModelRegistry registry;
+  auto good = MakeSnapshot(1, 3);
+  auto published = registry.PublishVerified(good);
+  ASSERT_TRUE(published.ok());
+  EXPECT_EQ(*published, 1u);
+
+  // Null: Status, not an abort — and the installed snapshot is untouched.
+  auto null_result = registry.PublishVerified(nullptr);
+  ASSERT_FALSE(null_result.ok());
+  EXPECT_EQ(null_result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Current(), good);
+  EXPECT_EQ(registry.generation(), 1u);
+
+  // Failed integrity gate: same contract.
+  FaultInjection::Arm("snapshot.verify", FaultMode::kFail);
+  auto corrupt_result = registry.PublishVerified(MakeSnapshot(2, 4));
+  FaultInjection::Disarm();
+  ASSERT_FALSE(corrupt_result.ok());
+  EXPECT_EQ(registry.Current(), good);
+  EXPECT_EQ(registry.generation(), 1u);
+
+  // The registry still accepts the next good snapshot.
+  ASSERT_TRUE(registry.PublishVerified(MakeSnapshot(2, 4)).ok());
+  EXPECT_EQ(registry.Current()->version(), 2u);
 }
 
 TEST(ModelRegistryTest, OldSnapshotDrainsAfterSwap) {

@@ -331,6 +331,101 @@ TEST(ServingEngineTest, SubmitAsyncDeliversFuture) {
   EXPECT_EQ(response.topk.size(), 4u);
 }
 
+TEST(ServingEngineTest, SubmitAsyncBatchAnswersEachRequestInOrder) {
+  ServingEngine engine(SmallConfig());
+  ASSERT_TRUE(engine.PublishModel(MakeModel(31), 1).ok());
+
+  // Distinct k per request proves future i answers request i, not merely
+  // "some request" — the batch is the only thing submitted.
+  std::vector<Request> requests(8);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].history = {static_cast<int32_t>(i), 5};
+    requests[i].k = static_cast<int32_t>(i + 1);
+  }
+  auto futures = engine.SubmitAsyncBatch(std::move(requests));
+  ASSERT_EQ(futures.size(), 8u);
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const Response response = futures[i].get();
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_EQ(response.topk.size(), i + 1);
+  }
+  EXPECT_EQ(engine.metrics().requests_ok.load(), 8u);
+}
+
+TEST(ServingEngineTest, SubmitAsyncBatchMatchesSubmitAsync) {
+  const sgns::SgnsModel model = MakeModel(33);
+  ServingEngine batched_engine(SmallConfig());
+  ServingEngine single_engine(SmallConfig());
+  ASSERT_TRUE(batched_engine.PublishModel(model, 1).ok());
+  ASSERT_TRUE(single_engine.PublishModel(model, 1).ok());
+
+  std::vector<Request> requests(12);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].history = {static_cast<int32_t>(i % 50),
+                           static_cast<int32_t>((i * 7) % 50)};
+    requests[i].k = 5;
+  }
+  std::vector<Request> copy = requests;
+  auto batched = batched_engine.SubmitAsyncBatch(std::move(requests));
+  std::vector<std::future<Response>> singles;
+  for (auto& request : copy) {
+    singles.push_back(single_engine.SubmitAsync(std::move(request)));
+  }
+  for (size_t i = 0; i < batched.size(); ++i) {
+    const Response a = batched[i].get();
+    const Response b = singles[i].get();
+    ASSERT_TRUE(a.status.ok());
+    ASSERT_TRUE(b.status.ok());
+    ASSERT_EQ(a.topk.size(), b.topk.size());
+    for (size_t j = 0; j < a.topk.size(); ++j) {
+      EXPECT_EQ(a.topk[j].location, b.topk[j].location);
+      EXPECT_EQ(a.topk[j].score, b.topk[j].score);
+    }
+  }
+}
+
+TEST(ServingEngineTest, SubmitAsyncBatchShedsPastQueueBound) {
+  // One worker pinned at 20 ms per request, bound of 2: a batch of 10
+  // admits at most 2 + pool-capacity and sheds the rest immediately —
+  // admission stays per request even though the pool push is batched.
+  ServingConfig config = SmallConfig();
+  config.num_threads = 1;
+  config.max_queue = 2;
+  ServingEngine engine(config);
+  ASSERT_TRUE(engine.PublishModel(MakeModel(35), 1).ok());
+  FaultInjection::Arm("serve.execute", FaultMode::kDelay, /*trigger_hit=*/1,
+                      /*delay_millis=*/20);
+
+  std::vector<Request> requests(10);
+  for (auto& request : requests) request.history = {1, 2};
+  auto futures = engine.SubmitAsyncBatch(std::move(requests));
+  int ok = 0, shed = 0;
+  for (auto& future : futures) {
+    const Response response = future.get();
+    if (response.status.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(response.status.code(), StatusCode::kResourceExhausted);
+      ++shed;
+    }
+  }
+  FaultInjection::Disarm();
+  EXPECT_EQ(ok + shed, 10);
+  // The whole batch is stamped before any task can run, so exactly
+  // max_queue requests are admitted — no completion can race admission.
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(shed, 8);
+  EXPECT_EQ(engine.metrics().requests_overloaded.load(),
+            static_cast<uint64_t>(shed));
+}
+
+TEST(ServingEngineTest, SubmitAsyncBatchEmptyIsANoOp) {
+  ServingEngine engine(SmallConfig());
+  ASSERT_TRUE(engine.PublishModel(MakeModel(37), 1).ok());
+  auto futures = engine.SubmitAsyncBatch({});
+  EXPECT_TRUE(futures.empty());
+}
+
 TEST(ServingEngineTest, HotSwapChangesServingModelMidSession) {
   const sgns::SgnsModel model_a = MakeModel(17, 50, 10);
   const sgns::SgnsModel model_b = MakeModel(18, 50, 10);

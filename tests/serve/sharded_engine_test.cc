@@ -8,6 +8,7 @@
 #include <vector>
 
 #include <gtest/gtest.h>
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "sgns/model.h"
 
@@ -184,6 +185,51 @@ TEST(ShardedEngineTest, AsyncSubmissionRoutesLikeSync) {
   EXPECT_EQ(total.requests_ok.load(), 16u);
 }
 
+TEST(ShardedEngineTest, BatchSubmissionScattersAcrossShardsInOrder) {
+  const sgns::SgnsModel model = MakeModel(7);
+  ShardedServingEngine engine(SmallShardedConfig(4));
+  ASSERT_TRUE(engine.PublishModel(model, 1).ok());
+
+  // Users chosen to span all shards; distinct k per request proves the
+  // per-shard futures scatter back into submission order.
+  std::vector<Request> requests(32);
+  std::set<int32_t> shards_hit;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].user_id = static_cast<int64_t>(i * 13);
+    requests[i].new_checkin = static_cast<int32_t>(i % 50);
+    requests[i].k = static_cast<int32_t>(1 + i % 10);
+    shards_hit.insert(engine.ShardFor(requests[i].user_id));
+  }
+  ASSERT_GT(shards_hit.size(), 1u);  // the batch genuinely fans out
+
+  auto futures = engine.SubmitAsyncBatch(std::move(requests));
+  ASSERT_EQ(futures.size(), 32u);
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const Response response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.message();
+    EXPECT_EQ(response.topk.size(), 1 + i % 10);
+  }
+  Metrics total;
+  engine.AggregateMetrics(total);
+  EXPECT_EQ(total.requests_ok.load(), 32u);
+}
+
+TEST(ShardedEngineTest, BatchSubmissionSingleShardFastPath) {
+  const sgns::SgnsModel model = MakeModel(9);
+  ShardedServingEngine engine(SmallShardedConfig(1));
+  ASSERT_TRUE(engine.PublishModel(model, 1).ok());
+  std::vector<Request> requests(8);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].user_id = static_cast<int64_t>(i);
+    requests[i].new_checkin = static_cast<int32_t>(i);
+  }
+  auto futures = engine.SubmitAsyncBatch(std::move(requests));
+  ASSERT_EQ(futures.size(), 8u);
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().status.ok());
+  }
+}
+
 // The rollout scenario the serving tier exists for: a fleet hot-swaps
 // between float32, fp16, and int8 snapshots while 8 reader threads hammer
 // it. Must be TSan-clean; every response must come from a coherent
@@ -239,6 +285,62 @@ TEST(ShardedEngineTest, CrossFormatHotSwapUnderConcurrentReaders) {
                 total.requests_int8.load(),
             total.requests_ok.load());
   EXPECT_GT(total.requests_fp16.load() + total.requests_int8.load(), 0u);
+}
+
+// A corrupt artifact arrives while readers are hammering the fleet: the
+// publish must be rejected as a Status (no abort), no shard may swap, no
+// reader may ever observe anything but a published version, and the next
+// good publish must land normally.
+TEST(ShardedEngineTest, CorruptPublishUnderReadersLeavesFleetUntouched) {
+  const sgns::SgnsModel model_a = MakeModel(51);
+  const sgns::SgnsModel model_b = MakeModel(52);
+  ShardedServingEngine engine(SmallShardedConfig(4));
+  ASSERT_TRUE(engine.PublishModel(model_a, 1).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> bad_responses{0};
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&engine, &stop, &bad_responses, t] {
+      int64_t user = t * 1000;
+      while (!stop.load(std::memory_order_relaxed)) {
+        Request request;
+        request.user_id = user++;
+        request.history = {1, 2, 3};
+        request.k = 3;
+        const Response response = engine.Recommend(request);
+        const bool version_ok =
+            response.model_version == 1 || response.model_version == 2;
+        if (!response.status.ok() || !version_ok) {
+          bad_responses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // The corrupt publish: the integrity gate fails, the call reports it,
+  // and every shard keeps serving version 1.
+  FaultInjection::Arm("snapshot.verify", FaultMode::kFail);
+  const Status rejected = engine.PublishModel(model_b, 99);
+  FaultInjection::Disarm();
+  ASSERT_FALSE(rejected.ok());
+  for (size_t s = 0; s < engine.num_shards(); ++s) {
+    EXPECT_EQ(engine.shard(s).registry().generation(), 1u);
+    ASSERT_NE(engine.shard(s).registry().Current(), nullptr);
+    EXPECT_EQ(engine.shard(s).registry().Current()->version(), 1u);
+  }
+
+  // Recovery: the next good snapshot lands on every shard.
+  ASSERT_TRUE(engine.PublishModel(model_b, 2).ok());
+  stop.store(true);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_EQ(bad_responses.load(), 0u);
+  for (size_t s = 0; s < engine.num_shards(); ++s) {
+    EXPECT_EQ(engine.shard(s).registry().generation(), 2u);
+    EXPECT_EQ(engine.shard(s).registry().Current()->version(), 2u);
+  }
 }
 
 TEST(ShardedEngineTest, PublishSnapshotRejectsNull) {

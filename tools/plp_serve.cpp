@@ -31,6 +31,13 @@
 // `protocol_errors` counter instead of desynchronizing the loop. When the
 // engine sheds load (`--max_queue` admission bound), the response is
 // `ERR OVERLOADED: ...` and counts as `requests_overloaded`.
+//
+// SIGTERM/SIGINT drain gracefully: the loop stops accepting input, any
+// request already handed to the engine finishes (engine teardown joins
+// its workers), the final STATS table goes to stderr, and the process
+// exits 0 — so an orchestrator's stop is indistinguishable from QUIT.
+
+#include <csignal>
 
 #include <atomic>
 #include <cstdio>
@@ -53,6 +60,23 @@ using plp::serve::ScoredLocation;
 // instead of an unbounded allocation.
 constexpr size_t kMaxLineBytes = 64 * 1024;
 constexpr size_t kMaxHistoryIds = 4096;
+
+// Set from the SIGTERM/SIGINT handler; the accept loop checks it between
+// lines. The handlers are installed WITHOUT SA_RESTART so a blocking
+// stdin read returns EINTR instead of resuming — a signal that lands
+// mid-getline still drains promptly.
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+void RequestDrain(int /*signum*/) { g_drain_requested = 1; }
+
+void InstallDrainHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = RequestDrain;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
 
 void PrintResponse(const Response& response) {
   if (!response.status.ok()) {
@@ -155,8 +179,10 @@ int main(int argc, char** argv) {
     std::cout << "ERR INVALID_ARGUMENT: " << message << "\n";
   };
 
+  InstallDrainHandlers();
   std::string line;
-  while (std::getline(std::cin, line)) {
+  while (!g_drain_requested && std::getline(std::cin, line)) {
+    if (g_drain_requested) break;  // signal landed mid-line
     if (line.size() > kMaxLineBytes) {
       protocol_error("line exceeds " + std::to_string(kMaxLineBytes) +
                      " bytes");
@@ -229,6 +255,10 @@ int main(int argc, char** argv) {
     }
 
     protocol_error("unknown command '" + command + "'");
+  }
+  if (g_drain_requested) {
+    std::cout.flush();
+    std::cerr << "drain: signal received, responses flushed, exiting\n";
   }
   engine.PrintStats(std::cerr);
   return 0;
