@@ -28,6 +28,8 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
   options.users = static_cast<int32_t>(flags->GetInt("users", options.users));
   options.locations =
       static_cast<int32_t>(flags->GetInt("locations", options.locations));
+  options.accountant = flags->GetString("accountant", "");
+  options.sampling_scheme = flags->GetString("sampling_scheme", "");
   return options;
 }
 
@@ -127,6 +129,13 @@ core::PlpConfig DefaultPlpConfig(const BenchOptions& options) {
     config.adam.learning_rate = 0.03;
   }
   if (options.max_steps > 0) config.max_steps = options.max_steps;
+  if (!options.accountant.empty()) config.accountant = options.accountant;
+  if (!options.sampling_scheme.empty()) {
+    auto scheme = core::ParseSamplingScheme(options.sampling_scheme);
+    PLP_CHECK_OK(scheme.status());
+    config.sampling_scheme = *scheme;
+  }
+  PLP_CHECK_OK(config.Validate());
   return config;
 }
 

@@ -15,7 +15,10 @@ namespace plp::ckpt {
 namespace {
 
 constexpr char kMagic[4] = {'P', 'L', 'P', 'C'};
-constexpr uint32_t kFormatVersion = 1;
+// v1: original layout. v2: + sampling-scheme byte right after the trainer
+// kind. Decoding accepts both; v1 snapshots default to Poisson sampling.
+constexpr uint32_t kFormatVersion = 2;
+constexpr uint32_t kMinFormatVersion = 1;
 constexpr std::string_view kFilePrefix = "ckpt-";
 constexpr std::string_view kFileSuffix = ".plpc";
 // Envelope: magic + version + payload size + payload CRC-64.
@@ -70,6 +73,7 @@ std::optional<int64_t> StepFromFilename(std::string_view name) {
 std::string EncodeSnapshot(const TrainerSnapshot& snapshot) {
   ByteWriter payload;
   payload.U8(static_cast<uint8_t>(snapshot.kind));
+  payload.U8(static_cast<uint8_t>(snapshot.scheme));
   payload.I64(snapshot.step);
   WriteRngState(snapshot.rng, payload);
   payload.LengthPrefixedBytes(snapshot.ledger_blob);
@@ -111,7 +115,7 @@ Result<TrainerSnapshot> DecodeSnapshot(std::string_view bytes) {
     }
   }
   PLP_ASSIGN_OR_RETURN(const uint32_t version, envelope.U32());
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     return InvalidArgumentError("checkpoint: unsupported format version");
   }
   PLP_ASSIGN_OR_RETURN(const uint64_t payload_size, envelope.U64());
@@ -132,6 +136,14 @@ Result<TrainerSnapshot> DecodeSnapshot(std::string_view bytes) {
     return InvalidArgumentError("checkpoint: unknown trainer kind");
   }
   snapshot.kind = static_cast<TrainerKind>(kind);
+  if (version >= 2) {
+    PLP_ASSIGN_OR_RETURN(const uint8_t scheme, payload.U8());
+    if (scheme != static_cast<uint8_t>(SamplingScheme::kPoisson) &&
+        scheme != static_cast<uint8_t>(SamplingScheme::kFixedBatch)) {
+      return InvalidArgumentError("checkpoint: unknown sampling scheme");
+    }
+    snapshot.scheme = static_cast<SamplingScheme>(scheme);
+  }
   PLP_ASSIGN_OR_RETURN(snapshot.step, payload.I64());
   if (snapshot.step < 0) {
     return InvalidArgumentError("checkpoint: negative step");

@@ -30,6 +30,16 @@ enum class TrainerKind : uint8_t {
   kNonPrivate = 2,  ///< core::NonPrivateTrainer
 };
 
+/// The sampling scheme the run was accounted under (mirrors
+/// core::SamplingScheme — redeclared here so plp_ckpt stays independent of
+/// plp_core). The accountant blob's meaning depends on it, so resuming a
+/// snapshot under a different scheme is rejected exactly like resuming
+/// under a different accountant.
+enum class SamplingScheme : uint8_t {
+  kPoisson = 1,
+  kFixedBatch = 2,
+};
+
 /// Everything a trainer needs to continue bit-identically after a crash:
 /// the model tensors, the optimizer moments, the privacy ledger (whose
 /// accounted steps always cover every noised update already applied to the
@@ -38,6 +48,9 @@ enum class TrainerKind : uint8_t {
 /// the owning components, so this format never learns their layout.
 struct TrainerSnapshot {
   TrainerKind kind = TrainerKind::kPrivate;
+  /// Format v1 snapshots predate the field and decode as kPoisson (the
+  /// only scheme that existed when they were written).
+  SamplingScheme scheme = SamplingScheme::kPoisson;
   int64_t step = 0;  ///< completed private steps / completed epochs
   RngState rng;
   std::string ledger_blob;  ///< empty for the non-private trainer

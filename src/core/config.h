@@ -33,6 +33,24 @@ enum class LocalUpdateMode {
   kSingleGradient,
 };
 
+/// How each round's participating users are drawn (line 5).
+enum class SamplingScheme : uint8_t {
+  /// Each user independently with probability q (the paper's scheme; the
+  /// RDP moments accountant and the pld_fft accountant both assume it).
+  kPoisson = 1,
+  /// Exactly B = round(q·N) distinct users drawn uniformly without
+  /// replacement every round. Only the "mog" accountant models this
+  /// sampling law tightly; the Poisson-only accountants reject it.
+  kFixedBatch = 2,
+};
+
+/// "poisson" / "fixed_batch" → the enum; anything else is
+/// kInvalidArgument naming the valid spellings.
+Result<SamplingScheme> ParseSamplingScheme(const std::string& name);
+
+/// The inverse of ParseSamplingScheme (flag echo, stage descriptions).
+const char* SamplingSchemeName(SamplingScheme scheme);
+
 /// Full configuration of Private Location Prediction (Algorithm 1).
 /// Defaults are the paper's (Section 5.1): q=0.06, σ=2.5, C=0.5, λ=4,
 /// δ=2·10⁻⁴, b=32, η=0.06, dim=50, win=2, neg=16.
@@ -40,7 +58,11 @@ struct PlpConfig {
   sgns::SgnsConfig sgns;  ///< skip-gram hyper-parameters
 
   // --- sampling & grouping ---
-  double sampling_probability = 0.06;  ///< q = m/N (Poisson per-user)
+  double sampling_probability = 0.06;  ///< q = m/N (per-user)
+  /// Poisson (q per user, the paper's default) or fixed_batch (exactly
+  /// round(q·N) users per round). fixed_batch requires accountant "mog" —
+  /// the Poisson-only accountants would account the wrong mechanism.
+  SamplingScheme sampling_scheme = SamplingScheme::kPoisson;
   int32_t grouping_factor = 4;         ///< λ: users per bucket
   GroupingKind grouping = GroupingKind::kRandom;
   int32_t split_factor = 1;  ///< ω: buckets a user's data may reach (§4.2)
@@ -57,11 +79,13 @@ struct PlpConfig {
   privacy::RdpConversion rdp_conversion = privacy::RdpConversion::kClassic;
 
   /// Accountant stage implementation: "rdp" (the moments-accountant
-  /// ledger, the default) or "pld_fft" (FFT-composed privacy-loss
+  /// ledger, the default), "pld_fft" (FFT-composed privacy-loss
   /// distribution per Koskela et al., arXiv:1906.03049 — tighter ε at the
-  /// same (q, σ, δ), so more steps inside the same budget). Checkpoints
-  /// record the accountant's own blob; resuming under a different
-  /// accountant is rejected.
+  /// same (q, σ, δ), so more steps inside the same budget), or "mog"
+  /// (group-level Mixture-of-Gaussians PLD per Ganesh, arXiv:2401.10294 —
+  /// tight in the split factor ω and the only accountant that models
+  /// fixed_batch sampling). Checkpoints record the accountant's own blob;
+  /// resuming under a different accountant is rejected.
   std::string accountant = "rdp";
 
   /// Flexible budget allocation across learning stages (the paper's
@@ -135,6 +159,18 @@ struct PlpConfig {
 /// noise_scale_final exactly. The trainer and the ledger both use this, so
 /// accounting stays exact; tests pin the endpoints.
 double NoiseScaleAt(const PlpConfig& config, int64_t step);
+
+/// The per-round effective noise multiplier the accountant must track:
+/// noise stddev divided by the query's joint l2 sensitivity ω·C. With
+/// per-tensor noise σ·ω·C/√3 on each tensor, the joint multiplier is σ/√3
+/// (strictly less privacy per step than the default dense noise). Every
+/// accountant stage receives exactly this value via the round record, so
+/// accounting matches the aggregator's calibration bit-for-bit.
+double EffectiveNoiseMultiplier(const PlpConfig& config, int64_t step);
+
+/// The fixed-batch round size B = round(q·N), clamped to [1, N] — the
+/// deterministic analogue of the Poisson sample's expectation.
+int32_t FixedBatchSize(int32_t num_users, double q);
 
 }  // namespace plp::core
 

@@ -25,6 +25,27 @@ std::vector<int32_t> PoissonSampleUsers(int32_t num_users, double q,
   return sample;
 }
 
+std::vector<int32_t> FixedBatchSampleUsers(int32_t num_users,
+                                           int32_t batch_size, Rng& rng) {
+  PLP_CHECK(batch_size >= 1 && batch_size <= num_users);
+  // Partial Fisher–Yates over the id range: exactly batch_size UniformInt
+  // draws (data-independent count), exactly batch_size distinct users.
+  std::vector<int32_t> pool(static_cast<size_t>(num_users));
+  for (int32_t u = 0; u < num_users; ++u) pool[static_cast<size_t>(u)] = u;
+  std::vector<int32_t> sample;
+  sample.reserve(static_cast<size_t>(batch_size));
+  for (int32_t i = 0; i < batch_size; ++i) {
+    const size_t j =
+        static_cast<size_t>(i) +
+        static_cast<size_t>(rng.UniformInt(
+            static_cast<uint64_t>(num_users - i)));
+    std::swap(pool[static_cast<size_t>(i)], pool[j]);
+    sample.push_back(pool[static_cast<size_t>(i)]);
+  }
+  std::sort(sample.begin(), sample.end());
+  return sample;
+}
+
 namespace {
 
 /// Flattens one user's sentences into a single token stream (used by the

@@ -28,6 +28,15 @@ struct Bucket {
 std::vector<int32_t> PoissonSampleUsers(int32_t num_users, double q,
                                         Rng& rng);
 
+/// Fixed-batch sampling: exactly `batch_size` distinct users drawn
+/// uniformly without replacement (ascending ids out, like the Poisson
+/// sampler). Consumes exactly `batch_size` draws from `rng` regardless of
+/// which users are selected, so the trainer's RNG stream stays
+/// data-independent — the same alignment contract the Poisson sampler
+/// satisfies with its N Bernoulli draws.
+std::vector<int32_t> FixedBatchSampleUsers(int32_t num_users,
+                                           int32_t batch_size, Rng& rng);
+
 /// дroupData(U_sample, λ) — pools the sampled users' data into buckets.
 ///
 /// * GroupingKind::kRandom: random permutation chunked into groups of λ.

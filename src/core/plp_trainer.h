@@ -29,6 +29,11 @@ struct StepMetrics {
   /// 21 actually scaled them). Persistently ≈ 1 means C is throttling the
   /// signal; ≈ 0 means C is slack and the noise is larger than necessary.
   double clip_fraction = 0.0;
+  /// Largest number of distinct buckets any single user's data reached
+  /// this step (Section 4.2's realized ω). The engine asserts it never
+  /// exceeds the configured ω — the noise calibration σ·ω·C and every
+  /// accountant's group-level analysis are unsound past that bound.
+  int32_t realized_split_factor = 0;
 };
 
 /// Why training stopped.

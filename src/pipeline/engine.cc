@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -21,12 +22,22 @@ namespace {
 /// Snapshots the full mutable training state after completed step `step`.
 /// The accountant/optimizer states embed as opaque blobs: each stage
 /// serializes itself, the checkpoint format stays ignorant of their layout.
-ckpt::TrainerSnapshot MakeSnapshot(ckpt::TrainerKind kind, int64_t step,
+/// core::SamplingScheme → its checkpoint-envelope twin (plp_ckpt cannot
+/// depend on plp_core, so the enum is redeclared there).
+ckpt::SamplingScheme ToCkptScheme(core::SamplingScheme scheme) {
+  return scheme == core::SamplingScheme::kFixedBatch
+             ? ckpt::SamplingScheme::kFixedBatch
+             : ckpt::SamplingScheme::kPoisson;
+}
+
+ckpt::TrainerSnapshot MakeSnapshot(ckpt::TrainerKind kind,
+                                   ckpt::SamplingScheme scheme, int64_t step,
                                    const Rng& rng, const Accountant& accountant,
                                    const ServerOptimizer& server,
                                    const sgns::SgnsModel& model) {
   ckpt::TrainerSnapshot snapshot;
   snapshot.kind = kind;
+  snapshot.scheme = scheme;
   snapshot.step = step;
   snapshot.rng = rng.SaveState();
   snapshot.ledger_blob = accountant.SaveBlob();
@@ -81,6 +92,14 @@ Result<core::TrainResult> TrainingEngine::Train(
       if (snapshot.kind != config_.kind) {
         return InvalidArgumentError(
             "checkpoint was written by a different trainer kind");
+      }
+      // The accountant blob certifies rounds of a specific sampling law;
+      // continuing those entries under another law would compose two
+      // different mechanisms into one ε. Same rejection contract as
+      // resuming under a different accountant.
+      if (snapshot.scheme != ToCkptScheme(config_.policy.scheme)) {
+        return InvalidArgumentError(
+            "checkpoint was written under a different sampling scheme");
       }
       if (snapshot.model.num_locations() != corpus.NumLocations() ||
           snapshot.model.dim() != config_.sgns.embedding_dim) {
@@ -138,11 +157,29 @@ Result<core::TrainResult> TrainingEngine::Train(
   std::vector<uint8_t> clip_engaged;
   const bool bucket_parallel = stages_.updater->BucketParallel();
 
+  // The round template every step's RoundRecord is stamped from: the
+  // policy's mechanism parameters plus the corpus-dependent population and
+  // (fixed-batch) round size, resolved once.
+  RoundRecord round_template;
+  round_template.scheme = config_.policy.scheme;
+  round_template.sampling_ratio = config_.policy.sampling_ratio;
+  round_template.population = corpus.NumUsers();
+  round_template.split_factor = config_.policy.split_factor;
+  if (config_.policy.scheme == core::SamplingScheme::kFixedBatch) {
+    round_template.batch_size = core::FixedBatchSize(
+        corpus.NumUsers(), config_.policy.sampling_ratio);
+  }
+
   for (int64_t step = start_step + 1; step <= config_.max_steps; ++step) {
     // Consume this step's budget first; if it overruns, return θ_{t-1} —
     // the model *before* this step's update (Algorithm 1 lines 11–13).
+    RoundRecord round = round_template;
+    round.step = step;
+    round.noise_multiplier = config_.policy.noise_multiplier_at
+                                 ? config_.policy.noise_multiplier_at(step)
+                                 : 0.0;
     PLP_ASSIGN_OR_RETURN(const BudgetDecision decision,
-                         stages_.accountant->TrackRound(step));
+                         stages_.accountant->TrackRound(round));
     if (decision.exhausted) {
       result.stop_reason = core::StopReason::kBudgetExhausted;
       break;
@@ -161,6 +198,19 @@ Result<core::TrainResult> TrainingEngine::Train(
         stages_.grouper->Group(corpus, sampled, rng);
     metrics.sampled_users = static_cast<int64_t>(sampled.size());
     metrics.num_buckets = static_cast<int64_t>(buckets.size());
+    metrics.realized_split_factor = core::RealizedSplitFactor(buckets);
+    // A grouping that spreads one user past the configured ω breaks the
+    // σ·ω·C sensitivity the aggregator noises for AND the ω the accountant
+    // just certified — the step must not run. Structural stage bug, but
+    // surfaced as a Status (not an abort) so embedding callers can see it.
+    if (config_.policy.enforce_split_bound &&
+        metrics.realized_split_factor > config_.policy.split_factor) {
+      return InternalError(
+          "grouper violated the split bound: realized omega " +
+          std::to_string(metrics.realized_split_factor) +
+          " > configured omega " +
+          std::to_string(config_.policy.split_factor));
+    }
     result.phase_seconds.sampling_grouping += phase.ElapsedSeconds();
 
     if (bucket_parallel) {
@@ -263,9 +313,9 @@ Result<core::TrainResult> TrainingEngine::Train(
 
     if (manager && step % checkpoint.every_steps == 0) {
       PLP_FAULT_POINT("trainer.before_checkpoint");
-      PLP_RETURN_IF_ERROR(manager->Save(
-          MakeSnapshot(config_.kind, step, rng, *stages_.accountant,
-                       *stages_.server, result.model)));
+      PLP_RETURN_IF_ERROR(manager->Save(MakeSnapshot(
+          config_.kind, ToCkptScheme(config_.policy.scheme), step, rng,
+          *stages_.accountant, *stages_.server, result.model)));
     }
 
     if (!continue_training) {

@@ -2,6 +2,7 @@
 #define PLP_PIPELINE_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "ckpt/checkpoint.h"
 #include "common/rng.h"
@@ -13,6 +14,24 @@
 
 namespace plp::pipeline {
 
+/// The per-round mechanism parameters the engine stamps into every step's
+/// RoundRecord before handing it to the Accountant stage. Centralizing
+/// them here (instead of letting each accountant re-derive them from its
+/// own config copy) is what keeps the released mechanism and the certified
+/// mechanism structurally identical.
+struct RoundPolicy {
+  core::SamplingScheme scheme = core::SamplingScheme::kPoisson;
+  double sampling_ratio = 0.0;  ///< q
+  int32_t split_factor = 1;     ///< configured ω
+  /// Private runs assert realized ω ≤ configured ω after every grouping —
+  /// a violating Grouper invalidates the σ·ω·C noise calibration, so the
+  /// step must not execute. Off for the non-private stage set.
+  bool enforce_split_bound = false;
+  /// σ_t relative to the joint sensitivity ω·C at the 1-based step
+  /// (schedule-aware). Null for accountant-free runs → records carry 0.
+  std::function<double(int64_t)> noise_multiplier_at;
+};
+
 /// Loop bounds and scheduling for one TrainingEngine run — everything
 /// about *how* the step loop executes; the StageSet holds everything about
 /// *what* each step computes.
@@ -21,6 +40,7 @@ struct EngineConfig {
   int64_t max_steps = 0;  ///< rounds (steps for PLP, epochs non-private)
   int32_t num_threads = 1;
   ckpt::TrainerKind kind = ckpt::TrainerKind::kPrivate;
+  RoundPolicy policy;
 };
 
 /// The one step loop behind every trainer (Algorithm 1's outer for-loop):

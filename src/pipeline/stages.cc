@@ -27,11 +27,13 @@ Result<double> LocalUpdater::WholeRound(const data::CorpusView& corpus,
   return InternalError("LocalUpdater does not implement WholeRound");
 }
 
-Result<BudgetDecision> Accountant::TrackRounds(int64_t first_step,
+Result<BudgetDecision> Accountant::TrackRounds(const RoundRecord& first,
                                                int64_t count) {
   BudgetDecision decision;
+  RoundRecord round = first;
   for (int64_t i = 0; i < count; ++i) {
-    PLP_ASSIGN_OR_RETURN(decision, TrackRound(first_step + i));
+    round.step = first.step + i;
+    PLP_ASSIGN_OR_RETURN(decision, TrackRound(round));
   }
   return decision;
 }

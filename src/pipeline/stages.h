@@ -154,22 +154,41 @@ struct BudgetDecision {
   bool exhausted = false;      ///< ε_after > budget → return θ_{t−1}
 };
 
+/// The mechanism parameters of one round, as the engine configured them —
+/// the single source the Accountant stage consumes, so what the noise
+/// stage released and what the accountant certifies can never drift apart.
+/// The engine fills it from the EngineConfig's RoundPolicy every step;
+/// benches fill it by hand for accounting-only sweeps.
+struct RoundRecord {
+  int64_t step = 0;  ///< 1-based round index
+  core::SamplingScheme scheme = core::SamplingScheme::kPoisson;
+  double sampling_ratio = 0.0;  ///< q (Poisson probability, or B/N intent)
+  int64_t batch_size = 0;       ///< B (fixed_batch; 0 under Poisson)
+  int64_t population = 0;       ///< N users in the corpus
+  double noise_multiplier = 0.0;  ///< σ relative to joint sensitivity ω·C
+  int32_t split_factor = 1;       ///< configured ω
+};
+
 /// Lines 3 and 11–13: tracks each round's privacy spend and gates on the
-/// budget. Implementations own their conversion (RDP orders, PLD grid).
+/// budget. Implementations own their conversion (RDP orders, PLD grid)
+/// and must reject a RoundRecord whose sampling scheme their analysis
+/// does not cover, instead of silently accounting the wrong mechanism.
 class Accountant {
  public:
   virtual ~Accountant() = default;
 
-  /// Consumes round `step`'s budget and returns the post-round ε and the
+  /// Consumes one round's budget and returns the post-round ε and the
   /// budget verdict. The engine stops *before* executing an exhausted
   /// round, so an exhausted decision's ε is never observable in a result.
-  virtual Result<BudgetDecision> TrackRound(int64_t step) = 0;
+  virtual Result<BudgetDecision> TrackRound(const RoundRecord& round) = 0;
 
   /// Accounting-only fast path used by the accounting ablation: advances
-  /// `count` identical-policy rounds starting at `first_step` and returns
-  /// the decision after the last one. No budget gate is applied mid-way.
-  /// The default implementation just loops TrackRound.
-  virtual Result<BudgetDecision> TrackRounds(int64_t first_step,
+  /// `count` rounds of `first`'s mechanism starting at `first.step` and
+  /// returns the decision after the last one. No budget gate is applied
+  /// mid-way. The default implementation loops TrackRound with the step
+  /// advancing and every other field held constant; schedule-aware
+  /// accountants override it to recompute σ_t per step.
+  virtual Result<BudgetDecision> TrackRounds(const RoundRecord& first,
                                              int64_t count);
 
   /// ε spent so far (seeds TrainResult::epsilon_spent after a resume).

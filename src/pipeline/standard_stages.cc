@@ -10,6 +10,7 @@
 #include "core/bucket_update.h"
 #include "optim/optimizers.h"
 #include "privacy/ledger.h"
+#include "privacy/mog_accountant.h"
 #include "privacy/pld_accountant.h"
 #include "sgns/loss.h"
 #include "sgns/pairs.h"
@@ -28,6 +29,23 @@ class PoissonSampler final : public UserSampler {
   std::vector<int32_t> Sample(const data::CorpusView& corpus,
                               Rng& rng) override {
     return core::PoissonSampleUsers(corpus.NumUsers(), q_, rng);
+  }
+
+ private:
+  double q_;
+};
+
+/// Line 5, fixed-batch variant: exactly B = round(q·N) distinct users
+/// every round. Only meaningful with the "mog" accountant (config
+/// validation enforces the pairing).
+class FixedBatchSampler final : public UserSampler {
+ public:
+  explicit FixedBatchSampler(double q) : q_(q) {}
+
+  std::vector<int32_t> Sample(const data::CorpusView& corpus,
+                              Rng& rng) override {
+    return core::FixedBatchSampleUsers(
+        corpus.NumUsers(), core::FixedBatchSize(corpus.NumUsers(), q_), rng);
   }
 
  private:
@@ -153,15 +171,17 @@ class GaussianAggregator final : public NoisyAggregator {
   double expected_buckets_ = 1.0;
 };
 
-/// The per-round effective noise multiplier the accountant must track:
-/// noise stddev divided by the query's joint l2 sensitivity ω·C. With
-/// per-tensor noise σ·ω·C/√3 on each tensor, the joint multiplier is σ/√3
-/// (strictly less privacy per step than the default dense noise).
-double EffectiveMultiplier(const core::PlpConfig& config, int64_t step) {
-  const double sigma_t = core::NoiseScaleAt(config, step);
-  return config.per_tensor_noise
-             ? sigma_t / std::sqrt(static_cast<double>(sgns::kNumTensors))
-             : sigma_t;
+/// Poisson-only accountants must refuse fixed-batch rounds — their
+/// dominating pairs certify a different mechanism. Config validation
+/// rejects the pairing up front; this is the stage-level backstop for
+/// hand-assembled StageSets, and its message names the valid pairs.
+Status RejectNonPoissonRound(const char* accountant_name,
+                             const RoundRecord& round) {
+  if (round.scheme == core::SamplingScheme::kPoisson) return Status::Ok();
+  return InvalidArgumentError(
+      std::string("accountant \"") + accountant_name +
+      "\" models Poisson sampling only; valid (scheme, accountant) pairs "
+      "are poisson x {rdp, pld_fft, mog} and fixed_batch x {mog}");
 }
 
 /// Lines 3 + 11–13 with the RDP moments-accountant ledger (the default).
@@ -170,9 +190,10 @@ class LedgerAccountant final : public Accountant {
   explicit LedgerAccountant(const core::PlpConfig& config)
       : config_(config), ledger_(config.delta) {}
 
-  Result<BudgetDecision> TrackRound(int64_t step) override {
-    PLP_RETURN_IF_ERROR(ledger_.TrackStep(config_.sampling_probability,
-                                          EffectiveMultiplier(config_, step)));
+  Result<BudgetDecision> TrackRound(const RoundRecord& round) override {
+    PLP_RETURN_IF_ERROR(RejectNonPoissonRound("rdp", round));
+    PLP_RETURN_IF_ERROR(
+        ledger_.TrackStep(round.sampling_ratio, round.noise_multiplier));
     BudgetDecision decision;
     decision.epsilon_after =
         ledger_.CumulativeEpsilon(config_.rdp_conversion);
@@ -180,14 +201,17 @@ class LedgerAccountant final : public Accountant {
     return decision;
   }
 
-  Result<BudgetDecision> TrackRounds(int64_t first_step,
+  Result<BudgetDecision> TrackRounds(const RoundRecord& first,
                                      int64_t count) override {
     // Bulk fast path: RDP accumulation is O(orders) per round; the
-    // RDP → (ε, δ) conversion is done once at the end instead of per round.
+    // RDP → (ε, δ) conversion is done once at the end instead of per
+    // round. σ_t is recomputed per step so the sweep stays exact under a
+    // noise-decay schedule.
+    PLP_RETURN_IF_ERROR(RejectNonPoissonRound("rdp", first));
     for (int64_t i = 0; i < count; ++i) {
-      PLP_RETURN_IF_ERROR(
-          ledger_.TrackStep(config_.sampling_probability,
-                            EffectiveMultiplier(config_, first_step + i)));
+      PLP_RETURN_IF_ERROR(ledger_.TrackStep(
+          first.sampling_ratio,
+          core::EffectiveNoiseMultiplier(config_, first.step + i)));
     }
     BudgetDecision decision;
     decision.epsilon_after =
@@ -239,24 +263,25 @@ class PldFftAccountant final : public Accountant {
   explicit PldFftAccountant(const core::PlpConfig& config)
       : config_(config), pld_(config.delta) {}
 
-  Result<BudgetDecision> TrackRound(int64_t step) override {
-    PLP_RETURN_IF_ERROR(pld_.AddSteps(config_.sampling_probability,
-                                      EffectiveMultiplier(config_, step),
-                                      1));
+  Result<BudgetDecision> TrackRound(const RoundRecord& round) override {
+    PLP_RETURN_IF_ERROR(RejectNonPoissonRound("pld_fft", round));
+    PLP_RETURN_IF_ERROR(
+        pld_.AddSteps(round.sampling_ratio, round.noise_multiplier, 1));
     BudgetDecision decision;
     decision.epsilon_after = pld_.CumulativeEpsilon();
     decision.exhausted = decision.epsilon_after > config_.epsilon_budget;
     return decision;
   }
 
-  Result<BudgetDecision> TrackRounds(int64_t first_step,
+  Result<BudgetDecision> TrackRounds(const RoundRecord& first,
                                      int64_t count) override {
     // Bulk fast path: appending entries is O(1) each; ε is composed once
     // at the end instead of per round (one FFT instead of `count`).
+    PLP_RETURN_IF_ERROR(RejectNonPoissonRound("pld_fft", first));
     for (int64_t i = 0; i < count; ++i) {
-      PLP_RETURN_IF_ERROR(
-          pld_.AddSteps(config_.sampling_probability,
-                        EffectiveMultiplier(config_, first_step + i), 1));
+      PLP_RETURN_IF_ERROR(pld_.AddSteps(
+          first.sampling_ratio,
+          core::EffectiveNoiseMultiplier(config_, first.step + i), 1));
     }
     BudgetDecision decision;
     decision.epsilon_after = pld_.CumulativeEpsilon();
@@ -293,6 +318,93 @@ class PldFftAccountant final : public Accountant {
  private:
   core::PlpConfig config_;
   privacy::PldAccountant pld_;
+};
+
+/// One pipeline RoundRecord as `steps` identical MoG accountant rounds.
+/// Poisson rounds zero the fixed-batch fields so identical mechanisms
+/// coalesce (and serialize) canonically.
+privacy::MogRound ToMogRound(const RoundRecord& round, int64_t steps) {
+  privacy::MogRound mog;
+  if (round.scheme == core::SamplingScheme::kFixedBatch) {
+    mog.sampling = privacy::MogSampling::kFixedBatch;
+    mog.batch_size = round.batch_size;
+    mog.population = round.population;
+  } else {
+    mog.sampling = privacy::MogSampling::kPoisson;
+  }
+  mog.sampling_ratio = round.sampling_ratio;
+  mog.noise_multiplier = round.noise_multiplier;
+  mog.split_factor = round.split_factor;
+  mog.steps = steps;
+  return mog;
+}
+
+/// Lines 3 + 11–13 with the group-level Mixture-of-Gaussians accountant
+/// (Ganesh, arXiv:2401.10294) — tight in ω and the only stage accountant
+/// covering both sampling schemes. Same tracking policy and checkpoint
+/// invariants as the ledger, ω-aware ε oracle.
+class MogStageAccountant final : public Accountant {
+ public:
+  explicit MogStageAccountant(const core::PlpConfig& config)
+      : config_(config), mog_(config.delta) {}
+
+  Result<BudgetDecision> TrackRound(const RoundRecord& round) override {
+    PLP_RETURN_IF_ERROR(mog_.AddRounds(ToMogRound(round, 1)));
+    return Decide();
+  }
+
+  Result<BudgetDecision> TrackRounds(const RoundRecord& first,
+                                     int64_t count) override {
+    // Bulk fast path: identical-σ runs coalesce inside the accountant, so
+    // a schedule-free sweep composes with one DFT power per mechanism
+    // instead of one per round. σ_t is still recomputed per step for
+    // schedule correctness.
+    RoundRecord round = first;
+    for (int64_t i = 0; i < count; ++i) {
+      round.step = first.step + i;
+      round.noise_multiplier =
+          core::EffectiveNoiseMultiplier(config_, round.step);
+      PLP_RETURN_IF_ERROR(mog_.AddRounds(ToMogRound(round, 1)));
+    }
+    return Decide();
+  }
+
+  double EpsilonSpent() const override { return mog_.CumulativeEpsilon(); }
+
+  std::string SaveBlob() const override {
+    ByteWriter writer;
+    mog_.SaveState(writer);
+    return writer.Take();
+  }
+
+  Status RestoreBlob(const std::string& blob, int64_t step) override {
+    ByteReader reader(blob);
+    PLP_ASSIGN_OR_RETURN(privacy::MogAccountant restored,
+                         privacy::MogAccountant::Restore(reader));
+    if (!reader.AtEnd()) {
+      return InvalidArgumentError("checkpoint: trailing ledger bytes");
+    }
+    if (restored.delta() != config_.delta) {
+      return InvalidArgumentError("checkpoint δ disagrees with config");
+    }
+    if (restored.total_steps() != step) {
+      return InvalidArgumentError(
+          "checkpoint ledger steps disagree with step counter");
+    }
+    mog_ = std::move(restored);
+    return Status::Ok();
+  }
+
+ private:
+  BudgetDecision Decide() const {
+    BudgetDecision decision;
+    decision.epsilon_after = mog_.CumulativeEpsilon();
+    decision.exhausted = decision.epsilon_after > config_.epsilon_budget;
+    return decision;
+  }
+
+  core::PlpConfig config_;
+  privacy::MogAccountant mog_;
 };
 
 /// Line 10 through the optim::ServerOptimizer registry ("dp_adam" /
@@ -376,8 +488,8 @@ class ZeroNoiseAggregator final : public NoisyAggregator {
 /// ε = 0 forever; the checkpoint ledger blob is empty and must stay so.
 class NullAccountant final : public Accountant {
  public:
-  Result<BudgetDecision> TrackRound(int64_t step) override {
-    (void)step;
+  Result<BudgetDecision> TrackRound(const RoundRecord& round) override {
+    (void)round;
     return BudgetDecision{};
   }
   double EpsilonSpent() const override { return 0.0; }
@@ -552,14 +664,22 @@ std::unique_ptr<Accountant> MakeAccountant(const core::PlpConfig& config) {
   if (config.accountant == "rdp") {
     return std::make_unique<LedgerAccountant>(config);
   }
+  if (config.accountant == "mog") {
+    return std::make_unique<MogStageAccountant>(config);
+  }
   PLP_CHECK(config.accountant == "pld_fft");
   return std::make_unique<PldFftAccountant>(config);
 }
 
 StageSet MakePrivateStages(const core::PlpConfig& config) {
   StageSet stages;
-  stages.sampler =
-      std::make_unique<PoissonSampler>(config.sampling_probability);
+  if (config.sampling_scheme == core::SamplingScheme::kFixedBatch) {
+    stages.sampler =
+        std::make_unique<FixedBatchSampler>(config.sampling_probability);
+  } else {
+    stages.sampler =
+        std::make_unique<PoissonSampler>(config.sampling_probability);
+  }
   stages.grouper = std::make_unique<ConfiguredGrouper>(config);
   stages.updater = std::make_unique<BucketSgdUpdater>(config);
   stages.clipper = std::make_unique<PerTensorClipper>(config.clip_norm);
@@ -576,6 +696,13 @@ EngineConfig MakePrivateEngineConfig(const core::PlpConfig& config) {
   engine.max_steps = config.max_steps;
   engine.num_threads = config.num_threads;
   engine.kind = ckpt::TrainerKind::kPrivate;
+  engine.policy.scheme = config.sampling_scheme;
+  engine.policy.sampling_ratio = config.sampling_probability;
+  engine.policy.split_factor = config.split_factor;
+  engine.policy.enforce_split_bound = true;
+  engine.policy.noise_multiplier_at = [config](int64_t step) {
+    return core::EffectiveNoiseMultiplier(config, step);
+  };
   return engine;
 }
 
@@ -613,7 +740,9 @@ std::string DescribeStages(const core::PlpConfig& config) {
   };
   std::string out;
   out += "pipeline stages (Algorithm 1):\n";
-  out += "  UserSampler      poisson(q=" + std::to_string(config.sampling_probability) + ")\n";
+  out += "  UserSampler      " +
+         std::string(core::SamplingSchemeName(config.sampling_scheme)) +
+         "(q=" + std::to_string(config.sampling_probability) + ")\n";
   out += "  Grouper          " + std::string(grouping_name()) +
          "(lambda=" + std::to_string(config.grouping_factor) +
          ", omega=" + std::to_string(config.split_factor) + ")\n";

@@ -1,0 +1,322 @@
+#include "privacy/mog_accountant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace plp::privacy {
+namespace {
+
+using pld_grid::Fft;
+using pld_grid::IntPow;
+using pld_grid::StdNormalCdf;
+
+constexpr uint32_t kBlobMagic = 0x31474F4D;  // "MOG1" little-endian
+constexpr uint64_t kMaxEntries = 1u << 20;
+// Weights are O(ω) per mixture and the binomial/hypergeometric tails
+// underflow long before this; a bound keeps blob restore allocation sane.
+constexpr int32_t kMaxSplitFactor = 64;
+
+/// log C(n, k) via lgamma (exact enough: the weights are probabilities
+/// multiplied back through exp, and the mixture is renormalized against
+/// nothing — each weight is its own term).
+double LogChoose(int64_t n, int64_t k) {
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+/// Mixture weights w_0..w_ω: the law of how many of the protected user's
+/// ω elements participate in one round under the entry's sampling scheme.
+std::vector<double> MixtureWeights(const MogRound& round) {
+  const int32_t omega = round.split_factor;
+  std::vector<double> weights(static_cast<size_t>(omega) + 1, 0.0);
+  if (round.sampling == MogSampling::kPoisson) {
+    const double q = round.sampling_ratio;
+    for (int32_t i = 0; i <= omega; ++i) {
+      if (q >= 1.0) {
+        weights[static_cast<size_t>(i)] = i == omega ? 1.0 : 0.0;
+        continue;
+      }
+      weights[static_cast<size_t>(i)] =
+          std::exp(LogChoose(omega, i) + static_cast<double>(i) * std::log(q) +
+                   static_cast<double>(omega - i) * std::log1p(-q));
+    }
+    return weights;
+  }
+  // Fixed batch: B·ω of the N·ω elements drawn without replacement; the
+  // group's participating count is Hypergeometric(N·ω, ω, B·ω).
+  const int64_t total = round.population * omega;
+  const int64_t draws = round.batch_size * omega;
+  const double log_denominator = LogChoose(total, draws);
+  for (int32_t i = 0; i <= omega; ++i) {
+    if (i > draws || draws - i > total - omega) continue;
+    weights[static_cast<size_t>(i)] =
+        std::exp(LogChoose(omega, i) + LogChoose(total - omega, draws - i) -
+                 log_denominator);
+  }
+  return weights;
+}
+
+/// CDF of the dominating mixture P = Σ_i w_i·N(i/ω, σ²).
+double UpperCdf(const MogRound& round, const std::vector<double>& weights,
+                double x) {
+  const double u = 1.0 / static_cast<double>(round.split_factor);
+  const double sigma = round.noise_multiplier;
+  double cdf = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    cdf += weights[i] *
+           StdNormalCdf((x - static_cast<double>(i) * u) / sigma);
+  }
+  return cdf;
+}
+
+/// x achieving privacy loss s: the inverse of the strictly increasing
+/// L(x) = log(Σ_i a_i t^i), t = e^{x·u/σ²}, a_i = w_i·e^{−(i·u)²/(2σ²)}.
+/// −infinity when no x reaches s (s ≤ log w_0, the loss infimum). The
+/// polynomial Σ_{i≥1} a_i t^i is increasing and convex on t > 0, so
+/// Newton from the upper bracket t ≤ (target/a_m)^{1/m} descends
+/// monotonically onto the root.
+double LossInverse(const MogRound& round, const std::vector<double>& weights,
+                   double s) {
+  const double u = 1.0 / static_cast<double>(round.split_factor);
+  const double sigma = round.noise_multiplier;
+  const double sigma_sq = sigma * sigma;
+  std::vector<double> a(weights.size(), 0.0);
+  size_t top = 0;
+  for (size_t i = 1; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    const double shift = static_cast<double>(i) * u;
+    a[i] = weights[i] * std::exp(-shift * shift / (2.0 * sigma_sq));
+    top = i;
+  }
+  const double target = std::exp(s) - weights[0];
+  if (target <= 0.0 || top == 0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const auto poly = [&](double t, double* derivative) {
+    double value = 0.0;
+    double slope = 0.0;
+    // Horner over the dense coefficient array (top is tiny: ω <= 64).
+    for (size_t i = top + 1; i-- > 1;) {
+      value = value * t + a[i];
+      slope = slope * t + static_cast<double>(i) * a[i];
+    }
+    // value currently holds Σ a_i t^{i-1}; one more multiply lands the
+    // polynomial, and slope already holds Σ i·a_i t^{i-1} = f'(t).
+    *derivative = slope;
+    return value * t;
+  };
+  double t = std::exp(std::log(target / a[top]) /
+                      static_cast<double>(top));
+  for (int iter = 0; iter < 128; ++iter) {
+    double derivative = 0.0;
+    const double value = poly(t, &derivative);
+    if (!(derivative > 0.0)) break;
+    const double next = t - (value - target) / derivative;
+    if (!(next > 0.0) || next == t) break;
+    if (std::abs(next - t) <= 1e-16 * t) {
+      t = next;
+      break;
+    }
+    t = next;
+  }
+  return sigma_sq * std::log(t) / u;
+}
+
+}  // namespace
+
+bool MogRound::SameMechanism(const MogRound& other) const {
+  return sampling == other.sampling &&
+         sampling_ratio == other.sampling_ratio &&
+         batch_size == other.batch_size && population == other.population &&
+         noise_multiplier == other.noise_multiplier &&
+         split_factor == other.split_factor;
+}
+
+MogAccountant::MogAccountant(double delta, const PldOptions& options)
+    : delta_(delta), options_(options) {
+  PLP_CHECK_GT(delta_, 0.0);
+  PLP_CHECK_LT(delta_, 1.0);
+  PLP_CHECK_GE(options_.log2_grid_size, 4);
+  PLP_CHECK_LE(options_.log2_grid_size, 24);
+  PLP_CHECK_GT(options_.grid_range, 0.0);
+}
+
+Status MogAccountant::AddRounds(const MogRound& round) {
+  if (round.steps <= 0) return InvalidArgumentError("steps must be > 0");
+  if (!(round.noise_multiplier > 0.0)) {
+    return InvalidArgumentError("noise multiplier must be > 0");
+  }
+  if (round.split_factor < 1 || round.split_factor > kMaxSplitFactor) {
+    return InvalidArgumentError("split factor must be in [1, 64]");
+  }
+  switch (round.sampling) {
+    case MogSampling::kPoisson:
+      if (!(round.sampling_ratio > 0.0) || round.sampling_ratio > 1.0) {
+        return InvalidArgumentError(
+            "Poisson sampling probability must be in (0, 1]");
+      }
+      break;
+    case MogSampling::kFixedBatch:
+      if (round.population < 1 || round.batch_size < 1 ||
+          round.batch_size > round.population) {
+        return InvalidArgumentError(
+            "fixed batch requires 1 <= batch_size <= population");
+      }
+      break;
+    default:
+      return InvalidArgumentError("unknown MoG sampling scheme");
+  }
+  if (!entries_.empty() && entries_.back().SameMechanism(round)) {
+    entries_.back().steps += round.steps;
+  } else {
+    entries_.push_back(round);
+  }
+  total_steps_ += round.steps;
+  return Status::Ok();
+}
+
+const MogAccountant::RoundPld& MogAccountant::RoundPldFor(
+    const MogRound& round) const {
+  for (const RoundPld& cached : step_cache_) {
+    if (cached.round.SameMechanism(round)) return cached;
+  }
+  const size_t n = static_cast<size_t>(1) << options_.log2_grid_size;
+  const double range = options_.grid_range;
+  const double width = 2.0 * range / static_cast<double>(n);
+
+  RoundPld pld;
+  pld.round = round;
+  const std::vector<double> weights = MixtureWeights(round);
+  // Same pessimistic binning as the pld_fft accountant (see pld_grid.h):
+  // loss-ordered bin t holds the P-mass of losses in (s_t − Δ, s_t] with
+  // right edge s_t = −R + (t+1)·Δ — mass rounds *up* to the edge, so
+  // every bin's contribution to δ(ε) is over- rather than under-counted;
+  // mass below the grid lumps into the lowest bin, mass above it is the
+  // truncated tail contributing to δ in full.
+  std::vector<std::complex<double>> pmf(n, {0.0, 0.0});
+  double previous_cdf = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    const double edge = -range + static_cast<double>(t + 1) * width;
+    const double x = LossInverse(round, weights, edge);
+    const double cdf = std::isinf(x) ? 0.0 : UpperCdf(round, weights, x);
+    pmf[pld_grid::WrapIndex(t, n)] = {std::max(0.0, cdf - previous_cdf),
+                                      0.0};
+    previous_cdf = std::max(cdf, previous_cdf);
+  }
+  pld.inf_mass = std::max(0.0, 1.0 - previous_cdf);
+  Fft(pmf, /*inverse=*/false);
+  pld.dft = std::move(pmf);
+  step_cache_.push_back(std::move(pld));
+  return step_cache_.back();
+}
+
+void MogAccountant::Compose(std::vector<double>& pmf,
+                            double& inf_mass) const {
+  const size_t n = static_cast<size_t>(1) << options_.log2_grid_size;
+  std::vector<std::complex<double>> composed(n, {1.0, 0.0});
+  double finite_fraction = 1.0;
+  for (const MogRound& entry : entries_) {
+    const RoundPld& step = RoundPldFor(entry);
+    for (size_t i = 0; i < n; ++i) {
+      composed[i] *= IntPow(step.dft[i], entry.steps);
+    }
+    finite_fraction *=
+        std::pow(1.0 - step.inf_mass, static_cast<double>(entry.steps));
+  }
+  inf_mass = std::max(0.0, 1.0 - finite_fraction);
+  if (entries_.empty()) {
+    // Empty composition: point mass at loss 0 — δ(ε) = 0 for ε >= 0.
+    pmf.assign(n, 0.0);
+    const size_t zero_bin =
+        n / 2 == 0 ? 0 : n / 2 - 1;  // right edge closest to 0 from below
+    pmf[zero_bin] = 1.0;
+    return;
+  }
+  Fft(composed, /*inverse=*/true);
+  // Rotate from FFT wrap-around order back to loss-ascending order.
+  pmf.resize(n);
+  for (size_t t = 0; t < n; ++t) {
+    pmf[t] = std::max(0.0, composed[pld_grid::WrapIndex(t, n)].real());
+  }
+}
+
+double MogAccountant::DeltaAtEpsilon(double epsilon) const {
+  std::vector<double> pmf;
+  double inf_mass = 0.0;
+  Compose(pmf, inf_mass);
+  return pld_grid::DeltaAtEpsilon(pmf, inf_mass, options_.grid_range,
+                                  epsilon);
+}
+
+double MogAccountant::CumulativeEpsilon() const {
+  if (total_steps_ == 0) return 0.0;
+  std::vector<double> pmf;
+  double inf_mass = 0.0;
+  Compose(pmf, inf_mass);
+  return pld_grid::EpsilonForDelta(pmf, inf_mass, options_.grid_range,
+                                   delta_);
+}
+
+void MogAccountant::SaveState(ByteWriter& writer) const {
+  writer.U32(kBlobMagic);
+  writer.F64(delta_);
+  writer.I32(options_.log2_grid_size);
+  writer.F64(options_.grid_range);
+  writer.U64(static_cast<uint64_t>(entries_.size()));
+  for (const MogRound& entry : entries_) {
+    writer.U8(static_cast<uint8_t>(entry.sampling));
+    writer.F64(entry.sampling_ratio);
+    writer.I64(entry.batch_size);
+    writer.I64(entry.population);
+    writer.F64(entry.noise_multiplier);
+    writer.I32(entry.split_factor);
+    writer.I64(entry.steps);
+  }
+}
+
+Result<MogAccountant> MogAccountant::Restore(ByteReader& reader) {
+  PLP_ASSIGN_OR_RETURN(const uint32_t magic, reader.U32());
+  if (magic != kBlobMagic) {
+    return InvalidArgumentError("not a MoG accountant blob");
+  }
+  PLP_ASSIGN_OR_RETURN(const double delta, reader.F64());
+  if (delta <= 0.0 || delta >= 1.0) {
+    return InvalidArgumentError("MoG blob: δ out of range");
+  }
+  PldOptions options;
+  PLP_ASSIGN_OR_RETURN(options.log2_grid_size, reader.I32());
+  PLP_ASSIGN_OR_RETURN(options.grid_range, reader.F64());
+  if (options.log2_grid_size < 4 || options.log2_grid_size > 24 ||
+      !(options.grid_range > 0.0)) {
+    return InvalidArgumentError("MoG blob: degenerate grid options");
+  }
+  PLP_ASSIGN_OR_RETURN(const uint64_t count, reader.U64());
+  if (count > kMaxEntries) {
+    return InvalidArgumentError("MoG blob: entry count too large");
+  }
+  MogAccountant accountant(delta, options);
+  for (uint64_t i = 0; i < count; ++i) {
+    MogRound round;
+    PLP_ASSIGN_OR_RETURN(const uint8_t sampling, reader.U8());
+    if (sampling != static_cast<uint8_t>(MogSampling::kPoisson) &&
+        sampling != static_cast<uint8_t>(MogSampling::kFixedBatch)) {
+      return InvalidArgumentError("MoG blob: unknown sampling scheme");
+    }
+    round.sampling = static_cast<MogSampling>(sampling);
+    PLP_ASSIGN_OR_RETURN(round.sampling_ratio, reader.F64());
+    PLP_ASSIGN_OR_RETURN(round.batch_size, reader.I64());
+    PLP_ASSIGN_OR_RETURN(round.population, reader.I64());
+    PLP_ASSIGN_OR_RETURN(round.noise_multiplier, reader.F64());
+    PLP_ASSIGN_OR_RETURN(round.split_factor, reader.I32());
+    PLP_ASSIGN_OR_RETURN(round.steps, reader.I64());
+    PLP_RETURN_IF_ERROR(accountant.AddRounds(round));
+  }
+  return accountant;
+}
+
+}  // namespace plp::privacy

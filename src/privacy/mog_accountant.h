@@ -1,0 +1,122 @@
+#ifndef PLP_PRIVACY_MOG_ACCOUNTANT_H_
+#define PLP_PRIVACY_MOG_ACCOUNTANT_H_
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "privacy/pld_grid.h"
+
+namespace plp::privacy {
+
+/// How round participants are drawn, as the MoG accountant models it.
+enum class MogSampling : uint8_t {
+  kPoisson = 1,     ///< each element independently with probability q
+  kFixedBatch = 2,  ///< exactly B of N users drawn without replacement
+};
+
+/// One coalesced run of identical Mixture-of-Gaussians rounds.
+struct MogRound {
+  MogSampling sampling = MogSampling::kPoisson;
+  /// Poisson: per-element participation probability q in (0, 1].
+  /// Fixed batch: recorded as B/N (informational; the weights use B, N).
+  double sampling_ratio = 0.0;
+  int64_t batch_size = 0;       ///< B (fixed batch only; 0 under Poisson)
+  int64_t population = 0;       ///< N users (fixed batch only; 0 otherwise)
+  double noise_multiplier = 0;  ///< σ relative to the joint sensitivity ω·C
+  int32_t split_factor = 1;     ///< ω: the protected user's element count
+  int64_t steps = 0;
+
+  /// Same mechanism parameters (everything but the step count)?
+  bool SameMechanism(const MogRound& other) const;
+};
+
+/// Tight group-level (ε, δ) accounting for the subsampled Gaussian
+/// mechanism via the Mixture-of-Gaussians reduction (Ganesh, "Tight
+/// Group-Level DP Guarantees for DP-SGD with Sampling via Mixture of
+/// Gaussians Mechanisms", arXiv:2401.10294).
+///
+/// The protected unit is a user whose data enters a round as ω elements
+/// (the ω bucket parts produced by the Grouper's split), each clipped to
+/// C, so the joint l2 sensitivity is ω·C. In units where ω·C = 1 and the
+/// noise stddev is the effective multiplier σ, one round is dominated by
+///
+///   P = Σ_{i=0..ω} w_i · N(i/ω, σ²)   vs   Q = N(0, σ²),
+///
+/// where i counts the user's participating elements and the weights are
+/// the sampling scheme's participation law:
+///   * Poisson:     w_i = Binomial(ω, q) — each element enters the round
+///                  independently with probability q;
+///   * fixed batch: w_i = Hypergeometric(N·ω, ω, B·ω) — B·ω of the N·ω
+///                  elements drawn without replacement.
+/// At ω = 1 under Poisson this is exactly the (1−q)N(0,σ²) + qN(1,σ²)
+/// dominating pair of the pld_fft accountant — strictly tighter than the
+/// classic RDP conversion — and for ω > 1 the mixture's mass at partial
+/// shifts i/ω < 1 is what the classic ω·C-sensitivity bound throws away.
+///
+/// The privacy loss L(x) = log(Σ_i a_i t^i), t = e^{x·u/σ²}, u = 1/ω,
+/// a_i = w_i·e^{−i²u²/(2σ²)}, is strictly increasing; its inverse is
+/// found by Newton on the monotone convex polynomial Σ a_i t^i = e^s from
+/// the upper bracket t ≤ (e^s/a_ω)^{1/ω}. The PLD is discretized on the
+/// shared pessimistic loss grid (privacy/pld_grid.h) and composed across
+/// rounds by DFT pointwise powers, exactly like the pld_fft accountant —
+/// so ε estimates err high, never low, under the grid's control knobs.
+///
+/// This backs the pipeline's "mog" Accountant stage — the only stage
+/// accountant that models fixed-batch sampling or ω > 1 tightly.
+class MogAccountant {
+ public:
+  /// `delta` is the fixed δ of the (ε, δ) guarantee, in (0, 1). Aborts on
+  /// out-of-range δ or degenerate grid options.
+  explicit MogAccountant(double delta, const PldOptions& options = {});
+
+  /// Accumulates `round.steps` rounds of `round`'s mechanism. Consecutive
+  /// same-mechanism runs coalesce into one entry. Rejects non-positive
+  /// steps, σ or ω, a Poisson ratio outside (0, 1], and a fixed batch
+  /// without 1 <= B <= N.
+  Status AddRounds(const MogRound& round);
+
+  /// Smallest grid-resolvable ε such that the composition so far is
+  /// (ε, δ)-DP under this discretization. 0 before any round; +infinity
+  /// if even ε = grid_range cannot meet δ.
+  double CumulativeEpsilon() const;
+
+  /// δ(ε) of the composition so far (test/diagnostic surface).
+  double DeltaAtEpsilon(double epsilon) const;
+
+  double delta() const { return delta_; }
+  int64_t total_steps() const { return total_steps_; }
+  const std::vector<MogRound>& entries() const { return entries_; }
+
+  /// Serializes δ, the grid options, and the coalesced entries. The PLD
+  /// discretizations are deterministic functions of those, so a restored
+  /// accountant answers CumulativeEpsilon bit-identically. The blob is
+  /// tagged ("MOG1"), so restoring an RDP or PLD blob here (or vice
+  /// versa) fails instead of misparsing.
+  void SaveState(ByteWriter& writer) const;
+  static Result<MogAccountant> Restore(ByteReader& reader);
+
+ private:
+  struct RoundPld {
+    MogRound round;  ///< steps field unused (cache key is the mechanism)
+    std::vector<std::complex<double>> dft;  ///< DFT of one round's PLD
+    double inf_mass = 0.0;                  ///< P[L(x) > grid_range]
+  };
+
+  const RoundPld& RoundPldFor(const MogRound& round) const;
+  /// Composed PLD over all entries: the finite grid part and the total
+  /// truncated mass. Empty composition → point mass at loss 0.
+  void Compose(std::vector<double>& pmf, double& inf_mass) const;
+
+  double delta_;
+  PldOptions options_;
+  std::vector<MogRound> entries_;
+  int64_t total_steps_ = 0;
+  mutable std::vector<RoundPld> step_cache_;
+};
+
+}  // namespace plp::privacy
+
+#endif  // PLP_PRIVACY_MOG_ACCOUNTANT_H_

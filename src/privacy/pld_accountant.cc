@@ -5,14 +5,17 @@
 #include <limits>
 
 #include "common/check.h"
+#include "privacy/pld_grid.h"
 
 namespace plp::privacy {
 namespace {
 
+using pld_grid::Fft;
+using pld_grid::IntPow;
+using pld_grid::StdNormalCdf;
+
 constexpr uint32_t kBlobMagic = 0x31444C50;  // "PLD1" little-endian
 constexpr uint64_t kMaxEntries = 1u << 20;
-
-double StdNormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
 
 /// CDF of the dominating distribution P = (1−q)N(0,σ²) + qN(1,σ²).
 double UpperCdf(double q, double sigma, double x) {
@@ -27,47 +30,6 @@ double LossInverse(double q, double sigma, double s) {
   const double shifted = std::exp(s) - (1.0 - q);
   if (shifted <= 0.0) return -std::numeric_limits<double>::infinity();
   return 0.5 + sigma * sigma * std::log(shifted / q);
-}
-
-/// In-place iterative radix-2 FFT (inverse = true divides by n at the
-/// end). data.size() must be a power of two.
-void Fft(std::vector<std::complex<double>>& data, bool inverse) {
-  const size_t n = data.size();
-  for (size_t i = 1, j = 0; i < n; ++i) {
-    size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(data[i], data[j]);
-  }
-  for (size_t len = 2; len <= n; len <<= 1) {
-    const double angle = (inverse ? 2.0 : -2.0) * M_PI /
-                         static_cast<double>(len);
-    const std::complex<double> root(std::cos(angle), std::sin(angle));
-    for (size_t i = 0; i < n; i += len) {
-      std::complex<double> w(1.0, 0.0);
-      for (size_t k = 0; k < len / 2; ++k) {
-        const std::complex<double> even = data[i + k];
-        const std::complex<double> odd = data[i + k + len / 2] * w;
-        data[i + k] = even + odd;
-        data[i + k + len / 2] = even - odd;
-        w *= root;
-      }
-    }
-  }
-  if (inverse) {
-    for (auto& v : data) v /= static_cast<double>(n);
-  }
-}
-
-/// z^k for integer k >= 1 in polar form (exact for integer exponents:
-/// e^{ik(θ+2πm)} = e^{ikθ}).
-std::complex<double> IntPow(std::complex<double> z, int64_t k) {
-  const double r = std::abs(z);
-  if (r == 0.0) return {0.0, 0.0};
-  const double theta = std::arg(z);
-  const double magnitude = std::exp(static_cast<double>(k) * std::log(r));
-  const double phase = static_cast<double>(k) * theta;
-  return {magnitude * std::cos(phase), magnitude * std::sin(phase)};
 }
 
 }  // namespace
@@ -180,18 +142,8 @@ double PldAccountant::DeltaAtEpsilon(double epsilon) const {
   std::vector<double> pmf;
   double inf_mass = 0.0;
   Compose(pmf, inf_mass);
-  const size_t n = pmf.size();
-  const double range = options_.grid_range;
-  const double width = 2.0 * range / static_cast<double>(n);
-  double tail = 0.0;
-  // Iterate from the top of the grid down to the first edge ≤ ε; the
-  // integrand (1 − e^{ε−s}) is positive only for s > ε.
-  for (size_t j = n; j-- > 0;) {
-    const double edge = -range + static_cast<double>(j + 1) * width;
-    if (edge <= epsilon) break;
-    tail += pmf[j] * (1.0 - std::exp(epsilon - edge));
-  }
-  return std::min(1.0, inf_mass + tail);
+  return pld_grid::DeltaAtEpsilon(pmf, inf_mass, options_.grid_range,
+                                  epsilon);
 }
 
 double PldAccountant::CumulativeEpsilon() const {
@@ -199,50 +151,8 @@ double PldAccountant::CumulativeEpsilon() const {
   std::vector<double> pmf;
   double inf_mass = 0.0;
   Compose(pmf, inf_mass);
-  const size_t n = pmf.size();
-  const double range = options_.grid_range;
-  const double width = 2.0 * range / static_cast<double>(n);
-  // Precompute suffix sums so each δ(ε) probe is O(log n): for bins above
-  // a cut index c, δ = Σ_{j≥c} pmf[j] − e^ε Σ_{j≥c} pmf[j]·e^{−s_j}.
-  std::vector<double> suffix_mass(n + 1, 0.0);
-  std::vector<double> suffix_weighted(n + 1, 0.0);
-  for (size_t j = n; j-- > 0;) {
-    const double edge = -range + static_cast<double>(j + 1) * width;
-    suffix_mass[j] = suffix_mass[j + 1] + pmf[j];
-    suffix_weighted[j] = suffix_weighted[j + 1] + pmf[j] * std::exp(-edge);
-  }
-  const auto delta_at = [&](double eps) {
-    // First bin whose right edge exceeds eps.
-    const double position = (eps + range) / width;
-    size_t cut = 0;
-    if (position >= static_cast<double>(n)) {
-      cut = n;
-    } else if (position > 0.0) {
-      cut = static_cast<size_t>(position);
-      // Edges are s_j = −R + (j+1)Δ; bin j participates iff s_j > eps.
-      const double edge = -range + static_cast<double>(cut + 1) * width;
-      if (edge <= eps) ++cut;
-    }
-    if (cut >= n) return std::min(1.0, inf_mass);
-    const double tail =
-        suffix_mass[cut] - std::exp(eps) * suffix_weighted[cut];
-    return std::min(1.0, inf_mass + std::max(0.0, tail));
-  };
-  if (delta_at(range) > delta_) {
-    return std::numeric_limits<double>::infinity();
-  }
-  double lo = 0.0;
-  double hi = range;
-  if (delta_at(lo) <= delta_) return 0.0;
-  for (int iter = 0; iter < 100; ++iter) {
-    const double mid = 0.5 * (lo + hi);
-    if (delta_at(mid) <= delta_) {
-      hi = mid;
-    } else {
-      lo = mid;
-    }
-  }
-  return hi;
+  return pld_grid::EpsilonForDelta(pmf, inf_mass, options_.grid_range,
+                                   delta_);
 }
 
 void PldAccountant::SaveState(ByteWriter& writer) const {

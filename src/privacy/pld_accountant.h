@@ -7,23 +7,11 @@
 
 #include "common/serialize.h"
 #include "common/status.h"
+#include "privacy/pld_grid.h"
 
 namespace plp::privacy {
-
-/// Discretization of the privacy-loss distribution (Koskela et al.,
-/// "Computing Tight Differential Privacy Guarantees Using FFT",
-/// arXiv:1906.03049). Losses are binned on a uniform grid over
-/// (−grid_range, grid_range]; n-fold composition is a pointwise power in
-/// the Fourier domain. Mass falling past either end of the grid is
-/// handled pessimistically: the right tail contributes to δ in full, the
-/// left tail is rounded up into the lowest bin. Accuracy degrades (toward
-/// over-estimating ε, never under the discretization's control knobs)
-/// when the composed loss mass approaches ±grid_range — pick grid_range
-/// comfortably above the target ε.
-struct PldOptions {
-  int32_t log2_grid_size = 15;  ///< n = 2^15 loss bins
-  double grid_range = 32.0;     ///< losses discretized on (−R, R]
-};
+// PldOptions (the loss-grid discretization knobs) lives in
+// privacy/pld_grid.h, shared with the MoG accountant.
 
 /// One coalesced run of identical subsampled-Gaussian steps.
 struct PldEntry {

@@ -114,6 +114,23 @@ TEST(SnapshotCodecTest, EveryTruncationIsRejected) {
   EXPECT_FALSE(DecodeSnapshot(bytes + "x").ok());
 }
 
+TEST(SnapshotCodecTest, SamplingSchemeRoundTrips) {
+  for (const SamplingScheme scheme :
+       {SamplingScheme::kPoisson, SamplingScheme::kFixedBatch}) {
+    TrainerSnapshot snapshot = MakeSnapshot(9, 5);
+    snapshot.scheme = scheme;
+    auto decoded = DecodeSnapshot(EncodeSnapshot(snapshot));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+    EXPECT_EQ(decoded->scheme, scheme);
+  }
+}
+
+TEST(SnapshotCodecTest, UnknownSamplingSchemeByteRejected) {
+  TrainerSnapshot snapshot = MakeSnapshot(9, 5);
+  snapshot.scheme = static_cast<SamplingScheme>(7);
+  EXPECT_FALSE(DecodeSnapshot(EncodeSnapshot(snapshot)).ok());
+}
+
 TEST(SnapshotCodecTest, NegativeStepRejected) {
   TrainerSnapshot snapshot = MakeSnapshot(7, 1);
   snapshot.step = -1;

@@ -309,6 +309,97 @@ TEST_F(CheckpointResumeTest, ResumeRejectsDeltaMismatch) {
   EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST_F(CheckpointResumeTest, ResumeRejectsSamplingSchemeMismatch) {
+  const data::TrainingCorpus corpus = MakeCorpus();
+  PlpConfig poisson = MakePrivateConfig();
+  poisson.accountant = "mog";  // the only accountant legal for both schemes
+  Rng rng(kSeed);
+  ASSERT_TRUE(PlpTrainer(poisson)
+                  .Train(corpus, rng,
+                         [](const StepMetrics& m, const sgns::SgnsModel&) {
+                           return m.step < 3;
+                         },
+                         Options(false))
+                  .ok());
+
+  // The checkpointed RNG stream and the accounted mechanism both belong to
+  // the Poisson run; replaying them under fixed-batch sampling would be a
+  // different mechanism with the same ledger.
+  PlpConfig fixed = poisson;
+  fixed.sampling_scheme = SamplingScheme::kFixedBatch;
+  Rng resumed_rng(kSeed);
+  auto resumed =
+      PlpTrainer(fixed).Train(corpus, resumed_rng, nullptr, Options(true));
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(resumed.status().message().find("sampling scheme"),
+            std::string::npos)
+      << resumed.status().message();
+}
+
+TEST_F(CheckpointResumeTest, ResumeRejectsCrossAccountantBlob) {
+  const data::TrainingCorpus corpus = MakeCorpus();
+  Rng rng(kSeed);
+  ASSERT_TRUE(PlpTrainer(MakePrivateConfig())  // accountant = "rdp"
+                  .Train(corpus, rng,
+                         [](const StepMetrics& m, const sgns::SgnsModel&) {
+                           return m.step < 3;
+                         },
+                         Options(false))
+                  .ok());
+
+  // An RDP ledger blob must not restore into the MoG (or PLD) accountant:
+  // the blob magics differ and the resume fails instead of misparsing.
+  for (const char* accountant : {"mog", "pld_fft"}) {
+    PlpConfig other = MakePrivateConfig();
+    other.accountant = accountant;
+    Rng resumed_rng(kSeed);
+    auto resumed =
+        PlpTrainer(other).Train(corpus, resumed_rng, nullptr, Options(true));
+    ASSERT_FALSE(resumed.ok()) << accountant;
+    EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument)
+        << accountant;
+  }
+}
+
+/// The full resume contract under the new pipeline pieces at once: MoG
+/// accounting plus fixed-batch sampling. The resumed run must land on the
+/// uninterrupted run's model and ε trajectory bit-for-bit.
+TEST_F(CheckpointResumeTest, MogFixedBatchResumeIsBitIdentical) {
+  const data::TrainingCorpus corpus = MakeCorpus();
+  PlpConfig config = MakePrivateConfig();
+  config.accountant = "mog";
+  config.sampling_scheme = SamplingScheme::kFixedBatch;
+  const PlpTrainer trainer(config);
+
+  Rng reference_rng(kSeed);
+  auto reference = trainer.Train(corpus, reference_rng);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(reference->steps_executed, kMaxSteps);
+
+  Rng interrupted_rng(kSeed);
+  auto interrupted = trainer.Train(
+      corpus, interrupted_rng,
+      [](const StepMetrics& m, const sgns::SgnsModel&) { return m.step < 5; },
+      Options(/*resume=*/false));
+  ASSERT_TRUE(interrupted.ok());
+  ASSERT_EQ(interrupted->steps_executed, 5);
+
+  Rng resumed_rng(kSeed + 999);
+  auto resumed = trainer.Train(corpus, resumed_rng, nullptr,
+                               Options(/*resume=*/true));
+  ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+  EXPECT_EQ(resumed->steps_executed, kMaxSteps);
+  EXPECT_TRUE(ModelsBitwiseEqual(resumed->model, reference->model));
+  for (const StepMetrics& metrics : resumed->history) {
+    const StepMetrics& expected =
+        reference->history[static_cast<size_t>(metrics.step - 1)];
+    EXPECT_EQ(metrics.epsilon_spent, expected.epsilon_spent)
+        << "step " << metrics.step;
+  }
+  EXPECT_EQ(resumed->epsilon_spent, reference->epsilon_spent);
+}
+
 TEST_F(CheckpointResumeTest, NonPrivateResumeIsBitIdentical) {
   const data::TrainingCorpus corpus = MakeCorpus();
   NonPrivateConfig config;

@@ -61,6 +61,70 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.name;
     });
 
+TEST(PlpConfigTest, ParseSamplingSchemeRoundTrips) {
+  auto poisson = ParseSamplingScheme("poisson");
+  ASSERT_TRUE(poisson.ok());
+  EXPECT_EQ(*poisson, SamplingScheme::kPoisson);
+  EXPECT_STREQ(SamplingSchemeName(*poisson), "poisson");
+
+  auto fixed = ParseSamplingScheme("fixed_batch");
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_EQ(*fixed, SamplingScheme::kFixedBatch);
+  EXPECT_STREQ(SamplingSchemeName(*fixed), "fixed_batch");
+
+  auto bad = ParseSamplingScheme("bernoulli");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("poisson, fixed_batch"),
+            std::string::npos);
+}
+
+TEST(PlpConfigTest, AcceptsEverySupportedSchemeAccountantPair) {
+  for (const char* accountant : {"rdp", "pld_fft", "mog"}) {
+    PlpConfig config;
+    config.accountant = accountant;
+    EXPECT_TRUE(config.Validate().ok()) << accountant;
+  }
+  PlpConfig config;
+  config.sampling_scheme = SamplingScheme::kFixedBatch;
+  config.accountant = "mog";
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+/// Poisson-only accountants must reject fixed-batch sampling, with a
+/// structured message naming the valid pairs.
+TEST(PlpConfigTest, RejectsFixedBatchUnderPoissonOnlyAccountants) {
+  for (const char* accountant : {"rdp", "pld_fft"}) {
+    PlpConfig config;
+    config.sampling_scheme = SamplingScheme::kFixedBatch;
+    config.accountant = accountant;
+    const Status status = config.Validate();
+    ASSERT_FALSE(status.ok()) << accountant;
+    EXPECT_NE(status.message().find("models Poisson sampling only"),
+              std::string::npos)
+        << status.message();
+    EXPECT_NE(status.message().find(
+                  "poisson x {rdp, pld_fft, mog} and fixed_batch x {mog}"),
+              std::string::npos)
+        << status.message();
+  }
+}
+
+/// Validation collects every violation into one message instead of
+/// stopping at the first: a bad pairing and a bad σ surface together.
+TEST(PlpConfigTest, CollectsPairingViolationWithOthers) {
+  PlpConfig config;
+  config.sampling_scheme = SamplingScheme::kFixedBatch;
+  config.accountant = "rdp";
+  config.noise_scale = -1.0;
+  const Status status = config.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("models Poisson sampling only"),
+            std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("noise_scale"), std::string::npos)
+      << status.message();
+}
+
 TEST(PlpConfigTest, SigmaZeroIsAllowedByValidation) {
   // σ = 0 is a legal configuration value; the accountant then reports an
   // infinite per-step cost and training stops immediately.

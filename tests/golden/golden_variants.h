@@ -129,6 +129,29 @@ inline std::vector<PrivateVariant> PrivateVariants() {
     c.sgns.negative_sampling = sgns::NegativeSamplingKind::kUnigram;
     variants.push_back({"unigram", c});
   }
+  {
+    // Group-level Mixture-of-Gaussians accountant (PR 10). Appended after
+    // "unigram" — same convention: earlier pins keep position and value.
+    core::PlpConfig c = GoldenPrivateBase();
+    c.accountant = "mog";
+    variants.push_back({"mog", c});
+  }
+  {
+    // MoG under ω = 2: the accountant sees the partial-participation
+    // structure the classic ω·C argument discards.
+    core::PlpConfig c = GoldenPrivateBase();
+    c.accountant = "mog";
+    c.split_factor = 2;
+    variants.push_back({"mog_split2", c});
+  }
+  {
+    // Fixed-batch sampling — only accountable by mog; also exercises the
+    // FixedBatchSampler stage end to end.
+    core::PlpConfig c = GoldenPrivateBase();
+    c.accountant = "mog";
+    c.sampling_scheme = core::SamplingScheme::kFixedBatch;
+    variants.push_back({"mog_fixed_batch", c});
+  }
   return variants;
 }
 

@@ -1,0 +1,159 @@
+// The engine's split-bound contract (Section 4.2, Case 2): the realized ω
+// of every executed round — the largest number of distinct buckets any
+// single user's data reached — must never exceed the configured ω that
+// the σ·ω·C noise calibration and the accountant's group-level analysis
+// assume. The engine measures it after every Group, surfaces it in
+// StepMetrics, and refuses to execute a violating round.
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/grouping.h"
+#include "data/corpus.h"
+#include "core/plp_trainer.h"
+#include "data/fixtures.h"
+#include "pipeline/engine.h"
+#include "pipeline/standard_stages.h"
+
+namespace plp::pipeline {
+namespace {
+
+data::TrainingCorpus TestCorpus() {
+  data::FixtureCorpusOptions options;
+  options.num_users = 48;
+  options.num_locations = 24;
+  options.neighborhood = 4;
+  return data::MakeFixtureCorpus(777, options);
+}
+
+core::PlpConfig TestConfig(int32_t split_factor) {
+  core::PlpConfig config;
+  config.sgns.embedding_dim = 8;
+  config.sgns.negatives = 4;
+  config.sampling_probability = 0.25;
+  config.grouping_factor = 2;
+  config.split_factor = split_factor;
+  config.noise_scale = 1.2;
+  config.clip_norm = 0.5;
+  config.epsilon_budget = 1e9;
+  config.batch_size = 8;
+  config.max_steps = 10;
+  return config;
+}
+
+/// Runs a training and returns the per-step realized ω trace.
+std::vector<int32_t> RealizedTrace(core::PlpConfig config, int32_t threads,
+                                   const data::TrainingCorpus& corpus) {
+  config.num_threads = threads;
+  std::vector<int32_t> trace;
+  Rng rng(1234);
+  auto result = core::PlpTrainer(config).Train(
+      corpus, rng,
+      [&trace](const core::StepMetrics& metrics, const sgns::SgnsModel&) {
+        trace.push_back(metrics.realized_split_factor);
+        return true;
+      });
+  EXPECT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(trace.size(), static_cast<size_t>(result->steps_executed));
+  return trace;
+}
+
+/// Every executed round of a private run reports a realized ω in
+/// [1, configured ω], and the trace is bitwise identical at every thread
+/// count — the measurement is part of the deterministic step, not a race.
+TEST(SplitContractTest, RealizedOmegaBoundedAndThreadCountDeterministic) {
+  const data::TrainingCorpus corpus = TestCorpus();
+  for (int32_t omega : {1, 2}) {
+    const std::vector<int32_t> t1 =
+        RealizedTrace(TestConfig(omega), 1, corpus);
+    ASSERT_FALSE(t1.empty());
+    for (size_t i = 0; i < t1.size(); ++i) {
+      EXPECT_GE(t1[i], 1) << "step " << (i + 1) << " omega=" << omega;
+      EXPECT_LE(t1[i], omega) << "step " << (i + 1);
+    }
+    EXPECT_EQ(RealizedTrace(TestConfig(omega), 4, corpus), t1)
+        << "omega=" << omega;
+    EXPECT_EQ(RealizedTrace(TestConfig(omega), 8, corpus), t1)
+        << "omega=" << omega;
+  }
+}
+
+/// With ω = 2 and the paper's round-robin sentence split, rounds where a
+/// sampled user has data in two buckets must actually occur — otherwise
+/// the bound assertion above is vacuous.
+TEST(SplitContractTest, SplitTwoActuallySplitsSomeRounds) {
+  const data::TrainingCorpus corpus = TestCorpus();
+  const std::vector<int32_t> trace =
+      RealizedTrace(TestConfig(2), 1, corpus);
+  int32_t max_realized = 0;
+  for (int32_t r : trace) max_realized = std::max(max_realized, r);
+  EXPECT_EQ(max_realized, 2);
+}
+
+/// A Grouper that duplicates every sampled user's sentences into TWO
+/// buckets while the policy promises ω = 1 — exactly the unsound
+/// "split without rescaling noise" configuration of [21] the engine must
+/// refuse to execute.
+class ViolatingGrouper : public Grouper {
+ public:
+  std::vector<core::Bucket> Group(const data::CorpusView& corpus,
+                                  const std::vector<int32_t>& sampled,
+                                  Rng&) override {
+    std::vector<core::Bucket> buckets(2);
+    std::vector<std::span<const int32_t>> sentences;
+    for (int32_t user : sampled) {
+      sentences.clear();
+      corpus.AppendUserSentences(user, sentences);
+      for (core::Bucket& bucket : buckets) {
+        bucket.users.push_back(user);
+        for (const auto& sentence : sentences) {
+          bucket.sentences.emplace_back(sentence.begin(), sentence.end());
+        }
+      }
+    }
+    return buckets;
+  }
+};
+
+TEST(SplitContractTest, EngineRefusesOmegaViolatingGrouper) {
+  const data::TrainingCorpus corpus = TestCorpus();
+  const core::PlpConfig config = TestConfig(1);
+  ASSERT_TRUE(config.Validate().ok());
+
+  StageSet stages = MakePrivateStages(config);
+  stages.grouper = std::make_unique<ViolatingGrouper>();
+  EngineConfig engine_config = MakePrivateEngineConfig(config);
+  ASSERT_TRUE(engine_config.policy.enforce_split_bound);
+
+  Rng rng(1234);
+  TrainingEngine engine(std::move(engine_config), std::move(stages));
+  auto result = engine.Train(corpus, rng, nullptr, {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("split bound"), std::string::npos)
+      << result.status().message();
+}
+
+/// The honest ConfiguredGrouper under the same engine passes the bound
+/// check — the negative test above fails because of the grouper, not the
+/// harness.
+TEST(SplitContractTest, EngineAcceptsHonestGrouper) {
+  const data::TrainingCorpus corpus = TestCorpus();
+  core::PlpConfig config = TestConfig(1);
+  config.max_steps = 3;
+  ASSERT_TRUE(config.Validate().ok());
+
+  Rng rng(1234);
+  TrainingEngine engine(MakePrivateEngineConfig(config),
+                        MakePrivateStages(config));
+  auto result = engine.Train(corpus, rng, nullptr, {});
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->steps_executed, 3);
+}
+
+}  // namespace
+}  // namespace plp::pipeline

@@ -1,0 +1,331 @@
+#include "privacy/mog_accountant.h"
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "core/plp_trainer.h"
+#include "data/fixtures.h"
+#include "privacy/ledger.h"
+#include "privacy/pld_accountant.h"
+
+namespace plp::privacy {
+namespace {
+
+constexpr double kDelta = 1e-5;
+
+MogRound PoissonRound(double q, double sigma, int32_t omega, int64_t steps) {
+  MogRound round;
+  round.sampling = MogSampling::kPoisson;
+  round.sampling_ratio = q;
+  round.noise_multiplier = sigma;
+  round.split_factor = omega;
+  round.steps = steps;
+  return round;
+}
+
+MogRound FixedBatchRound(int64_t batch, int64_t population, double sigma,
+                         int32_t omega, int64_t steps) {
+  MogRound round;
+  round.sampling = MogSampling::kFixedBatch;
+  round.sampling_ratio =
+      static_cast<double>(batch) / static_cast<double>(population);
+  round.batch_size = batch;
+  round.population = population;
+  round.noise_multiplier = sigma;
+  round.split_factor = omega;
+  round.steps = steps;
+  return round;
+}
+
+TEST(MogAccountantTest, ZeroBeforeAnyRounds) {
+  MogAccountant mog(kDelta);
+  EXPECT_EQ(mog.CumulativeEpsilon(), 0.0);
+  EXPECT_EQ(mog.total_steps(), 0);
+  EXPECT_LE(mog.DeltaAtEpsilon(0.0), kDelta);
+}
+
+TEST(MogAccountantTest, RejectsInvalidRounds) {
+  MogAccountant mog(kDelta);
+  EXPECT_FALSE(mog.AddRounds(PoissonRound(0.0, 1.0, 1, 1)).ok());
+  EXPECT_FALSE(mog.AddRounds(PoissonRound(1.1, 1.0, 1, 1)).ok());
+  EXPECT_FALSE(mog.AddRounds(PoissonRound(0.5, 0.0, 1, 1)).ok());
+  EXPECT_FALSE(mog.AddRounds(PoissonRound(0.5, 1.0, 0, 1)).ok());
+  EXPECT_FALSE(mog.AddRounds(PoissonRound(0.5, 1.0, 65, 1)).ok());
+  EXPECT_FALSE(mog.AddRounds(PoissonRound(0.5, 1.0, 1, 0)).ok());
+  // Fixed batch requires 1 <= B <= N.
+  EXPECT_FALSE(mog.AddRounds(FixedBatchRound(0, 10, 1.0, 1, 1)).ok());
+  EXPECT_FALSE(mog.AddRounds(FixedBatchRound(11, 10, 1.0, 1, 1)).ok());
+  EXPECT_EQ(mog.total_steps(), 0);
+}
+
+TEST(MogAccountantTest, EpsilonIncreasesWithSteps) {
+  for (const MogRound& round :
+       {PoissonRound(0.1, 1.5, 2, 25), FixedBatchRound(5, 50, 1.5, 2, 25)}) {
+    MogAccountant mog(kDelta);
+    double previous = 0.0;
+    for (int run = 0; run < 6; ++run) {
+      ASSERT_TRUE(mog.AddRounds(round).ok());
+      const double eps = mog.CumulativeEpsilon();
+      EXPECT_GT(eps, previous) << "after " << (run + 1) * 25 << " steps";
+      EXPECT_TRUE(std::isfinite(eps));
+      previous = eps;
+    }
+  }
+}
+
+TEST(MogAccountantTest, EpsilonDecreasesInSigma) {
+  double previous = std::numeric_limits<double>::infinity();
+  for (double sigma : {1.0, 1.5, 2.0, 3.0}) {
+    MogAccountant mog(kDelta);
+    ASSERT_TRUE(mog.AddRounds(PoissonRound(0.1, sigma, 2, 50)).ok());
+    const double eps = mog.CumulativeEpsilon();
+    EXPECT_LT(eps, previous) << "sigma=" << sigma;
+    previous = eps;
+  }
+}
+
+/// σ is the multiplier relative to the JOINT sensitivity ω·C, so the
+/// released noise already scales with ω and the classic bound is flat in
+/// ω. The mixture keeps the partial-participation structure (mass at
+/// shifts i/ω < 1), which only ever helps: ε must be non-increasing in ω.
+TEST(MogAccountantTest, EpsilonNonIncreasingInOmega) {
+  double previous = std::numeric_limits<double>::infinity();
+  for (int32_t omega : {1, 2, 4, 8}) {
+    MogAccountant mog(kDelta);
+    ASSERT_TRUE(mog.AddRounds(PoissonRound(0.25, 1.2, omega, 40)).ok());
+    const double eps = mog.CumulativeEpsilon();
+    EXPECT_LE(eps, previous + 1e-12) << "omega=" << omega;
+    EXPECT_GT(eps, 0.0);
+    previous = eps;
+  }
+}
+
+/// q = 1, ω = 1 is a plain (unsubsampled) Gaussian, whose δ(ε) has the
+/// closed form Φ(1/(2σ) − εσ) − e^ε·Φ(−1/(2σ) − εσ) [Balle & Wang 2018].
+/// The pessimistic grid may overshoot slightly, never undercut.
+TEST(MogAccountantTest, MatchesAnalyticGaussianAtQOne) {
+  const double sigma = 2.0;
+  const auto analytic_delta = [&](double eps) {
+    const auto phi = [](double x) {
+      return 0.5 * std::erfc(-x / std::sqrt(2.0));
+    };
+    return phi(1.0 / (2.0 * sigma) - eps * sigma) -
+           std::exp(eps) * phi(-1.0 / (2.0 * sigma) - eps * sigma);
+  };
+  double lo = 0.0, hi = 16.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (analytic_delta(mid) > kDelta ? lo : hi) = mid;
+  }
+  const double analytic_eps = hi;
+
+  MogAccountant mog(kDelta);
+  ASSERT_TRUE(mog.AddRounds(PoissonRound(1.0, sigma, 1, 1)).ok());
+  const double mog_eps = mog.CumulativeEpsilon();
+  EXPECT_GE(mog_eps, analytic_eps - 1e-6);
+  EXPECT_LE(mog_eps, analytic_eps + 0.02);
+}
+
+/// Drawing all N of N users without replacement is also a sure thing:
+/// fixed batch at B = N must agree with Poisson at q = 1 on the grid.
+TEST(MogAccountantTest, FullBatchEqualsQOnePoisson) {
+  MogAccountant poisson(kDelta);
+  ASSERT_TRUE(poisson.AddRounds(PoissonRound(1.0, 1.5, 2, 10)).ok());
+  MogAccountant fixed(kDelta);
+  ASSERT_TRUE(fixed.AddRounds(FixedBatchRound(20, 20, 1.5, 2, 10)).ok());
+  EXPECT_EQ(fixed.CumulativeEpsilon(), poisson.CumulativeEpsilon());
+}
+
+/// At ω = 1 under Poisson the mixture degenerates to the pld_fft
+/// accountant's (1−q)N(0,σ²) + qN(1,σ²) dominating pair, discretized on
+/// the same grid — the two may differ only by loss-inverse rounding inside
+/// one grid cell.
+TEST(MogAccountantTest, OmegaOnePoissonMatchesPldFft) {
+  const double q = 0.06, sigma = 2.5;
+  const int64_t steps = 150;
+  MogAccountant mog(kDelta);
+  ASSERT_TRUE(mog.AddRounds(PoissonRound(q, sigma, 1, steps)).ok());
+  PldAccountant pld(kDelta);
+  ASSERT_TRUE(pld.AddSteps(q, sigma, steps).ok());
+  const PldOptions options;
+  const double cell = 2.0 * options.grid_range /
+                      static_cast<double>(1 << options.log2_grid_size);
+  EXPECT_NEAR(mog.CumulativeEpsilon(), pld.CumulativeEpsilon(), 4.0 * cell);
+}
+
+/// The tentpole inequality, pinned for the ablation grid: at every
+/// (scheme, ω) cell the MoG ε is at most the classic-RDP ε of the
+/// ω·C-sensitivity argument (which is flat in ω because σ is already the
+/// joint multiplier), and strictly below it at ω = 1 Poisson.
+TEST(MogAccountantTest, GridNeverLooserThanClassicRdp) {
+  const double q = 0.06, sigma = 2.5;
+  const int64_t steps = 200;
+  PrivacyLedger ledger(kDelta);
+  for (int64_t i = 0; i < steps; ++i) {
+    ASSERT_TRUE(ledger.TrackStep(q, sigma).ok());
+  }
+  const double rdp_eps = ledger.CumulativeEpsilon(RdpConversion::kClassic);
+  ASSERT_GT(rdp_eps, 0.0);
+
+  constexpr int64_t kPopulation = 200;
+  for (const MogSampling scheme :
+       {MogSampling::kPoisson, MogSampling::kFixedBatch}) {
+    for (const int32_t omega : {1, 2, 4}) {
+      MogAccountant mog(kDelta);
+      const MogRound round =
+          scheme == MogSampling::kPoisson
+              ? PoissonRound(q, sigma, omega, steps)
+              : FixedBatchRound(static_cast<int64_t>(q * kPopulation),
+                                kPopulation, sigma, omega, steps);
+      ASSERT_TRUE(mog.AddRounds(round).ok());
+      const double mog_eps = mog.CumulativeEpsilon();
+      EXPECT_GT(mog_eps, 0.0);
+      EXPECT_LE(mog_eps, rdp_eps)
+          << "scheme=" << static_cast<int>(scheme) << " omega=" << omega;
+      if (scheme == MogSampling::kPoisson && omega == 1) {
+        EXPECT_LT(mog_eps, rdp_eps);
+      }
+    }
+  }
+}
+
+TEST(MogAccountantTest, CoalescesIdenticalRuns) {
+  MogAccountant mog(kDelta);
+  ASSERT_TRUE(mog.AddRounds(PoissonRound(0.1, 1.5, 2, 10)).ok());
+  ASSERT_TRUE(mog.AddRounds(PoissonRound(0.1, 1.5, 2, 5)).ok());
+  ASSERT_TRUE(mog.AddRounds(FixedBatchRound(5, 50, 1.5, 2, 5)).ok());
+  ASSERT_EQ(mog.entries().size(), 2u);
+  EXPECT_EQ(mog.entries()[0].steps, 15);
+  EXPECT_EQ(mog.total_steps(), 20);
+}
+
+TEST(MogAccountantTest, SaveRestoreRoundTripsBitIdentically) {
+  MogAccountant mog(kDelta);
+  ASSERT_TRUE(mog.AddRounds(PoissonRound(0.06, 2.5, 2, 120)).ok());
+  ASSERT_TRUE(mog.AddRounds(FixedBatchRound(12, 200, 1.8, 4, 40)).ok());
+  ByteWriter writer;
+  mog.SaveState(writer);
+  const std::string blob = writer.Take();
+
+  ByteReader reader(blob);
+  auto restored = MogAccountant::Restore(reader);
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(restored->delta(), mog.delta());
+  EXPECT_EQ(restored->total_steps(), mog.total_steps());
+  // Bit-identity, not approximation: the discretization is deterministic.
+  EXPECT_EQ(restored->CumulativeEpsilon(), mog.CumulativeEpsilon());
+
+  ByteWriter writer2;
+  restored->SaveState(writer2);
+  EXPECT_EQ(writer2.Take(), blob);
+}
+
+TEST(MogAccountantTest, RejectsForeignAndTruncatedBlobs) {
+  {
+    const std::string blob("nonsense-bytes");
+    ByteReader reader(blob);
+    EXPECT_FALSE(MogAccountant::Restore(reader).ok());
+  }
+  {
+    // A pld_fft blob must not parse as a MoG blob, nor vice versa.
+    PldAccountant pld(kDelta);
+    ASSERT_TRUE(pld.AddSteps(0.1, 1.5, 3).ok());
+    ByteWriter writer;
+    pld.SaveState(writer);
+    const std::string blob = writer.Take();
+    ByteReader reader(blob);
+    EXPECT_FALSE(MogAccountant::Restore(reader).ok());
+  }
+  {
+    MogAccountant mog(kDelta);
+    ASSERT_TRUE(mog.AddRounds(PoissonRound(0.1, 1.5, 2, 3)).ok());
+    ByteWriter writer;
+    mog.SaveState(writer);
+    std::string mog_blob = writer.Take();
+    {
+      ByteReader reader(mog_blob);
+      EXPECT_FALSE(PldAccountant::Restore(reader).ok());
+    }
+    mog_blob.resize(mog_blob.size() / 2);  // truncate mid-entry
+    ByteReader reader(mog_blob);
+    EXPECT_FALSE(MogAccountant::Restore(reader).ok());
+  }
+}
+
+/// End-to-end through the trainer facade: selecting "mog" must train, stay
+/// within budget, and — being at least as tight as the RDP moments
+/// ledger — fit no fewer steps into the same ε budget.
+TEST(MogAccountantTest, EngineFitsAtLeastAsManyStepsAsRdp) {
+  data::FixtureCorpusOptions options;
+  options.num_users = 48;
+  options.num_locations = 24;
+  options.neighborhood = 4;
+  const data::TrainingCorpus corpus = data::MakeFixtureCorpus(777, options);
+
+  core::PlpConfig config;
+  config.sgns.embedding_dim = 8;
+  config.sgns.negatives = 4;
+  config.sampling_probability = 0.25;
+  config.grouping_factor = 2;
+  config.noise_scale = 1.2;
+  config.clip_norm = 0.5;
+  config.batch_size = 8;
+  config.epsilon_budget = 4.0;
+  config.max_steps = 64;
+
+  core::PlpConfig rdp = config;
+  rdp.accountant = "rdp";
+  Rng rng_rdp(99);
+  auto rdp_result = core::PlpTrainer(rdp).Train(corpus, rng_rdp);
+  ASSERT_TRUE(rdp_result.ok()) << rdp_result.status().message();
+  ASSERT_EQ(rdp_result->stop_reason, core::StopReason::kBudgetExhausted);
+
+  core::PlpConfig mog = config;
+  mog.accountant = "mog";
+  Rng rng_mog(99);
+  auto mog_result = core::PlpTrainer(mog).Train(corpus, rng_mog);
+  ASSERT_TRUE(mog_result.ok()) << mog_result.status().message();
+
+  EXPECT_GE(mog_result->steps_executed, rdp_result->steps_executed);
+  EXPECT_GT(mog_result->epsilon_spent, 0.0);
+  EXPECT_LE(mog_result->epsilon_spent, config.epsilon_budget);
+}
+
+/// Fixed-batch sampling end to end: the FixedBatchSampler stage plus the
+/// hypergeometric MoG weights — the pairing no Poisson-only accountant
+/// may account — must train to completion.
+TEST(MogAccountantTest, EngineTrainsFixedBatchUnderMog) {
+  data::FixtureCorpusOptions options;
+  options.num_users = 48;
+  options.num_locations = 24;
+  options.neighborhood = 4;
+  const data::TrainingCorpus corpus = data::MakeFixtureCorpus(777, options);
+
+  core::PlpConfig config;
+  config.sgns.embedding_dim = 8;
+  config.sgns.negatives = 4;
+  config.sampling_probability = 0.25;
+  config.grouping_factor = 2;
+  config.noise_scale = 1.2;
+  config.clip_norm = 0.5;
+  config.batch_size = 8;
+  config.epsilon_budget = 1e9;
+  config.max_steps = 8;
+  config.accountant = "mog";
+  config.sampling_scheme = core::SamplingScheme::kFixedBatch;
+  ASSERT_TRUE(config.Validate().ok());
+
+  Rng rng(99);
+  auto result = core::PlpTrainer(config).Train(corpus, rng);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->steps_executed, 8);
+  EXPECT_GT(result->epsilon_spent, 0.0);
+}
+
+}  // namespace
+}  // namespace plp::privacy

@@ -7,7 +7,8 @@
 //             [--embeddings_output=embeddings.plpe] \
 //             [--private=true] [--eps=2] [--delta=2e-4] [--sigma=2.5] \
 //             [--q=0.06] [--lambda=4] [--clip=0.5] [--epochs=100] \
-//             [--max_steps=N] [--accountant=rdp|pld_fft] [--print_config] \
+//             [--max_steps=N] [--accountant=rdp|pld_fft|mog] \
+//             [--sampling_scheme=poisson|fixed_batch] [--print_config] \
 //             [--negative_sampling=uniform|unigram] [--unigram_power=0.75] \
 //             [--min_user_checkins=10] [--min_location_users=2] [--seed=1] \
 //             [--checkpoint_dir=ckpts] [--checkpoint_every_steps=25] \
@@ -73,6 +74,14 @@ plp::core::PlpConfig PrivateConfigFromFlags(const plp::FlagParser& flags) {
   config.grouping_factor = static_cast<int32_t>(flags.GetInt("lambda", 4));
   config.clip_norm = flags.GetDouble("clip", 0.5);
   config.accountant = flags.GetString("accountant", "rdp");
+  // An unknown scheme string keeps the default here; ValidatePrivateFlags
+  // reports it (alongside every config violation) before this config is
+  // ever trained with.
+  if (auto scheme = plp::core::ParseSamplingScheme(
+          flags.GetString("sampling_scheme", "poisson"));
+      scheme.ok()) {
+    config.sampling_scheme = *scheme;
+  }
   config.max_steps = flags.GetInt("max_steps", config.max_steps);
   config.sgns.embedding_dim = static_cast<int32_t>(flags.GetInt("dim", 50));
   config.sgns.negative_sampling = SamplingKindFromFlags(flags);
@@ -89,6 +98,30 @@ plp::core::NonPrivateConfig NonPrivateConfigFromFlags(
   config.sgns.negative_sampling = SamplingKindFromFlags(flags);
   config.sgns.unigram_power = flags.GetDouble("unigram_power", 0.75);
   return config;
+}
+
+/// Validates the private-run flag set, collecting flag-level violations
+/// (an unparseable --sampling_scheme) together with every config-level
+/// violation — including the (scheme, accountant) pairing rule, whose
+/// message names the valid pairs — into one kInvalidArgument.
+plp::Status ValidatePrivateFlags(const plp::FlagParser& flags) {
+  std::vector<std::string> violations;
+  const std::string scheme = flags.GetString("sampling_scheme", "poisson");
+  if (!plp::core::ParseSamplingScheme(scheme).ok()) {
+    violations.emplace_back(
+        "unknown --sampling_scheme (expected poisson or fixed_batch): " +
+        scheme);
+  }
+  if (auto s = PrivateConfigFromFlags(flags).Validate(); !s.ok()) {
+    violations.emplace_back(s.message());
+  }
+  if (violations.empty()) return plp::Status::Ok();
+  std::string message;
+  for (size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) message += "; ";
+    message += violations[i];
+  }
+  return plp::InvalidArgumentError(std::move(message));
 }
 
 /// Validates the data-source flag set, collecting every violation so one
@@ -144,7 +177,7 @@ int main(int argc, char** argv) {
   // a misconfigured run never waits on data loading to learn about the
   // second problem.
   if (is_private) {
-    if (auto s = PrivateConfigFromFlags(flags).Validate(); !s.ok()) {
+    if (auto s = ValidatePrivateFlags(flags); !s.ok()) {
       return Fail(s);
     }
   } else {
