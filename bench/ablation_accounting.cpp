@@ -158,10 +158,12 @@ void Run(int argc, char** argv) {
   table.PrintAligned(std::cout);
 
   // Group-level grid (Section 4.2 Case 2 meets Ganesh's MoG analysis):
-  // under the classic ω·C-sensitivity argument the effective multiplier
-  // already normalizes by ω, so the rdp_classic column is flat in ω —
-  // everything the mixture knows about partial participation is thrown
-  // away. The mog column keeps it, and is the only column defined for
+  // the effective multiplier already normalizes by the joint sensitivity
+  // ω·C, and participation is all-or-nothing (the samplers draw whole
+  // users and the grouper places all ω parts of every sampled one), so
+  // BOTH columns are flat in ω. The mog column composes the exact
+  // dominating-pair PLD of that law instead of the RDP bound — strictly
+  // tighter in every cell — and is the only column defined for
   // fixed-batch sampling at all.
   std::printf(
       "\n== Group-level grid: steps admitted at eps=2 "
@@ -201,11 +203,15 @@ void Run(int argc, char** argv) {
       "conversion throughout; at large step counts its pessimistic "
       "grid rounding (error linear in steps) can concede the lead to the "
       "improved RDP conversion. The mog column composes the group-level "
-      "Mixture-of-Gaussians PLD (Ganesh, arXiv:2401.10294): at omega=1 "
-      "Poisson it coincides with pld_fft's dominating pair, and in the "
-      "grid above it never admits fewer steps than the classic RDP bound "
-      "while also covering fixed-batch sampling, which no Poisson-only "
-      "accountant may account.\n");
+      "Mixture-of-Gaussians PLD (Ganesh, arXiv:2401.10294) of the "
+      "pipeline's all-or-nothing participation law (whole users are "
+      "sampled, all omega parts of a sampled user enter the round), which "
+      "under Poisson coincides with pld_fft's dominating pair at every "
+      "omega. In the grid above it admits strictly more steps than the "
+      "classic RDP bound in every cell — flat in omega, since sigma is "
+      "already the joint-sensitivity multiplier — while also covering "
+      "fixed-batch sampling, which no Poisson-only accountant may "
+      "account.\n");
 }
 
 }  // namespace

@@ -37,10 +37,10 @@ void Run(int argc, char** argv) {
     const RunOutcome outcome = RunAndEvaluate(
         StageConfig::Private(config), workload, options.seed + 1);
 
-    // The group-level MoG accountant's ε for the same rounds: the classic
-    // bound treats the user's ω bucket parts as one atom of sensitivity
-    // ω·C; the mixture keeps the partial-participation structure and is
-    // never looser.
+    // The group-level MoG accountant's ε for the same rounds: the user's
+    // ω bucket parts enter as one atom of sensitivity ω·C (participation
+    // is all-or-nothing), and the exact dominating-pair PLD of that law
+    // is strictly tighter than the classic RDP bound at every ω.
     double eps_mog = 0.0;
     if (outcome.steps > 0) {
       core::PlpConfig mog_config = config;

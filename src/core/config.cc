@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "privacy/mog_accountant.h"
+
 namespace plp::core {
 namespace {
 
@@ -68,6 +70,15 @@ Status PlpConfig::Validate() const {
         "accountant \"" + accountant +
         "\" models Poisson sampling only; valid (scheme, accountant) pairs "
         "are poisson x {rdp, pld_fft, mog} and fixed_batch x {mog}");
+  }
+  if (accountant == "mog" &&
+      split_factor > privacy::kMogMaxSplitFactor) {
+    // MogAccountant::AddRounds rejects larger ω; catching it here fails
+    // the run before corpus loading instead of at the first TrackRound.
+    violations.push_back(
+        "accountant \"mog\" supports split_factor <= " +
+        std::to_string(privacy::kMogMaxSplitFactor) +
+        " (kMogMaxSplitFactor); got " + std::to_string(split_factor));
   }
   require(max_steps > 0, "max_steps must be > 0");
   require(num_threads >= 1, "num_threads must be >= 1");

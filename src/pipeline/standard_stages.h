@@ -29,8 +29,9 @@ EngineConfig MakeNonPrivateEngineConfig(const core::NonPrivateConfig& config);
 /// moments-accountant ledger, "pld_fft" → the FFT-composed privacy-loss-
 /// distribution accountant of Koskela et al., arXiv:1906.03049, "mog" →
 /// the group-level Mixture-of-Gaussians accountant of Ganesh,
-/// arXiv:2401.10294 — ω-tight, and the only one accepting fixed_batch
-/// rounds). Aborts on names Validate() would reject.
+/// arXiv:2401.10294 — the exact PLD of the pipeline's all-or-nothing
+/// participation law, and the only one accepting fixed_batch rounds).
+/// Aborts on names Validate() would reject.
 std::unique_ptr<Accountant> MakeAccountant(const core::PlpConfig& config);
 
 /// One line per stage naming the chosen implementation and its parameters

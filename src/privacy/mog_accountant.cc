@@ -15,116 +15,43 @@ using pld_grid::StdNormalCdf;
 
 constexpr uint32_t kBlobMagic = 0x31474F4D;  // "MOG1" little-endian
 constexpr uint64_t kMaxEntries = 1u << 20;
-// Weights are O(ω) per mixture and the binomial/hypergeometric tails
-// underflow long before this; a bound keeps blob restore allocation sane.
-constexpr int32_t kMaxSplitFactor = 64;
 
-/// log C(n, k) via lgamma (exact enough: the weights are probabilities
-/// multiplied back through exp, and the mixture is renormalized against
-/// nothing — each weight is its own term).
-double LogChoose(int64_t n, int64_t k) {
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
-}
-
-/// Mixture weights w_0..w_ω: the law of how many of the protected user's
-/// ω elements participate in one round under the entry's sampling scheme.
-std::vector<double> MixtureWeights(const MogRound& round) {
-  const int32_t omega = round.split_factor;
-  std::vector<double> weights(static_cast<size_t>(omega) + 1, 0.0);
+/// Probability that the protected user participates in one round.
+///
+/// Participation is all-or-nothing: both samplers draw whole users
+/// (PoissonSampleUsers / FixedBatchSampleUsers in core/grouping.cc) and
+/// the ω-split grouper then places ALL ω parts of every sampled user into
+/// the round's buckets, so the user's participating element count is 0 or
+/// ω — never in between, and never element-wise independent. Under
+/// Poisson sampling the user enters with probability q; under fixed batch
+/// exactly B of the N users are drawn without replacement, so the user's
+/// marginal (the Hypergeometric(N, 1, B) success probability) is B/N.
+double ParticipationProbability(const MogRound& round) {
   if (round.sampling == MogSampling::kPoisson) {
-    const double q = round.sampling_ratio;
-    for (int32_t i = 0; i <= omega; ++i) {
-      if (q >= 1.0) {
-        weights[static_cast<size_t>(i)] = i == omega ? 1.0 : 0.0;
-        continue;
-      }
-      weights[static_cast<size_t>(i)] =
-          std::exp(LogChoose(omega, i) + static_cast<double>(i) * std::log(q) +
-                   static_cast<double>(omega - i) * std::log1p(-q));
-    }
-    return weights;
+    return std::min(round.sampling_ratio, 1.0);
   }
-  // Fixed batch: B·ω of the N·ω elements drawn without replacement; the
-  // group's participating count is Hypergeometric(N·ω, ω, B·ω).
-  const int64_t total = round.population * omega;
-  const int64_t draws = round.batch_size * omega;
-  const double log_denominator = LogChoose(total, draws);
-  for (int32_t i = 0; i <= omega; ++i) {
-    if (i > draws || draws - i > total - omega) continue;
-    weights[static_cast<size_t>(i)] =
-        std::exp(LogChoose(omega, i) + LogChoose(total - omega, draws - i) -
-                 log_denominator);
-  }
-  return weights;
+  return static_cast<double>(round.batch_size) /
+         static_cast<double>(round.population);
 }
 
-/// CDF of the dominating mixture P = Σ_i w_i·N(i/ω, σ²).
-double UpperCdf(const MogRound& round, const std::vector<double>& weights,
-                double x) {
-  const double u = 1.0 / static_cast<double>(round.split_factor);
-  const double sigma = round.noise_multiplier;
-  double cdf = 0.0;
-  for (size_t i = 0; i < weights.size(); ++i) {
-    if (weights[i] <= 0.0) continue;
-    cdf += weights[i] *
-           StdNormalCdf((x - static_cast<double>(i) * u) / sigma);
-  }
-  return cdf;
+/// CDF of the dominating pair P = (1−p)N(0,σ²) + pN(1,σ²). A sampled
+/// user contributes all ω clipped parts, moving the query by the joint
+/// sensitivity ω·C — exactly 1 in the ω·C-normalized units σ lives in —
+/// so the full-participation component sits at shift 1 for every ω.
+/// Same expression as the pld_fft accountant's UpperCdf, on purpose: the
+/// two must produce bit-identical grids at equal p.
+double UpperCdf(double p, double sigma, double x) {
+  return (1.0 - p) * StdNormalCdf(x / sigma) +
+         p * StdNormalCdf((x - 1.0) / sigma);
 }
 
 /// x achieving privacy loss s: the inverse of the strictly increasing
-/// L(x) = log(Σ_i a_i t^i), t = e^{x·u/σ²}, a_i = w_i·e^{−(i·u)²/(2σ²)}.
-/// −infinity when no x reaches s (s ≤ log w_0, the loss infimum). The
-/// polynomial Σ_{i≥1} a_i t^i is increasing and convex on t > 0, so
-/// Newton from the upper bracket t ≤ (target/a_m)^{1/m} descends
-/// monotonically onto the root.
-double LossInverse(const MogRound& round, const std::vector<double>& weights,
-                   double s) {
-  const double u = 1.0 / static_cast<double>(round.split_factor);
-  const double sigma = round.noise_multiplier;
-  const double sigma_sq = sigma * sigma;
-  std::vector<double> a(weights.size(), 0.0);
-  size_t top = 0;
-  for (size_t i = 1; i < weights.size(); ++i) {
-    if (weights[i] <= 0.0) continue;
-    const double shift = static_cast<double>(i) * u;
-    a[i] = weights[i] * std::exp(-shift * shift / (2.0 * sigma_sq));
-    top = i;
-  }
-  const double target = std::exp(s) - weights[0];
-  if (target <= 0.0 || top == 0) {
-    return -std::numeric_limits<double>::infinity();
-  }
-  const auto poly = [&](double t, double* derivative) {
-    double value = 0.0;
-    double slope = 0.0;
-    // Horner over the dense coefficient array (top is tiny: ω <= 64).
-    for (size_t i = top + 1; i-- > 1;) {
-      value = value * t + a[i];
-      slope = slope * t + static_cast<double>(i) * a[i];
-    }
-    // value currently holds Σ a_i t^{i-1}; one more multiply lands the
-    // polynomial, and slope already holds Σ i·a_i t^{i-1} = f'(t).
-    *derivative = slope;
-    return value * t;
-  };
-  double t = std::exp(std::log(target / a[top]) /
-                      static_cast<double>(top));
-  for (int iter = 0; iter < 128; ++iter) {
-    double derivative = 0.0;
-    const double value = poly(t, &derivative);
-    if (!(derivative > 0.0)) break;
-    const double next = t - (value - target) / derivative;
-    if (!(next > 0.0) || next == t) break;
-    if (std::abs(next - t) <= 1e-16 * t) {
-      t = next;
-      break;
-    }
-    t = next;
-  }
-  return sigma_sq * std::log(t) / u;
+/// L(x) = log(1−p+p·e^{(2x−1)/(2σ²)}). −infinity when no x reaches s
+/// (s ≤ log(1−p), the loss function's infimum).
+double LossInverse(double p, double sigma, double s) {
+  const double shifted = std::exp(s) - (1.0 - p);
+  if (shifted <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 0.5 + sigma * sigma * std::log(shifted / p);
 }
 
 }  // namespace
@@ -151,7 +78,7 @@ Status MogAccountant::AddRounds(const MogRound& round) {
   if (!(round.noise_multiplier > 0.0)) {
     return InvalidArgumentError("noise multiplier must be > 0");
   }
-  if (round.split_factor < 1 || round.split_factor > kMaxSplitFactor) {
+  if (round.split_factor < 1 || round.split_factor > kMogMaxSplitFactor) {
     return InvalidArgumentError("split factor must be in [1, 64]");
   }
   switch (round.sampling) {
@@ -191,7 +118,8 @@ const MogAccountant::RoundPld& MogAccountant::RoundPldFor(
 
   RoundPld pld;
   pld.round = round;
-  const std::vector<double> weights = MixtureWeights(round);
+  const double p = ParticipationProbability(round);
+  const double sigma = round.noise_multiplier;
   // Same pessimistic binning as the pld_fft accountant (see pld_grid.h):
   // loss-ordered bin t holds the P-mass of losses in (s_t − Δ, s_t] with
   // right edge s_t = −R + (t+1)·Δ — mass rounds *up* to the edge, so
@@ -202,8 +130,8 @@ const MogAccountant::RoundPld& MogAccountant::RoundPldFor(
   double previous_cdf = 0.0;
   for (size_t t = 0; t < n; ++t) {
     const double edge = -range + static_cast<double>(t + 1) * width;
-    const double x = LossInverse(round, weights, edge);
-    const double cdf = std::isinf(x) ? 0.0 : UpperCdf(round, weights, x);
+    const double x = LossInverse(p, sigma, edge);
+    const double cdf = std::isinf(x) ? 0.0 : UpperCdf(p, sigma, x);
     pmf[pld_grid::WrapIndex(t, n)] = {std::max(0.0, cdf - previous_cdf),
                                       0.0};
     previous_cdf = std::max(cdf, previous_cdf);

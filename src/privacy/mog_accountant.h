@@ -13,15 +13,22 @@ namespace plp::privacy {
 
 /// How round participants are drawn, as the MoG accountant models it.
 enum class MogSampling : uint8_t {
-  kPoisson = 1,     ///< each element independently with probability q
+  kPoisson = 1,     ///< each user independently with probability q
   kFixedBatch = 2,  ///< exactly B of N users drawn without replacement
 };
+
+/// Upper bound on MogRound::split_factor. The accountant's ε does not
+/// depend on ω (see the class comment), but ω is part of the recorded
+/// mechanism and the checkpoint blob; the bound keeps restore allocation
+/// sane and is enforced again by PlpConfig::Validate for --accountant=mog
+/// so a misconfigured run fails before corpus loading, not at step 1.
+inline constexpr int32_t kMogMaxSplitFactor = 64;
 
 /// One coalesced run of identical Mixture-of-Gaussians rounds.
 struct MogRound {
   MogSampling sampling = MogSampling::kPoisson;
-  /// Poisson: per-element participation probability q in (0, 1].
-  /// Fixed batch: recorded as B/N (informational; the weights use B, N).
+  /// Poisson: per-user participation probability q in (0, 1].
+  /// Fixed batch: recorded as B/N (informational; the law uses B, N).
   double sampling_ratio = 0.0;
   int64_t batch_size = 0;       ///< B (fixed batch only; 0 under Poisson)
   int64_t population = 0;       ///< N users (fixed batch only; 0 otherwise)
@@ -40,32 +47,37 @@ struct MogRound {
 ///
 /// The protected unit is a user whose data enters a round as ω elements
 /// (the ω bucket parts produced by the Grouper's split), each clipped to
-/// C, so the joint l2 sensitivity is ω·C. In units where ω·C = 1 and the
-/// noise stddev is the effective multiplier σ, one round is dominated by
+/// C, so the joint l2 sensitivity is ω·C. Crucially, the pipeline samples
+/// WHOLE USERS: the sampler draws user ids and the grouper then places
+/// all ω parts of every sampled user into the round, so the protected
+/// user's participating element count is 0 or ω — all-or-nothing,
+/// perfectly correlated — and never the element-wise-independent law of
+/// Ganesh's per-element setting. The general ω-component mixture
+/// Σ_i w_i·N(i/ω, σ²) with Binomial/Hypergeometric weights would put
+/// only mass ~q^ω (instead of q) at the full shift and therefore
+/// under-report δ(ε) for ω > 1; the sound dominating pair here is the
+/// two-component mixture
 ///
-///   P = Σ_{i=0..ω} w_i · N(i/ω, σ²)   vs   Q = N(0, σ²),
+///   P = (1−p)·N(0, σ²) + p·N(1, σ²)   vs   Q = N(0, σ²),
 ///
-/// where i counts the user's participating elements and the weights are
-/// the sampling scheme's participation law:
-///   * Poisson:     w_i = Binomial(ω, q) — each element enters the round
-///                  independently with probability q;
-///   * fixed batch: w_i = Hypergeometric(N·ω, ω, B·ω) — B·ω of the N·ω
-///                  elements drawn without replacement.
-/// At ω = 1 under Poisson this is exactly the (1−q)N(0,σ²) + qN(1,σ²)
-/// dominating pair of the pld_fft accountant — strictly tighter than the
-/// classic RDP conversion — and for ω > 1 the mixture's mass at partial
-/// shifts i/ω < 1 is what the classic ω·C-sensitivity bound throws away.
+/// in units where ω·C = 1 and σ is the effective multiplier, with p the
+/// user's round-participation probability under the sampling scheme:
+///   * Poisson:     p = q — the user enters independently each round;
+///   * fixed batch: p = B/N — the marginal of drawing exactly B of the
+///                  N users without replacement (Hypergeometric(N,1,B)).
+/// This is exactly the pld_fft accountant's dominating pair for every ω
+/// (ε is invariant in ω given the joint multiplier σ — pinned by
+/// MogAccountantTest.EpsilonInvariantInOmega), strictly tighter than the
+/// classic RDP conversion, and — unlike rdp/pld_fft — defined for
+/// fixed-batch sampling at all.
 ///
-/// The privacy loss L(x) = log(Σ_i a_i t^i), t = e^{x·u/σ²}, u = 1/ω,
-/// a_i = w_i·e^{−i²u²/(2σ²)}, is strictly increasing; its inverse is
-/// found by Newton on the monotone convex polynomial Σ a_i t^i = e^s from
-/// the upper bracket t ≤ (e^s/a_ω)^{1/ω}. The PLD is discretized on the
-/// shared pessimistic loss grid (privacy/pld_grid.h) and composed across
-/// rounds by DFT pointwise powers, exactly like the pld_fft accountant —
-/// so ε estimates err high, never low, under the grid's control knobs.
+/// The PLD of log(dP/dQ) is discretized on the shared pessimistic loss
+/// grid (privacy/pld_grid.h) and composed across rounds by DFT pointwise
+/// powers, exactly like the pld_fft accountant — so ε estimates err
+/// high, never low, under the grid's control knobs.
 ///
 /// This backs the pipeline's "mog" Accountant stage — the only stage
-/// accountant that models fixed-batch sampling or ω > 1 tightly.
+/// accountant whose analysis covers fixed-batch sampling.
 class MogAccountant {
  public:
   /// `delta` is the fixed δ of the (ε, δ) guarantee, in (0, 1). Aborts on

@@ -125,6 +125,26 @@ TEST(PlpConfigTest, CollectsPairingViolationWithOthers) {
       << status.message();
 }
 
+/// MogAccountant::AddRounds rejects ω > 64; Validate() must catch the
+/// same bound up front (naming it) so a --accountant=mog run fails before
+/// corpus loading instead of at the first TrackRound.
+TEST(PlpConfigTest, RejectsMogAboveMaxSplitFactor) {
+  PlpConfig config;
+  config.accountant = "mog";
+  config.split_factor = 65;
+  const Status status = config.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("split_factor <= 64"), std::string::npos)
+      << status.message();
+  // Other accountants scale ω·C into the noise and have no such bound.
+  config.accountant = "rdp";
+  EXPECT_TRUE(config.Validate().ok());
+  // The bound itself is valid under mog.
+  config.accountant = "mog";
+  config.split_factor = 64;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
 TEST(PlpConfigTest, SigmaZeroIsAllowedByValidation) {
   // σ = 0 is a legal configuration value; the accountant then reports an
   // infinite per-step cost and training stops immediately.

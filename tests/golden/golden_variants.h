@@ -30,8 +30,11 @@ inline constexpr uint64_t kGoldenSeed = 1234;
 /// the stamp disagrees: that means the pins predate the current numerics.
 ///
 /// History: 1 = libm exp/LogSumExp softmax path (PR 5 and earlier);
-/// 2 = fused max-shifted softmax over the bounded exp/sigmoid LUTs.
-inline constexpr int kGoldenNumericsVersion = 2;
+/// 2 = fused max-shifted softmax over the bounded exp/sigmoid LUTs;
+/// 3 = MoG accountant composes the all-or-nothing participation law
+///     (whole-user sampling), so the mog ω = 2 ε trajectory equals ω = 1
+///     instead of the unsound element-wise Binomial mixture's.
+inline constexpr int kGoldenNumericsVersion = 3;
 
 /// CRC-64/XZ over the raw bytes of the three tensors in tensor order —
 /// the "model fingerprint" every pin stores. Tensors are walked row-wise
@@ -137,8 +140,9 @@ inline std::vector<PrivateVariant> PrivateVariants() {
     variants.push_back({"mog", c});
   }
   {
-    // MoG under ω = 2: the accountant sees the partial-participation
-    // structure the classic ω·C argument discards.
+    // MoG under ω = 2: ε must match the ω = 1 run bit-exactly —
+    // participation is all-or-nothing, so the dominating pair (and the
+    // joint multiplier σ) is the same at every ω.
     core::PlpConfig c = GoldenPrivateBase();
     c.accountant = "mog";
     c.split_factor = 2;

@@ -88,19 +88,23 @@ TEST(MogAccountantTest, EpsilonDecreasesInSigma) {
   }
 }
 
-/// σ is the multiplier relative to the JOINT sensitivity ω·C, so the
-/// released noise already scales with ω and the classic bound is flat in
-/// ω. The mixture keeps the partial-participation structure (mass at
-/// shifts i/ω < 1), which only ever helps: ε must be non-increasing in ω.
-TEST(MogAccountantTest, EpsilonNonIncreasingInOmega) {
-  double previous = std::numeric_limits<double>::infinity();
-  for (int32_t omega : {1, 2, 4, 8}) {
+/// The pipeline samples WHOLE users and the grouper places all ω parts of
+/// every sampled user into the round, so participation is all-or-nothing:
+/// the dominating pair in ω·C-normalized units is (1−q)N(0,σ²) + qN(1,σ²)
+/// for every ω, and — σ being the multiplier relative to the joint
+/// sensitivity ω·C — ε must be bit-identical across ω. (A law with ε
+/// shrinking in ω, e.g. element-wise Binomial(ω, q) weights, would mean
+/// the accountant certifies more steps than the released all-or-nothing
+/// mechanism supports.)
+TEST(MogAccountantTest, EpsilonInvariantInOmega) {
+  MogAccountant reference(kDelta);
+  ASSERT_TRUE(reference.AddRounds(PoissonRound(0.25, 1.2, 1, 40)).ok());
+  const double reference_eps = reference.CumulativeEpsilon();
+  EXPECT_GT(reference_eps, 0.0);
+  for (int32_t omega : {2, 4, 8}) {
     MogAccountant mog(kDelta);
     ASSERT_TRUE(mog.AddRounds(PoissonRound(0.25, 1.2, omega, 40)).ok());
-    const double eps = mog.CumulativeEpsilon();
-    EXPECT_LE(eps, previous + 1e-12) << "omega=" << omega;
-    EXPECT_GT(eps, 0.0);
-    previous = eps;
+    EXPECT_EQ(mog.CumulativeEpsilon(), reference_eps) << "omega=" << omega;
   }
 }
 
@@ -140,27 +144,38 @@ TEST(MogAccountantTest, FullBatchEqualsQOnePoisson) {
   EXPECT_EQ(fixed.CumulativeEpsilon(), poisson.CumulativeEpsilon());
 }
 
-/// At ω = 1 under Poisson the mixture degenerates to the pld_fft
-/// accountant's (1−q)N(0,σ²) + qN(1,σ²) dominating pair, discretized on
-/// the same grid — the two may differ only by loss-inverse rounding inside
-/// one grid cell.
-TEST(MogAccountantTest, OmegaOnePoissonMatchesPldFft) {
+/// Under Poisson the all-or-nothing participation law IS the pld_fft
+/// accountant's (1−q)N(0,σ²) + qN(1,σ²) dominating pair at every ω, and
+/// the two accountants build it with the same expressions on the same
+/// grid — the agreement is bit-exact, not approximate.
+TEST(MogAccountantTest, PoissonMatchesPldFftAtEveryOmega) {
   const double q = 0.06, sigma = 2.5;
   const int64_t steps = 150;
-  MogAccountant mog(kDelta);
-  ASSERT_TRUE(mog.AddRounds(PoissonRound(q, sigma, 1, steps)).ok());
   PldAccountant pld(kDelta);
   ASSERT_TRUE(pld.AddSteps(q, sigma, steps).ok());
-  const PldOptions options;
-  const double cell = 2.0 * options.grid_range /
-                      static_cast<double>(1 << options.log2_grid_size);
-  EXPECT_NEAR(mog.CumulativeEpsilon(), pld.CumulativeEpsilon(), 4.0 * cell);
+  for (int32_t omega : {1, 2, 4}) {
+    MogAccountant mog(kDelta);
+    ASSERT_TRUE(mog.AddRounds(PoissonRound(q, sigma, omega, steps)).ok());
+    EXPECT_EQ(mog.CumulativeEpsilon(), pld.CumulativeEpsilon())
+        << "omega=" << omega;
+  }
+}
+
+/// The fixed-batch marginal collapses to p = B/N, so a fixed batch and a
+/// Poisson round at q = B/N compose identically.
+TEST(MogAccountantTest, FixedBatchMatchesPoissonAtEqualRatio) {
+  MogAccountant poisson(kDelta);
+  ASSERT_TRUE(poisson.AddRounds(PoissonRound(0.06, 2.5, 2, 100)).ok());
+  MogAccountant fixed(kDelta);
+  ASSERT_TRUE(fixed.AddRounds(FixedBatchRound(6, 100, 2.5, 2, 100)).ok());
+  EXPECT_EQ(fixed.CumulativeEpsilon(), poisson.CumulativeEpsilon());
 }
 
 /// The tentpole inequality, pinned for the ablation grid: at every
-/// (scheme, ω) cell the MoG ε is at most the classic-RDP ε of the
-/// ω·C-sensitivity argument (which is flat in ω because σ is already the
-/// joint multiplier), and strictly below it at ω = 1 Poisson.
+/// (scheme, ω) cell the MoG ε — the exact dominating-pair PLD of the
+/// all-or-nothing participation law — is strictly below the classic-RDP
+/// ε of the ω·C-sensitivity argument (both flat in ω, since σ is already
+/// the joint multiplier).
 TEST(MogAccountantTest, GridNeverLooserThanClassicRdp) {
   const double q = 0.06, sigma = 2.5;
   const int64_t steps = 200;
@@ -184,11 +199,8 @@ TEST(MogAccountantTest, GridNeverLooserThanClassicRdp) {
       ASSERT_TRUE(mog.AddRounds(round).ok());
       const double mog_eps = mog.CumulativeEpsilon();
       EXPECT_GT(mog_eps, 0.0);
-      EXPECT_LE(mog_eps, rdp_eps)
+      EXPECT_LT(mog_eps, rdp_eps)
           << "scheme=" << static_cast<int>(scheme) << " omega=" << omega;
-      if (scheme == MogSampling::kPoisson && omega == 1) {
-        EXPECT_LT(mog_eps, rdp_eps);
-      }
     }
   }
 }

@@ -100,21 +100,21 @@ plp::core::NonPrivateConfig NonPrivateConfigFromFlags(
   return config;
 }
 
-/// Validates the private-run flag set, collecting flag-level violations
-/// (an unparseable --sampling_scheme) together with every config-level
-/// violation — including the (scheme, accountant) pairing rule, whose
-/// message names the valid pairs — into one kInvalidArgument.
-plp::Status ValidatePrivateFlags(const plp::FlagParser& flags) {
-  std::vector<std::string> violations;
+/// Appends a violation for an unparseable --sampling_scheme. Checked for
+/// every run mode: the flag only affects private runs, but a typo like
+/// --sampling_scheme=fixedbatch must be diagnosed — not silently fall
+/// back to the Poisson default — even with --private=false.
+void AppendSamplingSchemeViolation(const plp::FlagParser& flags,
+                                   std::vector<std::string>& violations) {
   const std::string scheme = flags.GetString("sampling_scheme", "poisson");
   if (!plp::core::ParseSamplingScheme(scheme).ok()) {
     violations.emplace_back(
         "unknown --sampling_scheme (expected poisson or fixed_batch): " +
         scheme);
   }
-  if (auto s = PrivateConfigFromFlags(flags).Validate(); !s.ok()) {
-    violations.emplace_back(s.message());
-  }
+}
+
+plp::Status JoinViolations(std::vector<std::string> violations) {
   if (violations.empty()) return plp::Status::Ok();
   std::string message;
   for (size_t i = 0; i < violations.size(); ++i) {
@@ -122,6 +122,29 @@ plp::Status ValidatePrivateFlags(const plp::FlagParser& flags) {
     message += violations[i];
   }
   return plp::InvalidArgumentError(std::move(message));
+}
+
+/// Validates the private-run flag set, collecting flag-level violations
+/// (an unparseable --sampling_scheme) together with every config-level
+/// violation — including the (scheme, accountant) pairing rule, whose
+/// message names the valid pairs — into one kInvalidArgument.
+plp::Status ValidatePrivateFlags(const plp::FlagParser& flags) {
+  std::vector<std::string> violations;
+  AppendSamplingSchemeViolation(flags, violations);
+  if (auto s = PrivateConfigFromFlags(flags).Validate(); !s.ok()) {
+    violations.emplace_back(s.message());
+  }
+  return JoinViolations(std::move(violations));
+}
+
+/// Validates the non-private flag set under the same collect-all contract.
+plp::Status ValidateNonPrivateFlags(const plp::FlagParser& flags) {
+  std::vector<std::string> violations;
+  AppendSamplingSchemeViolation(flags, violations);
+  if (auto s = NonPrivateConfigFromFlags(flags).Validate(); !s.ok()) {
+    violations.emplace_back(s.message());
+  }
+  return JoinViolations(std::move(violations));
 }
 
 /// Validates the data-source flag set, collecting every violation so one
@@ -181,7 +204,7 @@ int main(int argc, char** argv) {
       return Fail(s);
     }
   } else {
-    if (auto s = NonPrivateConfigFromFlags(flags).Validate(); !s.ok()) {
+    if (auto s = ValidateNonPrivateFlags(flags); !s.ok()) {
       return Fail(s);
     }
   }
